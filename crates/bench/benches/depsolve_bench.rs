@@ -1,0 +1,38 @@
+//! Microbenchmarks for dependency analysis and version resolution — the
+//! "analyze" and solver share of Table II's create column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfm_core::pyenv::analyze::analyze_source;
+use lfm_core::pyenv::index::PackageIndex;
+use lfm_core::pyenv::requirements::{Requirement, RequirementSet};
+use lfm_core::pyenv::resolve::resolve;
+use lfm_core::pyenv::source::{drug_featurize_source, hep_process_source};
+
+fn bench_analyze(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analyze");
+    for (name, src) in [("hep", hep_process_source()), ("drug", drug_featurize_source())] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &src, |b, src| {
+            b.iter(|| analyze_source(src).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_resolve(c: &mut Criterion) {
+    let index = PackageIndex::builtin();
+    let mut g = c.benchmark_group("resolve");
+    for pkg in ["numpy", "tensorflow", "drug-screen-app"] {
+        let reqs: RequirementSet = [Requirement::any(pkg)].into_iter().collect();
+        g.bench_with_input(BenchmarkId::from_parameter(pkg), &reqs, |b, reqs| {
+            b.iter(|| resolve(&index, reqs).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_analyze, bench_resolve
+}
+criterion_main!(benches);

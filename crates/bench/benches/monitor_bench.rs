@@ -1,0 +1,31 @@
+//! Monitor-path microbenchmarks: the simulated LFM decision and the real
+//! /proc sampling path (the "lightweight" claim quantified).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lfm_core::monitor::limits::ResourceLimits;
+use lfm_core::monitor::procfs;
+use lfm_core::monitor::sim::{SimMonitor, SimTaskProfile};
+
+fn bench_sim_monitor(c: &mut Criterion) {
+    let m = SimMonitor::default();
+    let profile = SimTaskProfile::new(60.0, 1.0, 110, 1024);
+    let limits = ResourceLimits::unlimited().with_memory_mb(84).with_disk_mb(880);
+    c.bench_function("sim_monitor_run", |b| b.iter(|| m.run(&profile, &limits)));
+}
+
+fn bench_procfs_sample(c: &mut Criterion) {
+    let me = std::process::id();
+    c.bench_function("procfs_self_stat", |b| {
+        b.iter(|| procfs::read_stat(me))
+    });
+    c.bench_function("procfs_self_tree", |b| {
+        b.iter(|| procfs::process_tree(me))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_sim_monitor, bench_procfs_sample
+}
+criterion_main!(benches);

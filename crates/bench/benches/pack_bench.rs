@@ -1,0 +1,49 @@
+//! Environment pack/unpack/serialize microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lfm_core::pyenv::environment::Environment;
+use lfm_core::pyenv::index::PackageIndex;
+use lfm_core::pyenv::pack::PackedEnv;
+use lfm_core::pyenv::pickle::PyValue;
+use lfm_core::pyenv::requirements::{Requirement, RequirementSet};
+use lfm_core::pyenv::resolve::resolve;
+
+fn tf_env() -> Environment {
+    let index = PackageIndex::builtin();
+    let reqs: RequirementSet = [Requirement::any("tensorflow")].into_iter().collect();
+    let r = resolve(&index, &reqs).unwrap();
+    Environment::from_resolution("tf", "/envs/tf", &index, &r).unwrap()
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let env = tf_env();
+    c.bench_function("pack_env", |b| b.iter(|| PackedEnv::pack(&env)));
+    let packed = PackedEnv::pack(&env);
+    c.bench_function("unpack_env", |b| b.iter(|| packed.unpack("/scratch/envs/tf").unwrap()));
+    c.bench_function("archive_roundtrip", |b| {
+        b.iter(|| PackedEnv::from_bytes(&packed.to_bytes()).unwrap())
+    });
+}
+
+fn bench_pickle(c: &mut Criterion) {
+    let value = PyValue::Dict(
+        (0..100)
+            .map(|i| {
+                (
+                    PyValue::Str(format!("key-{i}")),
+                    PyValue::List(vec![PyValue::Float(i as f64); 20]),
+                )
+            })
+            .collect(),
+    );
+    c.bench_function("pickle_roundtrip", |b| {
+        b.iter(|| PyValue::loads(&value.dumps()).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_pack, bench_pickle
+}
+criterion_main!(benches);

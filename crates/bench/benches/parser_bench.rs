@@ -1,0 +1,42 @@
+//! Microbenchmarks for the mini-Python front-end: tokenization and parsing
+//! throughput on Pynamic-style synthetic modules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lfm_core::pyenv::lexer::Lexer;
+use lfm_core::pyenv::parser::parse_module;
+use lfm_core::pyenv::source::synthetic_module;
+
+fn bench_lexer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lexer");
+    for (imports, functions) in [(8, 4), (32, 16), (128, 64)] {
+        let src = synthetic_module(imports, functions, 6);
+        g.throughput(Throughput::Bytes(src.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{imports}i-{functions}f")),
+            &src,
+            |b, src| b.iter(|| Lexer::tokenize(src).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parser");
+    for (imports, functions) in [(8, 4), (32, 16), (128, 64)] {
+        let src = synthetic_module(imports, functions, 6);
+        g.throughput(Throughput::Bytes(src.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{imports}i-{functions}f")),
+            &src,
+            |b, src| b.iter(|| parse_module(src).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lexer, bench_parser
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! End-to-end scheduler throughput: discrete-event tasks scheduled per
+//! second under each strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lfm_core::workloads::hep;
+use lfm_core::workqueue::allocate::Strategy;
+use lfm_core::workqueue::master::{run_workload, MasterConfig};
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.sample_size(10);
+    let n = 200u64;
+    let w = hep::build(n, 7);
+    for strategy in [
+        w.oracle_strategy(),
+        Strategy::Auto(Default::default()),
+        w.guess_strategy(),
+        Strategy::Unmanaged,
+    ] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, s| {
+                b.iter(|| {
+                    run_workload(
+                        &MasterConfig::new(s.clone()).with_seed(7),
+                        w.tasks.clone(),
+                        6,
+                        hep::worker_spec(8),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

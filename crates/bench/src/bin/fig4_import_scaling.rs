@@ -1,0 +1,28 @@
+//! Regenerates Figure 4: import time vs. scale on Theta.
+
+use lfm_core::experiments::fig4;
+use lfm_core::render::{fmt_secs, render_table};
+
+fn main() {
+    let points = fig4::run();
+    println!("Figure 4 — per-core import time on Theta (64 cores/node)\n");
+    let mut headers: Vec<&str> = vec!["cores"];
+    headers.extend_from_slice(fig4::MODULES);
+    let rows: Vec<Vec<String>> = fig4::NODE_COUNTS
+        .iter()
+        .map(|&nodes| {
+            let cores = nodes * 64;
+            let mut row = vec![cores.to_string()];
+            for m in fig4::MODULES {
+                let p = points
+                    .iter()
+                    .find(|p| p.nodes == nodes && p.module == *m)
+                    .expect("full grid");
+                row.push(fmt_secs(p.import_secs));
+            }
+            row
+        })
+        .collect();
+    print!("{}", render_table(&headers, &rows));
+    println!("\nShape check: small modules stay flat; TensorFlow climbs with scale.");
+}

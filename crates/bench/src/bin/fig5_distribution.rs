@@ -1,0 +1,38 @@
+//! Regenerates Figure 5: cumulative TensorFlow import time, direct vs.
+//! packed+local-unpack, per site.
+
+use lfm_core::experiments::fig5::{self, Method};
+use lfm_core::render::{fmt_secs, render_table};
+
+fn main() {
+    let points = fig5::run();
+    println!("Figure 5 — cumulative import time (TensorFlow environment)\n");
+    let mut sites: Vec<String> = points.iter().map(|p| p.site.clone()).collect();
+    sites.dedup();
+    for site in sites {
+        println!("{site}:");
+        let rows: Vec<Vec<String>> = fig5::NODE_COUNTS
+            .iter()
+            .map(|&n| {
+                let get = |m: Method| {
+                    points
+                        .iter()
+                        .find(|p| p.site == site && p.nodes == n && p.method == m)
+                        .expect("full grid")
+                        .cumulative_secs
+                };
+                vec![
+                    n.to_string(),
+                    fmt_secs(get(Method::DirectAccess)),
+                    fmt_secs(get(Method::LocalUnpack)),
+                    format!("{:.1}x", get(Method::DirectAccess) / get(Method::LocalUnpack)),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(&["nodes", "direct access", "local unpack", "speedup"], &rows)
+        );
+        println!();
+    }
+}

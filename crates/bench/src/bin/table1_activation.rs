@@ -1,0 +1,24 @@
+//! Regenerates Table I: hello-world latency, Conda vs. containers.
+
+use lfm_core::experiments::table1;
+use lfm_core::render::render_table;
+
+fn main() {
+    println!("Table I — environment activation latency (50 trials)\n");
+    let rows: Vec<Vec<String>> = table1::run(50, 2021)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.site,
+                format!("{:.2} ± {:.2} s", r.conda.mean_secs, r.conda.std_secs),
+                r.container.tech.name().to_string(),
+                format!("{:.2} ± {:.2} s", r.container.mean_secs, r.container.std_secs),
+                format!("{:.1}x", r.container.mean_secs / r.conda.mean_secs),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["site", "Conda", "container tech", "container", "ratio"], &rows)
+    );
+}

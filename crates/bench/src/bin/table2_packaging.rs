@@ -1,0 +1,25 @@
+//! Regenerates Table II: analyze / create / run costs per package.
+
+use lfm_core::experiments::table2;
+use lfm_core::render::{fmt_bytes, fmt_secs, render_table};
+
+fn main() {
+    println!("Table II — packaging costs\n");
+    let rows: Vec<Vec<String>> = table2::run()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.package,
+                format!("{:.2} ms", r.analyze_secs * 1e3),
+                fmt_secs(r.create_secs),
+                fmt_secs(r.run_secs),
+                fmt_bytes(r.size_bytes),
+                r.dep_count.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["package", "analyze", "create", "run", "size", "deps"], &rows)
+    );
+}

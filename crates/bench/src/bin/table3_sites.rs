@@ -1,0 +1,9 @@
+//! Regenerates Table III: the evaluation-site inventory.
+
+use lfm_core::experiments::table3;
+use lfm_core::render::render_table;
+
+fn main() {
+    println!("Table III — evaluation sites\n");
+    print!("{}", render_table(table3::HEADERS, &table3::rows()));
+}

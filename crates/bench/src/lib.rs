@@ -1,0 +1,175 @@
+//! # lfm-bench — regenerators and microbenchmarks
+//!
+//! One binary per paper table/figure (see `src/bin/`) and Criterion
+//! microbenches for the hot paths (see `benches/`). This library holds the
+//! shared rendering helpers for the strategy-sweep figures.
+
+use lfm_core::experiments::sweep::SweepPoint;
+use lfm_core::render::{fmt_secs, render_table};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Where regenerators drop machine-readable outputs.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Write a CSV file under `target/experiments/`, returning its path.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = experiments_dir().join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    let quote = |cell: &str| -> String {
+        if cell.contains(',') || cell.contains('"') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    };
+    writeln!(f, "{}", headers.join(",")).unwrap();
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|c| quote(c)).collect();
+        writeln!(f, "{}", line.join(",")).unwrap();
+    }
+    path
+}
+
+/// Dump a sweep-point cloud as long-format CSV (x, strategy, makespan_s,
+/// retry_fraction, core_efficiency).
+pub fn save_sweep_csv(name: &str, points: &[SweepPoint]) -> PathBuf {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.x.to_string(),
+                p.strategy.clone(),
+                format!("{:.3}", p.makespan_secs),
+                format!("{:.5}", p.retry_fraction),
+                format!("{:.5}", p.core_efficiency),
+            ]
+        })
+        .collect();
+    write_csv(
+        name,
+        &["x", "strategy", "makespan_s", "retry_fraction", "core_efficiency"],
+        &rows,
+    )
+}
+
+/// Pivot a sweep-point cloud into a table: one row per x value, one column
+/// per strategy (in first-appearance order).
+pub fn pivot_sweep(points: &[SweepPoint], x_label: &str) -> String {
+    let mut strategies: Vec<String> = Vec::new();
+    for p in points {
+        if !strategies.contains(&p.strategy) {
+            strategies.push(p.strategy.clone());
+        }
+    }
+    let mut xs: Vec<u64> = points.iter().map(|p| p.x).collect();
+    xs.sort_unstable();
+    xs.dedup();
+
+    let mut headers: Vec<&str> = vec![x_label];
+    let owned: Vec<String> = strategies.clone();
+    for s in &owned {
+        headers.push(s.as_str());
+    }
+    let rows: Vec<Vec<String>> = xs
+        .iter()
+        .map(|&x| {
+            let mut row = vec![x.to_string()];
+            for s in &strategies {
+                let cell = points
+                    .iter()
+                    .find(|p| p.x == x && &p.strategy == s)
+                    .map(|p| fmt_secs(p.makespan_secs))
+                    .unwrap_or_else(|| "-".to_string());
+                row.push(cell);
+            }
+            row
+        })
+        .collect();
+    render_table(&headers, &rows)
+}
+
+/// Companion retry table for a sweep (the <1%-retries evidence).
+pub fn retry_summary(points: &[SweepPoint]) -> String {
+    let mut strategies: Vec<String> = Vec::new();
+    for p in points {
+        if !strategies.contains(&p.strategy) {
+            strategies.push(p.strategy.clone());
+        }
+    }
+    let rows: Vec<Vec<String>> = strategies
+        .iter()
+        .map(|s| {
+            let mine: Vec<&SweepPoint> = points.iter().filter(|p| &p.strategy == s).collect();
+            let max_retry =
+                mine.iter().map(|p| p.retry_fraction).fold(0.0f64, f64::max);
+            let mean_eff = mine.iter().map(|p| p.core_efficiency).sum::<f64>()
+                / mine.len().max(1) as f64;
+            vec![
+                s.clone(),
+                format!("{:.2}%", max_retry * 100.0),
+                format!("{:.1}%", mean_eff * 100.0),
+            ]
+        })
+        .collect();
+    render_table(&["strategy", "max retries", "mean core efficiency"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: u64, s: &str, m: f64) -> SweepPoint {
+        SweepPoint {
+            x,
+            strategy: s.into(),
+            makespan_secs: m,
+            retry_fraction: 0.004,
+            core_efficiency: 0.8,
+        }
+    }
+
+    #[test]
+    fn pivot_shape() {
+        let points = vec![pt(10, "Oracle", 100.0), pt(10, "Auto", 110.0), pt(20, "Oracle", 180.0)];
+        let t = pivot_sweep(&points, "tasks");
+        assert!(t.contains("tasks"));
+        assert!(t.contains("Oracle"));
+        assert!(t.contains("Auto"));
+        // Missing cell renders as dash.
+        assert!(t.contains('-'));
+    }
+
+    #[test]
+    fn csv_writer_quotes_and_persists() {
+        let rows = vec![vec!["a,b".to_string(), "pla\"in".to_string()]];
+        let path = write_csv("test_csv_writer", &["c1", "c2"], &rows);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("c1,c2\n"));
+        assert!(body.contains("\"a,b\""));
+        assert!(body.contains("\"pla\"\"in\""));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sweep_csv_long_format() {
+        let points = vec![pt(10, "Oracle", 100.0)];
+        let path = save_sweep_csv("test_sweep_csv", &points);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("x,strategy,makespan_s"));
+        assert!(body.contains("10,Oracle,100.000"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn retry_table_has_all_strategies() {
+        let points = vec![pt(1, "Oracle", 1.0), pt(1, "Auto", 1.0)];
+        let t = retry_summary(&points);
+        assert!(t.contains("0.40%"));
+        assert!(t.contains("80.0%"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Figure 4: Python import time vs. scale on Theta.
+//!
+//! "On each core we run a Python script that loads Python and imports a
+//! single module... We see constant performance for smaller modules...
+//! For the larger TensorFlow, load time increases with the number of
+//! nodes."
+//!
+//! Reproduced by computing the per-client import cost of each module's
+//! resolved environment against the Theta shared-filesystem model, with one
+//! importing client per core (64 cores/node).
+
+use lfm_pyenv::index::PackageIndex;
+use lfm_pyenv::requirements::{Requirement, RequirementSet};
+use lfm_pyenv::resolve::resolve;
+use lfm_simcluster::sharedfs::SharedFs;
+use lfm_simcluster::sites::theta;
+use serde::{Deserialize, Serialize};
+
+/// The modules Figure 4 imports.
+pub const MODULES: &[&str] = &["python", "numpy", "scipy", "pandas", "scikit-learn", "tensorflow"];
+
+/// Node counts swept (64 cores each → 64..32768 cores).
+pub const NODE_COUNTS: &[u32] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+
+/// One measured point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImportPoint {
+    pub module: String,
+    pub nodes: u32,
+    pub cores: u32,
+    /// Average per-client import latency, seconds.
+    pub import_secs: f64,
+}
+
+/// Files the bare interpreter touches at startup (stdlib bootstrap).
+const INTERPRETER_TOUCHED_FILES: u64 = 150;
+/// Bytes the bare interpreter reads at startup.
+const INTERPRETER_TOUCHED_BYTES: u64 = 5 << 20;
+/// Fraction of a library's installed files its import actually opens
+/// (packages lazy-load most submodules).
+const LIB_TOUCH_FRACTION: f64 = 0.30;
+/// Fraction of a library's installed bytes read at import time.
+const LIB_READ_FRACTION: f64 = 0.15;
+
+/// The import footprint of a module: (files touched, bytes read). This is
+/// what `import m` actually costs — NOT the full installed closure, since
+/// Python imports lazily and the interpreter only reads a bootstrap slice
+/// of the stdlib.
+pub fn import_footprint(index: &PackageIndex, module: &str) -> (u64, u64) {
+    let closure = |name: &str| {
+        let mut reqs = RequirementSet::new();
+        reqs.add(Requirement::any(name));
+        let r = resolve(index, &reqs).expect("figure-4 modules resolve");
+        (
+            r.total_files(index).expect("closure exists"),
+            r.total_bytes(index).expect("closure exists"),
+        )
+    };
+    let (py_files, py_bytes) = closure("python");
+    if module == "python" {
+        return (INTERPRETER_TOUCHED_FILES, INTERPRETER_TOUCHED_BYTES);
+    }
+    let (all_files, all_bytes) = closure(module);
+    let lib_files = all_files.saturating_sub(py_files);
+    let lib_bytes = all_bytes.saturating_sub(py_bytes);
+    (
+        INTERPRETER_TOUCHED_FILES + (lib_files as f64 * LIB_TOUCH_FRACTION) as u64,
+        INTERPRETER_TOUCHED_BYTES + (lib_bytes as f64 * LIB_READ_FRACTION) as u64,
+    )
+}
+
+/// Run the sweep.
+pub fn run() -> Vec<ImportPoint> {
+    let index = PackageIndex::builtin();
+    let site = theta();
+    let cores_per_node = site.node.resources.cores;
+    let mut out = Vec::new();
+    for module in MODULES {
+        let (files, bytes) = import_footprint(&index, module);
+        for &nodes in NODE_COUNTS {
+            let mut fs = SharedFs::new(site.fs);
+            let clients = (nodes * cores_per_node) as usize;
+            let t = fs.import_cost(files, bytes, clients);
+            out.push(ImportPoint {
+                module: module.to_string(),
+                nodes,
+                cores: nodes * cores_per_node,
+                import_secs: t,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series<'a>(points: &'a [ImportPoint], module: &str) -> Vec<&'a ImportPoint> {
+        points.iter().filter(|p| p.module == module).collect()
+    }
+
+    #[test]
+    fn covers_full_grid() {
+        let points = run();
+        assert_eq!(points.len(), MODULES.len() * NODE_COUNTS.len());
+    }
+
+    #[test]
+    fn small_module_flat_tensorflow_grows() {
+        let points = run();
+        let python = series(&points, "python");
+        let tf = series(&points, "tensorflow");
+        let ratio = |s: &[&ImportPoint]| s.last().unwrap().import_secs / s[0].import_secs;
+        // Python: near-constant (its import set still contends at the very
+        // largest scales, but far less than TF).
+        // TensorFlow: strong growth — the paper's headline observation.
+        assert!(
+            ratio(&tf) > 10.0 * ratio(&python),
+            "tf growth {} vs python growth {}",
+            ratio(&tf),
+            ratio(&python)
+        );
+        assert!(ratio(&tf) > 10.0, "tf must degrade at scale, got {}", ratio(&tf));
+    }
+
+    #[test]
+    fn cost_ordering_follows_footprint() {
+        let points = run();
+        // At any fixed scale, heavier packages import slower.
+        for &nodes in NODE_COUNTS {
+            let at = |m: &str| {
+                points
+                    .iter()
+                    .find(|p| p.module == m && p.nodes == nodes)
+                    .unwrap()
+                    .import_secs
+            };
+            assert!(at("tensorflow") > at("numpy"), "at {nodes} nodes");
+            assert!(at("numpy") > at("python"), "at {nodes} nodes");
+        }
+    }
+
+    #[test]
+    fn monotone_in_scale() {
+        let points = run();
+        for module in MODULES {
+            let s = series(&points, module);
+            for w in s.windows(2) {
+                assert!(
+                    w[1].import_secs >= w[0].import_secs - 1e-9,
+                    "{module}: cost decreased with scale"
+                );
+            }
+        }
+    }
+}

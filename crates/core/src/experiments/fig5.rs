@@ -1,0 +1,176 @@
+//! Figure 5: cumulative TensorFlow import time, direct shared-filesystem
+//! access vs. transfer-packed-then-unpack-locally, across sites and scales.
+//!
+//! "In each case, transferring the environment using the shared file system
+//! and unpacking it locally significantly outperforms the use of the shared
+//! file system directly."
+
+use lfm_pyenv::environment::Environment;
+use lfm_pyenv::index::PackageIndex;
+use lfm_pyenv::pack::PackedEnv;
+use lfm_pyenv::requirements::{Requirement, RequirementSet};
+use lfm_pyenv::resolve::resolve;
+use lfm_simcluster::sharedfs::SharedFs;
+use lfm_simcluster::sites::{cori, nd_crc, theta, Site};
+use lfm_simcluster::storage::LocalDisk;
+use serde::{Deserialize, Serialize};
+
+/// Distribution method measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Method {
+    /// Import straight from the shared filesystem on every node.
+    DirectAccess,
+    /// Stream the packed archive to each node, unpack on local disk, import
+    /// locally.
+    LocalUnpack,
+}
+
+impl Method {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::DirectAccess => "direct access",
+            Method::LocalUnpack => "local unpack",
+        }
+    }
+}
+
+/// One point: cumulative time summed over all importing nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistPoint {
+    pub site: String,
+    pub method: Method,
+    pub nodes: u32,
+    /// Sum of per-node load times, seconds (the paper plots cumulative
+    /// time, "many hours" at scale).
+    pub cumulative_secs: f64,
+}
+
+/// Node counts swept.
+pub const NODE_COUNTS: &[u32] = &[1, 4, 16, 64, 128, 256, 512];
+
+/// The TensorFlow environment used throughout Figure 5.
+fn tf_env() -> (PackedEnv, u64, u64) {
+    let index = PackageIndex::builtin();
+    let mut reqs = RequirementSet::new();
+    reqs.add(Requirement::any("tensorflow"));
+    let resolution = resolve(&index, &reqs).expect("tensorflow resolves");
+    let env = Environment::from_resolution("tf", "/envs/tf", &index, &resolution)
+        .expect("tf env builds");
+    let files = env.total_files();
+    let bytes = env.total_bytes();
+    (PackedEnv::pack(&env), files, bytes)
+}
+
+/// Per-node cost at a given scale for one method at one site.
+fn node_cost(site: &Site, method: Method, nodes: u32) -> f64 {
+    let (packed, files, bytes) = tf_env();
+    let mut fs = SharedFs::new(site.fs);
+    match method {
+        Method::DirectAccess => {
+            // Import reads ~15% of the payload but touches every file's
+            // metadata.
+            fs.import_cost(files, (bytes as f64 * 0.15) as u64, nodes as usize)
+        }
+        Method::LocalUnpack => {
+            let disk = LocalDisk::nvme(u64::MAX);
+            let stream = fs.stream_cost(packed.archive_bytes(), nodes as usize);
+            let unpack = disk.unpack_cost(
+                packed.installed_bytes(),
+                packed.file_count(),
+                packed.relocation_ops("/scratch"),
+            );
+            // The subsequent import hits only local disk.
+            let local_import = disk.read_cost((bytes as f64 * 0.15) as u64, files);
+            stream + unpack + local_import
+        }
+    }
+}
+
+/// Run the full sweep over three sites.
+pub fn run() -> Vec<DistPoint> {
+    let mut out = Vec::new();
+    for site in [theta(), cori(), nd_crc()] {
+        for &nodes in NODE_COUNTS {
+            for method in [Method::DirectAccess, Method::LocalUnpack] {
+                let per_node = node_cost(&site, method, nodes);
+                out.push(DistPoint {
+                    site: site.name.to_string(),
+                    method,
+                    nodes,
+                    cumulative_secs: per_node * nodes as f64,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid() {
+        let points = run();
+        assert_eq!(points.len(), 3 * NODE_COUNTS.len() * 2);
+    }
+
+    #[test]
+    fn local_unpack_wins_at_scale_everywhere() {
+        let points = run();
+        for site in ["Theta (ALCF)", "Cori (NERSC)", "ND-CRC"] {
+            let at = |method: Method, nodes: u32| {
+                points
+                    .iter()
+                    .find(|p| p.site == site && p.method == method && p.nodes == nodes)
+                    .unwrap()
+                    .cumulative_secs
+            };
+            let nodes = *NODE_COUNTS.last().unwrap();
+            assert!(
+                at(Method::DirectAccess, nodes) > 3.0 * at(Method::LocalUnpack, nodes),
+                "{site}: direct {} vs unpack {}",
+                at(Method::DirectAccess, nodes),
+                at(Method::LocalUnpack, nodes)
+            );
+        }
+    }
+
+    #[test]
+    fn both_methods_grow_with_nodes() {
+        // "all three sites show an increase in overhead as the number of
+        // nodes increases, irrespective of the distribution method" —
+        // cumulative time grows because every node pays at least its own
+        // share.
+        let points = run();
+        for site in ["Theta (ALCF)", "Cori (NERSC)", "ND-CRC"] {
+            for method in [Method::DirectAccess, Method::LocalUnpack] {
+                let series: Vec<f64> = NODE_COUNTS
+                    .iter()
+                    .map(|&n| {
+                        points
+                            .iter()
+                            .find(|p| p.site == site && p.method == method && p.nodes == n)
+                            .unwrap()
+                            .cumulative_secs
+                    })
+                    .collect();
+                for w in series.windows(2) {
+                    assert!(w[1] > w[0], "{site} {:?} not growing", method);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn direct_at_scale_is_hours_cumulative() {
+        // The paper: "On many nodes, cumulative time is many hours."
+        let points = run();
+        let worst = points
+            .iter()
+            .filter(|p| p.method == Method::DirectAccess && p.nodes == 512)
+            .map(|p| p.cumulative_secs)
+            .fold(0.0, f64::max);
+        assert!(worst > 3600.0, "cumulative direct cost {worst} should reach hours");
+    }
+}

@@ -1,0 +1,85 @@
+//! Figure 8: genomic-analysis completion time on NSCC Aspire. Left panel:
+//! varying genomes analyzed on 14 nodes. Right panel: varying workers at
+//! one genome per worker. The paper notes Auto occasionally *beats* the
+//! hand-configured Oracle because VEP's usage depends on the variant count
+//! — an artifact this reproduction preserves.
+
+use crate::experiments::sweep::{run_point, standard_strategies, SweepPoint};
+use lfm_workloads::genomic;
+
+/// Left panel: vary genome count on 14 workers.
+pub fn by_genomes(genome_counts: &[u64], seed: u64) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &n in genome_counts {
+        let w = genomic::build(n, seed ^ n);
+        let strategies = standard_strategies(&w);
+        out.extend(run_point(
+            n,
+            &w,
+            &strategies,
+            &|s| genomic::master_config(s, seed),
+            14,
+            genomic::worker_spec(),
+        ));
+    }
+    out
+}
+
+/// Right panel: one genome per worker, 1→16 workers.
+pub fn by_workers(worker_counts: &[u32], seed: u64) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &workers in worker_counts {
+        let w = genomic::build(workers as u64, seed ^ workers as u64);
+        let strategies = standard_strategies(&w);
+        out.extend(run_point(
+            workers as u64,
+            &w,
+            &strategies,
+            &|s| genomic::master_config(s, seed),
+            workers,
+            genomic::worker_spec(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::sweep::series;
+
+    #[test]
+    fn managed_strategies_beat_unmanaged() {
+        // 40 genomes on 14 workers: beyond saturation, where management
+        // pays (small runs converge, matching the paper's left edge).
+        let points = by_genomes(&[40], 17);
+        let get = |s: &str| series(&points, s)[0].makespan_secs;
+        assert!(get("Unmanaged") > get("Oracle"));
+        assert!(get("Unmanaged") > get("Auto"));
+    }
+
+    #[test]
+    fn auto_is_competitive_with_oracle() {
+        // VEP's heavy tail costs the Oracle retries too; Auto must land
+        // within a modest factor (and sometimes wins).
+        let points = by_genomes(&[10], 23);
+        let oracle = series(&points, "Oracle")[0].makespan_secs;
+        let auto = series(&points, "Auto")[0].makespan_secs;
+        assert!(auto < 1.6 * oracle, "auto {auto} vs oracle {oracle}");
+    }
+
+    #[test]
+    fn completion_grows_with_genomes() {
+        let points = by_genomes(&[4, 16], 29);
+        let auto = series(&points, "Auto");
+        assert!(auto[1].makespan_secs > auto[0].makespan_secs);
+    }
+
+    #[test]
+    fn one_genome_per_worker_scales_flat_for_oracle() {
+        let points = by_workers(&[2, 8], 31);
+        let oracle = series(&points, "Oracle");
+        // Proportional workload on proportional workers: near-flat.
+        assert!(oracle[1].makespan_secs < 2.0 * oracle[0].makespan_secs);
+    }
+}

@@ -1,0 +1,106 @@
+//! Figure 9: funcX image-classification benchmark — LFM (Auto, Guess)
+//! vs. non-LFM containers (Unmanaged), varying tasks and workers.
+
+use crate::experiments::sweep::SweepPoint;
+use lfm_funcx::container::ActivationTech;
+use lfm_funcx::registry::FunctionRegistry;
+use lfm_funcx::service::{Endpoint, ExecutionMode, FuncXService};
+use lfm_workloads::faas;
+use lfm_workqueue::allocate::Strategy;
+
+/// The three Figure 9 configurations.
+fn modes() -> Vec<(&'static str, ExecutionMode)> {
+    vec![
+        ("Auto", ExecutionMode::Lfm(Strategy::Auto(Default::default()))),
+        ("Guess", ExecutionMode::Lfm(Strategy::Guess(faas::guess()))),
+        ("Unmanaged", ExecutionMode::Container(ActivationTech::Singularity)),
+    ]
+}
+
+fn run_batch(n_tasks: u64, workers: u32, seed: u64) -> Vec<SweepPoint> {
+    let svc = FuncXService::new();
+    let mut reg = FunctionRegistry::new();
+    let id = reg.register("classify_image", faas::source()).expect("source registers");
+    let ep = Endpoint::new("hpc-endpoint", faas::worker_spec(), workers);
+    modes()
+        .into_iter()
+        .map(|(name, mode)| {
+            let report = svc
+                .run_batch(
+                    &reg,
+                    id,
+                    n_tasks,
+                    &ep,
+                    &mode,
+                    faas::resnet_profile(),
+                    faas::image_bytes(),
+                    seed,
+                )
+                .expect("funcx batch runs");
+            assert_eq!(report.abandoned_tasks, 0, "{name}");
+            SweepPoint {
+                x: n_tasks,
+                strategy: name.to_string(),
+                makespan_secs: report.makespan_secs,
+                retry_fraction: report.retry_fraction(),
+                core_efficiency: report.core_efficiency(),
+            }
+        })
+        .collect()
+}
+
+/// Left panel: vary task count on a fixed pool.
+pub fn by_tasks(task_counts: &[u64], workers: u32, seed: u64) -> Vec<SweepPoint> {
+    task_counts.iter().flat_map(|&n| run_batch(n, workers, seed ^ n)).collect()
+}
+
+/// Right panel: vary workers with tasks proportional to workers.
+pub fn by_workers(worker_counts: &[u32], tasks_per_worker: u64, seed: u64) -> Vec<SweepPoint> {
+    worker_counts
+        .iter()
+        .flat_map(|&w| {
+            let mut points = run_batch(tasks_per_worker * w as u64, w, seed ^ w as u64);
+            for p in &mut points {
+                p.x = w as u64;
+            }
+            points
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::sweep::series;
+
+    #[test]
+    fn lfm_auto_near_oracle_beats_unmanaged() {
+        let points = by_tasks(&[64], 4, 3);
+        let get = |s: &str| series(&points, s)[0].makespan_secs;
+        assert!(
+            get("Unmanaged") > 2.0 * get("Auto"),
+            "unmanaged {} vs auto {}",
+            get("Unmanaged"),
+            get("Auto")
+        );
+        assert!(get("Auto") <= get("Guess") * 1.05);
+    }
+
+    #[test]
+    fn three_lines_per_point() {
+        let points = by_workers(&[2, 4], 8, 5);
+        assert_eq!(points.len(), 6);
+        for s in ["Auto", "Guess", "Unmanaged"] {
+            assert_eq!(series(&points, s).len(), 2, "{s}");
+        }
+    }
+
+    #[test]
+    fn makespan_grows_with_tasks() {
+        let points = by_tasks(&[32, 128], 4, 7);
+        for s in ["Auto", "Unmanaged"] {
+            let ser = series(&points, s);
+            assert!(ser[1].makespan_secs > ser[0].makespan_secs, "{s}");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! One module per paper table/figure (see DESIGN.md's experiment index).
+
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod sweep;
+pub mod table1;
+pub mod table2;
+pub mod table3;

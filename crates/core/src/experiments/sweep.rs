@@ -1,0 +1,104 @@
+//! Shared machinery for the Figure 6–9 strategy sweeps.
+
+use lfm_simcluster::node::NodeSpec;
+use lfm_workloads::common::Workload;
+use lfm_workqueue::allocate::Strategy;
+use lfm_workqueue::master::{run_workload, MasterConfig};
+use serde::{Deserialize, Serialize};
+
+/// One plotted point: x-value (tasks or workers), strategy, completion time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Meaning depends on the sweep: task count or worker count.
+    pub x: u64,
+    pub strategy: String,
+    pub makespan_secs: f64,
+    pub retry_fraction: f64,
+    pub core_efficiency: f64,
+}
+
+/// The standard four-strategy set for a workload (Figures 6–8).
+pub fn standard_strategies(w: &Workload) -> Vec<Strategy> {
+    vec![
+        w.oracle_strategy(),
+        Strategy::Auto(Default::default()),
+        w.guess_strategy(),
+        Strategy::Unmanaged,
+    ]
+}
+
+/// Run every strategy over one workload instance.
+pub fn run_point(
+    x: u64,
+    workload: &Workload,
+    strategies: &[Strategy],
+    config_for: &dyn Fn(Strategy) -> MasterConfig,
+    workers: u32,
+    spec: NodeSpec,
+) -> Vec<SweepPoint> {
+    strategies
+        .iter()
+        .map(|s| {
+            let cfg = config_for(s.clone());
+            let report = run_workload(&cfg, workload.tasks.clone(), workers, spec);
+            assert_eq!(
+                report.abandoned_tasks, 0,
+                "{}: workload must complete (x={x})",
+                s.name()
+            );
+            SweepPoint {
+                x,
+                strategy: s.name().to_string(),
+                makespan_secs: report.makespan_secs,
+                retry_fraction: report.retry_fraction(),
+                core_efficiency: report.core_efficiency(),
+            }
+        })
+        .collect()
+}
+
+/// Fetch one strategy's series from a point cloud, ordered by x.
+pub fn series<'a>(points: &'a [SweepPoint], strategy: &str) -> Vec<&'a SweepPoint> {
+    let mut s: Vec<&SweepPoint> =
+        points.iter().filter(|p| p.strategy == strategy).collect();
+    s.sort_by_key(|p| p.x);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfm_workloads::hep;
+
+    #[test]
+    fn run_point_covers_all_strategies() {
+        let w = hep::build(12, 1);
+        let strategies = standard_strategies(&w);
+        let points = run_point(
+            12,
+            &w,
+            &strategies,
+            &|s| MasterConfig::new(s).with_seed(1),
+            4,
+            hep::worker_spec(8),
+        );
+        assert_eq!(points.len(), 4);
+        let names: Vec<_> = points.iter().map(|p| p.strategy.as_str()).collect();
+        assert_eq!(names, vec!["Oracle", "Auto", "Guess", "Unmanaged"]);
+        assert!(points.iter().all(|p| p.makespan_secs > 0.0));
+    }
+
+    #[test]
+    fn series_sorted_by_x() {
+        let mk = |x, s: &str| SweepPoint {
+            x,
+            strategy: s.into(),
+            makespan_secs: 1.0,
+            retry_fraction: 0.0,
+            core_efficiency: 1.0,
+        };
+        let points = vec![mk(30, "Auto"), mk(10, "Auto"), mk(20, "Oracle")];
+        let s = series(&points, "Auto");
+        assert_eq!(s.iter().map(|p| p.x).collect::<Vec<_>>(), vec![10, 30]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Table I: time to run "Hello World" under Conda vs. the site's container
+//! technology (Singularity on Theta, Shifter on Cori, Docker on EC2).
+
+use lfm_funcx::container::{measure_activation, ActivationMeasurement, ActivationTech};
+use serde::{Deserialize, Serialize};
+
+/// One table row: a site with both its measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivationRow {
+    pub site: String,
+    pub conda: ActivationMeasurement,
+    pub container: ActivationMeasurement,
+}
+
+/// The (site, container tech) pairs the paper measured.
+pub const PAIRS: &[(&str, ActivationTech)] = &[
+    ("Theta (ALCF)", ActivationTech::Singularity),
+    ("Cori (NERSC)", ActivationTech::Shifter),
+    ("AWS EC2", ActivationTech::Docker),
+];
+
+/// Run the benchmark: `trials` hello-world executions per cell.
+pub fn run(trials: u32, seed: u64) -> Vec<ActivationRow> {
+    PAIRS
+        .iter()
+        .enumerate()
+        .map(|(i, (site, tech))| ActivationRow {
+            site: site.to_string(),
+            conda: measure_activation(ActivationTech::Conda, site, trials, seed + i as u64),
+            container: measure_activation(*tech, site, trials, seed + 100 + i as u64),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_sites_measured() {
+        let rows = run(30, 7);
+        assert_eq!(rows.len(), 3);
+        let techs: Vec<_> = rows.iter().map(|r| r.container.tech).collect();
+        assert!(techs.contains(&ActivationTech::Singularity));
+        assert!(techs.contains(&ActivationTech::Shifter));
+        assert!(techs.contains(&ActivationTech::Docker));
+    }
+
+    #[test]
+    fn conda_significantly_faster_everywhere() {
+        for row in run(50, 11) {
+            assert!(
+                row.container.mean_secs > 3.0 * row.conda.mean_secs,
+                "{}: container {} vs conda {}",
+                row.site,
+                row.container.mean_secs,
+                row.conda.mean_secs
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = run(20, 3);
+        let b = run(20, 3);
+        assert_eq!(a, b);
+    }
+}

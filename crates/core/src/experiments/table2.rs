@@ -1,0 +1,156 @@
+//! Table II: per-package costs to analyze, create, and run environments,
+//! plus package size and dependency count.
+//!
+//! * **analyze** — wall time of *our actual static analyzer* over a
+//!   generated source importing the package (measured, not modelled);
+//! * **create** — solver work (measured) plus simulated download of the
+//!   resolved closure;
+//! * **run** — a hello-world import of the environment via the shared
+//!   filesystem (the conventional path Table II timed);
+//! * **size** — installed closure bytes; **deps** — distributions in the
+//!   transitive closure.
+
+use lfm_pyenv::index::PackageIndex;
+use lfm_pyenv::requirements::{Requirement, RequirementSet};
+use lfm_pyenv::resolve::resolve_with_stats;
+use lfm_pyenv::analyze::analyze_source;
+use lfm_pyenv::source::SourceBuilder;
+use lfm_simcluster::sharedfs::{SharedFs, SharedFsParams};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The Table II package list: interpreter, NumPy, five high-download
+/// SCIENTIFIC/ENGINEERING PyPI packages, and the three applications.
+pub const PACKAGES: &[&str] = &[
+    "python",
+    "numpy",
+    "scipy",
+    "pandas",
+    "scikit-learn",
+    "matplotlib",
+    "sympy",
+    "tensorflow",
+    "mxnet",
+    "hep-coffea-app",
+    "drug-screen-app",
+    "gdc-genomic-app",
+];
+
+/// One Table II row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackagingRow {
+    pub package: String,
+    /// Static-analysis wall time, seconds (real measurement of our parser
+    /// + analyzer on a representative source).
+    pub analyze_secs: f64,
+    /// Environment creation: solve + download, seconds.
+    pub create_secs: f64,
+    /// Hello-world run via shared filesystem, seconds.
+    pub run_secs: f64,
+    /// Installed closure size, bytes.
+    pub size_bytes: u64,
+    /// Transitive dependency count.
+    pub dep_count: usize,
+}
+
+/// A representative source importing the package (module-name aware).
+fn source_for(index: &PackageIndex, package: &str) -> String {
+    // The canonical import name is the first module the newest release
+    // provides; packages without modules (pure tools) import via subprocess.
+    let module = index
+        .latest(package)
+        .and_then(|r| r.modules.first().cloned())
+        .unwrap_or_else(|| "subprocess".to_string());
+    SourceBuilder::new()
+        .import(&module)
+        .parsl_app("hello", &["x"], &[&module], 8, "x")
+        .build()
+}
+
+/// Run the packaging-cost benchmark.
+pub fn run() -> Vec<PackagingRow> {
+    let index = PackageIndex::builtin();
+    let net_bw = 100e6; // package-channel download bandwidth, bytes/sec
+    PACKAGES
+        .iter()
+        .map(|package| {
+            // Analyze: measured on the real analyzer.
+            let source = source_for(&index, package);
+            let started = Instant::now();
+            let analysis = analyze_source(&source).expect("generated source parses");
+            let analyze_secs = started.elapsed().as_secs_f64();
+            let _ = analysis;
+
+            // Create: measured solve + simulated download.
+            let mut reqs = RequirementSet::new();
+            reqs.add(Requirement::any(*package));
+            let started = Instant::now();
+            let (resolution, _stats) =
+                resolve_with_stats(&index, &reqs).expect("table-2 packages resolve");
+            let solve_secs = started.elapsed().as_secs_f64();
+            let size_bytes = resolution.total_bytes(&index).expect("closure exists");
+            // Conda downloads compressed artifacts (~2.5:1) then extracts.
+            let download_secs = (size_bytes as f64 / 2.5) / net_bw;
+            let extract_secs = size_bytes as f64 / 400e6;
+            let create_secs = solve_secs + download_secs + extract_secs;
+
+            // Run: hello world importing from the shared FS, single node.
+            let files = resolution.total_files(&index).expect("closure exists");
+            let mut fs = SharedFs::new(SharedFsParams::lustre_leadership());
+            let run_secs = 0.15 + fs.import_cost(files, (size_bytes as f64 * 0.15) as u64, 1);
+
+            PackagingRow {
+                package: package.to_string(),
+                analyze_secs,
+                create_secs,
+                run_secs,
+                size_bytes,
+                dep_count: resolution.len(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rows_present() {
+        let rows = run();
+        assert_eq!(rows.len(), PACKAGES.len());
+        assert!(rows.iter().all(|r| r.size_bytes > 0 && r.dep_count >= 1));
+    }
+
+    #[test]
+    fn ml_frameworks_cost_most_among_libraries() {
+        let rows = run();
+        let get = |p: &str| rows.iter().find(|r| r.package == p).unwrap().clone();
+        let tf = get("tensorflow");
+        let np = get("numpy");
+        let py = get("python");
+        assert!(tf.create_secs > np.create_secs);
+        assert!(tf.run_secs > np.run_secs);
+        assert!(tf.size_bytes > np.size_bytes);
+        assert!(tf.dep_count > np.dep_count);
+        assert!(np.dep_count > py.dep_count);
+    }
+
+    #[test]
+    fn applications_have_many_dependencies() {
+        let rows = run();
+        for app in ["hep-coffea-app", "drug-screen-app", "gdc-genomic-app"] {
+            let row = rows.iter().find(|r| r.package == app).unwrap();
+            assert!(row.dep_count >= 15, "{app} deps {}", row.dep_count);
+        }
+    }
+
+    #[test]
+    fn analyze_is_fast_and_nonzero() {
+        // The analyzer is "lightweight": microseconds to low milliseconds.
+        for row in run() {
+            assert!(row.analyze_secs > 0.0);
+            assert!(row.analyze_secs < 0.5, "{}: {}", row.package, row.analyze_secs);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Table III: the evaluation-site inventory.
+
+use lfm_simcluster::sites::{all_sites, Site};
+
+/// The catalog as rendered rows (name, scheduler, filesystem, container
+/// tech, node shape, max nodes).
+pub fn rows() -> Vec<Vec<String>> {
+    all_sites().iter().map(row).collect()
+}
+
+fn row(s: &Site) -> Vec<String> {
+    vec![
+        s.name.to_string(),
+        s.scheduler.to_string(),
+        s.filesystem.to_string(),
+        s.container_tech.to_string(),
+        format!(
+            "{}c / {} GB",
+            s.node.resources.cores,
+            s.node.resources.memory_mb / 1024
+        ),
+        s.max_nodes.to_string(),
+    ]
+}
+
+/// Header for the rendered table.
+pub const HEADERS: &[&str] =
+    &["site", "scheduler", "filesystem", "containers", "node", "max nodes"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_sites_six_columns() {
+        let r = rows();
+        assert_eq!(r.len(), 5);
+        assert!(r.iter().all(|row| row.len() == HEADERS.len()));
+    }
+
+    #[test]
+    fn known_entries() {
+        let r = rows();
+        let theta = r.iter().find(|row| row[0].contains("Theta")).unwrap();
+        assert_eq!(theta[2], "Lustre");
+        assert_eq!(theta[3], "Singularity");
+        let nscc = r.iter().find(|row| row[0].contains("NSCC")).unwrap();
+        assert!(nscc[4].contains("24c"));
+    }
+}

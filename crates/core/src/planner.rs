@@ -1,0 +1,115 @@
+//! Distribution planning: which environment-distribution method to use for
+//! a given deployment (§V-D weighs three methods; this module decides).
+
+use lfm_pyenv::pack::PackedEnv;
+use lfm_simcluster::sharedfs::SharedFs;
+use lfm_simcluster::sites::Site;
+use lfm_simcluster::storage::LocalDisk;
+use lfm_workqueue::master::DistMode;
+use serde::{Deserialize, Serialize};
+
+/// The planner's estimate for one option.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanEstimate {
+    pub mode: DistMode,
+    /// Estimated total environment-loading cost over the run, seconds.
+    pub total_secs: f64,
+}
+
+/// Estimate total environment-loading cost for both methods and pick the
+/// cheaper. `tasks_per_worker` matters because direct access pays per task
+/// while packed transfer pays once per worker.
+pub fn plan(
+    site: &Site,
+    packed: &PackedEnv,
+    env_files: u64,
+    env_bytes: u64,
+    workers: u32,
+    tasks_per_worker: u64,
+) -> (DistMode, Vec<PlanEstimate>) {
+    let n = workers as usize;
+    // Direct: every task on every worker re-imports.
+    let mut fs = SharedFs::new(site.fs);
+    let per_import = fs.import_cost(env_files, (env_bytes as f64 * 0.15) as u64, n);
+    let direct_total = per_import * workers as f64 * tasks_per_worker as f64;
+    // Packed: one stream + unpack per worker, then local imports.
+    let mut fs2 = SharedFs::new(site.fs);
+    let disk = LocalDisk::nvme(u64::MAX);
+    let stream = fs2.stream_cost(packed.archive_bytes(), n);
+    let unpack = disk.unpack_cost(
+        packed.installed_bytes(),
+        packed.file_count(),
+        packed.relocation_ops("/scratch"),
+    );
+    let local = disk.read_cost((env_bytes as f64 * 0.15) as u64, env_files);
+    let packed_total =
+        (stream + unpack) * workers as f64 + local * workers as f64 * tasks_per_worker as f64;
+
+    let estimates = vec![
+        PlanEstimate { mode: DistMode::SharedFsDirect, total_secs: direct_total },
+        PlanEstimate { mode: DistMode::PackedTransfer, total_secs: packed_total },
+    ];
+    let best = estimates
+        .iter()
+        .min_by(|a, b| a.total_secs.total_cmp(&b.total_secs))
+        .expect("two candidates")
+        .mode;
+    (best, estimates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfm_pyenv::environment::Environment;
+    use lfm_pyenv::index::PackageIndex;
+    use lfm_pyenv::requirements::{Requirement, RequirementSet};
+    use lfm_pyenv::resolve::resolve;
+    use lfm_simcluster::sites::theta;
+
+    fn tf_packed() -> (PackedEnv, u64, u64) {
+        let index = PackageIndex::builtin();
+        let mut reqs = RequirementSet::new();
+        reqs.add(Requirement::any("tensorflow"));
+        let r = resolve(&index, &reqs).unwrap();
+        let env = Environment::from_resolution("tf", "/envs/tf", &index, &r).unwrap();
+        (PackedEnv::pack(&env), env.total_files(), env.total_bytes())
+    }
+
+    #[test]
+    fn packed_wins_for_many_tasks_at_scale() {
+        let (packed, files, bytes) = tf_packed();
+        let (best, _) = plan(&theta(), &packed, files, bytes, 256, 50);
+        assert_eq!(best, DistMode::PackedTransfer);
+    }
+
+    #[test]
+    fn direct_can_win_for_a_single_tiny_run() {
+        // One worker, one task: paying the pack/unpack machinery for a
+        // single import is not worth it on an idle filesystem.
+        let (packed, files, bytes) = tf_packed();
+        let (_, estimates) = plan(&theta(), &packed, files, bytes, 1, 1);
+        let direct = estimates
+            .iter()
+            .find(|e| e.mode == DistMode::SharedFsDirect)
+            .unwrap()
+            .total_secs;
+        let packed_cost = estimates
+            .iter()
+            .find(|e| e.mode == DistMode::PackedTransfer)
+            .unwrap()
+            .total_secs;
+        // Either may win depending on unpack cost vs. metadata cost, but
+        // the two must at least be the same order of magnitude here —
+        // the packed advantage should *emerge from scale*, not be an
+        // artifact of the single-node case.
+        assert!(direct < 10.0 * packed_cost);
+    }
+
+    #[test]
+    fn estimates_cover_both_modes() {
+        let (packed, files, bytes) = tf_packed();
+        let (_, estimates) = plan(&theta(), &packed, files, bytes, 8, 4);
+        assert_eq!(estimates.len(), 2);
+        assert!(estimates.iter().all(|e| e.total_secs > 0.0));
+    }
+}

@@ -1,0 +1,103 @@
+//! Fixed-width table rendering for experiment binaries.
+
+/// Render rows as an aligned text table with a header.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let headers_owned: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&headers_owned, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format seconds compactly (ms under 1 s, 1 decimal above).
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1.0 {
+        format!("{:.0} ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{s:.1} s")
+    } else if s < 7200.0 {
+        format!("{:.1} min", s / 60.0)
+    } else {
+        format!("{:.1} h", s / 3600.0)
+    }
+}
+
+/// Format bytes in binary units.
+pub fn fmt_bytes(b: u64) -> String {
+    const KB: f64 = 1024.0;
+    let b = b as f64;
+    if b < KB {
+        format!("{b:.0} B")
+    } else if b < KB * KB {
+        format!("{:.1} KB", b / KB)
+    } else if b < KB * KB * KB {
+        format!("{:.1} MB", b / (KB * KB))
+    } else {
+        format!("{:.2} GB", b / (KB * KB * KB))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer-name"));
+        // Value column aligned.
+        let pos0 = lines[0].find("value").unwrap();
+        let pos3 = lines[3].find("22").unwrap();
+        assert_eq!(pos0, pos3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_panic() {
+        render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn humanized_units() {
+        assert_eq!(fmt_secs(0.5), "500 ms");
+        assert_eq!(fmt_secs(65.0), "65.0 s");
+        assert_eq!(fmt_secs(600.0), "10.0 min");
+        assert_eq!(fmt_secs(7300.0), "2.0 h");
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(240 << 20), "240.0 MB");
+        assert_eq!(fmt_bytes(3 << 30), "3.00 GB");
+    }
+}

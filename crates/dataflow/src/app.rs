@@ -1,0 +1,194 @@
+//! Apps: decorated functions the dataflow kernel can invoke.
+//!
+//! An app pairs an optional mini-Python source (what the static dependency
+//! analyzer inspects, §V-B) with a native implementation (what actually
+//! executes in this Rust reproduction). Parsl's `@python_app` decorator
+//! corresponds to registering an [`App`] with the kernel.
+
+use lfm_pyenv::analyze::{analyze_source, Analysis};
+use lfm_pyenv::error::Result as PyResult;
+use lfm_pyenv::interp::Interp;
+use lfm_pyenv::pickle::PyValue;
+use std::fmt;
+use std::sync::Arc;
+
+/// The native implementation of an app.
+pub type NativeFn = dyn Fn(&[PyValue]) -> Result<PyValue, String> + Send + Sync;
+
+/// A registered app.
+#[derive(Clone)]
+pub struct App {
+    pub name: String,
+    /// Mini-Python source for dependency analysis (optional — pure-native
+    /// apps have no Python-level dependencies).
+    pub source: Option<String>,
+    imp: Arc<NativeFn>,
+}
+
+impl fmt::Debug for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("App")
+            .field("name", &self.name)
+            .field("has_source", &self.source.is_some())
+            .finish()
+    }
+}
+
+impl App {
+    /// A pure-native app.
+    pub fn native(
+        name: impl Into<String>,
+        imp: impl Fn(&[PyValue]) -> Result<PyValue, String> + Send + Sync + 'static,
+    ) -> Self {
+        App { name: name.into(), source: None, imp: Arc::new(imp) }
+    }
+
+    /// An app with mini-Python source attached for dependency analysis.
+    pub fn python(
+        name: impl Into<String>,
+        source: impl Into<String>,
+        imp: impl Fn(&[PyValue]) -> Result<PyValue, String> + Send + Sync + 'static,
+    ) -> Self {
+        App { name: name.into(), source: Some(source.into()), imp: Arc::new(imp) }
+    }
+
+    /// An app whose implementation IS its mini-Python source, executed by
+    /// the interpreter: the function named `name` in `source` is called
+    /// with the invocation's arguments. `setup` registers the native
+    /// modules the source imports (numpy-like kernels etc.) on each fresh
+    /// interpreter — invocations are isolated, like the paper's forked
+    /// interpreter processes.
+    pub fn interpreted(
+        name: impl Into<String>,
+        source: impl Into<String>,
+        setup: impl Fn(&mut Interp) + Send + Sync + 'static,
+    ) -> Self {
+        let name = name.into();
+        let source = source.into();
+        let entry = name.clone();
+        let src_for_imp = source.clone();
+        App {
+            name,
+            source: Some(source),
+            imp: Arc::new(move |args: &[PyValue]| {
+                let mut interp = Interp::new();
+                setup(&mut interp);
+                interp.load_source(&src_for_imp).map_err(|e| e.to_string())?;
+                interp.call_function(&entry, args).map_err(|e| e.to_string())
+            }),
+        }
+    }
+
+    /// Invoke the native implementation.
+    pub fn call(&self, args: &[PyValue]) -> Result<PyValue, String> {
+        (self.imp)(args)
+    }
+
+    /// Run static dependency analysis over the app's source. Pure-native
+    /// apps analyze as empty.
+    pub fn analyze(&self) -> PyResult<Analysis> {
+        match &self.source {
+            Some(src) => analyze_source(src),
+            None => Ok(Analysis::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_app_calls_through() {
+        let app = App::native("double", |args| {
+            let x = args[0].as_int().ok_or("expected int")?;
+            Ok(PyValue::Int(x * 2))
+        });
+        assert_eq!(app.call(&[PyValue::Int(21)]).unwrap(), PyValue::Int(42));
+        assert_eq!(app.call(&[PyValue::Str("x".into())]).unwrap_err(), "expected int");
+        assert!(app.analyze().unwrap().top_level_modules().is_empty());
+    }
+
+    #[test]
+    fn python_app_analyzes_source() {
+        let app = App::python(
+            "featurize",
+            "@python_app\ndef featurize(s):\n    import numpy\n    from rdkit import Chem\n    return 1\n",
+            |_| Ok(PyValue::None),
+        );
+        let a = app.analyze().unwrap();
+        assert!(a.top_level_modules().contains("numpy"));
+        assert!(a.top_level_modules().contains("rdkit"));
+    }
+
+    #[test]
+    fn bad_source_surfaces_error() {
+        let app = App::python("broken", "def f(:\n", |_| Ok(PyValue::None));
+        assert!(app.analyze().is_err());
+    }
+
+    #[test]
+    fn interpreted_app_runs_its_source() {
+        let app = App::interpreted(
+            "triple",
+            "def triple(x):\n    return x * 3\n",
+            |_| {},
+        );
+        assert_eq!(app.call(&[PyValue::Int(7)]).unwrap(), PyValue::Int(21));
+        // And the same source feeds static analysis.
+        assert!(app.analyze().unwrap().top_level_modules().is_empty());
+    }
+
+    #[test]
+    fn interpreted_app_with_registered_module() {
+        use lfm_pyenv::interp::builtins::iterate;
+        use lfm_pyenv::interp::value::Value;
+        use lfm_pyenv::interp::ModuleBuilder;
+        let app = App::interpreted(
+            "mean_of",
+            "import numpy as np\n\ndef mean_of(xs):\n    return np.mean(xs)\n",
+            |interp| {
+                interp.register_module(ModuleBuilder::new("numpy").function(
+                    "mean",
+                    |args| {
+                        let xs = iterate(&args[0])?;
+                        let nums: Vec<f64> =
+                            xs.iter().filter_map(Value::as_number).collect();
+                        Ok(Value::Float(nums.iter().sum::<f64>() / nums.len().max(1) as f64))
+                    },
+                ));
+            },
+        );
+        let out = app
+            .call(&[PyValue::List(vec![PyValue::Int(2), PyValue::Int(4)])])
+            .unwrap();
+        assert_eq!(out, PyValue::Float(3.0));
+        // Analysis sees the numpy import.
+        assert!(app.analyze().unwrap().top_level_modules().contains("numpy"));
+    }
+
+    #[test]
+    fn interpreted_app_exception_becomes_task_error() {
+        let app = App::interpreted(
+            "boom",
+            "def boom():\n    raise ValueError('bad molecule')\n",
+            |_| {},
+        );
+        let err = app.call(&[]).unwrap_err();
+        assert!(err.contains("ValueError"), "{err}");
+        assert!(err.contains("bad molecule"), "{err}");
+    }
+
+    #[test]
+    fn interpreted_invocations_are_isolated() {
+        // Global mutation in one call must not leak into the next: each
+        // invocation gets a fresh interpreter (fork semantics).
+        let app = App::interpreted(
+            "bump",
+            "count = 0\n\ndef bump():\n    global count\n    count = count + 1\n    return count\n",
+            |_| {},
+        );
+        assert_eq!(app.call(&[]).unwrap(), PyValue::Int(1));
+        assert_eq!(app.call(&[]).unwrap(), PyValue::Int(1));
+    }
+}

@@ -1,0 +1,461 @@
+//! The DataFlowKernel: dynamic dependency tracking + a thread-pool executor.
+//!
+//! Mirrors Parsl's execution model (§III-A): apps are submitted with
+//! arguments that may be futures from earlier submissions; the kernel builds
+//! the dependency DAG dynamically by tracking those futures, dispatches
+//! tasks whose dependencies have resolved, and resolves each task's own
+//! future with the result (or error) when it finishes.
+
+use crate::app::App;
+use crate::future::{AppFuture, TaskError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lfm_pyenv::pickle::PyValue;
+use lfm_simcluster::metrics::Summary;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// An argument to an app invocation: a concrete value or a future from an
+/// earlier invocation.
+#[derive(Debug, Clone)]
+pub enum Arg {
+    Value(PyValue),
+    Future(AppFuture),
+}
+
+impl From<PyValue> for Arg {
+    fn from(v: PyValue) -> Self {
+        Arg::Value(v)
+    }
+}
+
+impl From<&AppFuture> for Arg {
+    fn from(f: &AppFuture) -> Self {
+        Arg::Future(f.clone())
+    }
+}
+
+/// Kernel-wide progress counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DagStats {
+    pub submitted: u64,
+    pub completed: u64,
+    pub failed: u64,
+}
+
+struct WaitingTask {
+    app: App,
+    args: Vec<Arg>,
+    remaining: usize,
+    future: AppFuture,
+}
+
+struct WorkItem {
+    app: App,
+    args: Vec<PyValue>,
+    future: AppFuture,
+    task_id: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DoneState {
+    Succeeded,
+    Failed,
+}
+
+#[derive(Default)]
+struct KernelState {
+    next_id: u64,
+    waiting: HashMap<u64, WaitingTask>,
+    dependents: HashMap<u64, Vec<u64>>,
+    done: HashMap<u64, DoneState>,
+    stats: DagStats,
+    app_wall: BTreeMap<String, Summary>,
+}
+
+struct Inner {
+    state: Mutex<KernelState>,
+    tx: Sender<WorkItem>,
+}
+
+/// The dataflow kernel. Dropping it shuts the pool down (pending tasks
+/// resolve with [`TaskError::ExecutorShutdown`]).
+pub struct DataFlowKernel {
+    inner: Arc<Inner>,
+    apps: Mutex<HashMap<String, App>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DataFlowKernel {
+    /// Start a kernel with `workers` executor threads.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker thread");
+        let (tx, rx) = unbounded::<WorkItem>();
+        let inner = Arc::new(Inner { state: Mutex::new(KernelState::default()), tx });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let rx: Receiver<WorkItem> = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("lfm-dfk-{i}"))
+                    .spawn(move || worker_loop(inner, rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        DataFlowKernel { inner, apps: Mutex::new(HashMap::new()), workers: handles }
+    }
+
+    /// Register an app (the `@python_app` decoration step).
+    pub fn register(&self, app: App) {
+        self.apps.lock().insert(app.name.clone(), app);
+    }
+
+    /// Look up a registered app.
+    pub fn app(&self, name: &str) -> Option<App> {
+        self.apps.lock().get(name).cloned()
+    }
+
+    /// Submit an invocation of a registered app. Panics on unknown app
+    /// names — that is a programming error, like calling an undefined
+    /// function.
+    pub fn submit(&self, app_name: &str, args: Vec<Arg>) -> AppFuture {
+        let app = self
+            .app(app_name)
+            .unwrap_or_else(|| panic!("app {app_name:?} is not registered"));
+        self.submit_app(app, args)
+    }
+
+    /// Submit with an explicit [`App`] value.
+    pub fn submit_app(&self, app: App, args: Vec<Arg>) -> AppFuture {
+        let mut state = self.inner.state.lock();
+        let tid = state.next_id;
+        state.next_id += 1;
+        state.stats.submitted += 1;
+        let future = AppFuture::new(tid);
+
+        // Register dependencies atomically with resolution (both paths hold
+        // the state lock), so a dep finishing mid-submit cannot be missed.
+        let mut remaining = 0usize;
+        let mut failed_dep: Option<u64> = None;
+        for a in &args {
+            if let Arg::Future(f) = a {
+                if f.task_id == u64::MAX {
+                    continue; // constant `ready` future
+                }
+                match state.done.get(&f.task_id) {
+                    Some(DoneState::Succeeded) => {}
+                    Some(DoneState::Failed) => failed_dep = Some(f.task_id),
+                    None => {
+                        remaining += 1;
+                        state.dependents.entry(f.task_id).or_default().push(tid);
+                    }
+                }
+            }
+        }
+
+        if let Some(dep) = failed_dep {
+            state.stats.failed += 1;
+            state.done.insert(tid, DoneState::Failed);
+            drop(state);
+            future.resolve(Err(TaskError::DependencyFailed(format!("task {dep} failed"))));
+            return future;
+        }
+
+        let task = WaitingTask { app, args, remaining, future: future.clone() };
+        if remaining == 0 {
+            dispatch(&self.inner, &mut state, tid, task);
+        } else {
+            state.waiting.insert(tid, task);
+        }
+        future
+    }
+
+    /// Current progress counters.
+    pub fn stats(&self) -> DagStats {
+        self.inner.state.lock().stats
+    }
+
+    /// Wall-time summaries per app name.
+    pub fn app_wall_times(&self) -> BTreeMap<String, Summary> {
+        self.inner.state.lock().app_wall.clone()
+    }
+
+    /// Block until every submitted task has finished.
+    pub fn wait_all(&self) {
+        loop {
+            {
+                let s = self.inner.state.lock();
+                if s.stats.completed + s.stats.failed >= s.stats.submitted {
+                    return;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+}
+
+impl Drop for DataFlowKernel {
+    fn drop(&mut self) {
+        // Fail anything still waiting on dependencies — its deps will never
+        // dispatch now. (Tasks already queued on the channel still run and
+        // resolve normally before the pool drains.)
+        let leftovers: Vec<AppFuture> = {
+            let mut state = self.inner.state.lock();
+            state.waiting.drain().map(|(_, t)| t.future).collect()
+        };
+        for f in leftovers {
+            if !f.is_done() {
+                f.resolve(Err(TaskError::ExecutorShutdown));
+            }
+        }
+        // One shutdown sentinel per worker: each worker exits after
+        // consuming exactly one, so queued work ahead of the sentinels
+        // still completes.
+        for _ in 0..self.workers.len() {
+            let _ = self.inner.tx.send(WorkItem {
+                app: App::native("__shutdown__", |_| Ok(PyValue::None)),
+                args: vec![],
+                future: AppFuture::new(u64::MAX - 1),
+                task_id: u64::MAX - 1,
+            });
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Resolve future-args to concrete values (all deps succeeded by contract).
+fn resolve_args(args: Vec<Arg>) -> Vec<PyValue> {
+    args.into_iter()
+        .map(|a| match a {
+            Arg::Value(v) => v,
+            Arg::Future(f) => f
+                .try_result()
+                .expect("dependency resolved before dispatch")
+                .expect("failed deps never reach dispatch"),
+        })
+        .collect()
+}
+
+fn dispatch(inner: &Arc<Inner>, state: &mut KernelState, tid: u64, task: WaitingTask) {
+    let _ = state; // lock witness: dispatch must be called under the state lock
+    let item = WorkItem {
+        app: task.app,
+        args: resolve_args(task.args),
+        future: task.future,
+        task_id: tid,
+    };
+    inner.tx.send(item).expect("worker pool alive while kernel exists");
+}
+
+fn worker_loop(inner: Arc<Inner>, rx: Receiver<WorkItem>) {
+    while let Ok(item) = rx.recv() {
+        if item.task_id == u64::MAX - 1 {
+            return; // shutdown sentinel
+        }
+        let started = Instant::now();
+        let result = item.app.call(&item.args).map_err(TaskError::Exception);
+        let wall = started.elapsed().as_secs_f64();
+        complete(&inner, item, result, wall);
+    }
+}
+
+fn complete(
+    inner: &Arc<Inner>,
+    item: WorkItem,
+    result: Result<PyValue, TaskError>,
+    wall: f64,
+) {
+    let mut state = inner.state.lock();
+    let succeeded = result.is_ok();
+    state.done.insert(
+        item.task_id,
+        if succeeded { DoneState::Succeeded } else { DoneState::Failed },
+    );
+    if succeeded {
+        state.stats.completed += 1;
+    } else {
+        state.stats.failed += 1;
+    }
+    state.app_wall.entry(item.app.name.clone()).or_default().record(wall);
+    item.future.resolve(result);
+
+    // Wake dependents. Failures cascade.
+    let mut ready: Vec<(u64, WaitingTask)> = Vec::new();
+    if let Some(deps) = state.dependents.remove(&item.task_id) {
+        for dep_tid in deps {
+            if !succeeded {
+                if let Some(t) = state.waiting.remove(&dep_tid) {
+                    state.stats.failed += 1;
+                    state.done.insert(dep_tid, DoneState::Failed);
+                    t.future.resolve(Err(TaskError::DependencyFailed(format!(
+                        "task {} failed",
+                        item.task_id
+                    ))));
+                    // Its own dependents cascade when they check `done`;
+                    // but tasks already waiting on it need explicit failure:
+                    let mut stack = vec![dep_tid];
+                    while let Some(failed) = stack.pop() {
+                        if let Some(grand) = state.dependents.remove(&failed) {
+                            for g in grand {
+                                if let Some(gt) = state.waiting.remove(&g) {
+                                    state.stats.failed += 1;
+                                    state.done.insert(g, DoneState::Failed);
+                                    gt.future.resolve(Err(TaskError::DependencyFailed(
+                                        format!("task {failed} failed"),
+                                    )));
+                                    stack.push(g);
+                                }
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            if let Some(t) = state.waiting.get_mut(&dep_tid) {
+                t.remaining -= 1;
+                if t.remaining == 0 {
+                    let t = state.waiting.remove(&dep_tid).expect("present");
+                    ready.push((dep_tid, t));
+                }
+            }
+        }
+    }
+    for (tid, t) in ready {
+        dispatch(inner, &mut state, tid, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn add_app() -> App {
+        App::native("add", |args| {
+            let a = args[0].as_int().ok_or("arg0 not int")?;
+            let b = args[1].as_int().ok_or("arg1 not int")?;
+            Ok(PyValue::Int(a + b))
+        })
+    }
+
+    #[test]
+    fn single_task_runs() {
+        let dfk = DataFlowKernel::new(2);
+        dfk.register(add_app());
+        let f = dfk.submit("add", vec![PyValue::Int(1).into(), PyValue::Int(2).into()]);
+        assert_eq!(f.result().unwrap(), PyValue::Int(3));
+        let s = dfk.stats();
+        assert_eq!((s.submitted, s.completed, s.failed), (1, 1, 0));
+    }
+
+    #[test]
+    fn chained_futures_form_dag() {
+        let dfk = DataFlowKernel::new(4);
+        dfk.register(add_app());
+        let a = dfk.submit("add", vec![PyValue::Int(1).into(), PyValue::Int(2).into()]);
+        let b = dfk.submit("add", vec![Arg::from(&a), PyValue::Int(10).into()]);
+        let c = dfk.submit("add", vec![Arg::from(&a), Arg::from(&b)]);
+        assert_eq!(c.result().unwrap(), PyValue::Int(16)); // 3 + 13
+    }
+
+    #[test]
+    fn wide_fanout_completes() {
+        let dfk = DataFlowKernel::new(8);
+        dfk.register(add_app());
+        let futures: Vec<_> = (0..200)
+            .map(|i| dfk.submit("add", vec![PyValue::Int(i).into(), PyValue::Int(i).into()]))
+            .collect();
+        for (i, f) in futures.iter().enumerate() {
+            assert_eq!(f.result().unwrap(), PyValue::Int(2 * i as i64));
+        }
+        dfk.wait_all();
+        assert_eq!(dfk.stats().completed, 200);
+    }
+
+    #[test]
+    fn reduction_tree() {
+        // Sum 0..16 via a binary tree of `add` tasks.
+        let dfk = DataFlowKernel::new(4);
+        dfk.register(add_app());
+        let mut layer: Vec<AppFuture> =
+            (0..16).map(|i| AppFuture::ready(PyValue::Int(i))).collect();
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|pair| dfk.submit("add", vec![Arg::from(&pair[0]), Arg::from(&pair[1])]))
+                .collect();
+        }
+        assert_eq!(layer[0].result().unwrap(), PyValue::Int(120));
+    }
+
+    #[test]
+    fn exception_fails_task_and_dependents() {
+        let dfk = DataFlowKernel::new(2);
+        dfk.register(add_app());
+        dfk.register(App::native("boom", |_| Err("division by zero".into())));
+        let bad = dfk.submit("boom", vec![]);
+        let child = dfk.submit("add", vec![Arg::from(&bad), PyValue::Int(1).into()]);
+        let grandchild = dfk.submit("add", vec![Arg::from(&child), PyValue::Int(1).into()]);
+        assert!(matches!(bad.result(), Err(TaskError::Exception(_))));
+        assert!(matches!(child.result(), Err(TaskError::DependencyFailed(_))));
+        assert!(matches!(grandchild.result(), Err(TaskError::DependencyFailed(_))));
+        let s = dfk.stats();
+        assert_eq!(s.failed, 3);
+    }
+
+    #[test]
+    fn submit_after_dep_failure_fails_fast() {
+        let dfk = DataFlowKernel::new(2);
+        dfk.register(App::native("boom", |_| Err("nope".into())));
+        dfk.register(add_app());
+        let bad = dfk.submit("boom", vec![]);
+        let _ = bad.result(); // ensure it is marked failed
+        let child = dfk.submit("add", vec![Arg::from(&bad), PyValue::Int(1).into()]);
+        assert!(matches!(child.result(), Err(TaskError::DependencyFailed(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unknown_app_panics() {
+        let dfk = DataFlowKernel::new(1);
+        let _ = dfk.submit("nope", vec![]);
+    }
+
+    #[test]
+    fn wall_times_recorded_per_app() {
+        let dfk = DataFlowKernel::new(2);
+        dfk.register(App::native("sleepy", |_| {
+            std::thread::sleep(Duration::from_millis(30));
+            Ok(PyValue::None)
+        }));
+        let f = dfk.submit("sleepy", vec![]);
+        f.result().unwrap();
+        let walls = dfk.app_wall_times();
+        let s = &walls["sleepy"];
+        assert_eq!(s.count(), 1);
+        assert!(s.mean() >= 0.02);
+    }
+
+    #[test]
+    fn parallelism_actually_happens() {
+        let dfk = DataFlowKernel::new(4);
+        dfk.register(App::native("sleepy", |_| {
+            std::thread::sleep(Duration::from_millis(100));
+            Ok(PyValue::None)
+        }));
+        let start = Instant::now();
+        let fs: Vec<_> = (0..4).map(|_| dfk.submit("sleepy", vec![])).collect();
+        for f in &fs {
+            f.result().unwrap();
+        }
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(350),
+            "4×100 ms on 4 threads took {elapsed:?}"
+        );
+    }
+}

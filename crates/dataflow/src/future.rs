@@ -1,0 +1,177 @@
+//! App futures — the `concurrent.futures`-style handle Parsl returns.
+
+use lfm_pyenv::pickle::PyValue;
+use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Why an invocation did not produce a value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TaskError {
+    /// The function raised: carries the "traceback" message (the paper's
+    /// LFM returns stack tracebacks over the result queue).
+    Exception(String),
+    /// A dependency failed, so this task never ran.
+    DependencyFailed(String),
+    /// The executor shut down before the task ran.
+    ExecutorShutdown,
+    /// Killed by the LFM for exceeding a resource limit.
+    ResourceExhausted(String),
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::Exception(m) => write!(f, "task raised: {m}"),
+            TaskError::DependencyFailed(m) => write!(f, "dependency failed: {m}"),
+            TaskError::ExecutorShutdown => write!(f, "executor shut down"),
+            TaskError::ResourceExhausted(m) => write!(f, "resource limit exceeded: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+struct State {
+    value: Mutex<Option<Result<PyValue, TaskError>>>,
+    cond: Condvar,
+}
+
+/// A future for one app invocation. Cloning shares the underlying slot.
+#[derive(Clone)]
+pub struct AppFuture {
+    state: Arc<State>,
+    /// Task id within the kernel, for debugging and DAG lowering.
+    pub task_id: u64,
+}
+
+impl fmt::Debug for AppFuture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AppFuture(t{}, done={})", self.task_id, self.is_done())
+    }
+}
+
+impl AppFuture {
+    /// A fresh, unresolved future.
+    pub fn new(task_id: u64) -> Self {
+        AppFuture {
+            state: Arc::new(State { value: Mutex::new(None), cond: Condvar::new() }),
+            task_id,
+        }
+    }
+
+    /// An already-resolved future (used for constant inputs).
+    pub fn ready(value: PyValue) -> Self {
+        let f = AppFuture::new(u64::MAX);
+        f.resolve(Ok(value));
+        f
+    }
+
+    /// Resolve exactly once; a second resolution is a logic error.
+    pub fn resolve(&self, result: Result<PyValue, TaskError>) {
+        let mut slot = self.state.value.lock();
+        assert!(slot.is_none(), "future resolved twice");
+        *slot = Some(result);
+        self.state.cond.notify_all();
+    }
+
+    /// Non-blocking check.
+    pub fn is_done(&self) -> bool {
+        self.state.value.lock().is_some()
+    }
+
+    /// Non-blocking result peek.
+    pub fn try_result(&self) -> Option<Result<PyValue, TaskError>> {
+        self.state.value.lock().clone()
+    }
+
+    /// Block until resolved — "evaluation of a future either yields the
+    /// result or blocks until the result is available".
+    pub fn result(&self) -> Result<PyValue, TaskError> {
+        let mut slot = self.state.value.lock();
+        while slot.is_none() {
+            self.state.cond.wait(&mut slot);
+        }
+        slot.clone().expect("loop exits only when resolved")
+    }
+
+    /// Block with a timeout; `None` on timeout.
+    pub fn result_timeout(&self, timeout: Duration) -> Option<Result<PyValue, TaskError>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.state.value.lock();
+        while slot.is_none() {
+            if self.state.cond.wait_until(&mut slot, deadline).timed_out() {
+                return slot.clone();
+            }
+        }
+        slot.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn ready_future_is_done() {
+        let f = AppFuture::ready(PyValue::Int(5));
+        assert!(f.is_done());
+        assert_eq!(f.result().unwrap(), PyValue::Int(5));
+        assert_eq!(f.try_result().unwrap().unwrap(), PyValue::Int(5));
+    }
+
+    #[test]
+    fn unresolved_future_try_is_none() {
+        let f = AppFuture::new(1);
+        assert!(!f.is_done());
+        assert!(f.try_result().is_none());
+        assert!(f.result_timeout(Duration::from_millis(20)).is_none());
+    }
+
+    #[test]
+    fn result_blocks_until_resolved() {
+        let f = AppFuture::new(2);
+        let f2 = f.clone();
+        let handle = thread::spawn(move || f2.result());
+        thread::sleep(Duration::from_millis(50));
+        f.resolve(Ok(PyValue::Str("done".into())));
+        assert_eq!(handle.join().unwrap().unwrap(), PyValue::Str("done".into()));
+    }
+
+    #[test]
+    fn error_propagates() {
+        let f = AppFuture::new(3);
+        f.resolve(Err(TaskError::Exception("ValueError: bad input".into())));
+        match f.result() {
+            Err(TaskError::Exception(m)) => assert!(m.contains("ValueError")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "future resolved twice")]
+    fn double_resolve_panics() {
+        let f = AppFuture::new(4);
+        f.resolve(Ok(PyValue::None));
+        f.resolve(Ok(PyValue::None));
+    }
+
+    #[test]
+    fn many_waiters_all_wake() {
+        let f = AppFuture::new(5);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let f = f.clone();
+                thread::spawn(move || f.result().unwrap())
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(30));
+        f.resolve(Ok(PyValue::Int(9)));
+        for h in handles {
+            assert_eq!(h.join().unwrap(), PyValue::Int(9));
+        }
+    }
+}

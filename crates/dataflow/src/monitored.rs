@@ -1,0 +1,158 @@
+//! Monitored local execution: run apps on the thread pool while an LFM-style
+//! measurement records per-app resource consumption, and feed the
+//! observations straight into a Work Queue [`Allocator`] — closing the loop
+//! between *real* execution and automatic resource labeling.
+//!
+//! This is the local-executor counterpart of the simulated pipeline: the
+//! same `observe → label → decide` machinery the cluster scheduler uses,
+//! driven by measurements of functions that actually ran.
+
+use crate::app::App;
+use crate::dfk::{Arg, DataFlowKernel};
+use crate::future::AppFuture;
+use lfm_monitor::report::ResourceReport;
+use lfm_workqueue::allocate::{AllocationDecision, Allocator, AutoConfig, Strategy};
+use lfm_simcluster::node::Resources;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A kernel wrapper that measures every invocation and learns per-app
+/// resource labels.
+pub struct MonitoredKernel {
+    dfk: DataFlowKernel,
+    allocator: Arc<Mutex<Allocator>>,
+    reports: Arc<Mutex<BTreeMap<String, Vec<ResourceReport>>>>,
+}
+
+impl MonitoredKernel {
+    /// Start a monitored kernel with `workers` threads and Auto labeling.
+    pub fn new(workers: usize) -> Self {
+        MonitoredKernel {
+            dfk: DataFlowKernel::new(workers),
+            allocator: Arc::new(Mutex::new(Allocator::new(Strategy::Auto(
+                AutoConfig::default(),
+            )))),
+            reports: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    /// Register an app; its native body is wrapped with measurement.
+    pub fn register(&self, app: App) {
+        let name = app.name.clone();
+        let allocator = Arc::clone(&self.allocator);
+        let reports = Arc::clone(&self.reports);
+        let inner = app.clone();
+        let mut wrapped = App::native(name.clone(), move |args| {
+                let started = Instant::now();
+                let rss_before =
+                    lfm_monitor::procfs::read_rss_bytes(std::process::id()).unwrap_or(0);
+                let result = inner.call(args);
+                let rss_after =
+                    lfm_monitor::procfs::read_rss_bytes(std::process::id()).unwrap_or(rss_before);
+                let wall = started.elapsed().as_secs_f64();
+                let report = ResourceReport {
+                    wall_secs: wall,
+                    cpu_secs: wall, // single-threaded native body
+                    peak_cores: 1.0,
+                    peak_rss_mb: rss_after.saturating_sub(rss_before) / (1024 * 1024),
+                    peak_processes: 1,
+                    polls: 1,
+                    ..Default::default()
+                };
+                allocator.lock().observe(&name, &report, result.is_ok());
+                reports.lock().entry(name.clone()).or_default().push(report);
+                result
+            });
+        // Keep the original source attached so dependency analysis still
+        // sees the function's imports.
+        wrapped.source = app.source;
+        self.dfk.register(wrapped);
+    }
+
+    /// Submit an invocation (same contract as [`DataFlowKernel::submit`]).
+    pub fn submit(&self, app_name: &str, args: Vec<Arg>) -> AppFuture {
+        self.dfk.submit(app_name, args)
+    }
+
+    /// Wait for all submitted work.
+    pub fn wait_all(&self) {
+        self.dfk.wait_all();
+    }
+
+    /// All reports collected for an app.
+    pub fn reports_for(&self, app: &str) -> Vec<ResourceReport> {
+        self.reports.lock().get(app).cloned().unwrap_or_default()
+    }
+
+    /// What the allocator would request for the next invocation of `app`
+    /// on a node of `capacity` — the learned label.
+    pub fn label_for(&self, app: &str, capacity: &Resources) -> AllocationDecision {
+        self.allocator.lock().decide(app, 0, capacity)
+    }
+
+    /// Completed observation count per app.
+    pub fn samples_for(&self, app: &str) -> usize {
+        self.allocator.lock().samples_for(app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfm_pyenv::pickle::PyValue;
+    use std::time::Duration;
+
+    fn cap() -> Resources {
+        Resources::new(8, 8192, 16384)
+    }
+
+    #[test]
+    fn measurements_flow_into_allocator() {
+        let mk = MonitoredKernel::new(4);
+        mk.register(App::native("work", |args| {
+            std::thread::sleep(Duration::from_millis(20));
+            Ok(args[0].clone())
+        }));
+        // Before any samples: whole worker (measurement mode).
+        assert_eq!(mk.label_for("work", &cap()), AllocationDecision::WholeWorker);
+        let futures: Vec<_> =
+            (0..8).map(|i| mk.submit("work", vec![PyValue::Int(i).into()])).collect();
+        for f in &futures {
+            f.result().unwrap();
+        }
+        mk.wait_all();
+        assert_eq!(mk.samples_for("work"), 8);
+        // Enough samples: the label materializes.
+        assert!(matches!(mk.label_for("work", &cap()), AllocationDecision::Sized(_)));
+        let reports = mk.reports_for("work");
+        assert_eq!(reports.len(), 8);
+        assert!(reports.iter().all(|r| r.wall_secs >= 0.015));
+    }
+
+    #[test]
+    fn failed_calls_observed_but_not_completed() {
+        let mk = MonitoredKernel::new(2);
+        mk.register(App::native("flaky", |_| Err("boom".into())));
+        let f = mk.submit("flaky", vec![]);
+        assert!(f.result().is_err());
+        mk.wait_all();
+        assert_eq!(mk.samples_for("flaky"), 0); // not a completed sample
+        assert_eq!(mk.reports_for("flaky").len(), 1); // but measured
+    }
+
+    #[test]
+    fn interpreted_apps_compose_with_monitoring() {
+        let mk = MonitoredKernel::new(2);
+        mk.register(App::interpreted(
+            "square_sum",
+            "def square_sum(n):\n    return sum([i * i for i in range(n)])\n",
+            |_| {},
+        ));
+        let f = mk.submit("square_sum", vec![PyValue::Int(100).into()]);
+        assert_eq!(f.result().unwrap(), PyValue::Int(328350));
+        mk.wait_all();
+        assert_eq!(mk.samples_for("square_sum"), 1);
+    }
+}

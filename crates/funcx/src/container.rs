@@ -1,0 +1,212 @@
+//! Environment-activation cost models (Table I).
+//!
+//! The paper measures "the time to run a simple Hello World function" under
+//! Conda vs. Singularity (Theta), Shifter (Cori), and Docker (EC2). Conda
+//! activation only rewrites environment variables; containers additionally
+//! create kernel namespaces, mount disk images, and prepare I/O and resource
+//! controllers. Each technology is modelled as a sum of those component
+//! latencies, with site-measured jitter.
+
+use lfm_simcluster::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// An activation technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActivationTech {
+    /// Conda environment activation (environment-variable rewrite only).
+    Conda,
+    Singularity,
+    Shifter,
+    Docker,
+}
+
+impl ActivationTech {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ActivationTech::Conda => "Conda",
+            ActivationTech::Singularity => "Singularity",
+            ActivationTech::Shifter => "Shifter",
+            ActivationTech::Docker => "Docker",
+        }
+    }
+}
+
+/// Cost components for one activation, seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActivationModel {
+    /// Interpreter start + environment-variable setup.
+    pub env_setup: f64,
+    /// Kernel namespace creation (0 for Conda).
+    pub namespace_setup: f64,
+    /// Image mount / overlay preparation (0 for Conda).
+    pub image_mount: f64,
+    /// cgroup / IO-controller preparation (0 for Conda).
+    pub io_controllers: f64,
+    /// Relative jitter (fraction of the mean).
+    pub jitter: f64,
+}
+
+impl ActivationModel {
+    /// The model for a technology.
+    pub fn for_tech(tech: ActivationTech) -> Self {
+        match tech {
+            ActivationTech::Conda => ActivationModel {
+                env_setup: 0.15,
+                namespace_setup: 0.0,
+                image_mount: 0.0,
+                io_controllers: 0.0,
+                jitter: 0.12,
+            },
+            ActivationTech::Singularity => ActivationModel {
+                env_setup: 0.18,
+                namespace_setup: 0.55,
+                image_mount: 1.60,
+                io_controllers: 0.25,
+                jitter: 0.18,
+            },
+            ActivationTech::Shifter => ActivationModel {
+                env_setup: 0.20,
+                namespace_setup: 0.80,
+                image_mount: 3.10,
+                io_controllers: 0.70,
+                jitter: 0.22,
+            },
+            ActivationTech::Docker => ActivationModel {
+                env_setup: 0.16,
+                namespace_setup: 0.35,
+                image_mount: 0.45,
+                io_controllers: 0.30,
+                jitter: 0.15,
+            },
+        }
+    }
+
+    /// Mean cold activation latency.
+    pub fn mean(&self) -> f64 {
+        self.env_setup + self.namespace_setup + self.image_mount + self.io_controllers
+    }
+
+    /// Warm-start overhead: the container already exists on the worker, so
+    /// only the in-container environment setup is paid per invocation.
+    pub fn warm_overhead(&self) -> f64 {
+        self.env_setup
+    }
+
+    /// Sample a warm-start overhead.
+    pub fn sample_warm(&self, rng: &mut SimRng) -> f64 {
+        let mean = self.warm_overhead();
+        rng.normal_trunc(mean, mean * self.jitter, mean * 0.1)
+    }
+
+    /// Sample one activation (truncated at 10% of the mean).
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        let mean = self.mean();
+        rng.normal_trunc(mean, mean * self.jitter, mean * 0.1)
+    }
+}
+
+/// One Table I cell: mean ± std over `trials` hello-world runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivationMeasurement {
+    pub tech: ActivationTech,
+    pub site: String,
+    pub mean_secs: f64,
+    pub std_secs: f64,
+    pub trials: u32,
+}
+
+/// Run the hello-world benchmark for one technology at one site.
+pub fn measure_activation(
+    tech: ActivationTech,
+    site: &str,
+    trials: u32,
+    seed: u64,
+) -> ActivationMeasurement {
+    let model = ActivationModel::for_tech(tech);
+    let mut rng = SimRng::seeded(seed);
+    let mut sum = 0.0;
+    let mut sumsq = 0.0;
+    for _ in 0..trials {
+        let t = model.sample(&mut rng);
+        sum += t;
+        sumsq += t * t;
+    }
+    let n = trials as f64;
+    let mean = sum / n;
+    let var = (sumsq / n - mean * mean).max(0.0);
+    ActivationMeasurement {
+        tech,
+        site: site.to_string(),
+        mean_secs: mean,
+        std_secs: var.sqrt(),
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conda_is_cheapest_everywhere() {
+        let conda = ActivationModel::for_tech(ActivationTech::Conda).mean();
+        for tech in [
+            ActivationTech::Singularity,
+            ActivationTech::Shifter,
+            ActivationTech::Docker,
+        ] {
+            let m = ActivationModel::for_tech(tech).mean();
+            assert!(
+                m > 3.0 * conda,
+                "{} ({m}) should be several times Conda ({conda})",
+                tech.name()
+            );
+        }
+    }
+
+    #[test]
+    fn containers_pay_namespace_and_mount() {
+        let conda = ActivationModel::for_tech(ActivationTech::Conda);
+        assert_eq!(conda.namespace_setup, 0.0);
+        assert_eq!(conda.image_mount, 0.0);
+        let sing = ActivationModel::for_tech(ActivationTech::Singularity);
+        assert!(sing.namespace_setup > 0.0);
+        assert!(sing.image_mount > 0.0);
+    }
+
+    #[test]
+    fn measurement_is_stable_and_positive() {
+        let m = measure_activation(ActivationTech::Conda, "Theta", 50, 42);
+        assert!(m.mean_secs > 0.0);
+        assert!(m.std_secs < m.mean_secs);
+        let m2 = measure_activation(ActivationTech::Conda, "Theta", 50, 42);
+        assert_eq!(m.mean_secs, m2.mean_secs);
+    }
+
+    #[test]
+    fn warm_start_is_much_cheaper() {
+        for tech in [
+            ActivationTech::Singularity,
+            ActivationTech::Shifter,
+            ActivationTech::Docker,
+        ] {
+            let m = ActivationModel::for_tech(tech);
+            assert!(
+                m.warm_overhead() < m.mean() / 4.0,
+                "{}: warm {} vs cold {}",
+                tech.name(),
+                m.warm_overhead(),
+                m.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn sample_never_collapses_to_zero() {
+        let model = ActivationModel::for_tech(ActivationTech::Shifter);
+        let mut rng = SimRng::seeded(7);
+        for _ in 0..500 {
+            assert!(model.sample(&mut rng) >= model.mean() * 0.1);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # lfm-funcx — FaaS integration
+//!
+//! The funcX tier of the evaluation (§VI-C4): a function registry storing
+//! serialized functions with statically-analyzed dependency lists, endpoint
+//! descriptions, container activation-cost models (Table I), and a service
+//! that executes invocation batches either inside containers (conventional
+//! FaaS) or inside LFMs with automatic resource labeling.
+
+pub mod container;
+pub mod registry;
+pub mod service;
+
+pub mod prelude {
+    pub use crate::container::{
+        measure_activation, ActivationMeasurement, ActivationModel, ActivationTech,
+    };
+    pub use crate::registry::{FunctionId, FunctionRegistry, RegisteredFunction};
+    pub use crate::service::{Endpoint, ExecutionMode, FuncXService};
+}

@@ -1,0 +1,140 @@
+//! Function registry — funcX's serialized-function store.
+//!
+//! funcX users register functions once and invoke them by id; the service
+//! ships the serialized function (and its dependency list) to endpoints
+//! (§VI-C4). Registration here captures the mini-Python source, the
+//! serialized form, and the statically-analyzed dependency list.
+
+use lfm_pyenv::analyze::analyze_source;
+use lfm_pyenv::error::Result as PyResult;
+use lfm_pyenv::pack::fnv1a;
+use lfm_pyenv::pickle::PyValue;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Opaque function identifier (content-addressed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FunctionId(pub u64);
+
+impl std::fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fx-{:016x}", self.0)
+    }
+}
+
+/// A registered function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegisteredFunction {
+    pub id: FunctionId,
+    pub name: String,
+    pub source: String,
+    /// Serialized ("pickled") function payload shipped to endpoints.
+    pub payload: Vec<u8>,
+    /// Top-level modules the function imports, from static analysis.
+    pub dependencies: Vec<String>,
+}
+
+/// The registry.
+#[derive(Debug, Default, Clone)]
+pub struct FunctionRegistry {
+    functions: BTreeMap<FunctionId, RegisteredFunction>,
+}
+
+impl FunctionRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a function: analyze its source, serialize it, store it.
+    /// Re-registering identical source returns the same id.
+    pub fn register(&mut self, name: &str, source: &str) -> PyResult<FunctionId> {
+        let analysis = analyze_source(source)?;
+        let id = FunctionId(fnv1a(source.as_bytes()) ^ fnv1a(name.as_bytes()));
+        let payload = PyValue::Dict(vec![
+            (PyValue::Str("name".into()), PyValue::Str(name.into())),
+            (PyValue::Str("source".into()), PyValue::Str(source.into())),
+        ])
+        .dumps()
+        .to_vec();
+        let dependencies =
+            analysis.top_level_modules().into_iter().map(str::to_string).collect();
+        self.functions.insert(
+            id,
+            RegisteredFunction {
+                id,
+                name: name.to_string(),
+                source: source.to_string(),
+                payload,
+                dependencies,
+            },
+        );
+        Ok(id)
+    }
+
+    pub fn get(&self, id: FunctionId) -> Option<&RegisteredFunction> {
+        self.functions.get(&id)
+    }
+
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &RegisteredFunction> {
+        self.functions.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfm_pyenv::source::funcx_classify_source;
+
+    #[test]
+    fn register_and_fetch() {
+        let mut reg = FunctionRegistry::new();
+        let id = reg.register("classify_image", funcx_classify_source()).unwrap();
+        let f = reg.get(id).unwrap();
+        assert_eq!(f.name, "classify_image");
+        assert!(f.dependencies.contains(&"tensorflow".to_string()));
+        assert!(f.dependencies.contains(&"PIL".to_string()));
+        assert!(!f.payload.is_empty());
+    }
+
+    #[test]
+    fn identical_source_same_id() {
+        let mut reg = FunctionRegistry::new();
+        let a = reg.register("f", "def f():\n    return 1\n").unwrap();
+        let b = reg.register("f", "def f():\n    return 1\n").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn different_source_different_id() {
+        let mut reg = FunctionRegistry::new();
+        let a = reg.register("f", "def f():\n    return 1\n").unwrap();
+        let b = reg.register("f", "def f():\n    return 2\n").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn bad_source_rejected() {
+        let mut reg = FunctionRegistry::new();
+        assert!(reg.register("broken", "def broken(:\n").is_err());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn payload_roundtrips_through_pickle() {
+        let mut reg = FunctionRegistry::new();
+        let id = reg.register("g", "def g(x):\n    return x\n").unwrap();
+        let f = reg.get(id).unwrap();
+        let v = PyValue::loads(&f.payload).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("g"));
+    }
+}

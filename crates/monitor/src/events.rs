@@ -1,0 +1,119 @@
+//! Process creation/exit tracking by tree diffing.
+//!
+//! The paper preloads a library (LD_PRELOAD) to capture `fork(2)` and
+//! `exit(2)` so that short-lived children are never missed. Safe Rust cannot
+//! inject into arbitrary binaries, so this module provides the closest
+//! portable equivalent: re-walk the `/proc` process tree each poll and diff
+//! membership, emitting synthetic fork/exit events. Children shorter than
+//! one polling interval can be missed — the same truncation the paper
+//! acknowledges for pure polling — which is why the default interval is
+//! small (250 ms).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A process lifecycle event observed by the tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcessEvent {
+    /// A new pid appeared in the tree.
+    Forked { pid: u32 },
+    /// A tracked pid disappeared.
+    Exited { pid: u32 },
+}
+
+/// Tracks the set of live pids in a monitored tree across polls.
+#[derive(Debug, Default, Clone)]
+pub struct ProcessTracker {
+    live: BTreeSet<u32>,
+    /// Every pid ever seen (so exit events are emitted exactly once).
+    pub total_forks: u64,
+    pub total_exits: u64,
+    pub peak_concurrent: u32,
+}
+
+impl ProcessTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Update with the current tree membership; returns the events since the
+    /// previous poll, forks before exits, each group in pid order.
+    pub fn observe(&mut self, current: &[u32]) -> Vec<ProcessEvent> {
+        let now: BTreeSet<u32> = current.iter().copied().collect();
+        let mut events = Vec::new();
+        for &pid in now.difference(&self.live) {
+            events.push(ProcessEvent::Forked { pid });
+            self.total_forks += 1;
+        }
+        for &pid in self.live.difference(&now) {
+            events.push(ProcessEvent::Exited { pid });
+            self.total_exits += 1;
+        }
+        self.live = now;
+        self.peak_concurrent = self.peak_concurrent.max(self.live.len() as u32);
+        events
+    }
+
+    /// Currently-live pids.
+    pub fn live(&self) -> impl Iterator<Item = u32> + '_ {
+        self.live.iter().copied()
+    }
+
+    pub fn live_count(&self) -> u32 {
+        self.live.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_forks_everything() {
+        let mut t = ProcessTracker::new();
+        let events = t.observe(&[10, 11, 12]);
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| matches!(e, ProcessEvent::Forked { .. })));
+        assert_eq!(t.live_count(), 3);
+    }
+
+    #[test]
+    fn diffs_forks_and_exits() {
+        let mut t = ProcessTracker::new();
+        t.observe(&[10, 11]);
+        let events = t.observe(&[11, 12]);
+        assert_eq!(
+            events,
+            vec![ProcessEvent::Forked { pid: 12 }, ProcessEvent::Exited { pid: 10 }]
+        );
+        assert_eq!(t.total_forks, 3);
+        assert_eq!(t.total_exits, 1);
+    }
+
+    #[test]
+    fn steady_state_is_quiet() {
+        let mut t = ProcessTracker::new();
+        t.observe(&[1, 2, 3]);
+        assert!(t.observe(&[1, 2, 3]).is_empty());
+    }
+
+    #[test]
+    fn peak_concurrent_tracks_maximum() {
+        let mut t = ProcessTracker::new();
+        t.observe(&[1]);
+        t.observe(&[1, 2, 3, 4]);
+        t.observe(&[1]);
+        assert_eq!(t.peak_concurrent, 4);
+        assert_eq!(t.live_count(), 1);
+    }
+
+    #[test]
+    fn full_exit_drains() {
+        let mut t = ProcessTracker::new();
+        t.observe(&[5, 6]);
+        let events = t.observe(&[]);
+        assert_eq!(events.len(), 2);
+        assert_eq!(t.total_exits, 2);
+        assert_eq!(t.live_count(), 0);
+    }
+}

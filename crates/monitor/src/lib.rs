@@ -1,0 +1,33 @@
+//! # lfm-monitor — the lightweight function monitor
+//!
+//! The paper's core containment mechanism (§VI-B1): run each function
+//! invocation in its own process, measure its resource consumption by
+//! polling `/proc`, track the process tree, enforce limits by killing
+//! violators, and report consumption back to the scheduler.
+//!
+//! Two implementations share the same [`report`] / [`limits`] vocabulary:
+//!
+//! * [`lfm::Lfm`] — the **real** monitor for Linux processes: procfs
+//!   polling ([`procfs`]), tree diffing in place of LD_PRELOAD fork/exit
+//!   interception ([`events`]), kill-on-limit, per-poll callbacks.
+//! * [`sim::SimMonitor`] — the **deterministic** monitor used inside the
+//!   discrete-event scheduler: given a task's true usage profile it
+//!   computes, exactly, whether and when the task violates its limits,
+//!   respecting the polling grid.
+
+pub mod events;
+pub mod lfm;
+pub mod limits;
+pub mod procfs;
+pub mod report;
+pub mod sim;
+pub mod summary;
+
+pub mod prelude {
+    pub use crate::events::{ProcessEvent, ProcessTracker};
+    pub use crate::lfm::{monitor_inline, Lfm};
+    pub use crate::limits::ResourceLimits;
+    pub use crate::report::{MonitorOutcome, ResourceKind, ResourceReport, UsageSnapshot};
+    pub use crate::sim::{SimMonitor, SimMonitorResult, SimTaskProfile};
+    pub use crate::summary::JsonObject;
+}

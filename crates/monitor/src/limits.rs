@@ -1,0 +1,137 @@
+//! Resource limits and enforcement policy.
+
+use crate::report::{ResourceKind, UsageSnapshot};
+use serde::{Deserialize, Serialize};
+
+/// Limits an LFM enforces on one invocation. `None` axes are unlimited.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResourceLimits {
+    /// Maximum cores (measured as CPU-time derivative over a poll interval).
+    pub cores: Option<f64>,
+    /// Maximum resident memory, MB.
+    pub memory_mb: Option<u64>,
+    /// Maximum scratch disk, MB.
+    pub disk_mb: Option<u64>,
+    /// Maximum wall-clock, seconds.
+    pub wall_secs: Option<f64>,
+}
+
+impl ResourceLimits {
+    /// No limits — pure measurement mode (the allocator's first big run).
+    pub fn unlimited() -> Self {
+        ResourceLimits::default()
+    }
+
+    pub fn with_memory_mb(mut self, mb: u64) -> Self {
+        self.memory_mb = Some(mb);
+        self
+    }
+
+    pub fn with_cores(mut self, cores: f64) -> Self {
+        self.cores = Some(cores);
+        self
+    }
+
+    pub fn with_disk_mb(mut self, mb: u64) -> Self {
+        self.disk_mb = Some(mb);
+        self
+    }
+
+    pub fn with_wall_secs(mut self, secs: f64) -> Self {
+        self.wall_secs = Some(secs);
+        self
+    }
+
+    /// Check a snapshot (with the previous one for the cores derivative).
+    /// Returns the first violated axis, checking in the order the Work Queue
+    /// monitor does: memory (most damaging to co-located tasks), disk,
+    /// cores, wall time.
+    pub fn check(
+        &self,
+        snap: &UsageSnapshot,
+        prev: Option<&UsageSnapshot>,
+    ) -> Option<ResourceKind> {
+        if let Some(limit) = self.memory_mb {
+            if snap.rss_mb > limit {
+                return Some(ResourceKind::Memory);
+            }
+        }
+        if let Some(limit) = self.disk_mb {
+            if snap.disk_mb > limit {
+                return Some(ResourceKind::Disk);
+            }
+        }
+        if let (Some(limit), Some(p)) = (self.cores, prev) {
+            // Allow a tolerance of half a core: scheduler jitter makes exact
+            // instantaneous enforcement meaninglessly strict.
+            if snap.cores_since(p) > limit + 0.5 {
+                return Some(ResourceKind::Cores);
+            }
+        }
+        if let Some(limit) = self.wall_secs {
+            if snap.elapsed > limit {
+                return Some(ResourceKind::WallTime);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(elapsed: f64, cpu: f64, rss: u64, disk: u64) -> UsageSnapshot {
+        UsageSnapshot {
+            elapsed,
+            cpu_secs: cpu,
+            rss_mb: rss,
+            disk_mb: disk,
+            processes: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn unlimited_never_violates() {
+        let l = ResourceLimits::unlimited();
+        assert_eq!(l.check(&snap(1e6, 1e6, u64::MAX, u64::MAX), None), None);
+    }
+
+    #[test]
+    fn memory_limit_trips() {
+        let l = ResourceLimits::unlimited().with_memory_mb(100);
+        assert_eq!(l.check(&snap(1.0, 0.5, 100, 0), None), None);
+        assert_eq!(l.check(&snap(1.0, 0.5, 101, 0), None), Some(ResourceKind::Memory));
+    }
+
+    #[test]
+    fn disk_limit_trips() {
+        let l = ResourceLimits::unlimited().with_disk_mb(1024);
+        assert_eq!(l.check(&snap(1.0, 0.0, 0, 2048), None), Some(ResourceKind::Disk));
+    }
+
+    #[test]
+    fn cores_limit_needs_previous_snapshot() {
+        let l = ResourceLimits::unlimited().with_cores(1.0);
+        let a = snap(1.0, 1.0, 0, 0);
+        let b = snap(2.0, 3.0, 0, 0); // 2 cores over the interval
+        assert_eq!(l.check(&b, None), None); // no derivative available
+        assert_eq!(l.check(&b, Some(&a)), Some(ResourceKind::Cores));
+        // 1.3 cores is within the 0.5 tolerance.
+        let c = snap(3.0, 4.3, 0, 0);
+        assert_eq!(l.check(&c, Some(&b)), None);
+    }
+
+    #[test]
+    fn wall_limit_trips() {
+        let l = ResourceLimits::unlimited().with_wall_secs(60.0);
+        assert_eq!(l.check(&snap(61.0, 0.0, 0, 0), None), Some(ResourceKind::WallTime));
+    }
+
+    #[test]
+    fn memory_checked_before_wall() {
+        let l = ResourceLimits::unlimited().with_memory_mb(10).with_wall_secs(1.0);
+        assert_eq!(l.check(&snap(5.0, 0.0, 99, 0), None), Some(ResourceKind::Memory));
+    }
+}

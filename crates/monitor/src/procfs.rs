@@ -1,0 +1,217 @@
+//! `/proc` readers (Linux).
+//!
+//! The paper's LFM measures tasks by "reading process information from
+//! /proc/PID/" at each polling interval and tracking the process tree. This
+//! module implements those reads for real processes. On non-Linux platforms
+//! every function returns `None`/empty, and the simulated monitor is used
+//! instead.
+
+use std::fs;
+use std::path::Path;
+
+/// CPU and thread info parsed from `/proc/<pid>/stat`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcStat {
+    /// User-mode CPU seconds.
+    pub utime_secs: f64,
+    /// Kernel-mode CPU seconds.
+    pub stime_secs: f64,
+    pub num_threads: u32,
+}
+
+/// Kernel clock ticks per second. `_SC_CLK_TCK` is 100 on every mainstream
+/// Linux configuration; reading it portably requires libc, which is outside
+/// the approved dependency set.
+const CLK_TCK: f64 = 100.0;
+
+/// Parse the body of a `/proc/<pid>/stat` file.
+///
+/// The `comm` field (2nd) is parenthesized and may itself contain spaces or
+/// parentheses, so fields are located relative to the *last* `)`.
+pub fn parse_stat(body: &str) -> Option<ProcStat> {
+    let close = body.rfind(')')?;
+    let rest = body.get(close + 1..)?.trim_start();
+    let fields: Vec<&str> = rest.split_ascii_whitespace().collect();
+    // `rest` begins at field 3 (state). utime is field 14, stime 15,
+    // num_threads 20 (1-indexed in proc(5)) → indices 11, 12, 17 here.
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    let threads: u32 = fields.get(17)?.parse().ok()?;
+    Some(ProcStat {
+        utime_secs: utime as f64 / CLK_TCK,
+        stime_secs: stime as f64 / CLK_TCK,
+        num_threads: threads,
+    })
+}
+
+/// Parse `/proc/<pid>/statm` → resident set size in bytes (field 2 × page
+/// size; 4 KiB pages on every supported configuration).
+pub fn parse_statm_rss(body: &str) -> Option<u64> {
+    let resident_pages: u64 = body.split_ascii_whitespace().nth(1)?.parse().ok()?;
+    Some(resident_pages * 4096)
+}
+
+/// Parse `/proc/<pid>/io` → (read_bytes, write_bytes).
+pub fn parse_io(body: &str) -> Option<(u64, u64)> {
+    let mut read = None;
+    let mut write = None;
+    for line in body.lines() {
+        if let Some(v) = line.strip_prefix("read_bytes: ") {
+            read = v.trim().parse().ok();
+        } else if let Some(v) = line.strip_prefix("write_bytes: ") {
+            write = v.trim().parse().ok();
+        }
+    }
+    Some((read?, write?))
+}
+
+/// Live reads against the real `/proc`. Each returns `None` if the process
+/// vanished (the normal race while polling a tree that is exiting).
+pub fn read_stat(pid: u32) -> Option<ProcStat> {
+    let body = fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    parse_stat(&body)
+}
+
+pub fn read_rss_bytes(pid: u32) -> Option<u64> {
+    let body = fs::read_to_string(format!("/proc/{pid}/statm")).ok()?;
+    parse_statm_rss(&body)
+}
+
+pub fn read_io(pid: u32) -> Option<(u64, u64)> {
+    // /proc/<pid>/io needs ptrace-level access; unreadable under some
+    // configurations — callers treat None as zeros.
+    let body = fs::read_to_string(format!("/proc/{pid}/io")).ok()?;
+    parse_io(&body)
+}
+
+/// Direct children of `pid`, via `/proc/<pid>/task/*/children`.
+///
+/// This replaces the paper's LD_PRELOAD fork/exit interception: instead of
+/// hooking `fork(2)`, the poller re-walks the tree each interval and diffs
+/// the membership (see [`crate::events`]).
+pub fn read_children(pid: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    let task_dir = format!("/proc/{pid}/task");
+    let Ok(entries) = fs::read_dir(&task_dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path().join("children");
+        if let Ok(body) = fs::read_to_string(&path) {
+            for tok in body.split_ascii_whitespace() {
+                if let Ok(child) = tok.parse::<u32>() {
+                    out.push(child);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The full process tree rooted at `pid` (including `pid`), breadth-first.
+pub fn process_tree(pid: u32) -> Vec<u32> {
+    let mut tree = vec![pid];
+    let mut frontier = vec![pid];
+    while let Some(p) = frontier.pop() {
+        for c in read_children(p) {
+            if !tree.contains(&c) {
+                tree.push(c);
+                frontier.push(c);
+            }
+        }
+    }
+    tree
+}
+
+/// Does `/proc/<pid>` still exist?
+pub fn alive(pid: u32) -> bool {
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_stat_ordinary_comm() {
+        // pid (comm) state ppid pgrp session tty tpgid flags minflt cminflt
+        // majflt cmajflt utime stime cutime cstime priority nice num_threads ...
+        let body = "1234 (python3) S 1 1234 1234 0 -1 4194304 500 0 0 0 250 50 0 0 20 0 7 0 12345 100000 2000 18446744073709551615";
+        let s = parse_stat(body).unwrap();
+        assert!((s.utime_secs - 2.5).abs() < 1e-9);
+        assert!((s.stime_secs - 0.5).abs() < 1e-9);
+        assert_eq!(s.num_threads, 7);
+    }
+
+    #[test]
+    fn parse_stat_comm_with_spaces_and_parens() {
+        let body = "99 (weird (name) x) R 1 99 99 0 -1 0 0 0 0 0 100 200 0 0 20 0 3 0 0 0 0 0";
+        let s = parse_stat(body).unwrap();
+        assert!((s.utime_secs - 1.0).abs() < 1e-9);
+        assert!((s.stime_secs - 2.0).abs() < 1e-9);
+        assert_eq!(s.num_threads, 3);
+    }
+
+    #[test]
+    fn parse_stat_garbage_is_none() {
+        assert!(parse_stat("").is_none());
+        assert!(parse_stat("1234 (x) S 1").is_none());
+    }
+
+    #[test]
+    fn parse_statm() {
+        assert_eq!(parse_statm_rss("2000 512 300 10 0 400 0"), Some(512 * 4096));
+        assert!(parse_statm_rss("2000").is_none());
+        assert!(parse_statm_rss("").is_none());
+    }
+
+    #[test]
+    fn parse_io_fields() {
+        let body = "rchar: 100\nwchar: 200\nsyscr: 1\nsyscw: 2\nread_bytes: 4096\nwrite_bytes: 8192\ncancelled_write_bytes: 0\n";
+        assert_eq!(parse_io(body), Some((4096, 8192)));
+        assert!(parse_io("rchar: 5\n").is_none());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn read_own_process() {
+        let me = std::process::id();
+        assert!(alive(me));
+        let stat = read_stat(me).expect("own stat readable");
+        assert!(stat.num_threads >= 1);
+        let rss = read_rss_bytes(me).expect("own statm readable");
+        assert!(rss > 1024 * 1024, "rss {rss} suspiciously small");
+        let tree = process_tree(me);
+        assert!(tree.contains(&me));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn children_of_spawned_process() {
+        use std::process::Command;
+        // A shell that spawns a sleeping child.
+        let mut child = Command::new("sh")
+            .args(["-c", "sleep 2 & wait"])
+            .spawn()
+            .expect("spawn sh");
+        // Give the shell a moment to fork.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        let tree = process_tree(child.id());
+        assert!(
+            tree.len() >= 2,
+            "expected sh + sleep in tree, got {tree:?}"
+        );
+        child.kill().ok();
+        child.wait().ok();
+    }
+
+    #[test]
+    fn dead_pid_not_alive() {
+        // PID near the default pid_max is almost certainly unused; even if
+        // used, read_stat on it shouldn't panic.
+        let _ = read_stat(4_000_000);
+        assert!(!alive(4_000_000) || read_stat(4_000_000).is_some());
+    }
+}

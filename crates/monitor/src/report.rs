@@ -1,0 +1,197 @@
+//! Resource consumption reports — what an LFM emits for every invocation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point-in-time view of a (process tree's) resource usage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct UsageSnapshot {
+    /// Seconds since the function started.
+    pub elapsed: f64,
+    /// Total CPU seconds consumed (user + system, all processes).
+    pub cpu_secs: f64,
+    /// Resident set size, MB, summed over the process tree.
+    pub rss_mb: u64,
+    /// Live processes in the tree.
+    pub processes: u32,
+    /// Cumulative bytes read from storage.
+    pub read_bytes: u64,
+    /// Cumulative bytes written to storage.
+    pub write_bytes: u64,
+    /// Scratch disk in use, MB.
+    pub disk_mb: u64,
+}
+
+impl UsageSnapshot {
+    /// Cores in use, estimated from the CPU-time derivative between two
+    /// snapshots (how the Work Queue resource monitor reports "cores").
+    pub fn cores_since(&self, earlier: &UsageSnapshot) -> f64 {
+        let dt = self.elapsed - earlier.elapsed;
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        ((self.cpu_secs - earlier.cpu_secs) / dt).max(0.0)
+    }
+}
+
+/// The final report for one function invocation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResourceReport {
+    /// Wall-clock duration, seconds.
+    pub wall_secs: f64,
+    /// Total CPU seconds.
+    pub cpu_secs: f64,
+    /// Peak cores observed over any polling interval.
+    pub peak_cores: f64,
+    /// Peak resident memory, MB.
+    pub peak_rss_mb: u64,
+    /// Peak concurrent processes.
+    pub peak_processes: u32,
+    /// Peak scratch disk, MB.
+    pub peak_disk_mb: u64,
+    /// Total I/O.
+    pub read_bytes: u64,
+    pub write_bytes: u64,
+    /// Number of polls taken.
+    pub polls: u64,
+    /// Monitoring overhead (seconds of monitor CPU), supporting the
+    /// "lightweight" claim.
+    pub monitor_overhead_secs: f64,
+}
+
+impl ResourceReport {
+    /// Fold one snapshot into the running peaks.
+    pub fn absorb(&mut self, snap: &UsageSnapshot, prev: Option<&UsageSnapshot>) {
+        self.wall_secs = self.wall_secs.max(snap.elapsed);
+        self.cpu_secs = self.cpu_secs.max(snap.cpu_secs);
+        if let Some(p) = prev {
+            self.peak_cores = self.peak_cores.max(snap.cores_since(p));
+        }
+        self.peak_rss_mb = self.peak_rss_mb.max(snap.rss_mb);
+        self.peak_processes = self.peak_processes.max(snap.processes);
+        self.peak_disk_mb = self.peak_disk_mb.max(snap.disk_mb);
+        self.read_bytes = self.read_bytes.max(snap.read_bytes);
+        self.write_bytes = self.write_bytes.max(snap.write_bytes);
+        self.polls += 1;
+    }
+}
+
+impl fmt::Display for ResourceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wall={:.2}s cpu={:.2}s cores={:.2} rss={}MB procs={} disk={}MB io={}r/{}w polls={}",
+            self.wall_secs,
+            self.cpu_secs,
+            self.peak_cores,
+            self.peak_rss_mb,
+            self.peak_processes,
+            self.peak_disk_mb,
+            self.read_bytes,
+            self.write_bytes,
+            self.polls
+        )
+    }
+}
+
+/// Which resource a task exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResourceKind {
+    Cores,
+    Memory,
+    Disk,
+    WallTime,
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ResourceKind::Cores => "cores",
+            ResourceKind::Memory => "memory",
+            ResourceKind::Disk => "disk",
+            ResourceKind::WallTime => "wall-time",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How a monitored invocation ended.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MonitorOutcome {
+    /// Ran to completion; report attached.
+    Completed(ResourceReport),
+    /// Killed for exceeding a limit; partial report attached.
+    LimitExceeded { kind: ResourceKind, report: ResourceReport },
+    /// The function itself failed (non-zero exit / raised exception).
+    Failed { exit_code: i32, report: ResourceReport },
+}
+
+impl MonitorOutcome {
+    pub fn report(&self) -> &ResourceReport {
+        match self {
+            MonitorOutcome::Completed(r) => r,
+            MonitorOutcome::LimitExceeded { report, .. } => report,
+            MonitorOutcome::Failed { report, .. } => report,
+        }
+    }
+
+    pub fn is_success(&self) -> bool {
+        matches!(self, MonitorOutcome::Completed(_))
+    }
+
+    pub fn is_limit_exceeded(&self) -> bool {
+        matches!(self, MonitorOutcome::LimitExceeded { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cores_from_cpu_derivative() {
+        let a = UsageSnapshot { elapsed: 1.0, cpu_secs: 1.0, ..Default::default() };
+        let b = UsageSnapshot { elapsed: 2.0, cpu_secs: 3.5, ..Default::default() };
+        assert!((b.cores_since(&a) - 2.5).abs() < 1e-12);
+        assert_eq!(a.cores_since(&b), 0.0); // reversed order clamps
+    }
+
+    #[test]
+    fn report_absorbs_peaks() {
+        let mut r = ResourceReport::default();
+        let s1 = UsageSnapshot {
+            elapsed: 1.0,
+            cpu_secs: 0.9,
+            rss_mb: 100,
+            processes: 1,
+            disk_mb: 10,
+            ..Default::default()
+        };
+        let s2 = UsageSnapshot {
+            elapsed: 2.0,
+            cpu_secs: 2.9,
+            rss_mb: 80,
+            processes: 3,
+            disk_mb: 50,
+            ..Default::default()
+        };
+        r.absorb(&s1, None);
+        r.absorb(&s2, Some(&s1));
+        assert_eq!(r.peak_rss_mb, 100); // peak, not last
+        assert_eq!(r.peak_processes, 3);
+        assert_eq!(r.peak_disk_mb, 50);
+        assert!((r.peak_cores - 2.0).abs() < 1e-12);
+        assert_eq!(r.polls, 2);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let r = ResourceReport { wall_secs: 5.0, ..Default::default() };
+        let ok = MonitorOutcome::Completed(r.clone());
+        assert!(ok.is_success());
+        assert!(!ok.is_limit_exceeded());
+        let killed = MonitorOutcome::LimitExceeded { kind: ResourceKind::Memory, report: r };
+        assert!(killed.is_limit_exceeded());
+        assert_eq!(killed.report().wall_secs, 5.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Deterministic simulated monitor.
+//!
+//! Inside the discrete-event simulator, tasks do not really run; each task
+//! carries a *true usage profile* and the simulated LFM decides — exactly
+//! and deterministically — whether the task completes under its limits or
+//! gets killed, and when. The kill time respects the polling grid, so
+//! shrinking the poll interval tightens enforcement the same way it does
+//! for the real monitor.
+
+use crate::limits::ResourceLimits;
+use crate::report::{MonitorOutcome, ResourceKind, ResourceReport};
+use serde::{Deserialize, Serialize};
+
+/// The true resource behaviour of one task instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimTaskProfile {
+    /// Wall-clock duration when allowed to run to completion, seconds.
+    pub duration_secs: f64,
+    /// Cores the task actually uses (constant over its life).
+    pub cores_used: f64,
+    /// Memory starts here...
+    pub base_memory_mb: u64,
+    /// ...and ramps linearly to this peak...
+    pub peak_memory_mb: u64,
+    /// ...over this fraction of the duration, then stays flat.
+    pub mem_ramp_fraction: f64,
+    /// Scratch disk grows linearly from 0 to this peak over the full run.
+    pub peak_disk_mb: u64,
+}
+
+impl SimTaskProfile {
+    /// A simple constant-shape profile (memory ramps over the first 20%).
+    pub fn new(duration_secs: f64, cores: f64, memory_mb: u64, disk_mb: u64) -> Self {
+        SimTaskProfile {
+            duration_secs,
+            cores_used: cores,
+            base_memory_mb: memory_mb / 10,
+            peak_memory_mb: memory_mb,
+            mem_ramp_fraction: 0.2,
+            peak_disk_mb: disk_mb,
+        }
+    }
+
+    /// Memory in use at time `t`.
+    pub fn memory_at(&self, t: f64) -> u64 {
+        let ramp_end = (self.mem_ramp_fraction * self.duration_secs).max(f64::MIN_POSITIVE);
+        let frac = (t / ramp_end).clamp(0.0, 1.0);
+        self.base_memory_mb
+            + ((self.peak_memory_mb - self.base_memory_mb) as f64 * frac) as u64
+    }
+
+    /// Disk in use at time `t`.
+    pub fn disk_at(&self, t: f64) -> u64 {
+        let frac = (t / self.duration_secs.max(f64::MIN_POSITIVE)).clamp(0.0, 1.0);
+        (self.peak_disk_mb as f64 * frac) as u64
+    }
+}
+
+/// Result of simulating one monitored invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimMonitorResult {
+    pub outcome: MonitorOutcome,
+    /// Wall-clock the task occupied its allocation (full duration, or time
+    /// until the kill).
+    pub occupied_secs: f64,
+}
+
+/// Simulated monitor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimMonitor {
+    /// Polling interval, seconds.
+    pub poll_interval: f64,
+    /// Monitor CPU cost per poll, seconds (the measured overhead of reading
+    /// /proc for a whole tree is well under a millisecond).
+    pub per_poll_cost: f64,
+}
+
+impl Default for SimMonitor {
+    fn default() -> Self {
+        SimMonitor { poll_interval: 1.0, per_poll_cost: 0.5e-3 }
+    }
+}
+
+impl SimMonitor {
+    /// Round `t` up to the next polling instant (polls happen at k·interval,
+    /// k ≥ 1).
+    fn next_poll_after(&self, t: f64) -> f64 {
+        let k = (t / self.poll_interval).ceil().max(1.0);
+        // If t falls exactly on a poll, that poll sees the violation.
+        k * self.poll_interval
+    }
+
+    /// When would each limit first be *detectably* violated?
+    fn violation_time(
+        &self,
+        profile: &SimTaskProfile,
+        limits: &ResourceLimits,
+    ) -> Option<(f64, ResourceKind)> {
+        let mut first: Option<(f64, ResourceKind)> = None;
+        let mut consider = |t: Option<f64>, kind: ResourceKind| {
+            if let Some(t) = t {
+                if t <= profile.duration_secs {
+                    match first {
+                        Some((best, _)) if best <= t => {}
+                        _ => first = Some((t, kind)),
+                    }
+                }
+            }
+        };
+
+        if let Some(limit) = limits.memory_mb {
+            if profile.peak_memory_mb > limit {
+                let crossing = if profile.base_memory_mb > limit {
+                    0.0
+                } else {
+                    let span = (profile.peak_memory_mb - profile.base_memory_mb) as f64;
+                    let need = (limit - profile.base_memory_mb) as f64;
+                    profile.mem_ramp_fraction * profile.duration_secs * (need / span)
+                };
+                consider(Some(self.next_poll_after(crossing + 1e-9)), ResourceKind::Memory);
+            }
+        }
+        if let Some(limit) = limits.disk_mb {
+            if profile.peak_disk_mb > limit {
+                let crossing = profile.duration_secs * (limit as f64 + 1.0)
+                    / profile.peak_disk_mb as f64;
+                consider(Some(self.next_poll_after(crossing)), ResourceKind::Disk);
+            }
+        }
+        if let Some(limit) = limits.cores {
+            if profile.cores_used > limit + 0.5 {
+                // The derivative needs two polls.
+                consider(Some(2.0 * self.poll_interval), ResourceKind::Cores);
+            }
+        }
+        if let Some(limit) = limits.wall_secs {
+            if profile.duration_secs > limit {
+                consider(Some(self.next_poll_after(limit + 1e-9)), ResourceKind::WallTime);
+            }
+        }
+        first
+    }
+
+    /// Simulate one invocation of `profile` under `limits`.
+    pub fn run(&self, profile: &SimTaskProfile, limits: &ResourceLimits) -> SimMonitorResult {
+        let violation = self.violation_time(profile, limits);
+        let end = violation.map(|(t, _)| t).unwrap_or(profile.duration_secs);
+        let polls = (end / self.poll_interval).floor().max(1.0) as u64;
+        let report = ResourceReport {
+            wall_secs: end,
+            cpu_secs: profile.cores_used * end,
+            peak_cores: profile.cores_used,
+            peak_rss_mb: profile.memory_at(end),
+            peak_processes: 1,
+            peak_disk_mb: profile.disk_at(end),
+            read_bytes: 0,
+            write_bytes: (profile.disk_at(end)) * 1024 * 1024,
+            polls,
+            monitor_overhead_secs: polls as f64 * self.per_poll_cost,
+        };
+        let outcome = match violation {
+            Some((_, kind)) => MonitorOutcome::LimitExceeded { kind, report },
+            None => MonitorOutcome::Completed(report),
+        };
+        SimMonitorResult { outcome, occupied_secs: end }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> SimTaskProfile {
+        // 60 s, 1 core, 110 MB peak, 1 GB disk — the paper's HEP task.
+        SimTaskProfile::new(60.0, 1.0, 110, 1024)
+    }
+
+    #[test]
+    fn unlimited_runs_to_completion() {
+        let m = SimMonitor::default();
+        let r = m.run(&profile(), &ResourceLimits::unlimited());
+        assert!(r.outcome.is_success());
+        assert_eq!(r.occupied_secs, 60.0);
+        let rep = r.outcome.report();
+        assert_eq!(rep.peak_rss_mb, 110);
+        assert_eq!(rep.peak_disk_mb, 1024);
+        assert!((rep.peak_cores - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generous_limits_run_to_completion() {
+        let m = SimMonitor::default();
+        let limits = ResourceLimits::unlimited()
+            .with_memory_mb(1536)
+            .with_cores(1.0)
+            .with_disk_mb(2048);
+        assert!(m.run(&profile(), &limits).outcome.is_success());
+    }
+
+    #[test]
+    fn memory_violation_killed_during_ramp() {
+        let m = SimMonitor::default();
+        // Limit below peak: ramp reaches 84 MB somewhere in the first 12 s
+        // (20% of 60 s).
+        let limits = ResourceLimits::unlimited().with_memory_mb(84);
+        let r = m.run(&profile(), &limits);
+        match &r.outcome {
+            MonitorOutcome::LimitExceeded { kind, .. } => {
+                assert_eq!(*kind, ResourceKind::Memory)
+            }
+            other => panic!("expected memory kill, got {other:?}"),
+        }
+        assert!(r.occupied_secs < 13.0, "killed at {}", r.occupied_secs);
+        assert!(r.occupied_secs >= 1.0, "cannot die before the first poll");
+    }
+
+    #[test]
+    fn kill_time_snaps_to_poll_grid() {
+        let m = SimMonitor { poll_interval: 5.0, per_poll_cost: 0.0 };
+        let limits = ResourceLimits::unlimited().with_memory_mb(84);
+        let r = m.run(&profile(), &limits);
+        let t = r.occupied_secs;
+        assert!((t / 5.0 - (t / 5.0).round()).abs() < 1e-9, "kill at {t} not on grid");
+    }
+
+    #[test]
+    fn finer_polling_kills_sooner() {
+        let coarse = SimMonitor { poll_interval: 10.0, per_poll_cost: 0.0 };
+        let fine = SimMonitor { poll_interval: 0.5, per_poll_cost: 0.0 };
+        let limits = ResourceLimits::unlimited().with_memory_mb(50);
+        let tc = coarse.run(&profile(), &limits).occupied_secs;
+        let tf = fine.run(&profile(), &limits).occupied_secs;
+        assert!(tf <= tc);
+    }
+
+    #[test]
+    fn cores_violation_needs_two_polls() {
+        let m = SimMonitor::default();
+        let fat = SimTaskProfile::new(30.0, 8.0, 100, 100);
+        let limits = ResourceLimits::unlimited().with_cores(1.0);
+        let r = m.run(&fat, &limits);
+        assert!(r.outcome.is_limit_exceeded());
+        assert_eq!(r.occupied_secs, 2.0 * m.poll_interval);
+    }
+
+    #[test]
+    fn wall_violation() {
+        let m = SimMonitor::default();
+        let limits = ResourceLimits::unlimited().with_wall_secs(10.0);
+        let r = m.run(&profile(), &limits);
+        match &r.outcome {
+            MonitorOutcome::LimitExceeded { kind, .. } => {
+                assert_eq!(*kind, ResourceKind::WallTime)
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(r.occupied_secs >= 10.0 && r.occupied_secs <= 11.0);
+    }
+
+    #[test]
+    fn earliest_violation_wins() {
+        let m = SimMonitor::default();
+        // Memory trips during the ramp (< 12 s); wall trips at 50 s.
+        let limits = ResourceLimits::unlimited().with_memory_mb(50).with_wall_secs(50.0);
+        match m.run(&profile(), &limits).outcome {
+            MonitorOutcome::LimitExceeded { kind, .. } => {
+                assert_eq!(kind, ResourceKind::Memory)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn overhead_scales_with_polls() {
+        let m = SimMonitor { poll_interval: 1.0, per_poll_cost: 1e-3 };
+        let r = m.run(&profile(), &ResourceLimits::unlimited());
+        let rep = r.outcome.report();
+        assert_eq!(rep.polls, 60);
+        assert!((rep.monitor_overhead_secs - 0.06).abs() < 1e-9);
+        // "Lightweight": overhead is a vanishing fraction of the task.
+        assert!(rep.monitor_overhead_secs < 0.01 * rep.wall_secs);
+    }
+
+    #[test]
+    fn memory_at_profile_shape() {
+        let p = profile();
+        assert_eq!(p.memory_at(0.0), 11);
+        assert_eq!(p.memory_at(12.0), 110); // ramp ends at 20% of 60 s
+        assert_eq!(p.memory_at(60.0), 110);
+        assert!(p.memory_at(6.0) > 11);
+        assert!(p.memory_at(6.0) < 110);
+    }
+}

@@ -1,0 +1,209 @@
+//! Resource-summary emission — the Work Queue resource monitor writes a
+//! summary file per task; this module produces the equivalent JSON document
+//! for an LFM outcome, so downstream tooling (and the scheduler's logs) get
+//! a stable, self-describing record.
+//!
+//! The encoder is a deliberately tiny hand-rolled JSON writer: reports are
+//! flat documents of numbers and short strings, and the approved dependency
+//! set has no JSON crate.
+
+use crate::report::{MonitorOutcome, ResourceReport};
+use std::fmt::Write as _;
+
+/// Minimal JSON string escaping.
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn num(x: f64, out: &mut String) {
+    if x.is_finite() {
+        write!(out, "{x}").unwrap();
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// A tiny builder for flat JSON objects.
+#[derive(Default)]
+pub struct JsonObject {
+    body: String,
+}
+
+impl JsonObject {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        escape(k, &mut self.body);
+        self.body.push(':');
+    }
+
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        escape(v, &mut self.body);
+        self
+    }
+
+    pub fn field_f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        num(v, &mut self.body);
+        self
+    }
+
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        write!(self.body, "{v}").unwrap();
+        self
+    }
+
+    pub fn field_i64(&mut self, k: &str, v: i64) -> &mut Self {
+        self.key(k);
+        write!(self.body, "{v}").unwrap();
+        self
+    }
+
+    pub fn field_raw(&mut self, k: &str, raw: &str) -> &mut Self {
+        self.key(k);
+        self.body.push_str(raw);
+        self
+    }
+
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+impl ResourceReport {
+    /// Serialize as a Work Queue-style resource summary object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_f64("wall_time_s", self.wall_secs)
+            .field_f64("cpu_time_s", self.cpu_secs)
+            .field_f64("cores", self.peak_cores)
+            .field_u64("memory_mb", self.peak_rss_mb)
+            .field_u64("max_concurrent_processes", self.peak_processes as u64)
+            .field_u64("disk_mb", self.peak_disk_mb)
+            .field_u64("bytes_read", self.read_bytes)
+            .field_u64("bytes_written", self.write_bytes)
+            .field_u64("polls", self.polls)
+            .field_f64("monitor_overhead_s", self.monitor_overhead_secs);
+        o.finish()
+    }
+}
+
+impl MonitorOutcome {
+    /// Serialize the outcome (status + limit info + report).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        match self {
+            MonitorOutcome::Completed(r) => {
+                o.field_str("status", "completed").field_raw("resources", &r.to_json());
+            }
+            MonitorOutcome::LimitExceeded { kind, report } => {
+                o.field_str("status", "limit_exceeded")
+                    .field_str("limit_exceeded", &kind.to_string())
+                    .field_raw("resources", &report.to_json());
+            }
+            MonitorOutcome::Failed { exit_code, report } => {
+                o.field_str("status", "failed")
+                    .field_i64("exit_code", *exit_code as i64)
+                    .field_raw("resources", &report.to_json());
+            }
+        }
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ResourceKind;
+
+    fn sample_report() -> ResourceReport {
+        ResourceReport {
+            wall_secs: 61.25,
+            cpu_secs: 58.0,
+            peak_cores: 0.95,
+            peak_rss_mb: 110,
+            peak_processes: 3,
+            peak_disk_mb: 880,
+            read_bytes: 1024,
+            write_bytes: 2048,
+            polls: 61,
+            monitor_overhead_secs: 0.03,
+        }
+    }
+
+    #[test]
+    fn report_json_has_all_fields() {
+        let j = sample_report().to_json();
+        for key in [
+            "wall_time_s",
+            "cpu_time_s",
+            "cores",
+            "memory_mb",
+            "max_concurrent_processes",
+            "disk_mb",
+            "bytes_read",
+            "bytes_written",
+            "polls",
+            "monitor_overhead_s",
+        ] {
+            assert!(j.contains(&format!("\"{key}\"")), "missing {key} in {j}");
+        }
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"memory_mb\":110"));
+        assert!(j.contains("\"wall_time_s\":61.25"));
+    }
+
+    #[test]
+    fn outcome_json_statuses() {
+        let ok = MonitorOutcome::Completed(sample_report()).to_json();
+        assert!(ok.contains("\"status\":\"completed\""));
+        assert!(ok.contains("\"resources\":{"));
+        let killed = MonitorOutcome::LimitExceeded {
+            kind: ResourceKind::Memory,
+            report: sample_report(),
+        }
+        .to_json();
+        assert!(killed.contains("\"status\":\"limit_exceeded\""));
+        assert!(killed.contains("\"limit_exceeded\":\"memory\""));
+        let failed =
+            MonitorOutcome::Failed { exit_code: 3, report: sample_report() }.to_json();
+        assert!(failed.contains("\"exit_code\":3"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut o = JsonObject::new();
+        o.field_str("k", "a\"b\\c\nd\te\u{1}");
+        let j = o.finish();
+        assert_eq!(j, "{\"k\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let mut o = JsonObject::new();
+        o.field_f64("x", f64::NAN).field_f64("y", f64::INFINITY);
+        let j = o.finish();
+        assert_eq!(j, "{\"x\":null,\"y\":null}");
+    }
+}

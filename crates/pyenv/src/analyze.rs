@@ -1,0 +1,296 @@
+//! Static dependency analysis (paper §V-B).
+//!
+//! Given a fragment of mini-Python code (typically one Parsl function), find
+//! every module it imports — `import a.b`, `from a import b`, aliased forms,
+//! imports nested inside control flow or the function body — and reduce them
+//! to the set of *top-level* modules that map to installable distributions.
+//!
+//! Dynamic imports (`__import__("m")`, `importlib.import_module("m")`) are
+//! resolved when their argument is a string literal, and reported as warnings
+//! otherwise, mirroring the paper's observation that static analysis "is not
+//! foolproof in the general case".
+
+use crate::ast::{walk_stmt_exprs, Expr, Module, Stmt};
+use crate::error::Result;
+use crate::parser::parse_module;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One discovered import with provenance.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FoundImport {
+    /// Top-level module name (`tensorflow` for `tensorflow.keras.layers`).
+    pub top_level: String,
+    /// The full dotted path as written.
+    pub dotted: String,
+    /// Source line of the import statement.
+    pub line: usize,
+    /// How the import was expressed.
+    pub kind: ImportKind,
+}
+
+/// The surface form an import used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ImportKind {
+    /// `import a.b`
+    Plain,
+    /// `from a import b`
+    From,
+    /// `from . import x` — resolved against the application's own package,
+    /// not an installable distribution.
+    Relative,
+    /// `__import__("a")` or `importlib.import_module("a")` with a literal.
+    DynamicLiteral,
+}
+
+/// Non-fatal findings the analyzer wants the user to see.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnalysisWarning {
+    /// A dynamic import whose target could not be determined statically.
+    DynamicImportUnresolved { line: usize, call: String },
+    /// `from m import *` pulls an unknowable name set; the module itself is
+    /// still recorded as a dependency.
+    StarImport { line: usize, module: String },
+}
+
+/// The result of analyzing a code fragment.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Analysis {
+    /// All imports found, in source order (deduplicated by dotted path+kind).
+    pub imports: Vec<FoundImport>,
+    /// Relative imports (level > 0) — local application modules.
+    pub local_modules: BTreeSet<String>,
+    /// Warnings for constructs static analysis cannot fully resolve.
+    pub warnings: Vec<AnalysisWarning>,
+}
+
+impl Analysis {
+    /// The deduplicated set of top-level external module names.
+    pub fn top_level_modules(&self) -> BTreeSet<&str> {
+        self.imports
+            .iter()
+            .filter(|i| i.kind != ImportKind::Relative)
+            .map(|i| i.top_level.as_str())
+            .collect()
+    }
+}
+
+/// Analyze complete module source text.
+pub fn analyze_source(source: &str) -> Result<Analysis> {
+    let module = parse_module(source)?;
+    Ok(analyze_module(&module))
+}
+
+/// Analyze a single named function within `source`, in isolation from the
+/// rest of the program (paper: "each function can be analyzed in isolation").
+/// Returns `None` analysis if the function is absent.
+pub fn analyze_function(source: &str, function: &str) -> Result<Option<Analysis>> {
+    let module = parse_module(source)?;
+    let Some(def) = module.find_function(function) else {
+        return Ok(None);
+    };
+    let mut a = Analysis::default();
+    crate::ast::walk_stmt(def, &mut |s| collect_stmt(s, &mut a));
+    crate::ast::walk_stmt(def, &mut |s| {
+        walk_stmt_exprs(s, &mut |e| collect_dynamic(e, &mut a));
+    });
+    dedup(&mut a);
+    Ok(Some(a))
+}
+
+/// Analyze an already-parsed module.
+pub fn analyze_module(module: &Module) -> Analysis {
+    let mut a = Analysis::default();
+    module.walk_stmts(&mut |s| collect_stmt(s, &mut a));
+    module.walk_stmts(&mut |s| {
+        walk_stmt_exprs(s, &mut |e| collect_dynamic(e, &mut a));
+    });
+    dedup(&mut a);
+    a
+}
+
+fn collect_stmt(stmt: &Stmt, a: &mut Analysis) {
+    match stmt {
+        Stmt::Import { names, line } => {
+            for alias in names {
+                a.imports.push(FoundImport {
+                    top_level: alias.name.top_level().to_string(),
+                    dotted: alias.name.dotted(),
+                    line: *line,
+                    kind: ImportKind::Plain,
+                });
+            }
+        }
+        Stmt::ImportFrom { module, names, level, star, line } => {
+            if *level > 0 {
+                // Relative import: record the local module path.
+                let local = module.as_ref().map(|m| m.dotted()).unwrap_or_default();
+                let entry = if local.is_empty() {
+                    names
+                        .first()
+                        .map(|n| n.name.dotted())
+                        .unwrap_or_else(|| ".".to_string())
+                } else {
+                    local
+                };
+                a.local_modules.insert(entry.clone());
+                a.imports.push(FoundImport {
+                    top_level: entry.clone(),
+                    dotted: entry,
+                    line: *line,
+                    kind: ImportKind::Relative,
+                });
+                return;
+            }
+            let Some(m) = module else { return };
+            if *star {
+                a.warnings.push(AnalysisWarning::StarImport { line: *line, module: m.dotted() });
+            }
+            a.imports.push(FoundImport {
+                top_level: m.top_level().to_string(),
+                dotted: m.dotted(),
+                line: *line,
+                kind: ImportKind::From,
+            });
+        }
+        _ => {}
+    }
+}
+
+fn collect_dynamic(expr: &Expr, a: &mut Analysis) {
+    let Expr::Call { func, args, .. } = expr else { return };
+    let call_name = match func.as_ref() {
+        Expr::Name(n) if n == "__import__" => "__import__".to_string(),
+        Expr::Attribute { value, attr }
+            if attr == "import_module"
+                && matches!(value.as_ref(), Expr::Name(n) if n == "importlib") =>
+        {
+            "importlib.import_module".to_string()
+        }
+        _ => return,
+    };
+    match args.first() {
+        Some(Expr::Str(s)) => {
+            let top = s.split('.').next().unwrap_or(s).to_string();
+            a.imports.push(FoundImport {
+                top_level: top,
+                dotted: s.clone(),
+                line: 0,
+                kind: ImportKind::DynamicLiteral,
+            });
+        }
+        _ => a
+            .warnings
+            .push(AnalysisWarning::DynamicImportUnresolved { line: 0, call: call_name }),
+    }
+}
+
+fn dedup(a: &mut Analysis) {
+    let mut seen = BTreeSet::new();
+    a.imports.retain(|i| seen.insert((i.dotted.clone(), i.kind)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_imports() {
+        let a = analyze_source("import numpy\nimport scipy.stats\n").unwrap();
+        let tops = a.top_level_modules();
+        assert!(tops.contains("numpy"));
+        assert!(tops.contains("scipy"));
+        assert_eq!(tops.len(), 2);
+    }
+
+    #[test]
+    fn from_import_uses_module_not_names() {
+        let a = analyze_source("from tensorflow.keras.models import load_model\n").unwrap();
+        assert_eq!(a.top_level_modules().into_iter().collect::<Vec<_>>(), vec!["tensorflow"]);
+    }
+
+    #[test]
+    fn aliased_imports() {
+        let a = analyze_source("import numpy as np\nfrom pandas import DataFrame as DF\n")
+            .unwrap();
+        let tops = a.top_level_modules();
+        assert!(tops.contains("numpy"));
+        assert!(tops.contains("pandas"));
+    }
+
+    #[test]
+    fn imports_inside_function_body() {
+        let src = "@python_app\ndef f(x):\n    import numpy as np\n    return np.sum(x)\n";
+        let a = analyze_source(src).unwrap();
+        assert!(a.top_level_modules().contains("numpy"));
+    }
+
+    #[test]
+    fn imports_inside_control_flow() {
+        let src = "def f():\n    if fast:\n        import numpy\n    else:\n        import math\n    try:\n        import rdkit\n    except ImportError:\n        pass\n";
+        let a = analyze_source(src).unwrap();
+        let tops = a.top_level_modules();
+        assert!(tops.contains("numpy"));
+        assert!(tops.contains("math"));
+        assert!(tops.contains("rdkit"));
+    }
+
+    #[test]
+    fn analyze_single_function_in_isolation() {
+        let src = "import os\n\ndef f():\n    import numpy\n    return 1\n\ndef g():\n    import pandas\n    return 2\n";
+        let a = analyze_function(src, "f").unwrap().unwrap();
+        let tops = a.top_level_modules();
+        assert!(tops.contains("numpy"));
+        assert!(!tops.contains("pandas"));
+        assert!(!tops.contains("os")); // module-level import not part of f
+    }
+
+    #[test]
+    fn analyze_missing_function_is_none() {
+        assert!(analyze_function("x = 1\n", "nope").unwrap().is_none());
+    }
+
+    #[test]
+    fn relative_imports_are_local() {
+        let a = analyze_source("from .utils import helper\nfrom . import sibling\n").unwrap();
+        assert!(a.local_modules.contains("utils"));
+        assert!(a.local_modules.contains("sibling"));
+        assert!(a.top_level_modules().is_empty());
+    }
+
+    #[test]
+    fn star_import_warns_but_records() {
+        let a = analyze_source("from numpy import *\n").unwrap();
+        assert!(a.top_level_modules().contains("numpy"));
+        assert!(matches!(a.warnings[0], AnalysisWarning::StarImport { .. }));
+    }
+
+    #[test]
+    fn dynamic_import_literal_resolved() {
+        let a = analyze_source("m = __import__('json')\n").unwrap();
+        assert!(a.imports.iter().any(|i| i.top_level == "json"));
+        let a = analyze_source("import importlib\nm = importlib.import_module('scipy.stats')\n")
+            .unwrap();
+        assert!(a.top_level_modules().contains("scipy"));
+    }
+
+    #[test]
+    fn dynamic_import_variable_warns() {
+        let a = analyze_source("m = __import__(name)\n").unwrap();
+        assert!(matches!(a.warnings[0], AnalysisWarning::DynamicImportUnresolved { .. }));
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        let a = analyze_source("import numpy\nimport numpy\nfrom numpy import array\n").unwrap();
+        let plain: Vec<_> =
+            a.imports.iter().filter(|i| i.top_level == "numpy").collect();
+        assert_eq!(plain.len(), 2); // one Plain + one From
+    }
+
+    #[test]
+    fn multi_target_import() {
+        let a = analyze_source("import os, sys, json\n").unwrap();
+        assert_eq!(a.top_level_modules().len(), 3);
+    }
+}

@@ -1,0 +1,449 @@
+//! Abstract syntax tree for the mini-Python subset.
+//!
+//! The tree is deliberately scoped to what the static dependency analyzer
+//! and the workload generators need: module/function structure, the full
+//! family of import statements, and enough expression forms to represent
+//! realistic scientific-Python function bodies.
+
+use serde::{Deserialize, Serialize};
+
+/// A parsed module: a sequence of statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    pub body: Vec<Stmt>,
+}
+
+/// A dotted module path, e.g. `tensorflow.keras.layers`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DottedName {
+    pub parts: Vec<String>,
+}
+
+impl DottedName {
+    /// Build from a dotted string.
+    pub fn parse(s: &str) -> Self {
+        DottedName { parts: s.split('.').map(|p| p.to_string()).collect() }
+    }
+
+    /// The first component — the top-level module that maps to a
+    /// distribution (e.g. `tensorflow` for `tensorflow.keras.layers`).
+    pub fn top_level(&self) -> &str {
+        &self.parts[0]
+    }
+
+    /// Render back to dotted form.
+    pub fn dotted(&self) -> String {
+        self.parts.join(".")
+    }
+}
+
+/// One `name [as alias]` clause in an import statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImportAlias {
+    pub name: DottedName,
+    pub alias: Option<String>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `import a.b as x, c`
+    Import { names: Vec<ImportAlias>, line: usize },
+    /// `from a.b import c as d, e` — `level` counts leading dots for
+    /// relative imports (`from ..pkg import x` has level 2); `names` empty
+    /// plus `star` true represents `from m import *`.
+    ImportFrom {
+        module: Option<DottedName>,
+        names: Vec<ImportAlias>,
+        level: usize,
+        star: bool,
+        line: usize,
+    },
+    /// `def name(params): body`, with decorators.
+    FunctionDef {
+        name: String,
+        params: Vec<Param>,
+        body: Vec<Stmt>,
+        decorators: Vec<Expr>,
+        line: usize,
+    },
+    /// `class name(bases): body`
+    ClassDef { name: String, bases: Vec<Expr>, body: Vec<Stmt>, line: usize },
+    /// `targets = value` (single chained assignment collapses to last target).
+    Assign { targets: Vec<Expr>, value: Expr },
+    /// `target op= value`
+    AugAssign { target: Expr, op: String, value: Expr },
+    /// A bare expression statement (covers calls, docstrings).
+    ExprStmt(Expr),
+    Return(Option<Expr>),
+    If { test: Expr, body: Vec<Stmt>, orelse: Vec<Stmt> },
+    While { test: Expr, body: Vec<Stmt> },
+    For { target: Expr, iter: Expr, body: Vec<Stmt> },
+    With { items: Vec<(Expr, Option<Expr>)>, body: Vec<Stmt> },
+    Try {
+        body: Vec<Stmt>,
+        handlers: Vec<ExceptHandler>,
+        orelse: Vec<Stmt>,
+        finalbody: Vec<Stmt>,
+    },
+    Raise(Option<Expr>),
+    Assert { test: Expr, msg: Option<Expr> },
+    Global(Vec<String>),
+    Pass,
+    Break,
+    Continue,
+    Delete(Vec<Expr>),
+}
+
+/// An `except [type [as name]]:` clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExceptHandler {
+    pub typ: Option<Expr>,
+    pub name: Option<String>,
+    pub body: Vec<Stmt>,
+}
+
+/// A function parameter with optional default.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    pub name: String,
+    pub default: Option<Expr>,
+    /// `*args`
+    pub star: bool,
+    /// `**kwargs`
+    pub double_star: bool,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    Name(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// An f-string: literal runs interleaved with embedded expressions.
+    FString(Vec<FStringPart>),
+    NoneLit,
+    Bool(bool),
+    /// `value.attr`
+    Attribute { value: Box<Expr>, attr: String },
+    /// `func(args, kw=...)`
+    Call { func: Box<Expr>, args: Vec<Expr>, kwargs: Vec<(String, Expr)> },
+    /// `value[index]`
+    Subscript { value: Box<Expr>, index: Box<Expr> },
+    /// Binary operation.
+    BinOp { left: Box<Expr>, op: String, right: Box<Expr> },
+    /// Unary operation (`-x`, `not x`, `~x`).
+    UnaryOp { op: String, operand: Box<Expr> },
+    /// Boolean operation chain (`and` / `or`).
+    BoolOp { op: String, values: Vec<Expr> },
+    /// Comparison chain (`a < b <= c`).
+    Compare { left: Box<Expr>, ops: Vec<String>, comparators: Vec<Expr> },
+    List(Vec<Expr>),
+    Tuple(Vec<Expr>),
+    Dict(Vec<(Expr, Expr)>),
+    Set(Vec<Expr>),
+    /// `lambda params: body`
+    Lambda { params: Vec<Param>, body: Box<Expr> },
+    /// `body if test else orelse`
+    IfExp { test: Box<Expr>, body: Box<Expr>, orelse: Box<Expr> },
+    /// `yield [value]` in expression position.
+    Yield(Option<Box<Expr>>),
+    /// `[elt for target in iter if cond]` (all comprehension kinds collapse
+    /// to this; `kind` distinguishes list/set/dict/generator).
+    Comprehension {
+        kind: ComprehensionKind,
+        elt: Box<Expr>,
+        value: Option<Box<Expr>>,
+        target: Box<Expr>,
+        iter: Box<Expr>,
+        conditions: Vec<Expr>,
+    },
+    /// `*expr` in a call or display.
+    Starred(Box<Expr>),
+}
+
+/// One piece of an f-string.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FStringPart {
+    Literal(String),
+    Expr(Box<Expr>),
+}
+
+/// Which surface syntax a comprehension used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ComprehensionKind {
+    List,
+    Set,
+    Dict,
+    Generator,
+}
+
+impl Module {
+    /// Visit every statement in the module recursively, including nested
+    /// function/class bodies and all control-flow arms.
+    pub fn walk_stmts<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        for s in &self.body {
+            walk_stmt(s, f);
+        }
+    }
+
+    /// Find a top-level function definition by name.
+    pub fn find_function(&self, name: &str) -> Option<&Stmt> {
+        self.body.iter().find(|s| matches!(s, Stmt::FunctionDef { name: n, .. } if n == name))
+    }
+
+    /// Names of all top-level function definitions.
+    pub fn function_names(&self) -> Vec<&str> {
+        self.body
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::FunctionDef { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Recursively visit `stmt` and every statement nested within it.
+pub fn walk_stmt<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Stmt)) {
+    f(stmt);
+    match stmt {
+        Stmt::FunctionDef { body, .. } | Stmt::ClassDef { body, .. } | Stmt::While { body, .. } => {
+            for s in body {
+                walk_stmt(s, f);
+            }
+        }
+        Stmt::If { body, orelse, .. } => {
+            for s in body.iter().chain(orelse) {
+                walk_stmt(s, f);
+            }
+        }
+        Stmt::For { body, .. } | Stmt::With { body, .. } => {
+            for s in body {
+                walk_stmt(s, f);
+            }
+        }
+        Stmt::Try { body, handlers, orelse, finalbody } => {
+            for s in body.iter().chain(orelse).chain(finalbody) {
+                walk_stmt(s, f);
+            }
+            for h in handlers {
+                for s in &h.body {
+                    walk_stmt(s, f);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Recursively visit every expression inside a statement.
+pub fn walk_stmt_exprs<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
+    let mut visit = |e: &'a Expr| walk_expr(e, f);
+    match stmt {
+        Stmt::Import { .. } | Stmt::ImportFrom { .. } | Stmt::Pass | Stmt::Break
+        | Stmt::Continue | Stmt::Global(_) => {}
+        Stmt::FunctionDef { decorators, params, .. } => {
+            for d in decorators {
+                visit(d);
+            }
+            for p in params {
+                if let Some(d) = &p.default {
+                    visit(d);
+                }
+            }
+        }
+        Stmt::ClassDef { bases, .. } => {
+            for b in bases {
+                visit(b);
+            }
+        }
+        Stmt::Assign { targets, value } => {
+            for t in targets {
+                visit(t);
+            }
+            visit(value);
+        }
+        Stmt::AugAssign { target, value, .. } => {
+            visit(target);
+            visit(value);
+        }
+        Stmt::ExprStmt(e) => visit(e),
+        Stmt::Return(e) | Stmt::Raise(e) => {
+            if let Some(e) = e {
+                visit(e);
+            }
+        }
+        Stmt::If { test, .. } | Stmt::While { test, .. } => visit(test),
+        Stmt::For { target, iter, .. } => {
+            visit(target);
+            visit(iter);
+        }
+        Stmt::With { items, .. } => {
+            for (ctx, opt) in items {
+                visit(ctx);
+                if let Some(o) = opt {
+                    visit(o);
+                }
+            }
+        }
+        Stmt::Try { handlers, .. } => {
+            for h in handlers {
+                if let Some(t) = &h.typ {
+                    visit(t);
+                }
+            }
+        }
+        Stmt::Assert { test, msg } => {
+            visit(test);
+            if let Some(m) = msg {
+                visit(m);
+            }
+        }
+        Stmt::Delete(targets) => {
+            for t in targets {
+                visit(t);
+            }
+        }
+    }
+}
+
+/// Recursively visit `expr` and every sub-expression.
+pub fn walk_expr<'a>(expr: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(expr);
+    match expr {
+        Expr::Name(_) | Expr::Int(_) | Expr::Float(_) | Expr::Str(_) | Expr::NoneLit
+        | Expr::Bool(_) => {}
+        Expr::FString(parts) => {
+            for p in parts {
+                if let FStringPart::Expr(e) = p {
+                    walk_expr(e, f);
+                }
+            }
+        }
+        Expr::Attribute { value, .. } => walk_expr(value, f),
+        Expr::Call { func, args, kwargs } => {
+            walk_expr(func, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+            for (_, v) in kwargs {
+                walk_expr(v, f);
+            }
+        }
+        Expr::Subscript { value, index } => {
+            walk_expr(value, f);
+            walk_expr(index, f);
+        }
+        Expr::BinOp { left, right, .. } => {
+            walk_expr(left, f);
+            walk_expr(right, f);
+        }
+        Expr::UnaryOp { operand, .. } => walk_expr(operand, f),
+        Expr::BoolOp { values, .. } => {
+            for v in values {
+                walk_expr(v, f);
+            }
+        }
+        Expr::Compare { left, comparators, .. } => {
+            walk_expr(left, f);
+            for c in comparators {
+                walk_expr(c, f);
+            }
+        }
+        Expr::List(items) | Expr::Tuple(items) | Expr::Set(items) => {
+            for i in items {
+                walk_expr(i, f);
+            }
+        }
+        Expr::Dict(pairs) => {
+            for (k, v) in pairs {
+                walk_expr(k, f);
+                walk_expr(v, f);
+            }
+        }
+        Expr::Lambda { params, body } => {
+            for p in params {
+                if let Some(d) = &p.default {
+                    walk_expr(d, f);
+                }
+            }
+            walk_expr(body, f);
+        }
+        Expr::IfExp { test, body, orelse } => {
+            walk_expr(test, f);
+            walk_expr(body, f);
+            walk_expr(orelse, f);
+        }
+        Expr::Yield(v) => {
+            if let Some(v) = v {
+                walk_expr(v, f);
+            }
+        }
+        Expr::Comprehension { elt, value, target, iter, conditions, .. } => {
+            walk_expr(elt, f);
+            if let Some(v) = value {
+                walk_expr(v, f);
+            }
+            walk_expr(target, f);
+            walk_expr(iter, f);
+            for c in conditions {
+                walk_expr(c, f);
+            }
+        }
+        Expr::Starred(e) => walk_expr(e, f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dotted_name_parts() {
+        let d = DottedName::parse("tensorflow.keras.layers");
+        assert_eq!(d.top_level(), "tensorflow");
+        assert_eq!(d.dotted(), "tensorflow.keras.layers");
+        assert_eq!(d.parts.len(), 3);
+    }
+
+    #[test]
+    fn walk_visits_nested() {
+        let m = Module {
+            body: vec![Stmt::FunctionDef {
+                name: "f".into(),
+                params: vec![],
+                decorators: vec![],
+                line: 1,
+                body: vec![Stmt::If {
+                    test: Expr::Bool(true),
+                    body: vec![Stmt::Pass],
+                    orelse: vec![Stmt::Break],
+                }],
+            }],
+        };
+        let mut count = 0;
+        m.walk_stmts(&mut |_| count += 1);
+        assert_eq!(count, 4); // def, if, pass, break
+    }
+
+    #[test]
+    fn find_function_by_name() {
+        let m = Module {
+            body: vec![
+                Stmt::Pass,
+                Stmt::FunctionDef {
+                    name: "g".into(),
+                    params: vec![],
+                    decorators: vec![],
+                    body: vec![Stmt::Pass],
+                    line: 2,
+                },
+            ],
+        };
+        assert!(m.find_function("g").is_some());
+        assert!(m.find_function("h").is_none());
+        assert_eq!(m.function_names(), vec!["g"]);
+    }
+}

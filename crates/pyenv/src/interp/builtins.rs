@@ -1,0 +1,451 @@
+//! Builtin functions and method dispatch for the interpreter.
+
+use super::value::Value;
+use crate::error::{PyEnvError, Result};
+use std::rc::Rc;
+
+fn type_err(msg: impl Into<String>) -> PyEnvError {
+    PyEnvError::runtime("TypeError", msg)
+}
+
+fn value_err(msg: impl Into<String>) -> PyEnvError {
+    PyEnvError::runtime("ValueError", msg)
+}
+
+fn arity(name: &str, args: &[Value], expect: std::ops::RangeInclusive<usize>) -> Result<()> {
+    if expect.contains(&args.len()) {
+        Ok(())
+    } else {
+        Err(type_err(format!("{name}() takes {expect:?} arguments, got {}", args.len())))
+    }
+}
+
+/// Materialize any iterable into a Vec (lists, tuples, strings, dict keys).
+pub fn iterate(v: &Value) -> Result<Vec<Value>> {
+    match v {
+        Value::List(items) => Ok(items.borrow().clone()),
+        Value::Tuple(items) => Ok(items.to_vec()),
+        Value::Str(s) => Ok(s.chars().map(|c| Value::str(c.to_string())).collect()),
+        Value::Dict(pairs) => Ok(pairs.borrow().iter().map(|(k, _)| k.clone()).collect()),
+        other => Err(type_err(format!("'{}' object is not iterable", other.type_name()))),
+    }
+}
+
+/// Dispatch a builtin by name, or `None` if unknown.
+pub fn call_builtin(name: &str, args: &[Value]) -> Option<Result<Value>> {
+    let out = match name {
+        "len" => (|| {
+            arity("len", args, 1..=1)?;
+            let n = match &args[0] {
+                Value::Str(s) => s.chars().count(),
+                Value::List(items) => items.borrow().len(),
+                Value::Tuple(items) => items.len(),
+                Value::Dict(pairs) => pairs.borrow().len(),
+                other => {
+                    return Err(type_err(format!(
+                        "object of type '{}' has no len()",
+                        other.type_name()
+                    )))
+                }
+            };
+            Ok(Value::Int(n as i64))
+        })(),
+        "range" => (|| {
+            arity("range", args, 1..=3)?;
+            let as_i = |v: &Value| {
+                v.as_number().map(|x| x as i64).ok_or_else(|| type_err("range() wants ints"))
+            };
+            let (start, stop, step) = match args.len() {
+                1 => (0, as_i(&args[0])?, 1),
+                2 => (as_i(&args[0])?, as_i(&args[1])?, 1),
+                _ => (as_i(&args[0])?, as_i(&args[1])?, as_i(&args[2])?),
+            };
+            if step == 0 {
+                return Err(value_err("range() arg 3 must not be zero"));
+            }
+            // Hard cap keeps interpreted code within the fuel budget.
+            let expected = if step > 0 {
+                ((stop - start).max(0) as i128 / step as i128) as i64
+            } else {
+                ((start - stop).max(0) as i128 / (-step) as i128) as i64
+            };
+            if expected > 10_000_000 {
+                return Err(value_err("range() too large for the interpreter budget"));
+            }
+            let mut out = Vec::new();
+            let mut i = start;
+            while (step > 0 && i < stop) || (step < 0 && i > stop) {
+                out.push(Value::Int(i));
+                i += step;
+            }
+            Ok(Value::list(out))
+        })(),
+        "sum" => (|| {
+            arity("sum", args, 1..=2)?;
+            let items = iterate(&args[0])?;
+            let mut acc = args.get(1).cloned().unwrap_or(Value::Int(0));
+            for it in items {
+                acc = super::binop_values(&acc, "+", &it)?;
+            }
+            Ok(acc)
+        })(),
+        "min" | "max" => (|| {
+            let items = if args.len() == 1 { iterate(&args[0])? } else { args.to_vec() };
+            if items.is_empty() {
+                return Err(value_err(format!("{name}() of empty sequence")));
+            }
+            let mut best = items[0].clone();
+            for it in &items[1..] {
+                let take = match super::compare_values(it, &best)? {
+                    o if name == "min" => o.is_lt(),
+                    o => o.is_gt(),
+                };
+                if take {
+                    best = it.clone();
+                }
+            }
+            Ok(best)
+        })(),
+        "abs" => (|| {
+            arity("abs", args, 1..=1)?;
+            match &args[0] {
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Float(x) => Ok(Value::Float(x.abs())),
+                Value::Bool(b) => Ok(Value::Int(*b as i64)),
+                other => Err(type_err(format!("bad operand for abs(): {}", other.type_name()))),
+            }
+        })(),
+        "round" => (|| {
+            arity("round", args, 1..=2)?;
+            let x = args[0].as_number().ok_or_else(|| type_err("round() wants a number"))?;
+            let digits =
+                args.get(1).and_then(Value::as_number).unwrap_or(0.0) as i32;
+            let scale = 10f64.powi(digits);
+            let rounded = (x * scale).round() / scale;
+            if args.len() == 1 {
+                Ok(Value::Int(rounded as i64))
+            } else {
+                Ok(Value::Float(rounded))
+            }
+        })(),
+        "float" => (|| {
+            arity("float", args, 1..=1)?;
+            match &args[0] {
+                Value::Str(s) => s
+                    .trim()
+                    .parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| value_err(format!("could not convert string to float: {s:?}"))),
+                v => v
+                    .as_number()
+                    .map(Value::Float)
+                    .ok_or_else(|| type_err("float() argument must be a number or string")),
+            }
+        })(),
+        "int" => (|| {
+            arity("int", args, 1..=1)?;
+            match &args[0] {
+                Value::Str(s) => s
+                    .trim()
+                    .parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| value_err(format!("invalid literal for int(): {s:?}"))),
+                v => v
+                    .as_number()
+                    .map(|x| Value::Int(x as i64))
+                    .ok_or_else(|| type_err("int() argument must be a number or string")),
+            }
+        })(),
+        "str" => (|| {
+            arity("str", args, 0..=1)?;
+            Ok(Value::str(args.first().map(Value::py_str).unwrap_or_default()))
+        })(),
+        "bool" => (|| {
+            arity("bool", args, 0..=1)?;
+            Ok(Value::Bool(args.first().map(Value::truthy).unwrap_or(false)))
+        })(),
+        "list" => (|| {
+            arity("list", args, 0..=1)?;
+            match args.first() {
+                None => Ok(Value::list(vec![])),
+                Some(v) => Ok(Value::list(iterate(v)?)),
+            }
+        })(),
+        "tuple" => (|| {
+            arity("tuple", args, 0..=1)?;
+            match args.first() {
+                None => Ok(Value::Tuple(Rc::new(vec![]))),
+                Some(v) => Ok(Value::Tuple(Rc::new(iterate(v)?))),
+            }
+        })(),
+        "dict" => (|| {
+            arity("dict", args, 0..=0)?;
+            Ok(Value::Dict(Rc::new(std::cell::RefCell::new(vec![]))))
+        })(),
+        "enumerate" => (|| {
+            arity("enumerate", args, 1..=2)?;
+            let start = args.get(1).and_then(Value::as_number).unwrap_or(0.0) as i64;
+            let items = iterate(&args[0])?;
+            Ok(Value::list(
+                items
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, v)| Value::Tuple(Rc::new(vec![Value::Int(start + i as i64), v])))
+                    .collect(),
+            ))
+        })(),
+        "zip" => (|| {
+            if args.is_empty() {
+                return Ok(Value::list(vec![]));
+            }
+            let lists: Vec<Vec<Value>> =
+                args.iter().map(iterate).collect::<Result<_>>()?;
+            let n = lists.iter().map(Vec::len).min().unwrap_or(0);
+            Ok(Value::list(
+                (0..n)
+                    .map(|i| {
+                        Value::Tuple(Rc::new(lists.iter().map(|l| l[i].clone()).collect()))
+                    })
+                    .collect(),
+            ))
+        })(),
+        "sorted" => (|| {
+            arity("sorted", args, 1..=1)?;
+            let mut items = iterate(&args[0])?;
+            let mut err = None;
+            items.sort_by(|a, b| match super::compare_values(a, b) {
+                Ok(o) => o,
+                Err(e) => {
+                    err.get_or_insert(e);
+                    std::cmp::Ordering::Equal
+                }
+            });
+            match err {
+                Some(e) => Err(e),
+                None => Ok(Value::list(items)),
+            }
+        })(),
+        "reversed" => (|| {
+            arity("reversed", args, 1..=1)?;
+            let mut items = iterate(&args[0])?;
+            items.reverse();
+            Ok(Value::list(items))
+        })(),
+        "any" | "all" => (|| {
+            arity(name, args, 1..=1)?;
+            let items = iterate(&args[0])?;
+            Ok(Value::Bool(if name == "any" {
+                items.iter().any(Value::truthy)
+            } else {
+                items.iter().all(Value::truthy)
+            }))
+        })(),
+        "isinstance" => (|| {
+            // `isinstance(x, name)` with the type referenced by bare name;
+            // the engine passes type names through as strings.
+            arity("isinstance", args, 2..=2)?;
+            let ty = args[1].py_str();
+            Ok(Value::Bool(args[0].type_name() == ty))
+        })(),
+        _ => return None,
+    };
+    Some(out)
+}
+
+/// Method dispatch on receiver values: `"a,b".split(",")`, `xs.append(1)`…
+pub fn call_method(recv: &Value, method: &str, args: &[Value]) -> Result<Value> {
+    match recv {
+        Value::Str(s) => str_method(s, method, args),
+        Value::List(items) => list_method(items, method, args),
+        Value::Dict(pairs) => dict_method(pairs, method, args),
+        other => Err(type_err(format!(
+            "'{}' object has no attribute {method:?}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn str_method(s: &Rc<String>, method: &str, args: &[Value]) -> Result<Value> {
+    match method {
+        "upper" => Ok(Value::str(s.to_uppercase())),
+        "lower" => Ok(Value::str(s.to_lowercase())),
+        "strip" => Ok(Value::str(s.trim().to_string())),
+        "startswith" => {
+            arity("startswith", args, 1..=1)?;
+            Ok(Value::Bool(s.starts_with(args[0].py_str().as_str())))
+        }
+        "endswith" => {
+            arity("endswith", args, 1..=1)?;
+            Ok(Value::Bool(s.ends_with(args[0].py_str().as_str())))
+        }
+        "split" => {
+            let parts: Vec<Value> = if let Some(sep) = args.first() {
+                s.split(sep.py_str().as_str()).map(Value::str).collect()
+            } else {
+                s.split_whitespace().map(Value::str).collect()
+            };
+            Ok(Value::list(parts))
+        }
+        "join" => {
+            arity("join", args, 1..=1)?;
+            let items = iterate(&args[0])?;
+            let joined: Vec<String> = items.iter().map(Value::py_str).collect();
+            Ok(Value::str(joined.join(s)))
+        }
+        "replace" => {
+            arity("replace", args, 2..=2)?;
+            Ok(Value::str(s.replace(args[0].py_str().as_str(), args[1].py_str().as_str())))
+        }
+        "find" => {
+            arity("find", args, 1..=1)?;
+            Ok(Value::Int(
+                s.find(args[0].py_str().as_str()).map(|i| i as i64).unwrap_or(-1),
+            ))
+        }
+        "count" => {
+            arity("count", args, 1..=1)?;
+            let pat = args[0].py_str();
+            if pat.is_empty() {
+                return Ok(Value::Int(s.chars().count() as i64 + 1));
+            }
+            Ok(Value::Int(s.matches(pat.as_str()).count() as i64))
+        }
+        other => Err(type_err(format!("'str' object has no attribute {other:?}"))),
+    }
+}
+
+fn list_method(
+    items: &Rc<std::cell::RefCell<Vec<Value>>>,
+    method: &str,
+    args: &[Value],
+) -> Result<Value> {
+    match method {
+        "append" => {
+            arity("append", args, 1..=1)?;
+            items.borrow_mut().push(args[0].clone());
+            Ok(Value::None)
+        }
+        "extend" => {
+            arity("extend", args, 1..=1)?;
+            let extra = iterate(&args[0])?;
+            items.borrow_mut().extend(extra);
+            Ok(Value::None)
+        }
+        "pop" => {
+            arity("pop", args, 0..=1)?;
+            let mut v = items.borrow_mut();
+            if v.is_empty() {
+                return Err(PyEnvError::runtime("IndexError", "pop from empty list"));
+            }
+            let idx = match args.first().and_then(Value::as_number) {
+                Some(i) => {
+                    let i = i as i64;
+                    let n = v.len() as i64;
+                    let real = if i < 0 { n + i } else { i };
+                    if real < 0 || real >= n {
+                        return Err(PyEnvError::runtime("IndexError", "pop index out of range"));
+                    }
+                    real as usize
+                }
+                None => v.len() - 1,
+            };
+            Ok(v.remove(idx))
+        }
+        "insert" => {
+            arity("insert", args, 2..=2)?;
+            let i = args[0].as_number().ok_or_else(|| type_err("insert index"))? as usize;
+            let mut v = items.borrow_mut();
+            let i = i.min(v.len());
+            v.insert(i, args[1].clone());
+            Ok(Value::None)
+        }
+        "sort" => {
+            let mut v = items.borrow_mut();
+            let mut err = None;
+            v.sort_by(|a, b| match super::compare_values(a, b) {
+                Ok(o) => o,
+                Err(e) => {
+                    err.get_or_insert(e);
+                    std::cmp::Ordering::Equal
+                }
+            });
+            match err {
+                Some(e) => Err(e),
+                None => Ok(Value::None),
+            }
+        }
+        "reverse" => {
+            items.borrow_mut().reverse();
+            Ok(Value::None)
+        }
+        "index" => {
+            arity("index", args, 1..=1)?;
+            let v = items.borrow();
+            v.iter()
+                .position(|x| x.py_eq(&args[0]))
+                .map(|i| Value::Int(i as i64))
+                .ok_or_else(|| value_err("value not in list"))
+        }
+        "count" => {
+            arity("count", args, 1..=1)?;
+            Ok(Value::Int(items.borrow().iter().filter(|x| x.py_eq(&args[0])).count() as i64))
+        }
+        other => Err(type_err(format!("'list' object has no attribute {other:?}"))),
+    }
+}
+
+fn dict_method(
+    pairs: &Rc<std::cell::RefCell<Vec<(Value, Value)>>>,
+    method: &str,
+    args: &[Value],
+) -> Result<Value> {
+    match method {
+        "get" => {
+            arity("get", args, 1..=2)?;
+            let default = args.get(1).cloned().unwrap_or(Value::None);
+            Ok(pairs
+                .borrow()
+                .iter()
+                .find(|(k, _)| k.py_eq(&args[0]))
+                .map(|(_, v)| v.clone())
+                .unwrap_or(default))
+        }
+        "keys" => Ok(Value::list(pairs.borrow().iter().map(|(k, _)| k.clone()).collect())),
+        "values" => Ok(Value::list(pairs.borrow().iter().map(|(_, v)| v.clone()).collect())),
+        "items" => Ok(Value::list(
+            pairs
+                .borrow()
+                .iter()
+                .map(|(k, v)| Value::Tuple(Rc::new(vec![k.clone(), v.clone()])))
+                .collect(),
+        )),
+        "update" => {
+            arity("update", args, 1..=1)?;
+            let Value::Dict(other) = &args[0] else {
+                return Err(type_err("update() wants a dict"));
+            };
+            let updates: Vec<(Value, Value)> = other.borrow().clone();
+            let mut mine = pairs.borrow_mut();
+            for (k, v) in updates {
+                if let Some(slot) = mine.iter_mut().find(|(ek, _)| ek.py_eq(&k)) {
+                    slot.1 = v;
+                } else {
+                    mine.push((k, v));
+                }
+            }
+            Ok(Value::None)
+        }
+        "pop" => {
+            arity("pop", args, 1..=2)?;
+            let mut mine = pairs.borrow_mut();
+            match mine.iter().position(|(k, _)| k.py_eq(&args[0])) {
+                Some(i) => Ok(mine.remove(i).1),
+                None => args
+                    .get(1)
+                    .cloned()
+                    .ok_or_else(|| PyEnvError::runtime("KeyError", args[0].py_str())),
+            }
+        }
+        other => Err(type_err(format!("'dict' object has no attribute {other:?}"))),
+    }
+}

@@ -1,0 +1,491 @@
+//! Interpreter behaviour tests.
+
+use super::*;
+
+fn run(source: &str, func: &str, args: &[PyValue]) -> Result<PyValue> {
+    let mut interp = Interp::new();
+    interp.load_source(source)?;
+    interp.call_function(func, args)
+}
+
+fn run1(source: &str, func: &str, arg: PyValue) -> PyValue {
+    run(source, func, &[arg]).unwrap()
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    let src = "def f(x):\n    return x * 2 + 3 ** 2 - 1\n";
+    assert_eq!(run1(src, "f", PyValue::Int(5)), PyValue::Int(18));
+}
+
+#[test]
+fn float_division_and_floor() {
+    let src = "def f(a, b):\n    return (a / b, a // b, a % b)\n";
+    let out = run(src, "f", &[PyValue::Int(7), PyValue::Int(2)]).unwrap();
+    assert_eq!(
+        out,
+        PyValue::Tuple(vec![PyValue::Float(3.5), PyValue::Int(3), PyValue::Int(1)])
+    );
+}
+
+#[test]
+fn python_modulo_semantics() {
+    let src = "def f(a, b):\n    return a % b\n";
+    assert_eq!(run(src, "f", &[PyValue::Int(-7), PyValue::Int(3)]).unwrap(), PyValue::Int(2));
+}
+
+#[test]
+fn zero_division_raises() {
+    let src = "def f(x):\n    return 1 / x\n";
+    match run(src, "f", &[PyValue::Int(0)]) {
+        Err(PyEnvError::Runtime { kind, .. }) => assert_eq!(kind, "ZeroDivisionError"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn recursion_factorial() {
+    let src = "def fact(n):\n    if n <= 1:\n        return 1\n    return n * fact(n - 1)\n";
+    assert_eq!(run1(src, "fact", PyValue::Int(10)), PyValue::Int(3628800));
+}
+
+#[test]
+fn fibonacci_iterative() {
+    let src = "
+def fib(n):
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+";
+    assert_eq!(run1(src, "fib", PyValue::Int(30)), PyValue::Int(832040));
+}
+
+#[test]
+fn while_loop_with_break_continue() {
+    let src = "
+def f(n):
+    total = 0
+    i = 0
+    while True:
+        i += 1
+        if i > n:
+            break
+        if i % 2 == 0:
+            continue
+        total += i
+    return total
+";
+    assert_eq!(run1(src, "f", PyValue::Int(10)), PyValue::Int(25)); // 1+3+5+7+9
+}
+
+#[test]
+fn list_operations() {
+    let src = "
+def f(xs):
+    xs.append(99)
+    xs.sort()
+    return (xs[0], xs[-1], len(xs), xs.index(99))
+";
+    let out = run1(
+        src,
+        "f",
+        PyValue::List(vec![PyValue::Int(5), PyValue::Int(2), PyValue::Int(8)]),
+    );
+    assert_eq!(
+        out,
+        PyValue::Tuple(vec![
+            PyValue::Int(2),
+            PyValue::Int(99),
+            PyValue::Int(4),
+            PyValue::Int(3)
+        ])
+    );
+}
+
+#[test]
+fn dict_operations() {
+    let src = "
+def f(d):
+    d['new'] = 42
+    keys = sorted(d.keys())
+    return (d.get('missing', -1), d['new'], len(keys))
+";
+    let d = PyValue::Dict(vec![(PyValue::Str("a".into()), PyValue::Int(1))]);
+    assert_eq!(
+        run1(src, "f", d),
+        PyValue::Tuple(vec![PyValue::Int(-1), PyValue::Int(42), PyValue::Int(2)])
+    );
+}
+
+#[test]
+fn string_methods() {
+    let src = "
+def f(s):
+    parts = s.split(',')
+    return '-'.join([p.strip().upper() for p in parts])
+";
+    assert_eq!(
+        run1(src, "f", PyValue::Str("a, b ,c".into())),
+        PyValue::Str("A-B-C".into())
+    );
+}
+
+#[test]
+fn comprehensions() {
+    let src = "
+def f(n):
+    squares = [x * x for x in range(n) if x % 2 == 0]
+    lookup = {x: x * 10 for x in range(3)}
+    return (sum(squares), lookup[2])
+";
+    assert_eq!(
+        run1(src, "f", PyValue::Int(6)),
+        PyValue::Tuple(vec![PyValue::Int(20), PyValue::Int(20)]) // 0+4+16
+    );
+}
+
+#[test]
+fn builtins_coverage() {
+    let src = "
+def f(xs):
+    return {
+        'len': len(xs),
+        'sum': sum(xs),
+        'min': min(xs),
+        'max': max(xs),
+        'any': any([0, 0, 1]),
+        'all': all([1, 2]),
+        'sorted': sorted(xs),
+        'rev': reversed(sorted(xs)),
+        'abs': abs(-5),
+        'round': round(2.675, 2),
+        'enum': [i for i, v in enumerate(xs)],
+    }
+";
+    let out = run1(
+        src,
+        "f",
+        PyValue::List(vec![PyValue::Int(3), PyValue::Int(1), PyValue::Int(2)]),
+    );
+    assert_eq!(out.get("len").unwrap(), &PyValue::Int(3));
+    assert_eq!(out.get("sum").unwrap(), &PyValue::Int(6));
+    assert_eq!(out.get("min").unwrap(), &PyValue::Int(1));
+    assert_eq!(out.get("max").unwrap(), &PyValue::Int(3));
+    assert_eq!(out.get("any").unwrap(), &PyValue::Bool(true));
+    assert_eq!(out.get("all").unwrap(), &PyValue::Bool(true));
+    assert_eq!(out.get("abs").unwrap(), &PyValue::Int(5));
+    assert_eq!(
+        out.get("enum").unwrap(),
+        &PyValue::List(vec![PyValue::Int(0), PyValue::Int(1), PyValue::Int(2)])
+    );
+}
+
+#[test]
+fn exceptions_try_except() {
+    let src = "
+def f(x):
+    try:
+        if x < 0:
+            raise ValueError('negative input')
+        return 10 / x
+    except ValueError as e:
+        return e
+    except ZeroDivisionError:
+        return 'div0'
+";
+    assert_eq!(run1(src, "f", PyValue::Int(2)), PyValue::Float(5.0));
+    assert_eq!(run1(src, "f", PyValue::Int(-1)), PyValue::Str("negative input".into()));
+    assert_eq!(run1(src, "f", PyValue::Int(0)), PyValue::Str("div0".into()));
+}
+
+#[test]
+fn finally_always_runs() {
+    let src = "
+log = []
+def f(x):
+    global log
+    try:
+        return 10 // x
+    finally:
+        log.append('cleanup')
+
+def count():
+    return len(log)
+";
+    let mut interp = Interp::new();
+    interp.load_source(src).unwrap();
+    interp.call_function("f", &[PyValue::Int(5)]).unwrap();
+    assert!(interp.call_function("f", &[PyValue::Int(0)]).is_err());
+    assert_eq!(interp.call_function("count", &[]).unwrap(), PyValue::Int(2));
+}
+
+#[test]
+fn uncaught_exception_propagates_kind() {
+    let src = "def f():\n    raise KeyError('missing')\n";
+    match run(src, "f", &[]) {
+        Err(PyEnvError::Runtime { kind, message }) => {
+            assert_eq!(kind, "KeyError");
+            assert_eq!(message, "missing");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn default_and_keyword_arguments() {
+    let src = "def f(a, b=10, c=100):\n    return a + b + c\n";
+    let mut interp = Interp::new();
+    interp.load_source(src).unwrap();
+    assert_eq!(interp.call_function("f", &[PyValue::Int(1)]).unwrap(), PyValue::Int(111));
+    assert_eq!(
+        interp.call_function("f", &[PyValue::Int(1), PyValue::Int(2)]).unwrap(),
+        PyValue::Int(103)
+    );
+}
+
+#[test]
+fn star_args() {
+    let src = "def f(first, *rest):\n    return (first, len(rest), sum(rest))\n";
+    let out = run(src, "f", &[PyValue::Int(1), PyValue::Int(2), PyValue::Int(3)]).unwrap();
+    assert_eq!(
+        out,
+        PyValue::Tuple(vec![PyValue::Int(1), PyValue::Int(2), PyValue::Int(5)])
+    );
+}
+
+#[test]
+fn lambdas_and_higher_order() {
+    let src = "
+def apply_twice(f, x):
+    return f(f(x))
+
+def g(x):
+    double = lambda v: v * 2
+    return apply_twice(double, x)
+";
+    assert_eq!(run1(src, "g", PyValue::Int(3)), PyValue::Int(12));
+}
+
+#[test]
+fn globals_and_global_statement() {
+    let src = "
+counter = 0
+
+def bump():
+    global counter
+    counter = counter + 1
+    return counter
+";
+    let mut interp = Interp::new();
+    interp.load_source(src).unwrap();
+    for expect in 1..=3 {
+        assert_eq!(interp.call_function("bump", &[]).unwrap(), PyValue::Int(expect));
+    }
+}
+
+#[test]
+fn math_and_statistics_modules() {
+    let src = "
+import math
+from statistics import mean, stdev
+
+def f(xs):
+    return (math.sqrt(16), round(mean(xs)), math.floor(math.pi))
+";
+    let out = run1(
+        src,
+        "f",
+        PyValue::List(vec![PyValue::Int(2), PyValue::Int(4), PyValue::Int(6)]),
+    );
+    assert_eq!(
+        out,
+        PyValue::Tuple(vec![PyValue::Float(4.0), PyValue::Int(4), PyValue::Int(3)])
+    );
+}
+
+#[test]
+fn unknown_import_raises_module_not_found() {
+    let src = "def f():\n    import tensorflow\n    return 1\n";
+    match run(src, "f", &[]) {
+        Err(PyEnvError::Runtime { kind, .. }) => assert_eq!(kind, "ModuleNotFoundError"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn host_registered_module() {
+    let mut interp = Interp::new();
+    interp.register_module(
+        ModuleBuilder::new("numpy")
+            .function("mean", |args| {
+                let xs = builtins::iterate(&args[0])?;
+                let nums: Vec<f64> = xs.iter().filter_map(Value::as_number).collect();
+                Ok(Value::Float(nums.iter().sum::<f64>() / nums.len().max(1) as f64))
+            })
+            .function("array", |args| Ok(args[0].clone())),
+    );
+    interp
+        .load_source(
+            "
+import numpy as np
+
+def f(xs):
+    return np.mean(np.array(xs))
+",
+        )
+        .unwrap();
+    let out = interp
+        .call_function("f", &[PyValue::List(vec![PyValue::Int(1), PyValue::Int(3)])])
+        .unwrap();
+    assert_eq!(out, PyValue::Float(2.0));
+}
+
+#[test]
+fn print_is_captured() {
+    let src = "def f():\n    print('hello', 42)\n    print('world')\n    return None\n";
+    let mut interp = Interp::new();
+    interp.load_source(src).unwrap();
+    interp.call_function("f", &[]).unwrap();
+    assert_eq!(interp.output(), "hello 42\nworld\n");
+}
+
+#[test]
+fn fuel_bounds_infinite_loops() {
+    let src = "def f():\n    while True:\n        pass\n";
+    let mut interp = Interp::new().with_fuel(10_000);
+    interp.load_source(src).unwrap();
+    match interp.call_function("f", &[]) {
+        Err(PyEnvError::Runtime { kind, .. }) => assert_eq!(kind, "BudgetExceeded"),
+        other => panic!("{other:?}"),
+    }
+    assert!(interp.fuel_used() >= 10_000);
+}
+
+#[test]
+fn chained_comparisons_and_membership() {
+    let src = "
+def f(x, xs):
+    return (0 <= x < 10, x in xs, x not in [99])
+";
+    let out = run(
+        src,
+        "f",
+        &[PyValue::Int(5), PyValue::List(vec![PyValue::Int(5), PyValue::Int(7)])],
+    )
+    .unwrap();
+    assert_eq!(
+        out,
+        PyValue::Tuple(vec![
+            PyValue::Bool(true),
+            PyValue::Bool(true),
+            PyValue::Bool(true)
+        ])
+    );
+}
+
+#[test]
+fn boolean_short_circuit_returns_operand() {
+    let src = "def f(x):\n    return x or 'default'\n";
+    assert_eq!(run1(src, "f", PyValue::Str("".into())), PyValue::Str("default".into()));
+    assert_eq!(run1(src, "f", PyValue::Str("v".into())), PyValue::Str("v".into()));
+}
+
+#[test]
+fn tuple_unpacking_in_for() {
+    let src = "
+def f(pairs):
+    total = 0
+    for k, v in pairs:
+        total += v
+    return total
+";
+    let pairs = PyValue::List(vec![
+        PyValue::Tuple(vec![PyValue::Str("a".into()), PyValue::Int(1)]),
+        PyValue::Tuple(vec![PyValue::Str("b".into()), PyValue::Int(2)]),
+    ]);
+    assert_eq!(run1(src, "f", pairs), PyValue::Int(3));
+}
+
+#[test]
+fn subscript_assignment() {
+    let src = "
+def f():
+    xs = [0, 0, 0]
+    xs[1] = 5
+    xs[-1] = 9
+    d = {}
+    d['k'] = xs
+    return d['k']
+";
+    assert_eq!(
+        run(src, "f", &[]).unwrap(),
+        PyValue::List(vec![PyValue::Int(0), PyValue::Int(5), PyValue::Int(9)])
+    );
+}
+
+#[test]
+fn index_errors() {
+    let src = "def f(xs):\n    return xs[10]\n";
+    match run(src, "f", &[PyValue::List(vec![PyValue::Int(1)])]) {
+        Err(PyEnvError::Runtime { kind, .. }) => assert_eq!(kind, "IndexError"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn a_realistic_analysis_function_runs() {
+    // A cut-down version of the HEP histogram accumulation, executable.
+    let src = "
+def process(events, threshold):
+    selected = [e for e in events if e['pt'] > threshold]
+    hist = {}
+    for e in selected:
+        bin = int(e['pt'] // 10)
+        hist[bin] = hist.get(bin, 0) + 1
+    return {'count': len(selected), 'hist': hist}
+";
+    let events = PyValue::List(
+        (0..50)
+            .map(|i| {
+                PyValue::Dict(vec![(
+                    PyValue::Str("pt".into()),
+                    PyValue::Float((i * 3) as f64 % 80.0),
+                )])
+            })
+            .collect(),
+    );
+    let out = run(src, "process", &[events, PyValue::Float(20.0)]).unwrap();
+    let count = out.get("count").unwrap().as_int().unwrap();
+    assert!(count > 10 && count < 50, "selected {count}");
+}
+
+#[test]
+fn classes_are_a_clear_error() {
+    let src = "class A:\n    pass\n";
+    match Interp::new().load_source(src) {
+        Err(PyEnvError::Runtime { kind, .. }) => assert_eq!(kind, "NotImplementedError"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn fstrings_interpolate() {
+    let src = r#"
+def f(name, n):
+    return f"hello {name}, you have {n + 1} items ({{literal}})"
+"#;
+    assert_eq!(
+        run(src, "f", &[PyValue::Str("ada".into()), PyValue::Int(2)]).unwrap(),
+        PyValue::Str("hello ada, you have 3 items ({literal})".into())
+    );
+}
+
+#[test]
+fn fstring_with_format_spec_ignores_spec() {
+    let src = "def f(x):\n    return f'{x:.2f}'\n";
+    assert_eq!(
+        run(src, "f", &[PyValue::Float(2.5)]).unwrap(),
+        PyValue::Str("2.5".into())
+    );
+}

@@ -1,0 +1,310 @@
+//! Runtime values for the mini-Python interpreter.
+
+use crate::ast::{Param, Stmt};
+use crate::error::{PyEnvError, Result};
+use crate::pickle::PyValue;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A runtime value. Lists and dicts have interior mutability (Python
+/// reference semantics); tuples are immutable.
+#[derive(Clone)]
+pub enum Value {
+    None,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(Rc<String>),
+    List(Rc<RefCell<Vec<Value>>>),
+    Tuple(Rc<Vec<Value>>),
+    Dict(Rc<RefCell<Vec<(Value, Value)>>>),
+    /// A user-defined function (closure over globals by reference).
+    Function(Rc<UserFunction>),
+    /// A native function registered by the host.
+    Native(Rc<NativeFunction>),
+    /// An imported module object.
+    Module(Rc<ModuleObject>),
+}
+
+/// A `def`-defined function.
+pub struct UserFunction {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub body: Vec<Stmt>,
+}
+
+/// A host-provided function callable from interpreted code.
+pub struct NativeFunction {
+    pub name: String,
+    #[allow(clippy::type_complexity)]
+    pub call: Box<dyn Fn(&[Value]) -> Result<Value>>,
+}
+
+/// A module object: a named bag of attributes.
+pub struct ModuleObject {
+    pub name: String,
+    pub attrs: BTreeMap<String, Value>,
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::None => write!(f, "None"),
+            Value::Bool(b) => write!(f, "{}", if *b { "True" } else { "False" }),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.borrow().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v:?}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Tuple(items) => {
+                write!(f, "(")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v:?}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Dict(pairs) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in pairs.borrow().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k:?}: {v:?}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Function(func) => write!(f, "<function {}>", func.name),
+            Value::Native(func) => write!(f, "<native {}>", func.name),
+            Value::Module(m) => write!(f, "<module {}>", m.name),
+        }
+    }
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(Rc::new(s.into()))
+    }
+
+    /// Construct a list value.
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Rc::new(RefCell::new(items)))
+    }
+
+    /// Python truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::None => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(x) => *x != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::List(items) => !items.borrow().is_empty(),
+            Value::Tuple(items) => !items.is_empty(),
+            Value::Dict(pairs) => !pairs.borrow().is_empty(),
+            Value::Function(_) | Value::Native(_) | Value::Module(_) => true,
+        }
+    }
+
+    /// The Python type name (for error messages and `type()`-like checks).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::None => "NoneType",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::List(_) => "list",
+            Value::Tuple(_) => "tuple",
+            Value::Dict(_) => "dict",
+            Value::Function(_) => "function",
+            Value::Native(_) => "builtin_function_or_method",
+            Value::Module(_) => "module",
+        }
+    }
+
+    /// Structural equality, Python semantics (1 == 1.0, lists elementwise).
+    pub fn py_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::None, Value::None) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            (Value::Bool(a), Value::Int(b)) | (Value::Int(b), Value::Bool(a)) => {
+                (*a as i64) == *b
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::List(a), Value::List(b)) => {
+                let (a, b) = (a.borrow(), b.borrow());
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.py_eq(y))
+            }
+            (Value::Tuple(a), Value::Tuple(b)) => {
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.py_eq(y))
+            }
+            (Value::Dict(a), Value::Dict(b)) => {
+                let (a, b) = (a.borrow(), b.borrow());
+                a.len() == b.len()
+                    && a.iter().all(|(k, v)| {
+                        b.iter().any(|(k2, v2)| k.py_eq(k2) && v.py_eq(v2))
+                    })
+            }
+            _ => false,
+        }
+    }
+
+    /// Numeric coercion to f64 where allowed.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Bool(b) => Some(*b as i64 as f64),
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Convert a wire [`PyValue`] into a runtime value.
+    pub fn from_py(v: &PyValue) -> Value {
+        match v {
+            PyValue::None => Value::None,
+            PyValue::Bool(b) => Value::Bool(*b),
+            PyValue::Int(i) => Value::Int(*i),
+            PyValue::Float(x) => Value::Float(*x),
+            PyValue::Str(s) => Value::str(s.clone()),
+            PyValue::Bytes(b) => {
+                Value::list(b.iter().map(|&x| Value::Int(x as i64)).collect())
+            }
+            PyValue::List(items) => Value::list(items.iter().map(Value::from_py).collect()),
+            PyValue::Tuple(items) => {
+                Value::Tuple(Rc::new(items.iter().map(Value::from_py).collect()))
+            }
+            PyValue::Dict(pairs) => Value::Dict(Rc::new(RefCell::new(
+                pairs.iter().map(|(k, v)| (Value::from_py(k), Value::from_py(v))).collect(),
+            ))),
+        }
+    }
+
+    /// Convert back to a wire value. Functions and modules are not
+    /// serializable — the same restriction real pickle has.
+    pub fn to_py(&self) -> Result<PyValue> {
+        Ok(match self {
+            Value::None => PyValue::None,
+            Value::Bool(b) => PyValue::Bool(*b),
+            Value::Int(i) => PyValue::Int(*i),
+            Value::Float(x) => PyValue::Float(*x),
+            Value::Str(s) => PyValue::Str((**s).clone()),
+            Value::List(items) => PyValue::List(
+                items.borrow().iter().map(Value::to_py).collect::<Result<_>>()?,
+            ),
+            Value::Tuple(items) => {
+                PyValue::Tuple(items.iter().map(Value::to_py).collect::<Result<_>>()?)
+            }
+            Value::Dict(pairs) => PyValue::Dict(
+                pairs
+                    .borrow()
+                    .iter()
+                    .map(|(k, v)| Ok((k.to_py()?, v.to_py()?)))
+                    .collect::<Result<_>>()?,
+            ),
+            other => {
+                return Err(PyEnvError::CorruptPickle(format!(
+                    "cannot pickle {}",
+                    other.type_name()
+                )))
+            }
+        })
+    }
+
+    /// Render like Python's `str()`.
+    pub fn py_str(&self) -> String {
+        match self {
+            Value::Str(s) => (**s).clone(),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    format!("{x:.1}")
+                } else {
+                    format!("{x}")
+                }
+            }
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::None.truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-1).truthy());
+        assert!(!Value::str("").truthy());
+        assert!(Value::str("x").truthy());
+        assert!(!Value::list(vec![]).truthy());
+        assert!(Value::list(vec![Value::None]).truthy());
+    }
+
+    #[test]
+    fn py_eq_numeric_coercion() {
+        assert!(Value::Int(1).py_eq(&Value::Float(1.0)));
+        assert!(Value::Bool(true).py_eq(&Value::Int(1)));
+        assert!(!Value::Int(1).py_eq(&Value::str("1")));
+    }
+
+    #[test]
+    fn pyvalue_roundtrip() {
+        let py = PyValue::Dict(vec![(
+            PyValue::Str("xs".into()),
+            PyValue::List(vec![PyValue::Int(1), PyValue::Float(2.5)]),
+        )]);
+        let v = Value::from_py(&py);
+        assert_eq!(v.to_py().unwrap(), py);
+    }
+
+    #[test]
+    fn functions_do_not_pickle() {
+        let f = Value::Function(Rc::new(UserFunction {
+            name: "f".into(),
+            params: vec![],
+            body: vec![],
+        }));
+        assert!(f.to_py().is_err());
+    }
+
+    #[test]
+    fn str_rendering() {
+        assert_eq!(Value::Int(3).py_str(), "3");
+        assert_eq!(Value::Float(3.0).py_str(), "3.0");
+        assert_eq!(Value::str("hi").py_str(), "hi");
+        assert_eq!(Value::Bool(true).py_str(), "True");
+    }
+
+    #[test]
+    fn list_shares_storage() {
+        let a = Value::list(vec![Value::Int(1)]);
+        let b = a.clone();
+        if let (Value::List(x), Value::List(y)) = (&a, &b) {
+            x.borrow_mut().push(Value::Int(2));
+            assert_eq!(y.borrow().len(), 2);
+        } else {
+            unreachable!()
+        }
+    }
+}

@@ -1,0 +1,780 @@
+//! Tokenizer for the mini-Python subset.
+//!
+//! Produces a token stream with explicit `Indent`/`Dedent`/`Newline` tokens,
+//! following CPython's `tokenize` behaviour: blank and comment-only lines
+//! produce no tokens, indentation is tracked with a stack, and newlines are
+//! suppressed inside bracketed expressions.
+
+use crate::error::{PyEnvError, Result};
+use std::fmt;
+
+/// One lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// Token kinds for the mini-Python subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Layout
+    Newline,
+    Indent,
+    Dedent,
+    EndOfFile,
+    // Literals and names
+    Name(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// An f-string body (escape-processed, braces still embedded).
+    FStr(String),
+    // Keywords
+    KwImport,
+    KwFrom,
+    KwAs,
+    KwDef,
+    KwClass,
+    KwReturn,
+    KwIf,
+    KwElif,
+    KwElse,
+    KwFor,
+    KwWhile,
+    KwIn,
+    KwNot,
+    KwAnd,
+    KwOr,
+    KwPass,
+    KwTry,
+    KwExcept,
+    KwFinally,
+    KwRaise,
+    KwWith,
+    KwLambda,
+    KwNone,
+    KwTrue,
+    KwFalse,
+    KwGlobal,
+    KwYield,
+    KwAssert,
+    KwBreak,
+    KwContinue,
+    KwIs,
+    KwDel,
+    // Punctuation / operators
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Semicolon,
+    Dot,
+    Arrow,
+    At,
+    Assign,
+    AugAssign(String),
+    Op(String),
+    Star,
+    DoubleStar,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Name(n) => write!(f, "{n}"),
+            TokenKind::Str(_) => write!(f, "<string>"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+fn keyword(word: &str) -> Option<TokenKind> {
+    Some(match word {
+        "import" => TokenKind::KwImport,
+        "from" => TokenKind::KwFrom,
+        "as" => TokenKind::KwAs,
+        "def" => TokenKind::KwDef,
+        "class" => TokenKind::KwClass,
+        "return" => TokenKind::KwReturn,
+        "if" => TokenKind::KwIf,
+        "elif" => TokenKind::KwElif,
+        "else" => TokenKind::KwElse,
+        "for" => TokenKind::KwFor,
+        "while" => TokenKind::KwWhile,
+        "in" => TokenKind::KwIn,
+        "not" => TokenKind::KwNot,
+        "and" => TokenKind::KwAnd,
+        "or" => TokenKind::KwOr,
+        "pass" => TokenKind::KwPass,
+        "try" => TokenKind::KwTry,
+        "except" => TokenKind::KwExcept,
+        "finally" => TokenKind::KwFinally,
+        "raise" => TokenKind::KwRaise,
+        "with" => TokenKind::KwWith,
+        "lambda" => TokenKind::KwLambda,
+        "None" => TokenKind::KwNone,
+        "True" => TokenKind::KwTrue,
+        "False" => TokenKind::KwFalse,
+        "global" => TokenKind::KwGlobal,
+        "yield" => TokenKind::KwYield,
+        "assert" => TokenKind::KwAssert,
+        "break" => TokenKind::KwBreak,
+        "continue" => TokenKind::KwContinue,
+        "is" => TokenKind::KwIs,
+        "del" => TokenKind::KwDel,
+        _ => return None,
+    })
+}
+
+/// Streaming tokenizer over source text.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+    indents: Vec<usize>,
+    paren_depth: usize,
+    at_line_start: bool,
+    pending: Vec<Token>,
+    done: bool,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `source`.
+    pub fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            indents: vec![0],
+            paren_depth: 0,
+            at_line_start: true,
+            pending: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Tokenize the whole input.
+    pub fn tokenize(source: &str) -> Result<Vec<Token>> {
+        let mut lx = Lexer::new(source);
+        let mut out = Vec::new();
+        loop {
+            let t = lx.next_token()?;
+            let end = t.kind == TokenKind::EndOfFile;
+            out.push(t);
+            if end {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> PyEnvError {
+        PyEnvError::Lex { line: self.line, col: self.col, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn make(&self, kind: TokenKind, line: usize, col: usize) -> Token {
+        Token { kind, line, col }
+    }
+
+    /// Produce the next token.
+    pub fn next_token(&mut self) -> Result<Token> {
+        if let Some(t) = self.pending.pop() {
+            return Ok(t);
+        }
+        if self.done {
+            return Ok(self.make(TokenKind::EndOfFile, self.line, self.col));
+        }
+        loop {
+            if self.at_line_start && self.paren_depth == 0 {
+                if let Some(tok) = self.handle_line_start()? {
+                    return Ok(tok);
+                }
+                if self.done {
+                    return self.next_token();
+                }
+            }
+            // Skip horizontal whitespace within a line.
+            while matches!(self.peek(), Some(b' ') | Some(b'\t') | Some(b'\r')) {
+                self.bump();
+            }
+            // Line continuation.
+            if self.peek() == Some(b'\\') && self.peek2() == Some(b'\n') {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            match self.peek() {
+                None => {
+                    self.finish_file();
+                    return self.next_token();
+                }
+                Some(b'#') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    continue;
+                }
+                Some(b'\n') => {
+                    let (line, col) = (self.line, self.col);
+                    self.bump();
+                    if self.paren_depth > 0 {
+                        continue;
+                    }
+                    self.at_line_start = true;
+                    return Ok(self.make(TokenKind::Newline, line, col));
+                }
+                Some(_) => return self.lex_in_line(),
+            }
+        }
+    }
+
+    /// Handle indentation at the start of a logical line. Returns a token if
+    /// an INDENT/DEDENT must be emitted.
+    fn handle_line_start(&mut self) -> Result<Option<Token>> {
+        loop {
+            let start = self.pos;
+            let mut width = 0usize;
+            while let Some(c) = self.peek() {
+                match c {
+                    b' ' => {
+                        width += 1;
+                        self.bump();
+                    }
+                    b'\t' => {
+                        // Tab advances to the next multiple of 8, like CPython.
+                        width = (width / 8 + 1) * 8;
+                        self.bump();
+                    }
+                    b'\r' => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            match self.peek() {
+                // Blank or comment-only line: consume and retry.
+                Some(b'\n') => {
+                    self.bump();
+                    continue;
+                }
+                Some(b'#') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    continue;
+                }
+                None => {
+                    self.finish_file();
+                    return Ok(None);
+                }
+                Some(_) => {
+                    self.at_line_start = false;
+                    let current = *self.indents.last().expect("indent stack never empty");
+                    let (line, col) = (self.line, self.col);
+                    if width > current {
+                        self.indents.push(width);
+                        return Ok(Some(self.make(TokenKind::Indent, line, col)));
+                    }
+                    if width < current {
+                        let mut emitted = Vec::new();
+                        while *self.indents.last().unwrap() > width {
+                            self.indents.pop();
+                            emitted.push(self.make(TokenKind::Dedent, line, col));
+                        }
+                        if *self.indents.last().unwrap() != width {
+                            self.pos = start; // restore for error position fidelity
+                            return Err(self.err("unindent does not match any outer level"));
+                        }
+                        let first = emitted.remove(0);
+                        emitted.reverse();
+                        self.pending.extend(emitted);
+                        return Ok(Some(first));
+                    }
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    fn finish_file(&mut self) {
+        self.done = true;
+        let (line, col) = (self.line, self.col);
+        // Close any open indentation, then EOF. `pending` is a LIFO, so push
+        // in reverse order of emission.
+        self.pending.push(self.make(TokenKind::EndOfFile, line, col));
+        while self.indents.len() > 1 {
+            self.indents.pop();
+            self.pending.push(self.make(TokenKind::Dedent, line, col));
+        }
+        if !self.at_line_start {
+            self.pending.push(self.make(TokenKind::Newline, line, col));
+        }
+    }
+
+    fn lex_in_line(&mut self) -> Result<Token> {
+        let (line, col) = (self.line, self.col);
+        let c = self.peek().expect("caller checked non-empty");
+        // String prefixes: r, b, f, u and two-letter combinations.
+        if c == b'"' || c == b'\'' {
+            return self.lex_string(line, col, false, false);
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let word = self.lex_word();
+            let is_prefix = matches!(
+                word.as_str(),
+                "r" | "b" | "f" | "u" | "rb" | "br" | "fr" | "rf" | "R" | "B" | "F" | "U"
+            );
+            if is_prefix && matches!(self.peek(), Some(b'"') | Some(b'\'')) {
+                let raw = word.eq_ignore_ascii_case("r")
+                    || word.eq_ignore_ascii_case("rb")
+                    || word.eq_ignore_ascii_case("br")
+                    || word.eq_ignore_ascii_case("fr")
+                    || word.eq_ignore_ascii_case("rf");
+                let fstr = word.to_ascii_lowercase().contains('f');
+                return self.lex_string(line, col, raw, fstr);
+            }
+            let kind = keyword(&word).unwrap_or(TokenKind::Name(word));
+            return Ok(self.make(kind, line, col));
+        }
+        if c.is_ascii_digit() || (c == b'.' && self.peek2().is_some_and(|d| d.is_ascii_digit())) {
+            return self.lex_number(line, col);
+        }
+        // Operators and punctuation.
+        self.bump();
+        let kind = match c {
+            b'(' => {
+                self.paren_depth += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                self.paren_depth = self.paren_depth.saturating_sub(1);
+                TokenKind::RParen
+            }
+            b'[' => {
+                self.paren_depth += 1;
+                TokenKind::LBracket
+            }
+            b']' => {
+                self.paren_depth = self.paren_depth.saturating_sub(1);
+                TokenKind::RBracket
+            }
+            b'{' => {
+                self.paren_depth += 1;
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.paren_depth = self.paren_depth.saturating_sub(1);
+                TokenKind::RBrace
+            }
+            b',' => TokenKind::Comma,
+            b':' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Op(":=".into())
+                } else {
+                    TokenKind::Colon
+                }
+            }
+            b';' => TokenKind::Semicolon,
+            b'.' => TokenKind::Dot,
+            b'@' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::AugAssign("@=".into())
+                } else {
+                    TokenKind::At
+                }
+            }
+            b'=' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Op("==".into())
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            b'!' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Op("!=".into())
+                } else {
+                    return Err(self.err("unexpected '!'"));
+                }
+            }
+            b'<' => self.maybe_aug_or_shift('<'),
+            b'>' => self.maybe_aug_or_shift('>'),
+            b'+' | b'%' | b'^' | b'&' | b'|' => self.maybe_aug(c as char),
+            b'-' => {
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    TokenKind::Arrow
+                } else {
+                    self.maybe_aug('-')
+                }
+            }
+            b'*' => {
+                if self.peek() == Some(b'*') {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::AugAssign("**=".into())
+                    } else {
+                        TokenKind::DoubleStar
+                    }
+                } else if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::AugAssign("*=".into())
+                } else {
+                    TokenKind::Star
+                }
+            }
+            b'/' => {
+                if self.peek() == Some(b'/') {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::AugAssign("//=".into())
+                    } else {
+                        TokenKind::Op("//".into())
+                    }
+                } else {
+                    self.maybe_aug('/')
+                }
+            }
+            b'~' => TokenKind::Op("~".into()),
+            other => return Err(self.err(format!("unexpected character {:?}", other as char))),
+        };
+        Ok(self.make(kind, line, col))
+    }
+
+    fn maybe_aug(&mut self, op: char) -> TokenKind {
+        if self.peek() == Some(b'=') {
+            self.bump();
+            TokenKind::AugAssign(format!("{op}="))
+        } else {
+            TokenKind::Op(op.to_string())
+        }
+    }
+
+    fn maybe_aug_or_shift(&mut self, op: char) -> TokenKind {
+        if self.peek() == Some(b'=') {
+            self.bump();
+            TokenKind::Op(format!("{op}="))
+        } else if self.peek() == Some(op as u8) {
+            self.bump();
+            if self.peek() == Some(b'=') {
+                self.bump();
+                TokenKind::AugAssign(format!("{op}{op}="))
+            } else {
+                TokenKind::Op(format!("{op}{op}"))
+            }
+        } else {
+            TokenKind::Op(op.to_string())
+        }
+    }
+
+    fn lex_word(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn lex_number(&mut self, line: usize, col: usize) -> Result<Token> {
+        let start = self.pos;
+        // Hex / octal / binary literals.
+        if self.peek() == Some(b'0')
+            && matches!(self.peek2(), Some(b'x') | Some(b'X') | Some(b'o') | Some(b'O') | Some(b'b') | Some(b'B'))
+        {
+            self.bump();
+            let radix_char = self.bump().unwrap();
+            let radix = match radix_char {
+                b'x' | b'X' => 16,
+                b'o' | b'O' => 8,
+                _ => 2,
+            };
+            let digits_start = self.pos;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text: String = String::from_utf8_lossy(&self.src[digits_start..self.pos])
+                .replace('_', "");
+            let v = i64::from_str_radix(&text, radix)
+                .map_err(|_| self.err("invalid numeric literal"))?;
+            return Ok(self.make(TokenKind::Int(v), line, col));
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' | b'_' => {
+                    self.bump();
+                }
+                b'.' => {
+                    if is_float {
+                        break;
+                    }
+                    // `1.method()` is not a float; require digit or end after dot.
+                    is_float = true;
+                    self.bump();
+                }
+                b'e' | b'E' => {
+                    // Exponent only if followed by digit or sign+digit.
+                    let next = self.peek2();
+                    let sign_ok = matches!(next, Some(b'+') | Some(b'-'))
+                        && self.src.get(self.pos + 2).is_some_and(|d| d.is_ascii_digit());
+                    if next.is_some_and(|d| d.is_ascii_digit()) || sign_ok {
+                        is_float = true;
+                        self.bump();
+                        if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                            self.bump();
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text: String =
+            String::from_utf8_lossy(&self.src[start..self.pos]).replace('_', "");
+        if is_float {
+            let v = text.parse::<f64>().map_err(|_| self.err("invalid float literal"))?;
+            Ok(self.make(TokenKind::Float(v), line, col))
+        } else {
+            let v = text.parse::<i64>().map_err(|_| self.err("invalid int literal"))?;
+            Ok(self.make(TokenKind::Int(v), line, col))
+        }
+    }
+
+    fn lex_string(&mut self, line: usize, col: usize, raw: bool, fstr: bool) -> Result<Token> {
+        let quote = self.bump().expect("caller checked quote");
+        let triple = self.peek() == Some(quote) && self.peek2() == Some(quote);
+        if triple {
+            self.bump();
+            self.bump();
+        }
+        let mut out = String::new();
+        loop {
+            let c = self.bump().ok_or_else(|| self.err("unterminated string literal"))?;
+            if c == quote {
+                if !triple {
+                    break;
+                }
+                if self.peek() == Some(quote) && self.peek2() == Some(quote) {
+                    self.bump();
+                    self.bump();
+                    break;
+                }
+                out.push(quote as char);
+                continue;
+            }
+            if c == b'\n' && !triple {
+                return Err(self.err("newline in single-quoted string"));
+            }
+            if c == b'\\' && !raw {
+                let esc = self.bump().ok_or_else(|| self.err("unterminated escape"))?;
+                match esc {
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'\\' => out.push('\\'),
+                    b'\'' => out.push('\''),
+                    b'"' => out.push('"'),
+                    b'0' => out.push('\0'),
+                    b'\n' => {} // escaped newline
+                    other => {
+                        out.push('\\');
+                        out.push(other as char);
+                    }
+                }
+                continue;
+            }
+            out.push(c as char);
+        }
+        let kind = if fstr { TokenKind::FStr(out) } else { TokenKind::Str(out) };
+        Ok(self.make(kind, line, col))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_import() {
+        let k = kinds("import numpy\n");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::KwImport,
+                TokenKind::Name("numpy".into()),
+                TokenKind::Newline,
+                TokenKind::EndOfFile
+            ]
+        );
+    }
+
+    #[test]
+    fn indent_dedent_pairs() {
+        let src = "def f():\n    x = 1\n    return x\n";
+        let k = kinds(src);
+        let indents = k.iter().filter(|t| **t == TokenKind::Indent).count();
+        let dedents = k.iter().filter(|t| **t == TokenKind::Dedent).count();
+        assert_eq!(indents, 1);
+        assert_eq!(dedents, 1);
+    }
+
+    #[test]
+    fn nested_blocks_balance() {
+        let src = "def f():\n    if x:\n        y = 1\n    return y\n";
+        let k = kinds(src);
+        let indents = k.iter().filter(|t| **t == TokenKind::Indent).count();
+        let dedents = k.iter().filter(|t| **t == TokenKind::Dedent).count();
+        assert_eq!(indents, dedents);
+        assert_eq!(indents, 2);
+    }
+
+    #[test]
+    fn blank_and_comment_lines_are_skipped() {
+        let src = "x = 1\n\n# comment\n   \ny = 2\n";
+        let k = kinds(src);
+        let names: Vec<_> = k
+            .iter()
+            .filter_map(|t| match t {
+                TokenKind::Name(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn newline_suppressed_in_brackets() {
+        let src = "x = f(1,\n      2)\n";
+        let k = kinds(src);
+        let newlines = k.iter().filter(|t| **t == TokenKind::Newline).count();
+        assert_eq!(newlines, 1);
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let k = kinds("s = 'a\\nb'\n");
+        assert!(k.contains(&TokenKind::Str("a\nb".into())));
+        let k = kinds("s = r'a\\nb'\n");
+        assert!(k.contains(&TokenKind::Str("a\\nb".into())));
+    }
+
+    #[test]
+    fn triple_quoted_string() {
+        let k = kinds("s = \"\"\"line1\nline2\"\"\"\n");
+        assert!(k.contains(&TokenKind::Str("line1\nline2".into())));
+    }
+
+    #[test]
+    fn fstring_prefix_tokenizes_as_fstr() {
+        let k = kinds("s = f'hello {name}'\n");
+        assert!(k.contains(&TokenKind::FStr("hello {name}".into())));
+        // Plain strings stay plain.
+        let k = kinds("s = 'hello {name}'\n");
+        assert!(k.contains(&TokenKind::Str("hello {name}".into())));
+    }
+
+    #[test]
+    fn numbers() {
+        let k = kinds("a = 42\nb = 3.5\nc = 1e3\nd = 0xff\n");
+        assert!(k.contains(&TokenKind::Int(42)));
+        assert!(k.contains(&TokenKind::Float(3.5)));
+        assert!(k.contains(&TokenKind::Float(1000.0)));
+        assert!(k.contains(&TokenKind::Int(255)));
+    }
+
+    #[test]
+    fn operators() {
+        let k = kinds("x += 1\ny = x ** 2 // 3\nz = x != y\n");
+        assert!(k.contains(&TokenKind::AugAssign("+=".into())));
+        assert!(k.contains(&TokenKind::DoubleStar));
+        assert!(k.contains(&TokenKind::Op("//".into())));
+        assert!(k.contains(&TokenKind::Op("!=".into())));
+    }
+
+    #[test]
+    fn decorator_at() {
+        let k = kinds("@python_app\ndef f():\n    pass\n");
+        assert_eq!(k[0], TokenKind::At);
+    }
+
+    #[test]
+    fn bad_dedent_is_error() {
+        let src = "if x:\n        a = 1\n    b = 2\n";
+        assert!(Lexer::tokenize(src).is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(Lexer::tokenize("s = 'abc\n").is_err());
+    }
+
+    #[test]
+    fn line_continuation() {
+        let k = kinds("x = 1 + \\\n    2\n");
+        let newlines = k.iter().filter(|t| **t == TokenKind::Newline).count();
+        assert_eq!(newlines, 1);
+    }
+
+    #[test]
+    fn eof_closes_open_blocks() {
+        // No trailing newline, two levels deep.
+        let k = kinds("def f():\n    if x:\n        y = 1");
+        let dedents = k.iter().filter(|t| **t == TokenKind::Dedent).count();
+        assert_eq!(dedents, 2);
+        assert_eq!(*k.last().unwrap(), TokenKind::EndOfFile);
+    }
+}

@@ -1,0 +1,1349 @@
+//! Recursive-descent parser for the mini-Python subset.
+//!
+//! Grammar coverage mirrors what Parsl application code actually contains:
+//! decorated function definitions, classes, every import form, control flow,
+//! and a full expression grammar with Python's operator precedence.
+
+use crate::ast::*;
+use crate::error::{PyEnvError, Result};
+use crate::lexer::{Lexer, Token, TokenKind};
+
+/// Positional and keyword arguments of a call.
+type CallArgs = (Vec<Expr>, Vec<(String, Expr)>);
+
+/// Parse a complete module from source text.
+pub fn parse_module(source: &str) -> Result<Module> {
+    let tokens = Lexer::tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0, pending_stmts: Vec::new() };
+    p.module()
+}
+
+/// Parse a single expression (used in tests and by the pickle REPL helper).
+pub fn parse_expression(source: &str) -> Result<Expr> {
+    let tokens = Lexer::tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0, pending_stmts: Vec::new() };
+    let e = p.expression()?;
+    p.skip_newlines();
+    p.expect(&TokenKind::EndOfFile)?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Statements already parsed from a `a = 1; b = 2` line, returned one at
+    /// a time by `statement()`.
+    pending_stmts: Vec<Stmt>,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_at(&self, off: usize) -> &TokenKind {
+        &self.tokens[(self.pos + off).min(self.tokens.len() - 1)].kind
+    }
+
+    fn here(&self) -> (usize, usize) {
+        let t = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        (t.line, t.col)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err(&self, message: impl Into<String>) -> PyEnvError {
+        let (line, col) = self.here();
+        PyEnvError::Parse { line, col, message: message.into() }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kind:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_name(&mut self) -> Result<String> {
+        match self.bump() {
+            TokenKind::Name(n) => Ok(n),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), TokenKind::Newline) {
+            self.bump();
+        }
+    }
+
+    fn module(&mut self) -> Result<Module> {
+        let mut body = Vec::new();
+        self.skip_newlines();
+        while !self.pending_stmts.is_empty() || !matches!(self.peek(), TokenKind::EndOfFile) {
+            body.push(self.statement()?);
+            self.skip_newlines();
+        }
+        Ok(Module { body })
+    }
+
+    /// A suite: `: NEWLINE INDENT stmts DEDENT` or `: simple_stmt NEWLINE`.
+    fn suite(&mut self) -> Result<Vec<Stmt>> {
+        self.expect(&TokenKind::Colon)?;
+        if self.eat(&TokenKind::Newline) {
+            self.skip_newlines();
+            self.expect(&TokenKind::Indent)?;
+            let mut body = Vec::new();
+            self.skip_newlines();
+            while !self.pending_stmts.is_empty()
+                || !matches!(self.peek(), TokenKind::Dedent | TokenKind::EndOfFile)
+            {
+                body.push(self.statement()?);
+                self.skip_newlines();
+            }
+            self.expect(&TokenKind::Dedent)?;
+            Ok(body)
+        } else {
+            // Inline suite: one or more simple statements separated by `;`.
+            let mut body = vec![self.simple_statement()?];
+            while self.eat(&TokenKind::Semicolon) {
+                if matches!(self.peek(), TokenKind::Newline | TokenKind::EndOfFile) {
+                    break;
+                }
+                body.push(self.simple_statement()?);
+            }
+            self.end_of_simple_stmt()?;
+            Ok(body)
+        }
+    }
+
+    fn end_of_simple_stmt(&mut self) -> Result<()> {
+        match self.peek() {
+            TokenKind::Newline => {
+                self.bump();
+                Ok(())
+            }
+            TokenKind::EndOfFile => Ok(()),
+            other => Err(self.err(format!("expected end of statement, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt> {
+        if let Some(s) = self.pending_stmts.pop() {
+            return Ok(s);
+        }
+        match self.peek() {
+            TokenKind::At => self.decorated(),
+            TokenKind::KwDef => self.function_def(Vec::new()),
+            TokenKind::KwClass => self.class_def(Vec::new()),
+            TokenKind::KwIf => self.if_stmt(),
+            TokenKind::KwWhile => self.while_stmt(),
+            TokenKind::KwFor => self.for_stmt(),
+            TokenKind::KwWith => self.with_stmt(),
+            TokenKind::KwTry => self.try_stmt(),
+            _ => {
+                let s = self.simple_statement()?;
+                // `a = 1; b = 2` on one line: parse the rest now and hand the
+                // extras back on subsequent `statement()` calls (in order).
+                let mut extras = Vec::new();
+                while self.eat(&TokenKind::Semicolon) {
+                    if matches!(self.peek(), TokenKind::Newline | TokenKind::EndOfFile) {
+                        break;
+                    }
+                    extras.push(self.simple_statement()?);
+                }
+                extras.reverse();
+                self.pending_stmts.extend(extras);
+                self.end_of_simple_stmt()?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn decorated(&mut self) -> Result<Stmt> {
+        let mut decorators = Vec::new();
+        while self.eat(&TokenKind::At) {
+            decorators.push(self.expression()?);
+            self.expect(&TokenKind::Newline)?;
+            self.skip_newlines();
+        }
+        match self.peek() {
+            TokenKind::KwDef => self.function_def(decorators),
+            TokenKind::KwClass => self.class_def(decorators),
+            other => Err(self.err(format!("expected def or class after decorator, found {other:?}"))),
+        }
+    }
+
+    fn function_def(&mut self, decorators: Vec<Expr>) -> Result<Stmt> {
+        let (line, _) = self.here();
+        self.expect(&TokenKind::KwDef)?;
+        let name = self.expect_name()?;
+        self.expect(&TokenKind::LParen)?;
+        let params = self.param_list()?;
+        self.expect(&TokenKind::RParen)?;
+        // Optional return annotation.
+        if self.eat(&TokenKind::Arrow) {
+            let _ = self.expression()?;
+        }
+        let body = self.suite()?;
+        Ok(Stmt::FunctionDef { name, params, body, decorators, line })
+    }
+
+    fn param_list(&mut self) -> Result<Vec<Param>> {
+        let mut params = Vec::new();
+        while !matches!(self.peek(), TokenKind::RParen) {
+            let (star, double_star) = if self.eat(&TokenKind::DoubleStar) {
+                (false, true)
+            } else if self.eat(&TokenKind::Star) {
+                (true, false)
+            } else {
+                (false, false)
+            };
+            let name = self.expect_name()?;
+            // Optional annotation.
+            if self.eat(&TokenKind::Colon) {
+                let _ = self.expression()?;
+            }
+            let default =
+                if self.eat(&TokenKind::Assign) { Some(self.expression()?) } else { None };
+            params.push(Param { name, default, star, double_star });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(params)
+    }
+
+    fn class_def(&mut self, _decorators: Vec<Expr>) -> Result<Stmt> {
+        let (line, _) = self.here();
+        self.expect(&TokenKind::KwClass)?;
+        let name = self.expect_name()?;
+        let mut bases = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            while !matches!(self.peek(), TokenKind::RParen) {
+                bases.push(self.expression()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        let body = self.suite()?;
+        Ok(Stmt::ClassDef { name, bases, body, line })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt> {
+        self.expect(&TokenKind::KwIf)?;
+        let test = self.expression()?;
+        let body = self.suite()?;
+        self.skip_newlines();
+        let orelse = if matches!(self.peek(), TokenKind::KwElif) {
+            // Desugar elif into a nested if.
+            self.tokens[self.pos].kind = TokenKind::KwIf;
+            vec![self.if_stmt()?]
+        } else if self.eat(&TokenKind::KwElse) {
+            self.suite()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If { test, body, orelse })
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt> {
+        self.expect(&TokenKind::KwWhile)?;
+        let test = self.expression()?;
+        let body = self.suite()?;
+        Ok(Stmt::While { test, body })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt> {
+        self.expect(&TokenKind::KwFor)?;
+        let target = self.target_list()?;
+        self.expect(&TokenKind::KwIn)?;
+        let iter = self.expr_or_tuple()?;
+        let body = self.suite()?;
+        Ok(Stmt::For { target, iter, body })
+    }
+
+    fn with_stmt(&mut self) -> Result<Stmt> {
+        self.expect(&TokenKind::KwWith)?;
+        let mut items = Vec::new();
+        loop {
+            let ctx = self.expression()?;
+            let alias = if self.eat(&TokenKind::KwAs) { Some(self.expression()?) } else { None };
+            items.push((ctx, alias));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let body = self.suite()?;
+        Ok(Stmt::With { items, body })
+    }
+
+    fn try_stmt(&mut self) -> Result<Stmt> {
+        self.expect(&TokenKind::KwTry)?;
+        let body = self.suite()?;
+        self.skip_newlines();
+        let mut handlers = Vec::new();
+        while self.eat(&TokenKind::KwExcept) {
+            let typ = if !matches!(self.peek(), TokenKind::Colon) {
+                Some(self.expression()?)
+            } else {
+                None
+            };
+            let name = if self.eat(&TokenKind::KwAs) { Some(self.expect_name()?) } else { None };
+            let hbody = self.suite()?;
+            handlers.push(ExceptHandler { typ, name, body: hbody });
+            self.skip_newlines();
+        }
+        let orelse = if self.eat(&TokenKind::KwElse) {
+            let b = self.suite()?;
+            self.skip_newlines();
+            b
+        } else {
+            Vec::new()
+        };
+        let finalbody = if self.eat(&TokenKind::KwFinally) { self.suite()? } else { Vec::new() };
+        if handlers.is_empty() && finalbody.is_empty() {
+            return Err(self.err("try statement must have except or finally"));
+        }
+        Ok(Stmt::Try { body, handlers, orelse, finalbody })
+    }
+
+    fn simple_statement(&mut self) -> Result<Stmt> {
+        match self.peek() {
+            TokenKind::KwImport => self.import_stmt(),
+            TokenKind::KwFrom => self.import_from_stmt(),
+            TokenKind::KwReturn => {
+                self.bump();
+                let value = if matches!(
+                    self.peek(),
+                    TokenKind::Newline | TokenKind::EndOfFile | TokenKind::Semicolon
+                ) {
+                    None
+                } else {
+                    Some(self.expr_or_tuple()?)
+                };
+                Ok(Stmt::Return(value))
+            }
+            TokenKind::KwRaise => {
+                self.bump();
+                let value = if matches!(
+                    self.peek(),
+                    TokenKind::Newline | TokenKind::EndOfFile | TokenKind::Semicolon
+                ) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                Ok(Stmt::Raise(value))
+            }
+            TokenKind::KwAssert => {
+                self.bump();
+                let test = self.expression()?;
+                let msg = if self.eat(&TokenKind::Comma) { Some(self.expression()?) } else { None };
+                Ok(Stmt::Assert { test, msg })
+            }
+            TokenKind::KwGlobal => {
+                self.bump();
+                let mut names = vec![self.expect_name()?];
+                while self.eat(&TokenKind::Comma) {
+                    names.push(self.expect_name()?);
+                }
+                Ok(Stmt::Global(names))
+            }
+            TokenKind::KwPass => {
+                self.bump();
+                Ok(Stmt::Pass)
+            }
+            TokenKind::KwBreak => {
+                self.bump();
+                Ok(Stmt::Break)
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                Ok(Stmt::Continue)
+            }
+            TokenKind::KwDel => {
+                self.bump();
+                let mut targets = vec![self.expression()?];
+                while self.eat(&TokenKind::Comma) {
+                    targets.push(self.expression()?);
+                }
+                Ok(Stmt::Delete(targets))
+            }
+            TokenKind::KwYield => {
+                let e = self.expression()?;
+                Ok(Stmt::ExprStmt(e))
+            }
+            _ => self.expr_statement(),
+        }
+    }
+
+    fn import_stmt(&mut self) -> Result<Stmt> {
+        let (line, _) = self.here();
+        self.expect(&TokenKind::KwImport)?;
+        let mut names = Vec::new();
+        loop {
+            let name = self.dotted_name()?;
+            let alias = if self.eat(&TokenKind::KwAs) { Some(self.expect_name()?) } else { None };
+            names.push(ImportAlias { name, alias });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Stmt::Import { names, line })
+    }
+
+    fn import_from_stmt(&mut self) -> Result<Stmt> {
+        let (line, _) = self.here();
+        self.expect(&TokenKind::KwFrom)?;
+        let mut level = 0usize;
+        while self.eat(&TokenKind::Dot) {
+            level += 1;
+        }
+        let module = if matches!(self.peek(), TokenKind::KwImport) {
+            None
+        } else {
+            Some(self.dotted_name()?)
+        };
+        self.expect(&TokenKind::KwImport)?;
+        if self.eat(&TokenKind::Star) {
+            return Ok(Stmt::ImportFrom { module, names: Vec::new(), level, star: true, line });
+        }
+        let parenthesized = self.eat(&TokenKind::LParen);
+        let mut names = Vec::new();
+        loop {
+            let name = DottedName { parts: vec![self.expect_name()?] };
+            let alias = if self.eat(&TokenKind::KwAs) { Some(self.expect_name()?) } else { None };
+            names.push(ImportAlias { name, alias });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+            if parenthesized && matches!(self.peek(), TokenKind::RParen) {
+                break; // trailing comma
+            }
+        }
+        if parenthesized {
+            self.expect(&TokenKind::RParen)?;
+        }
+        Ok(Stmt::ImportFrom { module, names, level, star: false, line })
+    }
+
+    fn dotted_name(&mut self) -> Result<DottedName> {
+        let mut parts = vec![self.expect_name()?];
+        while matches!(self.peek(), TokenKind::Dot) {
+            // Only continue if followed by a name (guards against `import a.`).
+            if let TokenKind::Name(_) = self.peek_at(1) {
+                self.bump();
+                parts.push(self.expect_name()?);
+            } else {
+                break;
+            }
+        }
+        Ok(DottedName { parts })
+    }
+
+    fn expr_statement(&mut self) -> Result<Stmt> {
+        let first = self.expr_or_tuple()?;
+        match self.peek().clone() {
+            TokenKind::Assign => {
+                let mut targets = vec![first];
+                let mut value;
+                loop {
+                    self.bump();
+                    value = self.expr_or_tuple()?;
+                    if matches!(self.peek(), TokenKind::Assign) {
+                        targets.push(value.clone());
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Stmt::Assign { targets, value })
+            }
+            TokenKind::AugAssign(op) => {
+                self.bump();
+                let value = self.expr_or_tuple()?;
+                Ok(Stmt::AugAssign { target: first, op, value })
+            }
+            TokenKind::Colon => {
+                // Annotated assignment: `x: T = v` or bare `x: T`.
+                self.bump();
+                let _annotation = self.expression()?;
+                if self.eat(&TokenKind::Assign) {
+                    let value = self.expr_or_tuple()?;
+                    Ok(Stmt::Assign { targets: vec![first], value })
+                } else {
+                    Ok(Stmt::ExprStmt(first))
+                }
+            }
+            _ => Ok(Stmt::ExprStmt(first)),
+        }
+    }
+
+    /// A `for` target: one or more comma-separated target items. Targets are
+    /// parsed at postfix level, NOT as full expressions — otherwise the `in`
+    /// keyword of `for x in xs` would be swallowed as a comparison operator.
+    fn target_list(&mut self) -> Result<Expr> {
+        let first = self.target_item()?;
+        if !matches!(self.peek(), TokenKind::Comma) {
+            return Ok(first);
+        }
+        let mut items = vec![first];
+        while self.eat(&TokenKind::Comma) {
+            if matches!(self.peek(), TokenKind::KwIn) {
+                break;
+            }
+            items.push(self.target_item()?);
+        }
+        Ok(Expr::Tuple(items))
+    }
+
+    /// One assignment/loop target: a name, attribute, subscript, starred
+    /// target, or parenthesized/listed tuple of targets.
+    fn target_item(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Star) {
+            let inner = self.target_item()?;
+            return Ok(Expr::Starred(Box::new(inner)));
+        }
+        self.postfix()
+    }
+
+    /// An expression, possibly an unparenthesized tuple (`a, b, c`).
+    fn expr_or_tuple(&mut self) -> Result<Expr> {
+        let first = self.expression()?;
+        if !matches!(self.peek(), TokenKind::Comma) {
+            return Ok(first);
+        }
+        let mut items = vec![first];
+        while self.eat(&TokenKind::Comma) {
+            if matches!(
+                self.peek(),
+                TokenKind::Newline
+                    | TokenKind::EndOfFile
+                    | TokenKind::Assign
+                    | TokenKind::RParen
+                    | TokenKind::RBracket
+                    | TokenKind::RBrace
+                    | TokenKind::Colon
+                    | TokenKind::Semicolon
+            ) {
+                break; // trailing comma
+            }
+            items.push(self.expression()?);
+        }
+        Ok(Expr::Tuple(items))
+    }
+
+    // ---- expression grammar, lowest to highest precedence ----
+
+    /// Entry point: lambda / conditional expression.
+    pub fn expression(&mut self) -> Result<Expr> {
+        if matches!(self.peek(), TokenKind::KwLambda) {
+            self.bump();
+            let mut params = Vec::new();
+            while !matches!(self.peek(), TokenKind::Colon) {
+                let (star, double_star) = if self.eat(&TokenKind::DoubleStar) {
+                    (false, true)
+                } else if self.eat(&TokenKind::Star) {
+                    (true, false)
+                } else {
+                    (false, false)
+                };
+                let name = self.expect_name()?;
+                let default =
+                    if self.eat(&TokenKind::Assign) { Some(self.expression()?) } else { None };
+                params.push(Param { name, default, star, double_star });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::Colon)?;
+            let body = Box::new(self.expression()?);
+            return Ok(Expr::Lambda { params, body });
+        }
+        if matches!(self.peek(), TokenKind::KwYield) {
+            self.bump();
+            let value = if matches!(
+                self.peek(),
+                TokenKind::Newline
+                    | TokenKind::EndOfFile
+                    | TokenKind::RParen
+                    | TokenKind::Comma
+                    | TokenKind::Semicolon
+            ) {
+                None
+            } else {
+                Some(Box::new(self.expression()?))
+            };
+            return Ok(Expr::Yield(value));
+        }
+        let body = self.or_expr()?;
+        if self.eat(&TokenKind::KwIf) {
+            let test = self.or_expr()?;
+            self.expect(&TokenKind::KwElse)?;
+            let orelse = self.expression()?;
+            return Ok(Expr::IfExp {
+                test: Box::new(test),
+                body: Box::new(body),
+                orelse: Box::new(orelse),
+            });
+        }
+        Ok(body)
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let first = self.and_expr()?;
+        if !matches!(self.peek(), TokenKind::KwOr) {
+            return Ok(first);
+        }
+        let mut values = vec![first];
+        while self.eat(&TokenKind::KwOr) {
+            values.push(self.and_expr()?);
+        }
+        Ok(Expr::BoolOp { op: "or".into(), values })
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let first = self.not_expr()?;
+        if !matches!(self.peek(), TokenKind::KwAnd) {
+            return Ok(first);
+        }
+        let mut values = vec![first];
+        while self.eat(&TokenKind::KwAnd) {
+            values.push(self.not_expr()?);
+        }
+        Ok(Expr::BoolOp { op: "and".into(), values })
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::KwNot) {
+            let operand = self.not_expr()?;
+            return Ok(Expr::UnaryOp { op: "not".into(), operand: Box::new(operand) });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.bit_or()?;
+        let mut ops = Vec::new();
+        let mut comparators = Vec::new();
+        loop {
+            let op = match self.peek() {
+                TokenKind::Op(o)
+                    if matches!(o.as_str(), "==" | "!=" | "<" | "<=" | ">" | ">=") =>
+                {
+                    o.clone()
+                }
+                TokenKind::KwIn => "in".to_string(),
+                TokenKind::KwIs => {
+                    // `is` / `is not`
+                    if matches!(self.peek_at(1), TokenKind::KwNot) {
+                        self.bump();
+                        self.tokens[self.pos].kind = TokenKind::KwIs; // consume pattern below
+                        "is not".to_string()
+                    } else {
+                        "is".to_string()
+                    }
+                }
+                TokenKind::KwNot if matches!(self.peek_at(1), TokenKind::KwIn) => {
+                    self.bump();
+                    "not in".to_string()
+                }
+                _ => break,
+            };
+            self.bump();
+            ops.push(op);
+            comparators.push(self.bit_or()?);
+        }
+        if ops.is_empty() {
+            Ok(left)
+        } else {
+            Ok(Expr::Compare { left: Box::new(left), ops, comparators })
+        }
+    }
+
+    fn bin_left_assoc(
+        &mut self,
+        next: fn(&mut Parser) -> Result<Expr>,
+        ops: &[&str],
+    ) -> Result<Expr> {
+        let mut left = next(self)?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Op(o) if ops.contains(&o.as_str()) => o.clone(),
+                TokenKind::Star if ops.contains(&"*") => "*".to_string(),
+                TokenKind::At if ops.contains(&"@") => "@".to_string(),
+                _ => break,
+            };
+            self.bump();
+            let right = next(self)?;
+            left = Expr::BinOp { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr> {
+        self.bin_left_assoc(Parser::bit_xor, &["|"])
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr> {
+        self.bin_left_assoc(Parser::bit_and, &["^"])
+    }
+
+    fn bit_and(&mut self) -> Result<Expr> {
+        self.bin_left_assoc(Parser::shift, &["&"])
+    }
+
+    fn shift(&mut self) -> Result<Expr> {
+        self.bin_left_assoc(Parser::arith, &["<<", ">>"])
+    }
+
+    fn arith(&mut self) -> Result<Expr> {
+        self.bin_left_assoc(Parser::term, &["+", "-"])
+    }
+
+    fn term(&mut self) -> Result<Expr> {
+        self.bin_left_assoc(Parser::factor, &["*", "/", "//", "%", "@"])
+    }
+
+    fn factor(&mut self) -> Result<Expr> {
+        match self.peek() {
+            TokenKind::Op(o) if o == "-" || o == "~" => {
+                let op = o.clone();
+                self.bump();
+                let operand = self.factor()?;
+                Ok(Expr::UnaryOp { op, operand: Box::new(operand) })
+            }
+            TokenKind::Op(o) if o == "+" => {
+                self.bump();
+                self.factor()
+            }
+            _ => self.power(),
+        }
+    }
+
+    fn power(&mut self) -> Result<Expr> {
+        let base = self.postfix()?;
+        if self.eat(&TokenKind::DoubleStar) {
+            let exp = self.factor()?; // right-associative
+            return Ok(Expr::BinOp {
+                left: Box::new(base),
+                op: "**".into(),
+                right: Box::new(exp),
+            });
+        }
+        Ok(base)
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.atom()?;
+        loop {
+            match self.peek() {
+                TokenKind::Dot => {
+                    self.bump();
+                    let attr = self.expect_name()?;
+                    e = Expr::Attribute { value: Box::new(e), attr };
+                }
+                TokenKind::LParen => {
+                    self.bump();
+                    let (args, kwargs) = self.call_args()?;
+                    self.expect(&TokenKind::RParen)?;
+                    e = Expr::Call { func: Box::new(e), args, kwargs };
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let index = self.subscript_index()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    e = Expr::Subscript { value: Box::new(e), index: Box::new(index) };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn subscript_index(&mut self) -> Result<Expr> {
+        // Slices: `a[1:2]`, `a[:, 0]`, `a[::2]`. Represent slices as Tuple of
+        // available pieces with None for omitted bounds — sufficient for
+        // dependency analysis and workload generation.
+        let mut pieces = Vec::new();
+        let mut saw_colon = false;
+        loop {
+            match self.peek() {
+                TokenKind::Colon => {
+                    self.bump();
+                    saw_colon = true;
+                    pieces.push(Expr::NoneLit);
+                    continue;
+                }
+                TokenKind::Comma => {
+                    self.bump();
+                    continue;
+                }
+                TokenKind::RBracket => break,
+                _ => {}
+            }
+            pieces.push(self.expression()?);
+            if matches!(self.peek(), TokenKind::Comma | TokenKind::Colon) {
+                continue;
+            }
+            break;
+        }
+        if pieces.len() == 1 && !saw_colon {
+            Ok(pieces.pop().unwrap())
+        } else {
+            Ok(Expr::Tuple(pieces))
+        }
+    }
+
+    fn call_args(&mut self) -> Result<CallArgs> {
+        let mut args = Vec::new();
+        let mut kwargs = Vec::new();
+        while !matches!(self.peek(), TokenKind::RParen) {
+            if self.eat(&TokenKind::Star) {
+                let e = self.expression()?;
+                args.push(Expr::Starred(Box::new(e)));
+            } else if self.eat(&TokenKind::DoubleStar) {
+                let e = self.expression()?;
+                kwargs.push(("**".to_string(), e));
+            } else if let (TokenKind::Name(n), TokenKind::Assign) =
+                (self.peek().clone(), self.peek_at(1).clone())
+            {
+                self.bump();
+                self.bump();
+                let v = self.expression()?;
+                kwargs.push((n, v));
+            } else {
+                let e = self.expression()?;
+                // Generator argument: f(x for x in y)
+                if matches!(self.peek(), TokenKind::KwFor) {
+                    let comp = self.comprehension_tail(ComprehensionKind::Generator, e, None)?;
+                    args.push(comp);
+                } else {
+                    args.push(e);
+                }
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok((args, kwargs))
+    }
+
+    fn comprehension_tail(
+        &mut self,
+        kind: ComprehensionKind,
+        elt: Expr,
+        value: Option<Expr>,
+    ) -> Result<Expr> {
+        self.expect(&TokenKind::KwFor)?;
+        let target = self.target_list()?;
+        self.expect(&TokenKind::KwIn)?;
+        let iter = self.or_expr()?;
+        let mut conditions = Vec::new();
+        loop {
+            if self.eat(&TokenKind::KwIf) {
+                conditions.push(self.or_expr()?);
+            } else if matches!(self.peek(), TokenKind::KwFor) {
+                // Nested comprehension clause: fold the inner loop into the
+                // iterator via a nested comprehension over the same element.
+                let inner =
+                    self.comprehension_tail(ComprehensionKind::Generator, elt.clone(), None)?;
+                conditions.push(inner);
+                break;
+            } else {
+                break;
+            }
+        }
+        Ok(Expr::Comprehension {
+            kind,
+            elt: Box::new(elt),
+            value: value.map(Box::new),
+            target: Box::new(target),
+            iter: Box::new(iter),
+            conditions,
+        })
+    }
+
+    /// Split an f-string body into literal runs and embedded expressions.
+    /// `{{` and `}}` are brace escapes; `{expr}` contents are parsed with
+    /// the full expression grammar (format specs after `:` are dropped).
+    fn parse_fstring(&mut self, body: &str) -> Result<Expr> {
+        let mut parts: Vec<FStringPart> = Vec::new();
+        let mut literal = String::new();
+        let mut chars = body.chars().peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                '{' if chars.peek() == Some(&'{') => {
+                    chars.next();
+                    literal.push('{');
+                }
+                '}' if chars.peek() == Some(&'}') => {
+                    chars.next();
+                    literal.push('}');
+                }
+                '{' => {
+                    if !literal.is_empty() {
+                        parts.push(FStringPart::Literal(std::mem::take(&mut literal)));
+                    }
+                    let mut inner = String::new();
+                    let mut depth = 1;
+                    for c in chars.by_ref() {
+                        match c {
+                            '{' => depth += 1,
+                            '}' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        inner.push(c);
+                    }
+                    if depth != 0 {
+                        return Err(self.err("unterminated '{' in f-string"));
+                    }
+                    // Strip a trailing format spec / conversion.
+                    let expr_src = inner
+                        .split_once(':')
+                        .map(|(e, _)| e)
+                        .unwrap_or(&inner)
+                        .trim_end_matches("!r")
+                        .trim_end_matches("!s");
+                    let e = crate::parser::parse_expression(expr_src).map_err(|_| {
+                        self.err(format!("invalid expression in f-string: {inner:?}"))
+                    })?;
+                    parts.push(FStringPart::Expr(Box::new(e)));
+                }
+                '}' => return Err(self.err("single '}' in f-string")),
+                c => literal.push(c),
+            }
+        }
+        if !literal.is_empty() {
+            parts.push(FStringPart::Literal(literal));
+        }
+        Ok(Expr::FString(parts))
+    }
+
+    fn atom(&mut self) -> Result<Expr> {
+        match self.bump() {
+            TokenKind::Name(n) => Ok(Expr::Name(n)),
+            TokenKind::Int(v) => Ok(Expr::Int(v)),
+            TokenKind::Float(v) => Ok(Expr::Float(v)),
+            TokenKind::Str(s) => {
+                // Adjacent string literal concatenation.
+                let mut full = s;
+                while let TokenKind::Str(next) = self.peek() {
+                    full.push_str(next);
+                    self.bump();
+                }
+                Ok(Expr::Str(full))
+            }
+            TokenKind::FStr(s) => self.parse_fstring(&s),
+            TokenKind::KwNone => Ok(Expr::NoneLit),
+            TokenKind::KwTrue => Ok(Expr::Bool(true)),
+            TokenKind::KwFalse => Ok(Expr::Bool(false)),
+            TokenKind::LParen => {
+                if self.eat(&TokenKind::RParen) {
+                    return Ok(Expr::Tuple(Vec::new()));
+                }
+                let first = self.expression()?;
+                if matches!(self.peek(), TokenKind::KwFor) {
+                    let comp =
+                        self.comprehension_tail(ComprehensionKind::Generator, first, None)?;
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(comp);
+                }
+                if matches!(self.peek(), TokenKind::Comma) {
+                    let mut items = vec![first];
+                    while self.eat(&TokenKind::Comma) {
+                        if matches!(self.peek(), TokenKind::RParen) {
+                            break;
+                        }
+                        items.push(self.expression()?);
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr::Tuple(items));
+                }
+                self.expect(&TokenKind::RParen)?;
+                Ok(first)
+            }
+            TokenKind::LBracket => {
+                if self.eat(&TokenKind::RBracket) {
+                    return Ok(Expr::List(Vec::new()));
+                }
+                let first = self.expression()?;
+                if matches!(self.peek(), TokenKind::KwFor) {
+                    let comp = self.comprehension_tail(ComprehensionKind::List, first, None)?;
+                    self.expect(&TokenKind::RBracket)?;
+                    return Ok(comp);
+                }
+                let mut items = vec![first];
+                while self.eat(&TokenKind::Comma) {
+                    if matches!(self.peek(), TokenKind::RBracket) {
+                        break;
+                    }
+                    items.push(self.expression()?);
+                }
+                self.expect(&TokenKind::RBracket)?;
+                Ok(Expr::List(items))
+            }
+            TokenKind::LBrace => {
+                if self.eat(&TokenKind::RBrace) {
+                    return Ok(Expr::Dict(Vec::new()));
+                }
+                if self.eat(&TokenKind::DoubleStar) {
+                    // {**base, ...}
+                    let base = self.expression()?;
+                    let mut pairs = vec![(Expr::Str("**".into()), base)];
+                    while self.eat(&TokenKind::Comma) {
+                        if matches!(self.peek(), TokenKind::RBrace) {
+                            break;
+                        }
+                        let k = self.expression()?;
+                        self.expect(&TokenKind::Colon)?;
+                        let v = self.expression()?;
+                        pairs.push((k, v));
+                    }
+                    self.expect(&TokenKind::RBrace)?;
+                    return Ok(Expr::Dict(pairs));
+                }
+                let first = self.expression()?;
+                if self.eat(&TokenKind::Colon) {
+                    let value = self.expression()?;
+                    if matches!(self.peek(), TokenKind::KwFor) {
+                        let comp = self.comprehension_tail(
+                            ComprehensionKind::Dict,
+                            first,
+                            Some(value),
+                        )?;
+                        self.expect(&TokenKind::RBrace)?;
+                        return Ok(comp);
+                    }
+                    let mut pairs = vec![(first, value)];
+                    while self.eat(&TokenKind::Comma) {
+                        if matches!(self.peek(), TokenKind::RBrace) {
+                            break;
+                        }
+                        let k = self.expression()?;
+                        self.expect(&TokenKind::Colon)?;
+                        let v = self.expression()?;
+                        pairs.push((k, v));
+                    }
+                    self.expect(&TokenKind::RBrace)?;
+                    return Ok(Expr::Dict(pairs));
+                }
+                if matches!(self.peek(), TokenKind::KwFor) {
+                    let comp = self.comprehension_tail(ComprehensionKind::Set, first, None)?;
+                    self.expect(&TokenKind::RBrace)?;
+                    return Ok(comp);
+                }
+                let mut items = vec![first];
+                while self.eat(&TokenKind::Comma) {
+                    if matches!(self.peek(), TokenKind::RBrace) {
+                        break;
+                    }
+                    items.push(self.expression()?);
+                }
+                self.expect(&TokenKind::RBrace)?;
+                Ok(Expr::Set(items))
+            }
+            TokenKind::Star => {
+                let e = self.expression()?;
+                Ok(Expr::Starred(Box::new(e)))
+            }
+            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_imports() {
+        let m = parse_module("import numpy\nimport scipy.stats as st\n").unwrap();
+        assert_eq!(m.body.len(), 2);
+        match &m.body[1] {
+            Stmt::Import { names, .. } => {
+                assert_eq!(names[0].name.dotted(), "scipy.stats");
+                assert_eq!(names[0].alias.as_deref(), Some("st"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_from_import() {
+        let m = parse_module("from tensorflow.keras import layers, models as m\n").unwrap();
+        match &m.body[0] {
+            Stmt::ImportFrom { module, names, level, star, .. } => {
+                assert_eq!(module.as_ref().unwrap().dotted(), "tensorflow.keras");
+                assert_eq!(names.len(), 2);
+                assert_eq!(*level, 0);
+                assert!(!star);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_relative_import() {
+        let m = parse_module("from ..utils import helper\n").unwrap();
+        match &m.body[0] {
+            Stmt::ImportFrom { level, module, .. } => {
+                assert_eq!(*level, 2);
+                assert_eq!(module.as_ref().unwrap().dotted(), "utils");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_star_import() {
+        let m = parse_module("from os.path import *\n").unwrap();
+        match &m.body[0] {
+            Stmt::ImportFrom { star, .. } => assert!(star),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_decorated_function() {
+        let src = "@python_app\ndef analyze(data, hist=None):\n    import numpy as np\n    return np.sum(data)\n";
+        let m = parse_module(src).unwrap();
+        match &m.body[0] {
+            Stmt::FunctionDef { name, params, body, decorators, .. } => {
+                assert_eq!(name, "analyze");
+                assert_eq!(params.len(), 2);
+                assert_eq!(decorators.len(), 1);
+                assert!(matches!(body[0], Stmt::Import { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_if_elif_else() {
+        let src = "if a:\n    x = 1\nelif b:\n    x = 2\nelse:\n    x = 3\n";
+        let m = parse_module(src).unwrap();
+        match &m.body[0] {
+            Stmt::If { orelse, .. } => {
+                assert_eq!(orelse.len(), 1);
+                assert!(matches!(orelse[0], Stmt::If { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_try_except_finally() {
+        let src = "try:\n    risky()\nexcept ValueError as e:\n    handle(e)\nfinally:\n    cleanup()\n";
+        let m = parse_module(src).unwrap();
+        match &m.body[0] {
+            Stmt::Try { handlers, finalbody, .. } => {
+                assert_eq!(handlers.len(), 1);
+                assert_eq!(handlers[0].name.as_deref(), Some("e"));
+                assert_eq!(finalbody.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_with_statement() {
+        let src = "with open(path) as f:\n    data = f.read()\n";
+        let m = parse_module(src).unwrap();
+        assert!(matches!(m.body[0], Stmt::With { .. }));
+    }
+
+    #[test]
+    fn parse_for_loop_with_tuple_target() {
+        let src = "for k, v in d.items():\n    print(k, v)\n";
+        let m = parse_module(src).unwrap();
+        match &m.body[0] {
+            Stmt::For { target, .. } => assert!(matches!(target, Expr::Tuple(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_expression_precedence() {
+        let e = parse_expression("1 + 2 * 3").unwrap();
+        match e {
+            Expr::BinOp { op, right, .. } => {
+                assert_eq!(op, "+");
+                assert!(matches!(*right, Expr::BinOp { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_power_right_assoc() {
+        let e = parse_expression("2 ** 3 ** 2").unwrap();
+        match e {
+            Expr::BinOp { op, right, .. } => {
+                assert_eq!(op, "**");
+                assert!(matches!(*right, Expr::BinOp { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_call_with_kwargs() {
+        let e = parse_expression("model.predict(x, batch_size=32, verbose=0)").unwrap();
+        match e {
+            Expr::Call { args, kwargs, .. } => {
+                assert_eq!(args.len(), 1);
+                assert_eq!(kwargs.len(), 2);
+                assert_eq!(kwargs[0].0, "batch_size");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_comprehension() {
+        let e = parse_expression("[x * 2 for x in items if x > 0]").unwrap();
+        match e {
+            Expr::Comprehension { kind, conditions, .. } => {
+                assert_eq!(kind, ComprehensionKind::List);
+                assert_eq!(conditions.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_dict_and_set_literals() {
+        assert!(matches!(parse_expression("{1: 'a', 2: 'b'}").unwrap(), Expr::Dict(_)));
+        assert!(matches!(parse_expression("{1, 2, 3}").unwrap(), Expr::Set(_)));
+        assert!(matches!(parse_expression("{}").unwrap(), Expr::Dict(_)));
+    }
+
+    #[test]
+    fn parse_lambda() {
+        let e = parse_expression("lambda x, y=1: x + y").unwrap();
+        match e {
+            Expr::Lambda { params, .. } => assert_eq!(params.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_conditional_expr() {
+        let e = parse_expression("a if cond else b").unwrap();
+        assert!(matches!(e, Expr::IfExp { .. }));
+    }
+
+    #[test]
+    fn parse_chained_comparison() {
+        let e = parse_expression("0 <= x < 10").unwrap();
+        match e {
+            Expr::Compare { ops, .. } => assert_eq!(ops, vec!["<=", "<"]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_subscript_and_slices() {
+        assert!(matches!(
+            parse_expression("events['muons']").unwrap(),
+            Expr::Subscript { .. }
+        ));
+        assert!(parse_expression("a[1:10]").is_ok());
+        assert!(parse_expression("m[:, 0]").is_ok());
+    }
+
+    #[test]
+    fn parse_class_def() {
+        let src = "class Processor(Base):\n    def run(self):\n        pass\n";
+        let m = parse_module(src).unwrap();
+        match &m.body[0] {
+            Stmt::ClassDef { name, bases, body, .. } => {
+                assert_eq!(name, "Processor");
+                assert_eq!(bases.len(), 1);
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_annotated_assignment() {
+        let m = parse_module("x: int = 5\n").unwrap();
+        assert!(matches!(m.body[0], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn parse_aug_assign() {
+        let m = parse_module("total += delta\n").unwrap();
+        match &m.body[0] {
+            Stmt::AugAssign { op, .. } => assert_eq!(op, "+="),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_return_none_and_value() {
+        let m = parse_module("def f():\n    return\n").unwrap();
+        match &m.body[0] {
+            Stmt::FunctionDef { body, .. } => assert!(matches!(body[0], Stmt::Return(None))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_inline_suite() {
+        let m = parse_module("def f(): return 1\n").unwrap();
+        match &m.body[0] {
+            Stmt::FunctionDef { body, .. } => assert_eq!(body.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_realistic_parsl_function() {
+        let src = r#"
+@python_app
+def featurize(smiles, model_path='weights.h5'):
+    import numpy as np
+    from rdkit import Chem
+    from tensorflow.keras.models import load_model
+    mol = Chem.MolFromSmiles(smiles)
+    fp = np.array(Chem.RDKFingerprint(mol))
+    model = load_model(model_path)
+    score = model.predict(fp.reshape(1, -1))[0][0]
+    return float(score)
+"#;
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.function_names(), vec!["featurize"]);
+    }
+
+    #[test]
+    fn syntax_error_reports_position() {
+        let err = parse_module("def f(:\n    pass\n").unwrap_err();
+        assert!(matches!(err, PyEnvError::Parse { .. }));
+    }
+}

@@ -1,0 +1,339 @@
+//! Function argument/result serialization — the "pickle" equivalent.
+//!
+//! The Parsl-WorkQueue executor "pickles" function inputs into transferable
+//! files and unpickles results on the way back (§III-A). [`PyValue`] is the
+//! value model and this module provides a compact, checksummed binary
+//! encoding for it.
+
+use crate::error::{PyEnvError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// A Python-ish value: what can cross the wire between master and LFM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PyValue {
+    None,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bytes(Vec<u8>),
+    List(Vec<PyValue>),
+    Tuple(Vec<PyValue>),
+    Dict(Vec<(PyValue, PyValue)>),
+}
+
+impl PyValue {
+    /// Encoded size in bytes (exact — encodes and measures the header-less
+    /// body lazily for scalars, so cheap for the common cases).
+    pub fn encoded_size(&self) -> usize {
+        match self {
+            PyValue::None => 1,
+            PyValue::Bool(_) => 2,
+            PyValue::Int(_) => 9,
+            PyValue::Float(_) => 9,
+            PyValue::Str(s) => 5 + s.len(),
+            PyValue::Bytes(b) => 5 + b.len(),
+            PyValue::List(v) | PyValue::Tuple(v) => {
+                5 + v.iter().map(PyValue::encoded_size).sum::<usize>()
+            }
+            PyValue::Dict(pairs) => {
+                5 + pairs
+                    .iter()
+                    .map(|(k, v)| k.encoded_size() + v.encoded_size())
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// Serialize ("pickle") to bytes.
+    pub fn dumps(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_size());
+        encode(self, &mut buf);
+        buf.freeze()
+    }
+
+    /// Deserialize ("unpickle") from bytes, requiring full consumption.
+    pub fn loads(data: &[u8]) -> Result<PyValue> {
+        let mut buf = data;
+        let v = decode(&mut buf, 0)?;
+        if buf.has_remaining() {
+            return Err(PyEnvError::CorruptPickle(format!(
+                "{} trailing bytes",
+                buf.remaining()
+            )));
+        }
+        Ok(v)
+    }
+
+    /// Convenience accessors used by workload code.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            PyValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            PyValue::Float(v) => Some(*v),
+            PyValue::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            PyValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Dict lookup by string key.
+    pub fn get(&self, key: &str) -> Option<&PyValue> {
+        match self {
+            PyValue::Dict(pairs) => pairs
+                .iter()
+                .find(|(k, _)| matches!(k, PyValue::Str(s) if s == key))
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+const MAX_DEPTH: usize = 200;
+
+const T_NONE: u8 = 0;
+const T_BOOL: u8 = 1;
+const T_INT: u8 = 2;
+const T_FLOAT: u8 = 3;
+const T_STR: u8 = 4;
+const T_BYTES: u8 = 5;
+const T_LIST: u8 = 6;
+const T_TUPLE: u8 = 7;
+const T_DICT: u8 = 8;
+
+fn encode(v: &PyValue, buf: &mut BytesMut) {
+    match v {
+        PyValue::None => buf.put_u8(T_NONE),
+        PyValue::Bool(b) => {
+            buf.put_u8(T_BOOL);
+            buf.put_u8(*b as u8);
+        }
+        PyValue::Int(i) => {
+            buf.put_u8(T_INT);
+            buf.put_i64_le(*i);
+        }
+        PyValue::Float(f) => {
+            buf.put_u8(T_FLOAT);
+            buf.put_f64_le(*f);
+        }
+        PyValue::Str(s) => {
+            buf.put_u8(T_STR);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        PyValue::Bytes(b) => {
+            buf.put_u8(T_BYTES);
+            buf.put_u32_le(b.len() as u32);
+            buf.put_slice(b);
+        }
+        PyValue::List(items) => {
+            buf.put_u8(T_LIST);
+            buf.put_u32_le(items.len() as u32);
+            for i in items {
+                encode(i, buf);
+            }
+        }
+        PyValue::Tuple(items) => {
+            buf.put_u8(T_TUPLE);
+            buf.put_u32_le(items.len() as u32);
+            for i in items {
+                encode(i, buf);
+            }
+        }
+        PyValue::Dict(pairs) => {
+            buf.put_u8(T_DICT);
+            buf.put_u32_le(pairs.len() as u32);
+            for (k, val) in pairs {
+                encode(k, buf);
+                encode(val, buf);
+            }
+        }
+    }
+}
+
+fn decode(buf: &mut &[u8], depth: usize) -> Result<PyValue> {
+    if depth > MAX_DEPTH {
+        return Err(PyEnvError::CorruptPickle("nesting too deep".into()));
+    }
+    let need = |buf: &&[u8], n: usize| -> Result<()> {
+        if buf.remaining() < n {
+            Err(PyEnvError::CorruptPickle("unexpected end of data".into()))
+        } else {
+            Ok(())
+        }
+    };
+    need(buf, 1)?;
+    let tag = buf.get_u8();
+    Ok(match tag {
+        T_NONE => PyValue::None,
+        T_BOOL => {
+            need(buf, 1)?;
+            PyValue::Bool(buf.get_u8() != 0)
+        }
+        T_INT => {
+            need(buf, 8)?;
+            PyValue::Int(buf.get_i64_le())
+        }
+        T_FLOAT => {
+            need(buf, 8)?;
+            PyValue::Float(buf.get_f64_le())
+        }
+        T_STR => {
+            need(buf, 4)?;
+            let len = buf.get_u32_le() as usize;
+            need(buf, len)?;
+            let s = String::from_utf8(buf[..len].to_vec())
+                .map_err(|_| PyEnvError::CorruptPickle("invalid utf-8".into()))?;
+            buf.advance(len);
+            PyValue::Str(s)
+        }
+        T_BYTES => {
+            need(buf, 4)?;
+            let len = buf.get_u32_le() as usize;
+            need(buf, len)?;
+            let b = buf[..len].to_vec();
+            buf.advance(len);
+            PyValue::Bytes(b)
+        }
+        T_LIST | T_TUPLE => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            if n > buf.remaining() {
+                // Each element takes at least 1 byte; cheap bomb guard.
+                return Err(PyEnvError::CorruptPickle("length exceeds data".into()));
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(decode(buf, depth + 1)?);
+            }
+            if tag == T_LIST {
+                PyValue::List(items)
+            } else {
+                PyValue::Tuple(items)
+            }
+        }
+        T_DICT => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            if n > buf.remaining() {
+                return Err(PyEnvError::CorruptPickle("length exceeds data".into()));
+            }
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = decode(buf, depth + 1)?;
+                let v = decode(buf, depth + 1)?;
+                pairs.push((k, v));
+            }
+            PyValue::Dict(pairs)
+        }
+        other => {
+            return Err(PyEnvError::CorruptPickle(format!("unknown tag {other}")));
+        }
+    })
+}
+
+/// Build a dict value from string keys.
+pub fn dict(pairs: Vec<(&str, PyValue)>) -> PyValue {
+    PyValue::Dict(pairs.into_iter().map(|(k, v)| (PyValue::Str(k.to_string()), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: PyValue) {
+        let bytes = v.dumps();
+        let back = PyValue::loads(&bytes).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(bytes.len(), v.encoded_size());
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        roundtrip(PyValue::None);
+        roundtrip(PyValue::Bool(true));
+        roundtrip(PyValue::Bool(false));
+        roundtrip(PyValue::Int(-42));
+        roundtrip(PyValue::Int(i64::MAX));
+        roundtrip(PyValue::Float(1.5e-7));
+        roundtrip(PyValue::Str("SMILES:CCO".into()));
+        roundtrip(PyValue::Bytes(vec![0, 1, 2, 255]));
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip(PyValue::List(vec![PyValue::Int(1), PyValue::Str("x".into())]));
+        roundtrip(PyValue::Tuple(vec![PyValue::None, PyValue::Bool(true)]));
+        roundtrip(dict(vec![
+            ("score", PyValue::Float(0.93)),
+            ("smiles", PyValue::Str("CCO".into())),
+            ("features", PyValue::List(vec![PyValue::Int(1), PyValue::Int(2)])),
+        ]));
+    }
+
+    #[test]
+    fn nested_structure() {
+        let v = PyValue::Dict(vec![(
+            PyValue::Str("events".into()),
+            PyValue::List(vec![dict(vec![
+                ("muons", PyValue::Int(2)),
+                ("pt", PyValue::List(vec![PyValue::Float(31.5), PyValue::Float(12.0)])),
+            ])]),
+        )]);
+        roundtrip(v);
+    }
+
+    #[test]
+    fn dict_lookup() {
+        let v = dict(vec![("a", PyValue::Int(1)), ("b", PyValue::Int(2))]);
+        assert_eq!(v.get("b").unwrap().as_int(), Some(2));
+        assert!(v.get("c").is_none());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = PyValue::Int(7).dumps().to_vec();
+        bytes.push(0);
+        assert!(PyValue::loads(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = PyValue::Str("hello world".into()).dumps();
+        for cut in 0..bytes.len() {
+            assert!(PyValue::loads(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(PyValue::loads(&[99]), Err(PyEnvError::CorruptPickle(_))));
+    }
+
+    #[test]
+    fn length_bomb_rejected() {
+        // A list claiming 4 billion elements with no payload.
+        let mut buf = BytesMut::new();
+        buf.put_u8(T_LIST);
+        buf.put_u32_le(u32::MAX);
+        assert!(PyValue::loads(&buf).is_err());
+    }
+
+    #[test]
+    fn as_float_coerces_int() {
+        assert_eq!(PyValue::Int(3).as_float(), Some(3.0));
+        assert_eq!(PyValue::Str("x".into()).as_float(), None);
+    }
+}

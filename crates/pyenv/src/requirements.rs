@@ -1,0 +1,219 @@
+//! Requirement lists — the output of static analysis and the input to the
+//! resolver, equivalent to a pip `requirements.txt` / Conda spec list.
+
+use crate::analyze::Analysis;
+use crate::error::{PyEnvError, Result};
+use crate::index::PackageIndex;
+use crate::version::{Version, VersionReq};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One requirement line: a distribution plus a version constraint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Requirement {
+    pub dist: String,
+    pub req: VersionReq,
+}
+
+impl Requirement {
+    /// `name` with no version constraint.
+    pub fn any(dist: impl Into<String>) -> Self {
+        Requirement { dist: dist.into(), req: VersionReq::any() }
+    }
+
+    /// `name==version`.
+    pub fn exact(dist: impl Into<String>, version: Version) -> Self {
+        Requirement { dist: dist.into(), req: VersionReq::exact(version) }
+    }
+}
+
+impl fmt::Display for Requirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.req.is_any() {
+            write!(f, "{}", self.dist)
+        } else {
+            write!(f, "{}{}", self.dist, self.req)
+        }
+    }
+}
+
+impl FromStr for Requirement {
+    type Err = PyEnvError;
+
+    /// Parse `numpy`, `numpy>=1.18,<2.0`, `numpy==1.18.5`, `numpy~=1.18`.
+    fn from_str(s: &str) -> Result<Self> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(PyEnvError::BadRequirement(s.to_string()));
+        }
+        let split_at = s
+            .find(|c: char| ['=', '>', '<', '!', '~'].contains(&c))
+            .unwrap_or(s.len());
+        let (name, rest) = s.split_at(split_at);
+        let name = name.trim();
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
+        {
+            return Err(PyEnvError::BadRequirement(s.to_string()));
+        }
+        let req =
+            if rest.trim().is_empty() { VersionReq::any() } else { rest.parse::<VersionReq>()? };
+        Ok(Requirement { dist: name.to_string(), req })
+    }
+}
+
+/// An ordered, deduplicated set of requirements.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RequirementSet {
+    reqs: Vec<Requirement>,
+}
+
+impl RequirementSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a requirement; constraints on an already-present distribution are
+    /// merged (conjunction).
+    pub fn add(&mut self, r: Requirement) {
+        if let Some(existing) = self.reqs.iter_mut().find(|e| e.dist == r.dist) {
+            existing.req.intersect(&r.req);
+        } else {
+            self.reqs.push(r);
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Requirement> {
+        self.reqs.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.reqs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.reqs.is_empty()
+    }
+
+    pub fn contains(&self, dist: &str) -> bool {
+        self.reqs.iter().any(|r| r.dist == dist)
+    }
+
+    /// Parse a requirements file (one requirement per line, `#` comments).
+    pub fn parse_file(text: &str) -> Result<Self> {
+        let mut set = RequirementSet::new();
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            set.add(line.parse()?);
+        }
+        Ok(set)
+    }
+
+    /// Render as a requirements file.
+    pub fn to_file(&self) -> String {
+        let mut out = String::new();
+        for r in &self.reqs {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Build a requirement set from a static analysis: map each imported
+    /// top-level module to its providing distribution via the index.
+    ///
+    /// This is the paper's "emit a list of requirements" step: only *direct*
+    /// imports become requirements; the resolver supplies the transitive
+    /// closure. Local (relative-import) modules are skipped. Unknown modules
+    /// produce an error, surfacing the missing-dependency failure mode the
+    /// paper describes.
+    pub fn from_analysis(analysis: &Analysis, index: &PackageIndex) -> Result<Self> {
+        let mut set = RequirementSet::new();
+        // Python itself always ships with the function.
+        set.add(Requirement::any("python"));
+        for module in analysis.top_level_modules() {
+            let dist = index.dist_for_module(module)?;
+            set.add(Requirement::any(dist));
+        }
+        Ok(set)
+    }
+}
+
+impl FromIterator<Requirement> for RequirementSet {
+    fn from_iter<T: IntoIterator<Item = Requirement>>(iter: T) -> Self {
+        let mut set = RequirementSet::new();
+        for r in iter {
+            set.add(r);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze_source;
+
+    #[test]
+    fn parse_requirement_forms() {
+        let r: Requirement = "numpy".parse().unwrap();
+        assert!(r.req.is_any());
+        let r: Requirement = "numpy>=1.18,<2.0".parse().unwrap();
+        assert!(r.req.matches("1.18.5".parse().unwrap()));
+        let r: Requirement = "scikit-learn==0.22.1".parse().unwrap();
+        assert_eq!(r.dist, "scikit-learn");
+    }
+
+    #[test]
+    fn reject_bad_requirements() {
+        assert!("".parse::<Requirement>().is_err());
+        assert!(">=1.0".parse::<Requirement>().is_err());
+        assert!("foo bar".parse::<Requirement>().is_err());
+    }
+
+    #[test]
+    fn set_merges_duplicates() {
+        let mut set = RequirementSet::new();
+        set.add("numpy>=1.17".parse().unwrap());
+        set.add("numpy<2.0".parse().unwrap());
+        assert_eq!(set.len(), 1);
+        let r = set.iter().next().unwrap();
+        assert!(r.req.matches("1.18.0".parse().unwrap()));
+        assert!(!r.req.matches("2.0.0".parse().unwrap()));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let text = "numpy>=1.18\n# comment\nscipy\n\npandas==1.0.3\n";
+        let set = RequirementSet::parse_file(text).unwrap();
+        assert_eq!(set.len(), 3);
+        let rendered = set.to_file();
+        let set2 = RequirementSet::parse_file(&rendered).unwrap();
+        assert_eq!(set, set2);
+    }
+
+    #[test]
+    fn from_analysis_maps_modules_to_dists() {
+        let ix = PackageIndex::builtin();
+        let a = analyze_source("import sklearn\nfrom PIL import Image\nimport os\n").unwrap();
+        let set = RequirementSet::from_analysis(&a, &ix).unwrap();
+        assert!(set.contains("scikit-learn"));
+        assert!(set.contains("pillow"));
+        assert!(set.contains("python"));
+        // `os` maps to python, already present — no duplicate.
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn from_analysis_unknown_module_errors() {
+        let ix = PackageIndex::builtin();
+        let a = analyze_source("import totally_unknown_pkg\n").unwrap();
+        assert!(RequirementSet::from_analysis(&a, &ix).is_err());
+    }
+}

@@ -1,0 +1,310 @@
+//! Dependency resolution: requirement set → pinned release set.
+//!
+//! The paper relies on the package manager's "robust solvers for collecting
+//! dependencies recursively" (§V-B); this is that solver. Deterministic
+//! backtracking, newest-version-first, over the [`PackageIndex`].
+
+use crate::error::{PyEnvError, Result};
+use crate::index::{DistRelease, PackageIndex};
+use crate::requirements::RequirementSet;
+use crate::version::{Version, VersionReq};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The solved, pinned set of releases.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Resolution {
+    /// dist name → pinned version, sorted by name for determinism.
+    pub pinned: BTreeMap<String, Version>,
+}
+
+impl Resolution {
+    /// Number of distributions in the solution.
+    pub fn len(&self) -> usize {
+        self.pinned.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pinned.is_empty()
+    }
+
+    pub fn version_of(&self, dist: &str) -> Option<Version> {
+        self.pinned.get(dist).copied()
+    }
+
+    /// Materialize the release records from the index.
+    pub fn releases<'a>(&self, index: &'a PackageIndex) -> Result<Vec<&'a DistRelease>> {
+        self.pinned
+            .iter()
+            .map(|(name, &v)| {
+                index
+                    .get(name, v)
+                    .ok_or_else(|| PyEnvError::UnknownDistribution(name.clone()))
+            })
+            .collect()
+    }
+
+    /// Total payload bytes of the solution.
+    pub fn total_bytes(&self, index: &PackageIndex) -> Result<u64> {
+        Ok(self.releases(index)?.iter().map(|r| r.size_bytes).sum())
+    }
+
+    /// Total file count of the solution.
+    pub fn total_files(&self, index: &PackageIndex) -> Result<u64> {
+        Ok(self.releases(index)?.iter().map(|r| r.file_count as u64).sum())
+    }
+}
+
+/// Solver statistics, reported alongside the solution (Table II's "create"
+/// column is dominated by solve + download work).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Candidate versions tried.
+    pub candidates_tried: u64,
+    /// Times the solver had to undo a pin.
+    pub backtracks: u64,
+}
+
+/// Resolve `reqs` against `index`.
+pub fn resolve(index: &PackageIndex, reqs: &RequirementSet) -> Result<Resolution> {
+    resolve_with_stats(index, reqs).map(|(r, _)| r)
+}
+
+/// Resolve, also returning solver statistics.
+pub fn resolve_with_stats(
+    index: &PackageIndex,
+    reqs: &RequirementSet,
+) -> Result<(Resolution, SolveStats)> {
+    let mut constraints: BTreeMap<String, VersionReq> = BTreeMap::new();
+    for r in reqs.iter() {
+        merge_constraint(&mut constraints, &r.dist, &r.req);
+    }
+    let mut stats = SolveStats::default();
+    let pinned = solve(index, constraints, BTreeMap::new(), &mut stats)?;
+    Ok((Resolution { pinned }, stats))
+}
+
+fn merge_constraint(map: &mut BTreeMap<String, VersionReq>, dist: &str, req: &VersionReq) {
+    map.entry(dist.to_string()).or_insert_with(VersionReq::any).intersect(req);
+}
+
+/// Recursive backtracking: pick the alphabetically-first unpinned constrained
+/// dist, try candidates newest-first, propagate its dependencies, recurse.
+fn solve(
+    index: &PackageIndex,
+    constraints: BTreeMap<String, VersionReq>,
+    pinned: BTreeMap<String, Version>,
+    stats: &mut SolveStats,
+) -> Result<BTreeMap<String, Version>> {
+    // Check every pin still satisfies the (possibly narrowed) constraints.
+    for (dist, req) in &constraints {
+        if let Some(&v) = pinned.get(dist) {
+            if !req.matches(v) {
+                return Err(PyEnvError::Unsatisfiable {
+                    dist: dist.clone(),
+                    detail: format!("pinned {v} violates {req}"),
+                });
+            }
+        }
+    }
+    let Some((next, req)) = constraints.iter().find(|(d, _)| !pinned.contains_key(*d)) else {
+        return Ok(pinned);
+    };
+    let next = next.clone();
+    let req = req.clone();
+    let releases = index.releases(&next);
+    if releases.is_empty() {
+        return Err(PyEnvError::UnknownDistribution(next));
+    }
+    let mut last_err = None;
+    for candidate in releases.iter().rev() {
+        if !req.matches(candidate.version) {
+            continue;
+        }
+        stats.candidates_tried += 1;
+        let mut new_constraints = constraints.clone();
+        let mut new_pinned = pinned.clone();
+        new_pinned.insert(next.clone(), candidate.version);
+        let mut conflict = false;
+        for (dep, dep_req) in &candidate.deps {
+            merge_constraint(&mut new_constraints, dep, dep_req);
+            if let Some(&v) = new_pinned.get(dep) {
+                if !new_constraints[dep].matches(v) {
+                    conflict = true;
+                    break;
+                }
+            }
+        }
+        if conflict {
+            stats.backtracks += 1;
+            continue;
+        }
+        match solve(index, new_constraints, new_pinned, stats) {
+            Ok(solution) => return Ok(solution),
+            Err(e) => {
+                stats.backtracks += 1;
+                last_err = Some(e);
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(|| PyEnvError::Unsatisfiable {
+        dist: next.clone(),
+        detail: format!("no version satisfies {req}"),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::requirements::Requirement;
+
+    fn reqs(list: &[&str]) -> RequirementSet {
+        list.iter().map(|s| s.parse::<Requirement>().unwrap()).collect()
+    }
+
+    #[test]
+    fn resolve_numpy_pulls_interpreter_and_blas() {
+        let ix = PackageIndex::builtin();
+        let r = resolve(&ix, &reqs(&["numpy"])).unwrap();
+        assert!(r.version_of("numpy").is_some());
+        assert!(r.version_of("python").is_some());
+        assert!(r.version_of("libblas").is_some());
+        assert!(r.version_of("mkl").is_some());
+    }
+
+    #[test]
+    fn resolve_prefers_newest() {
+        let ix = PackageIndex::builtin();
+        let r = resolve(&ix, &reqs(&["numpy"])).unwrap();
+        assert_eq!(r.version_of("numpy").unwrap(), "1.18.5".parse().unwrap());
+    }
+
+    #[test]
+    fn resolve_respects_upper_bound() {
+        let ix = PackageIndex::builtin();
+        let r = resolve(&ix, &reqs(&["numpy<1.18"])).unwrap();
+        assert_eq!(r.version_of("numpy").unwrap(), "1.17.4".parse().unwrap());
+    }
+
+    #[test]
+    fn resolve_tensorflow_closure() {
+        let ix = PackageIndex::builtin();
+        let r = resolve(&ix, &reqs(&["tensorflow"])).unwrap();
+        for dep in ["numpy", "protobuf", "grpcio", "h5py", "keras", "python", "six"] {
+            assert!(r.version_of(dep).is_some(), "missing {dep}");
+        }
+        // Solution satisfies every dependency edge of every pinned release.
+        for rel in r.releases(&ix).unwrap() {
+            for (dep, req) in &rel.deps {
+                let v = r.version_of(dep).unwrap_or_else(|| panic!("{dep} unpinned"));
+                assert!(req.matches(v), "{}: {dep}{req} unsatisfied by {v}", rel.name);
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_unknown_dist_errors() {
+        let ix = PackageIndex::builtin();
+        assert!(matches!(
+            resolve(&ix, &reqs(&["no-such-dist"])),
+            Err(PyEnvError::UnknownDistribution(_))
+        ));
+    }
+
+    #[test]
+    fn resolve_unsatisfiable_errors() {
+        let ix = PackageIndex::builtin();
+        let err = resolve(&ix, &reqs(&["numpy>=99.0"])).unwrap_err();
+        assert!(matches!(err, PyEnvError::Unsatisfiable { .. }));
+    }
+
+    #[test]
+    fn resolve_conflicting_constraints_error() {
+        let ix = PackageIndex::builtin();
+        let err = resolve(&ix, &reqs(&["numpy>=1.18", "numpy<1.18"])).unwrap_err();
+        assert!(matches!(err, PyEnvError::Unsatisfiable { .. }));
+    }
+
+    #[test]
+    fn resolve_is_deterministic() {
+        let ix = PackageIndex::builtin();
+        let a = resolve(&ix, &reqs(&["coffea", "tensorflow"])).unwrap();
+        let b = resolve(&ix, &reqs(&["tensorflow", "coffea"])).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn backtracking_recovers_from_conflict() {
+        // mxnet requires numpy<2.0; add a second dist that wants numpy<1.18
+        // to force the solver off the newest numpy.
+        let mut ix = PackageIndex::builtin();
+        ix.add(DistRelease {
+            name: "legacy-tool".into(),
+            version: "1.0.0".parse().unwrap(),
+            size_bytes: 1,
+            file_count: 1,
+            deps: vec![("numpy".into(), "<1.18".parse().unwrap())],
+            modules: vec!["legacy_tool".into()],
+            has_native_libs: false,
+        });
+        let (r, stats) = resolve_with_stats(&ix, &reqs(&["mxnet", "legacy-tool"])).unwrap();
+        assert_eq!(r.version_of("numpy").unwrap(), "1.17.4".parse().unwrap());
+        assert!(stats.candidates_tried >= 2);
+    }
+
+    #[test]
+    fn dependency_cycles_resolve() {
+        // Python packaging allows mutual dependencies (e.g. historical
+        // setuptools ↔ wheel build cycles); the solver must not recurse
+        // forever.
+        let mut ix = PackageIndex::new();
+        let mk = |name: &str, dep: &str| DistRelease {
+            name: name.into(),
+            version: "1.0.0".parse().unwrap(),
+            size_bytes: 1,
+            file_count: 1,
+            deps: vec![(dep.into(), VersionReq::any())],
+            modules: vec![name.to_string()],
+            has_native_libs: false,
+        };
+        ix.add(mk("alpha", "beta"));
+        ix.add(mk("beta", "alpha"));
+        let r = resolve(&ix, &reqs(&["alpha"])).unwrap();
+        assert!(r.version_of("alpha").is_some());
+        assert!(r.version_of("beta").is_some());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn self_dependency_resolves() {
+        let mut ix = PackageIndex::new();
+        ix.add(DistRelease {
+            name: "selfy".into(),
+            version: "1.0.0".parse().unwrap(),
+            size_bytes: 1,
+            file_count: 1,
+            deps: vec![("selfy".into(), ">=1.0".parse().unwrap())],
+            modules: vec!["selfy".into()],
+            has_native_libs: false,
+        });
+        let r = resolve(&ix, &reqs(&["selfy"])).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn empty_requirements_resolve_to_empty() {
+        let ix = PackageIndex::builtin();
+        let r = resolve(&ix, &RequirementSet::new()).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn totals_are_sums() {
+        let ix = PackageIndex::builtin();
+        let r = resolve(&ix, &reqs(&["numpy"])).unwrap();
+        let bytes = r.total_bytes(&ix).unwrap();
+        let manual: u64 = r.releases(&ix).unwrap().iter().map(|x| x.size_bytes).sum();
+        assert_eq!(bytes, manual);
+        assert!(bytes > 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Measurement helpers: streaming statistics and histograms for experiment
+//! reporting (means, percentiles, utilization series).
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming summary statistics (Welford's algorithm).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    pub fn new() -> Self {
+        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+}
+
+/// An exact-quantile sample store. Keeps all samples; fine at the scales the
+/// experiments run at (≤ millions of f64s), and exact percentiles matter for
+/// the allocator's first-allocation policy.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite sample");
+        self.values.push(x);
+        self.sorted = false;
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+    }
+
+    /// Quantile `q` in [0,1] by nearest-rank (q=1.0 → max).
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        self.ensure_sorted();
+        let idx = ((q * self.values.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.values.len() - 1);
+        Some(self.values[idx])
+    }
+
+    pub fn max(&mut self) -> Option<f64> {
+        self.quantile(1.0)
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Sorted view of the distinct values (candidate allocation sizes).
+    pub fn distinct_sorted(&mut self) -> Vec<f64> {
+        self.ensure_sorted();
+        let mut out: Vec<f64> = Vec::with_capacity(self.values.len());
+        for &v in &self.values {
+            if out.last().is_none_or(|&last| last != v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Fraction of samples ≤ x (empirical CDF).
+    pub fn cdf(&mut self, x: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let count = self.values.partition_point(|&v| v <= x);
+        count as f64 / self.values.len() as f64
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.values.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut s = Samples::new();
+        for x in 1..=100 {
+            s.record(x as f64);
+        }
+        assert_eq!(s.quantile(0.5), Some(50.0));
+        assert_eq!(s.quantile(0.95), Some(95.0));
+        assert_eq!(s.quantile(1.0), Some(100.0));
+        assert_eq!(s.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        let mut s = Samples::new();
+        assert_eq!(s.quantile(0.5), None);
+    }
+
+    #[test]
+    fn cdf_matches_quantile() {
+        let mut s = Samples::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.record(x);
+        }
+        assert_eq!(s.cdf(2.0), 0.5);
+        assert_eq!(s.cdf(0.5), 0.0);
+        assert_eq!(s.cdf(10.0), 1.0);
+    }
+
+    #[test]
+    fn distinct_sorted_dedups() {
+        let mut s = Samples::new();
+        for x in [3.0, 1.0, 3.0, 2.0, 1.0] {
+            s.record(x);
+        }
+        assert_eq!(s.distinct_sorted(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn record_after_quantile_resorts() {
+        let mut s = Samples::new();
+        s.record(5.0);
+        assert_eq!(s.max(), Some(5.0));
+        s.record(9.0);
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite sample")]
+    fn non_finite_sample_panics() {
+        let mut s = Samples::new();
+        s.record(f64::NAN);
+    }
+}

@@ -1,0 +1,92 @@
+//! Master↔worker network model.
+//!
+//! Work Queue streams task inputs/outputs over TCP between the master and
+//! each worker. The master's NIC is the shared bottleneck; per-connection
+//! throughput also has a ceiling.
+
+use serde::{Deserialize, Serialize};
+
+/// Network parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkParams {
+    /// Master NIC aggregate bandwidth, bytes/sec.
+    pub master_bw: f64,
+    /// Per-connection ceiling, bytes/sec.
+    pub per_link_bw: f64,
+    /// Per-message latency floor, seconds.
+    pub latency: f64,
+}
+
+impl NetworkParams {
+    /// 10 GbE campus network.
+    pub fn campus_10g() -> Self {
+        NetworkParams { master_bw: 1.25e9, per_link_bw: 1.0e9, latency: 0.2e-3 }
+    }
+
+    /// HPC interconnect (Aries/Slingshot class) as seen by a TCP service.
+    pub fn hpc_fabric() -> Self {
+        NetworkParams { master_bw: 5e9, per_link_bw: 2e9, latency: 0.05e-3 }
+    }
+}
+
+/// A shared network instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    pub params: NetworkParams,
+    pub bytes_moved: u64,
+    pub messages: u64,
+}
+
+impl Network {
+    pub fn new(params: NetworkParams) -> Self {
+        Network { params, bytes_moved: 0, messages: 0 }
+    }
+
+    /// Effective per-transfer bandwidth with `n` concurrent transfers.
+    pub fn effective_bw(&self, concurrent: usize) -> f64 {
+        let n = concurrent.max(1) as f64;
+        self.params.per_link_bw.min(self.params.master_bw / n)
+    }
+
+    /// Wall time to move `bytes` with `concurrent` transfers in flight.
+    pub fn transfer_cost(&mut self, bytes: u64, concurrent: usize) -> f64 {
+        self.bytes_moved += bytes;
+        self.messages += 1;
+        self.params.latency + bytes as f64 / self.effective_bw(concurrent)
+    }
+
+    /// Cost of a small control message (task dispatch, result header).
+    pub fn message_cost(&mut self) -> f64 {
+        self.messages += 1;
+        self.params.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrency_shares_master_nic() {
+        let net = Network::new(NetworkParams::campus_10g());
+        assert_eq!(net.effective_bw(1), 1.0e9);
+        assert!(net.effective_bw(100) < net.effective_bw(2));
+    }
+
+    #[test]
+    fn transfer_cost_scales_with_bytes() {
+        let mut net = Network::new(NetworkParams::campus_10g());
+        let small = net.transfer_cost(1 << 20, 1);
+        let big = net.transfer_cost(1 << 30, 1);
+        assert!(big > 100.0 * small);
+        assert_eq!(net.messages, 2);
+        assert_eq!(net.bytes_moved, (1 << 20) + (1 << 30));
+    }
+
+    #[test]
+    fn latency_floor_applies() {
+        let mut net = Network::new(NetworkParams::campus_10g());
+        assert!(net.transfer_cost(0, 1) >= net.params.latency);
+        assert_eq!(net.message_cost(), net.params.latency);
+    }
+}

@@ -1,0 +1,248 @@
+//! Compute nodes and resource vectors.
+//!
+//! [`Resources`] is the three-axis vector the paper manages per function:
+//! cores, memory, and disk. [`Node`] tracks allocation against a spec and
+//! refuses oversubscription — the invariant the whole packing evaluation
+//! rests on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A resource vector: cores, memory (MB), disk (MB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Resources {
+    pub cores: u32,
+    pub memory_mb: u64,
+    pub disk_mb: u64,
+}
+
+impl Resources {
+    pub const ZERO: Resources = Resources { cores: 0, memory_mb: 0, disk_mb: 0 };
+
+    pub const fn new(cores: u32, memory_mb: u64, disk_mb: u64) -> Self {
+        Resources { cores, memory_mb, disk_mb }
+    }
+
+    /// Component-wise: does `self` fit inside `available`?
+    pub fn fits_in(&self, available: &Resources) -> bool {
+        self.cores <= available.cores
+            && self.memory_mb <= available.memory_mb
+            && self.disk_mb <= available.disk_mb
+    }
+
+    /// Component-wise max (used to fold observed peaks).
+    pub fn max(&self, other: &Resources) -> Resources {
+        Resources {
+            cores: self.cores.max(other.cores),
+            memory_mb: self.memory_mb.max(other.memory_mb),
+            disk_mb: self.disk_mb.max(other.disk_mb),
+        }
+    }
+
+    /// Component-wise saturating subtraction.
+    pub fn saturating_sub(&self, other: &Resources) -> Resources {
+        Resources {
+            cores: self.cores.saturating_sub(other.cores),
+            memory_mb: self.memory_mb.saturating_sub(other.memory_mb),
+            disk_mb: self.disk_mb.saturating_sub(other.disk_mb),
+        }
+    }
+
+    /// True if any component exceeds the limit — a resource-exhaustion
+    /// event for the LFM enforcer.
+    pub fn exceeds(&self, limit: &Resources) -> bool {
+        self.cores > limit.cores
+            || self.memory_mb > limit.memory_mb
+            || self.disk_mb > limit.disk_mb
+    }
+
+    /// How many copies of `self` fit in `capacity` (the packing number)?
+    pub fn copies_in(&self, capacity: &Resources) -> u32 {
+        let per_axis =
+            |need: u64, have: u64| -> u64 { have.checked_div(need).unwrap_or(u64::MAX) };
+        per_axis(self.cores as u64, capacity.cores as u64)
+            .min(per_axis(self.memory_mb, capacity.memory_mb))
+            .min(per_axis(self.disk_mb, capacity.disk_mb))
+            .min(u32::MAX as u64) as u32
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            cores: self.cores + rhs.cores,
+            memory_mb: self.memory_mb + rhs.memory_mb,
+            disk_mb: self.disk_mb + rhs.disk_mb,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}c/{}MB/{}MB", self.cores, self.memory_mb, self.disk_mb)
+    }
+}
+
+/// Static description of a node class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    pub resources: Resources,
+    /// Local disk bandwidth in bytes/sec.
+    pub local_disk_bw: f64,
+}
+
+impl NodeSpec {
+    pub fn new(cores: u32, memory_mb: u64, disk_mb: u64) -> Self {
+        NodeSpec {
+            resources: Resources::new(cores, memory_mb, disk_mb),
+            local_disk_bw: 1e9,
+        }
+    }
+}
+
+/// A node with live allocation accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    pub id: u32,
+    pub spec: NodeSpec,
+    in_use: Resources,
+    allocations: u32,
+}
+
+impl Node {
+    pub fn new(id: u32, spec: NodeSpec) -> Self {
+        Node { id, spec, in_use: Resources::ZERO, allocations: 0 }
+    }
+
+    /// Resources currently free.
+    pub fn available(&self) -> Resources {
+        self.spec.resources.saturating_sub(&self.in_use)
+    }
+
+    /// Resources currently allocated.
+    pub fn in_use(&self) -> Resources {
+        self.in_use
+    }
+
+    /// Number of live allocations (running tasks).
+    pub fn allocation_count(&self) -> u32 {
+        self.allocations
+    }
+
+    /// Can `r` be allocated right now?
+    pub fn can_fit(&self, r: &Resources) -> bool {
+        r.fits_in(&self.available())
+    }
+
+    /// Allocate `r`. Returns false and changes nothing if it doesn't fit —
+    /// a node never oversubscribes.
+    pub fn allocate(&mut self, r: Resources) -> bool {
+        if !self.can_fit(&r) {
+            return false;
+        }
+        self.in_use += r;
+        self.allocations += 1;
+        true
+    }
+
+    /// Free a previous allocation.
+    pub fn free(&mut self, r: Resources) {
+        assert!(self.allocations > 0, "free without matching allocate");
+        assert!(
+            r.fits_in(&self.in_use),
+            "freeing {r} but only {} in use",
+            self.in_use
+        );
+        self.in_use = self.in_use.saturating_sub(&r);
+        self.allocations -= 1;
+    }
+
+    /// Fraction of cores currently busy, for utilization metrics.
+    pub fn core_utilization(&self) -> f64 {
+        if self.spec.resources.cores == 0 {
+            0.0
+        } else {
+            self.in_use.cores as f64 / self.spec.resources.cores as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> Node {
+        Node::new(0, NodeSpec::new(8, 8192, 16384))
+    }
+
+    #[test]
+    fn fits_and_exceeds() {
+        let small = Resources::new(1, 110, 1024);
+        let cap = Resources::new(8, 8192, 16384);
+        assert!(small.fits_in(&cap));
+        assert!(!cap.fits_in(&small));
+        assert!(cap.exceeds(&small));
+        assert!(!small.exceeds(&cap));
+    }
+
+    #[test]
+    fn copies_in_packing_count() {
+        let task = Resources::new(1, 1536, 2048);
+        let worker = Resources::new(8, 8192, 16384);
+        // core-limited: 8; memory-limited: 5; disk-limited: 8 → 5.
+        assert_eq!(task.copies_in(&worker), 5);
+        assert_eq!(Resources::new(0, 1024, 0).copies_in(&worker), 8);
+    }
+
+    #[test]
+    fn node_allocation_lifecycle() {
+        let mut n = node();
+        let r = Resources::new(2, 2048, 4096);
+        assert!(n.allocate(r));
+        assert!(n.allocate(r));
+        assert_eq!(n.allocation_count(), 2);
+        assert_eq!(n.available(), Resources::new(4, 4096, 8192));
+        assert_eq!(n.core_utilization(), 0.5);
+        n.free(r);
+        assert_eq!(n.available(), Resources::new(6, 6144, 12288));
+    }
+
+    #[test]
+    fn node_never_oversubscribes() {
+        let mut n = node();
+        assert!(n.allocate(Resources::new(8, 1024, 1024)));
+        // Cores exhausted: next allocation must fail even though memory fits.
+        assert!(!n.allocate(Resources::new(1, 1024, 1024)));
+        assert_eq!(n.allocation_count(), 1);
+    }
+
+    #[test]
+    fn memory_axis_blocks_too() {
+        let mut n = node();
+        assert!(n.allocate(Resources::new(1, 8192, 0)));
+        assert!(!n.allocate(Resources::new(1, 1, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "free without matching allocate")]
+    fn free_without_allocate_panics() {
+        let mut n = node();
+        n.free(Resources::new(1, 1, 1));
+    }
+
+    #[test]
+    fn component_max_folds_peaks() {
+        let a = Resources::new(1, 500, 100);
+        let b = Resources::new(2, 100, 300);
+        assert_eq!(a.max(&b), Resources::new(2, 500, 300));
+    }
+}

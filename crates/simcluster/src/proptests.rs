@@ -1,0 +1,152 @@
+//! Crate-level property tests for the simulation substrate.
+
+#![cfg(test)]
+
+use crate::event::EventQueue;
+use crate::metrics::Samples;
+use crate::node::{Node, NodeSpec, Resources};
+use crate::sharedfs::{SharedFs, SharedFsParams};
+use crate::time::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Events pop in non-decreasing time order regardless of push order,
+    /// and equal times preserve insertion order.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u32..1000, 1..64)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_secs(t as f64), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            prop_assert!(t >= last_time);
+            if t > last_time {
+                seen_at_time.clear();
+            }
+            // FIFO within a timestamp: ids with equal time arrive ascending
+            // (they were pushed in index order).
+            if let Some(&prev) = seen_at_time.last() {
+                if times[prev] == times[id] {
+                    prop_assert!(id > prev, "FIFO violated: {prev} then {id}");
+                }
+            }
+            seen_at_time.push(id);
+            last_time = t;
+        }
+        prop_assert_eq!(q.stats().0, times.len() as u64);
+    }
+
+    /// Quantiles are bounded by min/max and monotone in q.
+    #[test]
+    fn quantiles_bounded_and_monotone(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut s = Samples::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut prev = lo;
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = s.quantile(q).unwrap();
+            prop_assert!(v >= lo && v <= hi, "q{q}={v} outside [{lo},{hi}]");
+            prop_assert!(v >= prev, "quantiles not monotone at {q}");
+            prev = v;
+        }
+        prop_assert_eq!(s.quantile(1.0).unwrap(), hi);
+    }
+
+    /// CDF is the exact fraction at or below x.
+    #[test]
+    fn cdf_matches_count(xs in prop::collection::vec(-100i32..100, 1..80), probe in -100i32..100) {
+        let mut s = Samples::new();
+        for &x in &xs {
+            s.record(x as f64);
+        }
+        let expect = xs.iter().filter(|&&x| x <= probe).count() as f64 / xs.len() as f64;
+        prop_assert!((s.cdf(probe as f64) - expect).abs() < 1e-12);
+    }
+
+    /// Node allocation algebra: allocations that fit always succeed, the
+    /// in-use sum is exact, and freeing restores the full capacity.
+    #[test]
+    fn node_allocation_conserves_resources(
+        allocs in prop::collection::vec((1u32..4, 1u64..2048, 1u64..2048), 1..20)
+    ) {
+        let spec = NodeSpec::new(64, 64 * 1024, 64 * 1024);
+        let mut node = Node::new(0, spec);
+        let mut accepted: Vec<Resources> = Vec::new();
+        for (c, m, d) in allocs {
+            let r = Resources::new(c, m, d);
+            let fits = node.can_fit(&r);
+            let ok = node.allocate(r);
+            prop_assert_eq!(fits, ok);
+            if ok {
+                accepted.push(r);
+            }
+            // Invariant: in-use equals the sum of accepted allocations.
+            let sum = accepted
+                .iter()
+                .fold(Resources::ZERO, |acc, r| acc + *r);
+            prop_assert_eq!(node.in_use(), sum);
+            // Never oversubscribed.
+            prop_assert!(node.in_use().fits_in(&spec.resources));
+        }
+        for r in accepted.drain(..) {
+            node.free(r);
+        }
+        prop_assert_eq!(node.available(), spec.resources);
+        prop_assert_eq!(node.allocation_count(), 0);
+    }
+
+    /// copies_in is exact: that many copies fit, one more does not.
+    #[test]
+    fn copies_in_is_tight(c in 1u32..8, m in 1u64..4096, d in 1u64..4096) {
+        let need = Resources::new(c, m, d);
+        let cap = Resources::new(32, 32 * 1024, 32 * 1024);
+        let n = need.copies_in(&cap);
+        let mut node = Node::new(0, NodeSpec { resources: cap, local_disk_bw: 1e9 });
+        for i in 0..n {
+            prop_assert!(node.allocate(need), "copy {i} of {n} failed");
+        }
+        prop_assert!(!node.allocate(need), "copies_in under-counted");
+    }
+
+    /// Shared-FS costs are monotone in bytes, files, and concurrency.
+    #[test]
+    fn sharedfs_cost_monotonicity(
+        files in 1u64..20_000,
+        bytes in 1u64..1 << 32,
+        clients in 1usize..10_000,
+    ) {
+        let params = SharedFsParams::lustre_leadership();
+        let base = SharedFs::new(params).import_cost(files, bytes, clients);
+        prop_assert!(
+            SharedFs::new(params).import_cost(files + 1000, bytes, clients) >= base
+        );
+        prop_assert!(
+            SharedFs::new(params).import_cost(files, bytes * 2, clients) >= base
+        );
+        prop_assert!(
+            SharedFs::new(params).import_cost(files, bytes, clients * 2) >= base - 1e-9
+        );
+        prop_assert!(base > 0.0);
+    }
+
+    /// Summary mean/min/max agree with direct computation.
+    #[test]
+    fn summary_agrees_with_direct(xs in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let mut s = crate::metrics::Summary::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-9);
+        prop_assert_eq!(s.min(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+}

@@ -1,0 +1,142 @@
+//! Site catalog — the Table III inventory.
+//!
+//! Each site bundles a node spec, shared-filesystem parameters, network
+//! parameters, and batch behaviour, modelled on the systems the paper
+//! evaluated at: Theta (ALCF), Cori (NERSC), NSCC Aspire (Singapore),
+//! ND-CRC (Notre Dame campus cluster), and AWS EC2.
+
+use crate::batch::BatchParams;
+use crate::network::NetworkParams;
+use crate::node::NodeSpec;
+use crate::sharedfs::SharedFsParams;
+use serde::{Deserialize, Serialize};
+
+/// A complete site description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    pub name: &'static str,
+    /// Facility / scheduler notes for the Table III printout.
+    pub scheduler: &'static str,
+    pub filesystem: &'static str,
+    /// Container technology available at the site (Table I column).
+    pub container_tech: &'static str,
+    /// Total nodes available to the paper's experiments.
+    pub max_nodes: u32,
+    pub node: NodeSpec,
+    pub fs: SharedFsParams,
+    pub net: NetworkParams,
+    pub batch: BatchParams,
+}
+
+/// Argonne Theta: Cray XC40, 64-core KNL nodes, Lustre.
+pub fn theta() -> Site {
+    Site {
+        name: "Theta (ALCF)",
+        scheduler: "Cobalt",
+        filesystem: "Lustre",
+        container_tech: "Singularity",
+        max_nodes: 512,
+        node: NodeSpec::new(64, 192 * 1024, 128 * 1024),
+        fs: SharedFsParams::lustre_leadership(),
+        net: NetworkParams::hpc_fabric(),
+        batch: BatchParams::leadership_busy(),
+    }
+}
+
+/// NERSC Cori: Haswell partition, GPFS (+burst buffer).
+pub fn cori() -> Site {
+    Site {
+        name: "Cori (NERSC)",
+        scheduler: "Slurm",
+        filesystem: "GPFS",
+        container_tech: "Shifter",
+        max_nodes: 256,
+        node: NodeSpec::new(32, 128 * 1024, 100 * 1024),
+        fs: SharedFsParams::gpfs_large(),
+        net: NetworkParams::hpc_fabric(),
+        batch: BatchParams::leadership_busy(),
+    }
+}
+
+/// NSCC Aspire (Singapore): 2×12-core + 96 GB nodes (§VI-C3).
+pub fn nscc_aspire() -> Site {
+    Site {
+        name: "NSCC Aspire",
+        scheduler: "PBS Pro",
+        filesystem: "Lustre",
+        container_tech: "Singularity",
+        max_nodes: 128,
+        node: NodeSpec::new(24, 96 * 1024, 200 * 1024),
+        fs: SharedFsParams::lustre_leadership(),
+        net: NetworkParams::hpc_fabric(),
+        batch: BatchParams::leadership_busy(),
+    }
+}
+
+/// Notre Dame CRC campus cluster (HTCondor, NFS).
+pub fn nd_crc() -> Site {
+    Site {
+        name: "ND-CRC",
+        scheduler: "HTCondor",
+        filesystem: "NFS/Panasas",
+        container_tech: "none",
+        max_nodes: 64,
+        node: NodeSpec::new(8, 8 * 1024, 16 * 1024),
+        fs: SharedFsParams::campus_nfs(),
+        net: NetworkParams::campus_10g(),
+        batch: BatchParams::campus_responsive(),
+    }
+}
+
+/// AWS EC2 (m5.2xlarge-class instances).
+pub fn aws_ec2() -> Site {
+    Site {
+        name: "AWS EC2",
+        scheduler: "on-demand",
+        filesystem: "EBS/EFS",
+        container_tech: "Docker",
+        max_nodes: 64,
+        node: NodeSpec::new(8, 32 * 1024, 100 * 1024),
+        fs: SharedFsParams::campus_nfs(),
+        net: NetworkParams::campus_10g(),
+        batch: BatchParams::cloud(),
+    }
+}
+
+/// All sites, for Table III.
+pub fn all_sites() -> Vec<Site> {
+    vec![theta(), cori(), nscc_aspire(), nd_crc(), aws_ec2()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete_and_distinct() {
+        let sites = all_sites();
+        assert_eq!(sites.len(), 5);
+        let mut names: Vec<_> = sites.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn node_specs_match_paper() {
+        // NSCC: 2×12 cores, 96 GB (§VI-C3). ND-CRC workers in Fig. 6 are
+        // small (2–8 cores), drawn from 8-core machines.
+        assert_eq!(nscc_aspire().node.resources.cores, 24);
+        assert_eq!(nscc_aspire().node.resources.memory_mb, 96 * 1024);
+        assert_eq!(theta().node.resources.cores, 64);
+        assert!(nd_crc().node.resources.cores >= 8);
+    }
+
+    #[test]
+    fn leadership_sites_have_bigger_filesystems() {
+        assert!(
+            theta().fs.md_server_ops_per_sec > nd_crc().fs.md_server_ops_per_sec
+        );
+        assert!(theta().fs.aggregate_bw > nd_crc().fs.aggregate_bw);
+    }
+}

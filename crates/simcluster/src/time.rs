@@ -1,0 +1,97 @@
+//! Simulated time.
+//!
+//! Time is a non-negative `f64` of seconds wrapped in [`SimTime`] so it can
+//! be ordered totally (NaN is rejected at construction) and used as a heap
+//! key.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from seconds. Panics on NaN or negative input — both are
+    /// always logic errors in a simulation.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid sim time: {secs}");
+        SimTime(secs)
+    }
+
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, secs: f64) -> SimTime {
+        SimTime::from_secs(self.0 + secs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, secs: f64) {
+        *self = *self + secs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::from_secs(1.0);
+        let b = a + 2.5;
+        assert!(b > a);
+        assert_eq!(b - a, 2.5);
+        assert_eq!(SimTime::ZERO.as_secs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sim time")]
+    fn negative_time_panics() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sim time")]
+    fn nan_time_panics() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+}

@@ -1,0 +1,198 @@
+//! The COVID-19 drug-screening pipeline (§VI-C2, Figure 7).
+//!
+//! Per molecule batch: canonicalize SMILES → three featurizers (molecular
+//! descriptor, fingerprint, 2D image) → two TensorFlow docking-score
+//! models consuming the features. Run on Theta (64-core nodes), one worker
+//! per node; Guess = 16 cores / 40 GB / 5 GB disk.
+
+use crate::common::{sim_app, workflow_builder, Workload};
+use lfm_monitor::sim::SimTaskProfile;
+use lfm_simcluster::batch::BatchParams;
+use lfm_simcluster::node::{NodeSpec, Resources};
+use lfm_simcluster::rng::SimRng;
+use lfm_simcluster::sharedfs::SharedFsParams;
+use lfm_workqueue::allocate::Strategy;
+use lfm_workqueue::files::FileRef;
+use lfm_workqueue::master::MasterConfig;
+use std::collections::BTreeMap;
+
+/// A Theta node.
+pub fn worker_spec() -> NodeSpec {
+    NodeSpec::new(64, 192 * 1024, 128 * 1024)
+}
+
+/// True per-category behaviour: (duration mean, duration sd, cores, mem MB,
+/// disk MB).
+fn profiles() -> Vec<(&'static str, &'static str, f64, f64, f64, u64, u64)> {
+    vec![
+        // (category, source, dur_mean, dur_sd, cores, mem, disk)
+        (
+            "canonicalize",
+            "def canonicalize(smiles):\n    from rdkit import Chem\n    return Chem.MolToSmiles(Chem.MolFromSmiles(smiles))\n",
+            12.0, 3.0, 1.0, 600, 256,
+        ),
+        (
+            "descriptor",
+            "def descriptor(smiles):\n    import numpy\n    from mordred import Calculator\n    from rdkit import Chem\n    return Calculator()(Chem.MolFromSmiles(smiles))\n",
+            65.0, 12.0, 4.0, 4200, 1024,
+        ),
+        (
+            "fingerprint",
+            "def fingerprint(smiles):\n    import numpy\n    from rdkit import Chem\n    return numpy.array(Chem.RDKFingerprint(Chem.MolFromSmiles(smiles)))\n",
+            30.0, 6.0, 1.0, 2100, 512,
+        ),
+        (
+            "mol_image",
+            "def mol_image(smiles):\n    from rdkit import Chem\n    from PIL import Image\n    return Chem.Draw(Chem.MolFromSmiles(smiles))\n",
+            18.0, 4.0, 1.0, 1400, 768,
+        ),
+        (
+            "model_a",
+            "def model_a(features):\n    import numpy\n    from tensorflow.keras.models import load_model\n    return load_model('model_a.h5').predict(features)\n",
+            95.0, 15.0, 8.0, 14000, 3000,
+        ),
+        (
+            "model_b",
+            "def model_b(features):\n    import numpy\n    from tensorflow.keras.models import load_model\n    return load_model('model_b.h5').predict(features)\n",
+            80.0, 12.0, 8.0, 11500, 2800,
+        ),
+    ]
+}
+
+/// Build the pipeline for `n_batches` molecule batches. Each batch is a
+/// 7-task DAG (1 canonicalize → 3 featurizers → 2 models), so the task
+/// count is `7 × n_batches`... minus nothing: 6 categories + canonicalize
+/// feeds all three featurizers; both models depend on all features.
+pub fn build(n_batches: u64, seed: u64) -> Workload {
+    let mut b = workflow_builder();
+    let mut rng = SimRng::seeded(seed);
+    let defs = profiles();
+    let apps: Vec<_> = defs.iter().map(|(n, s, ..)| sim_app(n, s)).collect();
+    let weights = FileRef::shared_data("docking-model-weights", 180 << 20);
+
+    let mut oracle = BTreeMap::new();
+    for (name, _, _, _, cores, mem, disk) in &defs {
+        oracle.insert(
+            name.to_string(),
+            Resources::new(cores.ceil() as u32, *mem, *disk),
+        );
+    }
+
+    for batch in 0..n_batches {
+        let mut sample = |i: usize| -> SimTaskProfile {
+            let (_, _, mean, sd, cores, mem, disk) = defs[i];
+            let dur = rng.normal_trunc(mean, sd, mean * 0.4);
+            // Memory varies ±15% under its category peak.
+            let m = rng.uniform(0.7, 1.0) * mem as f64;
+            SimTaskProfile::new(dur, cores, m as u64, disk)
+        };
+        let smiles_file = FileRef::data(format!("smiles-{batch}"), 2 << 20);
+        let canon = b
+            .add_invocation(&apps[0], sample(0), vec![smiles_file], 1 << 20, vec![])
+            .expect("canonicalize lowers");
+        let feats: Vec<_> = (1..=3)
+            .map(|i| {
+                b.add_invocation(&apps[i], sample(i), vec![], 8 << 20, vec![canon])
+                    .expect("featurizer lowers")
+            })
+            .collect();
+        for (i, app) in apps.iter().enumerate().take(6).skip(4) {
+            b.add_invocation(app, sample(i), vec![weights.clone()], 1 << 20, feats.clone())
+                .expect("model lowers");
+        }
+    }
+
+    Workload {
+        name: "Drug Screening",
+        tasks: b.build(),
+        oracle,
+        guess: Resources::new(16, 40 * 1024, 5 * 1024),
+    }
+}
+
+/// Theta master configuration: leadership batch queue and Lustre.
+pub fn master_config(strategy: Strategy, seed: u64) -> MasterConfig {
+    MasterConfig::new(strategy)
+        .with_batch(BatchParams::leadership_busy())
+        .with_fs(SharedFsParams::lustre_leadership())
+        .with_seed(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfm_workqueue::master::run_workload;
+
+    #[test]
+    fn batch_dag_shape() {
+        let w = build(3, 1);
+        assert_eq!(w.tasks.len(), 18); // 6 per batch
+        let models: Vec<_> = w
+            .tasks
+            .iter()
+            .filter(|t| t.category.starts_with("model_"))
+            .collect();
+        assert_eq!(models.len(), 6);
+        assert!(models.iter().all(|t| t.deps.len() == 3));
+    }
+
+    #[test]
+    fn categories_have_distinct_envs() {
+        let w = build(1, 2);
+        let canon_env = &w.tasks[0].inputs[0];
+        let model = w.tasks.iter().find(|t| t.category == "model_a").unwrap();
+        let model_env = &model.inputs[0];
+        // The rdkit-only env is much smaller than the TF env.
+        assert!(model_env.size_bytes > canon_env.size_bytes);
+    }
+
+    #[test]
+    fn heterogeneous_resources() {
+        let w = build(2, 3);
+        let canon = w.oracle.get("canonicalize").unwrap();
+        let model = w.oracle.get("model_a").unwrap();
+        assert!(model.cores > canon.cores);
+        assert!(model.memory_mb > 10 * canon.memory_mb);
+    }
+
+    #[test]
+    fn pipeline_completes_under_all_strategies() {
+        let w = build(6, 4);
+        for strategy in [
+            w.oracle_strategy(),
+            w.guess_strategy(),
+            Strategy::Unmanaged,
+            Strategy::Auto(Default::default()),
+        ] {
+            // Instant batch for test speed.
+            let cfg = MasterConfig::new(strategy.clone()).with_seed(4);
+            let rep = run_workload(&cfg, w.tasks.clone(), 4, worker_spec());
+            assert_eq!(rep.abandoned_tasks, 0, "{}", strategy.name());
+            let ok = rep.results.iter().filter(|r| r.outcome.is_success()).count();
+            assert_eq!(ok, w.tasks.len(), "{}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn oracle_beats_unmanaged_substantially() {
+        let w = build(10, 5);
+        let o = run_workload(
+            &MasterConfig::new(w.oracle_strategy()).with_seed(5),
+            w.tasks.clone(),
+            4,
+            worker_spec(),
+        );
+        let u = run_workload(
+            &MasterConfig::new(Strategy::Unmanaged).with_seed(5),
+            w.tasks.clone(),
+            4,
+            worker_spec(),
+        );
+        assert!(
+            u.makespan_secs > 1.8 * o.makespan_secs,
+            "unmanaged {} vs oracle {}",
+            u.makespan_secs,
+            o.makespan_secs
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! The funcX image-classification benchmark (§VI-C4, Figure 9).
+//!
+//! Keras ResNet-50 inference via the funcX service: short, uniform tasks
+//! whose per-invocation overhead (container activation vs. LFM) dominates
+//! the comparison.
+
+use lfm_monitor::sim::SimTaskProfile;
+use lfm_simcluster::node::{NodeSpec, Resources};
+
+/// Per-invocation true behaviour of the ResNet-50 classification function:
+/// ~4 s on one core with a ~2 GB resident model.
+pub fn resnet_profile() -> SimTaskProfile {
+    SimTaskProfile::new(4.0, 1.0, 2048, 512)
+}
+
+/// The Guess configuration used for Figure 9's LFM(Guess) line.
+pub fn guess() -> Resources {
+    Resources::new(2, 4096, 1024)
+}
+
+/// Image payload per invocation (a 224×224 JPEG).
+pub fn image_bytes() -> u64 {
+    150 << 10
+}
+
+/// Endpoint node: a fat cloud/cluster node.
+pub fn worker_spec() -> NodeSpec {
+    NodeSpec::new(16, 64 * 1024, 100 * 1024)
+}
+
+/// The function source registered with funcX.
+pub fn source() -> &'static str {
+    lfm_pyenv::source::funcx_classify_source()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_fits_many_per_node() {
+        let per_node = Resources::new(
+            resnet_profile().cores_used as u32,
+            resnet_profile().peak_memory_mb,
+            resnet_profile().peak_disk_mb,
+        )
+        .copies_in(&worker_spec().resources);
+        assert!(per_node >= 8, "should pack ≥8 classifications per node, got {per_node}");
+    }
+
+    #[test]
+    fn guess_overshoots_true_use() {
+        let g = guess();
+        let p = resnet_profile();
+        assert!(g.memory_mb > p.peak_memory_mb);
+        assert!(g.cores as f64 > p.cores_used);
+    }
+}

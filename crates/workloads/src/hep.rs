@@ -1,0 +1,178 @@
+//! The HEP columnar-analysis workload (§VI-C1, Figure 6).
+//!
+//! Coffea-style processing on ND-CRC: a preprocessing step fans out into a
+//! variable number of analysis tasks over data chunks, then a postprocessing
+//! step accumulates histograms. Paper parameters:
+//!
+//! * tasks run 40–70 s using at most 1 core, 110 MB memory, 1 GB disk;
+//! * the largest input is the 240 MB Conda environment; all tasks share two
+//!   common files totalling 1 MB; per-task data is 0.5 MB; output is 50 MB;
+//! * Guess = 1 core / 1.5 GB / 2 GB; Auto converged to 84 MB / 880 MB;
+//! * workers have 2/4/8 cores with 1 GB memory + 2 GB disk per core;
+//! * tasks are I/O-heavy, so per-worker parallelism has limited benefit.
+
+use crate::common::{sim_app, workflow_builder, Workload};
+use lfm_monitor::sim::SimTaskProfile;
+use lfm_simcluster::batch::BatchParams;
+use lfm_simcluster::node::{NodeSpec, Resources};
+use lfm_simcluster::rng::SimRng;
+use lfm_simcluster::sharedfs::SharedFsParams;
+use lfm_workqueue::allocate::Strategy;
+use lfm_workqueue::files::FileRef;
+use lfm_workqueue::master::MasterConfig;
+use std::collections::BTreeMap;
+
+/// Source for the analysis function (drives dependency analysis).
+pub fn analysis_source() -> &'static str {
+    lfm_pyenv::source::hep_process_source()
+}
+
+/// An ND-CRC worker with `cores` cores: 1 GB memory and 2 GB disk per core.
+pub fn worker_spec(cores: u32) -> NodeSpec {
+    NodeSpec::new(cores, 1024 * cores as u64, 2048 * cores as u64)
+}
+
+/// Build the HEP workload with `n_analysis` analysis tasks.
+pub fn build(n_analysis: u64, seed: u64) -> Workload {
+    let mut b = workflow_builder();
+    let app_pre = sim_app(
+        "hep_preprocess",
+        "def hep_preprocess(dataset):\n    import coffea\n    import uproot\n    return dataset\n",
+    );
+    let app_proc = sim_app("hep_process", analysis_source());
+    let app_post = sim_app(
+        "hep_postprocess",
+        "def hep_postprocess(hists):\n    import coffea\n    import matplotlib\n    return hists\n",
+    );
+    let mut rng = SimRng::seeded(seed);
+
+    let common1 = FileRef::shared_data("hep-calib-a", 700 << 10);
+    let common2 = FileRef::shared_data("hep-calib-b", 324 << 10);
+
+    // Preprocessing: a quick metadata pass over the dataset.
+    let pre = b
+        .add_invocation(
+            &app_pre,
+            SimTaskProfile::new(rng.uniform(10.0, 15.0), 1.0, 96, 256),
+            vec![common1.clone(), common2.clone()],
+            1 << 20,
+            vec![],
+        )
+        .expect("hep preprocess lowers");
+
+    // Analysis fan-out.
+    let mut analysis_ids = Vec::with_capacity(n_analysis as usize);
+    for i in 0..n_analysis {
+        let duration = rng.uniform(40.0, 70.0);
+        // Peak memory clusters near 110 MB with small variation; disk near
+        // 1 GB (the Auto label lands at ~84 MB / 880 MB because most tasks
+        // sit below the extremes).
+        let mem = rng.normal_trunc(84.0, 12.0, 40.0).min(110.0) as u64;
+        let disk = rng.normal_trunc(880.0, 60.0, 500.0).min(1024.0) as u64;
+        let id = b
+            .add_invocation(
+                &app_proc,
+                SimTaskProfile::new(duration, 1.0, mem, disk),
+                vec![
+                    common1.clone(),
+                    common2.clone(),
+                    FileRef::data(format!("hep-chunk-{i}"), 512 << 10),
+                ],
+                50 << 20,
+                vec![pre],
+            )
+            .expect("hep analysis lowers");
+        analysis_ids.push(id);
+    }
+
+    // Postprocessing accumulates everything.
+    b.add_invocation(
+        &app_post,
+        SimTaskProfile::new(rng.uniform(15.0, 25.0), 1.0, 220, 512),
+        vec![],
+        10 << 20,
+        analysis_ids,
+    )
+    .expect("hep postprocess lowers");
+
+    let mut oracle = BTreeMap::new();
+    oracle.insert("hep_preprocess".to_string(), Resources::new(1, 96, 256));
+    oracle.insert("hep_process".to_string(), Resources::new(1, 110, 1024));
+    oracle.insert("hep_postprocess".to_string(), Resources::new(1, 220, 512));
+
+    Workload {
+        name: "HEP",
+        tasks: b.build(),
+        oracle,
+        guess: Resources::new(1, 1536, 2048),
+    }
+}
+
+/// Master configuration for the ND-CRC runs: campus batch system, campus
+/// NFS, and I/O interference between co-resident tasks.
+pub fn master_config(strategy: Strategy, seed: u64) -> MasterConfig {
+    MasterConfig::new(strategy)
+        .with_batch(BatchParams::campus_responsive())
+        .with_fs(SharedFsParams::campus_nfs())
+        .with_io_interference(0.08)
+        .with_seed(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfm_workqueue::master::run_workload;
+
+    #[test]
+    fn workload_shape() {
+        let w = build(20, 1);
+        assert_eq!(w.tasks.len(), 22); // pre + 20 + post
+        // Fan-out: every analysis task depends on preprocess.
+        let analysis: Vec<_> =
+            w.tasks.iter().filter(|t| t.category == "hep_process").collect();
+        assert_eq!(analysis.len(), 20);
+        assert!(analysis.iter().all(|t| t.deps.len() == 1));
+        // Post depends on all analysis tasks.
+        let post = w.tasks.iter().find(|t| t.category == "hep_postprocess").unwrap();
+        assert_eq!(post.deps.len(), 20);
+    }
+
+    #[test]
+    fn profiles_within_paper_ranges() {
+        let w = build(50, 2);
+        for t in w.tasks.iter().filter(|t| t.category == "hep_process") {
+            assert!((40.0..70.0).contains(&t.profile.duration_secs));
+            assert!(t.profile.peak_memory_mb <= 110);
+            assert!(t.profile.peak_disk_mb <= 1024);
+        }
+    }
+
+    #[test]
+    fn env_archive_is_hep_sized() {
+        let w = build(5, 3);
+        let env = &w.tasks[1].inputs[0];
+        // The paper's HEP env is a 240 MB file; ours lands in that regime.
+        assert!(
+            (50 << 20..500 << 20).contains(&env.size_bytes),
+            "env bytes {}",
+            env.size_bytes
+        );
+    }
+
+    #[test]
+    fn strategy_ordering_holds() {
+        let w = build(32, 4);
+        let spec = worker_spec(8);
+        let oracle =
+            run_workload(&master_config(w.oracle_strategy(), 4), w.tasks.clone(), 4, spec);
+        let unmanaged =
+            run_workload(&master_config(Strategy::Unmanaged, 4), w.tasks.clone(), 4, spec);
+        assert!(
+            unmanaged.makespan_secs > 2.0 * oracle.makespan_secs,
+            "unmanaged {} vs oracle {}",
+            unmanaged.makespan_secs,
+            oracle.makespan_secs
+        );
+        assert_eq!(oracle.abandoned_tasks, 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # lfm-workloads — the paper's evaluation applications
+//!
+//! Workload models for the four applications of §VI-C (dependency shapes
+//! from Figure 3, parameters from the text):
+//!
+//! * [`hep`] — Coffea columnar HEP analysis on ND-CRC (Figure 6).
+//! * [`drug`] — the COVID-19 drug-screening pipeline on Theta (Figure 7).
+//! * [`genomic`] — the GDC DNA-Seq pipeline on NSCC Aspire (Figure 8).
+//! * [`faas`] — the funcX ResNet image-classification benchmark (Figure 9).
+//!
+//! Each builds real [`lfm_workqueue::task::TaskSpec`]s through the full LFM
+//! pipeline: mini-Python sources are statically analyzed, environments are
+//! resolved and packed, and the packed archive rides along as a cacheable
+//! input file.
+
+pub mod common;
+pub mod drug;
+pub mod faas;
+pub mod genomic;
+pub mod hep;
+
+pub mod prelude {
+    pub use crate::common::Workload;
+    pub use crate::{drug, faas, genomic, hep};
+}

@@ -1,0 +1,405 @@
+//! Automatic resource labeling (§VI-B2, after Tovar et al. [21]).
+//!
+//! Four strategies, matching the paper's evaluation matrix:
+//!
+//! * **Oracle** — perfect knowledge: request exactly the task's true peak
+//!   (supplied per category by the experiment).
+//! * **Guess** — a fixed user-provided estimate for every task.
+//! * **Unmanaged** — a whole worker per task, no limits.
+//! * **Auto** — no prior knowledge: run the first task(s) of each category
+//!   under a whole-worker allocation with monitoring, then choose a
+//!   first-allocation label that maximizes expected throughput from the
+//!   empirical peak-usage distribution; tasks that exhaust the label retry
+//!   once at the full worker size.
+//!
+//! The Auto label for each resource axis is the candidate value `a`
+//! minimizing the expected resource·time cost per completed task:
+//!
+//! ```text
+//! E[cost](a) = P(u ≤ a)·a + (1 − P(u ≤ a))·(a + A_retry)
+//! ```
+//!
+//! i.e. successes occupy `a`, failures occupy `a` then retry at the
+//! *retry allocation* `A_retry` — a whole worker, whose per-axis capacity
+//! the scheduler supplies. Minimizing this trades retry waste against
+//! packing density exactly as [21] describes.
+
+use lfm_monitor::report::{ResourceKind, ResourceReport};
+use lfm_simcluster::metrics::Samples;
+use lfm_simcluster::node::Resources;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which allocation strategy a run uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Request the per-category resources supplied here (perfect knowledge).
+    Oracle(BTreeMap<String, Resources>),
+    /// Request this fixed vector for every task.
+    Guess(Resources),
+    /// A whole worker per task.
+    Unmanaged,
+    /// Monitor, label, retry — the paper's contribution.
+    Auto(AutoConfig),
+}
+
+impl Strategy {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Oracle(_) => "Oracle",
+            Strategy::Guess(_) => "Guess",
+            Strategy::Unmanaged => "Unmanaged",
+            Strategy::Auto(_) => "Auto",
+        }
+    }
+}
+
+/// Tuning for the Auto strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoConfig {
+    /// Completed samples required per category before labeling starts.
+    pub min_samples: usize,
+    /// Safety multiplier applied to the chosen memory/disk label (small
+    /// headroom avoids over-fitting to the samples seen so far).
+    pub headroom: f64,
+    /// Slow-start: while a category has fewer than this many completed
+    /// samples, at most `max(4, 2·samples)` of its sized first attempts run
+    /// concurrently. Prevents an immature label from killing a whole wave
+    /// at once when the usage distribution has a tail.
+    pub slow_start_until: usize,
+}
+
+impl Default for AutoConfig {
+    fn default() -> Self {
+        // Label only after a handful of whole-worker measurement runs, and
+        // keep real headroom above the observed max: premature labeling
+        // from one sample turns the whole first batch into retries.
+        AutoConfig { min_samples: 2, headroom: 1.25, slow_start_until: 16 }
+    }
+}
+
+/// What the allocator tells the master to do for one attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocationDecision {
+    /// Request this vector, enforce it as a limit.
+    Sized(Resources),
+    /// Take a whole worker, unlimited (measurement run or retry).
+    WholeWorker,
+}
+
+/// Per-category observed peak samples.
+#[derive(Debug, Default, Clone)]
+struct CategoryStats {
+    cores: Samples,
+    memory_mb: Samples,
+    disk_mb: Samples,
+    completed: usize,
+}
+
+/// The allocator: owns strategy state and learns from reports.
+#[derive(Debug)]
+pub struct Allocator {
+    strategy: Strategy,
+    stats: BTreeMap<String, CategoryStats>,
+    /// Count of label-exceeded retries, for the <1%-retries claim.
+    pub retries: u64,
+    /// Total first-attempt dispatches.
+    pub first_attempts: u64,
+}
+
+impl Allocator {
+    pub fn new(strategy: Strategy) -> Self {
+        Allocator { strategy, stats: BTreeMap::new(), retries: 0, first_attempts: 0 }
+    }
+
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// Decide the allocation for an attempt of `category`, on workers of
+    /// per-node `capacity` (the retry cost the label optimization weighs).
+    ///
+    /// `attempt` 0 is the first try; higher attempts (after a resource kill)
+    /// always get a whole worker, per the paper's retry policy.
+    pub fn decide(
+        &mut self,
+        category: &str,
+        attempt: u32,
+        capacity: &Resources,
+    ) -> AllocationDecision {
+        if attempt == 0 {
+            self.first_attempts += 1;
+        } else {
+            self.retries += 1;
+            return AllocationDecision::WholeWorker;
+        }
+        match &self.strategy {
+            Strategy::Unmanaged => AllocationDecision::WholeWorker,
+            Strategy::Guess(r) => AllocationDecision::Sized(*r),
+            Strategy::Oracle(map) => map
+                .get(category)
+                .map(|r| AllocationDecision::Sized(*r))
+                .unwrap_or(AllocationDecision::WholeWorker),
+            Strategy::Auto(cfg) => {
+                let cfg = *cfg;
+                match self.auto_label(category, &cfg, capacity) {
+                    Some(r) => AllocationDecision::Sized(r),
+                    None => AllocationDecision::WholeWorker,
+                }
+            }
+        }
+    }
+
+    /// Feed back a finished attempt's measured usage.
+    ///
+    /// `violated` names the axis a killed attempt exceeded, if any. A kill
+    /// observation is *censored*: the task was still growing when the
+    /// monitor stopped it, so its peak on that axis is only a lower bound.
+    /// Recording it verbatim makes the label creep up one kill at a time;
+    /// instead the censored axis is inflated (doubled), the exponential
+    /// growth step of the retry policy in [21], so labels converge in
+    /// O(log) kills rather than O(n).
+    pub fn observe(
+        &mut self,
+        category: &str,
+        report: &ResourceReport,
+        completed: bool,
+    ) {
+        self.observe_outcome(category, report, completed, None)
+    }
+
+    /// [`observe`](Self::observe) with the violated axis of a killed attempt.
+    pub fn observe_outcome(
+        &mut self,
+        category: &str,
+        report: &ResourceReport,
+        completed: bool,
+        violated: Option<ResourceKind>,
+    ) {
+        let s = self.stats.entry(category.to_string()).or_default();
+        match violated {
+            None => {
+                s.cores.record(report.peak_cores.max(0.01));
+                s.memory_mb.record(report.peak_rss_mb.max(1) as f64);
+                s.disk_mb.record(report.peak_disk_mb.max(1) as f64);
+            }
+            // A killed run observed only partial usage: the non-violated
+            // axes are truncated lower bounds that would drag the labels
+            // down, so only the violated (censored, inflated) axis counts.
+            Some(ResourceKind::Cores) => {
+                s.cores.record(report.peak_cores.max(0.01) * 2.0)
+            }
+            Some(ResourceKind::Memory) => {
+                s.memory_mb.record(report.peak_rss_mb.max(1) as f64 * 2.0)
+            }
+            Some(ResourceKind::Disk) => {
+                s.disk_mb.record(report.peak_disk_mb.max(1) as f64 * 2.0)
+            }
+            Some(ResourceKind::WallTime) => {}
+        }
+        if completed {
+            s.completed += 1;
+        }
+    }
+
+    /// Completed-sample count for a category (None until first observation).
+    pub fn samples_for(&self, category: &str) -> usize {
+        self.stats.get(category).map(|s| s.completed).unwrap_or(0)
+    }
+
+    /// Slow-start concurrency cap for sized first attempts of `category`,
+    /// or `None` once the category has matured (or for non-Auto strategies).
+    pub fn concurrency_cap(&self, category: &str) -> Option<u32> {
+        let Strategy::Auto(cfg) = &self.strategy else { return None };
+        let samples = self.samples_for(category);
+        if samples >= cfg.slow_start_until {
+            None
+        } else {
+            Some((2 * samples).max(4) as u32)
+        }
+    }
+
+    fn auto_label(
+        &mut self,
+        category: &str,
+        cfg: &AutoConfig,
+        capacity: &Resources,
+    ) -> Option<Resources> {
+        let s = self.stats.get_mut(category)?;
+        if s.completed < cfg.min_samples {
+            return None;
+        }
+        let mem = choose_label(&mut s.memory_mb, capacity.memory_mb as f64)? * cfg.headroom;
+        let disk = choose_label(&mut s.disk_mb, capacity.disk_mb as f64)? * cfg.headroom;
+        let cores = s.cores.max()?.ceil().max(1.0);
+        Some(Resources::new(cores as u32, mem.ceil() as u64, disk.ceil() as u64))
+    }
+}
+
+/// Choose the throughput-maximizing first allocation from observed peaks.
+///
+/// Candidates are the distinct observed values. Returns the candidate
+/// minimizing `P(u≤a)·a + (1−P(u≤a))·(a + retry_cost)`, where `retry_cost`
+/// is the per-axis size of the whole-worker retry allocation.
+fn choose_label(samples: &mut Samples, retry_cost: f64) -> Option<f64> {
+    let a_max = samples.max()?;
+    let candidates = samples.distinct_sorted();
+    let mut best = a_max;
+    let mut best_cost = f64::INFINITY;
+    for a in candidates {
+        let p = samples.cdf(a);
+        let cost = p * a + (1.0 - p) * (a + retry_cost);
+        if cost < best_cost {
+            best_cost = cost;
+            best = a;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Worker capacity used by the tests (8 cores / 8 GB / 16 GB).
+    const CAP: Resources = Resources::new(8, 8192, 16384);
+
+    fn report(cores: f64, mem: u64, disk: u64) -> ResourceReport {
+        ResourceReport {
+            peak_cores: cores,
+            peak_rss_mb: mem,
+            peak_disk_mb: disk,
+            cpu_secs: cores * 10.0,
+            wall_secs: 10.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn unmanaged_always_whole_worker() {
+        let mut a = Allocator::new(Strategy::Unmanaged);
+        assert_eq!(a.decide("x", 0, &CAP), AllocationDecision::WholeWorker);
+        a.observe("x", &report(1.0, 100, 100), true);
+        assert_eq!(a.decide("x", 0, &CAP), AllocationDecision::WholeWorker);
+    }
+
+    #[test]
+    fn guess_returns_fixed_vector() {
+        let guess = Resources::new(1, 1536, 2048);
+        let mut a = Allocator::new(Strategy::Guess(guess));
+        assert_eq!(a.decide("x", 0, &CAP), AllocationDecision::Sized(guess));
+    }
+
+    #[test]
+    fn oracle_uses_category_map() {
+        let mut map = BTreeMap::new();
+        map.insert("hep".to_string(), Resources::new(1, 110, 1024));
+        let mut a = Allocator::new(Strategy::Oracle(map));
+        assert_eq!(
+            a.decide("hep", 0, &CAP),
+            AllocationDecision::Sized(Resources::new(1, 110, 1024))
+        );
+        // Unknown category degrades to whole worker rather than guessing.
+        assert_eq!(a.decide("unknown", 0, &CAP), AllocationDecision::WholeWorker);
+    }
+
+    #[test]
+    fn auto_first_run_is_whole_worker_then_labeled() {
+        let cfg = AutoConfig { min_samples: 1, headroom: 1.05, slow_start_until: 0 };
+        let mut a = Allocator::new(Strategy::Auto(cfg));
+        assert_eq!(a.decide("hep", 0, &CAP), AllocationDecision::WholeWorker);
+        a.observe("hep", &report(1.0, 84, 880), true);
+        match a.decide("hep", 0, &CAP) {
+            AllocationDecision::Sized(r) => {
+                assert_eq!(r.cores, 1);
+                // 84 MB × 1.05 headroom, ceiled.
+                assert!(r.memory_mb >= 84 && r.memory_mb <= 95, "mem {}", r.memory_mb);
+                assert!(r.disk_mb >= 880 && r.disk_mb <= 930, "disk {}", r.disk_mb);
+            }
+            other => panic!("expected sized allocation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_config_waits_for_samples_and_adds_headroom() {
+        let mut a = Allocator::new(Strategy::Auto(AutoConfig::default()));
+        a.observe("hep", &report(1.0, 84, 880), true);
+        assert_eq!(a.decide("hep", 0, &CAP), AllocationDecision::WholeWorker);
+        a.observe("hep", &report(1.0, 84, 880), true);
+        match a.decide("hep", 0, &CAP) {
+            AllocationDecision::Sized(r) => {
+                assert!(r.memory_mb >= 105, "headroom applied: {}", r.memory_mb)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn auto_retry_gets_whole_worker_and_counts() {
+        let mut a = Allocator::new(Strategy::Auto(AutoConfig { min_samples: 1, headroom: 1.05, slow_start_until: 0 }));
+        a.observe("hep", &report(1.0, 84, 880), true);
+        assert_eq!(a.decide("hep", 1, &CAP), AllocationDecision::WholeWorker);
+        assert_eq!(a.retries, 1);
+    }
+
+    #[test]
+    fn auto_label_balances_retry_cost() {
+        // 9 tasks peak at 100 MB, 1 at 1000 MB: labeling at 100 costs
+        // 0.9·100 + 0.1·1100 = 200; labeling at 1000 costs 1000. The small
+        // label wins.
+        let mut a = Allocator::new(Strategy::Auto(AutoConfig { min_samples: 10, headroom: 1.0, slow_start_until: 0 }));
+        for _ in 0..9 {
+            a.observe("g", &report(1.0, 100, 10), true);
+        }
+        a.observe("g", &report(1.0, 1000, 10), true);
+        match a.decide("g", 0, &CAP) {
+            AllocationDecision::Sized(r) => assert_eq!(r.memory_mb, 100),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn auto_label_avoids_overfitting_when_tail_is_common() {
+        // Half the tasks need the big size: retrying half of everything is
+        // worse than just allocating big. 0.5·100+0.5·1100 = 600 > 1000? No:
+        // 600 < 1000 — so with equal split the small label still wins until
+        // the tail dominates. With 90% at 1000: 0.1·100+0.9·1100 = 1000 vs
+        // 1000 at the big label — tie broken toward the small-cost candidate;
+        // make the tail strictly dominant.
+        let mut a = Allocator::new(Strategy::Auto(AutoConfig { min_samples: 10, headroom: 1.0, slow_start_until: 0 }));
+        a.observe("g", &report(1.0, 100, 10), true);
+        for _ in 0..19 {
+            a.observe("g", &report(1.0, 1000, 10), true);
+        }
+        // E[cost](100) = 0.05·100 + 0.95·1100 = 1050 > E[cost](1000) = 1000.
+        match a.decide("g", 0, &CAP) {
+            AllocationDecision::Sized(r) => assert_eq!(r.memory_mb, 1000),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_samples_gate() {
+        let mut a = Allocator::new(Strategy::Auto(AutoConfig { min_samples: 3, headroom: 1.0, slow_start_until: 0 }));
+        a.observe("x", &report(1.0, 50, 50), true);
+        a.observe("x", &report(1.0, 60, 50), true);
+        assert_eq!(a.decide("x", 0, &CAP), AllocationDecision::WholeWorker);
+        a.observe("x", &report(1.0, 55, 50), true);
+        assert!(matches!(a.decide("x", 0, &CAP), AllocationDecision::Sized(_)));
+    }
+
+    #[test]
+    fn categories_are_independent() {
+        let mut a = Allocator::new(Strategy::Auto(AutoConfig { min_samples: 1, headroom: 1.05, slow_start_until: 0 }));
+        a.observe("small", &report(1.0, 50, 50), true);
+        assert!(matches!(a.decide("small", 0, &CAP), AllocationDecision::Sized(_)));
+        assert_eq!(a.decide("big", 0, &CAP), AllocationDecision::WholeWorker);
+    }
+
+    #[test]
+    fn choose_label_single_sample() {
+        let mut s = Samples::new();
+        s.record(42.0);
+        assert_eq!(choose_label(&mut s, 8192.0), Some(42.0));
+    }
+}

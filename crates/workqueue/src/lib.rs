@@ -1,0 +1,29 @@
+//! # lfm-workqueue — master/worker task scheduling with LFMs
+//!
+//! The Work Queue substrate (§III-A, §VI): a master matches tasks to
+//! workers by resource vector, stages explicit input/output files with
+//! worker-side caching, executes every task inside a (simulated) lightweight
+//! function monitor, and learns per-category resource labels with the
+//! automatic allocation algorithm of Tovar et al. [21].
+//!
+//! * [`task`] — task specs (category, files, true usage profile) + results.
+//! * [`files`] — input/output files; environment packs are cacheable inputs.
+//! * [`worker`] — a node plus its file cache.
+//! * [`allocate`] — the four strategies: Oracle / Guess / Unmanaged / Auto.
+//! * [`master`] — the discrete-event scheduler producing [`master::RunReport`]s.
+
+pub mod allocate;
+pub mod files;
+pub mod master;
+#[cfg(test)]
+mod proptests;
+pub mod task;
+pub mod worker;
+
+pub mod prelude {
+    pub use crate::allocate::{AllocationDecision, Allocator, AutoConfig, Strategy};
+    pub use crate::files::{FileKind, FileRef};
+    pub use crate::master::{run_workload, DistMode, FailureModel, MasterConfig, Provisioning, RunReport, SchedulePolicy};
+    pub use crate::task::{TaskId, TaskResult, TaskSpec};
+    pub use crate::worker::Worker;
+}

@@ -1,0 +1,1239 @@
+//! The Work Queue master: a discrete-event scheduler.
+//!
+//! Drives a full run: provisions workers through the batch system, matches
+//! pending tasks to workers under the active allocation [`Strategy`], stages
+//! input files (environment packs, shared data, per-task data) with cache
+//! awareness, executes each task under the simulated LFM, retries tasks
+//! killed for resource exhaustion at full-worker size, and produces a
+//! [`RunReport`] with the makespan/utilization numbers Figures 6–9 plot.
+
+use crate::allocate::{AllocationDecision, Allocator, Strategy};
+use crate::files::FileKind;
+use crate::task::{TaskId, TaskResult, TaskSpec};
+use crate::worker::Worker;
+use lfm_monitor::limits::ResourceLimits;
+use lfm_monitor::sim::{SimMonitor, SimTaskProfile};
+use lfm_simcluster::batch::{BatchParams, BatchSystem};
+use lfm_simcluster::event::EventQueue;
+use lfm_simcluster::network::{Network, NetworkParams};
+use lfm_simcluster::node::{NodeSpec, Resources};
+use lfm_simcluster::rng::SimRng;
+use lfm_simcluster::sharedfs::{SharedFs, SharedFsParams};
+use lfm_simcluster::storage::LocalDisk;
+use lfm_simcluster::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// How environments reach workers (§V-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistMode {
+    /// Every task imports straight from the shared filesystem — the
+    /// conventional deployment the paper argues against.
+    SharedFsDirect,
+    /// The packed environment is transferred once per worker, unpacked to
+    /// node-local storage, and cached (the LFM approach).
+    PackedTransfer,
+}
+
+/// Order in which ready tasks are considered for placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulePolicy {
+    /// Submission order.
+    Fifo,
+    /// Largest memory request first (classic bin-packing heuristic: big
+    /// items placed while space is plentiful).
+    LargestFirst,
+    /// Smallest first (maximizes early task throughput, risks stranding
+    /// big tasks).
+    SmallestFirst,
+}
+
+/// How the worker pool is provisioned (§III "cluster provisioning").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Provisioning {
+    /// Submit the whole pool up front.
+    Static,
+    /// Start with `initial` pilots; whenever ready tasks outnumber free
+    /// slots, submit another `batch` pilots up to `max_workers` total.
+    Elastic { initial: u32, max_workers: u32, batch: u32 },
+}
+
+/// Worker reliability model. Opportunistic pools (HTCondor-style) evict
+/// pilots; the master reschedules lost tasks and submits replacements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Mean pilot lifetime in seconds (exponential); `None` = reliable.
+    pub mean_lifetime_secs: Option<f64>,
+    /// Submit a replacement pilot when a worker dies.
+    pub replace: bool,
+}
+
+impl FailureModel {
+    pub fn reliable() -> Self {
+        FailureModel { mean_lifetime_secs: None, replace: false }
+    }
+
+    pub fn evicting(mean_lifetime_secs: f64) -> Self {
+        FailureModel { mean_lifetime_secs: Some(mean_lifetime_secs), replace: true }
+    }
+}
+
+/// Master configuration.
+#[derive(Debug, Clone)]
+pub struct MasterConfig {
+    pub strategy: Strategy,
+    pub dist_mode: DistMode,
+    pub monitor: SimMonitor,
+    /// Fractional slowdown per co-resident task (I/O interference on a
+    /// worker; HEP's IO-heavy tasks use a non-zero value).
+    pub io_interference: f64,
+    /// Kill-and-retry ceiling; a task failing this many times is abandoned.
+    pub max_attempts: u32,
+    pub batch: BatchParams,
+    pub fs: SharedFsParams,
+    pub net: NetworkParams,
+    pub provisioning: Provisioning,
+    pub failures: FailureModel,
+    pub policy: SchedulePolicy,
+    pub seed: u64,
+}
+
+impl MasterConfig {
+    /// A reasonable default: packed distribution on a responsive cluster.
+    pub fn new(strategy: Strategy) -> Self {
+        MasterConfig {
+            strategy,
+            dist_mode: DistMode::PackedTransfer,
+            monitor: SimMonitor::default(),
+            io_interference: 0.0,
+            max_attempts: 3,
+            batch: BatchParams::instant(),
+            fs: SharedFsParams::campus_nfs(),
+            net: NetworkParams::campus_10g(),
+            provisioning: Provisioning::Static,
+            failures: FailureModel::reliable(),
+            policy: SchedulePolicy::Fifo,
+            seed: 0x1f2e3d4c,
+        }
+    }
+
+    pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn with_provisioning(mut self, p: Provisioning) -> Self {
+        self.provisioning = p;
+        self
+    }
+
+    pub fn with_failures(mut self, f: FailureModel) -> Self {
+        self.failures = f;
+        self
+    }
+
+    pub fn with_dist_mode(mut self, mode: DistMode) -> Self {
+        self.dist_mode = mode;
+        self
+    }
+
+    pub fn with_batch(mut self, batch: BatchParams) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    pub fn with_fs(mut self, fs: SharedFsParams) -> Self {
+        self.fs = fs;
+        self
+    }
+
+    pub fn with_io_interference(mut self, f: f64) -> Self {
+        self.io_interference = f;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_monitor(mut self, monitor: SimMonitor) -> Self {
+        self.monitor = monitor;
+        self
+    }
+}
+
+/// The outcome of a whole run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    pub strategy: String,
+    pub dist_mode: DistMode,
+    /// Workflow completion time, seconds.
+    pub makespan_secs: f64,
+    pub task_count: usize,
+    /// Tasks that exhausted an allocation at least once.
+    pub retried_tasks: u64,
+    /// Tasks abandoned after `max_attempts`.
+    pub abandoned_tasks: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Integral of granted allocations (core-seconds).
+    pub allocated_core_secs: f64,
+    /// CPU-seconds actually consumed.
+    pub used_core_secs: f64,
+    /// Shared-FS metadata operations issued over the run.
+    pub fs_md_ops: u64,
+    /// Bytes moved over the master's network.
+    pub net_bytes: u64,
+    /// Pilots submitted over the run (≥ worker_count under elastic
+    /// provisioning or failures).
+    pub workers_provisioned: u32,
+    /// Workers lost to eviction.
+    pub workers_lost: u32,
+    /// In-flight task placements lost with their workers (rescheduled).
+    pub tasks_lost: u64,
+    /// Every attempt's record.
+    pub results: Vec<TaskResult>,
+}
+
+impl RunReport {
+    /// Fraction of tasks retried (the paper's "<1% of tasks were retried").
+    pub fn retry_fraction(&self) -> f64 {
+        if self.task_count == 0 {
+            0.0
+        } else {
+            self.retried_tasks as f64 / self.task_count as f64
+        }
+    }
+
+    /// Allocated-core efficiency: used / allocated.
+    pub fn core_efficiency(&self) -> f64 {
+        if self.allocated_core_secs <= 0.0 {
+            0.0
+        } else {
+            (self.used_core_secs / self.allocated_core_secs).min(1.0)
+        }
+    }
+
+    /// Serialize the run's headline numbers as a JSON object (the master's
+    /// end-of-run log line).
+    pub fn summary_json(&self) -> String {
+        let mut o = lfm_monitor::summary::JsonObject::new();
+        o.field_str("strategy", &self.strategy)
+            .field_str(
+                "dist_mode",
+                match self.dist_mode {
+                    DistMode::PackedTransfer => "packed_transfer",
+                    DistMode::SharedFsDirect => "shared_fs_direct",
+                },
+            )
+            .field_f64("makespan_s", self.makespan_secs)
+            .field_u64("tasks", self.task_count as u64)
+            .field_u64("retried_tasks", self.retried_tasks)
+            .field_u64("abandoned_tasks", self.abandoned_tasks)
+            .field_f64("retry_fraction", self.retry_fraction())
+            .field_f64("core_efficiency", self.core_efficiency())
+            .field_u64("cache_hits", self.cache_hits)
+            .field_u64("cache_misses", self.cache_misses)
+            .field_u64("fs_md_ops", self.fs_md_ops)
+            .field_u64("net_bytes", self.net_bytes)
+            .field_u64("workers_provisioned", self.workers_provisioned as u64)
+            .field_u64("workers_lost", self.workers_lost as u64)
+            .field_u64("tasks_lost", self.tasks_lost);
+        o.finish()
+    }
+
+    /// Sample the run at `dt` resolution: (time, running tasks, allocated
+    /// cores). Useful for utilization plots and packing inspection.
+    pub fn utilization_timeline(&self, dt: f64) -> Vec<(f64, u32, u32)> {
+        assert!(dt > 0.0, "dt must be positive");
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while t <= self.makespan_secs {
+            let mut running = 0u32;
+            let mut cores = 0u32;
+            for r in &self.results {
+                if r.started_at.as_secs() <= t && t < r.finished_at.as_secs() {
+                    running += 1;
+                    cores += r.allocated.cores;
+                }
+            }
+            out.push((t, running, cores));
+            t += dt;
+        }
+        out
+    }
+
+    /// Mean task turnaround (submit → final completion), successful final
+    /// attempts only.
+    pub fn mean_turnaround_secs(&self) -> f64 {
+        let finals: Vec<f64> = self
+            .results
+            .iter()
+            .filter(|r| r.outcome.is_success())
+            .map(|r| r.finished_at - r.submitted_at)
+            .collect();
+        if finals.is_empty() {
+            0.0
+        } else {
+            finals.iter().sum::<f64>() / finals.len() as f64
+        }
+    }
+}
+
+/// Simulation events.
+enum Event {
+    WorkerUp { id: u32 },
+    WorkerDown { id: u32 },
+    TaskDone(Box<DoneInfo>),
+}
+
+struct DoneInfo {
+    worker: u32,
+    /// Unique placement id; stale events for lost placements are dropped.
+    placement: u64,
+    task_idx: usize,
+    attempt: u32,
+    allocated: Resources,
+    started_at: SimTime,
+    stage_in_secs: f64,
+    exec_secs: f64,
+    outcome: lfm_monitor::report::MonitorOutcome,
+}
+
+struct Pending {
+    task_idx: usize,
+    attempt: u32,
+}
+
+/// Run a workload to completion under `config`, on `worker_count` workers of
+/// `spec`. Panics on deadlock (tasks pending with no worker able to ever fit
+/// them would indicate a workload/config bug).
+pub fn run_workload(
+    config: &MasterConfig,
+    tasks: Vec<TaskSpec>,
+    worker_count: u32,
+    spec: NodeSpec,
+) -> RunReport {
+    Master::new(config.clone(), tasks, worker_count, spec).run()
+}
+
+struct Master {
+    config: MasterConfig,
+    tasks: Vec<TaskSpec>,
+    workers: BTreeMap<u32, Worker>,
+    pending: VecDeque<Pending>,
+    queue: EventQueue<Event>,
+    allocator: Allocator,
+    fs: SharedFs,
+    net: Network,
+    disk_model: LocalDisk,
+    spec: NodeSpec,
+    worker_count: u32,
+    in_flight: usize,
+    running_by_category: BTreeMap<String, u32>,
+    batch: BatchSystem,
+    rng: SimRng,
+    next_placement: u64,
+    /// placement id → (worker, task_idx, attempt, category) for loss recovery.
+    live_placements: BTreeMap<u64, (u32, usize, u32, String)>,
+    workers_provisioned: u32,
+    workers_lost: u32,
+    tasks_lost: u64,
+    results: Vec<TaskResult>,
+    retried: std::collections::BTreeSet<usize>,
+    abandoned: u64,
+    completed: usize,
+    /// Unsatisfied-dependency counts per task; tasks enter `pending` only at
+    /// zero. Dependents listed per task id for O(1) release on completion.
+    dep_remaining: Vec<usize>,
+    dependents: BTreeMap<TaskId, Vec<usize>>,
+}
+
+impl Master {
+    fn new(config: MasterConfig, tasks: Vec<TaskSpec>, worker_count: u32, spec: NodeSpec) -> Self {
+        assert!(worker_count > 0, "need at least one worker");
+        assert!(!tasks.is_empty(), "empty workload");
+        let allocator = Allocator::new(config.strategy.clone());
+        let fs = SharedFs::new(config.fs);
+        let net = Network::new(config.net);
+        // Build the dependency graph. Dependencies on ids not in this batch
+        // are a workload bug.
+        let ids: BTreeMap<TaskId, usize> =
+            tasks.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
+        assert_eq!(ids.len(), tasks.len(), "duplicate task ids in workload");
+        let mut dep_remaining = vec![0usize; tasks.len()];
+        let mut dependents: BTreeMap<TaskId, Vec<usize>> = BTreeMap::new();
+        for (i, t) in tasks.iter().enumerate() {
+            for d in &t.deps {
+                assert!(ids.contains_key(d), "task {} depends on unknown {d}", t.id);
+                dep_remaining[i] += 1;
+                dependents.entry(*d).or_default().push(i);
+            }
+        }
+        let mut seed_rng = SimRng::seeded(config.seed);
+        let batch = BatchSystem::new(config.batch, seed_rng.fork(1));
+        let rng = seed_rng.fork(2);
+        Master {
+            dep_remaining,
+            dependents,
+            running_by_category: BTreeMap::new(),
+            batch,
+            rng,
+            next_placement: 0,
+            live_placements: BTreeMap::new(),
+            workers_provisioned: 0,
+            workers_lost: 0,
+            tasks_lost: 0,
+            tasks,
+            workers: BTreeMap::new(),
+            pending: VecDeque::new(),
+            queue: EventQueue::new(),
+            allocator,
+            fs,
+            net,
+            disk_model: LocalDisk::nvme(u64::MAX),
+            spec,
+            worker_count,
+            in_flight: 0,
+            results: Vec::new(),
+            retried: std::collections::BTreeSet::new(),
+            abandoned: 0,
+            completed: 0,
+            config,
+        }
+    }
+
+    fn run(mut self) -> RunReport {
+        // Provision the initial pool.
+        let initial = match self.config.provisioning {
+            Provisioning::Static => self.worker_count,
+            Provisioning::Elastic { initial, .. } => initial.min(self.worker_count).max(1),
+        };
+        self.submit_pilots(SimTime::ZERO, initial);
+        for idx in 0..self.tasks.len() {
+            if self.dep_remaining[idx] == 0 {
+                self.pending.push_back(Pending { task_idx: idx, attempt: 0 });
+            }
+        }
+
+        while self.completed < self.tasks.len() {
+            let Some((now, event)) = self.queue.pop() else {
+                panic!(
+                    "deadlock: {} of {} tasks unfinished with no events pending",
+                    self.tasks.len() - self.completed,
+                    self.tasks.len()
+                );
+            };
+            match event {
+                Event::WorkerUp { id } => {
+                    self.workers.insert(id, Worker::new(id, self.spec));
+                    // Sample an eviction time for unreliable pools.
+                    if let Some(mean) = self.config.failures.mean_lifetime_secs {
+                        let u: f64 = self.rng.uniform(1e-9, 1.0);
+                        let lifetime = -mean * u.ln();
+                        self.queue.schedule_in(lifetime, Event::WorkerDown { id });
+                    }
+                    self.dispatch(now);
+                }
+                Event::WorkerDown { id } => {
+                    self.evict_worker(now, id);
+                    self.dispatch(now);
+                }
+                Event::TaskDone(info) => {
+                    // A placement lost with its worker already rescheduled;
+                    // drop the stale completion.
+                    if self.live_placements.remove(&info.placement).is_none() {
+                        continue;
+                    }
+                    self.finish_task(now, *info);
+                    self.dispatch(now);
+                }
+            }
+            self.maybe_scale(self.queue.now());
+        }
+
+        let makespan = self.queue.now().as_secs();
+        let allocated: f64 = self.results.iter().map(|r| r.allocated_core_secs()).sum();
+        let used: f64 = self.results.iter().map(|r| r.used_core_secs()).sum();
+        let (hits, misses) = self
+            .workers
+            .values()
+            .fold((0, 0), |acc, w| (acc.0 + w.cache_hits, acc.1 + w.cache_misses));
+        RunReport {
+            strategy: self.config.strategy.name().to_string(),
+            dist_mode: self.config.dist_mode,
+            makespan_secs: makespan,
+            task_count: self.tasks.len(),
+            retried_tasks: self.retried.len() as u64,
+            abandoned_tasks: self.abandoned,
+            cache_hits: hits,
+            cache_misses: misses,
+            allocated_core_secs: allocated,
+            used_core_secs: used,
+            fs_md_ops: self.fs.md_ops_served,
+            net_bytes: self.net.bytes_moved,
+            workers_provisioned: self.workers_provisioned,
+            workers_lost: self.workers_lost,
+            tasks_lost: self.tasks_lost,
+            results: self.results,
+        }
+    }
+
+    fn submit_pilots(&mut self, now: SimTime, count: u32) {
+        for pilot in self.batch.submit(now, self.spec, count) {
+            self.workers_provisioned += 1;
+            self.queue.schedule_at(pilot.starts_at, Event::WorkerUp { id: pilot.id });
+        }
+    }
+
+    /// Elastic scale-up: if ready tasks outnumber free slots and we are
+    /// under the cap, submit another batch of pilots.
+    fn maybe_scale(&mut self, now: SimTime) {
+        let Provisioning::Elastic { max_workers, batch, .. } = self.config.provisioning else {
+            return;
+        };
+        if self.pending.is_empty() || self.workers_provisioned >= max_workers {
+            return;
+        }
+        let free_slots: u32 = self
+            .workers
+            .values()
+            .map(|w| w.node.available().cores)
+            .sum();
+        if (self.pending.len() as u32) > free_slots {
+            let want = batch.min(max_workers - self.workers_provisioned);
+            if want > 0 {
+                self.submit_pilots(now, want);
+            }
+        }
+    }
+
+    /// A pilot was evicted: requeue its in-flight tasks (not counted as
+    /// resource retries — the task did nothing wrong) and optionally submit
+    /// a replacement.
+    fn evict_worker(&mut self, now: SimTime, id: u32) {
+        let Some(worker) = self.workers.remove(&id) else { return };
+        self.workers_lost += 1;
+        let lost: Vec<(u64, (u32, usize, u32, String))> = self
+            .live_placements
+            .iter()
+            .filter(|(_, (wid, ..))| *wid == id)
+            .map(|(p, info)| (*p, info.clone()))
+            .collect();
+        for (placement, (_, task_idx, attempt, category)) in lost {
+            self.live_placements.remove(&placement);
+            self.tasks_lost += 1;
+            self.in_flight -= 1;
+            if let Some(n) = self.running_by_category.get_mut(&category) {
+                *n -= 1;
+            }
+            self.pending.push_front(Pending { task_idx, attempt });
+        }
+        drop(worker);
+        if self.config.failures.replace {
+            self.submit_pilots(now, 1);
+        }
+    }
+
+    /// One greedy matching pass over the pending queue.
+    ///
+    /// The allocation decision is recomputed every pass: under Auto, tasks
+    /// waiting while the first (whole-worker, monitored) runs of their
+    /// category complete pick up the learned label the moment it exists.
+    fn dispatch(&mut self, now: SimTime) {
+        match self.config.policy {
+            SchedulePolicy::Fifo => {}
+            SchedulePolicy::LargestFirst => {
+                let mut v: Vec<Pending> = self.pending.drain(..).collect();
+                v.sort_by_key(|p| {
+                    std::cmp::Reverse(self.tasks[p.task_idx].profile.peak_memory_mb)
+                });
+                self.pending.extend(v);
+            }
+            SchedulePolicy::SmallestFirst => {
+                let mut v: Vec<Pending> = self.pending.drain(..).collect();
+                v.sort_by_key(|p| self.tasks[p.task_idx].profile.peak_memory_mb);
+                self.pending.extend(v);
+            }
+        }
+        let rounds = self.pending.len();
+        for _ in 0..rounds {
+            let Some(item) = self.pending.pop_front() else { break };
+            let category = self.tasks[item.task_idx].category.clone();
+            let capacity = self.spec.resources;
+            let decision = self.allocator.decide(&category, item.attempt, &capacity);
+            // Slow-start: immature Auto labels dispatch gradually so one bad
+            // label cannot kill an entire wave at once.
+            if matches!(decision, AllocationDecision::Sized(_)) && item.attempt == 0 {
+                if let Some(cap) = self.allocator.concurrency_cap(&category) {
+                    let running =
+                        self.running_by_category.get(&category).copied().unwrap_or(0);
+                    if running >= cap {
+                        self.pending.push_back(item);
+                        continue;
+                    }
+                }
+            }
+            let alloc = self.resolve_allocation(decision);
+            match self.pick_worker(item.task_idx, &alloc) {
+                Some(wid) => self.place(now, wid, item.task_idx, item.attempt, decision, alloc),
+                None => self.pending.push_back(item),
+            }
+        }
+    }
+
+    /// Convert a decision into a concrete vector on this pool's node spec.
+    fn resolve_allocation(&self, decision: AllocationDecision) -> Resources {
+        match decision {
+            AllocationDecision::WholeWorker => self.spec.resources,
+            AllocationDecision::Sized(r) => {
+                // A label larger than the node clamps to a whole worker.
+                if r.fits_in(&self.spec.resources) {
+                    r
+                } else {
+                    self.spec.resources
+                }
+            }
+        }
+    }
+
+    /// Choose a worker: prefer one with the task's cacheable inputs already
+    /// local (Work Queue "prefers to schedule tasks where needed data is
+    /// cached"), then the one with most free cores.
+    fn pick_worker(&self, task_idx: usize, alloc: &Resources) -> Option<u32> {
+        let task = &self.tasks[task_idx];
+        let mut best: Option<(bool, u32, u32)> = None; // (cached, free_cores, id)
+        for w in self.workers.values() {
+            if !w.node.can_fit(alloc) {
+                continue;
+            }
+            let cached = task
+                .inputs
+                .iter()
+                .filter(|f| f.cacheable)
+                .all(|f| w.has_cached(&f.name));
+            let free = w.node.available().cores;
+            let key = (cached, free, w.id());
+            match best {
+                Some((bc, bf, _)) if (bc, bf) >= (cached, free) => {}
+                _ => best = Some(key),
+            }
+        }
+        best.map(|(_, _, id)| id)
+    }
+
+    fn place(
+        &mut self,
+        now: SimTime,
+        wid: u32,
+        task_idx: usize,
+        attempt: u32,
+        decision: AllocationDecision,
+        alloc: Resources,
+    ) {
+        let concurrent = self.in_flight.max(1);
+        let task = self.tasks[task_idx].clone();
+        // Take the worker out of the map so staging can borrow the network
+        // and filesystem models mutably alongside it.
+        let mut worker = self.workers.remove(&wid).expect("picked worker exists");
+        let co_resident = worker.running;
+        assert!(worker.node.allocate(alloc), "pick_worker guaranteed fit");
+        worker.running += 1;
+        self.in_flight += 1;
+        *self.running_by_category.entry(task.category.clone()).or_default() += 1;
+        let placement = self.next_placement;
+        self.next_placement += 1;
+        self.live_placements
+            .insert(placement, (wid, task_idx, attempt, task.category.clone()));
+
+        // ---- stage-in ----
+        // Cacheable files (environments, shared data) transfer once per
+        // worker; tasks arriving while the transfer is in flight wait for it.
+        // Per-task data files always transfer.
+        let mut cacheable_wait = 0.0f64;
+        let mut data_bytes = 0u64;
+        let mut direct_import = 0.0f64;
+        for f in &task.inputs {
+            let is_env = matches!(f.kind, FileKind::EnvironmentPack { .. });
+            if is_env && self.config.dist_mode == DistMode::SharedFsDirect {
+                // Conventional deployment: every task imports the whole
+                // environment straight from the shared filesystem.
+                if let FileKind::EnvironmentPack { unpacked_files, unpacked_bytes, .. } = &f.kind
+                {
+                    direct_import +=
+                        self.fs.import_cost(*unpacked_files, *unpacked_bytes, concurrent);
+                    worker.cache_misses += 1;
+                }
+                continue;
+            }
+            if f.cacheable {
+                if worker.has_cached(&f.name) {
+                    worker.cache_hits += 1;
+                } else if let Some(ready) = worker.staging_ready(&f.name) {
+                    // Share the in-flight transfer.
+                    worker.cache_hits += 1;
+                    cacheable_wait = cacheable_wait.max((ready - now).max(0.0));
+                } else {
+                    worker.cache_misses += 1;
+                    let cost = match &f.kind {
+                        FileKind::EnvironmentPack {
+                            unpacked_files,
+                            relocation_ops,
+                            unpacked_bytes,
+                        } => {
+                            self.net.transfer_cost(f.size_bytes, concurrent)
+                                + self.disk_model.unpack_cost(
+                                    *unpacked_bytes,
+                                    *unpacked_files,
+                                    *relocation_ops,
+                                )
+                        }
+                        FileKind::Data => self.net.transfer_cost(f.size_bytes, concurrent),
+                    };
+                    worker.mark_staging(&f.name, now + cost);
+                    cacheable_wait = cacheable_wait.max(cost);
+                }
+            } else {
+                data_bytes += f.size_bytes;
+            }
+        }
+        let mut stage_in = cacheable_wait + direct_import;
+        if data_bytes > 0 {
+            stage_in += self.net.transfer_cost(data_bytes, concurrent);
+        }
+        self.workers.insert(wid, worker);
+
+        // ---- execution under the simulated LFM ----
+        let limits = match decision {
+            AllocationDecision::WholeWorker => ResourceLimits::unlimited(),
+            AllocationDecision::Sized(r) => ResourceLimits::unlimited()
+                .with_cores(r.cores as f64)
+                .with_memory_mb(r.memory_mb)
+                .with_disk_mb(r.disk_mb),
+        };
+        let slowdown = 1.0 + self.config.io_interference * co_resident as f64;
+        let profile = SimTaskProfile {
+            duration_secs: task.profile.duration_secs * slowdown,
+            ..task.profile
+        };
+        let sim = self.config.monitor.run(&profile, &limits);
+
+        // ---- stage-out ----
+        let stage_out = if task.output_bytes > 0 && sim.outcome.is_success() {
+            self.net.transfer_cost(task.output_bytes, concurrent)
+        } else {
+            0.0
+        };
+
+        let total = stage_in + sim.occupied_secs + stage_out;
+        self.queue.schedule_in(
+            total,
+            Event::TaskDone(Box::new(DoneInfo {
+                worker: wid,
+                placement,
+                task_idx,
+                attempt,
+                allocated: alloc,
+                started_at: now,
+                stage_in_secs: stage_in,
+                exec_secs: sim.occupied_secs,
+                outcome: sim.outcome,
+            })),
+        );
+    }
+
+    fn finish_task(&mut self, now: SimTime, info: DoneInfo) {
+        let task = &self.tasks[info.task_idx];
+        let worker = self.workers.get_mut(&info.worker).expect("worker exists");
+        worker.node.free(info.allocated);
+        worker.running -= 1;
+        self.in_flight -= 1;
+        if let Some(n) = self.running_by_category.get_mut(&task.category) {
+            *n -= 1;
+        }
+        // Cacheable inputs staged during this task are now local. In direct
+        // mode environments are never materialized locally, but ordinary
+        // shared data still caches.
+        for f in &task.inputs {
+            let is_env = matches!(f.kind, FileKind::EnvironmentPack { .. });
+            if !is_env || self.config.dist_mode == DistMode::PackedTransfer {
+                worker.insert_cached(f);
+            }
+        }
+        let completed = info.outcome.is_success();
+        if completed {
+            worker.tasks_completed += 1;
+        }
+        let violated = match &info.outcome {
+            lfm_monitor::report::MonitorOutcome::LimitExceeded { kind, .. } => Some(*kind),
+            _ => None,
+        };
+        self.allocator.observe_outcome(&task.category, info.outcome.report(), completed, violated);
+
+        self.results.push(TaskResult {
+            task: task.id,
+            category: task.category.clone(),
+            worker: info.worker,
+            allocated: info.allocated,
+            submitted_at: SimTime::ZERO,
+            started_at: info.started_at,
+            finished_at: now,
+            stage_in_secs: info.stage_in_secs,
+            exec_secs: info.exec_secs,
+            outcome: info.outcome.clone(),
+            attempt: info.attempt,
+        });
+
+        if info.outcome.is_limit_exceeded() {
+            self.retried.insert(info.task_idx);
+            if info.attempt + 1 < self.config.max_attempts {
+                // Retry at the front, at full size (the allocator returns
+                // WholeWorker for attempt > 0).
+                self.pending.push_front(Pending {
+                    task_idx: info.task_idx,
+                    attempt: info.attempt + 1,
+                });
+            } else {
+                self.abandoned += 1;
+                self.completed += 1;
+                self.cancel_dependents(info.task_idx);
+            }
+        } else {
+            self.completed += 1;
+            if info.outcome.is_success() {
+                self.release_dependents(info.task_idx);
+            } else {
+                // The function itself failed: its dependents can never run.
+                self.cancel_dependents(info.task_idx);
+            }
+        }
+    }
+
+    /// A task succeeded: dependents with no remaining dependencies become
+    /// ready.
+    fn release_dependents(&mut self, task_idx: usize) {
+        let id = self.tasks[task_idx].id;
+        for &dep_idx in self.dependents.get(&id).map(Vec::as_slice).unwrap_or(&[]) {
+            self.dep_remaining[dep_idx] -= 1;
+            if self.dep_remaining[dep_idx] == 0 {
+                self.pending.push_back(Pending { task_idx: dep_idx, attempt: 0 });
+            }
+        }
+    }
+
+    /// A task permanently failed: transitively cancel everything downstream
+    /// so the run still terminates, counting the casualties as abandoned.
+    fn cancel_dependents(&mut self, task_idx: usize) {
+        let mut stack = vec![self.tasks[task_idx].id];
+        while let Some(id) = stack.pop() {
+            let Some(deps) = self.dependents.remove(&id) else { continue };
+            for dep_idx in deps {
+                if self.dep_remaining[dep_idx] == usize::MAX {
+                    continue; // already cancelled
+                }
+                self.dep_remaining[dep_idx] = usize::MAX;
+                self.abandoned += 1;
+                self.completed += 1;
+                stack.push(self.tasks[dep_idx].id);
+            }
+        }
+    }
+}
+
+/// Convenience: task ids for a generated batch.
+pub fn task_ids(n: u64) -> Vec<TaskId> {
+    (0..n).map(TaskId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocate::AutoConfig;
+    use crate::files::FileRef;
+
+    /// A uniform batch of HEP-like tasks (§VI-C1's numbers).
+    fn hep_tasks(n: u64) -> Vec<TaskSpec> {
+        let env = FileRef::environment("hep-env", 240 << 20, 600 << 20, 5000, 800);
+        let common = FileRef::shared_data("calib", 1 << 20);
+        (0..n)
+            .map(|i| {
+                TaskSpec::new(
+                    TaskId(i),
+                    "hep",
+                    vec![env.clone(), common.clone(), FileRef::data(format!("in-{i}"), 512 << 10)],
+                    50 << 20,
+                    SimTaskProfile::new(55.0, 1.0, 110, 1024),
+                )
+            })
+            .collect()
+    }
+
+    fn oracle() -> Strategy {
+        let mut map = BTreeMap::new();
+        map.insert("hep".to_string(), Resources::new(1, 110, 1024));
+        Strategy::Oracle(map)
+    }
+
+    fn node() -> NodeSpec {
+        NodeSpec::new(8, 8192, 16384)
+    }
+
+    #[test]
+    fn all_tasks_complete() {
+        let report = run_workload(&MasterConfig::new(oracle()), hep_tasks(40), 4, node());
+        assert_eq!(report.task_count, 40);
+        let successes = report.results.iter().filter(|r| r.outcome.is_success()).count();
+        assert_eq!(successes, 40);
+        assert_eq!(report.abandoned_tasks, 0);
+        assert!(report.makespan_secs > 0.0);
+    }
+
+    #[test]
+    fn oracle_packs_tasks_per_worker() {
+        // 8-core workers, 1-core tasks: Oracle packs 8 per worker, so 40
+        // tasks on 4 workers ≈ 2 waves of execution (~110 s + staging), far
+        // below the 40-wave unmanaged serial bound.
+        let oracle_rep = run_workload(&MasterConfig::new(oracle()), hep_tasks(40), 4, node());
+        let unmanaged_rep =
+            run_workload(&MasterConfig::new(Strategy::Unmanaged), hep_tasks(40), 4, node());
+        assert!(
+            unmanaged_rep.makespan_secs > 3.0 * oracle_rep.makespan_secs,
+            "unmanaged {} vs oracle {}",
+            unmanaged_rep.makespan_secs,
+            oracle_rep.makespan_secs
+        );
+    }
+
+    #[test]
+    fn auto_converges_close_to_oracle() {
+        let auto_rep = run_workload(
+            &MasterConfig::new(Strategy::Auto(AutoConfig::default())),
+            hep_tasks(160),
+            4,
+            node(),
+        );
+        let oracle_rep = run_workload(&MasterConfig::new(oracle()), hep_tasks(160), 4, node());
+        assert!(
+            auto_rep.makespan_secs < 1.5 * oracle_rep.makespan_secs,
+            "auto {} vs oracle {}",
+            auto_rep.makespan_secs,
+            oracle_rep.makespan_secs
+        );
+        // Uniform workload: almost nothing should be retried.
+        assert!(auto_rep.retry_fraction() <= 0.05, "retries {}", auto_rep.retry_fraction());
+    }
+
+    #[test]
+    fn tight_guess_triggers_retries_but_completes() {
+        // Guess below the true 110 MB peak → every task gets killed once,
+        // then succeeds at full size.
+        let guess = Strategy::Guess(Resources::new(1, 64, 2048));
+        let report = run_workload(&MasterConfig::new(guess), hep_tasks(10), 2, node());
+        assert_eq!(report.retried_tasks, 10);
+        assert_eq!(report.abandoned_tasks, 0);
+        let successes = report.results.iter().filter(|r| r.outcome.is_success()).count();
+        assert_eq!(successes, 10);
+        // Each task has a failed attempt and a successful one.
+        assert_eq!(report.results.len(), 20);
+    }
+
+    #[test]
+    fn env_cached_after_first_task_per_worker() {
+        let report = run_workload(&MasterConfig::new(oracle()), hep_tasks(30), 3, node());
+        // The env + calib are cacheable: each transfers exactly once per
+        // worker (3 workers × 2 files = 6 misses); every other access —
+        // whether the file is already local or still in flight — is a hit.
+        assert_eq!(report.cache_misses, 6, "cacheable files must stage once per worker");
+        assert_eq!(report.cache_hits, 30 * 2 - 6);
+        // The environment archive (240 MB) moved only 3 times.
+        let env_bytes = 3 * (240u64 << 20);
+        assert!(
+            report.net_bytes < env_bytes + (60 << 20) * 30 + (1 << 20) * 30,
+            "net bytes {} implies duplicate env transfers",
+            report.net_bytes
+        );
+    }
+
+    #[test]
+    fn shared_fs_direct_is_slower_than_packed() {
+        let packed = run_workload(
+            &MasterConfig::new(oracle()).with_dist_mode(DistMode::PackedTransfer),
+            hep_tasks(40),
+            4,
+            node(),
+        );
+        let direct = run_workload(
+            &MasterConfig::new(oracle()).with_dist_mode(DistMode::SharedFsDirect),
+            hep_tasks(40),
+            4,
+            node(),
+        );
+        assert!(
+            direct.makespan_secs > packed.makespan_secs,
+            "direct {} should exceed packed {}",
+            direct.makespan_secs,
+            packed.makespan_secs
+        );
+        assert!(direct.fs_md_ops > packed.fs_md_ops * 10);
+    }
+
+    #[test]
+    fn more_workers_reduce_makespan() {
+        let cfg = MasterConfig::new(oracle());
+        let w2 = run_workload(&cfg, hep_tasks(64), 2, node());
+        let w8 = run_workload(&cfg, hep_tasks(64), 8, node());
+        assert!(
+            w8.makespan_secs < w2.makespan_secs / 2.0,
+            "2w: {} 8w: {}",
+            w2.makespan_secs,
+            w8.makespan_secs
+        );
+    }
+
+    #[test]
+    fn core_efficiency_ordering() {
+        // Oracle allocates exactly what's used; Unmanaged wastes 7 of 8
+        // cores per task.
+        let o = run_workload(&MasterConfig::new(oracle()), hep_tasks(24), 2, node());
+        let u = run_workload(&MasterConfig::new(Strategy::Unmanaged), hep_tasks(24), 2, node());
+        assert!(
+            o.core_efficiency() > 2.0 * u.core_efficiency(),
+            "oracle {} vs unmanaged {}",
+            o.core_efficiency(),
+            u.core_efficiency()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = MasterConfig::new(oracle()).with_seed(99);
+        let a = run_workload(&cfg, hep_tasks(20), 3, node());
+        let b = run_workload(&cfg, hep_tasks(20), 3, node());
+        assert_eq!(a.makespan_secs, b.makespan_secs);
+        assert_eq!(a.results.len(), b.results.len());
+    }
+
+    #[test]
+    fn io_interference_slows_packed_workers() {
+        let quiet = run_workload(
+            &MasterConfig::new(oracle()).with_io_interference(0.0),
+            hep_tasks(32),
+            2,
+            node(),
+        );
+        let noisy = run_workload(
+            &MasterConfig::new(oracle()).with_io_interference(0.15),
+            hep_tasks(32),
+            2,
+            node(),
+        );
+        assert!(noisy.makespan_secs > quiet.makespan_secs);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty workload")]
+    fn empty_workload_panics() {
+        let _ = run_workload(&MasterConfig::new(oracle()), Vec::new(), 1, node());
+    }
+
+    #[test]
+    fn dependencies_execute_in_order() {
+        // A 3-stage chain per "genome": align → call → annotate.
+        let mk = |id: u64, cat: &str, deps: Vec<TaskId>| {
+            TaskSpec::new(
+                TaskId(id),
+                cat,
+                vec![],
+                0,
+                SimTaskProfile::new(20.0, 1.0, 100, 100),
+            )
+            .after(deps)
+        };
+        let tasks = vec![
+            mk(0, "align", vec![]),
+            mk(1, "call", vec![TaskId(0)]),
+            mk(2, "annotate", vec![TaskId(1)]),
+            mk(3, "align", vec![]),
+            mk(4, "call", vec![TaskId(3)]),
+            mk(5, "annotate", vec![TaskId(4)]),
+        ];
+        let report = run_workload(&MasterConfig::new(Strategy::Unmanaged), tasks, 2, node());
+        assert_eq!(report.abandoned_tasks, 0);
+        let finish = |id: u64| {
+            report
+                .results
+                .iter()
+                .find(|r| r.task == TaskId(id))
+                .unwrap()
+                .finished_at
+        };
+        let start = |id: u64| {
+            report
+                .results
+                .iter()
+                .find(|r| r.task == TaskId(id))
+                .unwrap()
+                .started_at
+        };
+        for chain in [[0u64, 1, 2], [3, 4, 5]] {
+            assert!(start(chain[1]) >= finish(chain[0]));
+            assert!(start(chain[2]) >= finish(chain[1]));
+        }
+        // Two chains on two whole-node workers run concurrently: makespan is
+        // about one chain's length, not both.
+        assert!(report.makespan_secs < 2.0 * 3.0 * 20.0 + 30.0);
+    }
+
+    #[test]
+    fn elastic_provisioning_scales_up() {
+        // 64 tasks, elastic pool growing 1 -> 6 in batches of 1: the run
+        // must finish and submit more pilots than the initial one.
+        let cfg = MasterConfig::new(oracle()).with_provisioning(Provisioning::Elastic {
+            initial: 1,
+            max_workers: 6,
+            batch: 1,
+        });
+        let report = run_workload(&cfg, hep_tasks(64), 6, node());
+        assert_eq!(report.abandoned_tasks, 0);
+        assert!(
+            report.workers_provisioned > 1,
+            "pool never grew: {}",
+            report.workers_provisioned
+        );
+        assert!(report.workers_provisioned <= 6);
+        let ok = report.results.iter().filter(|r| r.outcome.is_success()).count();
+        assert_eq!(ok, 64);
+    }
+
+    #[test]
+    fn elastic_never_exceeds_cap() {
+        let cfg = MasterConfig::new(oracle()).with_provisioning(Provisioning::Elastic {
+            initial: 2,
+            max_workers: 3,
+            batch: 4, // batch larger than remaining headroom
+        });
+        let report = run_workload(&cfg, hep_tasks(40), 3, node());
+        assert!(report.workers_provisioned <= 3, "{}", report.workers_provisioned);
+        assert_eq!(report.abandoned_tasks, 0);
+    }
+
+    #[test]
+    fn evicted_workers_lose_tasks_but_workflow_completes() {
+        // Mean pilot lifetime shorter than the workload: evictions are
+        // guaranteed; replacements keep the run alive and every task still
+        // completes exactly once.
+        let cfg = MasterConfig::new(oracle())
+            .with_failures(FailureModel::evicting(120.0))
+            .with_seed(5);
+        let report = run_workload(&cfg, hep_tasks(48), 4, node());
+        assert!(report.workers_lost > 0, "expected evictions");
+        assert!(report.tasks_lost > 0, "expected in-flight losses");
+        assert_eq!(report.abandoned_tasks, 0);
+        let ok: Vec<_> = report.results.iter().filter(|r| r.outcome.is_success()).collect();
+        assert_eq!(ok.len(), 48, "every task completes despite churn");
+        // Lost placements are not resource retries.
+        assert_eq!(report.retried_tasks, 0);
+        // Each task succeeds exactly once.
+        let mut ids: Vec<_> = ok.iter().map(|r| r.task).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 48);
+    }
+
+    #[test]
+    fn failures_cost_makespan() {
+        let reliable = run_workload(
+            &MasterConfig::new(oracle()).with_seed(9),
+            hep_tasks(48),
+            4,
+            node(),
+        );
+        let flaky = run_workload(
+            &MasterConfig::new(oracle())
+                .with_failures(FailureModel::evicting(100.0))
+                .with_seed(9),
+            hep_tasks(48),
+            4,
+            node(),
+        );
+        assert!(flaky.makespan_secs > reliable.makespan_secs);
+    }
+
+    #[test]
+    fn summary_json_is_complete() {
+        let report = run_workload(&MasterConfig::new(oracle()), hep_tasks(8), 2, node());
+        let j = report.summary_json();
+        for key in [
+            "strategy", "dist_mode", "makespan_s", "tasks", "retry_fraction",
+            "core_efficiency", "cache_hits", "workers_provisioned",
+        ] {
+            assert!(j.contains(&format!("\"{key}\"")), "missing {key}: {j}");
+        }
+        assert!(j.contains("\"strategy\":\"Oracle\""));
+        assert!(j.contains("\"tasks\":8"));
+    }
+
+    #[test]
+    fn utilization_timeline_tracks_packing() {
+        let report = run_workload(&MasterConfig::new(oracle()), hep_tasks(16), 2, node());
+        let timeline = report.utilization_timeline(5.0);
+        assert!(!timeline.is_empty());
+        // Peak concurrency with Oracle packing: up to 8 per 8-core worker.
+        let peak_running = timeline.iter().map(|&(_, r, _)| r).max().unwrap();
+        assert!(peak_running > 2, "no packing visible: peak {peak_running}");
+        // Never more allocated cores than the pool has.
+        assert!(timeline.iter().all(|&(_, _, c)| c <= 16));
+        // First and last samples bracket the run.
+        assert_eq!(timeline[0].0, 0.0);
+        assert!(timeline.last().unwrap().0 <= report.makespan_secs);
+    }
+
+    #[test]
+    fn schedule_policies_all_complete_and_differ() {
+        // Mixed big/small memory tasks on memory-tight workers.
+        let tasks: Vec<TaskSpec> = (0..30)
+            .map(|i| {
+                let mem = if i % 3 == 0 { 6000 } else { 1000 };
+                TaskSpec::new(
+                    TaskId(i),
+                    if i % 3 == 0 { "big" } else { "small" },
+                    vec![],
+                    0,
+                    SimTaskProfile::new(30.0, 1.0, mem, 100),
+                )
+            })
+            .collect();
+        let mut map = BTreeMap::new();
+        map.insert("big".to_string(), Resources::new(1, 6000, 100));
+        map.insert("small".to_string(), Resources::new(1, 1000, 100));
+        let oracle = Strategy::Oracle(map);
+        let mut spans = Vec::new();
+        for policy in [
+            SchedulePolicy::Fifo,
+            SchedulePolicy::LargestFirst,
+            SchedulePolicy::SmallestFirst,
+        ] {
+            let cfg = MasterConfig::new(oracle.clone()).with_policy(policy);
+            let rep = run_workload(&cfg, tasks.clone(), 2, node());
+            assert_eq!(rep.abandoned_tasks, 0, "{policy:?}");
+            let ok = rep.results.iter().filter(|r| r.outcome.is_success()).count();
+            assert_eq!(ok, 30, "{policy:?}");
+            spans.push(rep.makespan_secs);
+        }
+        // Policies must actually change the schedule.
+        assert!(
+            spans.iter().any(|&s| (s - spans[0]).abs() > 1e-9),
+            "all policies produced identical makespans: {spans:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let t = TaskSpec::new(TaskId(7), "x", vec![], 0, SimTaskProfile::new(1.0, 1.0, 1, 1));
+        let result = std::panic::catch_unwind(|| {
+            run_workload(&MasterConfig::new(Strategy::Unmanaged), vec![t.clone(), t], 1, node())
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Crate-level property tests for scheduling and labeling invariants.
+
+#![cfg(test)]
+
+use crate::allocate::{AllocationDecision, Allocator, AutoConfig, Strategy};
+use crate::files::FileRef;
+use crate::master::{run_workload, MasterConfig};
+use crate::task::{TaskId, TaskSpec};
+use lfm_monitor::report::ResourceReport;
+use lfm_monitor::sim::SimTaskProfile;
+use lfm_simcluster::node::{NodeSpec, Resources};
+use proptest::prelude::*;
+
+const CAP: Resources = Resources::new(16, 32 * 1024, 64 * 1024);
+
+fn report(mem: u64, disk: u64) -> ResourceReport {
+    ResourceReport {
+        peak_cores: 1.0,
+        peak_rss_mb: mem,
+        peak_disk_mb: disk,
+        cpu_secs: 10.0,
+        wall_secs: 10.0,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The Auto label always lands within [min observed, max observed ×
+    /// headroom] on the memory axis, for any sample set.
+    #[test]
+    fn auto_label_within_observed_bounds(
+        mems in prop::collection::vec(1u64..8192, 2..40)
+    ) {
+        let cfg = AutoConfig { min_samples: 1, headroom: 1.25, slow_start_until: 0 };
+        let mut a = Allocator::new(Strategy::Auto(cfg));
+        for &m in &mems {
+            a.observe("cat", &report(m, 100), true);
+        }
+        match a.decide("cat", 0, &CAP) {
+            AllocationDecision::Sized(r) => {
+                let lo = *mems.iter().min().unwrap();
+                let hi = *mems.iter().max().unwrap();
+                prop_assert!(r.memory_mb >= lo, "label {} below min {}", r.memory_mb, lo);
+                let ceiling = (hi as f64 * 1.25).ceil() as u64 + 1;
+                prop_assert!(
+                    r.memory_mb <= ceiling,
+                    "label {} above max x headroom {}",
+                    r.memory_mb,
+                    ceiling
+                );
+            }
+            other => prop_assert!(false, "expected sized allocation, got {other:?}"),
+        }
+    }
+
+    /// The chosen label minimizes the expected-cost objective — verified by
+    /// brute force over all candidates.
+    #[test]
+    fn auto_label_is_cost_optimal(
+        mems in prop::collection::vec(1u64..4096, 2..30)
+    ) {
+        let cfg = AutoConfig { min_samples: 1, headroom: 1.0, slow_start_until: 0 };
+        let mut a = Allocator::new(Strategy::Auto(cfg));
+        for &m in &mems {
+            a.observe("cat", &report(m, 100), true);
+        }
+        let AllocationDecision::Sized(r) = a.decide("cat", 0, &CAP) else {
+            return Err(TestCaseError::fail("expected sized"));
+        };
+        let retry_cost = CAP.memory_mb as f64;
+        let cost = |a: f64| -> f64 {
+            let p = mems.iter().filter(|&&m| (m as f64) <= a).count() as f64
+                / mems.len() as f64;
+            p * a + (1.0 - p) * (a + retry_cost)
+        };
+        let chosen = cost(r.memory_mb as f64);
+        for &m in &mems {
+            prop_assert!(
+                chosen <= cost(m as f64) + 1e-6,
+                "candidate {} (cost {}) beats chosen {} (cost {})",
+                m,
+                cost(m as f64),
+                r.memory_mb,
+                chosen
+            );
+        }
+    }
+
+    /// Retries always get a whole worker, whatever the history.
+    #[test]
+    fn retries_always_whole_worker(mems in prop::collection::vec(1u64..4096, 0..10)) {
+        let mut a = Allocator::new(Strategy::Auto(AutoConfig::default()));
+        for &m in &mems {
+            a.observe("cat", &report(m, 100), true);
+        }
+        for attempt in 1..4 {
+            prop_assert_eq!(a.decide("cat", attempt, &CAP), AllocationDecision::WholeWorker);
+        }
+    }
+
+    /// Whatever mix of task shapes arrives, the master completes every task
+    /// that fits a node, never oversubscribes (enforced by Node asserts),
+    /// and the makespan is at least the longest task.
+    #[test]
+    fn scheduler_completes_arbitrary_workloads(
+        shapes in prop::collection::vec(
+            (5.0f64..60.0, 1u32..4, 64u64..4096, 64u64..4096),
+            1..30
+        ),
+        workers in 1u32..6,
+    ) {
+        let tasks: Vec<TaskSpec> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(dur, cores, mem, disk))| {
+                TaskSpec::new(
+                    TaskId(i as u64),
+                    format!("cat{}", i % 3),
+                    vec![FileRef::data(format!("in-{i}"), 1024)],
+                    1024,
+                    SimTaskProfile::new(dur, cores as f64, mem, disk),
+                )
+            })
+            .collect();
+        let longest = shapes.iter().map(|s| s.0).fold(0.0, f64::max);
+        let spec = NodeSpec::new(8, 8192, 16384);
+        let report = run_workload(
+            &MasterConfig::new(Strategy::Auto(AutoConfig::default())),
+            tasks,
+            workers,
+            spec,
+        );
+        prop_assert_eq!(report.abandoned_tasks, 0);
+        let ok = report.results.iter().filter(|r| r.outcome.is_success()).count();
+        prop_assert_eq!(ok, shapes.len());
+        prop_assert!(report.makespan_secs >= longest);
+        // Used CPU never exceeds allocated capacity integral.
+        prop_assert!(report.used_core_secs <= report.allocated_core_secs + 1e-6);
+    }
+
+    /// Determinism: identical config + workload ⇒ identical report.
+    #[test]
+    fn runs_are_deterministic(seed in 0u64..1000) {
+        let tasks: Vec<TaskSpec> = (0..10)
+            .map(|i| {
+                TaskSpec::new(
+                    TaskId(i),
+                    "c",
+                    vec![],
+                    0,
+                    SimTaskProfile::new(10.0 + i as f64, 1.0, 100, 100),
+                )
+            })
+            .collect();
+        let cfg = MasterConfig::new(Strategy::Unmanaged).with_seed(seed);
+        let a = run_workload(&cfg, tasks.clone(), 2, NodeSpec::new(4, 4096, 8192));
+        let b = run_workload(&cfg, tasks, 2, NodeSpec::new(4, 4096, 8192));
+        prop_assert_eq!(a.makespan_secs, b.makespan_secs);
+        prop_assert_eq!(a.results.len(), b.results.len());
+    }
+}

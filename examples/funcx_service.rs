@@ -1,0 +1,55 @@
+//! funcX-style FaaS (§VI-C4): register a serialized function once, then
+//! execute batches on an endpoint — with LFMs in place of containers.
+//!
+//! Run with: `cargo run -p lfm-examples --bin funcx_service`
+
+use lfm_core::prelude::*;
+use lfm_core::workloads::faas;
+
+fn main() {
+    // Register the classification function: the registry runs static
+    // analysis and stores the serialized payload + dependency list.
+    let svc = FuncXService::new();
+    let mut registry = FunctionRegistry::new();
+    let id = registry.register("classify_image", faas::source()).expect("registers");
+    let f = registry.get(id).unwrap();
+    println!("registered {} as {}", f.name, f.id);
+    println!("dependency list: {:?}", f.dependencies);
+
+    let env = svc.environment_for(&registry, id).expect("env resolves");
+    println!("endpoint environment archive: {}\n", fmt_bytes(env.size_bytes));
+
+    // One endpoint, three execution modes (Figure 9's comparison).
+    let endpoint = Endpoint::new("cluster-ep", faas::worker_spec(), 4);
+    let n_tasks = 128;
+    println!("{n_tasks} classification requests on {} x {}:", endpoint.workers, endpoint.node.resources);
+    for (label, mode) in [
+        ("LFM (Auto)", ExecutionMode::Lfm(Strategy::Auto(AutoConfig::default()))),
+        ("LFM (Guess)", ExecutionMode::Lfm(Strategy::Guess(faas::guess()))),
+        ("Singularity", ExecutionMode::Container(ActivationTech::Singularity)),
+        ("Docker", ExecutionMode::Container(ActivationTech::Docker)),
+    ] {
+        let report = svc
+            .run_batch(
+                &registry,
+                id,
+                n_tasks,
+                &endpoint,
+                &mode,
+                faas::resnet_profile(),
+                faas::image_bytes(),
+                42,
+            )
+            .expect("batch runs");
+        println!(
+            "  {label:<12} makespan {:>9}  mean turnaround {:>9}  core-eff {:>5.1}%",
+            fmt_secs(report.makespan_secs),
+            fmt_secs(report.mean_turnaround_secs()),
+            report.core_efficiency() * 100.0
+        );
+    }
+
+    println!("\nContainers pay a per-invocation activation cost (Table I) and");
+    println!("run unmanaged; LFMs contain each invocation at function");
+    println!("granularity and pack many per node.");
+}

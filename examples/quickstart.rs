@@ -1,0 +1,89 @@
+//! Quickstart: the full LFM pipeline on one function, end to end.
+//!
+//! 1. Write a "Python" function (mini-Python source).
+//! 2. Statically analyze its imports.
+//! 3. Build and pack a minimal environment.
+//! 4. Run a batch of invocations through the Work Queue master under the
+//!    Auto allocation strategy, with lightweight function monitors
+//!    measuring and enforcing per-invocation resources.
+//! 5. Also run a *real* monitored process (Linux) to show the live LFM.
+//!
+//! Run with: `cargo run -p lfm-examples --bin quickstart`
+
+use lfm_core::prelude::*;
+
+fn main() {
+    // --- 1. The user's function -------------------------------------
+    let source = r#"
+@python_app
+def mean_pt(events):
+    import numpy as np
+    pts = np.array(events['pt'])
+    return float(np.mean(pts))
+"#;
+    println!("== static dependency analysis ==");
+    let analysis = analyze_source(source).expect("source parses");
+    println!("imports found: {:?}", analysis.top_level_modules());
+
+    // --- 2. Minimal environment -------------------------------------
+    let index = PackageIndex::builtin();
+    let reqs = RequirementSet::from_analysis(&analysis, &index).expect("deps known");
+    println!("direct requirements: {}", reqs.to_file().trim().replace('\n', ", "));
+    let resolution = resolve(&index, &reqs).expect("resolvable");
+    println!(
+        "resolved {} distributions, {} total",
+        resolution.len(),
+        fmt_bytes(resolution.total_bytes(&index).unwrap())
+    );
+
+    // --- 3. Pack for distribution -----------------------------------
+    let env = Environment::from_resolution("mean-pt", "/envs/mean-pt", &index, &resolution)
+        .expect("env builds");
+    let packed = PackedEnv::pack(&env);
+    println!(
+        "packed archive: {} ({} files once unpacked)\n",
+        fmt_bytes(packed.archive_bytes()),
+        packed.file_count()
+    );
+
+    // --- 4. A monitored batch under Auto ----------------------------
+    println!("== simulated batch: 64 invocations, 4 workers, Auto labels ==");
+    let env_file = FileRef::environment(
+        "mean-pt-env.tar.gz",
+        packed.archive_bytes(),
+        packed.installed_bytes(),
+        packed.file_count(),
+        packed.relocation_ops("/scratch"),
+    );
+    let tasks: Vec<TaskSpec> = (0..64)
+        .map(|i| {
+            TaskSpec::new(
+                TaskId(i),
+                "mean_pt",
+                vec![env_file.clone(), FileRef::data(format!("events-{i}"), 512 << 10)],
+                1 << 20,
+                SimTaskProfile::new(30.0, 1.0, 150, 512),
+            )
+        })
+        .collect();
+    let config = MasterConfig::new(Strategy::Auto(AutoConfig::default()));
+    let report = run_workload(&config, tasks, 4, NodeSpec::new(8, 8192, 16384));
+    println!("makespan:        {}", fmt_secs(report.makespan_secs));
+    println!("retries:         {:.1}%", report.retry_fraction() * 100.0);
+    println!("core efficiency: {:.1}%", report.core_efficiency() * 100.0);
+    println!("cache hits/miss: {}/{}\n", report.cache_hits, report.cache_misses);
+
+    // --- 5. A real monitored process (Linux) ------------------------
+    #[cfg(target_os = "linux")]
+    {
+        println!("== real LFM: monitoring an actual child process ==");
+        let mut cmd = std::process::Command::new("sh");
+        cmd.args(["-c", "for i in 1 2 3; do sleep 0.2; done"]);
+        let outcome = Lfm::new()
+            .with_poll_interval(std::time::Duration::from_millis(100))
+            .run(&mut cmd)
+            .expect("spawn works");
+        println!("outcome: {}", if outcome.is_success() { "completed" } else { "failed" });
+        println!("report:  {}", outcome.report());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based integration tests over the dependency pipeline:
+//! analysis → requirements → resolution → environment → pack/unpack.
+
+use lfm_core::pyenv::prelude::*;
+use proptest::prelude::*;
+
+/// Module names present in the builtin index (import name, distribution).
+const KNOWN_MODULES: &[(&str, &str)] = &[
+    ("numpy", "numpy"),
+    ("scipy", "scipy"),
+    ("pandas", "pandas"),
+    ("sklearn", "scikit-learn"),
+    ("PIL", "pillow"),
+    ("tensorflow", "tensorflow"),
+    ("coffea", "coffea"),
+    ("rdkit", "rdkit"),
+    ("Bio", "biopython"),
+    ("pysam", "pysam"),
+    ("json", "python"),
+    ("os", "python"),
+];
+
+fn arbitrary_import_set() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..KNOWN_MODULES.len(), 1..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any combination of known imports survives the full pipeline, and the
+    /// resolved environment provides every imported module.
+    #[test]
+    fn pipeline_closes_over_any_import_set(indices in arbitrary_import_set()) {
+        let mut src = String::new();
+        src.push_str("def task(x):\n");
+        for &i in &indices {
+            src.push_str(&format!("    import {}\n", KNOWN_MODULES[i].0));
+        }
+        src.push_str("    return x\n");
+
+        let analysis = analyze_source(&src).unwrap();
+        let index = PackageIndex::builtin();
+        let reqs = RequirementSet::from_analysis(&analysis, &index).unwrap();
+        let resolution = resolve(&index, &reqs).unwrap();
+        let env = Environment::from_resolution("t", "/envs/t", &index, &resolution).unwrap();
+        for &i in &indices {
+            let (module, dist) = KNOWN_MODULES[i];
+            prop_assert_eq!(env.dist_for_module(module), Some(dist));
+        }
+        // Solution is closed: every dependency edge satisfied.
+        for rel in resolution.releases(&index).unwrap() {
+            for (dep, req) in &rel.deps {
+                let v = resolution.version_of(dep)
+                    .ok_or_else(|| TestCaseError::fail(format!("{dep} unpinned")))?;
+                prop_assert!(req.matches(v), "{}: {}{} not satisfied by {}", rel.name, dep, req, v);
+            }
+        }
+    }
+
+    /// Pack → bytes → unpack preserves the environment exactly, for any
+    /// resolvable distribution in the index.
+    #[test]
+    fn pack_roundtrip_for_any_distribution(i in 0..KNOWN_MODULES.len()) {
+        let index = PackageIndex::builtin();
+        let dist = KNOWN_MODULES[i].1;
+        let reqs: RequirementSet = [Requirement::any(dist)].into_iter().collect();
+        let resolution = resolve(&index, &reqs).unwrap();
+        let env = Environment::from_resolution("p", "/envs/p", &index, &resolution).unwrap();
+        let packed = PackedEnv::pack(&env);
+        let restored = PackedEnv::from_bytes(&packed.to_bytes())
+            .unwrap()
+            .unpack("/scratch/p")
+            .unwrap();
+        prop_assert_eq!(restored.dist_count(), env.dist_count());
+        prop_assert_eq!(restored.total_bytes(), env.total_bytes());
+        prop_assert_eq!(restored.total_files(), env.total_files());
+    }
+
+    /// Pickle round-trips arbitrary nested values.
+    #[test]
+    fn pickle_roundtrip_arbitrary(v in arb_pyvalue()) {
+        let bytes = v.dumps();
+        let back = PyValue::loads(&bytes).unwrap();
+        prop_assert_eq!(back, v);
+    }
+}
+
+/// Generator for arbitrary (small) PyValues.
+fn arb_pyvalue() -> impl Strategy<Value = PyValue> {
+    let leaf = prop_oneof![
+        Just(PyValue::None),
+        any::<bool>().prop_map(PyValue::Bool),
+        any::<i64>().prop_map(PyValue::Int),
+        // Finite floats only: NaN breaks PartialEq-based round-trip checks.
+        (-1e12f64..1e12).prop_map(PyValue::Float),
+        "[a-zA-Z0-9 ]{0,24}".prop_map(PyValue::Str),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(PyValue::Bytes),
+    ];
+    leaf.prop_recursive(3, 64, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(PyValue::List),
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(PyValue::Tuple),
+            proptest::collection::vec(("[a-z]{1,8}".prop_map(PyValue::Str), inner), 0..4)
+                .prop_map(PyValue::Dict),
+        ]
+    })
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let src = "def f():\n    import numpy\n    import scipy\n    return 0\n";
+    let a = analyze_source(src).unwrap();
+    let b = analyze_source(src).unwrap();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,144 @@
+//! Integration: interpreted mini-Python functions through the full stack —
+//! the same source drives static analysis (environment planning), real
+//! execution (interpreter on the thread pool), measurement
+//! (MonitoredKernel → Allocator), and simulated cluster scheduling.
+
+use lfm_core::prelude::*;
+use lfm_core::pyenv::interp::builtins::iterate;
+use lfm_core::pyenv::interp::value::Value;
+use lfm_core::pyenv::interp::ModuleBuilder;
+
+const SOURCE: &str = "
+import numpy as np
+
+def normalize(xs):
+    if len(xs) == 0:
+        raise ValueError('empty input')
+    m = np.mean(xs)
+    return [x - m for x in xs]
+";
+
+fn numpy(interp: &mut lfm_core::pyenv::interp::Interp) {
+    interp.register_module(ModuleBuilder::new("numpy").function("mean", |args| {
+        let xs = iterate(&args[0])?;
+        let nums: Vec<f64> = xs.iter().filter_map(Value::as_number).collect();
+        Ok(Value::Float(nums.iter().sum::<f64>() / nums.len().max(1) as f64))
+    }));
+}
+
+#[test]
+fn same_source_analyzes_and_executes() {
+    // Analysis side: numpy discovered, env resolvable.
+    let analysis = analyze_source(SOURCE).unwrap();
+    assert!(analysis.top_level_modules().contains("numpy"));
+    let index = PackageIndex::builtin();
+    let reqs = RequirementSet::from_analysis(&analysis, &index).unwrap();
+    let resolution = resolve(&index, &reqs).unwrap();
+    assert!(resolution.version_of("numpy").is_some());
+
+    // Execution side: the function body actually runs.
+    let app = App::interpreted("normalize", SOURCE, numpy);
+    let out = app
+        .call(&[PyValue::List(vec![
+            PyValue::Int(1),
+            PyValue::Int(2),
+            PyValue::Int(3),
+        ])])
+        .unwrap();
+    assert_eq!(
+        out,
+        PyValue::List(vec![
+            PyValue::Float(-1.0),
+            PyValue::Float(0.0),
+            PyValue::Float(1.0)
+        ])
+    );
+}
+
+#[test]
+fn interpreted_dag_on_thread_pool() {
+    let dfk = DataFlowKernel::new(4);
+    dfk.register(App::interpreted("normalize", SOURCE, numpy));
+    dfk.register(App::interpreted(
+        "magnitude",
+        "def magnitude(xs):\n    return sum([x * x for x in xs])\n",
+        |_| {},
+    ));
+    let data = PyValue::List((0..10).map(PyValue::Int).collect());
+    let normalized = dfk.submit("normalize", vec![data.into()]);
+    let mag = dfk.submit("magnitude", vec![Arg::from(&normalized)]);
+    let v = mag.result().unwrap().as_float().unwrap();
+    // Σ (i − 4.5)² for i in 0..10 = 82.5
+    assert!((v - 82.5).abs() < 1e-9, "magnitude {v}");
+}
+
+#[test]
+fn interpreted_exceptions_cascade_through_dag() {
+    let dfk = DataFlowKernel::new(2);
+    dfk.register(App::interpreted("normalize", SOURCE, numpy));
+    dfk.register(App::interpreted(
+        "magnitude",
+        "def magnitude(xs):\n    return sum([x * x for x in xs])\n",
+        |_| {},
+    ));
+    let bad = dfk.submit("normalize", vec![PyValue::List(vec![]).into()]);
+    let downstream = dfk.submit("magnitude", vec![Arg::from(&bad)]);
+    match bad.result() {
+        Err(TaskError::Exception(m)) => assert!(m.contains("ValueError"), "{m}"),
+        other => panic!("{other:?}"),
+    }
+    assert!(matches!(downstream.result(), Err(TaskError::DependencyFailed(_))));
+}
+
+#[test]
+fn monitored_kernel_learns_labels_for_interpreted_apps() {
+    let mk = MonitoredKernel::new(4);
+    mk.register(App::interpreted("normalize", SOURCE, numpy));
+    let futures: Vec<_> = (0..6)
+        .map(|i| {
+            mk.submit(
+                "normalize",
+                vec![PyValue::List((0..(i + 2)).map(PyValue::Int).collect()).into()],
+            )
+        })
+        .collect();
+    for f in &futures {
+        f.result().unwrap();
+    }
+    mk.wait_all();
+    assert_eq!(mk.samples_for("normalize"), 6);
+    let cap = Resources::new(8, 8192, 16384);
+    assert!(matches!(
+        mk.label_for("normalize", &cap),
+        AllocationDecision::Sized(_)
+    ));
+}
+
+#[test]
+fn interpreted_source_lowers_to_cluster_tasks() {
+    // The same app, lowered through the Parsl→WorkQueue executor, runs in
+    // the simulated cluster with its analyzed environment attached.
+    let index = PackageIndex::builtin();
+    let user_env = user_environment(&index).unwrap();
+    let mut builder = WqWorkflowBuilder::new(index, user_env);
+    let app = App::interpreted("normalize", SOURCE, numpy);
+    let mut prev: Option<TaskId> = None;
+    for _ in 0..12 {
+        let deps = prev.map(|p| vec![p]).unwrap_or_default();
+        prev = Some(
+            builder
+                .add_invocation(&app, SimTaskProfile::new(15.0, 1.0, 300, 256), vec![], 0, deps)
+                .unwrap(),
+        );
+    }
+    let tasks = builder.build();
+    let report = run_workload(
+        &MasterConfig::new(Strategy::Auto(AutoConfig::default())),
+        tasks,
+        2,
+        NodeSpec::new(8, 8192, 16384),
+    );
+    assert_eq!(report.abandoned_tasks, 0);
+    // The chain is serial: makespan at least 12 × 15 s.
+    assert!(report.makespan_secs >= 12.0 * 15.0);
+}

@@ -1,0 +1,114 @@
+//! Integration: the four allocation strategies across all three cluster
+//! workloads — invariants the paper's evaluation depends on.
+
+use lfm_core::prelude::*;
+use lfm_core::workloads::{drug, genomic, hep};
+
+fn strategies(w: &Workload) -> Vec<Strategy> {
+    vec![
+        w.oracle_strategy(),
+        Strategy::Auto(AutoConfig::default()),
+        w.guess_strategy(),
+        Strategy::Unmanaged,
+    ]
+}
+
+#[test]
+fn every_workload_completes_under_every_strategy() {
+    let cases: Vec<(Workload, u32, NodeSpec)> = vec![
+        (hep::build(60, 1), 4, hep::worker_spec(8)),
+        (drug::build(8, 2), 4, drug::worker_spec()),
+        (genomic::build(6, 3), 4, genomic::worker_spec()),
+    ];
+    for (w, workers, spec) in cases {
+        for strategy in strategies(&w) {
+            let name = format!("{} / {}", w.name, strategy.name());
+            let cfg = MasterConfig::new(strategy);
+            let report = run_workload(&cfg, w.tasks.clone(), workers, spec);
+            assert_eq!(report.abandoned_tasks, 0, "{name}");
+            let ok = report.results.iter().filter(|r| r.outcome.is_success()).count();
+            assert_eq!(ok, w.tasks.len(), "{name}");
+            // Makespan is at least the critical path of one chain.
+            assert!(report.makespan_secs > 0.0, "{name}");
+        }
+    }
+}
+
+#[test]
+fn oracle_is_never_worse_than_unmanaged_at_scale() {
+    // With enough tasks to saturate the pool, function-level management
+    // must beat whole-node allocation on every application.
+    let cases: Vec<(Workload, u32, NodeSpec)> = vec![
+        (hep::build(120, 4), 4, hep::worker_spec(8)),
+        (drug::build(40, 5), 6, drug::worker_spec()),
+        (genomic::build(24, 6), 6, genomic::worker_spec()),
+    ];
+    for (w, workers, spec) in cases {
+        let o = run_workload(&MasterConfig::new(w.oracle_strategy()), w.tasks.clone(), workers, spec);
+        let u = run_workload(&MasterConfig::new(Strategy::Unmanaged), w.tasks.clone(), workers, spec);
+        assert!(
+            o.makespan_secs < u.makespan_secs,
+            "{}: oracle {} vs unmanaged {}",
+            w.name,
+            o.makespan_secs,
+            u.makespan_secs
+        );
+    }
+}
+
+#[test]
+fn unmanaged_never_retries_and_wastes_cores() {
+    let w = hep::build(80, 7);
+    let report =
+        run_workload(&MasterConfig::new(Strategy::Unmanaged), w.tasks.clone(), 4, hep::worker_spec(8));
+    assert_eq!(report.retried_tasks, 0);
+    // 1-core tasks on 8-core exclusive workers: ≤ 1/8 of allocation used.
+    assert!(report.core_efficiency() < 0.2, "efficiency {}", report.core_efficiency());
+}
+
+#[test]
+fn auto_allocations_converge_to_true_peaks() {
+    let w = hep::build(150, 8);
+    let report = run_workload(
+        &MasterConfig::new(Strategy::Auto(AutoConfig::default())),
+        w.tasks.clone(),
+        4,
+        hep::worker_spec(8),
+    );
+    // Late first attempts of the dominant category should be sized (not
+    // whole-worker): find hep_process attempts started in the last quarter.
+    let spec = hep::worker_spec(8).resources;
+    let mut late_sized = 0;
+    let mut late_total = 0;
+    let horizon = report.makespan_secs * 0.75;
+    for r in &report.results {
+        if r.category == "hep_process" && r.attempt == 0 && r.started_at.as_secs() > horizon {
+            late_total += 1;
+            if r.allocated != spec {
+                late_sized += 1;
+                // The learned label is between the true usage and the node.
+                assert!(r.allocated.memory_mb >= 40, "label {}", r.allocated);
+                assert!(r.allocated.memory_mb <= spec.memory_mb / 4, "label {}", r.allocated);
+            }
+        }
+    }
+    assert!(late_total > 0, "no late tasks to check");
+    assert!(
+        late_sized as f64 >= 0.9 * late_total as f64,
+        "late tasks still unlabeled: {late_sized}/{late_total}"
+    );
+}
+
+#[test]
+fn results_are_reproducible_across_runs() {
+    let w = genomic::build(8, 9);
+    let run = || {
+        let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default())).with_seed(77);
+        run_workload(&cfg, w.tasks.clone(), 4, genomic::worker_spec())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.makespan_secs, b.makespan_secs);
+    assert_eq!(a.retried_tasks, b.retried_tasks);
+    assert_eq!(a.results.len(), b.results.len());
+}
