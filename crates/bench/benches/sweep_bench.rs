@@ -1,0 +1,47 @@
+//! Serial vs. parallel sweep execution over a Figure-6-sized HEP grid.
+//!
+//! On a multi-core machine the `parallel` rows should approach
+//! `serial / min(cores, 16)`; on one core they match, since `par_map`
+//! degrades to the serial loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lfm_core::experiments::sweep::{point_jobs, run_job, run_jobs, standard_strategies, SweepJob};
+use lfm_core::workloads::hep;
+
+/// A 4-point × 4-strategy HEP grid, the acceptance-benchmark shape.
+fn build_jobs() -> Vec<SweepJob> {
+    let (workers, cores, seed) = (6u32, 8u32, 2021u64);
+    let mut jobs = Vec::new();
+    for &n in &[40u64, 50, 60, 70] {
+        let w = hep::build(n, seed ^ n);
+        let strategies = standard_strategies(&w);
+        jobs.extend(point_jobs(
+            n,
+            &w,
+            &strategies,
+            &|s| hep::master_config(s, seed),
+            workers,
+            hep::worker_spec(cores),
+        ));
+    }
+    jobs
+}
+
+fn sweep_bench(c: &mut Criterion) {
+    let jobs = build_jobs();
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(jobs.len() as u64));
+    group.bench_with_input(BenchmarkId::new("serial", "4x4"), &jobs, |b, jobs| {
+        b.iter(|| {
+            jobs.clone().into_iter().map(run_job).collect::<Vec<_>>()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("parallel", "4x4"), &jobs, |b, jobs| {
+        b.iter(|| run_jobs(jobs.clone()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sweep_bench);
+criterion_main!(benches);

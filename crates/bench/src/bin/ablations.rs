@@ -5,9 +5,15 @@
 //! 3. Auto `min_samples` — measurement cost vs. label quality;
 //! 4. worker file cache on/off (direct vs. packed distribution) and where
 //!    the pack/unpack crossover falls as node count grows.
+//!
+//! Every parameter fan-out runs through the parallel engine
+//! ([`lfm_core::parallel::par_map`]): each cell is an independent seeded
+//! simulation, so the table contents are identical to the serial loops this
+//! replaced while the wall clock scales with the core count.
 
 use lfm_core::experiments::fig5::{self, Method};
 use lfm_core::monitor::sim::SimMonitor;
+use lfm_core::parallel::par_map;
 use lfm_core::render::{fmt_secs, render_table};
 use lfm_core::workloads::{genomic, hep};
 use lfm_core::workqueue::allocate::{AutoConfig, Strategy};
@@ -27,13 +33,12 @@ fn schedule_policies() {
     use lfm_core::workqueue::master::SchedulePolicy;
     println!("\nAblation 5 — placement policy (drug screening, Oracle)\n");
     let w = drug::build(40, 23);
-    let rows: Vec<Vec<String>> = [
+    let policies = vec![
         SchedulePolicy::Fifo,
         SchedulePolicy::LargestFirst,
         SchedulePolicy::SmallestFirst,
-    ]
-    .iter()
-    .map(|&policy| {
+    ];
+    let rows = par_map(policies, |policy| {
         let cfg = MasterConfig::new(w.oracle_strategy()).with_policy(policy).with_seed(23);
         let rep = run_workload(&cfg, w.tasks.clone(), 6, drug::worker_spec());
         vec![
@@ -41,8 +46,7 @@ fn schedule_policies() {
             fmt_secs(rep.makespan_secs),
             format!("{:.1}%", rep.core_efficiency() * 100.0),
         ]
-    })
-    .collect();
+    });
     print!("{}", render_table(&["policy", "makespan", "core efficiency"], &rows));
 }
 
@@ -58,26 +62,23 @@ fn poll_interval() {
         8 * 1024,
         5 * 1024,
     ));
-    let rows: Vec<Vec<String>> = [0.25, 1.0, 5.0, 20.0]
-        .iter()
-        .map(|&interval| {
-            let cfg = MasterConfig::new(tight.clone())
-                .with_monitor(SimMonitor { poll_interval: interval, per_poll_cost: 0.5e-3 })
-                .with_seed(11);
-            let rep = run_workload(&cfg, w.tasks.clone(), 10, genomic::worker_spec());
-            let overhead: f64 = rep
-                .results
-                .iter()
-                .map(|r| r.outcome.report().monitor_overhead_secs)
-                .sum();
-            vec![
-                format!("{interval} s"),
-                fmt_secs(rep.makespan_secs),
-                format!("{:.1}%", rep.retry_fraction() * 100.0),
-                fmt_secs(overhead),
-            ]
-        })
-        .collect();
+    let rows = par_map(vec![0.25, 1.0, 5.0, 20.0], |interval| {
+        let cfg = MasterConfig::new(tight.clone())
+            .with_monitor(SimMonitor { poll_interval: interval, per_poll_cost: 0.5e-3 })
+            .with_seed(11);
+        let rep = run_workload(&cfg, w.tasks.clone(), 10, genomic::worker_spec());
+        let overhead: f64 = rep
+            .results
+            .iter()
+            .map(|r| r.outcome.report().monitor_overhead_secs)
+            .sum();
+        vec![
+            format!("{interval} s"),
+            fmt_secs(rep.makespan_secs),
+            format!("{:.1}%", rep.retry_fraction() * 100.0),
+            fmt_secs(overhead),
+        ]
+    });
     print!(
         "{}",
         render_table(&["poll interval", "makespan", "retries", "total monitor cpu"], &rows)
@@ -90,24 +91,21 @@ fn poll_interval() {
 fn headroom() {
     println!("Ablation 2 — Auto label headroom (HEP)\n");
     let w = hep::build(200, 13);
-    let rows: Vec<Vec<String>> = [1.0, 1.1, 1.25, 1.5, 2.0]
-        .iter()
-        .map(|&headroom| {
-            let cfg = MasterConfig::new(Strategy::Auto(AutoConfig {
-                min_samples: 4,
-                headroom,
-                slow_start_until: 16,
-            }))
-            .with_seed(13);
-            let rep = run_workload(&cfg, w.tasks.clone(), 6, hep::worker_spec(8));
-            vec![
-                format!("{headroom:.2}"),
-                fmt_secs(rep.makespan_secs),
-                format!("{:.1}%", rep.retry_fraction() * 100.0),
-                format!("{:.1}%", rep.core_efficiency() * 100.0),
-            ]
-        })
-        .collect();
+    let rows = par_map(vec![1.0, 1.1, 1.25, 1.5, 2.0], |headroom| {
+        let cfg = MasterConfig::new(Strategy::Auto(AutoConfig {
+            min_samples: 4,
+            headroom,
+            slow_start_until: 16,
+        }))
+        .with_seed(13);
+        let rep = run_workload(&cfg, w.tasks.clone(), 6, hep::worker_spec(8));
+        vec![
+            format!("{headroom:.2}"),
+            fmt_secs(rep.makespan_secs),
+            format!("{:.1}%", rep.retry_fraction() * 100.0),
+            format!("{:.1}%", rep.core_efficiency() * 100.0),
+        ]
+    });
     print!(
         "{}",
         render_table(&["headroom", "makespan", "retries", "core efficiency"], &rows)
@@ -119,23 +117,20 @@ fn headroom() {
 fn min_samples() {
     println!("Ablation 3 — Auto min_samples (HEP)\n");
     let w = hep::build(200, 17);
-    let rows: Vec<Vec<String>> = [1usize, 2, 4, 8, 16]
-        .iter()
-        .map(|&min_samples| {
-            let cfg = MasterConfig::new(Strategy::Auto(AutoConfig {
-                min_samples,
-                headroom: 1.25,
-                slow_start_until: 16,
-            }))
-            .with_seed(17);
-            let rep = run_workload(&cfg, w.tasks.clone(), 6, hep::worker_spec(8));
-            vec![
-                min_samples.to_string(),
-                fmt_secs(rep.makespan_secs),
-                format!("{:.1}%", rep.retry_fraction() * 100.0),
-            ]
-        })
-        .collect();
+    let rows = par_map(vec![1usize, 2, 4, 8, 16], |min_samples| {
+        let cfg = MasterConfig::new(Strategy::Auto(AutoConfig {
+            min_samples,
+            headroom: 1.25,
+            slow_start_until: 16,
+        }))
+        .with_seed(17);
+        let rep = run_workload(&cfg, w.tasks.clone(), 6, hep::worker_spec(8));
+        vec![
+            min_samples.to_string(),
+            fmt_secs(rep.makespan_secs),
+            format!("{:.1}%", rep.retry_fraction() * 100.0),
+        ]
+    });
     print!("{}", render_table(&["min samples", "makespan", "retries"], &rows));
     println!();
 }
@@ -146,19 +141,16 @@ fn min_samples() {
 fn cache_and_crossover() {
     println!("Ablation 4 — distribution mode (HEP, Oracle strategy)\n");
     let w = hep::build(120, 19);
-    let rows: Vec<Vec<String>> = [DistMode::PackedTransfer, DistMode::SharedFsDirect]
-        .iter()
-        .map(|&mode| {
-            let cfg = MasterConfig::new(w.oracle_strategy()).with_dist_mode(mode).with_seed(19);
-            let rep = run_workload(&cfg, w.tasks.clone(), 6, hep::worker_spec(8));
-            vec![
-                format!("{mode:?}"),
-                fmt_secs(rep.makespan_secs),
-                rep.cache_hits.to_string(),
-                rep.fs_md_ops.to_string(),
-            ]
-        })
-        .collect();
+    let rows = par_map(vec![DistMode::PackedTransfer, DistMode::SharedFsDirect], |mode| {
+        let cfg = MasterConfig::new(w.oracle_strategy()).with_dist_mode(mode).with_seed(19);
+        let rep = run_workload(&cfg, w.tasks.clone(), 6, hep::worker_spec(8));
+        vec![
+            format!("{mode:?}"),
+            fmt_secs(rep.makespan_secs),
+            rep.cache_hits.to_string(),
+            rep.fs_md_ops.to_string(),
+        ]
+    });
     print!(
         "{}",
         render_table(&["mode", "makespan", "cache hits", "shared-FS md ops"], &rows)

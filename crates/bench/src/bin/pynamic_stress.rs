@@ -7,12 +7,14 @@ use lfm_core::pyenv::analyze::analyze_source;
 use lfm_core::pyenv::interp::Interp;
 use lfm_core::pyenv::lexer::Lexer;
 use lfm_core::pyenv::parser::parse_module;
+use lfm_core::parallel::par_map;
 use lfm_core::pyenv::source::synthetic_module;
 use lfm_core::render::render_table;
 use std::time::Instant;
 
 fn time_it(mut f: impl FnMut()) -> f64 {
-    // Best of 3 to shave scheduler noise.
+    // Best of 3 to shave scheduler noise — with the shapes fanned across
+    // cores, taking the minimum also absorbs cross-shape interference.
     (0..3)
         .map(|_| {
             let t = Instant::now();
@@ -24,10 +26,8 @@ fn time_it(mut f: impl FnMut()) -> f64 {
 
 fn main() {
     println!("Pynamic-style front-end stress (real measurements)\n");
-    let shapes = [(8, 4, 4), (32, 16, 8), (128, 64, 12), (512, 256, 16)];
-    let rows: Vec<Vec<String>> = shapes
-        .iter()
-        .map(|&(imports, functions, stmts)| {
+    let shapes = vec![(8, 4, 4), (32, 16, 8), (128, 64, 12), (512, 256, 16)];
+    let rows: Vec<Vec<String>> = par_map(shapes, |(imports, functions, stmts)| {
             let src = synthetic_module(imports, functions, stmts);
             let kb = src.len() as f64 / 1024.0;
             let lex = time_it(|| {
@@ -63,8 +63,7 @@ fn main() {
                 format!("{:.2} ms", analyze * 1e3),
                 format!("{:.2} ms", load * 1e3),
             ]
-        })
-        .collect();
+        });
     print!(
         "{}",
         render_table(&["module", "size", "lex", "parse", "analyze", "interp load"], &rows)

@@ -11,7 +11,7 @@
 
 use lfm_pyenv::index::PackageIndex;
 use lfm_pyenv::requirements::{Requirement, RequirementSet};
-use lfm_pyenv::resolve::resolve;
+use lfm_pyenv::resolve::resolve_cached;
 use lfm_simcluster::sharedfs::SharedFs;
 use lfm_simcluster::sites::theta;
 use serde::{Deserialize, Serialize};
@@ -50,7 +50,8 @@ pub fn import_footprint(index: &PackageIndex, module: &str) -> (u64, u64) {
     let closure = |name: &str| {
         let mut reqs = RequirementSet::new();
         reqs.add(Requirement::any(name));
-        let r = resolve(index, &reqs).expect("figure-4 modules resolve");
+        // Cached: the "python" closure is re-requested for every module.
+        let r = resolve_cached(index, &reqs).expect("figure-4 modules resolve");
         (
             r.total_files(index).expect("closure exists"),
             r.total_bytes(index).expect("closure exists"),

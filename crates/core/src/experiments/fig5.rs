@@ -7,13 +7,14 @@
 
 use lfm_pyenv::environment::Environment;
 use lfm_pyenv::index::PackageIndex;
-use lfm_pyenv::pack::PackedEnv;
+use lfm_pyenv::pack::{pack_cached, PackedEnv};
 use lfm_pyenv::requirements::{Requirement, RequirementSet};
-use lfm_pyenv::resolve::resolve;
+use lfm_pyenv::resolve::resolve_cached;
 use lfm_simcluster::sharedfs::SharedFs;
 use lfm_simcluster::sites::{cori, nd_crc, theta, Site};
 use lfm_simcluster::storage::LocalDisk;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Distribution method measured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,17 +49,19 @@ pub struct DistPoint {
 /// Node counts swept.
 pub const NODE_COUNTS: &[u32] = &[1, 4, 16, 64, 128, 256, 512];
 
-/// The TensorFlow environment used throughout Figure 5.
-fn tf_env() -> (PackedEnv, u64, u64) {
+/// The TensorFlow environment used throughout Figure 5. Resolve and pack go
+/// through the process-wide caches: the 42-cell grid in [`run`] re-requests
+/// this environment per cell, but only the first call does real work.
+fn tf_env() -> (Arc<PackedEnv>, u64, u64) {
     let index = PackageIndex::builtin();
     let mut reqs = RequirementSet::new();
     reqs.add(Requirement::any("tensorflow"));
-    let resolution = resolve(&index, &reqs).expect("tensorflow resolves");
+    let resolution = resolve_cached(&index, &reqs).expect("tensorflow resolves");
     let env = Environment::from_resolution("tf", "/envs/tf", &index, &resolution)
         .expect("tf env builds");
     let files = env.total_files();
     let bytes = env.total_bytes();
-    (PackedEnv::pack(&env), files, bytes)
+    (pack_cached(&env), files, bytes)
 }
 
 /// Per-node cost at a given scale for one method at one site.

@@ -2,16 +2,16 @@
 //! count, worker count, and worker size (2/4/8-core workers with 1 GB
 //! memory + 2 GB disk per core).
 
-use crate::experiments::sweep::{run_point, standard_strategies, SweepPoint};
+use crate::experiments::sweep::{point_jobs, run_jobs, standard_strategies, SweepPoint};
 use lfm_workloads::hep;
 
 /// Vary the number of analysis tasks on a fixed pool.
 pub fn by_tasks(task_counts: &[u64], workers: u32, worker_cores: u32, seed: u64) -> Vec<SweepPoint> {
-    let mut out = Vec::new();
+    let mut jobs = Vec::new();
     for &n in task_counts {
         let w = hep::build(n, seed ^ n);
         let strategies = standard_strategies(&w);
-        out.extend(run_point(
+        jobs.extend(point_jobs(
             n,
             &w,
             &strategies,
@@ -20,7 +20,7 @@ pub fn by_tasks(task_counts: &[u64], workers: u32, worker_cores: u32, seed: u64)
             hep::worker_spec(worker_cores),
         ));
     }
-    out
+    run_jobs(jobs)
 }
 
 /// Vary the worker count with workload proportional to workers.
@@ -30,12 +30,12 @@ pub fn by_workers(
     worker_cores: u32,
     seed: u64,
 ) -> Vec<SweepPoint> {
-    let mut out = Vec::new();
+    let mut jobs = Vec::new();
     for &workers in worker_counts {
         let n = tasks_per_worker * workers as u64 * worker_cores as u64;
         let w = hep::build(n, seed ^ n);
         let strategies = standard_strategies(&w);
-        out.extend(run_point(
+        jobs.extend(point_jobs(
             workers as u64,
             &w,
             &strategies,
@@ -44,16 +44,16 @@ pub fn by_workers(
             hep::worker_spec(worker_cores),
         ));
     }
-    out
+    run_jobs(jobs)
 }
 
 /// Vary the worker size (2/4/8 cores) at fixed tasks and workers.
 pub fn by_worker_size(tasks: u64, workers: u32, seed: u64) -> Vec<SweepPoint> {
-    let mut out = Vec::new();
+    let mut jobs = Vec::new();
     for cores in [2u32, 4, 8] {
         let w = hep::build(tasks, seed ^ cores as u64);
         let strategies = standard_strategies(&w);
-        out.extend(run_point(
+        jobs.extend(point_jobs(
             cores as u64,
             &w,
             &strategies,
@@ -62,7 +62,7 @@ pub fn by_worker_size(tasks: u64, workers: u32, seed: u64) -> Vec<SweepPoint> {
             hep::worker_spec(cores),
         ));
     }
-    out
+    run_jobs(jobs)
 }
 
 #[cfg(test)]

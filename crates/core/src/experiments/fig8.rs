@@ -4,16 +4,16 @@
 //! hand-configured Oracle because VEP's usage depends on the variant count
 //! — an artifact this reproduction preserves.
 
-use crate::experiments::sweep::{run_point, standard_strategies, SweepPoint};
+use crate::experiments::sweep::{point_jobs, run_jobs, standard_strategies, SweepPoint};
 use lfm_workloads::genomic;
 
 /// Left panel: vary genome count on 14 workers.
 pub fn by_genomes(genome_counts: &[u64], seed: u64) -> Vec<SweepPoint> {
-    let mut out = Vec::new();
+    let mut jobs = Vec::new();
     for &n in genome_counts {
         let w = genomic::build(n, seed ^ n);
         let strategies = standard_strategies(&w);
-        out.extend(run_point(
+        jobs.extend(point_jobs(
             n,
             &w,
             &strategies,
@@ -22,16 +22,16 @@ pub fn by_genomes(genome_counts: &[u64], seed: u64) -> Vec<SweepPoint> {
             genomic::worker_spec(),
         ));
     }
-    out
+    run_jobs(jobs)
 }
 
 /// Right panel: one genome per worker, 1→16 workers.
 pub fn by_workers(worker_counts: &[u32], seed: u64) -> Vec<SweepPoint> {
-    let mut out = Vec::new();
+    let mut jobs = Vec::new();
     for &workers in worker_counts {
         let w = genomic::build(workers as u64, seed ^ workers as u64);
         let strategies = standard_strategies(&w);
-        out.extend(run_point(
+        jobs.extend(point_jobs(
             workers as u64,
             &w,
             &strategies,
@@ -40,7 +40,7 @@ pub fn by_workers(worker_counts: &[u32], seed: u64) -> Vec<SweepPoint> {
             genomic::worker_spec(),
         ));
     }
-    out
+    run_jobs(jobs)
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 //! vs. non-LFM containers (Unmanaged), varying tasks and workers.
 
 use crate::experiments::sweep::SweepPoint;
+use crate::parallel::run_sweep_parallel;
 use lfm_funcx::container::ActivationTech;
 use lfm_funcx::registry::FunctionRegistry;
 use lfm_funcx::service::{Endpoint, ExecutionMode, FuncXService};
@@ -17,55 +18,70 @@ fn modes() -> Vec<(&'static str, ExecutionMode)> {
     ]
 }
 
-fn run_batch(n_tasks: u64, workers: u32, seed: u64) -> Vec<SweepPoint> {
+/// One (batch-size, mode) cell of the Figure 9 grid. The service, registry,
+/// and endpoint are rebuilt inside the job so each simulation is fully
+/// self-contained and can run on any thread.
+struct BatchJob {
+    x: u64,
+    name: &'static str,
+    mode: ExecutionMode,
+    n_tasks: u64,
+    workers: u32,
+    seed: u64,
+}
+
+fn run_batch_job(job: BatchJob) -> SweepPoint {
     let svc = FuncXService::new();
     let mut reg = FunctionRegistry::new();
     let id = reg.register("classify_image", faas::source()).expect("source registers");
-    let ep = Endpoint::new("hpc-endpoint", faas::worker_spec(), workers);
+    let ep = Endpoint::new("hpc-endpoint", faas::worker_spec(), job.workers);
+    let report = svc
+        .run_batch(
+            &reg,
+            id,
+            job.n_tasks,
+            &ep,
+            &job.mode,
+            faas::resnet_profile(),
+            faas::image_bytes(),
+            job.seed,
+        )
+        .expect("funcx batch runs");
+    assert_eq!(report.abandoned_tasks, 0, "{}", job.name);
+    SweepPoint {
+        x: job.x,
+        strategy: job.name.to_string(),
+        makespan_secs: report.makespan_secs,
+        retry_fraction: report.retry_fraction(),
+        core_efficiency: report.core_efficiency(),
+    }
+}
+
+fn batch_jobs(x: u64, n_tasks: u64, workers: u32, seed: u64) -> Vec<BatchJob> {
     modes()
         .into_iter()
-        .map(|(name, mode)| {
-            let report = svc
-                .run_batch(
-                    &reg,
-                    id,
-                    n_tasks,
-                    &ep,
-                    &mode,
-                    faas::resnet_profile(),
-                    faas::image_bytes(),
-                    seed,
-                )
-                .expect("funcx batch runs");
-            assert_eq!(report.abandoned_tasks, 0, "{name}");
-            SweepPoint {
-                x: n_tasks,
-                strategy: name.to_string(),
-                makespan_secs: report.makespan_secs,
-                retry_fraction: report.retry_fraction(),
-                core_efficiency: report.core_efficiency(),
-            }
-        })
+        .map(|(name, mode)| BatchJob { x, name, mode, n_tasks, workers, seed })
         .collect()
 }
 
 /// Left panel: vary task count on a fixed pool.
 pub fn by_tasks(task_counts: &[u64], workers: u32, seed: u64) -> Vec<SweepPoint> {
-    task_counts.iter().flat_map(|&n| run_batch(n, workers, seed ^ n)).collect()
+    let jobs: Vec<BatchJob> = task_counts
+        .iter()
+        .flat_map(|&n| batch_jobs(n, n, workers, seed ^ n))
+        .collect();
+    run_sweep_parallel(jobs, |job| vec![run_batch_job(job)])
 }
 
 /// Right panel: vary workers with tasks proportional to workers.
 pub fn by_workers(worker_counts: &[u32], tasks_per_worker: u64, seed: u64) -> Vec<SweepPoint> {
-    worker_counts
+    let jobs: Vec<BatchJob> = worker_counts
         .iter()
         .flat_map(|&w| {
-            let mut points = run_batch(tasks_per_worker * w as u64, w, seed ^ w as u64);
-            for p in &mut points {
-                p.x = w as u64;
-            }
-            points
+            batch_jobs(w as u64, tasks_per_worker * w as u64, w, seed ^ w as u64)
         })
-        .collect()
+        .collect();
+    run_sweep_parallel(jobs, |job| vec![run_batch_job(job)])
 }
 
 #[cfg(test)]

@@ -1,10 +1,18 @@
 //! Shared machinery for the Figure 6–9 strategy sweeps.
+//!
+//! A sweep decomposes into independent [`SweepJob`]s — one per
+//! (x-value, strategy) pair — each carrying everything its simulation needs.
+//! [`run_jobs`] fans them across cores via [`crate::parallel`]; because every
+//! job is seeded and self-contained, the output is byte-identical to the
+//! serial [`run_point`] loop it generalizes.
 
 use lfm_simcluster::node::NodeSpec;
 use lfm_workloads::common::Workload;
 use lfm_workqueue::allocate::Strategy;
 use lfm_workqueue::master::{run_workload, MasterConfig};
+use lfm_workqueue::task::TaskSpec;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One plotted point: x-value (tasks or workers), strategy, completion time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -27,7 +35,68 @@ pub fn standard_strategies(w: &Workload) -> Vec<Strategy> {
     ]
 }
 
-/// Run every strategy over one workload instance.
+/// One self-contained simulation: a single (x-value, strategy) cell of a
+/// sweep grid. Tasks are shared via `Arc` so the four strategies of a grid
+/// point don't quadruple the workload's memory footprint.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    pub x: u64,
+    pub strategy: Strategy,
+    pub tasks: Arc<Vec<TaskSpec>>,
+    pub config: MasterConfig,
+    pub workers: u32,
+    pub spec: NodeSpec,
+}
+
+/// Decompose one grid point (one workload, all strategies) into jobs.
+pub fn point_jobs(
+    x: u64,
+    workload: &Workload,
+    strategies: &[Strategy],
+    config_for: &dyn Fn(Strategy) -> MasterConfig,
+    workers: u32,
+    spec: NodeSpec,
+) -> Vec<SweepJob> {
+    let tasks = Arc::new(workload.tasks.clone());
+    strategies
+        .iter()
+        .map(|s| SweepJob {
+            x,
+            strategy: s.clone(),
+            tasks: Arc::clone(&tasks),
+            config: config_for(s.clone()),
+            workers,
+            spec,
+        })
+        .collect()
+}
+
+/// Execute one job. Panics if the simulated workload fails to complete,
+/// exactly as the serial runners always have.
+pub fn run_job(job: SweepJob) -> SweepPoint {
+    let report = run_workload(&job.config, job.tasks.as_ref().clone(), job.workers, job.spec);
+    assert_eq!(
+        report.abandoned_tasks, 0,
+        "{}: workload must complete (x={})",
+        job.strategy.name(),
+        job.x
+    );
+    SweepPoint {
+        x: job.x,
+        strategy: job.strategy.name().to_string(),
+        makespan_secs: report.makespan_secs,
+        retry_fraction: report.retry_fraction(),
+        core_efficiency: report.core_efficiency(),
+    }
+}
+
+/// Run a batch of jobs across all available cores, output in job order.
+pub fn run_jobs(jobs: Vec<SweepJob>) -> Vec<SweepPoint> {
+    crate::parallel::run_sweep_parallel(jobs, |job| vec![run_job(job)])
+}
+
+/// Run every strategy over one workload instance, serially. Kept as the
+/// reference implementation the parallel engine is tested against.
 pub fn run_point(
     x: u64,
     workload: &Workload,
@@ -36,24 +105,9 @@ pub fn run_point(
     workers: u32,
     spec: NodeSpec,
 ) -> Vec<SweepPoint> {
-    strategies
-        .iter()
-        .map(|s| {
-            let cfg = config_for(s.clone());
-            let report = run_workload(&cfg, workload.tasks.clone(), workers, spec);
-            assert_eq!(
-                report.abandoned_tasks, 0,
-                "{}: workload must complete (x={x})",
-                s.name()
-            );
-            SweepPoint {
-                x,
-                strategy: s.name().to_string(),
-                makespan_secs: report.makespan_secs,
-                retry_fraction: report.retry_fraction(),
-                core_efficiency: report.core_efficiency(),
-            }
-        })
+    point_jobs(x, workload, strategies, config_for, workers, spec)
+        .into_iter()
+        .map(run_job)
         .collect()
 }
 

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod experiments;
+pub mod parallel;
 pub mod planner;
 pub mod render;
 

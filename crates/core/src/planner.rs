@@ -16,6 +16,11 @@ pub struct PlanEstimate {
     pub total_secs: f64,
 }
 
+/// Fraction of an environment's installed bytes actually read by `import`:
+/// Python lazy-loads most submodules, so an import touches every file's
+/// metadata but streams only a slice of the payload.
+const IMPORT_READ_FRACTION: f64 = 0.15;
+
 /// Estimate total environment-loading cost for both methods and pick the
 /// cheaper. `tasks_per_worker` matters because direct access pays per task
 /// while packed transfer pays once per worker.
@@ -28,20 +33,22 @@ pub fn plan(
     tasks_per_worker: u64,
 ) -> (DistMode, Vec<PlanEstimate>) {
     let n = workers as usize;
-    // Direct: every task on every worker re-imports.
+    let import_bytes = (env_bytes as f64 * IMPORT_READ_FRACTION) as u64;
+    // One estimator serves both estimates: its cost methods only record
+    // served traffic, so the two what-if queries don't perturb each other.
     let mut fs = SharedFs::new(site.fs);
-    let per_import = fs.import_cost(env_files, (env_bytes as f64 * 0.15) as u64, n);
+    // Direct: every task on every worker re-imports.
+    let per_import = fs.import_cost(env_files, import_bytes, n);
     let direct_total = per_import * workers as f64 * tasks_per_worker as f64;
     // Packed: one stream + unpack per worker, then local imports.
-    let mut fs2 = SharedFs::new(site.fs);
     let disk = LocalDisk::nvme(u64::MAX);
-    let stream = fs2.stream_cost(packed.archive_bytes(), n);
+    let stream = fs.stream_cost(packed.archive_bytes(), n);
     let unpack = disk.unpack_cost(
         packed.installed_bytes(),
         packed.file_count(),
         packed.relocation_ops("/scratch"),
     );
-    let local = disk.read_cost((env_bytes as f64 * 0.15) as u64, env_files);
+    let local = disk.read_cost(import_bytes, env_files);
     let packed_total =
         (stream + unpack) * workers as f64 + local * workers as f64 * tasks_per_worker as f64;
 

@@ -12,9 +12,9 @@ use crate::app::App;
 use lfm_pyenv::environment::Environment;
 use lfm_pyenv::error::Result as PyResult;
 use lfm_pyenv::index::PackageIndex;
-use lfm_pyenv::pack::PackedEnv;
+use lfm_pyenv::pack::pack_cached;
 use lfm_pyenv::requirements::RequirementSet;
-use lfm_pyenv::resolve::resolve;
+use lfm_pyenv::resolve::resolve_cached;
 use lfm_monitor::sim::SimTaskProfile;
 use lfm_workqueue::files::FileRef;
 use lfm_workqueue::task::{TaskId, TaskSpec};
@@ -84,14 +84,17 @@ impl WqWorkflowBuilder {
                 None => pinned.add(r.clone()),
             }
         }
-        let resolution = resolve(&self.index, &pinned)?;
+        // Resolve and pack through the process-wide caches: every sweep
+        // point rebuilds the same per-app environments, so only the first
+        // builder pays the solver and the packer.
+        let resolution = resolve_cached(&self.index, &pinned)?;
         let env = Environment::from_resolution(
             format!("{}-env", app.name),
             format!("/envs/{}", app.name),
             &self.index,
             &resolution,
         )?;
-        let packed = PackedEnv::pack(&env);
+        let packed = pack_cached(&env);
         let file = FileRef::environment(
             format!("{}-env.tar.gz", app.name),
             packed.archive_bytes(),

@@ -133,8 +133,26 @@ pub fn user_environment(index: &PackageIndex) -> Result<Environment> {
     .iter()
     .map(|s| Requirement::any(*s))
     .collect();
-    let resolution = crate::resolve::resolve(index, &everything)?;
+    let resolution = crate::resolve::resolve_cached(index, &everything)?;
     Environment::from_resolution("base", "/home/user/conda/envs/base", index, &resolution)
+}
+
+/// [`user_environment`] memoized per index fingerprint. Every experiment's
+/// workflow builder starts from this environment, so across a sweep the
+/// kitchen-sink resolve + materialization runs once instead of per point.
+pub fn user_environment_cached(index: &PackageIndex) -> Result<Environment> {
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+    use std::sync::{Arc, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<u64, Arc<Environment>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = index.fingerprint();
+    if let Some(env) = cache.lock().get(&key) {
+        return Ok((**env).clone());
+    }
+    let env = user_environment(index)?;
+    cache.lock().insert(key, Arc::new(env.clone()));
+    Ok(env)
 }
 
 #[cfg(test)]

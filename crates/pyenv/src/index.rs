@@ -93,6 +93,27 @@ impl PackageIndex {
     }
 
     /// Which distribution provides import name `module`?
+    /// A cheap content fingerprint over every release's identity and
+    /// dependency edges. Used as part of resolve-cache keys so a mutated
+    /// index (tests add releases with [`PackageIndex::add`]) never serves a
+    /// stale cached resolution.
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc = String::new();
+        for (name, releases) in &self.releases {
+            for r in releases {
+                acc.push_str(name);
+                acc.push('=');
+                acc.push_str(&r.version.to_string());
+                acc.push_str(&format!(";{}b{}f", r.size_bytes, r.file_count));
+                for (dep, req) in &r.deps {
+                    acc.push_str(&format!(",{dep}{req}"));
+                }
+                acc.push('\n');
+            }
+        }
+        crate::pack::fnv1a(acc.as_bytes())
+    }
+
     pub fn dist_for_module(&self, module: &str) -> Result<&str> {
         self.module_map
             .get(module)

@@ -13,8 +13,10 @@ use crate::error::{PyEnvError, Result};
 use crate::index::DistRelease;
 use crate::version::Version;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, OnceLock};
 
 const MAGIC: &[u8; 8] = b"LFMPACK1";
 
@@ -40,6 +42,75 @@ pub struct PackEntry {
     pub file_count: u32,
     pub has_native_libs: bool,
     pub modules: Vec<String>,
+}
+
+/// Shared, process-wide cache of packed environments.
+///
+/// Packing walks every release of an environment and re-encodes the
+/// manifest; the experiment stack packs the *same* environments (one per
+/// app name, one TensorFlow env for Figure 5) hundreds of times across a
+/// sweep. The cache keys on (name, prefix, pinned contents) so any change
+/// to what would be packed produces a distinct entry, and hands out `Arc`s
+/// so concurrent sweep jobs share one allocation.
+#[derive(Default)]
+pub struct PackCache {
+    entries: Mutex<HashMap<String, Arc<PackedEnv>>>,
+    hits: Mutex<u64>,
+}
+
+impl PackCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(env: &Environment) -> String {
+        let mut key = format!("{}\x1f{}\x1f", env.name, env.prefix);
+        for r in env.releases() {
+            key.push_str(&format!("{}={};", r.name, r.version));
+        }
+        key
+    }
+
+    /// Pack `env`, or return the previously packed archive for an identical
+    /// environment.
+    pub fn pack(&self, env: &Environment) -> Arc<PackedEnv> {
+        let key = Self::key(env);
+        if let Some(packed) = self.entries.lock().get(&key) {
+            *self.hits.lock() += 1;
+            return Arc::clone(packed);
+        }
+        let packed = Arc::new(PackedEnv::pack(env));
+        self.entries
+            .lock()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&packed))
+            .clone()
+    }
+
+    /// Number of times `pack` was served from the cache.
+    pub fn hits(&self) -> u64 {
+        *self.hits.lock()
+    }
+
+    /// Number of distinct packed environments held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+/// The process-wide pack cache used by the experiment stack.
+pub fn global_pack_cache() -> &'static PackCache {
+    static CACHE: OnceLock<PackCache> = OnceLock::new();
+    CACHE.get_or_init(PackCache::new)
+}
+
+/// [`PackedEnv::pack`] through the process-wide [`global_pack_cache`].
+pub fn pack_cached(env: &Environment) -> Arc<PackedEnv> {
+    global_pack_cache().pack(env)
 }
 
 impl PackedEnv {
@@ -300,6 +371,33 @@ mod tests {
             ["numpy", "coffea"].iter().map(|s| Requirement::any(*s)).collect();
         let r = resolve(&ix, &set).unwrap();
         Environment::from_resolution("hep", "/home/user/conda/envs/hep", &ix, &r).unwrap()
+    }
+
+    #[test]
+    fn pack_cache_shares_identical_envs() {
+        let env = sample_env();
+        let cache = PackCache::new();
+        let a = cache.pack(&env);
+        assert_eq!(cache.hits(), 0);
+        let b = cache.pack(&env);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(Arc::ptr_eq(&a, &b), "second pack must reuse the first archive");
+        assert_eq!(*a, PackedEnv::pack(&env));
+    }
+
+    #[test]
+    fn pack_cache_distinguishes_different_envs() {
+        let ix = PackageIndex::builtin();
+        let cache = PackCache::new();
+        let env = sample_env();
+        let set: RequirementSet = [Requirement::any("numpy")].into_iter().collect();
+        let r = resolve(&ix, &set).unwrap();
+        let other = Environment::from_resolution("np", "/envs/np", &ix, &r).unwrap();
+        let a = cache.pack(&env);
+        let b = cache.pack(&other);
+        assert_eq!(cache.len(), 2);
+        assert_ne!(*a, *b);
     }
 
     #[test]

@@ -8,8 +8,10 @@ use crate::error::{PyEnvError, Result};
 use crate::index::{DistRelease, PackageIndex};
 use crate::requirements::RequirementSet;
 use crate::version::{Version, VersionReq};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::OnceLock;
 
 /// The solved, pinned set of releases.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -63,6 +65,96 @@ pub struct SolveStats {
     pub candidates_tried: u64,
     /// Times the solver had to undo a pin.
     pub backtracks: u64,
+}
+
+/// Memoizes successful resolutions keyed by the canonical requirement set
+/// and a content fingerprint of the index, so repeated environment setup —
+/// every sweep point rebuilds the same kitchen-sink user environment and the
+/// same per-app environments — pays the backtracking solver exactly once.
+///
+/// Thread-safe: sweep jobs running on different cores share one cache.
+/// Errors are not cached (they are cheap to rediscover and carry no stats).
+#[derive(Default)]
+pub struct ResolveCache {
+    entries: Mutex<HashMap<(u64, String), (Resolution, SolveStats)>>,
+    counters: Mutex<ResolveCacheStats>,
+}
+
+/// Observability counters for a [`ResolveCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolveCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Candidates tried by *actual* solver runs through this cache — does
+    /// not grow on a hit, which is what the cache-effectiveness tests pin.
+    pub solver_candidates_tried: u64,
+}
+
+impl ResolveCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Canonical cache key: index fingerprint + sorted requirement lines
+    /// (so `[a, b]` and `[b, a]` share an entry, matching the solver's
+    /// order-independence).
+    fn key(index: &PackageIndex, reqs: &RequirementSet) -> (u64, String) {
+        let mut lines: Vec<String> = reqs.iter().map(|r| r.to_string()).collect();
+        lines.sort();
+        (index.fingerprint(), lines.join("\n"))
+    }
+
+    /// Cached [`resolve_with_stats`]. On a hit, returns the stats recorded
+    /// when the entry was first solved without re-running the solver.
+    pub fn resolve_with_stats(
+        &self,
+        index: &PackageIndex,
+        reqs: &RequirementSet,
+    ) -> Result<(Resolution, SolveStats)> {
+        let key = Self::key(index, reqs);
+        if let Some(entry) = self.entries.lock().get(&key) {
+            self.counters.lock().hits += 1;
+            return Ok(entry.clone());
+        }
+        let solved = resolve_with_stats(index, reqs)?;
+        {
+            let mut c = self.counters.lock();
+            c.misses += 1;
+            c.solver_candidates_tried += solved.1.candidates_tried;
+        }
+        self.entries.lock().insert(key, solved.clone());
+        Ok(solved)
+    }
+
+    /// Cached [`resolve`].
+    pub fn resolve(&self, index: &PackageIndex, reqs: &RequirementSet) -> Result<Resolution> {
+        self.resolve_with_stats(index, reqs).map(|(r, _)| r)
+    }
+
+    pub fn stats(&self) -> ResolveCacheStats {
+        *self.counters.lock()
+    }
+
+    /// Number of distinct resolutions held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+/// The process-wide cache used by the experiment stack's hot setup paths.
+pub fn global_cache() -> &'static ResolveCache {
+    static CACHE: OnceLock<ResolveCache> = OnceLock::new();
+    CACHE.get_or_init(ResolveCache::new)
+}
+
+/// [`resolve`] through the process-wide [`global_cache`]. Safe for mutated
+/// indexes: the index fingerprint is part of the cache key.
+pub fn resolve_cached(index: &PackageIndex, reqs: &RequirementSet) -> Result<Resolution> {
+    global_cache().resolve(index, reqs)
 }
 
 /// Resolve `reqs` against `index`.
@@ -296,6 +388,73 @@ mod tests {
         let ix = PackageIndex::builtin();
         let r = resolve(&ix, &RequirementSet::new()).unwrap();
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn cache_hit_returns_same_resolution_without_solving() {
+        let ix = PackageIndex::builtin();
+        let cache = ResolveCache::new();
+        let set = reqs(&["tensorflow", "coffea"]);
+        let (first, first_stats) = cache.resolve_with_stats(&ix, &set).unwrap();
+        let after_miss = cache.stats();
+        assert_eq!(after_miss.misses, 1);
+        assert_eq!(after_miss.hits, 0);
+        assert_eq!(after_miss.solver_candidates_tried, first_stats.candidates_tried);
+        assert!(after_miss.solver_candidates_tried > 0);
+
+        let (second, second_stats) = cache.resolve_with_stats(&ix, &set).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first_stats, second_stats);
+        let after_hit = cache.stats();
+        assert_eq!(after_hit.hits, 1);
+        assert_eq!(after_hit.misses, 1);
+        // The hit did zero additional solver work.
+        assert_eq!(after_hit.solver_candidates_tried, after_miss.solver_candidates_tried);
+    }
+
+    #[test]
+    fn cache_key_is_order_independent() {
+        let ix = PackageIndex::builtin();
+        let cache = ResolveCache::new();
+        let a = cache.resolve(&ix, &reqs(&["coffea", "tensorflow"])).unwrap();
+        let b = cache.resolve(&ix, &reqs(&["tensorflow", "coffea"])).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_distinguishes_mutated_index() {
+        // Same requirement lines, different index contents: the fingerprint
+        // in the key must force a fresh solve, not serve the stale pin.
+        let ix = PackageIndex::builtin();
+        let cache = ResolveCache::new();
+        let set = reqs(&["mxnet", "legacy-tool"]);
+        assert!(cache.resolve(&ix, &set).is_err(), "legacy-tool unknown in builtin");
+
+        let mut ix2 = PackageIndex::builtin();
+        ix2.add(DistRelease {
+            name: "legacy-tool".into(),
+            version: "1.0.0".parse().unwrap(),
+            size_bytes: 1,
+            file_count: 1,
+            deps: vec![("numpy".into(), "<1.18".parse().unwrap())],
+            modules: vec!["legacy_tool".into()],
+            has_native_libs: false,
+        });
+        let r = cache.resolve(&ix2, &set).unwrap();
+        assert_eq!(r.version_of("numpy").unwrap(), "1.17.4".parse().unwrap());
+        // And the mutated-index entry is itself cached.
+        cache.resolve(&ix2, &set).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn global_cache_resolves_like_direct() {
+        let ix = PackageIndex::builtin();
+        let direct = resolve(&ix, &reqs(&["numpy"])).unwrap();
+        let cached = resolve_cached(&ix, &reqs(&["numpy"])).unwrap();
+        assert_eq!(direct, cached);
     }
 
     #[test]

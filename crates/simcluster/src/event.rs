@@ -54,8 +54,15 @@ impl<E> Default for EventQueue<E> {
 
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// A queue pre-sized for `capacity` in-flight events, avoiding heap
+    /// regrowth when the event volume is predictable up front (e.g. the
+    /// scheduler knows its task and worker counts before the run starts).
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             seq: 0,
             now: SimTime::ZERO,
             popped: 0,
@@ -127,6 +134,15 @@ mod tests {
         q.schedule_at(SimTime::from_secs(2.0), "b");
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(64);
+        q.schedule_at(SimTime::from_secs(2.0), "b");
+        q.schedule_at(SimTime::from_secs(1.0), "a");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b"]);
     }
 
     #[test]

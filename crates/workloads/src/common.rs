@@ -2,7 +2,7 @@
 
 use lfm_dataflow::app::App;
 use lfm_dataflow::lowering::WqWorkflowBuilder;
-use lfm_pyenv::environment::user_environment;
+use lfm_pyenv::environment::user_environment_cached;
 use lfm_pyenv::index::PackageIndex;
 use lfm_pyenv::pickle::PyValue;
 use lfm_simcluster::node::Resources;
@@ -33,10 +33,11 @@ impl Workload {
 }
 
 /// A builder primed with the builtin index and the kitchen-sink user env —
-/// the starting state of every experiment.
+/// the starting state of every experiment. The env resolve is memoized
+/// process-wide; only the first call pays the solver.
 pub fn workflow_builder() -> WqWorkflowBuilder {
     let index = PackageIndex::builtin();
-    let env = user_environment(&index).expect("builtin user environment resolves");
+    let env = user_environment_cached(&index).expect("builtin user environment resolves");
     WqWorkflowBuilder::new(index, env)
 }
 

@@ -374,6 +374,10 @@ impl Master {
         let mut seed_rng = SimRng::seeded(config.seed);
         let batch = BatchSystem::new(config.batch, seed_rng.fork(1));
         let rng = seed_rng.fork(2);
+        // Event volume is predictable from the workload: each task produces
+        // a handful of lifecycle events and each worker a provision/poll
+        // stream; pre-size the calendar to skip heap regrowth.
+        let event_capacity = tasks.len() * 4 + worker_count as usize * 2;
         Master {
             dep_remaining,
             dependents,
@@ -388,7 +392,7 @@ impl Master {
             tasks,
             workers: BTreeMap::new(),
             pending: VecDeque::new(),
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(event_capacity),
             allocator,
             fs,
             net,

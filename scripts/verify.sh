@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: release build, full test suite, and lint-clean
+# clippy. The workspace vendors all external dependencies under vendor/, so
+# everything runs with --offline (no registry, no network).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "verify: OK"

@@ -1,0 +1,51 @@
+//! Repeated environment setup must hit the process-wide resolve and pack
+//! caches: across a sweep, every point rebuilds the same user environment
+//! and the same per-app environments, so only the first build may pay the
+//! solver and the packer.
+//!
+//! Kept as the sole test in this binary so the global-cache counters are
+//! not perturbed by concurrent tests.
+
+use lfm_core::pyenv::pack::global_pack_cache;
+use lfm_core::pyenv::resolve::global_cache;
+use lfm_core::workloads::{drug, hep};
+
+#[test]
+fn repeated_workload_builds_hit_resolve_and_pack_caches() {
+    // First build pays: it populates the caches (user env + HEP app envs).
+    let first = hep::build(8, 1);
+    let after_first = global_cache().stats();
+    assert!(after_first.misses > 0, "first build must populate the resolve cache");
+    assert!(
+        after_first.solver_candidates_tried > 0,
+        "first build must run the real solver"
+    );
+    let packs_after_first = global_pack_cache().len();
+    assert!(packs_after_first > 0, "first build must populate the pack cache");
+
+    // Second identical build: pure cache traffic — zero extra solver work,
+    // zero new packed archives.
+    let second = hep::build(8, 1);
+    let after_second = global_cache().stats();
+    assert!(after_second.hits > after_first.hits, "second build must hit the cache");
+    assert_eq!(
+        after_second.solver_candidates_tried, after_first.solver_candidates_tried,
+        "second build must not run the solver"
+    );
+    assert_eq!(
+        global_pack_cache().len(),
+        packs_after_first,
+        "second build must not pack new archives"
+    );
+    assert!(
+        global_pack_cache().hits() > 0,
+        "second build must reuse packed archives"
+    );
+    assert_eq!(first.tasks.len(), second.tasks.len());
+
+    // A different application resolves different requirement sets: misses
+    // grow, but previously cached entries still serve.
+    let _ = drug::build(2, 3);
+    let after_drug = global_cache().stats();
+    assert!(after_drug.misses > after_second.misses || after_drug.hits > after_second.hits);
+}

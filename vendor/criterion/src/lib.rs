@@ -1,0 +1,221 @@
+//! Vendored, dependency-free benchmark harness exposing the subset of the
+//! `criterion` API this workspace's benches use. Timing is wall-clock
+//! best/mean over `sample_size` samples; there is no statistical analysis,
+//! plotting, or baseline storage.
+//!
+//! When invoked with `--test` (as `cargo test` does for `harness = false`
+//! bench targets) each benchmark body runs exactly once, keeping the tier-1
+//! test gate fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation; printed alongside timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Measured per-sample durations, filled by `iter`.
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher { samples, recorded: Vec::new() }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(body());
+            self.recorded.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.recorded.is_empty() {
+            println!("{name:<40} (no measurement)");
+            return;
+        }
+        let total: Duration = self.recorded.iter().sum();
+        let mean = total / self.recorded.len() as u32;
+        let best = *self.recorded.iter().min().expect("non-empty");
+        let rate = match throughput {
+            Some(Throughput::Bytes(b)) if best.as_secs_f64() > 0.0 => {
+                format!("  {:>10.1} MiB/s", b as f64 / best.as_secs_f64() / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(n)) if best.as_secs_f64() > 0.0 => {
+                format!("  {:>10.1} elem/s", n as f64 / best.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{name:<40} best {best:>12.3?}  mean {mean:>12.3?}{rate}");
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 10, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (builder form, as used in
+    /// `criterion_group!` configs).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn effective_samples(&self, group_override: Option<usize>) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            group_override.unwrap_or(self.sample_size)
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.effective_samples(None));
+        body(&mut bencher);
+        bencher.report(name, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("-- group: {name}");
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size: None, throughput: None }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut body: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.criterion.effective_samples(self.sample_size));
+        body(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id), self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.criterion.effective_samples(self.sample_size));
+        body(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.id), self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function, mirroring both `criterion_group!` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &7u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,282 @@
+//! Vendored, dependency-free stand-in for the subset of `crossbeam` this
+//! workspace uses: multi-producer/multi-consumer channels (`channel`) and a
+//! work-injector queue (`deque`) for the parallel sweep engine.
+
+pub mod channel {
+    //! MPMC FIFO channel with disconnect semantics matching crossbeam:
+    //! `recv` errors once all senders are gone and the queue is drained;
+    //! `send` errors once all receivers are gone.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloneable (each message is delivered to exactly one
+    /// receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The channel is disconnected: every `Receiver` was dropped.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// The channel is empty and every `Sender` was dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { shared: shared.clone() }, Receiver { shared })
+    }
+
+    /// Create a bounded channel. This stand-in never blocks senders (the
+    /// capacity is advisory); the workspace only uses tiny rendezvous
+    /// channels where that distinction is unobservable.
+    pub fn bounded<T>(_capacity: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.senders += 1;
+            drop(state);
+            Sender { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.senders -= 1;
+            let last = state.senders == 0;
+            drop(state);
+            if last {
+                // Wake blocked receivers so they observe the disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .shared
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.receivers += 1;
+            drop(state);
+            Receiver { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.receivers -= 1;
+        }
+    }
+}
+
+pub mod deque {
+    //! FIFO injector queue in the shape of `crossbeam::deque::Injector`.
+    //! Backed by a mutexed `VecDeque`: the workspace distributes coarse
+    //! simulation jobs (milliseconds to seconds each), so queue contention
+    //! is irrelevant and lock-free stealing buys nothing.
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Shared FIFO job queue that many workers steal from.
+    #[derive(Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One item was stolen.
+        Success(T),
+        /// The attempt lost a race; try again.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Injector { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        pub fn push(&self, value: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+        }
+
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock() {
+                Ok(mut q) => match q.pop_front() {
+                    Some(v) => Steal::Success(v),
+                    None => Steal::Empty,
+                },
+                Err(e) => match e.into_inner().pop_front() {
+                    Some(v) => Steal::Success(v),
+                    None => Steal::Empty,
+                },
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvError};
+    use super::deque::{Injector, Steal};
+
+    #[test]
+    fn channel_fifo_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn cloned_receivers_share_items() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+            if let Ok(v) = rx2.recv() {
+                got.push(v);
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_after_receivers_gone() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal(), Steal::Success(1));
+        assert_eq!(inj.steal(), Steal::Success(2));
+        assert_eq!(inj.steal(), Steal::Empty);
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || rx.recv().unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        tx.send(42u32).unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+}

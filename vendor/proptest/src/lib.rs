@@ -1,0 +1,169 @@
+//! Vendored, dependency-free property-testing harness exposing the subset of
+//! the `proptest` API this workspace uses: the `proptest!`/`prop_assert*`/
+//! `prop_oneof!` macros, numeric-range and regex-literal strategies,
+//! `prop::collection::vec`, `prop::sample::select`, `any::<T>()`, tuples,
+//! `prop_map`, and `prop_recursive`.
+//!
+//! Differences from the real crate, deliberate for an offline stub: cases are
+//! generated from a deterministic per-test seed (derived from the test name),
+//! and failing cases are reported without shrinking.
+
+pub mod test_runner;
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod sample;
+
+pub mod arbitrary;
+
+pub mod string;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Run every test case body in a `proptest! { ... }` block against freshly
+/// generated inputs.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn name(arg in strategy, pattern in strategy) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __strategies = ($($strat,)+);
+            let mut __rng =
+                $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::core::result::Result::Err(__err) => {
+                        panic!(
+                            "proptest case {} of {} failed: {}",
+                            __case + 1,
+                            __cfg.cases,
+                            __err
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Fail the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r
+                );
+            }
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(*__l == *__r, $($fmt)+);
+            }
+        }
+    }};
+}
+
+/// Fail the current case if both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l
+                );
+            }
+        }
+    }};
+}
+
+/// Uniform choice between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

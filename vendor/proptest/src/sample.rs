@@ -1,0 +1,44 @@
+//! Sampling strategies (`select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy choosing uniformly from a fixed list of values.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+/// Choose uniformly from `options`.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select from empty list");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.next_below(self.options.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_option() {
+        let strat = select(vec!["a", "b", "c"]);
+        let mut rng = TestRng::from_seed(17);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            match strat.generate(&mut rng) {
+                "a" => seen[0] = true,
+                "b" => seen[1] = true,
+                "c" => seen[2] = true,
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

@@ -1,0 +1,166 @@
+//! String generation from the small regex dialect used as string-literal
+//! strategies in this workspace: a character class or `\PC` followed by a
+//! quantifier (`*`, `+`, or `{lo,hi}`). Anything else is generated verbatim.
+
+use crate::test_runner::TestRng;
+
+enum CharSet {
+    /// Explicit characters from a `[...]` class.
+    Explicit(Vec<char>),
+    /// `\PC`: any non-control character; sampled from printable ASCII plus a
+    /// few multibyte code points to exercise UTF-8 handling.
+    Printable,
+}
+
+impl CharSet {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Explicit(chars) => chars[rng.next_below(chars.len())],
+            CharSet::Printable => {
+                const EXTRA: &[char] = &['é', 'λ', '中', '🙂', 'ß', 'Ω'];
+                // Mostly ASCII, occasionally multibyte.
+                if rng.next_below(8) == 0 {
+                    EXTRA[rng.next_below(EXTRA.len())]
+                } else {
+                    char::from_u32(0x20 + rng.next_below(0x5f) as u32).expect("printable ascii")
+                }
+            }
+        }
+    }
+}
+
+/// Parse a `[...]` class body (after the opening bracket) into its character
+/// set, returning the set and the number of pattern chars consumed including
+/// the closing bracket.
+fn parse_class(body: &[char]) -> (Vec<char>, usize) {
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        match body[i] {
+            ']' => return (chars, i + 1),
+            '\\' if i + 1 < body.len() => {
+                let c = match body[i + 1] {
+                    't' => '\t',
+                    'n' => '\n',
+                    'r' => '\r',
+                    other => other,
+                };
+                chars.push(c);
+                i += 2;
+            }
+            c => {
+                // Range `a-z` unless the '-' is the final member.
+                if i + 2 < body.len() && body[i + 1] == '-' && body[i + 2] != ']' {
+                    let (lo, hi) = (c as u32, body[i + 2] as u32);
+                    for v in lo..=hi {
+                        if let Some(ch) = char::from_u32(v) {
+                            chars.push(ch);
+                        }
+                    }
+                    i += 3;
+                } else {
+                    chars.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    (chars, i)
+}
+
+/// Parse a quantifier at `rest`, returning the inclusive length bounds.
+fn parse_quantifier(rest: &[char]) -> (usize, usize) {
+    match rest.first() {
+        Some('*') => (0, 32),
+        Some('+') => (1, 32),
+        Some('{') => {
+            let body: String = rest[1..]
+                .iter()
+                .take_while(|&&c| c != '}')
+                .collect();
+            let (lo, hi) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or(0),
+                    hi.trim().parse().unwrap_or(32),
+                ),
+                None => {
+                    let n = body.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            };
+            (lo, hi.max(lo))
+        }
+        _ => (1, 1),
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (set, quantifier) = if chars.first() == Some(&'[') {
+        let (class, used) = parse_class(&chars[1..]);
+        (CharSet::Explicit(class), parse_quantifier(&chars[1 + used..]))
+    } else if pattern.starts_with("\\PC") {
+        (CharSet::Printable, parse_quantifier(&chars[3..]))
+    } else {
+        // Literal pattern: emit as-is.
+        return pattern.to_string();
+    };
+    let (lo, hi) = quantifier;
+    // Cap generated lengths: long degenerate strings add runtime without
+    // adding coverage in these tests.
+    let hi = hi.min(lo + 64);
+    let len = lo + rng.next_below(hi - lo + 1);
+    let mut out = String::with_capacity(len);
+    for _ in 0..len {
+        out.push(set.sample(rng));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_class_with_counts() {
+        let mut rng = TestRng::from_seed(31);
+        for _ in 0..100 {
+            let s = generate_from_pattern("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_escapes_and_trailing_dash() {
+        let mut rng = TestRng::from_seed(37);
+        let allowed = " \t\n(){}[]:;,.+*/<>=!#'\"abcdefghijklmnopqrstuvwxyz0123456789_@-";
+        for _ in 0..50 {
+            let s = generate_from_pattern(
+                "[ \\t\\n(){}\\[\\]:;,.+*/<>=!#'\"a-z0-9_@-]{0,200}",
+                &mut rng,
+            );
+            assert!(s.chars().all(|c| allowed.contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_star_never_emits_control_chars() {
+        let mut rng = TestRng::from_seed(41);
+        for _ in 0..100 {
+            let s = generate_from_pattern("\\PC*", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn alnum_space_class() {
+        let mut rng = TestRng::from_seed(43);
+        for _ in 0..50 {
+            let s = generate_from_pattern("[a-zA-Z0-9 ]{0,24}", &mut rng);
+            assert!(s.chars().count() <= 24);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Vendored stand-in for `serde`: the trait names and derive macros, with no
+//! serialization machinery behind them. The workspace tags types with
+//! `#[derive(Serialize, Deserialize)]` but performs all real encoding through
+//! its own formats, so marker traits and no-op derives are sufficient.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,19 @@
+//! Vendored no-op `Serialize`/`Deserialize` derives.
+//!
+//! This workspace annotates its data types for serialization but never
+//! serializes through serde at runtime (its wire formats are hand-rolled in
+//! `lfm-pyenv::pack`/`pickle`), and no code requires `Serialize`/
+//! `Deserialize` trait bounds. Emitting no impls at all keeps the offline
+//! stub trivially correct for generic and non-generic types alike.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
