@@ -10,7 +10,10 @@ use lfm_core::pyenv::source::{drug_featurize_source, hep_process_source};
 
 fn bench_analyze(c: &mut Criterion) {
     let mut g = c.benchmark_group("analyze");
-    for (name, src) in [("hep", hep_process_source()), ("drug", drug_featurize_source())] {
+    for (name, src) in [
+        ("hep", hep_process_source()),
+        ("drug", drug_featurize_source()),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &src, |b, src| {
             b.iter(|| analyze_source(src).unwrap())
         });

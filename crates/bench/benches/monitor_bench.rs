@@ -9,18 +9,16 @@ use lfm_core::monitor::sim::{SimMonitor, SimTaskProfile};
 fn bench_sim_monitor(c: &mut Criterion) {
     let m = SimMonitor::default();
     let profile = SimTaskProfile::new(60.0, 1.0, 110, 1024);
-    let limits = ResourceLimits::unlimited().with_memory_mb(84).with_disk_mb(880);
+    let limits = ResourceLimits::unlimited()
+        .with_memory_mb(84)
+        .with_disk_mb(880);
     c.bench_function("sim_monitor_run", |b| b.iter(|| m.run(&profile, &limits)));
 }
 
 fn bench_procfs_sample(c: &mut Criterion) {
     let me = std::process::id();
-    c.bench_function("procfs_self_stat", |b| {
-        b.iter(|| procfs::read_stat(me))
-    });
-    c.bench_function("procfs_self_tree", |b| {
-        b.iter(|| procfs::process_tree(me))
-    });
+    c.bench_function("procfs_self_stat", |b| b.iter(|| procfs::read_stat(me)));
+    c.bench_function("procfs_self_tree", |b| b.iter(|| procfs::process_tree(me)));
 }
 
 criterion_group! {

@@ -19,7 +19,9 @@ fn bench_pack(c: &mut Criterion) {
     let env = tf_env();
     c.bench_function("pack_env", |b| b.iter(|| PackedEnv::pack(&env)));
     let packed = PackedEnv::pack(&env);
-    c.bench_function("unpack_env", |b| b.iter(|| packed.unpack("/scratch/envs/tf").unwrap()));
+    c.bench_function("unpack_env", |b| {
+        b.iter(|| packed.unpack("/scratch/envs/tf").unwrap())
+    });
     c.bench_function("archive_roundtrip", |b| {
         b.iter(|| PackedEnv::from_bytes(&packed.to_bytes()).unwrap())
     });

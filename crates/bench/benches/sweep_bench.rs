@@ -33,9 +33,7 @@ fn sweep_bench(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(jobs.len() as u64));
     group.bench_with_input(BenchmarkId::new("serial", "4x4"), &jobs, |b, jobs| {
-        b.iter(|| {
-            jobs.clone().into_iter().map(run_job).collect::<Vec<_>>()
-        })
+        b.iter(|| jobs.clone().into_iter().map(run_job).collect::<Vec<_>>())
     });
     group.bench_with_input(BenchmarkId::new("parallel", "4x4"), &jobs, |b, jobs| {
         b.iter(|| run_jobs(jobs.clone()))
@@ -43,5 +41,32 @@ fn sweep_bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, sweep_bench);
+/// Cost of a live recorder on one simulated workload: `enabled` should sit
+/// within a few percent of `disabled` — recording is a seq fetch-add plus a
+/// shard push per event, nothing on the sim's hot paths.
+fn telemetry_overhead_bench(c: &mut Criterion) {
+    use lfm_core::telemetry::Recorder;
+    use lfm_core::workqueue::master::run_workload;
+    let job = build_jobs().remove(0);
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    for (label, recorder) in [
+        ("disabled", Recorder::disabled()),
+        ("enabled", Recorder::enabled()),
+    ] {
+        let config = job.config.clone().with_telemetry(recorder.clone());
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let report =
+                    run_workload(&config, job.tasks.as_ref().clone(), job.workers, job.spec);
+                // Drain so buffers don't grow across iterations.
+                let _ = recorder.take();
+                report.makespan_secs
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sweep_bench, telemetry_overhead_bench);
 criterion_main!(benches);

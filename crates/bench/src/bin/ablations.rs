@@ -20,11 +20,13 @@ use lfm_core::workqueue::allocate::{AutoConfig, Strategy};
 use lfm_core::workqueue::master::{run_workload, DistMode, MasterConfig};
 
 fn main() {
+    let trace = lfm_bench::TraceOpts::from_args();
     poll_interval();
     headroom();
     min_samples();
     cache_and_crossover();
     schedule_policies();
+    trace.finish();
 }
 
 /// Placement-order heuristics on a memory-heterogeneous workload.
@@ -39,7 +41,9 @@ fn schedule_policies() {
         SchedulePolicy::SmallestFirst,
     ];
     let rows = par_map(policies, |policy| {
-        let cfg = MasterConfig::new(w.oracle_strategy()).with_policy(policy).with_seed(23);
+        let cfg = MasterConfig::new(w.oracle_strategy())
+            .with_policy(policy)
+            .with_seed(23);
         let rep = run_workload(&cfg, w.tasks.clone(), 6, drug::worker_spec());
         vec![
             format!("{policy:?}"),
@@ -47,7 +51,10 @@ fn schedule_policies() {
             format!("{:.1}%", rep.core_efficiency() * 100.0),
         ]
     });
-    print!("{}", render_table(&["policy", "makespan", "core efficiency"], &rows));
+    print!(
+        "{}",
+        render_table(&["policy", "makespan", "core efficiency"], &rows)
+    );
 }
 
 /// Finer polls kill runaway tasks earlier (less wasted occupancy) at the
@@ -64,7 +71,10 @@ fn poll_interval() {
     ));
     let rows = par_map(vec![0.25, 1.0, 5.0, 20.0], |interval| {
         let cfg = MasterConfig::new(tight.clone())
-            .with_monitor(SimMonitor { poll_interval: interval, per_poll_cost: 0.5e-3 })
+            .with_monitor(SimMonitor {
+                poll_interval: interval,
+                per_poll_cost: 0.5e-3,
+            })
             .with_seed(11);
         let rep = run_workload(&cfg, w.tasks.clone(), 10, genomic::worker_spec());
         let overhead: f64 = rep
@@ -81,7 +91,10 @@ fn poll_interval() {
     });
     print!(
         "{}",
-        render_table(&["poll interval", "makespan", "retries", "total monitor cpu"], &rows)
+        render_table(
+            &["poll interval", "makespan", "retries", "total monitor cpu"],
+            &rows
+        )
     );
     println!();
 }
@@ -108,7 +121,10 @@ fn headroom() {
     });
     print!(
         "{}",
-        render_table(&["headroom", "makespan", "retries", "core efficiency"], &rows)
+        render_table(
+            &["headroom", "makespan", "retries", "core efficiency"],
+            &rows
+        )
     );
     println!();
 }
@@ -131,7 +147,10 @@ fn min_samples() {
             format!("{:.1}%", rep.retry_fraction() * 100.0),
         ]
     });
-    print!("{}", render_table(&["min samples", "makespan", "retries"], &rows));
+    print!(
+        "{}",
+        render_table(&["min samples", "makespan", "retries"], &rows)
+    );
     println!();
 }
 
@@ -141,19 +160,27 @@ fn min_samples() {
 fn cache_and_crossover() {
     println!("Ablation 4 — distribution mode (HEP, Oracle strategy)\n");
     let w = hep::build(120, 19);
-    let rows = par_map(vec![DistMode::PackedTransfer, DistMode::SharedFsDirect], |mode| {
-        let cfg = MasterConfig::new(w.oracle_strategy()).with_dist_mode(mode).with_seed(19);
-        let rep = run_workload(&cfg, w.tasks.clone(), 6, hep::worker_spec(8));
-        vec![
-            format!("{mode:?}"),
-            fmt_secs(rep.makespan_secs),
-            rep.cache_hits.to_string(),
-            rep.fs_md_ops.to_string(),
-        ]
-    });
+    let rows = par_map(
+        vec![DistMode::PackedTransfer, DistMode::SharedFsDirect],
+        |mode| {
+            let cfg = MasterConfig::new(w.oracle_strategy())
+                .with_dist_mode(mode)
+                .with_seed(19);
+            let rep = run_workload(&cfg, w.tasks.clone(), 6, hep::worker_spec(8));
+            vec![
+                format!("{mode:?}"),
+                fmt_secs(rep.makespan_secs),
+                rep.cache_hits.to_string(),
+                rep.fs_md_ops.to_string(),
+            ]
+        },
+    );
     print!(
         "{}",
-        render_table(&["mode", "makespan", "cache hits", "shared-FS md ops"], &rows)
+        render_table(
+            &["mode", "makespan", "cache hits", "shared-FS md ops"],
+            &rows
+        )
     );
 
     println!("\npack-vs-direct cumulative crossover (TensorFlow env, Theta):");
@@ -175,5 +202,8 @@ fn cache_and_crossover() {
             ]
         })
         .collect();
-    print!("{}", render_table(&["nodes", "direct", "packed+unpack"], &rows));
+    print!(
+        "{}",
+        render_table(&["nodes", "direct", "packed+unpack"], &rows)
+    );
 }

@@ -25,13 +25,19 @@ fn main() {
                     n.to_string(),
                     fmt_secs(get(Method::DirectAccess)),
                     fmt_secs(get(Method::LocalUnpack)),
-                    format!("{:.1}x", get(Method::DirectAccess) / get(Method::LocalUnpack)),
+                    format!(
+                        "{:.1}x",
+                        get(Method::DirectAccess) / get(Method::LocalUnpack)
+                    ),
                 ]
             })
             .collect();
         print!(
             "{}",
-            render_table(&["nodes", "direct access", "local unpack", "speedup"], &rows)
+            render_table(
+                &["nodes", "direct access", "local unpack", "speedup"],
+                &rows
+            )
         );
         println!();
     }

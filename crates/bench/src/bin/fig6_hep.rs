@@ -1,9 +1,10 @@
 //! Regenerates Figure 6: HEP completion time under four strategies.
 
-use lfm_bench::{pivot_sweep, retry_summary, save_sweep_csv};
+use lfm_bench::{pivot_sweep, retry_summary, save_sweep_csv, TraceOpts};
 use lfm_core::experiments::fig6;
 
 fn main() {
+    let trace = TraceOpts::from_args();
     println!("Figure 6 — HEP workflow (ND-CRC)\n");
 
     println!("(a) varying analysis tasks, 6 workers x 8 cores:");
@@ -25,4 +26,5 @@ fn main() {
     let csv = save_sweep_csv("fig6_by_worker_size", &points);
     println!("[csv: {}]", csv.display());
     print!("{}", pivot_sweep(&points, "cores/worker"));
+    trace.finish();
 }

@@ -1,9 +1,10 @@
 //! Regenerates Figure 7: drug-screening pipeline on Theta.
 
-use lfm_bench::{pivot_sweep, retry_summary, save_sweep_csv};
+use lfm_bench::{pivot_sweep, retry_summary, save_sweep_csv, TraceOpts};
 use lfm_core::experiments::fig7;
 
 fn main() {
+    let trace = TraceOpts::from_args();
     println!("Figure 7 — drug screening (Theta)\n");
 
     println!("(left) varying total tasks on 14 workers:");
@@ -19,4 +20,5 @@ fn main() {
     let csv = save_sweep_csv("fig7_by_workers", &points);
     println!("[csv: {}]", csv.display());
     print!("{}", pivot_sweep(&points, "workers"));
+    trace.finish();
 }

@@ -1,9 +1,10 @@
 //! Regenerates Figure 8: GDC genomic pipeline on NSCC Aspire.
 
-use lfm_bench::{pivot_sweep, retry_summary, save_sweep_csv};
+use lfm_bench::{pivot_sweep, retry_summary, save_sweep_csv, TraceOpts};
 use lfm_core::experiments::fig8;
 
 fn main() {
+    let trace = TraceOpts::from_args();
     println!("Figure 8 — genomic analysis (NSCC Aspire)\n");
 
     println!("(left) varying genomes on 14 workers:");
@@ -19,4 +20,5 @@ fn main() {
     let csv = save_sweep_csv("fig8_by_workers", &points);
     println!("[csv: {}]", csv.display());
     print!("{}", pivot_sweep(&points, "workers"));
+    trace.finish();
 }

@@ -1,9 +1,10 @@
 //! Regenerates Figure 9: funcX image classification, LFM vs. containers.
 
-use lfm_bench::{pivot_sweep, retry_summary, save_sweep_csv};
+use lfm_bench::{pivot_sweep, retry_summary, save_sweep_csv, TraceOpts};
 use lfm_core::experiments::fig9;
 
 fn main() {
+    let trace = TraceOpts::from_args();
     println!("Figure 9 — funcX ResNet image classification\n");
 
     println!("(left) varying tasks on 4 workers:");
@@ -19,4 +20,5 @@ fn main() {
     let csv = save_sweep_csv("fig9_by_workers", &points);
     println!("[csv: {}]", csv.display());
     print!("{}", pivot_sweep(&points, "workers"));
+    trace.finish();
 }

@@ -3,11 +3,11 @@
 //! synthetic modules and measure — for real — tokenizer, parser, analyzer,
 //! and interpreter-load throughput.
 
+use lfm_core::parallel::par_map;
 use lfm_core::pyenv::analyze::analyze_source;
 use lfm_core::pyenv::interp::Interp;
 use lfm_core::pyenv::lexer::Lexer;
 use lfm_core::pyenv::parser::parse_module;
-use lfm_core::parallel::par_map;
 use lfm_core::pyenv::source::synthetic_module;
 use lfm_core::render::render_table;
 use std::time::Instant;
@@ -25,49 +25,64 @@ fn time_it(mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
+    let trace = lfm_bench::TraceOpts::from_args();
     println!("Pynamic-style front-end stress (real measurements)\n");
     let shapes = vec![(8, 4, 4), (32, 16, 8), (128, 64, 12), (512, 256, 16)];
     let rows: Vec<Vec<String>> = par_map(shapes, |(imports, functions, stmts)| {
-            let src = synthetic_module(imports, functions, stmts);
-            let kb = src.len() as f64 / 1024.0;
-            let lex = time_it(|| {
-                Lexer::tokenize(&src).unwrap();
-            });
-            let parse = time_it(|| {
-                parse_module(&src).unwrap();
-            });
-            let analyze = time_it(|| {
-                analyze_source(&src).unwrap();
-            });
-            let load = time_it(|| {
-                // Interpreter module-load: defs + imports execute. The
-                // synthetic module imports only registered stdlib modules
-                // plus science stubs, so stub them out.
-                let mut interp = Interp::new();
-                for m in [
-                    "numpy", "scipy", "pandas", "sklearn", "matplotlib", "os", "sys",
-                    "json", "re", "time", "itertools", "functools", "collections",
-                    "tensorflow", "keras",
-                ] {
-                    interp.register_module(
-                        lfm_core::pyenv::interp::ModuleBuilder::new(m),
-                    );
-                }
-                interp.load_source(&src).unwrap();
-            });
-            vec![
-                format!("{imports}i/{functions}f"),
-                format!("{kb:.1} KB"),
-                format!("{:.2} ms ({:.1} MB/s)", lex * 1e3, kb / 1024.0 / lex),
-                format!("{:.2} ms", parse * 1e3),
-                format!("{:.2} ms", analyze * 1e3),
-                format!("{:.2} ms", load * 1e3),
-            ]
+        let src = synthetic_module(imports, functions, stmts);
+        let kb = src.len() as f64 / 1024.0;
+        let lex = time_it(|| {
+            Lexer::tokenize(&src).unwrap();
         });
+        let parse = time_it(|| {
+            parse_module(&src).unwrap();
+        });
+        let analyze = time_it(|| {
+            analyze_source(&src).unwrap();
+        });
+        let load = time_it(|| {
+            // Interpreter module-load: defs + imports execute. The
+            // synthetic module imports only registered stdlib modules
+            // plus science stubs, so stub them out.
+            let mut interp = Interp::new();
+            for m in [
+                "numpy",
+                "scipy",
+                "pandas",
+                "sklearn",
+                "matplotlib",
+                "os",
+                "sys",
+                "json",
+                "re",
+                "time",
+                "itertools",
+                "functools",
+                "collections",
+                "tensorflow",
+                "keras",
+            ] {
+                interp.register_module(lfm_core::pyenv::interp::ModuleBuilder::new(m));
+            }
+            interp.load_source(&src).unwrap();
+        });
+        vec![
+            format!("{imports}i/{functions}f"),
+            format!("{kb:.1} KB"),
+            format!("{:.2} ms ({:.1} MB/s)", lex * 1e3, kb / 1024.0 / lex),
+            format!("{:.2} ms", parse * 1e3),
+            format!("{:.2} ms", analyze * 1e3),
+            format!("{:.2} ms", load * 1e3),
+        ]
+    });
     print!(
         "{}",
-        render_table(&["module", "size", "lex", "parse", "analyze", "interp load"], &rows)
+        render_table(
+            &["module", "size", "lex", "parse", "analyze", "interp load"],
+            &rows
+        )
     );
     println!("\nThe 'analyze' column is the per-function cost the LFM pipeline");
     println!("pays at submit time (Table II's analyze column at scale).");
+    trace.finish();
 }

@@ -12,13 +12,19 @@ fn main() {
                 r.site,
                 format!("{:.2} ± {:.2} s", r.conda.mean_secs, r.conda.std_secs),
                 r.container.tech.name().to_string(),
-                format!("{:.2} ± {:.2} s", r.container.mean_secs, r.container.std_secs),
+                format!(
+                    "{:.2} ± {:.2} s",
+                    r.container.mean_secs, r.container.std_secs
+                ),
                 format!("{:.1}x", r.container.mean_secs / r.conda.mean_secs),
             ]
         })
         .collect();
     print!(
         "{}",
-        render_table(&["site", "Conda", "container tech", "container", "ratio"], &rows)
+        render_table(
+            &["site", "Conda", "container tech", "container", "ratio"],
+            &rows
+        )
     );
 }

@@ -20,6 +20,9 @@ fn main() {
         .collect();
     print!(
         "{}",
-        render_table(&["package", "analyze", "create", "run", "size", "deps"], &rows)
+        render_table(
+            &["package", "analyze", "create", "run", "size", "deps"],
+            &rows
+        )
     );
 }

@@ -6,8 +6,87 @@
 
 use lfm_core::experiments::sweep::SweepPoint;
 use lfm_core::render::{fmt_secs, render_table};
+use lfm_core::telemetry::{export, Recorder};
 use std::io::Write as _;
 use std::path::PathBuf;
+
+/// Tracing options shared by every regenerator binary.
+///
+/// Parse with [`TraceOpts::from_args`] at the top of `main`; when the user
+/// passed `--trace-out <path>` (Chrome trace-event JSON) or
+/// `--trace-jsonl <path>` (flat JSONL) this installs the process-wide
+/// recorder — which every `MasterConfig::new()`, cache, and the parallel
+/// engine then report into — and [`TraceOpts::finish`] writes the files and
+/// prints a metrics summary once the figures are done.
+pub struct TraceOpts {
+    chrome_out: Option<PathBuf>,
+    jsonl_out: Option<PathBuf>,
+    recorder: Recorder,
+}
+
+impl TraceOpts {
+    /// Parse trace flags from the process argv. Unknown arguments are left
+    /// for the binary's own parsing; a trace flag missing its path panics
+    /// with a usage message.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_arg_slice(&args)
+    }
+
+    /// [`TraceOpts::from_args`] over an explicit argument list (testable).
+    pub fn from_arg_slice(args: &[String]) -> Self {
+        let mut chrome_out = None;
+        let mut jsonl_out = None;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--trace-out" => {
+                    let path = it.next().expect("--trace-out requires a path");
+                    chrome_out = Some(PathBuf::from(path));
+                }
+                "--trace-jsonl" => {
+                    let path = it.next().expect("--trace-jsonl requires a path");
+                    jsonl_out = Some(PathBuf::from(path));
+                }
+                _ => {}
+            }
+        }
+        let recorder = if chrome_out.is_some() || jsonl_out.is_some() {
+            lfm_core::telemetry::install_global()
+        } else {
+            Recorder::disabled()
+        };
+        TraceOpts {
+            chrome_out,
+            jsonl_out,
+            recorder,
+        }
+    }
+
+    /// Whether any trace output was requested.
+    pub fn enabled(&self) -> bool {
+        self.recorder.is_enabled()
+    }
+
+    /// Drain the recorder, write the requested trace files, and print the
+    /// aggregated metrics as one JSON line. No-op without trace flags.
+    pub fn finish(self) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let records = self.recorder.take();
+        if let Some(path) = &self.chrome_out {
+            export::write_chrome_trace(path, &records).expect("write chrome trace");
+            println!("[trace: {} ({} records)]", path.display(), records.len());
+        }
+        if let Some(path) = &self.jsonl_out {
+            export::write_jsonl(path, &records).expect("write jsonl trace");
+            println!("[trace-jsonl: {}]", path.display());
+        }
+        let mut metrics = lfm_core::telemetry::MetricsRegistry::from_records(&records);
+        println!("[metrics] {}", metrics.to_json());
+    }
+}
 
 /// Where regenerators drop machine-readable outputs.
 pub fn experiments_dir() -> PathBuf {
@@ -52,7 +131,13 @@ pub fn save_sweep_csv(name: &str, points: &[SweepPoint]) -> PathBuf {
         .collect();
     write_csv(
         name,
-        &["x", "strategy", "makespan_s", "retry_fraction", "core_efficiency"],
+        &[
+            "x",
+            "strategy",
+            "makespan_s",
+            "retry_fraction",
+            "core_efficiency",
+        ],
         &rows,
     )
 }
@@ -105,10 +190,9 @@ pub fn retry_summary(points: &[SweepPoint]) -> String {
         .iter()
         .map(|s| {
             let mine: Vec<&SweepPoint> = points.iter().filter(|p| &p.strategy == s).collect();
-            let max_retry =
-                mine.iter().map(|p| p.retry_fraction).fold(0.0f64, f64::max);
-            let mean_eff = mine.iter().map(|p| p.core_efficiency).sum::<f64>()
-                / mine.len().max(1) as f64;
+            let max_retry = mine.iter().map(|p| p.retry_fraction).fold(0.0f64, f64::max);
+            let mean_eff =
+                mine.iter().map(|p| p.core_efficiency).sum::<f64>() / mine.len().max(1) as f64;
             vec![
                 s.clone(),
                 format!("{:.2}%", max_retry * 100.0),
@@ -135,7 +219,11 @@ mod tests {
 
     #[test]
     fn pivot_shape() {
-        let points = vec![pt(10, "Oracle", 100.0), pt(10, "Auto", 110.0), pt(20, "Oracle", 180.0)];
+        let points = vec![
+            pt(10, "Oracle", 100.0),
+            pt(10, "Auto", 110.0),
+            pt(20, "Oracle", 180.0),
+        ];
         let t = pivot_sweep(&points, "tasks");
         assert!(t.contains("tasks"));
         assert!(t.contains("Oracle"));
@@ -162,6 +250,28 @@ mod tests {
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains("x,strategy,makespan_s"));
         assert!(body.contains("10,Oracle,100.000"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn trace_opts_absent_flags_stay_disabled() {
+        let opts = TraceOpts::from_arg_slice(&["--seed".to_string(), "7".to_string()]);
+        assert!(!opts.enabled());
+        opts.finish(); // no-op, must not write anything or panic
+    }
+
+    #[test]
+    fn trace_opts_install_write_and_validate() {
+        let path = std::env::temp_dir().join("lfm_bench_trace_opts_test.json");
+        let args = vec!["--trace-out".to_string(), path.display().to_string()];
+        let opts = TraceOpts::from_arg_slice(&args);
+        assert!(opts.enabled());
+        lfm_core::telemetry::global().counter("bench.test_counter", 3);
+        opts.finish();
+        let body = std::fs::read_to_string(&path).unwrap();
+        lfm_core::telemetry::export::validate_json(&body).unwrap();
+        assert!(body.contains("traceEvents"));
+        assert!(body.contains("bench.test_counter"));
         std::fs::remove_file(path).ok();
     }
 

@@ -17,7 +17,14 @@ use lfm_simcluster::sites::theta;
 use serde::{Deserialize, Serialize};
 
 /// The modules Figure 4 imports.
-pub const MODULES: &[&str] = &["python", "numpy", "scipy", "pandas", "scikit-learn", "tensorflow"];
+pub const MODULES: &[&str] = &[
+    "python",
+    "numpy",
+    "scipy",
+    "pandas",
+    "scikit-learn",
+    "tensorflow",
+];
 
 /// Node counts swept (64 cores each → 64..32768 cores).
 pub const NODE_COUNTS: &[u32] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
@@ -122,7 +129,11 @@ mod tests {
             ratio(&tf),
             ratio(&python)
         );
-        assert!(ratio(&tf) > 10.0, "tf must degrade at scale, got {}", ratio(&tf));
+        assert!(
+            ratio(&tf) > 10.0,
+            "tf must degrade at scale, got {}",
+            ratio(&tf)
+        );
     }
 
     #[test]

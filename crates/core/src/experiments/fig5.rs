@@ -57,8 +57,8 @@ fn tf_env() -> (Arc<PackedEnv>, u64, u64) {
     let mut reqs = RequirementSet::new();
     reqs.add(Requirement::any("tensorflow"));
     let resolution = resolve_cached(&index, &reqs).expect("tensorflow resolves");
-    let env = Environment::from_resolution("tf", "/envs/tf", &index, &resolution)
-        .expect("tf env builds");
+    let env =
+        Environment::from_resolution("tf", "/envs/tf", &index, &resolution).expect("tf env builds");
     let files = env.total_files();
     let bytes = env.total_bytes();
     (pack_cached(&env), files, bytes)
@@ -174,6 +174,9 @@ mod tests {
             .filter(|p| p.method == Method::DirectAccess && p.nodes == 512)
             .map(|p| p.cumulative_secs)
             .fold(0.0, f64::max);
-        assert!(worst > 3600.0, "cumulative direct cost {worst} should reach hours");
+        assert!(
+            worst > 3600.0,
+            "cumulative direct cost {worst} should reach hours"
+        );
     }
 }

@@ -6,7 +6,12 @@ use crate::experiments::sweep::{point_jobs, run_jobs, standard_strategies, Sweep
 use lfm_workloads::hep;
 
 /// Vary the number of analysis tasks on a fixed pool.
-pub fn by_tasks(task_counts: &[u64], workers: u32, worker_cores: u32, seed: u64) -> Vec<SweepPoint> {
+pub fn by_tasks(
+    task_counts: &[u64],
+    workers: u32,
+    worker_cores: u32,
+    seed: u64,
+) -> Vec<SweepPoint> {
     let mut jobs = Vec::new();
     for &n in task_counts {
         let w = hep::build(n, seed ^ n);
@@ -92,7 +97,11 @@ mod tests {
         // exhaustion" — the HEP workload is uniform.
         let points = by_tasks(&[100], 6, 8, 7);
         let auto = series(&points, "Auto")[0];
-        assert!(auto.retry_fraction < 0.01, "retries {}", auto.retry_fraction);
+        assert!(
+            auto.retry_fraction < 0.01,
+            "retries {}",
+            auto.retry_fraction
+        );
     }
 
     #[test]

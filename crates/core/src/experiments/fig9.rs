@@ -12,9 +12,15 @@ use lfm_workqueue::allocate::Strategy;
 /// The three Figure 9 configurations.
 fn modes() -> Vec<(&'static str, ExecutionMode)> {
     vec![
-        ("Auto", ExecutionMode::Lfm(Strategy::Auto(Default::default()))),
+        (
+            "Auto",
+            ExecutionMode::Lfm(Strategy::Auto(Default::default())),
+        ),
         ("Guess", ExecutionMode::Lfm(Strategy::Guess(faas::guess()))),
-        ("Unmanaged", ExecutionMode::Container(ActivationTech::Singularity)),
+        (
+            "Unmanaged",
+            ExecutionMode::Container(ActivationTech::Singularity),
+        ),
     ]
 }
 
@@ -33,7 +39,9 @@ struct BatchJob {
 fn run_batch_job(job: BatchJob) -> SweepPoint {
     let svc = FuncXService::new();
     let mut reg = FunctionRegistry::new();
-    let id = reg.register("classify_image", faas::source()).expect("source registers");
+    let id = reg
+        .register("classify_image", faas::source())
+        .expect("source registers");
     let ep = Endpoint::new("hpc-endpoint", faas::worker_spec(), job.workers);
     let report = svc
         .run_batch(
@@ -60,7 +68,14 @@ fn run_batch_job(job: BatchJob) -> SweepPoint {
 fn batch_jobs(x: u64, n_tasks: u64, workers: u32, seed: u64) -> Vec<BatchJob> {
     modes()
         .into_iter()
-        .map(|(name, mode)| BatchJob { x, name, mode, n_tasks, workers, seed })
+        .map(|(name, mode)| BatchJob {
+            x,
+            name,
+            mode,
+            n_tasks,
+            workers,
+            seed,
+        })
         .collect()
 }
 
@@ -77,9 +92,7 @@ pub fn by_tasks(task_counts: &[u64], workers: u32, seed: u64) -> Vec<SweepPoint>
 pub fn by_workers(worker_counts: &[u32], tasks_per_worker: u64, seed: u64) -> Vec<SweepPoint> {
     let jobs: Vec<BatchJob> = worker_counts
         .iter()
-        .flat_map(|&w| {
-            batch_jobs(w as u64, tasks_per_worker * w as u64, w, seed ^ w as u64)
-        })
+        .flat_map(|&w| batch_jobs(w as u64, tasks_per_worker * w as u64, w, seed ^ w as u64))
         .collect();
     run_sweep_parallel(jobs, |job| vec![run_batch_job(job)])
 }

@@ -74,9 +74,18 @@ pub fn point_jobs(
 /// Execute one job. Panics if the simulated workload fails to complete,
 /// exactly as the serial runners always have.
 pub fn run_job(job: SweepJob) -> SweepPoint {
-    let report = run_workload(&job.config, job.tasks.as_ref().clone(), job.workers, job.spec);
+    let mut span = lfm_telemetry::global().wall_span("run_job", "sweep");
+    span.attr("strategy", job.strategy.name());
+    span.attr("x", job.x);
+    let report = run_workload(
+        &job.config,
+        job.tasks.as_ref().clone(),
+        job.workers,
+        job.spec,
+    );
     assert_eq!(
-        report.abandoned_tasks, 0,
+        report.abandoned_tasks,
+        0,
         "{}: workload must complete (x={})",
         job.strategy.name(),
         job.x
@@ -113,8 +122,7 @@ pub fn run_point(
 
 /// Fetch one strategy's series from a point cloud, ordered by x.
 pub fn series<'a>(points: &'a [SweepPoint], strategy: &str) -> Vec<&'a SweepPoint> {
-    let mut s: Vec<&SweepPoint> =
-        points.iter().filter(|p| p.strategy == strategy).collect();
+    let mut s: Vec<&SweepPoint> = points.iter().filter(|p| p.strategy == strategy).collect();
     s.sort_by_key(|p| p.x);
     s
 }

@@ -10,10 +10,10 @@
 //! * **size** — installed closure bytes; **deps** — distributions in the
 //!   transitive closure.
 
+use lfm_pyenv::analyze::analyze_source;
 use lfm_pyenv::index::PackageIndex;
 use lfm_pyenv::requirements::{Requirement, RequirementSet};
 use lfm_pyenv::resolve::resolve_with_stats;
-use lfm_pyenv::analyze::analyze_source;
 use lfm_pyenv::source::SourceBuilder;
 use lfm_simcluster::sharedfs::{SharedFs, SharedFsParams};
 use serde::{Deserialize, Serialize};
@@ -150,7 +150,12 @@ mod tests {
         // The analyzer is "lightweight": microseconds to low milliseconds.
         for row in run() {
             assert!(row.analyze_secs > 0.0);
-            assert!(row.analyze_secs < 0.5, "{}: {}", row.package, row.analyze_secs);
+            assert!(
+                row.analyze_secs < 0.5,
+                "{}: {}",
+                row.package,
+                row.analyze_secs
+            );
         }
     }
 }

@@ -24,8 +24,14 @@ fn row(s: &Site) -> Vec<String> {
 }
 
 /// Header for the rendered table.
-pub const HEADERS: &[&str] =
-    &["site", "scheduler", "filesystem", "containers", "node", "max nodes"];
+pub const HEADERS: &[&str] = &[
+    "site",
+    "scheduler",
+    "filesystem",
+    "containers",
+    "node",
+    "max nodes",
+];
 
 #[cfg(test)]
 mod tests {

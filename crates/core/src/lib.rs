@@ -45,6 +45,7 @@ pub use lfm_funcx as funcx;
 pub use lfm_monitor as monitor;
 pub use lfm_pyenv as pyenv;
 pub use lfm_simcluster as simcluster;
+pub use lfm_telemetry as telemetry;
 pub use lfm_workloads as workloads;
 pub use lfm_workqueue as workqueue;
 

@@ -62,8 +62,20 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = items.len();
+    let tel = lfm_telemetry::global();
+    if n > 0 {
+        tel.counter("parallel.jobs", n as u64);
+    }
     if threads <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let mut span = tel.wall_span("job", "parallel");
+                span.attr("index", i as u64);
+                f(item)
+            })
+            .collect();
     }
     let threads = threads.min(n);
 
@@ -84,9 +96,16 @@ where
                 let (i, item) = match queue.steal() {
                     Steal::Success(pair) => pair,
                     Steal::Empty => break,
-                    Steal::Retry => continue,
+                    Steal::Retry => {
+                        tel.counter("parallel.steal_retry", 1);
+                        continue;
+                    }
                 };
-                let result = f(item);
+                let result = {
+                    let mut span = tel.wall_span("job", "parallel");
+                    span.attr("index", i as u64);
+                    f(item)
+                };
                 slots.lock()[i] = Some(result);
             });
         }
@@ -112,6 +131,8 @@ where
     J: Send,
     F: Fn(J) -> Vec<SweepPoint> + Sync,
 {
+    let mut span = lfm_telemetry::global().wall_span("run_sweep", "sweep");
+    span.attr("jobs", jobs.len() as u64);
     par_map(jobs, run).into_iter().flatten().collect()
 }
 
@@ -134,8 +155,7 @@ mod tests {
         let items: Vec<u64> = (0..257).collect();
         let serial: Vec<u64> = items.iter().map(|x| x.wrapping_mul(31) ^ 7).collect();
         for threads in [2, 4, 8] {
-            let parallel =
-                par_map_with_threads(items.clone(), threads, |x| x.wrapping_mul(31) ^ 7);
+            let parallel = par_map_with_threads(items.clone(), threads, |x| x.wrapping_mul(31) ^ 7);
             assert_eq!(parallel, serial, "{threads} threads");
         }
     }

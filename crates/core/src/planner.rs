@@ -53,8 +53,14 @@ pub fn plan(
         (stream + unpack) * workers as f64 + local * workers as f64 * tasks_per_worker as f64;
 
     let estimates = vec![
-        PlanEstimate { mode: DistMode::SharedFsDirect, total_secs: direct_total },
-        PlanEstimate { mode: DistMode::PackedTransfer, total_secs: packed_total },
+        PlanEstimate {
+            mode: DistMode::SharedFsDirect,
+            total_secs: direct_total,
+        },
+        PlanEstimate {
+            mode: DistMode::PackedTransfer,
+            total_secs: packed_total,
+        },
     ];
     let best = estimates
         .iter()

@@ -40,7 +40,11 @@ impl App {
         name: impl Into<String>,
         imp: impl Fn(&[PyValue]) -> Result<PyValue, String> + Send + Sync + 'static,
     ) -> Self {
-        App { name: name.into(), source: None, imp: Arc::new(imp) }
+        App {
+            name: name.into(),
+            source: None,
+            imp: Arc::new(imp),
+        }
     }
 
     /// An app with mini-Python source attached for dependency analysis.
@@ -49,7 +53,11 @@ impl App {
         source: impl Into<String>,
         imp: impl Fn(&[PyValue]) -> Result<PyValue, String> + Send + Sync + 'static,
     ) -> Self {
-        App { name: name.into(), source: Some(source.into()), imp: Arc::new(imp) }
+        App {
+            name: name.into(),
+            source: Some(source.into()),
+            imp: Arc::new(imp),
+        }
     }
 
     /// An app whose implementation IS its mini-Python source, executed by
@@ -73,8 +81,12 @@ impl App {
             imp: Arc::new(move |args: &[PyValue]| {
                 let mut interp = Interp::new();
                 setup(&mut interp);
-                interp.load_source(&src_for_imp).map_err(|e| e.to_string())?;
-                interp.call_function(&entry, args).map_err(|e| e.to_string())
+                interp
+                    .load_source(&src_for_imp)
+                    .map_err(|e| e.to_string())?;
+                interp
+                    .call_function(&entry, args)
+                    .map_err(|e| e.to_string())
             }),
         }
     }
@@ -105,7 +117,10 @@ mod tests {
             Ok(PyValue::Int(x * 2))
         });
         assert_eq!(app.call(&[PyValue::Int(21)]).unwrap(), PyValue::Int(42));
-        assert_eq!(app.call(&[PyValue::Str("x".into())]).unwrap_err(), "expected int");
+        assert_eq!(
+            app.call(&[PyValue::Str("x".into())]).unwrap_err(),
+            "expected int"
+        );
         assert!(app.analyze().unwrap().top_level_modules().is_empty());
     }
 
@@ -129,11 +144,7 @@ mod tests {
 
     #[test]
     fn interpreted_app_runs_its_source() {
-        let app = App::interpreted(
-            "triple",
-            "def triple(x):\n    return x * 3\n",
-            |_| {},
-        );
+        let app = App::interpreted("triple", "def triple(x):\n    return x * 3\n", |_| {});
         assert_eq!(app.call(&[PyValue::Int(7)]).unwrap(), PyValue::Int(21));
         // And the same source feeds static analysis.
         assert!(app.analyze().unwrap().top_level_modules().is_empty());
@@ -148,15 +159,13 @@ mod tests {
             "mean_of",
             "import numpy as np\n\ndef mean_of(xs):\n    return np.mean(xs)\n",
             |interp| {
-                interp.register_module(ModuleBuilder::new("numpy").function(
-                    "mean",
-                    |args| {
-                        let xs = iterate(&args[0])?;
-                        let nums: Vec<f64> =
-                            xs.iter().filter_map(Value::as_number).collect();
-                        Ok(Value::Float(nums.iter().sum::<f64>() / nums.len().max(1) as f64))
-                    },
-                ));
+                interp.register_module(ModuleBuilder::new("numpy").function("mean", |args| {
+                    let xs = iterate(&args[0])?;
+                    let nums: Vec<f64> = xs.iter().filter_map(Value::as_number).collect();
+                    Ok(Value::Float(
+                        nums.iter().sum::<f64>() / nums.len().max(1) as f64,
+                    ))
+                }));
             },
         );
         let out = app

@@ -93,7 +93,10 @@ impl DataFlowKernel {
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "need at least one worker thread");
         let (tx, rx) = unbounded::<WorkItem>();
-        let inner = Arc::new(Inner { state: Mutex::new(KernelState::default()), tx });
+        let inner = Arc::new(Inner {
+            state: Mutex::new(KernelState::default()),
+            tx,
+        });
         let handles = (0..workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
@@ -104,7 +107,11 @@ impl DataFlowKernel {
                     .expect("spawn worker thread")
             })
             .collect();
-        DataFlowKernel { inner, apps: Mutex::new(HashMap::new()), workers: handles }
+        DataFlowKernel {
+            inner,
+            apps: Mutex::new(HashMap::new()),
+            workers: handles,
+        }
     }
 
     /// Register an app (the `@python_app` decoration step).
@@ -159,11 +166,18 @@ impl DataFlowKernel {
             state.stats.failed += 1;
             state.done.insert(tid, DoneState::Failed);
             drop(state);
-            future.resolve(Err(TaskError::DependencyFailed(format!("task {dep} failed"))));
+            future.resolve(Err(TaskError::DependencyFailed(format!(
+                "task {dep} failed"
+            ))));
             return future;
         }
 
-        let task = WaitingTask { app, args, remaining, future: future.clone() };
+        let task = WaitingTask {
+            app,
+            args,
+            remaining,
+            future: future.clone(),
+        };
         if remaining == 0 {
             dispatch(&self.inner, &mut state, tid, task);
         } else {
@@ -248,7 +262,10 @@ fn dispatch(inner: &Arc<Inner>, state: &mut KernelState, tid: u64, task: Waiting
         future: task.future,
         task_id: tid,
     };
-    inner.tx.send(item).expect("worker pool alive while kernel exists");
+    inner
+        .tx
+        .send(item)
+        .expect("worker pool alive while kernel exists");
 }
 
 fn worker_loop(inner: Arc<Inner>, rx: Receiver<WorkItem>) {
@@ -263,24 +280,27 @@ fn worker_loop(inner: Arc<Inner>, rx: Receiver<WorkItem>) {
     }
 }
 
-fn complete(
-    inner: &Arc<Inner>,
-    item: WorkItem,
-    result: Result<PyValue, TaskError>,
-    wall: f64,
-) {
+fn complete(inner: &Arc<Inner>, item: WorkItem, result: Result<PyValue, TaskError>, wall: f64) {
     let mut state = inner.state.lock();
     let succeeded = result.is_ok();
     state.done.insert(
         item.task_id,
-        if succeeded { DoneState::Succeeded } else { DoneState::Failed },
+        if succeeded {
+            DoneState::Succeeded
+        } else {
+            DoneState::Failed
+        },
     );
     if succeeded {
         state.stats.completed += 1;
     } else {
         state.stats.failed += 1;
     }
-    state.app_wall.entry(item.app.name.clone()).or_default().record(wall);
+    state
+        .app_wall
+        .entry(item.app.name.clone())
+        .or_default()
+        .record(wall);
     item.future.resolve(result);
 
     // Wake dependents. Failures cascade.
@@ -304,9 +324,9 @@ fn complete(
                                 if let Some(gt) = state.waiting.remove(&g) {
                                     state.stats.failed += 1;
                                     state.done.insert(g, DoneState::Failed);
-                                    gt.future.resolve(Err(TaskError::DependencyFailed(
-                                        format!("task {failed} failed"),
-                                    )));
+                                    gt.future.resolve(Err(TaskError::DependencyFailed(format!(
+                                        "task {failed} failed"
+                                    ))));
                                     stack.push(g);
                                 }
                             }
@@ -401,8 +421,14 @@ mod tests {
         let child = dfk.submit("add", vec![Arg::from(&bad), PyValue::Int(1).into()]);
         let grandchild = dfk.submit("add", vec![Arg::from(&child), PyValue::Int(1).into()]);
         assert!(matches!(bad.result(), Err(TaskError::Exception(_))));
-        assert!(matches!(child.result(), Err(TaskError::DependencyFailed(_))));
-        assert!(matches!(grandchild.result(), Err(TaskError::DependencyFailed(_))));
+        assert!(matches!(
+            child.result(),
+            Err(TaskError::DependencyFailed(_))
+        ));
+        assert!(matches!(
+            grandchild.result(),
+            Err(TaskError::DependencyFailed(_))
+        ));
         let s = dfk.stats();
         assert_eq!(s.failed, 3);
     }
@@ -415,7 +441,10 @@ mod tests {
         let bad = dfk.submit("boom", vec![]);
         let _ = bad.result(); // ensure it is marked failed
         let child = dfk.submit("add", vec![Arg::from(&bad), PyValue::Int(1).into()]);
-        assert!(matches!(child.result(), Err(TaskError::DependencyFailed(_))));
+        assert!(matches!(
+            child.result(),
+            Err(TaskError::DependencyFailed(_))
+        ));
     }
 
     #[test]

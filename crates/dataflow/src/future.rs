@@ -57,7 +57,10 @@ impl AppFuture {
     /// A fresh, unresolved future.
     pub fn new(task_id: u64) -> Self {
         AppFuture {
-            state: Arc::new(State { value: Mutex::new(None), cond: Condvar::new() }),
+            state: Arc::new(State {
+                value: Mutex::new(None),
+                cond: Condvar::new(),
+            }),
             task_id,
         }
     }

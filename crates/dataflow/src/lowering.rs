@@ -9,13 +9,13 @@
 //! the dataflow DAG.
 
 use crate::app::App;
+use lfm_monitor::sim::SimTaskProfile;
 use lfm_pyenv::environment::Environment;
 use lfm_pyenv::error::Result as PyResult;
 use lfm_pyenv::index::PackageIndex;
 use lfm_pyenv::pack::pack_cached;
 use lfm_pyenv::requirements::RequirementSet;
 use lfm_pyenv::resolve::resolve_cached;
-use lfm_monitor::sim::SimTaskProfile;
 use lfm_workqueue::files::FileRef;
 use lfm_workqueue::task::{TaskId, TaskSpec};
 use serde::{Deserialize, Serialize};
@@ -129,9 +129,8 @@ impl WqWorkflowBuilder {
         self.next_id += 1;
         let mut inputs = vec![env_file];
         inputs.append(&mut extra_inputs);
-        self.tasks.push(
-            TaskSpec::new(id, app.name.clone(), inputs, output_bytes, profile).after(deps),
-        );
+        self.tasks
+            .push(TaskSpec::new(id, app.name.clone(), inputs, output_bytes, profile).after(deps));
         Ok(id)
     }
 
@@ -199,7 +198,13 @@ mod tests {
         let mut b = builder();
         let app = hep_app();
         let t0 = b
-            .add_invocation(&app, SimTaskProfile::new(60.0, 1.0, 110, 1024), vec![], 0, vec![])
+            .add_invocation(
+                &app,
+                SimTaskProfile::new(60.0, 1.0, 110, 1024),
+                vec![],
+                0,
+                vec![],
+            )
             .unwrap();
         let t1 = b
             .add_invocation(

@@ -11,8 +11,8 @@ use crate::app::App;
 use crate::dfk::{Arg, DataFlowKernel};
 use crate::future::AppFuture;
 use lfm_monitor::report::ResourceReport;
-use lfm_workqueue::allocate::{AllocationDecision, Allocator, AutoConfig, Strategy};
 use lfm_simcluster::node::Resources;
+use lfm_workqueue::allocate::{AllocationDecision, Allocator, AutoConfig, Strategy};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -45,26 +45,25 @@ impl MonitoredKernel {
         let reports = Arc::clone(&self.reports);
         let inner = app.clone();
         let mut wrapped = App::native(name.clone(), move |args| {
-                let started = Instant::now();
-                let rss_before =
-                    lfm_monitor::procfs::read_rss_bytes(std::process::id()).unwrap_or(0);
-                let result = inner.call(args);
-                let rss_after =
-                    lfm_monitor::procfs::read_rss_bytes(std::process::id()).unwrap_or(rss_before);
-                let wall = started.elapsed().as_secs_f64();
-                let report = ResourceReport {
-                    wall_secs: wall,
-                    cpu_secs: wall, // single-threaded native body
-                    peak_cores: 1.0,
-                    peak_rss_mb: rss_after.saturating_sub(rss_before) / (1024 * 1024),
-                    peak_processes: 1,
-                    polls: 1,
-                    ..Default::default()
-                };
-                allocator.lock().observe(&name, &report, result.is_ok());
-                reports.lock().entry(name.clone()).or_default().push(report);
-                result
-            });
+            let started = Instant::now();
+            let rss_before = lfm_monitor::procfs::read_rss_bytes(std::process::id()).unwrap_or(0);
+            let result = inner.call(args);
+            let rss_after =
+                lfm_monitor::procfs::read_rss_bytes(std::process::id()).unwrap_or(rss_before);
+            let wall = started.elapsed().as_secs_f64();
+            let report = ResourceReport {
+                wall_secs: wall,
+                cpu_secs: wall, // single-threaded native body
+                peak_cores: 1.0,
+                peak_rss_mb: rss_after.saturating_sub(rss_before) / (1024 * 1024),
+                peak_processes: 1,
+                polls: 1,
+                ..Default::default()
+            };
+            allocator.lock().observe(&name, &report, result.is_ok());
+            reports.lock().entry(name.clone()).or_default().push(report);
+            result
+        });
         // Keep the original source attached so dependency analysis still
         // sees the function's imports.
         wrapped.source = app.source;
@@ -116,16 +115,23 @@ mod tests {
             Ok(args[0].clone())
         }));
         // Before any samples: whole worker (measurement mode).
-        assert_eq!(mk.label_for("work", &cap()), AllocationDecision::WholeWorker);
-        let futures: Vec<_> =
-            (0..8).map(|i| mk.submit("work", vec![PyValue::Int(i).into()])).collect();
+        assert_eq!(
+            mk.label_for("work", &cap()),
+            AllocationDecision::WholeWorker
+        );
+        let futures: Vec<_> = (0..8)
+            .map(|i| mk.submit("work", vec![PyValue::Int(i).into()]))
+            .collect();
         for f in &futures {
             f.result().unwrap();
         }
         mk.wait_all();
         assert_eq!(mk.samples_for("work"), 8);
         // Enough samples: the label materializes.
-        assert!(matches!(mk.label_for("work", &cap()), AllocationDecision::Sized(_)));
+        assert!(matches!(
+            mk.label_for("work", &cap()),
+            AllocationDecision::Sized(_)
+        ));
         let reports = mk.reports_for("work");
         assert_eq!(reports.len(), 8);
         assert!(reports.iter().all(|r| r.wall_secs >= 0.015));

@@ -56,8 +56,11 @@ impl FunctionRegistry {
         ])
         .dumps()
         .to_vec();
-        let dependencies =
-            analysis.top_level_modules().into_iter().map(str::to_string).collect();
+        let dependencies = analysis
+            .top_level_modules()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
         self.functions.insert(
             id,
             RegisteredFunction {
@@ -96,7 +99,9 @@ mod tests {
     #[test]
     fn register_and_fetch() {
         let mut reg = FunctionRegistry::new();
-        let id = reg.register("classify_image", funcx_classify_source()).unwrap();
+        let id = reg
+            .register("classify_image", funcx_classify_source())
+            .unwrap();
         let f = reg.get(id).unwrap();
         assert_eq!(f.name, "classify_image");
         assert!(f.dependencies.contains(&"tensorflow".to_string()));

@@ -9,7 +9,7 @@
 //! runs the batch.
 
 use crate::container::{ActivationModel, ActivationTech};
-use crate::registry::{FunctionRegistry, FunctionId};
+use crate::registry::{FunctionId, FunctionRegistry};
 use lfm_monitor::sim::SimTaskProfile;
 use lfm_pyenv::environment::Environment;
 use lfm_pyenv::index::PackageIndex;
@@ -34,7 +34,11 @@ pub struct Endpoint {
 
 impl Endpoint {
     pub fn new(name: impl Into<String>, node: NodeSpec, workers: u32) -> Self {
-        Endpoint { name: name.into(), node, workers }
+        Endpoint {
+            name: name.into(),
+            node,
+            workers,
+        }
     }
 }
 
@@ -64,7 +68,9 @@ impl Default for FuncXService {
 
 impl FuncXService {
     pub fn new() -> Self {
-        FuncXService { index: PackageIndex::builtin() }
+        FuncXService {
+            index: PackageIndex::builtin(),
+        }
     }
 
     /// Build the packed-environment input file for a registered function
@@ -74,7 +80,9 @@ impl FuncXService {
         registry: &FunctionRegistry,
         id: FunctionId,
     ) -> Result<FileRef, String> {
-        let f = registry.get(id).ok_or_else(|| format!("unknown function {id}"))?;
+        let f = registry
+            .get(id)
+            .ok_or_else(|| format!("unknown function {id}"))?;
         let mut reqs = RequirementSet::new();
         reqs.add(Requirement::any("python"));
         for m in &f.dependencies {
@@ -117,7 +125,9 @@ impl FuncXService {
         input_bytes: u64,
         seed: u64,
     ) -> Result<RunReport, String> {
-        let f = registry.get(id).ok_or_else(|| format!("unknown function {id}"))?;
+        let f = registry
+            .get(id)
+            .ok_or_else(|| format!("unknown function {id}"))?;
         let env_file = self.environment_for(registry, id)?;
         let mut rng = SimRng::seeded(seed);
         enum Overhead {
@@ -155,14 +165,22 @@ impl FuncXService {
                 TaskSpec::new(
                     TaskId(i),
                     f.name.clone(),
-                    vec![env_file.clone(), FileRef::data(format!("img-{i}"), input_bytes)],
+                    vec![
+                        env_file.clone(),
+                        FileRef::data(format!("img-{i}"), input_bytes),
+                    ],
                     4 * 1024, // small classification result
                     p,
                 )
             })
             .collect();
         let config = MasterConfig::new(strategy).with_seed(seed);
-        Ok(run_workload(&config, tasks, endpoint.workers, endpoint.node))
+        Ok(run_workload(
+            &config,
+            tasks,
+            endpoint.workers,
+            endpoint.node,
+        ))
     }
 
     /// Route a batch across heterogeneous endpoints — funcX "supports
@@ -192,13 +210,10 @@ impl FuncXService {
         );
         let capacities: Vec<u64> = endpoints
             .iter()
-            .map(|ep| {
-                (need.copies_in(&ep.node.resources) as u64 * ep.workers as u64).max(1)
-            })
+            .map(|ep| (need.copies_in(&ep.node.resources) as u64 * ep.workers as u64).max(1))
             .collect();
         let total: u64 = capacities.iter().sum();
-        let mut shares: Vec<u64> =
-            capacities.iter().map(|c| n_tasks * c / total).collect();
+        let mut shares: Vec<u64> = capacities.iter().map(|c| n_tasks * c / total).collect();
         // Distribute the rounding remainder to the largest endpoints.
         let mut assigned: u64 = shares.iter().sum();
         let mut order: Vec<usize> = (0..endpoints.len()).collect();
@@ -239,7 +254,9 @@ mod tests {
     fn setup() -> (FuncXService, FunctionRegistry, FunctionId, Endpoint) {
         let svc = FuncXService::new();
         let mut reg = FunctionRegistry::new();
-        let id = reg.register("classify_image", funcx_classify_source()).unwrap();
+        let id = reg
+            .register("classify_image", funcx_classify_source())
+            .unwrap();
         let ep = Endpoint::new("theta-ep", NodeSpec::new(8, 32 * 1024, 64 * 1024), 4);
         (svc, reg, id, ep)
     }
@@ -254,7 +271,11 @@ mod tests {
         let (svc, reg, id, _) = setup();
         let env = svc.environment_for(&reg, id).unwrap();
         // TensorFlow's stack is huge; the archive must be substantial.
-        assert!(env.size_bytes > 100 << 20, "archive {} too small", env.size_bytes);
+        assert!(
+            env.size_bytes > 100 << 20,
+            "archive {} too small",
+            env.size_bytes
+        );
     }
 
     #[test]
@@ -303,7 +324,11 @@ mod tests {
                 .run_batch(&reg, id, 20, &ep, &mode, resnet_profile(), 1 << 10, 2)
                 .unwrap();
             assert_eq!(rep.abandoned_tasks, 0, "{mode:?}");
-            let ok = rep.results.iter().filter(|r| r.outcome.is_success()).count();
+            let ok = rep
+                .results
+                .iter()
+                .filter(|r| r.outcome.is_success())
+                .count();
             assert_eq!(ok, 20, "{mode:?}");
         }
     }
@@ -344,9 +369,8 @@ mod tests {
             )
             .unwrap();
         assert_eq!(routed.len(), 2);
-        let share = |name: &str| {
-            routed.iter().find(|(n, _)| n == name).unwrap().1.task_count as u64
-        };
+        let share =
+            |name: &str| routed.iter().find(|(n, _)| n == name).unwrap().1.task_count as u64;
         assert_eq!(share("campus") + share("hpc"), 200);
         assert!(
             share("hpc") > 4 * share("campus"),
@@ -355,12 +379,18 @@ mod tests {
             share("campus")
         );
         // Combined (max endpoint makespan) beats the small endpoint alone.
-        let combined = routed.iter().map(|(_, r)| r.makespan_secs).fold(0.0, f64::max);
+        let combined = routed
+            .iter()
+            .map(|(_, r)| r.makespan_secs)
+            .fold(0.0, f64::max);
         let alone = svc
             .run_batch(&reg, id, 200, &small, &mode, resnet_profile(), 1 << 10, 9)
             .unwrap()
             .makespan_secs;
-        assert!(combined < alone, "routing {combined} vs small-alone {alone}");
+        assert!(
+            combined < alone,
+            "routing {combined} vs small-alone {alone}"
+        );
     }
 
     #[test]

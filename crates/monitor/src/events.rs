@@ -73,7 +73,9 @@ mod tests {
         let mut t = ProcessTracker::new();
         let events = t.observe(&[10, 11, 12]);
         assert_eq!(events.len(), 3);
-        assert!(events.iter().all(|e| matches!(e, ProcessEvent::Forked { .. })));
+        assert!(events
+            .iter()
+            .all(|e| matches!(e, ProcessEvent::Forked { .. })));
         assert_eq!(t.live_count(), 3);
     }
 
@@ -84,7 +86,10 @@ mod tests {
         let events = t.observe(&[11, 12]);
         assert_eq!(
             events,
-            vec![ProcessEvent::Forked { pid: 12 }, ProcessEvent::Exited { pid: 10 }]
+            vec![
+                ProcessEvent::Forked { pid: 12 },
+                ProcessEvent::Exited { pid: 10 }
+            ]
         );
         assert_eq!(t.total_forks, 3);
         assert_eq!(t.total_exits, 1);

@@ -99,7 +99,10 @@ impl<'a> Lfm<'a> {
                 return Ok(if code == 0 {
                     MonitorOutcome::Completed(report)
                 } else {
-                    MonitorOutcome::Failed { exit_code: code, report }
+                    MonitorOutcome::Failed {
+                        exit_code: code,
+                        report,
+                    }
                 });
             }
 
@@ -134,7 +137,9 @@ impl Lfm<'_> {
 /// Recursive directory size (best-effort; races with deletion are fine).
 fn dir_size_bytes(dir: &std::path::Path) -> u64 {
     let mut total = 0;
-    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
     for entry in entries.flatten() {
         let Ok(meta) = entry.metadata() else { continue };
         if meta.is_dir() {
@@ -147,17 +152,16 @@ fn dir_size_bytes(dir: &std::path::Path) -> u64 {
 }
 
 /// Aggregate a snapshot over the process tree rooted at `root`.
-fn sample_tree(
-    root: u32,
-    tracker: &mut ProcessTracker,
-    start: Instant,
-) -> Option<UsageSnapshot> {
+fn sample_tree(root: u32, tracker: &mut ProcessTracker, start: Instant) -> Option<UsageSnapshot> {
     let tree = procfs::process_tree(root);
     if tree.is_empty() {
         return None;
     }
     tracker.observe(&tree);
-    let mut snap = UsageSnapshot { elapsed: start.elapsed().as_secs_f64(), ..Default::default() };
+    let mut snap = UsageSnapshot {
+        elapsed: start.elapsed().as_secs_f64(),
+        ..Default::default()
+    };
     let mut any = false;
     for pid in tree {
         if let Some(stat) = procfs::read_stat(pid) {
@@ -293,7 +297,10 @@ mod tests {
                 .with_poll_interval(Duration::from_millis(50))
                 .run(&mut cmd)
                 .unwrap();
-            assert!(started.elapsed() < Duration::from_secs(5), "kill was not prompt");
+            assert!(
+                started.elapsed() < Duration::from_secs(5),
+                "kill was not prompt"
+            );
             match outcome {
                 MonitorOutcome::LimitExceeded { kind, .. } => {
                     assert_eq!(kind, ResourceKind::WallTime)
@@ -324,7 +331,10 @@ mod tests {
             let mut cmd = Command::new("sh");
             cmd.args([
                 "-c",
-                &format!("dd if=/dev/zero of={} bs=1M count=8 2>/dev/null; sleep 0.4", file.display()),
+                &format!(
+                    "dd if=/dev/zero of={} bs=1M count=8 2>/dev/null; sleep 0.4",
+                    file.display()
+                ),
             ]);
             let outcome = Lfm::new()
                 .with_poll_interval(Duration::from_millis(50))
@@ -348,7 +358,10 @@ mod tests {
             let mut cmd = Command::new("sh");
             cmd.args([
                 "-c",
-                &format!("dd if=/dev/zero of={} bs=1M count=30 2>/dev/null; sleep 10", file.display()),
+                &format!(
+                    "dd if=/dev/zero of={} bs=1M count=30 2>/dev/null; sleep 10",
+                    file.display()
+                ),
             ]);
             let outcome = Lfm::new()
                 .with_poll_interval(Duration::from_millis(50))

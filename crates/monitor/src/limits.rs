@@ -102,13 +102,19 @@ mod tests {
     fn memory_limit_trips() {
         let l = ResourceLimits::unlimited().with_memory_mb(100);
         assert_eq!(l.check(&snap(1.0, 0.5, 100, 0), None), None);
-        assert_eq!(l.check(&snap(1.0, 0.5, 101, 0), None), Some(ResourceKind::Memory));
+        assert_eq!(
+            l.check(&snap(1.0, 0.5, 101, 0), None),
+            Some(ResourceKind::Memory)
+        );
     }
 
     #[test]
     fn disk_limit_trips() {
         let l = ResourceLimits::unlimited().with_disk_mb(1024);
-        assert_eq!(l.check(&snap(1.0, 0.0, 0, 2048), None), Some(ResourceKind::Disk));
+        assert_eq!(
+            l.check(&snap(1.0, 0.0, 0, 2048), None),
+            Some(ResourceKind::Disk)
+        );
     }
 
     #[test]
@@ -126,12 +132,20 @@ mod tests {
     #[test]
     fn wall_limit_trips() {
         let l = ResourceLimits::unlimited().with_wall_secs(60.0);
-        assert_eq!(l.check(&snap(61.0, 0.0, 0, 0), None), Some(ResourceKind::WallTime));
+        assert_eq!(
+            l.check(&snap(61.0, 0.0, 0, 0), None),
+            Some(ResourceKind::WallTime)
+        );
     }
 
     #[test]
     fn memory_checked_before_wall() {
-        let l = ResourceLimits::unlimited().with_memory_mb(10).with_wall_secs(1.0);
-        assert_eq!(l.check(&snap(5.0, 0.0, 99, 0), None), Some(ResourceKind::Memory));
+        let l = ResourceLimits::unlimited()
+            .with_memory_mb(10)
+            .with_wall_secs(1.0);
+        assert_eq!(
+            l.check(&snap(5.0, 0.0, 99, 0), None),
+            Some(ResourceKind::Memory)
+        );
     }
 }

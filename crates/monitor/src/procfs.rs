@@ -199,10 +199,7 @@ mod tests {
         // Give the shell a moment to fork.
         std::thread::sleep(std::time::Duration::from_millis(300));
         let tree = process_tree(child.id());
-        assert!(
-            tree.len() >= 2,
-            "expected sh + sleep in tree, got {tree:?}"
-        );
+        assert!(tree.len() >= 2, "expected sh + sleep in tree, got {tree:?}");
         child.kill().ok();
         child.wait().ok();
     }

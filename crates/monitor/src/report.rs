@@ -121,9 +121,15 @@ pub enum MonitorOutcome {
     /// Ran to completion; report attached.
     Completed(ResourceReport),
     /// Killed for exceeding a limit; partial report attached.
-    LimitExceeded { kind: ResourceKind, report: ResourceReport },
+    LimitExceeded {
+        kind: ResourceKind,
+        report: ResourceReport,
+    },
     /// The function itself failed (non-zero exit / raised exception).
-    Failed { exit_code: i32, report: ResourceReport },
+    Failed {
+        exit_code: i32,
+        report: ResourceReport,
+    },
 }
 
 impl MonitorOutcome {
@@ -150,8 +156,16 @@ mod tests {
 
     #[test]
     fn cores_from_cpu_derivative() {
-        let a = UsageSnapshot { elapsed: 1.0, cpu_secs: 1.0, ..Default::default() };
-        let b = UsageSnapshot { elapsed: 2.0, cpu_secs: 3.5, ..Default::default() };
+        let a = UsageSnapshot {
+            elapsed: 1.0,
+            cpu_secs: 1.0,
+            ..Default::default()
+        };
+        let b = UsageSnapshot {
+            elapsed: 2.0,
+            cpu_secs: 3.5,
+            ..Default::default()
+        };
         assert!((b.cores_since(&a) - 2.5).abs() < 1e-12);
         assert_eq!(a.cores_since(&b), 0.0); // reversed order clamps
     }
@@ -186,11 +200,17 @@ mod tests {
 
     #[test]
     fn outcome_accessors() {
-        let r = ResourceReport { wall_secs: 5.0, ..Default::default() };
+        let r = ResourceReport {
+            wall_secs: 5.0,
+            ..Default::default()
+        };
         let ok = MonitorOutcome::Completed(r.clone());
         assert!(ok.is_success());
         assert!(!ok.is_limit_exceeded());
-        let killed = MonitorOutcome::LimitExceeded { kind: ResourceKind::Memory, report: r };
+        let killed = MonitorOutcome::LimitExceeded {
+            kind: ResourceKind::Memory,
+            report: r,
+        };
         assert!(killed.is_limit_exceeded());
         assert_eq!(killed.report().wall_secs, 5.0);
     }

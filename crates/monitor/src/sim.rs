@@ -45,8 +45,7 @@ impl SimTaskProfile {
     pub fn memory_at(&self, t: f64) -> u64 {
         let ramp_end = (self.mem_ramp_fraction * self.duration_secs).max(f64::MIN_POSITIVE);
         let frac = (t / ramp_end).clamp(0.0, 1.0);
-        self.base_memory_mb
-            + ((self.peak_memory_mb - self.base_memory_mb) as f64 * frac) as u64
+        self.base_memory_mb + ((self.peak_memory_mb - self.base_memory_mb) as f64 * frac) as u64
     }
 
     /// Disk in use at time `t`.
@@ -77,7 +76,10 @@ pub struct SimMonitor {
 
 impl Default for SimMonitor {
     fn default() -> Self {
-        SimMonitor { poll_interval: 1.0, per_poll_cost: 0.5e-3 }
+        SimMonitor {
+            poll_interval: 1.0,
+            per_poll_cost: 0.5e-3,
+        }
     }
 }
 
@@ -117,13 +119,16 @@ impl SimMonitor {
                     let need = (limit - profile.base_memory_mb) as f64;
                     profile.mem_ramp_fraction * profile.duration_secs * (need / span)
                 };
-                consider(Some(self.next_poll_after(crossing + 1e-9)), ResourceKind::Memory);
+                consider(
+                    Some(self.next_poll_after(crossing + 1e-9)),
+                    ResourceKind::Memory,
+                );
             }
         }
         if let Some(limit) = limits.disk_mb {
             if profile.peak_disk_mb > limit {
-                let crossing = profile.duration_secs * (limit as f64 + 1.0)
-                    / profile.peak_disk_mb as f64;
+                let crossing =
+                    profile.duration_secs * (limit as f64 + 1.0) / profile.peak_disk_mb as f64;
                 consider(Some(self.next_poll_after(crossing)), ResourceKind::Disk);
             }
         }
@@ -135,7 +140,10 @@ impl SimMonitor {
         }
         if let Some(limit) = limits.wall_secs {
             if profile.duration_secs > limit {
-                consider(Some(self.next_poll_after(limit + 1e-9)), ResourceKind::WallTime);
+                consider(
+                    Some(self.next_poll_after(limit + 1e-9)),
+                    ResourceKind::WallTime,
+                );
             }
         }
         first
@@ -162,7 +170,10 @@ impl SimMonitor {
             Some((_, kind)) => MonitorOutcome::LimitExceeded { kind, report },
             None => MonitorOutcome::Completed(report),
         };
-        SimMonitorResult { outcome, occupied_secs: end }
+        SimMonitorResult {
+            outcome,
+            occupied_secs: end,
+        }
     }
 }
 
@@ -216,17 +227,29 @@ mod tests {
 
     #[test]
     fn kill_time_snaps_to_poll_grid() {
-        let m = SimMonitor { poll_interval: 5.0, per_poll_cost: 0.0 };
+        let m = SimMonitor {
+            poll_interval: 5.0,
+            per_poll_cost: 0.0,
+        };
         let limits = ResourceLimits::unlimited().with_memory_mb(84);
         let r = m.run(&profile(), &limits);
         let t = r.occupied_secs;
-        assert!((t / 5.0 - (t / 5.0).round()).abs() < 1e-9, "kill at {t} not on grid");
+        assert!(
+            (t / 5.0 - (t / 5.0).round()).abs() < 1e-9,
+            "kill at {t} not on grid"
+        );
     }
 
     #[test]
     fn finer_polling_kills_sooner() {
-        let coarse = SimMonitor { poll_interval: 10.0, per_poll_cost: 0.0 };
-        let fine = SimMonitor { poll_interval: 0.5, per_poll_cost: 0.0 };
+        let coarse = SimMonitor {
+            poll_interval: 10.0,
+            per_poll_cost: 0.0,
+        };
+        let fine = SimMonitor {
+            poll_interval: 0.5,
+            per_poll_cost: 0.0,
+        };
         let limits = ResourceLimits::unlimited().with_memory_mb(50);
         let tc = coarse.run(&profile(), &limits).occupied_secs;
         let tf = fine.run(&profile(), &limits).occupied_secs;
@@ -261,7 +284,9 @@ mod tests {
     fn earliest_violation_wins() {
         let m = SimMonitor::default();
         // Memory trips during the ramp (< 12 s); wall trips at 50 s.
-        let limits = ResourceLimits::unlimited().with_memory_mb(50).with_wall_secs(50.0);
+        let limits = ResourceLimits::unlimited()
+            .with_memory_mb(50)
+            .with_wall_secs(50.0);
         match m.run(&profile(), &limits).outcome {
             MonitorOutcome::LimitExceeded { kind, .. } => {
                 assert_eq!(kind, ResourceKind::Memory)
@@ -272,7 +297,10 @@ mod tests {
 
     #[test]
     fn overhead_scales_with_polls() {
-        let m = SimMonitor { poll_interval: 1.0, per_poll_cost: 1e-3 };
+        let m = SimMonitor {
+            poll_interval: 1.0,
+            per_poll_cost: 1e-3,
+        };
         let r = m.run(&profile(), &ResourceLimits::unlimited());
         let rep = r.outcome.report();
         assert_eq!(rep.polls, 60);

@@ -115,7 +115,8 @@ impl MonitorOutcome {
         let mut o = JsonObject::new();
         match self {
             MonitorOutcome::Completed(r) => {
-                o.field_str("status", "completed").field_raw("resources", &r.to_json());
+                o.field_str("status", "completed")
+                    .field_raw("resources", &r.to_json());
             }
             MonitorOutcome::LimitExceeded { kind, report } => {
                 o.field_str("status", "limit_exceeded")
@@ -186,8 +187,11 @@ mod tests {
         .to_json();
         assert!(killed.contains("\"status\":\"limit_exceeded\""));
         assert!(killed.contains("\"limit_exceeded\":\"memory\""));
-        let failed =
-            MonitorOutcome::Failed { exit_code: 3, report: sample_report() }.to_json();
+        let failed = MonitorOutcome::Failed {
+            exit_code: 3,
+            report: sample_report(),
+        }
+        .to_json();
         assert!(failed.contains("\"exit_code\":3"));
     }
 

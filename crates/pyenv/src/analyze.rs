@@ -121,7 +121,13 @@ fn collect_stmt(stmt: &Stmt, a: &mut Analysis) {
                 });
             }
         }
-        Stmt::ImportFrom { module, names, level, star, line } => {
+        Stmt::ImportFrom {
+            module,
+            names,
+            level,
+            star,
+            line,
+        } => {
             if *level > 0 {
                 // Relative import: record the local module path.
                 let local = module.as_ref().map(|m| m.dotted()).unwrap_or_default();
@@ -144,7 +150,10 @@ fn collect_stmt(stmt: &Stmt, a: &mut Analysis) {
             }
             let Some(m) = module else { return };
             if *star {
-                a.warnings.push(AnalysisWarning::StarImport { line: *line, module: m.dotted() });
+                a.warnings.push(AnalysisWarning::StarImport {
+                    line: *line,
+                    module: m.dotted(),
+                });
             }
             a.imports.push(FoundImport {
                 top_level: m.top_level().to_string(),
@@ -158,7 +167,9 @@ fn collect_stmt(stmt: &Stmt, a: &mut Analysis) {
 }
 
 fn collect_dynamic(expr: &Expr, a: &mut Analysis) {
-    let Expr::Call { func, args, .. } = expr else { return };
+    let Expr::Call { func, args, .. } = expr else {
+        return;
+    };
     let call_name = match func.as_ref() {
         Expr::Name(n) if n == "__import__" => "__import__".to_string(),
         Expr::Attribute { value, attr }
@@ -179,15 +190,17 @@ fn collect_dynamic(expr: &Expr, a: &mut Analysis) {
                 kind: ImportKind::DynamicLiteral,
             });
         }
-        _ => a
-            .warnings
-            .push(AnalysisWarning::DynamicImportUnresolved { line: 0, call: call_name }),
+        _ => a.warnings.push(AnalysisWarning::DynamicImportUnresolved {
+            line: 0,
+            call: call_name,
+        }),
     }
 }
 
 fn dedup(a: &mut Analysis) {
     let mut seen = BTreeSet::new();
-    a.imports.retain(|i| seen.insert((i.dotted.clone(), i.kind)));
+    a.imports
+        .retain(|i| seen.insert((i.dotted.clone(), i.kind)));
 }
 
 #[cfg(test)]
@@ -206,13 +219,15 @@ mod tests {
     #[test]
     fn from_import_uses_module_not_names() {
         let a = analyze_source("from tensorflow.keras.models import load_model\n").unwrap();
-        assert_eq!(a.top_level_modules().into_iter().collect::<Vec<_>>(), vec!["tensorflow"]);
+        assert_eq!(
+            a.top_level_modules().into_iter().collect::<Vec<_>>(),
+            vec!["tensorflow"]
+        );
     }
 
     #[test]
     fn aliased_imports() {
-        let a = analyze_source("import numpy as np\nfrom pandas import DataFrame as DF\n")
-            .unwrap();
+        let a = analyze_source("import numpy as np\nfrom pandas import DataFrame as DF\n").unwrap();
         let tops = a.top_level_modules();
         assert!(tops.contains("numpy"));
         assert!(tops.contains("pandas"));
@@ -277,14 +292,20 @@ mod tests {
     #[test]
     fn dynamic_import_variable_warns() {
         let a = analyze_source("m = __import__(name)\n").unwrap();
-        assert!(matches!(a.warnings[0], AnalysisWarning::DynamicImportUnresolved { .. }));
+        assert!(matches!(
+            a.warnings[0],
+            AnalysisWarning::DynamicImportUnresolved { .. }
+        ));
     }
 
     #[test]
     fn duplicates_are_removed() {
         let a = analyze_source("import numpy\nimport numpy\nfrom numpy import array\n").unwrap();
-        let plain: Vec<_> =
-            a.imports.iter().filter(|i| i.top_level == "numpy").collect();
+        let plain: Vec<_> = a
+            .imports
+            .iter()
+            .filter(|i| i.top_level == "numpy")
+            .collect();
         assert_eq!(plain.len(), 2); // one Plain + one From
     }
 

@@ -22,7 +22,9 @@ pub struct DottedName {
 impl DottedName {
     /// Build from a dotted string.
     pub fn parse(s: &str) -> Self {
-        DottedName { parts: s.split('.').map(|p| p.to_string()).collect() }
+        DottedName {
+            parts: s.split('.').map(|p| p.to_string()).collect(),
+        }
     }
 
     /// The first component — the top-level module that maps to a
@@ -48,7 +50,10 @@ pub struct ImportAlias {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Stmt {
     /// `import a.b as x, c`
-    Import { names: Vec<ImportAlias>, line: usize },
+    Import {
+        names: Vec<ImportAlias>,
+        line: usize,
+    },
     /// `from a.b import c as d, e` — `level` counts leading dots for
     /// relative imports (`from ..pkg import x` has level 2); `names` empty
     /// plus `star` true represents `from m import *`.
@@ -68,18 +73,44 @@ pub enum Stmt {
         line: usize,
     },
     /// `class name(bases): body`
-    ClassDef { name: String, bases: Vec<Expr>, body: Vec<Stmt>, line: usize },
+    ClassDef {
+        name: String,
+        bases: Vec<Expr>,
+        body: Vec<Stmt>,
+        line: usize,
+    },
     /// `targets = value` (single chained assignment collapses to last target).
-    Assign { targets: Vec<Expr>, value: Expr },
+    Assign {
+        targets: Vec<Expr>,
+        value: Expr,
+    },
     /// `target op= value`
-    AugAssign { target: Expr, op: String, value: Expr },
+    AugAssign {
+        target: Expr,
+        op: String,
+        value: Expr,
+    },
     /// A bare expression statement (covers calls, docstrings).
     ExprStmt(Expr),
     Return(Option<Expr>),
-    If { test: Expr, body: Vec<Stmt>, orelse: Vec<Stmt> },
-    While { test: Expr, body: Vec<Stmt> },
-    For { target: Expr, iter: Expr, body: Vec<Stmt> },
-    With { items: Vec<(Expr, Option<Expr>)>, body: Vec<Stmt> },
+    If {
+        test: Expr,
+        body: Vec<Stmt>,
+        orelse: Vec<Stmt>,
+    },
+    While {
+        test: Expr,
+        body: Vec<Stmt>,
+    },
+    For {
+        target: Expr,
+        iter: Expr,
+        body: Vec<Stmt>,
+    },
+    With {
+        items: Vec<(Expr, Option<Expr>)>,
+        body: Vec<Stmt>,
+    },
     Try {
         body: Vec<Stmt>,
         handlers: Vec<ExceptHandler>,
@@ -87,7 +118,10 @@ pub enum Stmt {
         finalbody: Vec<Stmt>,
     },
     Raise(Option<Expr>),
-    Assert { test: Expr, msg: Option<Expr> },
+    Assert {
+        test: Expr,
+        msg: Option<Expr>,
+    },
     Global(Vec<String>),
     Pass,
     Break,
@@ -126,27 +160,58 @@ pub enum Expr {
     NoneLit,
     Bool(bool),
     /// `value.attr`
-    Attribute { value: Box<Expr>, attr: String },
+    Attribute {
+        value: Box<Expr>,
+        attr: String,
+    },
     /// `func(args, kw=...)`
-    Call { func: Box<Expr>, args: Vec<Expr>, kwargs: Vec<(String, Expr)> },
+    Call {
+        func: Box<Expr>,
+        args: Vec<Expr>,
+        kwargs: Vec<(String, Expr)>,
+    },
     /// `value[index]`
-    Subscript { value: Box<Expr>, index: Box<Expr> },
+    Subscript {
+        value: Box<Expr>,
+        index: Box<Expr>,
+    },
     /// Binary operation.
-    BinOp { left: Box<Expr>, op: String, right: Box<Expr> },
+    BinOp {
+        left: Box<Expr>,
+        op: String,
+        right: Box<Expr>,
+    },
     /// Unary operation (`-x`, `not x`, `~x`).
-    UnaryOp { op: String, operand: Box<Expr> },
+    UnaryOp {
+        op: String,
+        operand: Box<Expr>,
+    },
     /// Boolean operation chain (`and` / `or`).
-    BoolOp { op: String, values: Vec<Expr> },
+    BoolOp {
+        op: String,
+        values: Vec<Expr>,
+    },
     /// Comparison chain (`a < b <= c`).
-    Compare { left: Box<Expr>, ops: Vec<String>, comparators: Vec<Expr> },
+    Compare {
+        left: Box<Expr>,
+        ops: Vec<String>,
+        comparators: Vec<Expr>,
+    },
     List(Vec<Expr>),
     Tuple(Vec<Expr>),
     Dict(Vec<(Expr, Expr)>),
     Set(Vec<Expr>),
     /// `lambda params: body`
-    Lambda { params: Vec<Param>, body: Box<Expr> },
+    Lambda {
+        params: Vec<Param>,
+        body: Box<Expr>,
+    },
     /// `body if test else orelse`
-    IfExp { test: Box<Expr>, body: Box<Expr>, orelse: Box<Expr> },
+    IfExp {
+        test: Box<Expr>,
+        body: Box<Expr>,
+        orelse: Box<Expr>,
+    },
     /// `yield [value]` in expression position.
     Yield(Option<Box<Expr>>),
     /// `[elt for target in iter if cond]` (all comprehension kinds collapse
@@ -190,7 +255,9 @@ impl Module {
 
     /// Find a top-level function definition by name.
     pub fn find_function(&self, name: &str) -> Option<&Stmt> {
-        self.body.iter().find(|s| matches!(s, Stmt::FunctionDef { name: n, .. } if n == name))
+        self.body
+            .iter()
+            .find(|s| matches!(s, Stmt::FunctionDef { name: n, .. } if n == name))
     }
 
     /// Names of all top-level function definitions.
@@ -224,7 +291,12 @@ pub fn walk_stmt<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Stmt)) {
                 walk_stmt(s, f);
             }
         }
-        Stmt::Try { body, handlers, orelse, finalbody } => {
+        Stmt::Try {
+            body,
+            handlers,
+            orelse,
+            finalbody,
+        } => {
             for s in body.iter().chain(orelse).chain(finalbody) {
                 walk_stmt(s, f);
             }
@@ -242,9 +314,15 @@ pub fn walk_stmt<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Stmt)) {
 pub fn walk_stmt_exprs<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
     let mut visit = |e: &'a Expr| walk_expr(e, f);
     match stmt {
-        Stmt::Import { .. } | Stmt::ImportFrom { .. } | Stmt::Pass | Stmt::Break
-        | Stmt::Continue | Stmt::Global(_) => {}
-        Stmt::FunctionDef { decorators, params, .. } => {
+        Stmt::Import { .. }
+        | Stmt::ImportFrom { .. }
+        | Stmt::Pass
+        | Stmt::Break
+        | Stmt::Continue
+        | Stmt::Global(_) => {}
+        Stmt::FunctionDef {
+            decorators, params, ..
+        } => {
             for d in decorators {
                 visit(d);
             }
@@ -313,7 +391,11 @@ pub fn walk_stmt_exprs<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
 pub fn walk_expr<'a>(expr: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
     f(expr);
     match expr {
-        Expr::Name(_) | Expr::Int(_) | Expr::Float(_) | Expr::Str(_) | Expr::NoneLit
+        Expr::Name(_)
+        | Expr::Int(_)
+        | Expr::Float(_)
+        | Expr::Str(_)
+        | Expr::NoneLit
         | Expr::Bool(_) => {}
         Expr::FString(parts) => {
             for p in parts {
@@ -346,7 +428,9 @@ pub fn walk_expr<'a>(expr: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
                 walk_expr(v, f);
             }
         }
-        Expr::Compare { left, comparators, .. } => {
+        Expr::Compare {
+            left, comparators, ..
+        } => {
             walk_expr(left, f);
             for c in comparators {
                 walk_expr(c, f);
@@ -381,7 +465,14 @@ pub fn walk_expr<'a>(expr: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
                 walk_expr(v, f);
             }
         }
-        Expr::Comprehension { elt, value, target, iter, conditions, .. } => {
+        Expr::Comprehension {
+            elt,
+            value,
+            target,
+            iter,
+            conditions,
+            ..
+        } => {
             walk_expr(elt, f);
             if let Some(v) = value {
                 walk_expr(v, f);

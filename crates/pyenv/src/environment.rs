@@ -36,7 +36,12 @@ impl Environment {
             }
             installed.insert(rel.name.clone(), rel.clone());
         }
-        Ok(Environment { name: name.into(), prefix: prefix.into(), installed, module_map })
+        Ok(Environment {
+            name: name.into(),
+            prefix: prefix.into(),
+            installed,
+            module_map,
+        })
     }
 
     /// Crate-internal constructor (used by archive unpacking, where the
@@ -47,7 +52,12 @@ impl Environment {
         installed: BTreeMap<String, DistRelease>,
         module_map: BTreeMap<String, String>,
     ) -> Self {
-        Environment { name, prefix, installed, module_map }
+        Environment {
+            name,
+            prefix,
+            installed,
+            module_map,
+        }
     }
 
     /// The installed version of `dist`, if present.
@@ -126,8 +136,20 @@ impl Environment {
 /// needed for every application, let alone function").
 pub fn user_environment(index: &PackageIndex) -> Result<Environment> {
     let everything: RequirementSet = [
-        "python", "numpy", "scipy", "pandas", "scikit-learn", "matplotlib", "sympy",
-        "tensorflow", "mxnet", "coffea", "rdkit", "biopython", "requests", "parsl",
+        "python",
+        "numpy",
+        "scipy",
+        "pandas",
+        "scikit-learn",
+        "matplotlib",
+        "sympy",
+        "tensorflow",
+        "mxnet",
+        "coffea",
+        "rdkit",
+        "biopython",
+        "requests",
+        "parsl",
         "work-queue",
     ]
     .iter()
@@ -162,7 +184,10 @@ mod tests {
 
     fn env_for(reqs: &[&str]) -> Environment {
         let ix = PackageIndex::builtin();
-        let set: RequirementSet = reqs.iter().map(|s| s.parse::<Requirement>().unwrap()).collect();
+        let set: RequirementSet = reqs
+            .iter()
+            .map(|s| s.parse::<Requirement>().unwrap())
+            .collect();
         let r = resolve(&ix, &set).unwrap();
         Environment::from_resolution("test", "/tmp/envs/test", &ix, &r).unwrap()
     }
@@ -170,7 +195,10 @@ mod tests {
     #[test]
     fn environment_exposes_installed_versions() {
         let env = env_for(&["numpy"]);
-        assert_eq!(env.installed_version("numpy").unwrap(), "1.18.5".parse().unwrap());
+        assert_eq!(
+            env.installed_version("numpy").unwrap(),
+            "1.18.5".parse().unwrap()
+        );
         assert!(env.installed_version("pandas").is_none());
     }
 

@@ -6,9 +6,17 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PyEnvError {
     /// Lexical error at a source position.
-    Lex { line: usize, col: usize, message: String },
+    Lex {
+        line: usize,
+        col: usize,
+        message: String,
+    },
     /// Syntax error at a source position.
-    Parse { line: usize, col: usize, message: String },
+    Parse {
+        line: usize,
+        col: usize,
+        message: String,
+    },
     /// A version string could not be parsed.
     BadVersion(String),
     /// A requirement string could not be parsed.
@@ -34,7 +42,10 @@ pub enum PyEnvError {
 impl PyEnvError {
     /// Construct an interpreter runtime error.
     pub fn runtime(kind: impl Into<String>, message: impl Into<String>) -> Self {
-        PyEnvError::Runtime { kind: kind.into(), message: message.into() }
+        PyEnvError::Runtime {
+            kind: kind.into(),
+            message: message.into(),
+        }
     }
 }
 

@@ -84,7 +84,10 @@ impl PackageIndex {
 
     /// The newest release of `name` satisfying `req`.
     pub fn latest_matching(&self, name: &str, req: &VersionReq) -> Option<&DistRelease> {
-        self.releases(name).iter().rev().find(|r| req.matches(r.version))
+        self.releases(name)
+            .iter()
+            .rev()
+            .find(|r| req.matches(r.version))
     }
 
     /// A specific release.
@@ -196,20 +199,60 @@ impl PackageIndex {
         // --- Interpreter. The `python` distribution provides the standard
         // library import names used by our workloads.
         let stdlib: Vec<&str> = vec![
-            "python", "os", "sys", "math", "json", "re", "time", "io", "itertools",
-            "functools", "collections", "pickle", "importlib", "subprocess",
-            "multiprocessing", "concurrent", "pathlib", "random", "statistics", "csv",
-            "gzip", "hashlib", "logging", "typing", "shutil", "tempfile", "glob",
-            "argparse", "base64", "struct", "socket", "threading", "queue", "warnings",
-            "copy", "textwrap", "string", "datetime",
+            "python",
+            "os",
+            "sys",
+            "math",
+            "json",
+            "re",
+            "time",
+            "io",
+            "itertools",
+            "functools",
+            "collections",
+            "pickle",
+            "importlib",
+            "subprocess",
+            "multiprocessing",
+            "concurrent",
+            "pathlib",
+            "random",
+            "statistics",
+            "csv",
+            "gzip",
+            "hashlib",
+            "logging",
+            "typing",
+            "shutil",
+            "tempfile",
+            "glob",
+            "argparse",
+            "base64",
+            "struct",
+            "socket",
+            "threading",
+            "queue",
+            "warnings",
+            "copy",
+            "textwrap",
+            "string",
+            "datetime",
         ];
         for v in ["3.7.4", "3.8.2"] {
-            add("python", v, mb(98), 4178, vec![
-                ("openssl", any()),
-                ("zlib", any()),
-                ("readline", any()),
-                ("sqlite", any()),
-            ], stdlib.clone(), true);
+            add(
+                "python",
+                v,
+                mb(98),
+                4178,
+                vec![
+                    ("openssl", any()),
+                    ("zlib", any()),
+                    ("readline", any()),
+                    ("sqlite", any()),
+                ],
+                stdlib.clone(),
+                true,
+            );
         }
         // Non-Python packages Conda provides alongside the interpreter.
         add("openssl", "1.1.1", mb(4), 42, vec![], vec![], true);
@@ -218,58 +261,302 @@ impl PackageIndex {
         add("sqlite", "3.31.1", mb(4), 11, vec![], vec![], true);
         add("libblas", "3.8.0", mb(11), 18, vec![], vec![], true);
         add("mkl", "2020.0.0", mb(230), 49, vec![], vec![], true);
-        add("hdf5", "1.10.4", mb(12), 53, vec![("zlib", any())], vec![], true);
+        add(
+            "hdf5",
+            "1.10.4",
+            mb(12),
+            53,
+            vec![("zlib", any())],
+            vec![],
+            true,
+        );
         add("libprotobuf", "3.11.4", mb(9), 31, vec![], vec![], true);
 
         // --- Foundation wheels.
-        add("setuptools", "46.1.3", mb(2), 320, vec![("python", req(">=3.7"))], vec!["setuptools", "pkg_resources"], false);
-        add("wheel", "0.34.2", mb(1), 38, vec![("python", req(">=3.7"))], vec!["wheel"], false);
-        add("six", "1.14.0", mb(1), 8, vec![("python", any())], vec!["six"], false);
-        add("certifi", "2020.4.5", mb(1), 9, vec![("python", any())], vec!["certifi"], false);
-        add("idna", "2.9.0", mb(1), 15, vec![("python", any())], vec!["idna"], false);
-        add("chardet", "3.0.4", mb(1), 40, vec![("python", any())], vec!["chardet"], false);
-        add("urllib3", "1.25.8", mb(1), 98, vec![("python", any()), ("certifi", any())], vec!["urllib3"], false);
+        add(
+            "setuptools",
+            "46.1.3",
+            mb(2),
+            320,
+            vec![("python", req(">=3.7"))],
+            vec!["setuptools", "pkg_resources"],
+            false,
+        );
+        add(
+            "wheel",
+            "0.34.2",
+            mb(1),
+            38,
+            vec![("python", req(">=3.7"))],
+            vec!["wheel"],
+            false,
+        );
+        add(
+            "six",
+            "1.14.0",
+            mb(1),
+            8,
+            vec![("python", any())],
+            vec!["six"],
+            false,
+        );
+        add(
+            "certifi",
+            "2020.4.5",
+            mb(1),
+            9,
+            vec![("python", any())],
+            vec!["certifi"],
+            false,
+        );
+        add(
+            "idna",
+            "2.9.0",
+            mb(1),
+            15,
+            vec![("python", any())],
+            vec!["idna"],
+            false,
+        );
+        add(
+            "chardet",
+            "3.0.4",
+            mb(1),
+            40,
+            vec![("python", any())],
+            vec!["chardet"],
+            false,
+        );
+        add(
+            "urllib3",
+            "1.25.8",
+            mb(1),
+            98,
+            vec![("python", any()), ("certifi", any())],
+            vec!["urllib3"],
+            false,
+        );
         add(
             "requests",
             "2.23.0",
             mb(1),
             62,
-            vec![("python", any()), ("urllib3", req(">=1.21")), ("idna", any()), ("chardet", any()), ("certifi", any())],
+            vec![
+                ("python", any()),
+                ("urllib3", req(">=1.21")),
+                ("idna", any()),
+                ("chardet", any()),
+                ("certifi", any()),
+            ],
             vec!["requests"],
             false,
         );
-        add("pytz", "2019.3.0", mb(2), 612, vec![("python", any())], vec!["pytz"], false);
-        add("python-dateutil", "2.8.1", mb(1), 25, vec![("python", any()), ("six", req(">=1.5"))], vec!["dateutil"], false);
-        add("pyparsing", "2.4.7", mb(1), 11, vec![("python", any())], vec!["pyparsing"], false);
-        add("cycler", "0.10.0", mb(1), 6, vec![("python", any()), ("six", any())], vec!["cycler"], false);
-        add("kiwisolver", "1.2.0", mb(1), 7, vec![("python", any())], vec!["kiwisolver"], true);
-        add("joblib", "0.14.1", mb(2), 210, vec![("python", any())], vec!["joblib"], false);
-        add("threadpoolctl", "2.0.0", mb(1), 5, vec![("python", any())], vec!["threadpoolctl"], false);
-        add("cloudpickle", "1.3.0", mb(1), 9, vec![("python", any())], vec!["cloudpickle"], false);
-        add("protobuf", "3.11.4", mb(3), 77, vec![("python", any()), ("six", any()), ("libprotobuf", any())], vec!["google"], true);
-        add("absl-py", "0.9.0", mb(1), 102, vec![("python", any()), ("six", any())], vec!["absl"], false);
-        add("grpcio", "1.27.2", mb(7), 423, vec![("python", any()), ("six", any())], vec!["grpc"], true);
-        add("h5py", "2.10.0", mb(5), 121, vec![("python", any()), ("numpy", req(">=1.7")), ("hdf5", any()), ("six", any())], vec!["h5py"], true);
-        add("pillow", "7.1.2", mb(6), 190, vec![("python", any())], vec!["PIL"], true);
-        add("lz4", "3.0.2", mb(1), 18, vec![("python", any())], vec!["lz4"], true);
-        add("tqdm", "4.45.0", mb(1), 64, vec![("python", any())], vec!["tqdm"], false);
-        add("psutil", "5.7.0", mb(2), 88, vec![("python", any())], vec!["psutil"], true);
-        add("llvmlite", "0.32.0", mb(58), 90, vec![("python", any())], vec!["llvmlite"], true);
+        add(
+            "pytz",
+            "2019.3.0",
+            mb(2),
+            612,
+            vec![("python", any())],
+            vec!["pytz"],
+            false,
+        );
+        add(
+            "python-dateutil",
+            "2.8.1",
+            mb(1),
+            25,
+            vec![("python", any()), ("six", req(">=1.5"))],
+            vec!["dateutil"],
+            false,
+        );
+        add(
+            "pyparsing",
+            "2.4.7",
+            mb(1),
+            11,
+            vec![("python", any())],
+            vec!["pyparsing"],
+            false,
+        );
+        add(
+            "cycler",
+            "0.10.0",
+            mb(1),
+            6,
+            vec![("python", any()), ("six", any())],
+            vec!["cycler"],
+            false,
+        );
+        add(
+            "kiwisolver",
+            "1.2.0",
+            mb(1),
+            7,
+            vec![("python", any())],
+            vec!["kiwisolver"],
+            true,
+        );
+        add(
+            "joblib",
+            "0.14.1",
+            mb(2),
+            210,
+            vec![("python", any())],
+            vec!["joblib"],
+            false,
+        );
+        add(
+            "threadpoolctl",
+            "2.0.0",
+            mb(1),
+            5,
+            vec![("python", any())],
+            vec!["threadpoolctl"],
+            false,
+        );
+        add(
+            "cloudpickle",
+            "1.3.0",
+            mb(1),
+            9,
+            vec![("python", any())],
+            vec!["cloudpickle"],
+            false,
+        );
+        add(
+            "protobuf",
+            "3.11.4",
+            mb(3),
+            77,
+            vec![("python", any()), ("six", any()), ("libprotobuf", any())],
+            vec!["google"],
+            true,
+        );
+        add(
+            "absl-py",
+            "0.9.0",
+            mb(1),
+            102,
+            vec![("python", any()), ("six", any())],
+            vec!["absl"],
+            false,
+        );
+        add(
+            "grpcio",
+            "1.27.2",
+            mb(7),
+            423,
+            vec![("python", any()), ("six", any())],
+            vec!["grpc"],
+            true,
+        );
+        add(
+            "h5py",
+            "2.10.0",
+            mb(5),
+            121,
+            vec![
+                ("python", any()),
+                ("numpy", req(">=1.7")),
+                ("hdf5", any()),
+                ("six", any()),
+            ],
+            vec!["h5py"],
+            true,
+        );
+        add(
+            "pillow",
+            "7.1.2",
+            mb(6),
+            190,
+            vec![("python", any())],
+            vec!["PIL"],
+            true,
+        );
+        add(
+            "lz4",
+            "3.0.2",
+            mb(1),
+            18,
+            vec![("python", any())],
+            vec!["lz4"],
+            true,
+        );
+        add(
+            "tqdm",
+            "4.45.0",
+            mb(1),
+            64,
+            vec![("python", any())],
+            vec!["tqdm"],
+            false,
+        );
+        add(
+            "psutil",
+            "5.7.0",
+            mb(2),
+            88,
+            vec![("python", any())],
+            vec!["psutil"],
+            true,
+        );
+        add(
+            "llvmlite",
+            "0.32.0",
+            mb(58),
+            90,
+            vec![("python", any())],
+            vec!["llvmlite"],
+            true,
+        );
 
         // --- NumPy: two versions to exercise the resolver.
         for v in ["1.17.4", "1.18.5"] {
-            add("numpy", v, mb(168), 789, vec![("python", req(">=3.7")), ("libblas", any()), ("mkl", any())], vec!["numpy"], true);
+            add(
+                "numpy",
+                v,
+                mb(168),
+                789,
+                vec![("python", req(">=3.7")), ("libblas", any()), ("mkl", any())],
+                vec!["numpy"],
+                true,
+            );
         }
-        add("numba", "0.49.0", mb(12), 480, vec![("python", any()), ("numpy", req(">=1.15")), ("llvmlite", req(">=0.32"))], vec!["numba"], true);
+        add(
+            "numba",
+            "0.49.0",
+            mb(12),
+            480,
+            vec![
+                ("python", any()),
+                ("numpy", req(">=1.15")),
+                ("llvmlite", req(">=0.32")),
+            ],
+            vec!["numba"],
+            true,
+        );
 
         // --- Table II's five SCIENTIFIC/ENGINEERING PyPI picks.
-        add("scipy", "1.4.1", mb(242), 1432, vec![("python", req(">=3.7")), ("numpy", req(">=1.13"))], vec!["scipy"], true);
+        add(
+            "scipy",
+            "1.4.1",
+            mb(242),
+            1432,
+            vec![("python", req(">=3.7")), ("numpy", req(">=1.13"))],
+            vec!["scipy"],
+            true,
+        );
         add(
             "pandas",
             "1.0.3",
             mb(219),
             1280,
-            vec![("python", req(">=3.7")), ("numpy", req(">=1.13")), ("pytz", any()), ("python-dateutil", req(">=2.6"))],
+            vec![
+                ("python", req(">=3.7")),
+                ("numpy", req(">=1.13")),
+                ("pytz", any()),
+                ("python-dateutil", req(">=2.6")),
+            ],
             vec!["pandas"],
             true,
         );
@@ -278,7 +565,13 @@ impl PackageIndex {
             "0.22.1",
             mb(261),
             1104,
-            vec![("python", req(">=3.7")), ("numpy", req(">=1.11")), ("scipy", req(">=0.17")), ("joblib", req(">=0.11")), ("threadpoolctl", any())],
+            vec![
+                ("python", req(">=3.7")),
+                ("numpy", req(">=1.11")),
+                ("scipy", req(">=0.17")),
+                ("joblib", req(">=0.11")),
+                ("threadpoolctl", any()),
+            ],
             vec!["sklearn"],
             true,
         );
@@ -287,7 +580,15 @@ impl PackageIndex {
             "3.2.1",
             mb(201),
             2113,
-            vec![("python", req(">=3.7")), ("numpy", req(">=1.11")), ("cycler", any()), ("kiwisolver", any()), ("pyparsing", any()), ("python-dateutil", any()), ("pillow", any())],
+            vec![
+                ("python", req(">=3.7")),
+                ("numpy", req(">=1.11")),
+                ("cycler", any()),
+                ("kiwisolver", any()),
+                ("pyparsing", any()),
+                ("python-dateutil", any()),
+                ("pillow", any()),
+            ],
             vec!["matplotlib", "mpl_toolkits"],
             true,
         );
@@ -300,7 +601,15 @@ impl PackageIndex {
             vec!["sympy"],
             false,
         );
-        add("mpmath", "1.1.0", mb(2), 180, vec![("python", any())], vec!["mpmath"], false);
+        add(
+            "mpmath",
+            "1.1.0",
+            mb(2),
+            180,
+            vec![("python", any())],
+            vec!["mpmath"],
+            false,
+        );
 
         // --- ML frameworks (the heavy hitters of Figures 4/5).
         add(
@@ -327,7 +636,12 @@ impl PackageIndex {
             "2.3.1",
             mb(12),
             312,
-            vec![("python", any()), ("numpy", req(">=1.9")), ("six", any()), ("h5py", any())],
+            vec![
+                ("python", any()),
+                ("numpy", req(">=1.9")),
+                ("six", any()),
+                ("h5py", any()),
+            ],
             vec!["keras"],
             false,
         );
@@ -336,21 +650,56 @@ impl PackageIndex {
             "1.6.0",
             mb(912),
             5210,
-            vec![("python", req(">=3.7")), ("numpy", req(">=1.16,<2.0")), ("requests", any()), ("graphviz", any())],
+            vec![
+                ("python", req(">=3.7")),
+                ("numpy", req(">=1.16,<2.0")),
+                ("requests", any()),
+                ("graphviz", any()),
+            ],
             vec!["mxnet"],
             true,
         );
-        add("graphviz", "0.13.2", mb(1), 19, vec![("python", any())], vec!["graphviz"], false);
+        add(
+            "graphviz",
+            "0.13.2",
+            mb(1),
+            19,
+            vec![("python", any())],
+            vec!["graphviz"],
+            false,
+        );
 
         // --- HEP stack (Coffea).
-        add("uproot-methods", "0.7.3", mb(1), 34, vec![("python", any()), ("numpy", any()), ("awkward", any())], vec!["uproot_methods"], false);
-        add("awkward", "0.12.20", mb(3), 61, vec![("python", any()), ("numpy", req(">=1.13"))], vec!["awkward"], false);
+        add(
+            "uproot-methods",
+            "0.7.3",
+            mb(1),
+            34,
+            vec![("python", any()), ("numpy", any()), ("awkward", any())],
+            vec!["uproot_methods"],
+            false,
+        );
+        add(
+            "awkward",
+            "0.12.20",
+            mb(3),
+            61,
+            vec![("python", any()), ("numpy", req(">=1.13"))],
+            vec!["awkward"],
+            false,
+        );
         add(
             "uproot",
             "3.11.3",
             mb(4),
             118,
-            vec![("python", any()), ("numpy", any()), ("awkward", any()), ("uproot-methods", any()), ("lz4", any())],
+            vec![
+                ("python", any()),
+                ("numpy", any()),
+                ("awkward", any()),
+                ("uproot-methods", any()),
+                ("lz4", any()),
+            ],
             vec!["uproot"],
             false,
         );
@@ -374,16 +723,89 @@ impl PackageIndex {
         );
 
         // --- Drug-screening stack.
-        add("rdkit", "2019.9.3", mb(412), 2871, vec![("python", req(">=3.7")), ("numpy", req(">=1.13")), ("pillow", any())], vec!["rdkit"], true);
-        add("openbabel", "3.0.0", mb(88), 402, vec![("python", any())], vec!["openbabel"], true);
-        add("mordred", "1.2.0", mb(6), 391, vec![("python", any()), ("numpy", any()), ("rdkit", any()), ("six", any())], vec!["mordred"], false);
+        add(
+            "rdkit",
+            "2019.9.3",
+            mb(412),
+            2871,
+            vec![
+                ("python", req(">=3.7")),
+                ("numpy", req(">=1.13")),
+                ("pillow", any()),
+            ],
+            vec!["rdkit"],
+            true,
+        );
+        add(
+            "openbabel",
+            "3.0.0",
+            mb(88),
+            402,
+            vec![("python", any())],
+            vec!["openbabel"],
+            true,
+        );
+        add(
+            "mordred",
+            "1.2.0",
+            mb(6),
+            391,
+            vec![
+                ("python", any()),
+                ("numpy", any()),
+                ("rdkit", any()),
+                ("six", any()),
+            ],
+            vec!["mordred"],
+            false,
+        );
 
         // --- Genomics stack (GDC DNA-Seq pipeline tools, Conda-provided).
-        add("biopython", "1.76.0", mb(14), 1243, vec![("python", req(">=3.7")), ("numpy", any())], vec!["Bio"], true);
-        add("pysam", "0.15.4", mb(21), 270, vec![("python", req(">=3.7")), ("zlib", any())], vec!["pysam"], true);
-        add("bwa", "0.7.17", mb(2), 6, vec![("zlib", any())], vec![], true);
-        add("samtools", "1.9.0", mb(5), 29, vec![("zlib", any())], vec![], true);
-        add("gatk4", "4.1.4", mb(310), 412, vec![("openjdk", any())], vec![], false);
+        add(
+            "biopython",
+            "1.76.0",
+            mb(14),
+            1243,
+            vec![("python", req(">=3.7")), ("numpy", any())],
+            vec!["Bio"],
+            true,
+        );
+        add(
+            "pysam",
+            "0.15.4",
+            mb(21),
+            270,
+            vec![("python", req(">=3.7")), ("zlib", any())],
+            vec!["pysam"],
+            true,
+        );
+        add(
+            "bwa",
+            "0.7.17",
+            mb(2),
+            6,
+            vec![("zlib", any())],
+            vec![],
+            true,
+        );
+        add(
+            "samtools",
+            "1.9.0",
+            mb(5),
+            29,
+            vec![("zlib", any())],
+            vec![],
+            true,
+        );
+        add(
+            "gatk4",
+            "4.1.4",
+            mb(310),
+            412,
+            vec![("openjdk", any())],
+            vec![],
+            false,
+        );
         add("openjdk", "11.0.6", mb(178), 489, vec![], vec![], true);
         add(
             "ensembl-vep",
@@ -397,9 +819,37 @@ impl PackageIndex {
         add("perl", "5.26.2", mb(46), 2146, vec![], vec![], true);
 
         // --- Parallel frameworks themselves (ship with every LFM env).
-        add("parsl", "0.9.0", mb(3), 214, vec![("python", req(">=3.7")), ("cloudpickle", any()), ("six", any())], vec!["parsl"], false);
-        add("work-queue", "7.1.2", mb(6), 44, vec![("python", any())], vec!["work_queue", "ndcctools"], true);
-        add("funcx", "0.0.3", mb(2), 87, vec![("python", any()), ("requests", any()), ("parsl", any())], vec!["funcx"], false);
+        add(
+            "parsl",
+            "0.9.0",
+            mb(3),
+            214,
+            vec![
+                ("python", req(">=3.7")),
+                ("cloudpickle", any()),
+                ("six", any()),
+            ],
+            vec!["parsl"],
+            false,
+        );
+        add(
+            "work-queue",
+            "7.1.2",
+            mb(6),
+            44,
+            vec![("python", any())],
+            vec!["work_queue", "ndcctools"],
+            true,
+        );
+        add(
+            "funcx",
+            "0.0.3",
+            mb(2),
+            87,
+            vec![("python", any()), ("requests", any()), ("parsl", any())],
+            vec!["funcx"],
+            false,
+        );
 
         // --- The three application stacks as meta-distributions (Table II's
         // last three rows).
@@ -408,7 +858,14 @@ impl PackageIndex {
             "1.0.0",
             mb(240),
             612,
-            vec![("python", req(">=3.7")), ("coffea", any()), ("uproot", any()), ("numpy", any()), ("parsl", any()), ("work-queue", any())],
+            vec![
+                ("python", req(">=3.7")),
+                ("coffea", any()),
+                ("uproot", any()),
+                ("numpy", any()),
+                ("parsl", any()),
+                ("work-queue", any()),
+            ],
             vec!["hep_app"],
             false,
         );
@@ -492,7 +949,10 @@ mod tests {
         let numpy = ix.releases("numpy");
         assert_eq!(numpy.len(), 2);
         assert!(numpy[0].version < numpy[1].version);
-        assert_eq!(ix.latest("numpy").unwrap().version, "1.18.5".parse().unwrap());
+        assert_eq!(
+            ix.latest("numpy").unwrap().version,
+            "1.18.5".parse().unwrap()
+        );
     }
 
     #[test]
@@ -512,9 +972,18 @@ mod tests {
         let np = ix.dependency_count("numpy").unwrap();
         let tf = ix.dependency_count("tensorflow").unwrap();
         let app = ix.dependency_count("drug-screen-app").unwrap();
-        assert!(py < np, "python ({py}) should have fewer deps than numpy ({np})");
-        assert!(np < tf, "numpy ({np}) should have fewer deps than tensorflow ({tf})");
-        assert!(tf < app, "tensorflow ({tf}) should have fewer deps than the drug app ({app})");
+        assert!(
+            py < np,
+            "python ({py}) should have fewer deps than numpy ({np})"
+        );
+        assert!(
+            np < tf,
+            "numpy ({np}) should have fewer deps than tensorflow ({tf})"
+        );
+        assert!(
+            tf < app,
+            "tensorflow ({tf}) should have fewer deps than the drug app ({app})"
+        );
     }
 
     #[test]
@@ -540,7 +1009,11 @@ mod tests {
                 has_native_libs: false,
             });
         }
-        let vs: Vec<_> = ix.releases("pkg").iter().map(|r| r.version.to_string()).collect();
+        let vs: Vec<_> = ix
+            .releases("pkg")
+            .iter()
+            .map(|r| r.version.to_string())
+            .collect();
         assert_eq!(vs, vec!["1.0.0", "1.5.0", "2.0.0"]);
     }
 }

@@ -16,7 +16,10 @@ fn arity(name: &str, args: &[Value], expect: std::ops::RangeInclusive<usize>) ->
     if expect.contains(&args.len()) {
         Ok(())
     } else {
-        Err(type_err(format!("{name}() takes {expect:?} arguments, got {}", args.len())))
+        Err(type_err(format!(
+            "{name}() takes {expect:?} arguments, got {}",
+            args.len()
+        )))
     }
 }
 
@@ -27,7 +30,10 @@ pub fn iterate(v: &Value) -> Result<Vec<Value>> {
         Value::Tuple(items) => Ok(items.to_vec()),
         Value::Str(s) => Ok(s.chars().map(|c| Value::str(c.to_string())).collect()),
         Value::Dict(pairs) => Ok(pairs.borrow().iter().map(|(k, _)| k.clone()).collect()),
-        other => Err(type_err(format!("'{}' object is not iterable", other.type_name()))),
+        other => Err(type_err(format!(
+            "'{}' object is not iterable",
+            other.type_name()
+        ))),
     }
 }
 
@@ -53,7 +59,9 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Option<Result<Value>> {
         "range" => (|| {
             arity("range", args, 1..=3)?;
             let as_i = |v: &Value| {
-                v.as_number().map(|x| x as i64).ok_or_else(|| type_err("range() wants ints"))
+                v.as_number()
+                    .map(|x| x as i64)
+                    .ok_or_else(|| type_err("range() wants ints"))
             };
             let (start, stop, step) = match args.len() {
                 1 => (0, as_i(&args[0])?, 1),
@@ -90,7 +98,11 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Option<Result<Value>> {
             Ok(acc)
         })(),
         "min" | "max" => (|| {
-            let items = if args.len() == 1 { iterate(&args[0])? } else { args.to_vec() };
+            let items = if args.len() == 1 {
+                iterate(&args[0])?
+            } else {
+                args.to_vec()
+            };
             if items.is_empty() {
                 return Err(value_err(format!("{name}() of empty sequence")));
             }
@@ -112,14 +124,18 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Option<Result<Value>> {
                 Value::Int(i) => Ok(Value::Int(i.abs())),
                 Value::Float(x) => Ok(Value::Float(x.abs())),
                 Value::Bool(b) => Ok(Value::Int(*b as i64)),
-                other => Err(type_err(format!("bad operand for abs(): {}", other.type_name()))),
+                other => Err(type_err(format!(
+                    "bad operand for abs(): {}",
+                    other.type_name()
+                ))),
             }
         })(),
         "round" => (|| {
             arity("round", args, 1..=2)?;
-            let x = args[0].as_number().ok_or_else(|| type_err("round() wants a number"))?;
-            let digits =
-                args.get(1).and_then(Value::as_number).unwrap_or(0.0) as i32;
+            let x = args[0]
+                .as_number()
+                .ok_or_else(|| type_err("round() wants a number"))?;
+            let digits = args.get(1).and_then(Value::as_number).unwrap_or(0.0) as i32;
             let scale = 10f64.powi(digits);
             let rounded = (x * scale).round() / scale;
             if args.len() == 1 {
@@ -128,20 +144,20 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Option<Result<Value>> {
                 Ok(Value::Float(rounded))
             }
         })(),
-        "float" => (|| {
-            arity("float", args, 1..=1)?;
-            match &args[0] {
-                Value::Str(s) => s
-                    .trim()
-                    .parse::<f64>()
-                    .map(Value::Float)
-                    .map_err(|_| value_err(format!("could not convert string to float: {s:?}"))),
-                v => v
-                    .as_number()
-                    .map(Value::Float)
-                    .ok_or_else(|| type_err("float() argument must be a number or string")),
-            }
-        })(),
+        "float" => {
+            (|| {
+                arity("float", args, 1..=1)?;
+                match &args[0] {
+                    Value::Str(s) => s.trim().parse::<f64>().map(Value::Float).map_err(|_| {
+                        value_err(format!("could not convert string to float: {s:?}"))
+                    }),
+                    v => v
+                        .as_number()
+                        .map(Value::Float)
+                        .ok_or_else(|| type_err("float() argument must be a number or string")),
+                }
+            })()
+        }
         "int" => (|| {
             arity("int", args, 1..=1)?;
             match &args[0] {
@@ -158,11 +174,15 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Option<Result<Value>> {
         })(),
         "str" => (|| {
             arity("str", args, 0..=1)?;
-            Ok(Value::str(args.first().map(Value::py_str).unwrap_or_default()))
+            Ok(Value::str(
+                args.first().map(Value::py_str).unwrap_or_default(),
+            ))
         })(),
         "bool" => (|| {
             arity("bool", args, 0..=1)?;
-            Ok(Value::Bool(args.first().map(Value::truthy).unwrap_or(false)))
+            Ok(Value::Bool(
+                args.first().map(Value::truthy).unwrap_or(false),
+            ))
         })(),
         "list" => (|| {
             arity("list", args, 0..=1)?;
@@ -198,14 +218,11 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Option<Result<Value>> {
             if args.is_empty() {
                 return Ok(Value::list(vec![]));
             }
-            let lists: Vec<Vec<Value>> =
-                args.iter().map(iterate).collect::<Result<_>>()?;
+            let lists: Vec<Vec<Value>> = args.iter().map(iterate).collect::<Result<_>>()?;
             let n = lists.iter().map(Vec::len).min().unwrap_or(0);
             Ok(Value::list(
                 (0..n)
-                    .map(|i| {
-                        Value::Tuple(Rc::new(lists.iter().map(|l| l[i].clone()).collect()))
-                    })
+                    .map(|i| Value::Tuple(Rc::new(lists.iter().map(|l| l[i].clone()).collect())))
                     .collect(),
             ))
         })(),
@@ -294,12 +311,17 @@ fn str_method(s: &Rc<String>, method: &str, args: &[Value]) -> Result<Value> {
         }
         "replace" => {
             arity("replace", args, 2..=2)?;
-            Ok(Value::str(s.replace(args[0].py_str().as_str(), args[1].py_str().as_str())))
+            Ok(Value::str(s.replace(
+                args[0].py_str().as_str(),
+                args[1].py_str().as_str(),
+            )))
         }
         "find" => {
             arity("find", args, 1..=1)?;
             Ok(Value::Int(
-                s.find(args[0].py_str().as_str()).map(|i| i as i64).unwrap_or(-1),
+                s.find(args[0].py_str().as_str())
+                    .map(|i| i as i64)
+                    .unwrap_or(-1),
             ))
         }
         "count" => {
@@ -353,7 +375,9 @@ fn list_method(
         }
         "insert" => {
             arity("insert", args, 2..=2)?;
-            let i = args[0].as_number().ok_or_else(|| type_err("insert index"))? as usize;
+            let i = args[0]
+                .as_number()
+                .ok_or_else(|| type_err("insert index"))? as usize;
             let mut v = items.borrow_mut();
             let i = i.min(v.len());
             v.insert(i, args[1].clone());
@@ -388,9 +412,13 @@ fn list_method(
         }
         "count" => {
             arity("count", args, 1..=1)?;
-            Ok(Value::Int(items.borrow().iter().filter(|x| x.py_eq(&args[0])).count() as i64))
+            Ok(Value::Int(
+                items.borrow().iter().filter(|x| x.py_eq(&args[0])).count() as i64,
+            ))
         }
-        other => Err(type_err(format!("'list' object has no attribute {other:?}"))),
+        other => Err(type_err(format!(
+            "'list' object has no attribute {other:?}"
+        ))),
     }
 }
 
@@ -410,8 +438,12 @@ fn dict_method(
                 .map(|(_, v)| v.clone())
                 .unwrap_or(default))
         }
-        "keys" => Ok(Value::list(pairs.borrow().iter().map(|(k, _)| k.clone()).collect())),
-        "values" => Ok(Value::list(pairs.borrow().iter().map(|(_, v)| v.clone()).collect())),
+        "keys" => Ok(Value::list(
+            pairs.borrow().iter().map(|(k, _)| k.clone()).collect(),
+        )),
+        "values" => Ok(Value::list(
+            pairs.borrow().iter().map(|(_, v)| v.clone()).collect(),
+        )),
         "items" => Ok(Value::list(
             pairs
                 .borrow()
@@ -446,6 +478,8 @@ fn dict_method(
                     .ok_or_else(|| PyEnvError::runtime("KeyError", args[0].py_str())),
             }
         }
-        other => Err(type_err(format!("'dict' object has no attribute {other:?}"))),
+        other => Err(type_err(format!(
+            "'dict' object has no attribute {other:?}"
+        ))),
     }
 }

@@ -56,7 +56,10 @@ pub struct ModuleBuilder {
 
 impl ModuleBuilder {
     pub fn new(name: impl Into<String>) -> Self {
-        ModuleBuilder { name: name.into(), attrs: BTreeMap::new() }
+        ModuleBuilder {
+            name: name.into(),
+            attrs: BTreeMap::new(),
+        }
     }
 
     /// Add a constant attribute.
@@ -66,11 +69,7 @@ impl ModuleBuilder {
     }
 
     /// Add a native function attribute.
-    pub fn function(
-        mut self,
-        name: &str,
-        f: impl Fn(&[Value]) -> Result<Value> + 'static,
-    ) -> Self {
+    pub fn function(mut self, name: &str, f: impl Fn(&[Value]) -> Result<Value> + 'static) -> Self {
         self.attrs.insert(
             name.to_string(),
             Value::Native(Rc::new(NativeFunction {
@@ -89,7 +88,10 @@ impl ModuleBuilder {
     }
 
     fn build(self) -> ModuleObject {
-        ModuleObject { name: self.name, attrs: self.attrs }
+        ModuleObject {
+            name: self.name,
+            attrs: self.attrs,
+        }
     }
 }
 
@@ -169,11 +171,9 @@ impl Interp {
 
     /// Call a loaded function with runtime values.
     pub fn call_by_name(&mut self, name: &str, args: &[Value]) -> Result<Value> {
-        let f = self
-            .globals
-            .get(name)
-            .cloned()
-            .ok_or_else(|| PyEnvError::runtime("NameError", format!("name {name:?} is not defined")))?;
+        let f = self.globals.get(name).cloned().ok_or_else(|| {
+            PyEnvError::runtime("NameError", format!("name {name:?} is not defined"))
+        })?;
         self.call_value(&f, args.to_vec())
     }
 
@@ -237,7 +237,12 @@ impl Interp {
                 }
                 Ok(Exec::Normal)
             }
-            Stmt::ImportFrom { module, names, star, .. } => {
+            Stmt::ImportFrom {
+                module,
+                names,
+                star,
+                ..
+            } => {
                 let Some(modname) = module else {
                     return Err(PyEnvError::runtime(
                         "ImportError",
@@ -269,7 +274,9 @@ impl Interp {
                 }
                 Ok(Exec::Normal)
             }
-            Stmt::FunctionDef { name, params, body, .. } => {
+            Stmt::FunctionDef {
+                name, params, body, ..
+            } => {
                 let f = Value::Function(Rc::new(UserFunction {
                     name: name.clone(),
                     params: params.clone(),
@@ -349,7 +356,12 @@ impl Interp {
                 }
                 self.exec_block(body, frame)
             }
-            Stmt::Try { body, handlers, orelse, finalbody } => {
+            Stmt::Try {
+                body,
+                handlers,
+                orelse,
+                finalbody,
+            } => {
                 let result = self.exec_block(body, frame);
                 let flow = match result {
                     Ok(flow) => {
@@ -455,7 +467,10 @@ impl Interp {
         let mut current = Value::Module(module.clone());
         for part in rest {
             let Value::Module(m) = &current else {
-                return Err(PyEnvError::runtime("ImportError", format!("{part:?} not a module")));
+                return Err(PyEnvError::runtime(
+                    "ImportError",
+                    format!("{part:?} not a module"),
+                ));
             };
             current = m.attrs.get(part).cloned().ok_or_else(|| {
                 PyEnvError::runtime(
@@ -533,7 +548,10 @@ impl Interp {
         if let Some(v) = self.globals.get(name) {
             return Ok(v.clone());
         }
-        Err(PyEnvError::runtime("NameError", format!("name {name:?} is not defined")))
+        Err(PyEnvError::runtime(
+            "NameError",
+            format!("name {name:?} is not defined"),
+        ))
     }
 
     fn eval(&mut self, expr: &Expr, frame: &mut Frame) -> Result<Value> {
@@ -548,9 +566,7 @@ impl Interp {
                 for p in parts {
                     match p {
                         FStringPart::Literal(l) => out.push_str(l),
-                        FStringPart::Expr(e) => {
-                            out.push_str(&self.eval(e, frame)?.py_str())
-                        }
+                        FStringPart::Expr(e) => out.push_str(&self.eval(e, frame)?.py_str()),
                     }
                 }
                 Ok(Value::str(out))
@@ -558,13 +574,17 @@ impl Interp {
             Expr::NoneLit => Ok(Value::None),
             Expr::Bool(b) => Ok(Value::Bool(*b)),
             Expr::List(items) => {
-                let vs: Vec<Value> =
-                    items.iter().map(|e| self.eval(e, frame)).collect::<Result<_>>()?;
+                let vs: Vec<Value> = items
+                    .iter()
+                    .map(|e| self.eval(e, frame))
+                    .collect::<Result<_>>()?;
                 Ok(Value::list(vs))
             }
             Expr::Tuple(items) => {
-                let vs: Vec<Value> =
-                    items.iter().map(|e| self.eval(e, frame)).collect::<Result<_>>()?;
+                let vs: Vec<Value> = items
+                    .iter()
+                    .map(|e| self.eval(e, frame))
+                    .collect::<Result<_>>()?;
                 Ok(Value::Tuple(Rc::new(vs)))
             }
             Expr::Set(items) => {
@@ -653,7 +673,11 @@ impl Interp {
                 }
                 Ok(last)
             }
-            Expr::Compare { left, ops, comparators } => {
+            Expr::Compare {
+                left,
+                ops,
+                comparators,
+            } => {
                 let mut lhs = self.eval(left, frame)?;
                 for (op, rhs_expr) in ops.iter().zip(comparators) {
                     let rhs = self.eval(rhs_expr, frame)?;
@@ -680,7 +704,14 @@ impl Interp {
                 "NotImplementedError",
                 "generators are not supported by the interpreter",
             )),
-            Expr::Comprehension { kind, elt, value, target, iter, conditions } => {
+            Expr::Comprehension {
+                kind,
+                elt,
+                value,
+                target,
+                iter,
+                conditions,
+            } => {
                 let items = builtins::iterate(&self.eval(iter, frame)?)?;
                 let mut out: Vec<Value> = Vec::new();
                 let mut dict_out: Vec<(Value, Value)> = Vec::new();
@@ -846,7 +877,9 @@ fn bind_params(
                 .filter(|(k, _)| !uf.params.iter().any(|q| &q.name == k))
                 .map(|(k, v)| (Value::str(k.clone()), v.clone()))
                 .collect();
-            frame.locals.insert(p.name.clone(), Value::Dict(Rc::new(RefCell::new(pairs))));
+            frame
+                .locals
+                .insert(p.name.clone(), Value::Dict(Rc::new(RefCell::new(pairs))));
             continue;
         }
         if p.star {
@@ -923,21 +956,25 @@ pub(crate) fn binop_values(l: &Value, op: &str, r: &Value) -> Result<Value> {
         (Int(a), "*", Int(b)) => Ok(Int(a.wrapping_mul(*b))),
         (Int(a), "%", Int(b)) => {
             if *b == 0 {
-                Err(PyEnvError::runtime("ZeroDivisionError", "integer modulo by zero"))
+                Err(PyEnvError::runtime(
+                    "ZeroDivisionError",
+                    "integer modulo by zero",
+                ))
             } else {
                 Ok(Int(a.rem_euclid(*b)))
             }
         }
         (Int(a), "//", Int(b)) => {
             if *b == 0 {
-                Err(PyEnvError::runtime("ZeroDivisionError", "integer division by zero"))
+                Err(PyEnvError::runtime(
+                    "ZeroDivisionError",
+                    "integer division by zero",
+                ))
             } else {
                 Ok(Int(a.div_euclid(*b)))
             }
         }
-        (Int(a), "**", Int(b)) if *b >= 0 && *b < 63 => {
-            Ok(Int(a.wrapping_pow(*b as u32)))
-        }
+        (Int(a), "**", Int(b)) if *b >= 0 && *b < 63 => Ok(Int(a.wrapping_pow(*b as u32))),
         (Int(a), "&", Int(b)) => Ok(Int(a & b)),
         (Int(a), "|", Int(b)) => Ok(Int(a | b)),
         (Int(a), "^", Int(b)) => Ok(Int(a ^ b)),
@@ -1074,10 +1111,9 @@ fn compare_with_op(l: &Value, op: &str, r: &Value) -> Result<bool> {
 fn standard_math() -> ModuleBuilder {
     let unary = |name: &'static str, f: fn(f64) -> f64| {
         move |args: &[Value]| -> Result<Value> {
-            let x = args
-                .first()
-                .and_then(Value::as_number)
-                .ok_or_else(|| PyEnvError::runtime("TypeError", format!("math.{name} wants a number")))?;
+            let x = args.first().and_then(Value::as_number).ok_or_else(|| {
+                PyEnvError::runtime("TypeError", format!("math.{name} wants a number"))
+            })?;
             Ok(Value::Float(f(x)))
         }
     };
@@ -1131,7 +1167,10 @@ fn standard_statistics() -> ModuleBuilder {
         .function("median", |args| {
             let mut xs = numbers(args)?;
             if xs.is_empty() {
-                return Err(PyEnvError::runtime("StatisticsError", "median of empty data"));
+                return Err(PyEnvError::runtime(
+                    "StatisticsError",
+                    "median of empty data",
+                ));
             }
             xs.sort_by(f64::total_cmp);
             let n = xs.len();
@@ -1144,11 +1183,13 @@ fn standard_statistics() -> ModuleBuilder {
         .function("stdev", |args| {
             let xs = numbers(args)?;
             if xs.len() < 2 {
-                return Err(PyEnvError::runtime("StatisticsError", "stdev needs ≥2 points"));
+                return Err(PyEnvError::runtime(
+                    "StatisticsError",
+                    "stdev needs ≥2 points",
+                ));
             }
             let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-            let var =
-                xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
             Ok(Value::Float(var.sqrt()))
         })
 }

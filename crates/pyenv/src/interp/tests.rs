@@ -31,7 +31,10 @@ fn float_division_and_floor() {
 #[test]
 fn python_modulo_semantics() {
     let src = "def f(a, b):\n    return a % b\n";
-    assert_eq!(run(src, "f", &[PyValue::Int(-7), PyValue::Int(3)]).unwrap(), PyValue::Int(2));
+    assert_eq!(
+        run(src, "f", &[PyValue::Int(-7), PyValue::Int(3)]).unwrap(),
+        PyValue::Int(2)
+    );
 }
 
 #[test]
@@ -195,7 +198,10 @@ def f(x):
         return 'div0'
 ";
     assert_eq!(run1(src, "f", PyValue::Int(2)), PyValue::Float(5.0));
-    assert_eq!(run1(src, "f", PyValue::Int(-1)), PyValue::Str("negative input".into()));
+    assert_eq!(
+        run1(src, "f", PyValue::Int(-1)),
+        PyValue::Str("negative input".into())
+    );
     assert_eq!(run1(src, "f", PyValue::Int(0)), PyValue::Str("div0".into()));
 }
 
@@ -237,9 +243,14 @@ fn default_and_keyword_arguments() {
     let src = "def f(a, b=10, c=100):\n    return a + b + c\n";
     let mut interp = Interp::new();
     interp.load_source(src).unwrap();
-    assert_eq!(interp.call_function("f", &[PyValue::Int(1)]).unwrap(), PyValue::Int(111));
     assert_eq!(
-        interp.call_function("f", &[PyValue::Int(1), PyValue::Int(2)]).unwrap(),
+        interp.call_function("f", &[PyValue::Int(1)]).unwrap(),
+        PyValue::Int(111)
+    );
+    assert_eq!(
+        interp
+            .call_function("f", &[PyValue::Int(1), PyValue::Int(2)])
+            .unwrap(),
         PyValue::Int(103)
     );
 }
@@ -247,7 +258,12 @@ fn default_and_keyword_arguments() {
 #[test]
 fn star_args() {
     let src = "def f(first, *rest):\n    return (first, len(rest), sum(rest))\n";
-    let out = run(src, "f", &[PyValue::Int(1), PyValue::Int(2), PyValue::Int(3)]).unwrap();
+    let out = run(
+        src,
+        "f",
+        &[PyValue::Int(1), PyValue::Int(2), PyValue::Int(3)],
+    )
+    .unwrap();
     assert_eq!(
         out,
         PyValue::Tuple(vec![PyValue::Int(1), PyValue::Int(2), PyValue::Int(5)])
@@ -280,7 +296,10 @@ def bump():
     let mut interp = Interp::new();
     interp.load_source(src).unwrap();
     for expect in 1..=3 {
-        assert_eq!(interp.call_function("bump", &[]).unwrap(), PyValue::Int(expect));
+        assert_eq!(
+            interp.call_function("bump", &[]).unwrap(),
+            PyValue::Int(expect)
+        );
     }
 }
 
@@ -321,7 +340,9 @@ fn host_registered_module() {
             .function("mean", |args| {
                 let xs = builtins::iterate(&args[0])?;
                 let nums: Vec<f64> = xs.iter().filter_map(Value::as_number).collect();
-                Ok(Value::Float(nums.iter().sum::<f64>() / nums.len().max(1) as f64))
+                Ok(Value::Float(
+                    nums.iter().sum::<f64>() / nums.len().max(1) as f64,
+                ))
             })
             .function("array", |args| Ok(args[0].clone())),
     );
@@ -336,7 +357,10 @@ def f(xs):
         )
         .unwrap();
     let out = interp
-        .call_function("f", &[PyValue::List(vec![PyValue::Int(1), PyValue::Int(3)])])
+        .call_function(
+            "f",
+            &[PyValue::List(vec![PyValue::Int(1), PyValue::Int(3)])],
+        )
         .unwrap();
     assert_eq!(out, PyValue::Float(2.0));
 }
@@ -371,7 +395,10 @@ def f(x, xs):
     let out = run(
         src,
         "f",
-        &[PyValue::Int(5), PyValue::List(vec![PyValue::Int(5), PyValue::Int(7)])],
+        &[
+            PyValue::Int(5),
+            PyValue::List(vec![PyValue::Int(5), PyValue::Int(7)]),
+        ],
     )
     .unwrap();
     assert_eq!(
@@ -387,8 +414,14 @@ def f(x, xs):
 #[test]
 fn boolean_short_circuit_returns_operand() {
     let src = "def f(x):\n    return x or 'default'\n";
-    assert_eq!(run1(src, "f", PyValue::Str("".into())), PyValue::Str("default".into()));
-    assert_eq!(run1(src, "f", PyValue::Str("v".into())), PyValue::Str("v".into()));
+    assert_eq!(
+        run1(src, "f", PyValue::Str("".into())),
+        PyValue::Str("default".into())
+    );
+    assert_eq!(
+        run1(src, "f", PyValue::Str("v".into())),
+        PyValue::Str("v".into())
+    );
 }
 
 #[test]

@@ -143,12 +143,8 @@ impl Value {
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b,
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
-            (Value::Bool(a), Value::Int(b)) | (Value::Int(b), Value::Bool(a)) => {
-                (*a as i64) == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
+            (Value::Bool(a), Value::Int(b)) | (Value::Int(b), Value::Bool(a)) => (*a as i64) == *b,
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::List(a), Value::List(b)) => {
                 let (a, b) = (a.borrow(), b.borrow());
@@ -160,9 +156,8 @@ impl Value {
             (Value::Dict(a), Value::Dict(b)) => {
                 let (a, b) = (a.borrow(), b.borrow());
                 a.len() == b.len()
-                    && a.iter().all(|(k, v)| {
-                        b.iter().any(|(k2, v2)| k.py_eq(k2) && v.py_eq(v2))
-                    })
+                    && a.iter()
+                        .all(|(k, v)| b.iter().any(|(k2, v2)| k.py_eq(k2) && v.py_eq(v2)))
             }
             _ => false,
         }
@@ -186,15 +181,16 @@ impl Value {
             PyValue::Int(i) => Value::Int(*i),
             PyValue::Float(x) => Value::Float(*x),
             PyValue::Str(s) => Value::str(s.clone()),
-            PyValue::Bytes(b) => {
-                Value::list(b.iter().map(|&x| Value::Int(x as i64)).collect())
-            }
+            PyValue::Bytes(b) => Value::list(b.iter().map(|&x| Value::Int(x as i64)).collect()),
             PyValue::List(items) => Value::list(items.iter().map(Value::from_py).collect()),
             PyValue::Tuple(items) => {
                 Value::Tuple(Rc::new(items.iter().map(Value::from_py).collect()))
             }
             PyValue::Dict(pairs) => Value::Dict(Rc::new(RefCell::new(
-                pairs.iter().map(|(k, v)| (Value::from_py(k), Value::from_py(v))).collect(),
+                pairs
+                    .iter()
+                    .map(|(k, v)| (Value::from_py(k), Value::from_py(v)))
+                    .collect(),
             ))),
         }
     }
@@ -209,7 +205,11 @@ impl Value {
             Value::Float(x) => PyValue::Float(*x),
             Value::Str(s) => PyValue::Str((**s).clone()),
             Value::List(items) => PyValue::List(
-                items.borrow().iter().map(Value::to_py).collect::<Result<_>>()?,
+                items
+                    .borrow()
+                    .iter()
+                    .map(Value::to_py)
+                    .collect::<Result<_>>()?,
             ),
             Value::Tuple(items) => {
                 PyValue::Tuple(items.iter().map(Value::to_py).collect::<Result<_>>()?)

@@ -178,7 +178,11 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> PyEnvError {
-        PyEnvError::Lex { line: self.line, col: self.col, message: message.into() }
+        PyEnvError::Lex {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -336,7 +340,8 @@ impl<'a> Lexer<'a> {
         let (line, col) = (self.line, self.col);
         // Close any open indentation, then EOF. `pending` is a LIFO, so push
         // in reverse order of emission.
-        self.pending.push(self.make(TokenKind::EndOfFile, line, col));
+        self.pending
+            .push(self.make(TokenKind::EndOfFile, line, col));
         while self.indents.len() > 1 {
             self.indents.pop();
             self.pending.push(self.make(TokenKind::Dedent, line, col));
@@ -524,7 +529,10 @@ impl<'a> Lexer<'a> {
         let start = self.pos;
         // Hex / octal / binary literals.
         if self.peek() == Some(b'0')
-            && matches!(self.peek2(), Some(b'x') | Some(b'X') | Some(b'o') | Some(b'O') | Some(b'b') | Some(b'B'))
+            && matches!(
+                self.peek2(),
+                Some(b'x') | Some(b'X') | Some(b'o') | Some(b'O') | Some(b'b') | Some(b'B')
+            )
         {
             self.bump();
             let radix_char = self.bump().unwrap();
@@ -541,8 +549,8 @@ impl<'a> Lexer<'a> {
                     break;
                 }
             }
-            let text: String = String::from_utf8_lossy(&self.src[digits_start..self.pos])
-                .replace('_', "");
+            let text: String =
+                String::from_utf8_lossy(&self.src[digits_start..self.pos]).replace('_', "");
             let v = i64::from_str_radix(&text, radix)
                 .map_err(|_| self.err("invalid numeric literal"))?;
             return Ok(self.make(TokenKind::Int(v), line, col));
@@ -565,7 +573,10 @@ impl<'a> Lexer<'a> {
                     // Exponent only if followed by digit or sign+digit.
                     let next = self.peek2();
                     let sign_ok = matches!(next, Some(b'+') | Some(b'-'))
-                        && self.src.get(self.pos + 2).is_some_and(|d| d.is_ascii_digit());
+                        && self
+                            .src
+                            .get(self.pos + 2)
+                            .is_some_and(|d| d.is_ascii_digit());
                     if next.is_some_and(|d| d.is_ascii_digit()) || sign_ok {
                         is_float = true;
                         self.bump();
@@ -579,13 +590,16 @@ impl<'a> Lexer<'a> {
                 _ => break,
             }
         }
-        let text: String =
-            String::from_utf8_lossy(&self.src[start..self.pos]).replace('_', "");
+        let text: String = String::from_utf8_lossy(&self.src[start..self.pos]).replace('_', "");
         if is_float {
-            let v = text.parse::<f64>().map_err(|_| self.err("invalid float literal"))?;
+            let v = text
+                .parse::<f64>()
+                .map_err(|_| self.err("invalid float literal"))?;
             Ok(self.make(TokenKind::Float(v), line, col))
         } else {
-            let v = text.parse::<i64>().map_err(|_| self.err("invalid int literal"))?;
+            let v = text
+                .parse::<i64>()
+                .map_err(|_| self.err("invalid int literal"))?;
             Ok(self.make(TokenKind::Int(v), line, col))
         }
     }
@@ -599,7 +613,9 @@ impl<'a> Lexer<'a> {
         }
         let mut out = String::new();
         loop {
-            let c = self.bump().ok_or_else(|| self.err("unterminated string literal"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("unterminated string literal"))?;
             if c == quote {
                 if !triple {
                     break;
@@ -635,7 +651,11 @@ impl<'a> Lexer<'a> {
             }
             out.push(c as char);
         }
-        let kind = if fstr { TokenKind::FStr(out) } else { TokenKind::Str(out) };
+        let kind = if fstr {
+            TokenKind::FStr(out)
+        } else {
+            TokenKind::Str(out)
+        };
         Ok(self.make(kind, line, col))
     }
 }
@@ -645,7 +665,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -55,9 +55,9 @@ pub mod interp;
 pub mod lexer;
 pub mod pack;
 pub mod parser;
+pub mod pickle;
 #[cfg(test)]
 mod proptests;
-pub mod pickle;
 pub mod requirements;
 pub mod resolve;
 pub mod source;
@@ -70,8 +70,8 @@ pub mod prelude {
     pub use crate::environment::{user_environment, Environment};
     pub use crate::error::{PyEnvError, Result as PyEnvResult};
     pub use crate::index::{DistRelease, PackageIndex};
-    pub use crate::interp::{Interp, ModuleBuilder};
     pub use crate::interp::value::Value as PyRuntimeValue;
+    pub use crate::interp::{Interp, ModuleBuilder};
     pub use crate::pack::PackedEnv;
     pub use crate::parser::parse_module;
     pub use crate::pickle::PyValue;

@@ -77,8 +77,10 @@ impl PackCache {
         let key = Self::key(env);
         if let Some(packed) = self.entries.lock().get(&key) {
             *self.hits.lock() += 1;
+            lfm_telemetry::global().counter("pack_cache.hit", 1);
             return Arc::clone(packed);
         }
+        lfm_telemetry::global().counter("pack_cache.miss", 1);
         let packed = Arc::new(PackedEnv::pack(env));
         self.entries
             .lock()
@@ -208,7 +210,12 @@ impl PackedEnv {
                 },
             );
         }
-        Ok(Environment::from_parts(self.name.clone(), new_prefix.into(), installed, module_map))
+        Ok(Environment::from_parts(
+            self.name.clone(),
+            new_prefix.into(),
+            installed,
+            module_map,
+        ))
     }
 
     /// Serialize the whole archive (manifest + checksum) to bytes — what gets
@@ -294,7 +301,12 @@ impl PackedEnv {
                 modules,
             });
         }
-        Ok(PackedEnv { name, source_prefix, entries, checksum })
+        Ok(PackedEnv {
+            name,
+            source_prefix,
+            entries,
+            checksum,
+        })
     }
 }
 
@@ -318,21 +330,27 @@ fn put_str(buf: &mut BytesMut, s: &str) {
 
 fn get_u8(buf: &mut &[u8]) -> Result<u8> {
     if buf.remaining() < 1 {
-        return Err(PyEnvError::CorruptArchive("unexpected end of manifest".into()));
+        return Err(PyEnvError::CorruptArchive(
+            "unexpected end of manifest".into(),
+        ));
     }
     Ok(buf.get_u8())
 }
 
 fn get_u32(buf: &mut &[u8]) -> Result<u32> {
     if buf.remaining() < 4 {
-        return Err(PyEnvError::CorruptArchive("unexpected end of manifest".into()));
+        return Err(PyEnvError::CorruptArchive(
+            "unexpected end of manifest".into(),
+        ));
     }
     Ok(buf.get_u32_le())
 }
 
 fn get_u64(buf: &mut &[u8]) -> Result<u64> {
     if buf.remaining() < 8 {
-        return Err(PyEnvError::CorruptArchive("unexpected end of manifest".into()));
+        return Err(PyEnvError::CorruptArchive(
+            "unexpected end of manifest".into(),
+        ));
     }
     Ok(buf.get_u64_le())
 }
@@ -367,8 +385,10 @@ mod tests {
 
     fn sample_env() -> Environment {
         let ix = PackageIndex::builtin();
-        let set: RequirementSet =
-            ["numpy", "coffea"].iter().map(|s| Requirement::any(*s)).collect();
+        let set: RequirementSet = ["numpy", "coffea"]
+            .iter()
+            .map(|s| Requirement::any(*s))
+            .collect();
         let r = resolve(&ix, &set).unwrap();
         Environment::from_resolution("hep", "/home/user/conda/envs/hep", &ix, &r).unwrap()
     }
@@ -382,7 +402,10 @@ mod tests {
         let b = cache.pack(&env);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.len(), 1);
-        assert!(Arc::ptr_eq(&a, &b), "second pack must reuse the first archive");
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "second pack must reuse the first archive"
+        );
         assert_eq!(*a, PackedEnv::pack(&env));
     }
 
@@ -469,7 +492,10 @@ mod tests {
         let env = sample_env();
         let bytes = PackedEnv::pack(&env).to_bytes();
         for cut in [0, 5, 20, bytes.len() - 1] {
-            assert!(PackedEnv::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+            assert!(
+                PackedEnv::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
         }
     }
 

@@ -14,14 +14,22 @@ type CallArgs = (Vec<Expr>, Vec<(String, Expr)>);
 /// Parse a complete module from source text.
 pub fn parse_module(source: &str) -> Result<Module> {
     let tokens = Lexer::tokenize(source)?;
-    let mut p = Parser { tokens, pos: 0, pending_stmts: Vec::new() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        pending_stmts: Vec::new(),
+    };
     p.module()
 }
 
 /// Parse a single expression (used in tests and by the pickle REPL helper).
 pub fn parse_expression(source: &str) -> Result<Expr> {
     let tokens = Lexer::tokenize(source)?;
-    let mut p = Parser { tokens, pos: 0, pending_stmts: Vec::new() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        pending_stmts: Vec::new(),
+    };
     let e = p.expression()?;
     p.skip_newlines();
     p.expect(&TokenKind::EndOfFile)?;
@@ -51,7 +59,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let k = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let k = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -60,7 +70,11 @@ impl Parser {
 
     fn err(&self, message: impl Into<String>) -> PyEnvError {
         let (line, col) = self.here();
-        PyEnvError::Parse { line, col, message: message.into() }
+        PyEnvError::Parse {
+            line,
+            col,
+            message: message.into(),
+        }
     }
 
     fn eat(&mut self, kind: &TokenKind) -> bool {
@@ -186,7 +200,9 @@ impl Parser {
         match self.peek() {
             TokenKind::KwDef => self.function_def(decorators),
             TokenKind::KwClass => self.class_def(decorators),
-            other => Err(self.err(format!("expected def or class after decorator, found {other:?}"))),
+            other => Err(self.err(format!(
+                "expected def or class after decorator, found {other:?}"
+            ))),
         }
     }
 
@@ -202,7 +218,13 @@ impl Parser {
             let _ = self.expression()?;
         }
         let body = self.suite()?;
-        Ok(Stmt::FunctionDef { name, params, body, decorators, line })
+        Ok(Stmt::FunctionDef {
+            name,
+            params,
+            body,
+            decorators,
+            line,
+        })
     }
 
     fn param_list(&mut self) -> Result<Vec<Param>> {
@@ -220,9 +242,17 @@ impl Parser {
             if self.eat(&TokenKind::Colon) {
                 let _ = self.expression()?;
             }
-            let default =
-                if self.eat(&TokenKind::Assign) { Some(self.expression()?) } else { None };
-            params.push(Param { name, default, star, double_star });
+            let default = if self.eat(&TokenKind::Assign) {
+                Some(self.expression()?)
+            } else {
+                None
+            };
+            params.push(Param {
+                name,
+                default,
+                star,
+                double_star,
+            });
             if !self.eat(&TokenKind::Comma) {
                 break;
             }
@@ -245,7 +275,12 @@ impl Parser {
             self.expect(&TokenKind::RParen)?;
         }
         let body = self.suite()?;
-        Ok(Stmt::ClassDef { name, bases, body, line })
+        Ok(Stmt::ClassDef {
+            name,
+            bases,
+            body,
+            line,
+        })
     }
 
     fn if_stmt(&mut self) -> Result<Stmt> {
@@ -286,7 +321,11 @@ impl Parser {
         let mut items = Vec::new();
         loop {
             let ctx = self.expression()?;
-            let alias = if self.eat(&TokenKind::KwAs) { Some(self.expression()?) } else { None };
+            let alias = if self.eat(&TokenKind::KwAs) {
+                Some(self.expression()?)
+            } else {
+                None
+            };
             items.push((ctx, alias));
             if !self.eat(&TokenKind::Comma) {
                 break;
@@ -307,9 +346,17 @@ impl Parser {
             } else {
                 None
             };
-            let name = if self.eat(&TokenKind::KwAs) { Some(self.expect_name()?) } else { None };
+            let name = if self.eat(&TokenKind::KwAs) {
+                Some(self.expect_name()?)
+            } else {
+                None
+            };
             let hbody = self.suite()?;
-            handlers.push(ExceptHandler { typ, name, body: hbody });
+            handlers.push(ExceptHandler {
+                typ,
+                name,
+                body: hbody,
+            });
             self.skip_newlines();
         }
         let orelse = if self.eat(&TokenKind::KwElse) {
@@ -319,11 +366,20 @@ impl Parser {
         } else {
             Vec::new()
         };
-        let finalbody = if self.eat(&TokenKind::KwFinally) { self.suite()? } else { Vec::new() };
+        let finalbody = if self.eat(&TokenKind::KwFinally) {
+            self.suite()?
+        } else {
+            Vec::new()
+        };
         if handlers.is_empty() && finalbody.is_empty() {
             return Err(self.err("try statement must have except or finally"));
         }
-        Ok(Stmt::Try { body, handlers, orelse, finalbody })
+        Ok(Stmt::Try {
+            body,
+            handlers,
+            orelse,
+            finalbody,
+        })
     }
 
     fn simple_statement(&mut self) -> Result<Stmt> {
@@ -357,7 +413,11 @@ impl Parser {
             TokenKind::KwAssert => {
                 self.bump();
                 let test = self.expression()?;
-                let msg = if self.eat(&TokenKind::Comma) { Some(self.expression()?) } else { None };
+                let msg = if self.eat(&TokenKind::Comma) {
+                    Some(self.expression()?)
+                } else {
+                    None
+                };
                 Ok(Stmt::Assert { test, msg })
             }
             TokenKind::KwGlobal => {
@@ -402,7 +462,11 @@ impl Parser {
         let mut names = Vec::new();
         loop {
             let name = self.dotted_name()?;
-            let alias = if self.eat(&TokenKind::KwAs) { Some(self.expect_name()?) } else { None };
+            let alias = if self.eat(&TokenKind::KwAs) {
+                Some(self.expect_name()?)
+            } else {
+                None
+            };
             names.push(ImportAlias { name, alias });
             if !self.eat(&TokenKind::Comma) {
                 break;
@@ -425,13 +489,25 @@ impl Parser {
         };
         self.expect(&TokenKind::KwImport)?;
         if self.eat(&TokenKind::Star) {
-            return Ok(Stmt::ImportFrom { module, names: Vec::new(), level, star: true, line });
+            return Ok(Stmt::ImportFrom {
+                module,
+                names: Vec::new(),
+                level,
+                star: true,
+                line,
+            });
         }
         let parenthesized = self.eat(&TokenKind::LParen);
         let mut names = Vec::new();
         loop {
-            let name = DottedName { parts: vec![self.expect_name()?] };
-            let alias = if self.eat(&TokenKind::KwAs) { Some(self.expect_name()?) } else { None };
+            let name = DottedName {
+                parts: vec![self.expect_name()?],
+            };
+            let alias = if self.eat(&TokenKind::KwAs) {
+                Some(self.expect_name()?)
+            } else {
+                None
+            };
             names.push(ImportAlias { name, alias });
             if !self.eat(&TokenKind::Comma) {
                 break;
@@ -443,7 +519,13 @@ impl Parser {
         if parenthesized {
             self.expect(&TokenKind::RParen)?;
         }
-        Ok(Stmt::ImportFrom { module, names, level, star: false, line })
+        Ok(Stmt::ImportFrom {
+            module,
+            names,
+            level,
+            star: false,
+            line,
+        })
     }
 
     fn dotted_name(&mut self) -> Result<DottedName> {
@@ -480,7 +562,11 @@ impl Parser {
             TokenKind::AugAssign(op) => {
                 self.bump();
                 let value = self.expr_or_tuple()?;
-                Ok(Stmt::AugAssign { target: first, op, value })
+                Ok(Stmt::AugAssign {
+                    target: first,
+                    op,
+                    value,
+                })
             }
             TokenKind::Colon => {
                 // Annotated assignment: `x: T = v` or bare `x: T`.
@@ -488,7 +574,10 @@ impl Parser {
                 let _annotation = self.expression()?;
                 if self.eat(&TokenKind::Assign) {
                     let value = self.expr_or_tuple()?;
-                    Ok(Stmt::Assign { targets: vec![first], value })
+                    Ok(Stmt::Assign {
+                        targets: vec![first],
+                        value,
+                    })
                 } else {
                     Ok(Stmt::ExprStmt(first))
                 }
@@ -567,9 +656,17 @@ impl Parser {
                     (false, false)
                 };
                 let name = self.expect_name()?;
-                let default =
-                    if self.eat(&TokenKind::Assign) { Some(self.expression()?) } else { None };
-                params.push(Param { name, default, star, double_star });
+                let default = if self.eat(&TokenKind::Assign) {
+                    Some(self.expression()?)
+                } else {
+                    None
+                };
+                params.push(Param {
+                    name,
+                    default,
+                    star,
+                    double_star,
+                });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
@@ -617,7 +714,10 @@ impl Parser {
         while self.eat(&TokenKind::KwOr) {
             values.push(self.and_expr()?);
         }
-        Ok(Expr::BoolOp { op: "or".into(), values })
+        Ok(Expr::BoolOp {
+            op: "or".into(),
+            values,
+        })
     }
 
     fn and_expr(&mut self) -> Result<Expr> {
@@ -629,13 +729,19 @@ impl Parser {
         while self.eat(&TokenKind::KwAnd) {
             values.push(self.not_expr()?);
         }
-        Ok(Expr::BoolOp { op: "and".into(), values })
+        Ok(Expr::BoolOp {
+            op: "and".into(),
+            values,
+        })
     }
 
     fn not_expr(&mut self) -> Result<Expr> {
         if self.eat(&TokenKind::KwNot) {
             let operand = self.not_expr()?;
-            return Ok(Expr::UnaryOp { op: "not".into(), operand: Box::new(operand) });
+            return Ok(Expr::UnaryOp {
+                op: "not".into(),
+                operand: Box::new(operand),
+            });
         }
         self.comparison()
     }
@@ -646,9 +752,7 @@ impl Parser {
         let mut comparators = Vec::new();
         loop {
             let op = match self.peek() {
-                TokenKind::Op(o)
-                    if matches!(o.as_str(), "==" | "!=" | "<" | "<=" | ">" | ">=") =>
-                {
+                TokenKind::Op(o) if matches!(o.as_str(), "==" | "!=" | "<" | "<=" | ">" | ">=") => {
                     o.clone()
                 }
                 TokenKind::KwIn => "in".to_string(),
@@ -675,7 +779,11 @@ impl Parser {
         if ops.is_empty() {
             Ok(left)
         } else {
-            Ok(Expr::Compare { left: Box::new(left), ops, comparators })
+            Ok(Expr::Compare {
+                left: Box::new(left),
+                ops,
+                comparators,
+            })
         }
     }
 
@@ -694,7 +802,11 @@ impl Parser {
             };
             self.bump();
             let right = next(self)?;
-            left = Expr::BinOp { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::BinOp {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -729,7 +841,10 @@ impl Parser {
                 let op = o.clone();
                 self.bump();
                 let operand = self.factor()?;
-                Ok(Expr::UnaryOp { op, operand: Box::new(operand) })
+                Ok(Expr::UnaryOp {
+                    op,
+                    operand: Box::new(operand),
+                })
             }
             TokenKind::Op(o) if o == "+" => {
                 self.bump();
@@ -759,19 +874,29 @@ impl Parser {
                 TokenKind::Dot => {
                     self.bump();
                     let attr = self.expect_name()?;
-                    e = Expr::Attribute { value: Box::new(e), attr };
+                    e = Expr::Attribute {
+                        value: Box::new(e),
+                        attr,
+                    };
                 }
                 TokenKind::LParen => {
                     self.bump();
                     let (args, kwargs) = self.call_args()?;
                     self.expect(&TokenKind::RParen)?;
-                    e = Expr::Call { func: Box::new(e), args, kwargs };
+                    e = Expr::Call {
+                        func: Box::new(e),
+                        args,
+                        kwargs,
+                    };
                 }
                 TokenKind::LBracket => {
                     self.bump();
                     let index = self.subscript_index()?;
                     self.expect(&TokenKind::RBracket)?;
-                    e = Expr::Subscript { value: Box::new(e), index: Box::new(index) };
+                    e = Expr::Subscript {
+                        value: Box::new(e),
+                        index: Box::new(index),
+                    };
                 }
                 _ => break,
             }
@@ -1030,11 +1155,8 @@ impl Parser {
                 if self.eat(&TokenKind::Colon) {
                     let value = self.expression()?;
                     if matches!(self.peek(), TokenKind::KwFor) {
-                        let comp = self.comprehension_tail(
-                            ComprehensionKind::Dict,
-                            first,
-                            Some(value),
-                        )?;
+                        let comp =
+                            self.comprehension_tail(ComprehensionKind::Dict, first, Some(value))?;
                         self.expect(&TokenKind::RBrace)?;
                         return Ok(comp);
                     }
@@ -1096,7 +1218,13 @@ mod tests {
     fn parse_from_import() {
         let m = parse_module("from tensorflow.keras import layers, models as m\n").unwrap();
         match &m.body[0] {
-            Stmt::ImportFrom { module, names, level, star, .. } => {
+            Stmt::ImportFrom {
+                module,
+                names,
+                level,
+                star,
+                ..
+            } => {
                 assert_eq!(module.as_ref().unwrap().dotted(), "tensorflow.keras");
                 assert_eq!(names.len(), 2);
                 assert_eq!(*level, 0);
@@ -1132,7 +1260,13 @@ mod tests {
         let src = "@python_app\ndef analyze(data, hist=None):\n    import numpy as np\n    return np.sum(data)\n";
         let m = parse_module(src).unwrap();
         match &m.body[0] {
-            Stmt::FunctionDef { name, params, body, decorators, .. } => {
+            Stmt::FunctionDef {
+                name,
+                params,
+                body,
+                decorators,
+                ..
+            } => {
                 assert_eq!(name, "analyze");
                 assert_eq!(params.len(), 2);
                 assert_eq!(decorators.len(), 1);
@@ -1157,10 +1291,15 @@ mod tests {
 
     #[test]
     fn parse_try_except_finally() {
-        let src = "try:\n    risky()\nexcept ValueError as e:\n    handle(e)\nfinally:\n    cleanup()\n";
+        let src =
+            "try:\n    risky()\nexcept ValueError as e:\n    handle(e)\nfinally:\n    cleanup()\n";
         let m = parse_module(src).unwrap();
         match &m.body[0] {
-            Stmt::Try { handlers, finalbody, .. } => {
+            Stmt::Try {
+                handlers,
+                finalbody,
+                ..
+            } => {
                 assert_eq!(handlers.len(), 1);
                 assert_eq!(handlers[0].name.as_deref(), Some("e"));
                 assert_eq!(finalbody.len(), 1);
@@ -1227,7 +1366,9 @@ mod tests {
     fn parse_comprehension() {
         let e = parse_expression("[x * 2 for x in items if x > 0]").unwrap();
         match e {
-            Expr::Comprehension { kind, conditions, .. } => {
+            Expr::Comprehension {
+                kind, conditions, ..
+            } => {
                 assert_eq!(kind, ComprehensionKind::List);
                 assert_eq!(conditions.len(), 1);
             }
@@ -1237,8 +1378,14 @@ mod tests {
 
     #[test]
     fn parse_dict_and_set_literals() {
-        assert!(matches!(parse_expression("{1: 'a', 2: 'b'}").unwrap(), Expr::Dict(_)));
-        assert!(matches!(parse_expression("{1, 2, 3}").unwrap(), Expr::Set(_)));
+        assert!(matches!(
+            parse_expression("{1: 'a', 2: 'b'}").unwrap(),
+            Expr::Dict(_)
+        ));
+        assert!(matches!(
+            parse_expression("{1, 2, 3}").unwrap(),
+            Expr::Set(_)
+        ));
         assert!(matches!(parse_expression("{}").unwrap(), Expr::Dict(_)));
     }
 
@@ -1281,7 +1428,9 @@ mod tests {
         let src = "class Processor(Base):\n    def run(self):\n        pass\n";
         let m = parse_module(src).unwrap();
         match &m.body[0] {
-            Stmt::ClassDef { name, bases, body, .. } => {
+            Stmt::ClassDef {
+                name, bases, body, ..
+            } => {
                 assert_eq!(name, "Processor");
                 assert_eq!(bases.len(), 1);
                 assert_eq!(body.len(), 1);

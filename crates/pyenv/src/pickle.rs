@@ -246,7 +246,12 @@ fn decode(buf: &mut &[u8], depth: usize) -> Result<PyValue> {
 
 /// Build a dict value from string keys.
 pub fn dict(pairs: Vec<(&str, PyValue)>) -> PyValue {
-    PyValue::Dict(pairs.into_iter().map(|(k, v)| (PyValue::Str(k.to_string()), v)).collect())
+    PyValue::Dict(
+        pairs
+            .into_iter()
+            .map(|(k, v)| (PyValue::Str(k.to_string()), v))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -274,12 +279,18 @@ mod tests {
 
     #[test]
     fn container_roundtrips() {
-        roundtrip(PyValue::List(vec![PyValue::Int(1), PyValue::Str("x".into())]));
+        roundtrip(PyValue::List(vec![
+            PyValue::Int(1),
+            PyValue::Str("x".into()),
+        ]));
         roundtrip(PyValue::Tuple(vec![PyValue::None, PyValue::Bool(true)]));
         roundtrip(dict(vec![
             ("score", PyValue::Float(0.93)),
             ("smiles", PyValue::Str("CCO".into())),
-            ("features", PyValue::List(vec![PyValue::Int(1), PyValue::Int(2)])),
+            (
+                "features",
+                PyValue::List(vec![PyValue::Int(1), PyValue::Int(2)]),
+            ),
         ]));
     }
 
@@ -289,7 +300,10 @@ mod tests {
             PyValue::Str("events".into()),
             PyValue::List(vec![dict(vec![
                 ("muons", PyValue::Int(2)),
-                ("pt", PyValue::List(vec![PyValue::Float(31.5), PyValue::Float(12.0)])),
+                (
+                    "pt",
+                    PyValue::List(vec![PyValue::Float(31.5), PyValue::Float(12.0)]),
+                ),
             ])]),
         )]);
         roundtrip(v);
@@ -319,7 +333,10 @@ mod tests {
 
     #[test]
     fn unknown_tag_rejected() {
-        assert!(matches!(PyValue::loads(&[99]), Err(PyEnvError::CorruptPickle(_))));
+        assert!(matches!(
+            PyValue::loads(&[99]),
+            Err(PyEnvError::CorruptPickle(_))
+        ));
     }
 
     #[test]

@@ -19,12 +19,18 @@ pub struct Requirement {
 impl Requirement {
     /// `name` with no version constraint.
     pub fn any(dist: impl Into<String>) -> Self {
-        Requirement { dist: dist.into(), req: VersionReq::any() }
+        Requirement {
+            dist: dist.into(),
+            req: VersionReq::any(),
+        }
     }
 
     /// `name==version`.
     pub fn exact(dist: impl Into<String>, version: Version) -> Self {
-        Requirement { dist: dist.into(), req: VersionReq::exact(version) }
+        Requirement {
+            dist: dist.into(),
+            req: VersionReq::exact(version),
+        }
     }
 }
 
@@ -59,9 +65,15 @@ impl FromStr for Requirement {
         {
             return Err(PyEnvError::BadRequirement(s.to_string()));
         }
-        let req =
-            if rest.trim().is_empty() { VersionReq::any() } else { rest.parse::<VersionReq>()? };
-        Ok(Requirement { dist: name.to_string(), req })
+        let req = if rest.trim().is_empty() {
+            VersionReq::any()
+        } else {
+            rest.parse::<VersionReq>()?
+        };
+        Ok(Requirement {
+            dist: name.to_string(),
+            req,
+        })
     }
 }
 

@@ -53,7 +53,11 @@ impl Resolution {
 
     /// Total file count of the solution.
     pub fn total_files(&self, index: &PackageIndex) -> Result<u64> {
-        Ok(self.releases(index)?.iter().map(|r| r.file_count as u64).sum())
+        Ok(self
+            .releases(index)?
+            .iter()
+            .map(|r| r.file_count as u64)
+            .sum())
     }
 }
 
@@ -114,6 +118,7 @@ impl ResolveCache {
         let key = Self::key(index, reqs);
         if let Some(entry) = self.entries.lock().get(&key) {
             self.counters.lock().hits += 1;
+            lfm_telemetry::global().counter("resolve_cache.hit", 1);
             return Ok(entry.clone());
         }
         let solved = resolve_with_stats(index, reqs)?;
@@ -122,6 +127,7 @@ impl ResolveCache {
             c.misses += 1;
             c.solver_candidates_tried += solved.1.candidates_tried;
         }
+        lfm_telemetry::global().counter("resolve_cache.miss", 1);
         self.entries.lock().insert(key, solved.clone());
         Ok(solved)
     }
@@ -177,7 +183,9 @@ pub fn resolve_with_stats(
 }
 
 fn merge_constraint(map: &mut BTreeMap<String, VersionReq>, dist: &str, req: &VersionReq) {
-    map.entry(dist.to_string()).or_insert_with(VersionReq::any).intersect(req);
+    map.entry(dist.to_string())
+        .or_insert_with(VersionReq::any)
+        .intersect(req);
 }
 
 /// Recursive backtracking: pick the alphabetically-first unpinned constrained
@@ -251,7 +259,9 @@ mod tests {
     use crate::requirements::Requirement;
 
     fn reqs(list: &[&str]) -> RequirementSet {
-        list.iter().map(|s| s.parse::<Requirement>().unwrap()).collect()
+        list.iter()
+            .map(|s| s.parse::<Requirement>().unwrap())
+            .collect()
     }
 
     #[test]
@@ -282,14 +292,22 @@ mod tests {
     fn resolve_tensorflow_closure() {
         let ix = PackageIndex::builtin();
         let r = resolve(&ix, &reqs(&["tensorflow"])).unwrap();
-        for dep in ["numpy", "protobuf", "grpcio", "h5py", "keras", "python", "six"] {
+        for dep in [
+            "numpy", "protobuf", "grpcio", "h5py", "keras", "python", "six",
+        ] {
             assert!(r.version_of(dep).is_some(), "missing {dep}");
         }
         // Solution satisfies every dependency edge of every pinned release.
         for rel in r.releases(&ix).unwrap() {
             for (dep, req) in &rel.deps {
-                let v = r.version_of(dep).unwrap_or_else(|| panic!("{dep} unpinned"));
-                assert!(req.matches(v), "{}: {dep}{req} unsatisfied by {v}", rel.name);
+                let v = r
+                    .version_of(dep)
+                    .unwrap_or_else(|| panic!("{dep} unpinned"));
+                assert!(
+                    req.matches(v),
+                    "{}: {dep}{req} unsatisfied by {v}",
+                    rel.name
+                );
             }
         }
     }
@@ -399,7 +417,10 @@ mod tests {
         let after_miss = cache.stats();
         assert_eq!(after_miss.misses, 1);
         assert_eq!(after_miss.hits, 0);
-        assert_eq!(after_miss.solver_candidates_tried, first_stats.candidates_tried);
+        assert_eq!(
+            after_miss.solver_candidates_tried,
+            first_stats.candidates_tried
+        );
         assert!(after_miss.solver_candidates_tried > 0);
 
         let (second, second_stats) = cache.resolve_with_stats(&ix, &set).unwrap();
@@ -409,15 +430,22 @@ mod tests {
         assert_eq!(after_hit.hits, 1);
         assert_eq!(after_hit.misses, 1);
         // The hit did zero additional solver work.
-        assert_eq!(after_hit.solver_candidates_tried, after_miss.solver_candidates_tried);
+        assert_eq!(
+            after_hit.solver_candidates_tried,
+            after_miss.solver_candidates_tried
+        );
     }
 
     #[test]
     fn cache_key_is_order_independent() {
         let ix = PackageIndex::builtin();
         let cache = ResolveCache::new();
-        let a = cache.resolve(&ix, &reqs(&["coffea", "tensorflow"])).unwrap();
-        let b = cache.resolve(&ix, &reqs(&["tensorflow", "coffea"])).unwrap();
+        let a = cache
+            .resolve(&ix, &reqs(&["coffea", "tensorflow"]))
+            .unwrap();
+        let b = cache
+            .resolve(&ix, &reqs(&["tensorflow", "coffea"]))
+            .unwrap();
         assert_eq!(a, b);
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.len(), 1);
@@ -430,7 +458,10 @@ mod tests {
         let ix = PackageIndex::builtin();
         let cache = ResolveCache::new();
         let set = reqs(&["mxnet", "legacy-tool"]);
-        assert!(cache.resolve(&ix, &set).is_err(), "legacy-tool unknown in builtin");
+        assert!(
+            cache.resolve(&ix, &set).is_err(),
+            "legacy-tool unknown in builtin"
+        );
 
         let mut ix2 = PackageIndex::builtin();
         ix2.add(DistRelease {

@@ -69,8 +69,22 @@ impl SourceBuilder {
 /// Deterministic for a given shape, so analyzer benchmarks are stable.
 pub fn synthetic_module(n_imports: usize, n_functions: usize, stmts_per_fn: usize) -> String {
     const POOL: &[&str] = &[
-        "numpy", "scipy", "pandas", "sklearn", "matplotlib", "os", "sys", "json", "math",
-        "re", "time", "itertools", "functools", "collections", "tensorflow", "keras",
+        "numpy",
+        "scipy",
+        "pandas",
+        "sklearn",
+        "matplotlib",
+        "os",
+        "sys",
+        "json",
+        "math",
+        "re",
+        "time",
+        "itertools",
+        "functools",
+        "collections",
+        "tensorflow",
+        "keras",
     ];
     let mut b = SourceBuilder::new();
     for i in 0..n_imports {

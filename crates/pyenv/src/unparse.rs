@@ -31,7 +31,13 @@ pub fn unparse_stmt(stmt: &Stmt, indent: usize, out: &mut String) {
                 .collect();
             writeln!(out, "{pad}import {}", rendered.join(", ")).unwrap();
         }
-        Stmt::ImportFrom { module, names, level, star, .. } => {
+        Stmt::ImportFrom {
+            module,
+            names,
+            level,
+            star,
+            ..
+        } => {
             let dots = ".".repeat(*level);
             let m = module.as_ref().map(DottedName::dotted).unwrap_or_default();
             if *star {
@@ -47,14 +53,22 @@ pub fn unparse_stmt(stmt: &Stmt, indent: usize, out: &mut String) {
                 writeln!(out, "{pad}from {dots}{m} import {}", rendered.join(", ")).unwrap();
             }
         }
-        Stmt::FunctionDef { name, params, body, decorators, .. } => {
+        Stmt::FunctionDef {
+            name,
+            params,
+            body,
+            decorators,
+            ..
+        } => {
             for d in decorators {
                 writeln!(out, "{pad}@{}", unparse_expr(d)).unwrap();
             }
             writeln!(out, "{pad}def {name}({}):", unparse_params(params)).unwrap();
             unparse_body(body, indent + 1, out);
         }
-        Stmt::ClassDef { name, bases, body, .. } => {
+        Stmt::ClassDef {
+            name, bases, body, ..
+        } => {
             if bases.is_empty() {
                 writeln!(out, "{pad}class {name}:").unwrap();
             } else {
@@ -68,8 +82,13 @@ pub fn unparse_stmt(stmt: &Stmt, indent: usize, out: &mut String) {
             writeln!(out, "{pad}{} = {}", t.join(" = "), unparse_expr(value)).unwrap();
         }
         Stmt::AugAssign { target, op, value } => {
-            writeln!(out, "{pad}{} {op} {}", unparse_expr(target), unparse_expr(value))
-                .unwrap();
+            writeln!(
+                out,
+                "{pad}{} {op} {}",
+                unparse_expr(target),
+                unparse_expr(value)
+            )
+            .unwrap();
         }
         Stmt::ExprStmt(e) => writeln!(out, "{pad}{}", unparse_expr(e)).unwrap(),
         Stmt::Return(v) => match v {
@@ -109,7 +128,12 @@ pub fn unparse_stmt(stmt: &Stmt, indent: usize, out: &mut String) {
             writeln!(out, "{pad}with {}:", rendered.join(", ")).unwrap();
             unparse_body(body, indent + 1, out);
         }
-        Stmt::Try { body, handlers, orelse, finalbody } => {
+        Stmt::Try {
+            body,
+            handlers,
+            orelse,
+            finalbody,
+        } => {
             writeln!(out, "{pad}try:").unwrap();
             unparse_body(body, indent + 1, out);
             for h in handlers {
@@ -117,9 +141,7 @@ pub fn unparse_stmt(stmt: &Stmt, indent: usize, out: &mut String) {
                     (Some(t), Some(n)) => {
                         writeln!(out, "{pad}except {} as {n}:", unparse_expr(t)).unwrap()
                     }
-                    (Some(t), None) => {
-                        writeln!(out, "{pad}except {}:", unparse_expr(t)).unwrap()
-                    }
+                    (Some(t), None) => writeln!(out, "{pad}except {}:", unparse_expr(t)).unwrap(),
                     (None, _) => writeln!(out, "{pad}except:").unwrap(),
                 }
                 unparse_body(&h.body, indent + 1, out);
@@ -191,9 +213,11 @@ fn unparse_params(params: &[Param]) -> String {
 /// A `for`-target: bare tuples print without parens.
 fn unparse_target(e: &Expr) -> String {
     match e {
-        Expr::Tuple(items) if !items.is_empty() => {
-            items.iter().map(unparse_expr).collect::<Vec<_>>().join(", ")
-        }
+        Expr::Tuple(items) if !items.is_empty() => items
+            .iter()
+            .map(unparse_expr)
+            .collect::<Vec<_>>()
+            .join(", "),
         other => unparse_expr(other),
     }
 }
@@ -260,7 +284,11 @@ pub fn unparse_expr(e: &Expr) -> String {
             let parts: Vec<String> = values.iter().map(unparse_expr).collect();
             format!("({})", parts.join(&format!(" {op} ")))
         }
-        Expr::Compare { left, ops, comparators } => {
+        Expr::Compare {
+            left,
+            ops,
+            comparators,
+        } => {
             let mut s = format!("({}", unparse_expr(left));
             for (op, c) in ops.iter().zip(comparators) {
                 write!(s, " {op} {}", unparse_expr(c)).unwrap();
@@ -304,7 +332,14 @@ pub fn unparse_expr(e: &Expr) -> String {
             Some(e) => format!("(yield {})", unparse_expr(e)),
             None => "(yield)".into(),
         },
-        Expr::Comprehension { kind, elt, value, target, iter, conditions } => {
+        Expr::Comprehension {
+            kind,
+            elt,
+            value,
+            target,
+            iter,
+            conditions,
+        } => {
             let mut inner = match kind {
                 ComprehensionKind::Dict => format!(
                     "{}: {} for {} in {}",
@@ -410,9 +445,7 @@ def f(xs):
     return sum(out)
 ";
         let printed = unparse_module(&parse_module(src).unwrap());
-        let arg = crate::pickle::PyValue::List(
-            (0..10).map(crate::pickle::PyValue::Int).collect(),
-        );
+        let arg = crate::pickle::PyValue::List((0..10).map(crate::pickle::PyValue::Int).collect());
         let run = |s: &str| {
             let mut i = crate::interp::Interp::new();
             i.load_source(s).unwrap();

@@ -21,7 +21,11 @@ pub struct Version {
 impl Version {
     /// Construct a version from its components.
     pub const fn new(major: u32, minor: u32, patch: u32) -> Self {
-        Version { major, minor, patch }
+        Version {
+            major,
+            minor,
+            patch,
+        }
     }
 
     /// The smallest version that is strictly larger at the same `~=` level.
@@ -139,12 +143,16 @@ impl VersionReq {
 
     /// A requirement matching exactly `v`.
     pub fn exact(v: Version) -> Self {
-        VersionReq { comparators: vec![Comparator::Eq(v)] }
+        VersionReq {
+            comparators: vec![Comparator::Eq(v)],
+        }
     }
 
     /// A requirement `>= v`.
     pub fn at_least(v: Version) -> Self {
-        VersionReq { comparators: vec![Comparator::Ge(v)] }
+        VersionReq {
+            comparators: vec![Comparator::Ge(v)],
+        }
     }
 
     /// Does `v` satisfy every comparator?
@@ -226,7 +234,10 @@ impl FromStr for VersionReq {
                 "<=" => Comparator::Le(v),
                 ">" => Comparator::Gt(v),
                 "<" => Comparator::Lt(v),
-                "~=" => Comparator::Compatible { lower: v, upper: v.compatible_upper(had_patch) },
+                "~=" => Comparator::Compatible {
+                    lower: v,
+                    upper: v.compatible_upper(had_patch),
+                },
                 _ => unreachable!(),
             };
             comparators.push(c);

@@ -27,23 +27,43 @@ pub struct BatchParams {
 impl BatchParams {
     /// A busy leadership-class machine.
     pub fn leadership_busy() -> Self {
-        BatchParams { base_wait: 120.0, wait_per_node: 1.5, jitter: 0.3, startup_overhead: 8.0 }
+        BatchParams {
+            base_wait: 120.0,
+            wait_per_node: 1.5,
+            jitter: 0.3,
+            startup_overhead: 8.0,
+        }
     }
 
     /// A responsive campus cluster (HTCondor-style opportunistic slots).
     pub fn campus_responsive() -> Self {
-        BatchParams { base_wait: 15.0, wait_per_node: 0.2, jitter: 0.5, startup_overhead: 3.0 }
+        BatchParams {
+            base_wait: 15.0,
+            wait_per_node: 0.2,
+            jitter: 0.5,
+            startup_overhead: 3.0,
+        }
     }
 
     /// Cloud instances: near-constant provisioning latency.
     pub fn cloud() -> Self {
-        BatchParams { base_wait: 45.0, wait_per_node: 0.05, jitter: 0.1, startup_overhead: 5.0 }
+        BatchParams {
+            base_wait: 45.0,
+            wait_per_node: 0.05,
+            jitter: 0.1,
+            startup_overhead: 5.0,
+        }
     }
 
     /// Instant provisioning — used by experiments that want to isolate
     /// scheduling behaviour from queue noise.
     pub fn instant() -> Self {
-        BatchParams { base_wait: 0.0, wait_per_node: 0.0, jitter: 0.0, startup_overhead: 0.0 }
+        BatchParams {
+            base_wait: 0.0,
+            wait_per_node: 0.0,
+            jitter: 0.0,
+            startup_overhead: 0.0,
+        }
     }
 }
 
@@ -67,7 +87,12 @@ pub struct BatchSystem {
 
 impl BatchSystem {
     pub fn new(params: BatchParams, rng: SimRng) -> Self {
-        BatchSystem { params, rng, next_id: 0, submitted: 0 }
+        BatchSystem {
+            params,
+            rng,
+            next_id: 0,
+            submitted: 0,
+        }
     }
 
     /// Submit a request for `count` identical pilots at time `now`. Returns
@@ -86,7 +111,12 @@ impl BatchSystem {
             let id = self.next_id;
             self.next_id += 1;
             self.submitted += 1;
-            pilots.push(Pilot { id, spec, submitted_at: now, starts_at: now + wait });
+            pilots.push(Pilot {
+                id,
+                spec,
+                submitted_at: now,
+                starts_at: now + wait,
+            });
         }
         pilots
     }
@@ -111,7 +141,10 @@ mod tests {
     fn larger_requests_wait_longer_on_average() {
         let mut b = BatchSystem::new(BatchParams::leadership_busy(), SimRng::seeded(2));
         let avg = |pilots: &[Pilot]| -> f64 {
-            pilots.iter().map(|p| p.starts_at - p.submitted_at).sum::<f64>()
+            pilots
+                .iter()
+                .map(|p| p.starts_at - p.submitted_at)
+                .sum::<f64>()
                 / pilots.len() as f64
         };
         let small = b.submit(SimTime::ZERO, NodeSpec::new(8, 8192, 16384), 2);

@@ -85,7 +85,11 @@ impl<E> EventQueue<E> {
         );
         self.seq += 1;
         self.pushed += 1;
-        self.heap.push(Reverse(Entry { at, seq: self.seq, event }));
+        self.heap.push(Reverse(Entry {
+            at,
+            seq: self.seq,
+            event,
+        }));
     }
 
     /// Schedule `event` `delay` seconds from now.

@@ -15,7 +15,13 @@ pub struct Summary {
 
 impl Summary {
     pub fn new() -> Self {
-        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     pub fn record(&mut self, x: f64) {
@@ -159,6 +165,73 @@ impl Samples {
     }
 }
 
+/// An exact-sample histogram with percentile convenience accessors.
+///
+/// Keeps every sample (like [`Samples`], which it wraps) so tail
+/// percentiles are exact — the paper reports tails, and at experiment
+/// scale the memory cost is negligible. Percentiles take `&mut self`
+/// because the backing store sorts lazily.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Samples,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, x: f64) {
+        self.samples.record(x);
+    }
+
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.samples.mean()
+    }
+
+    /// Percentile `p` in [0, 100] by nearest rank; 0.0 for an empty
+    /// histogram (convenient for report fields).
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        self.samples.quantile(p / 100.0).unwrap_or(0.0)
+    }
+
+    pub fn p50(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    pub fn p95(&mut self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    pub fn p99(&mut self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    pub fn max(&mut self) -> f64 {
+        self.percentile(100.0)
+    }
+
+    /// Fold another histogram's samples into this one (shard merges).
+    pub fn merge(&mut self, other: &Histogram) {
+        for v in other.samples.iter() {
+            self.samples.record(v);
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.samples.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,5 +310,51 @@ mod tests {
     fn non_finite_sample_panics() {
         let mut s = Samples::new();
         s.record(f64::NAN);
+    }
+
+    #[test]
+    fn histogram_percentiles_nearest_rank() {
+        let mut h = Histogram::new();
+        for x in 1..=100 {
+            h.record(x as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), 50.0);
+        assert_eq!(h.p95(), 95.0);
+        assert_eq!(h.p99(), 99.0);
+        assert_eq!(h.max(), 100.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert!((h.mean() - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_percentile_is_zero() {
+        let mut h = Histogram::new();
+        assert_eq!(h.p95(), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn histogram_percentile_range_checked() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.percentile(101.0);
+    }
+
+    #[test]
+    fn histogram_merge_combines_samples() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for x in 1..=50 {
+            a.record(x as f64);
+        }
+        for x in 51..=100 {
+            b.record(x as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        assert_eq!(a.p50(), 50.0);
+        assert_eq!(a.p99(), 99.0);
     }
 }

@@ -20,12 +20,20 @@ pub struct NetworkParams {
 impl NetworkParams {
     /// 10 GbE campus network.
     pub fn campus_10g() -> Self {
-        NetworkParams { master_bw: 1.25e9, per_link_bw: 1.0e9, latency: 0.2e-3 }
+        NetworkParams {
+            master_bw: 1.25e9,
+            per_link_bw: 1.0e9,
+            latency: 0.2e-3,
+        }
     }
 
     /// HPC interconnect (Aries/Slingshot class) as seen by a TCP service.
     pub fn hpc_fabric() -> Self {
-        NetworkParams { master_bw: 5e9, per_link_bw: 2e9, latency: 0.05e-3 }
+        NetworkParams {
+            master_bw: 5e9,
+            per_link_bw: 2e9,
+            latency: 0.05e-3,
+        }
     }
 }
 
@@ -39,7 +47,11 @@ pub struct Network {
 
 impl Network {
     pub fn new(params: NetworkParams) -> Self {
-        Network { params, bytes_moved: 0, messages: 0 }
+        Network {
+            params,
+            bytes_moved: 0,
+            messages: 0,
+        }
     }
 
     /// Effective per-transfer bandwidth with `n` concurrent transfers.

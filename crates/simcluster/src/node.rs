@@ -18,10 +18,18 @@ pub struct Resources {
 }
 
 impl Resources {
-    pub const ZERO: Resources = Resources { cores: 0, memory_mb: 0, disk_mb: 0 };
+    pub const ZERO: Resources = Resources {
+        cores: 0,
+        memory_mb: 0,
+        disk_mb: 0,
+    };
 
     pub const fn new(cores: u32, memory_mb: u64, disk_mb: u64) -> Self {
-        Resources { cores, memory_mb, disk_mb }
+        Resources {
+            cores,
+            memory_mb,
+            disk_mb,
+        }
     }
 
     /// Component-wise: does `self` fit inside `available`?
@@ -52,15 +60,12 @@ impl Resources {
     /// True if any component exceeds the limit — a resource-exhaustion
     /// event for the LFM enforcer.
     pub fn exceeds(&self, limit: &Resources) -> bool {
-        self.cores > limit.cores
-            || self.memory_mb > limit.memory_mb
-            || self.disk_mb > limit.disk_mb
+        self.cores > limit.cores || self.memory_mb > limit.memory_mb || self.disk_mb > limit.disk_mb
     }
 
     /// How many copies of `self` fit in `capacity` (the packing number)?
     pub fn copies_in(&self, capacity: &Resources) -> u32 {
-        let per_axis =
-            |need: u64, have: u64| -> u64 { have.checked_div(need).unwrap_or(u64::MAX) };
+        let per_axis = |need: u64, have: u64| -> u64 { have.checked_div(need).unwrap_or(u64::MAX) };
         per_axis(self.cores as u64, capacity.cores as u64)
             .min(per_axis(self.memory_mb, capacity.memory_mb))
             .min(per_axis(self.disk_mb, capacity.disk_mb))
@@ -120,7 +125,12 @@ pub struct Node {
 
 impl Node {
     pub fn new(id: u32, spec: NodeSpec) -> Self {
-        Node { id, spec, in_use: Resources::ZERO, allocations: 0 }
+        Node {
+            id,
+            spec,
+            in_use: Resources::ZERO,
+            allocations: 0,
+        }
     }
 
     /// Resources currently free.

@@ -19,7 +19,10 @@ impl SimRng {
     /// Create from a 64-bit seed. The same seed always produces the same
     /// sequence, so every experiment in the repo is reproducible.
     pub fn seeded(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed), spare_gauss: None }
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            spare_gauss: None,
+        }
     }
 
     /// Derive an independent stream (e.g. per worker) from this one.

@@ -86,7 +86,11 @@ pub struct SharedFs {
 
 impl SharedFs {
     pub fn new(params: SharedFsParams) -> Self {
-        SharedFs { params, md_ops_served: 0, bytes_served: 0 }
+        SharedFs {
+            params,
+            md_ops_served: 0,
+            bytes_served: 0,
+        }
     }
 
     /// Effective per-client metadata rate with `n` concurrent clients.
@@ -120,12 +124,7 @@ impl SharedFs {
     /// Wall time for one client to *import directly from the shared FS*:
     /// `file_count` metadata ops (stat+open per file) plus `bytes` of reads,
     /// with `concurrent_clients` doing the same thing simultaneously.
-    pub fn import_cost(
-        &mut self,
-        file_count: u64,
-        bytes: u64,
-        concurrent_clients: usize,
-    ) -> f64 {
+    pub fn import_cost(&mut self, file_count: u64, bytes: u64, concurrent_clients: usize) -> f64 {
         // Python's import machinery performs multiple metadata ops per file:
         // stat on each sys.path candidate, open, read. Two ops per file is
         // the conservative floor used here.
@@ -174,7 +173,10 @@ mod tests {
         let mut f = fs();
         let t1 = f.import_cost(10, 1 << 20, 1);
         let t64 = f.import_cost(10, 1 << 20, 64);
-        assert!((t64 / t1) < 1.5, "small import should not degrade: {t1} -> {t64}");
+        assert!(
+            (t64 / t1) < 1.5,
+            "small import should not degrade: {t1} -> {t64}"
+        );
     }
 
     #[test]
@@ -210,7 +212,10 @@ mod tests {
         let direct = f.import_cost(7600, 1 << 30, 4096);
         let mut f2 = fs();
         let packed = f2.stream_cost(1 << 30, 4096);
-        assert!(packed < direct, "packed {packed} should beat direct {direct}");
+        assert!(
+            packed < direct,
+            "packed {packed} should beat direct {direct}"
+        );
     }
 
     #[test]

@@ -134,9 +134,7 @@ mod tests {
 
     #[test]
     fn leadership_sites_have_bigger_filesystems() {
-        assert!(
-            theta().fs.md_server_ops_per_sec > nd_crc().fs.md_server_ops_per_sec
-        );
+        assert!(theta().fs.md_server_ops_per_sec > nd_crc().fs.md_server_ops_per_sec);
         assert!(theta().fs.aggregate_bw > nd_crc().fs.aggregate_bw);
     }
 }

@@ -18,12 +18,22 @@ pub struct LocalDisk {
 impl LocalDisk {
     /// NVMe-class local disk.
     pub fn nvme(capacity: u64) -> Self {
-        LocalDisk { bandwidth: 2e9, per_file_cost: 20e-6, capacity, used: 0 }
+        LocalDisk {
+            bandwidth: 2e9,
+            per_file_cost: 20e-6,
+            capacity,
+            used: 0,
+        }
     }
 
     /// SATA-SSD-class local disk.
     pub fn ssd(capacity: u64) -> Self {
-        LocalDisk { bandwidth: 500e6, per_file_cost: 50e-6, capacity, used: 0 }
+        LocalDisk {
+            bandwidth: 500e6,
+            per_file_cost: 50e-6,
+            capacity,
+            used: 0,
+        }
     }
 
     /// Bytes currently allocated.
@@ -106,9 +116,8 @@ mod tests {
         // contended shared-FS import at scale.
         let d = LocalDisk::nvme(u64::MAX);
         let local = d.read_cost(1 << 30, 7600);
-        let mut fs = crate::sharedfs::SharedFs::new(
-            crate::sharedfs::SharedFsParams::lustre_leadership(),
-        );
+        let mut fs =
+            crate::sharedfs::SharedFs::new(crate::sharedfs::SharedFsParams::lustre_leadership());
         let shared = fs.import_cost(7600, 1 << 30, 512);
         assert!(local < shared / 10.0, "local {local} vs shared {shared}");
     }

@@ -1,0 +1,454 @@
+//! Exporters: Chrome trace-event JSON and flat JSONL.
+//!
+//! The Chrome exporter emits the object form of the trace-event format
+//! (`{"traceEvents":[...]}`) that `chrome://tracing` and Perfetto load
+//! directly: spans become complete (`"X"`) events with microsecond
+//! timestamps, instants become thread-scoped `"i"` events, and timed
+//! counters/gauges become counter (`"C"`) tracks (counters plot their
+//! running total). Untimed metric samples have no place on a timeline;
+//! their aggregate totals ride along in a top-level `otherData` object.
+//!
+//! Everything is built with the same hand-rolled JSON writer the resource
+//! monitor's summaries use ([`lfm_monitor::summary::JsonObject`]) — the
+//! dependency set has no JSON crate, and the documents are flat. Output is
+//! byte-deterministic for a deterministic record stream (pinned by a
+//! golden integration test).
+
+use crate::metrics::MetricsRegistry;
+use crate::record::{AttrValue, Record};
+use lfm_monitor::summary::JsonObject;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+const MICROS: f64 = 1e6;
+
+fn attr_field(o: &mut JsonObject, key: &str, value: &AttrValue) {
+    match value {
+        AttrValue::U64(v) => o.field_u64(key, *v),
+        AttrValue::F64(v) => o.field_f64(key, *v),
+        AttrValue::Str(v) => o.field_str(key, v),
+    };
+}
+
+fn args_object(task: Option<u64>, attempt: Option<u32>, attrs: &[(String, AttrValue)]) -> String {
+    let mut o = JsonObject::new();
+    if let Some(t) = task {
+        o.field_u64("task", t);
+    }
+    if let Some(a) = attempt {
+        o.field_u64("attempt", a as u64);
+    }
+    for (k, v) in attrs {
+        attr_field(&mut o, k, v);
+    }
+    o.finish()
+}
+
+/// Render a record stream as a Chrome trace-event JSON document.
+pub fn chrome_trace(records: &[Record]) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(records.len() + 1);
+
+    // Name the process lane once up front.
+    let mut meta = JsonObject::new();
+    meta.field_str("name", "process_name")
+        .field_str("ph", "M")
+        .field_u64("pid", 1)
+        .field_raw("args", "{\"name\":\"lfm-sim\"}");
+    events.push(meta.finish());
+
+    // Counters plot running totals.
+    let mut totals: BTreeMap<&str, f64> = BTreeMap::new();
+
+    for record in records {
+        match record {
+            Record::Span(s) => {
+                let mut o = JsonObject::new();
+                o.field_str("name", &s.name)
+                    .field_str("cat", &s.cat)
+                    .field_str("ph", "X")
+                    .field_f64("ts", s.start_secs * MICROS)
+                    .field_f64("dur", s.duration_secs() * MICROS)
+                    .field_u64("pid", 1)
+                    .field_u64("tid", s.track)
+                    .field_raw("args", &args_object(s.task, s.attempt, &s.attrs));
+                events.push(o.finish());
+            }
+            Record::Instant(i) => {
+                let mut o = JsonObject::new();
+                o.field_str("name", &i.name)
+                    .field_str("cat", &i.cat)
+                    .field_str("ph", "i")
+                    .field_str("s", "t")
+                    .field_f64("ts", i.at_secs * MICROS)
+                    .field_u64("pid", 1)
+                    .field_u64("tid", i.track)
+                    .field_raw("args", &args_object(i.task, i.attempt, &i.attrs));
+                events.push(o.finish());
+            }
+            Record::Metric(m) => {
+                let Some(at) = m.at_secs else { continue };
+                let value = match m.kind {
+                    crate::record::MetricKind::Counter => {
+                        let total = totals.entry(m.name.as_str()).or_insert(0.0);
+                        *total += m.value;
+                        *total
+                    }
+                    _ => m.value,
+                };
+                let mut args = JsonObject::new();
+                args.field_f64("value", value);
+                let mut o = JsonObject::new();
+                o.field_str("name", &m.name)
+                    .field_str("ph", "C")
+                    .field_f64("ts", at * MICROS)
+                    .field_u64("pid", 1)
+                    .field_u64("tid", 0)
+                    .field_raw("args", &args.finish());
+                events.push(o.finish());
+            }
+        }
+    }
+
+    let mut doc = JsonObject::new();
+    doc.field_raw("traceEvents", &format!("[{}]", events.join(",")))
+        .field_str("displayTimeUnit", "ms")
+        .field_raw(
+            "otherData",
+            &MetricsRegistry::from_records(records).to_json(),
+        );
+    doc.finish()
+}
+
+/// Render a record stream as JSONL: one self-describing object per line,
+/// for scripted analysis (`jq`, pandas).
+pub fn jsonl(records: &[Record]) -> String {
+    let mut out = String::new();
+    for record in records {
+        let mut o = JsonObject::new();
+        match record {
+            Record::Span(s) => {
+                o.field_str("type", "span")
+                    .field_u64("seq", s.seq)
+                    .field_str("name", &s.name)
+                    .field_str("cat", &s.cat)
+                    .field_f64("start_s", s.start_secs)
+                    .field_f64("end_s", s.end_secs)
+                    .field_f64("dur_s", s.duration_secs())
+                    .field_u64("track", s.track)
+                    .field_u64("depth", s.depth as u64)
+                    .field_raw("args", &args_object(s.task, s.attempt, &s.attrs));
+            }
+            Record::Instant(i) => {
+                o.field_str("type", "instant")
+                    .field_u64("seq", i.seq)
+                    .field_str("name", &i.name)
+                    .field_str("cat", &i.cat)
+                    .field_f64("at_s", i.at_secs)
+                    .field_u64("track", i.track)
+                    .field_raw("args", &args_object(i.task, i.attempt, &i.attrs));
+            }
+            Record::Metric(m) => {
+                o.field_str(
+                    "type",
+                    match m.kind {
+                        crate::record::MetricKind::Counter => "counter",
+                        crate::record::MetricKind::Gauge => "gauge",
+                        crate::record::MetricKind::Histogram => "observe",
+                    },
+                )
+                .field_u64("seq", m.seq)
+                .field_str("name", &m.name)
+                .field_f64("value", m.value);
+                if let Some(at) = m.at_secs {
+                    o.field_f64("at_s", at);
+                }
+            }
+        }
+        out.push_str(&o.finish());
+        out.push('\n');
+    }
+    out
+}
+
+/// Write the Chrome trace for `records` to `path`.
+pub fn write_chrome_trace(path: &Path, records: &[Record]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(chrome_trace(records).as_bytes())
+}
+
+/// Write the JSONL dump for `records` to `path`.
+pub fn write_jsonl(path: &Path, records: &[Record]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(jsonl(records).as_bytes())
+}
+
+/// Strict structural JSON validator (no value model — it only answers "is
+/// this well-formed?"). The dependency set has no JSON parser; the trace
+/// tests use this to prove exporter output actually loads.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:#x} at {pos:?}")),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut digits = 0;
+    while *pos < b.len() && b[*pos].is_ascii_digit() {
+        *pos += 1;
+        digits += 1;
+    }
+    if digits == 0 {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let mut frac = 0;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+            frac += 1;
+        }
+        if frac == 0 {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e') | Some(b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        let mut exp = 0;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+            exp += 1;
+        }
+        if exp == 0 {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        for i in 1..=4 {
+                            if !b.get(*pos + i).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!("bad \\u escape at byte {}", *pos));
+                            }
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+            }
+            c if c < 0x20 => return Err(format!("raw control byte at {}", *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+    use lfm_simcluster::time::SimTime;
+
+    fn sample_recorder() -> Recorder {
+        let r = Recorder::enabled();
+        r.span("exec", "lfm")
+            .at(SimTime::from_secs(1.0), SimTime::from_secs(3.5))
+            .track(2)
+            .task(9)
+            .attempt(0)
+            .attr("polls", 3u64)
+            .attr("outcome", "completed")
+            .emit();
+        r.instant("kill", "lfm")
+            .at(SimTime::from_secs(3.5))
+            .track(2)
+            .task(9)
+            .emit();
+        r.counter_at("event.task_done", 1, SimTime::from_secs(3.5));
+        r.counter_at("event.task_done", 1, SimTime::from_secs(4.0));
+        r.gauge("pending", 5.0, SimTime::from_secs(2.0));
+        r.counter("cache.hit", 4);
+        r.observe("turnaround_s", 3.5);
+        r
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_events() {
+        let trace = chrome_trace(&sample_recorder().take());
+        validate_json(&trace).expect("chrome trace must be valid JSON");
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"X\""), "span event");
+        assert!(trace.contains("\"ph\":\"i\""), "instant event");
+        assert!(trace.contains("\"ph\":\"C\""), "counter event");
+        assert!(trace.contains("\"ph\":\"M\""), "metadata event");
+        // Span: 1.0 s -> 1e6 us, 2.5 s duration.
+        assert!(trace.contains("\"ts\":1000000"), "{trace}");
+        assert!(trace.contains("\"dur\":2500000"));
+        // Counter track plots the running total: second sample reads 2.
+        assert!(trace.contains("\"value\":2"));
+        // Untimed aggregates land in otherData.
+        assert!(trace.contains("\"otherData\":{"));
+        assert!(trace.contains("\"cache.hit\":4"));
+        assert!(trace.contains("\"turnaround_s.p95\":3.5"));
+    }
+
+    #[test]
+    fn jsonl_one_valid_object_per_record() {
+        let records = sample_recorder().take();
+        let dump = jsonl(&records);
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), records.len());
+        for line in &lines {
+            validate_json(line).expect("each JSONL line must be valid JSON");
+        }
+        assert!(lines[0].contains("\"type\":\"span\""));
+        assert!(dump.contains("\"type\":\"counter\""));
+        assert!(dump.contains("\"type\":\"gauge\""));
+        assert!(dump.contains("\"type\":\"observe\""));
+    }
+
+    #[test]
+    fn empty_stream_exports_cleanly() {
+        let trace = chrome_trace(&[]);
+        validate_json(&trace).unwrap();
+        assert_eq!(jsonl(&[]), "");
+    }
+
+    #[test]
+    fn validator_rejects_malformed() {
+        for bad in [
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "\"unterminated",
+            "01a",
+            "{\"a\":1}extra",
+            "nul",
+            "1.",
+            "[\"\\x\"]",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted: {bad}");
+        }
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            "{\"a\":[1,2,{\"b\":\"c\\n\"}],\"d\":true}",
+            "\"\\u00e9\"",
+        ] {
+            assert!(validate_json(good).is_ok(), "rejected: {good}");
+        }
+    }
+}

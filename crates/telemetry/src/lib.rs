@@ -1,0 +1,615 @@
+//! # lfm-telemetry — end-to-end tracing & metrics for the LFM stack
+//!
+//! The paper makes *function invocations* the unit of resource management;
+//! this crate makes them the unit of observability. Every layer of the
+//! simulated stack (master, worker, LFM, sweep engine, environment caches)
+//! records **spans** (named intervals in simulated or wall time, with
+//! task/worker/attempt ids and key=value attrs) and **counters / gauges /
+//! histogram samples** through a cheap [`Recorder`] handle.
+//!
+//! Design rules:
+//!
+//! * **Zero perturbation.** Recording never touches simulation state: no
+//!   RNG draws, no event-queue traffic, no timing inputs. A run with a live
+//!   recorder produces a byte-identical `RunReport` to one with
+//!   [`Recorder::disabled`] (pinned by an integration test).
+//! * **~Free when off.** [`Recorder::disabled`] is a `None` behind the
+//!   handle; every emission path checks it first and allocates nothing.
+//! * **Sharded buffers.** Live recording appends to one of a fixed set of
+//!   mutex-guarded shards chosen by thread, so parallel sweep jobs sharing
+//!   a recorder do not serialize on one lock. A global sequence number
+//!   gives the merged stream a total order.
+//!
+//! Exporters (see [`export`]) turn the merged stream into Chrome
+//! trace-event JSON (`chrome://tracing` / Perfetto loadable) or flat JSONL;
+//! [`MetricsRegistry`] aggregates the metric samples into the existing
+//! `lfm_simcluster::metrics` types.
+
+pub mod export;
+pub mod metrics;
+pub mod record;
+
+pub use metrics::MetricsRegistry;
+pub use record::{AttrValue, InstantRecord, MetricKind, MetricRecord, Record, SpanRecord};
+
+use lfm_simcluster::time::SimTime;
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Number of per-thread buffer shards. A small power of two: the stack
+/// never runs more than a few dozen recording threads at once.
+const SHARD_COUNT: usize = 16;
+
+struct Inner {
+    seq: AtomicU64,
+    shards: Vec<Mutex<Vec<Record>>>,
+    /// Wall-clock origin for host-side spans ([`Recorder::wall_span`]).
+    origin: Instant,
+}
+
+thread_local! {
+    /// Wall-span nesting depth for the current thread.
+    static WALL_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Cheap, cloneable handle to a recording session (or to nothing at all).
+///
+/// Cloning shares the underlying buffers: a `MasterConfig` cloned across a
+/// sweep fans every job's records into the same session.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => write!(f, "Recorder(enabled, {} records)", inner.len()),
+            None => write!(f, "Recorder(disabled)"),
+        }
+    }
+}
+
+impl Inner {
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// Shard index for the current thread: stable within a thread, spread
+/// across threads.
+fn thread_shard() -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    (h.finish() as usize) % SHARD_COUNT
+}
+
+impl Recorder {
+    /// A live recording session with empty buffers.
+    pub fn enabled() -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                seq: AtomicU64::new(0),
+                shards: (0..SHARD_COUNT).map(|_| Mutex::new(Vec::new())).collect(),
+                origin: Instant::now(),
+            })),
+        }
+    }
+
+    /// The no-op recorder: every emission is a single branch, no
+    /// allocation, no locking.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records buffered so far (all shards).
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map(|i| i.len()).unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&self, make: impl FnOnce(u64) -> Record) {
+        let Some(inner) = &self.inner else { return };
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        let record = make(seq);
+        inner.shards[thread_shard()].lock().push(record);
+    }
+
+    /// Begin a span description; finish with [`SpanBuilder::emit`]. When
+    /// the recorder is disabled the builder is inert and allocates nothing.
+    pub fn span(&self, name: &str, cat: &str) -> SpanBuilder<'_> {
+        if self.inner.is_none() {
+            return SpanBuilder {
+                recorder: self,
+                record: None,
+            };
+        }
+        SpanBuilder {
+            recorder: self,
+            record: Some(SpanRecord {
+                seq: 0,
+                name: name.to_string(),
+                cat: cat.to_string(),
+                start_secs: 0.0,
+                end_secs: 0.0,
+                track: 0,
+                depth: 0,
+                task: None,
+                attempt: None,
+                attrs: Vec::new(),
+            }),
+        }
+    }
+
+    /// Begin a point-event description; finish with
+    /// [`InstantBuilder::emit`].
+    pub fn instant(&self, name: &str, cat: &str) -> InstantBuilder<'_> {
+        if self.inner.is_none() {
+            return InstantBuilder {
+                recorder: self,
+                record: None,
+            };
+        }
+        InstantBuilder {
+            recorder: self,
+            record: Some(InstantRecord {
+                seq: 0,
+                name: name.to_string(),
+                cat: cat.to_string(),
+                at_secs: 0.0,
+                track: 0,
+                task: None,
+                attempt: None,
+                attrs: Vec::new(),
+            }),
+        }
+    }
+
+    /// Add `delta` to an untimed monotonic counter.
+    pub fn counter(&self, name: &str, delta: u64) {
+        self.push(|seq| {
+            Record::Metric(MetricRecord {
+                seq,
+                name: name.to_string(),
+                kind: MetricKind::Counter,
+                value: delta as f64,
+                at_secs: None,
+            })
+        });
+    }
+
+    /// Add `delta` to a counter at a simulated timestamp (plotted as a
+    /// running total in the Chrome trace).
+    pub fn counter_at(&self, name: &str, delta: u64, at: SimTime) {
+        self.push(|seq| {
+            Record::Metric(MetricRecord {
+                seq,
+                name: name.to_string(),
+                kind: MetricKind::Counter,
+                value: delta as f64,
+                at_secs: Some(at.as_secs()),
+            })
+        });
+    }
+
+    /// Record a level (queue depth, pool size) at a simulated timestamp.
+    pub fn gauge(&self, name: &str, value: f64, at: SimTime) {
+        self.push(|seq| {
+            Record::Metric(MetricRecord {
+                seq,
+                name: name.to_string(),
+                kind: MetricKind::Gauge,
+                value,
+                at_secs: Some(at.as_secs()),
+            })
+        });
+    }
+
+    /// Record one sample of a distribution.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.push(|seq| {
+            Record::Metric(MetricRecord {
+                seq,
+                name: name.to_string(),
+                kind: MetricKind::Histogram,
+                value,
+                at_secs: None,
+            })
+        });
+    }
+
+    /// Open a wall-clock span that records itself on drop. Used by the
+    /// host-side layers (parallel sweep engine) whose time axis is real.
+    /// Nested guards on one thread track their depth.
+    pub fn wall_span(&self, name: &str, cat: &str) -> WallSpan {
+        let Some(inner) = &self.inner else {
+            return WallSpan { state: None };
+        };
+        let depth = WALL_DEPTH.with(|d| {
+            let cur = d.get();
+            d.set(cur + 1);
+            cur
+        });
+        WallSpan {
+            state: Some(WallSpanState {
+                recorder: self.clone(),
+                name: name.to_string(),
+                cat: cat.to_string(),
+                start_secs: inner.origin.elapsed().as_secs_f64(),
+                depth,
+                attrs: Vec::new(),
+            }),
+        }
+    }
+
+    /// Drain every shard and return the merged stream in `seq` order.
+    pub fn take(&self) -> Vec<Record> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(inner.len());
+        for shard in &inner.shards {
+            out.append(&mut shard.lock());
+        }
+        out.sort_by_key(Record::seq);
+        out
+    }
+
+    /// Clone the merged stream in `seq` order without draining.
+    pub fn snapshot(&self) -> Vec<Record> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(inner.len());
+        for shard in &inner.shards {
+            out.extend(shard.lock().iter().cloned());
+        }
+        out.sort_by_key(Record::seq);
+        out
+    }
+
+    /// Aggregate the buffered metric samples into a registry.
+    pub fn metrics(&self) -> MetricsRegistry {
+        MetricsRegistry::from_records(&self.snapshot())
+    }
+}
+
+/// Builder for a [`SpanRecord`]; inert when the recorder is disabled.
+#[must_use = "call .emit() to record the span"]
+pub struct SpanBuilder<'r> {
+    recorder: &'r Recorder,
+    record: Option<SpanRecord>,
+}
+
+impl SpanBuilder<'_> {
+    /// Simulated-time interval.
+    pub fn at(self, start: SimTime, end: SimTime) -> Self {
+        self.between_secs(start.as_secs(), end.as_secs())
+    }
+
+    /// Raw-seconds interval (for wall-time callers).
+    pub fn between_secs(mut self, start: f64, end: f64) -> Self {
+        if let Some(r) = &mut self.record {
+            r.start_secs = start;
+            r.end_secs = end;
+        }
+        self
+    }
+
+    pub fn track(mut self, track: u64) -> Self {
+        if let Some(r) = &mut self.record {
+            r.track = track;
+        }
+        self
+    }
+
+    pub fn task(mut self, task: u64) -> Self {
+        if let Some(r) = &mut self.record {
+            r.task = Some(task);
+        }
+        self
+    }
+
+    pub fn attempt(mut self, attempt: u32) -> Self {
+        if let Some(r) = &mut self.record {
+            r.attempt = Some(attempt);
+        }
+        self
+    }
+
+    pub fn attr(mut self, key: &str, value: impl Into<AttrValue>) -> Self {
+        if let Some(r) = &mut self.record {
+            r.attrs.push((key.to_string(), value.into()));
+        }
+        self
+    }
+
+    pub fn emit(self) {
+        if let Some(mut r) = self.record {
+            debug_assert!(
+                r.end_secs >= r.start_secs,
+                "span '{}' ends before it starts",
+                r.name
+            );
+            self.recorder.push(|seq| {
+                r.seq = seq;
+                Record::Span(r)
+            });
+        }
+    }
+}
+
+/// Builder for an [`InstantRecord`]; inert when the recorder is disabled.
+#[must_use = "call .emit() to record the event"]
+pub struct InstantBuilder<'r> {
+    recorder: &'r Recorder,
+    record: Option<InstantRecord>,
+}
+
+impl InstantBuilder<'_> {
+    pub fn at(mut self, at: SimTime) -> Self {
+        if let Some(r) = &mut self.record {
+            r.at_secs = at.as_secs();
+        }
+        self
+    }
+
+    pub fn track(mut self, track: u64) -> Self {
+        if let Some(r) = &mut self.record {
+            r.track = track;
+        }
+        self
+    }
+
+    pub fn task(mut self, task: u64) -> Self {
+        if let Some(r) = &mut self.record {
+            r.task = Some(task);
+        }
+        self
+    }
+
+    pub fn attempt(mut self, attempt: u32) -> Self {
+        if let Some(r) = &mut self.record {
+            r.attempt = Some(attempt);
+        }
+        self
+    }
+
+    pub fn attr(mut self, key: &str, value: impl Into<AttrValue>) -> Self {
+        if let Some(r) = &mut self.record {
+            r.attrs.push((key.to_string(), value.into()));
+        }
+        self
+    }
+
+    pub fn emit(self) {
+        if let Some(mut r) = self.record {
+            self.recorder.push(|seq| {
+                r.seq = seq;
+                Record::Instant(r)
+            });
+        }
+    }
+}
+
+struct WallSpanState {
+    recorder: Recorder,
+    name: String,
+    cat: String,
+    start_secs: f64,
+    depth: u32,
+    attrs: Vec<(String, AttrValue)>,
+}
+
+/// RAII wall-clock span; records on drop. Inert when disabled.
+pub struct WallSpan {
+    state: Option<WallSpanState>,
+}
+
+impl WallSpan {
+    /// Attach an attribute (no-op when disabled).
+    pub fn attr(&mut self, key: &str, value: impl Into<AttrValue>) {
+        if let Some(s) = &mut self.state {
+            s.attrs.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Nesting depth this span was opened at (tests; disabled spans report
+    /// 0).
+    pub fn depth(&self) -> u32 {
+        self.state.as_ref().map(|s| s.depth).unwrap_or(0)
+    }
+}
+
+impl Drop for WallSpan {
+    fn drop(&mut self) {
+        let Some(state) = self.state.take() else {
+            return;
+        };
+        WALL_DEPTH.with(|d| d.set(state.depth));
+        let WallSpanState {
+            recorder,
+            name,
+            cat,
+            start_secs,
+            depth,
+            attrs,
+        } = state;
+        let Some(inner) = &recorder.inner else { return };
+        let end = inner.origin.elapsed().as_secs_f64();
+        let track = thread_shard() as u64;
+        recorder.push(|seq| {
+            Record::Span(SpanRecord {
+                seq,
+                name,
+                cat,
+                start_secs,
+                end_secs: end,
+                track,
+                depth,
+                task: None,
+                attempt: None,
+                attrs,
+            })
+        });
+    }
+}
+
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+
+/// Install (idempotently) and return the process-wide recorder. The first
+/// caller enables it; later callers get the same session. Used by runner
+/// binaries behind `--trace-out`.
+pub fn install_global() -> Recorder {
+    GLOBAL.get_or_init(Recorder::enabled).clone()
+}
+
+/// The process-wide recorder: the installed session, or the no-op recorder
+/// when nothing was installed. Layers without an explicit handle (caches,
+/// the parallel engine) emit through this.
+pub fn global() -> Recorder {
+    GLOBAL.get().cloned().unwrap_or_else(Recorder::disabled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::disabled();
+        r.counter("c", 1);
+        r.observe("h", 2.0);
+        r.gauge("g", 3.0, SimTime::from_secs(1.0));
+        r.span("s", "t")
+            .at(SimTime::ZERO, SimTime::from_secs(1.0))
+            .emit();
+        r.instant("i", "t").at(SimTime::ZERO).emit();
+        drop(r.wall_span("w", "t"));
+        assert!(!r.is_enabled());
+        assert!(r.is_empty());
+        assert!(r.take().is_empty());
+    }
+
+    #[test]
+    fn records_merge_in_seq_order() {
+        let r = Recorder::enabled();
+        r.counter("a", 1);
+        r.span("s", "t")
+            .at(SimTime::from_secs(1.0), SimTime::from_secs(2.0))
+            .emit();
+        r.counter("b", 2);
+        let records = r.take();
+        let seqs: Vec<u64> = records.iter().map(Record::seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert!(r.is_empty(), "take drains");
+    }
+
+    #[test]
+    fn snapshot_does_not_drain() {
+        let r = Recorder::enabled();
+        r.counter("a", 1);
+        assert_eq!(r.snapshot().len(), 1);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn span_builder_carries_ids_and_attrs() {
+        let r = Recorder::enabled();
+        r.span("exec", "lfm")
+            .at(SimTime::from_secs(3.0), SimTime::from_secs(5.5))
+            .track(7)
+            .task(42)
+            .attempt(1)
+            .attr("polls", 12u64)
+            .attr("peak_mb", 110.5)
+            .attr("outcome", "completed")
+            .emit();
+        let records = r.take();
+        let Record::Span(s) = &records[0] else {
+            panic!("expected span")
+        };
+        assert_eq!(s.name, "exec");
+        assert_eq!(s.cat, "lfm");
+        assert_eq!((s.start_secs, s.end_secs), (3.0, 5.5));
+        assert_eq!(s.track, 7);
+        assert_eq!(s.task, Some(42));
+        assert_eq!(s.attempt, Some(1));
+        assert_eq!(s.attrs.len(), 3);
+    }
+
+    #[test]
+    fn wall_spans_nest_and_contain() {
+        let r = Recorder::enabled();
+        {
+            let outer = r.wall_span("outer", "host");
+            assert_eq!(outer.depth(), 0);
+            {
+                let mut inner = r.wall_span("inner", "host");
+                inner.attr("i", 1u64);
+                assert_eq!(inner.depth(), 1);
+            }
+            {
+                let inner2 = r.wall_span("inner2", "host");
+                assert_eq!(inner2.depth(), 1, "depth restored after sibling drop");
+            }
+        }
+        let records = r.take();
+        let spans: Vec<&SpanRecord> = records
+            .iter()
+            .filter_map(|rec| match rec {
+                Record::Span(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), 3);
+        // Drop order: inner, inner2, outer.
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        for name in ["inner", "inner2"] {
+            let inner = spans.iter().find(|s| s.name == name).unwrap();
+            assert_eq!(inner.depth, outer.depth + 1);
+            assert!(outer.contains(inner), "{name} not contained in outer");
+        }
+    }
+
+    #[test]
+    fn sharded_recording_from_many_threads_merges_totally_ordered() {
+        let r = Recorder::enabled();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let r = r.clone();
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        r.counter("thread_counter", t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let records = r.take();
+        assert_eq!(records.len(), 800);
+        let seqs: Vec<u64> = records.iter().map(Record::seq).collect();
+        for w in seqs.windows(2) {
+            assert!(w[0] < w[1], "merge must be strictly seq-ordered");
+        }
+        assert_eq!(*seqs.last().unwrap(), 799, "seq is dense across shards");
+    }
+
+    #[test]
+    fn global_defaults_to_disabled() {
+        // Note: install_global() is tested implicitly by the runner
+        // binaries; calling it here would leak an enabled recorder into
+        // every other test in this process.
+        assert!(!global().is_enabled() || GLOBAL.get().is_some());
+    }
+}

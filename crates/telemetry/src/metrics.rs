@@ -1,0 +1,152 @@
+//! In-process aggregation of metric samples.
+//!
+//! The recorder buffers raw samples; this registry folds them into the
+//! existing `lfm_simcluster::metrics` aggregate types — counters sum,
+//! gauges become a [`Summary`] series (plus last value), histogram samples
+//! become an exact-percentile [`Histogram`].
+
+use crate::record::{MetricKind, Record};
+use lfm_monitor::summary::JsonObject;
+use lfm_simcluster::metrics::{Histogram, Summary};
+use std::collections::BTreeMap;
+
+/// Aggregated view of a record stream's metric samples.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, (Summary, f64)>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold a merged record stream (spans and instants are skipped).
+    pub fn from_records(records: &[Record]) -> Self {
+        let mut reg = Self::new();
+        for record in records {
+            let Record::Metric(m) = record else { continue };
+            match m.kind {
+                MetricKind::Counter => {
+                    *reg.counters.entry(m.name.clone()).or_insert(0) += m.value as u64;
+                }
+                MetricKind::Gauge => {
+                    let entry = reg
+                        .gauges
+                        .entry(m.name.clone())
+                        .or_insert_with(|| (Summary::new(), 0.0));
+                    entry.0.record(m.value);
+                    entry.1 = m.value;
+                }
+                MetricKind::Histogram => {
+                    reg.histograms
+                        .entry(m.name.clone())
+                        .or_default()
+                        .record(m.value);
+                }
+            }
+        }
+        reg
+    }
+
+    /// Total of a counter; 0 if never emitted.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Streaming summary of every value a gauge took.
+    pub fn gauge_summary(&self, name: &str) -> Option<&Summary> {
+        self.gauges.get(name).map(|(s, _)| s)
+    }
+
+    /// Last value a gauge was set to.
+    pub fn gauge_last(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).map(|(_, v)| *v)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    pub fn histogram_mut(&mut self, name: &str) -> Option<&mut Histogram> {
+        self.histograms.get_mut(name)
+    }
+
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(String::as_str)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// One flat JSON object with every aggregate: counter totals, gauge
+    /// mean/max/last, histogram p50/p95/p99. The runner binaries print this
+    /// as the trace's companion summary line.
+    pub fn to_json(&mut self) -> String {
+        let mut o = JsonObject::new();
+        for (name, total) in &self.counters {
+            o.field_u64(name, *total);
+        }
+        for (name, (summary, last)) in &self.gauges {
+            o.field_f64(&format!("{name}.mean"), summary.mean());
+            o.field_f64(&format!("{name}.max"), summary.max());
+            o.field_f64(&format!("{name}.last"), *last);
+        }
+        for (name, hist) in &mut self.histograms {
+            o.field_u64(&format!("{name}.count"), hist.count() as u64);
+            o.field_f64(&format!("{name}.p50"), hist.p50());
+            o.field_f64(&format!("{name}.p95"), hist.p95());
+            o.field_f64(&format!("{name}.p99"), hist.p99());
+        }
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+    use lfm_simcluster::time::SimTime;
+
+    #[test]
+    fn aggregates_each_kind() {
+        let r = Recorder::enabled();
+        r.counter("hits", 2);
+        r.counter("hits", 3);
+        r.gauge("depth", 4.0, SimTime::from_secs(1.0));
+        r.gauge("depth", 2.0, SimTime::from_secs(2.0));
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            r.observe("lat", v);
+        }
+        let mut reg = r.metrics();
+        assert_eq!(reg.counter("hits"), 5);
+        assert_eq!(reg.counter("absent"), 0);
+        assert_eq!(reg.gauge_last("depth"), Some(2.0));
+        assert_eq!(reg.gauge_summary("depth").unwrap().max(), 4.0);
+        let h = reg.histogram_mut("lat").unwrap();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.p50(), 2.0);
+    }
+
+    #[test]
+    fn json_summary_contains_aggregates() {
+        let r = Recorder::enabled();
+        r.counter("cache.hit", 7);
+        r.gauge("pending", 3.0, SimTime::from_secs(1.0));
+        r.observe("turnaround_s", 12.0);
+        let mut reg = r.metrics();
+        let j = reg.to_json();
+        assert!(j.contains("\"cache.hit\":7"));
+        assert!(j.contains("\"pending.last\":3"));
+        assert!(j.contains("\"turnaround_s.p95\":12"));
+    }
+
+    #[test]
+    fn empty_registry() {
+        let reg = MetricsRegistry::from_records(&[]);
+        assert!(reg.is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! The record vocabulary: spans, instants, and metric samples.
+//!
+//! Every record carries a globally-ordered `seq` assigned at emission time
+//! by the owning [`crate::Recorder`]; merging the recorder's per-thread
+//! shards back into one stream is a sort by `seq`, which makes export
+//! ordering total and — for a single-threaded simulation — deterministic.
+
+use serde::{Deserialize, Serialize};
+
+/// A typed attribute value, so numeric attrs survive into JSONL/Chrome args
+/// without a string round-trip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    U64(u64),
+    F64(f64),
+    Str(String),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+/// A completed interval on some timeline (simulated seconds for the
+/// scheduler layers, wall-clock seconds for the host-side engine).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    pub seq: u64,
+    pub name: String,
+    /// Layer category: "master", "worker", "lfm", "sweep", "parallel", ...
+    pub cat: String,
+    pub start_secs: f64,
+    pub end_secs: f64,
+    /// Display lane (Chrome `tid`): worker id for scheduler spans, thread
+    /// lane for host spans.
+    pub track: u64,
+    /// Nesting depth at emission (wall spans track this per thread).
+    pub depth: u32,
+    pub task: Option<u64>,
+    pub attempt: Option<u32>,
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+impl SpanRecord {
+    pub fn duration_secs(&self) -> f64 {
+        self.end_secs - self.start_secs
+    }
+
+    /// Does `self` fully contain `other` in time?
+    pub fn contains(&self, other: &SpanRecord) -> bool {
+        self.start_secs <= other.start_secs && other.end_secs <= self.end_secs
+    }
+}
+
+/// A point event (dispatch, retry, limit-kill, ...).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstantRecord {
+    pub seq: u64,
+    pub name: String,
+    pub cat: String,
+    pub at_secs: f64,
+    pub track: u64,
+    pub task: Option<u64>,
+    pub attempt: Option<u32>,
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+/// What a metric sample means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Monotonic delta; the registry sums, the Chrome exporter plots the
+    /// running total.
+    Counter,
+    /// Last-value-wins level (queue depth); aggregated as a [`Summary`]
+    /// series too.
+    ///
+    /// [`Summary`]: lfm_simcluster::metrics::Summary
+    Gauge,
+    /// A distribution sample, aggregated into a
+    /// [`Histogram`](lfm_simcluster::metrics::Histogram).
+    Histogram,
+}
+
+/// One metric sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricRecord {
+    pub seq: u64,
+    pub name: String,
+    pub kind: MetricKind,
+    pub value: f64,
+    /// Simulated timestamp, when the emitting layer has one; untimed
+    /// samples (cache counters, engine counters) aggregate only.
+    pub at_secs: Option<f64>,
+}
+
+/// The union the recorder buffers and the exporters consume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Record {
+    Span(SpanRecord),
+    Instant(InstantRecord),
+    Metric(MetricRecord),
+}
+
+impl Record {
+    pub fn seq(&self) -> u64 {
+        match self {
+            Record::Span(s) => s.seq,
+            Record::Instant(i) => i.seq,
+            Record::Metric(m) => m.seq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_containment() {
+        let mk = |s, e| SpanRecord {
+            seq: 0,
+            name: "x".into(),
+            cat: "t".into(),
+            start_secs: s,
+            end_secs: e,
+            track: 0,
+            depth: 0,
+            task: None,
+            attempt: None,
+            attrs: vec![],
+        };
+        let outer = mk(1.0, 10.0);
+        let inner = mk(2.0, 9.0);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert_eq!(outer.duration_secs(), 9.0);
+    }
+
+    #[test]
+    fn attr_value_conversions() {
+        assert_eq!(AttrValue::from(3u64), AttrValue::U64(3));
+        assert_eq!(AttrValue::from(2.5f64), AttrValue::F64(2.5));
+        assert_eq!(AttrValue::from("hi"), AttrValue::Str("hi".into()));
+    }
+}

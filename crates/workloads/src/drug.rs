@@ -97,8 +97,14 @@ pub fn build(n_batches: u64, seed: u64) -> Workload {
             })
             .collect();
         for (i, app) in apps.iter().enumerate().take(6).skip(4) {
-            b.add_invocation(app, sample(i), vec![weights.clone()], 1 << 20, feats.clone())
-                .expect("model lowers");
+            b.add_invocation(
+                app,
+                sample(i),
+                vec![weights.clone()],
+                1 << 20,
+                feats.clone(),
+            )
+            .expect("model lowers");
         }
     }
 
@@ -168,7 +174,11 @@ mod tests {
             let cfg = MasterConfig::new(strategy.clone()).with_seed(4);
             let rep = run_workload(&cfg, w.tasks.clone(), 4, worker_spec());
             assert_eq!(rep.abandoned_tasks, 0, "{}", strategy.name());
-            let ok = rep.results.iter().filter(|r| r.outcome.is_success()).count();
+            let ok = rep
+                .results
+                .iter()
+                .filter(|r| r.outcome.is_success())
+                .count();
             assert_eq!(ok, w.tasks.len(), "{}", strategy.name());
         }
     }

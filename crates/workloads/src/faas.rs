@@ -45,7 +45,10 @@ mod tests {
             resnet_profile().peak_disk_mb,
         )
         .copies_in(&worker_spec().resources);
-        assert!(per_node >= 8, "should pack ≥8 classifications per node, got {per_node}");
+        assert!(
+            per_node >= 8,
+            "should pack ≥8 classifications per node, got {per_node}"
+        );
     }
 
     #[test]

@@ -53,13 +53,28 @@ pub fn build(n_genomes: u64, seed: u64) -> Workload {
     let vep_cache = FileRef::shared_data("vep-cache", 14 << 30);
 
     let mut oracle = BTreeMap::new();
-    oracle.insert("gdc_align".to_string(), Resources::new(12, 28 * 1024, 4 * 1024));
-    oracle.insert("gdc_coclean".to_string(), Resources::new(4, 12 * 1024, 3 * 1024));
-    oracle.insert("gdc_varcall".to_string(), Resources::new(8, 20 * 1024, 4 * 1024));
+    oracle.insert(
+        "gdc_align".to_string(),
+        Resources::new(12, 28 * 1024, 4 * 1024),
+    );
+    oracle.insert(
+        "gdc_coclean".to_string(),
+        Resources::new(4, 12 * 1024, 3 * 1024),
+    );
+    oracle.insert(
+        "gdc_varcall".to_string(),
+        Resources::new(8, 20 * 1024, 4 * 1024),
+    );
     // The Oracle's VEP setting is a *typical* peak; the heavy tail exceeds
     // it, which is precisely the artifact §VI-C3 describes.
-    oracle.insert("gdc_vep".to_string(), Resources::new(2, 10 * 1024, 2 * 1024));
-    oracle.insert("gdc_aggregate".to_string(), Resources::new(1, 4 * 1024, 1024));
+    oracle.insert(
+        "gdc_vep".to_string(),
+        Resources::new(2, 10 * 1024, 2 * 1024),
+    );
+    oracle.insert(
+        "gdc_aggregate".to_string(),
+        Resources::new(1, 4 * 1024, 1024),
+    );
 
     for g in 0..n_genomes {
         let fastq = FileRef::data(format!("genome-{g}.fastq"), 2 << 30);
@@ -154,7 +169,13 @@ mod tests {
     fn pipeline_is_a_chain_per_genome() {
         let w = build(4, 1);
         assert_eq!(w.tasks.len(), 20); // 5 stages × 4 genomes
-        for stage in ["gdc_align", "gdc_coclean", "gdc_varcall", "gdc_vep", "gdc_aggregate"] {
+        for stage in [
+            "gdc_align",
+            "gdc_coclean",
+            "gdc_varcall",
+            "gdc_vep",
+            "gdc_aggregate",
+        ] {
             assert_eq!(
                 w.tasks.iter().filter(|t| t.category == stage).count(),
                 4,

@@ -127,13 +127,20 @@ mod tests {
     fn workload_shape() {
         let w = build(20, 1);
         assert_eq!(w.tasks.len(), 22); // pre + 20 + post
-        // Fan-out: every analysis task depends on preprocess.
-        let analysis: Vec<_> =
-            w.tasks.iter().filter(|t| t.category == "hep_process").collect();
+                                       // Fan-out: every analysis task depends on preprocess.
+        let analysis: Vec<_> = w
+            .tasks
+            .iter()
+            .filter(|t| t.category == "hep_process")
+            .collect();
         assert_eq!(analysis.len(), 20);
         assert!(analysis.iter().all(|t| t.deps.len() == 1));
         // Post depends on all analysis tasks.
-        let post = w.tasks.iter().find(|t| t.category == "hep_postprocess").unwrap();
+        let post = w
+            .tasks
+            .iter()
+            .find(|t| t.category == "hep_postprocess")
+            .unwrap();
         assert_eq!(post.deps.len(), 20);
     }
 
@@ -163,10 +170,18 @@ mod tests {
     fn strategy_ordering_holds() {
         let w = build(32, 4);
         let spec = worker_spec(8);
-        let oracle =
-            run_workload(&master_config(w.oracle_strategy(), 4), w.tasks.clone(), 4, spec);
-        let unmanaged =
-            run_workload(&master_config(Strategy::Unmanaged, 4), w.tasks.clone(), 4, spec);
+        let oracle = run_workload(
+            &master_config(w.oracle_strategy(), 4),
+            w.tasks.clone(),
+            4,
+            spec,
+        );
+        let unmanaged = run_workload(
+            &master_config(Strategy::Unmanaged, 4),
+            w.tasks.clone(),
+            4,
+            spec,
+        );
         assert!(
             unmanaged.makespan_secs > 2.0 * oracle.makespan_secs,
             "unmanaged {} vs oracle {}",

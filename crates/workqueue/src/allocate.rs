@@ -74,7 +74,11 @@ impl Default for AutoConfig {
         // Label only after a handful of whole-worker measurement runs, and
         // keep real headroom above the observed max: premature labeling
         // from one sample turns the whole first batch into retries.
-        AutoConfig { min_samples: 2, headroom: 1.25, slow_start_until: 16 }
+        AutoConfig {
+            min_samples: 2,
+            headroom: 1.25,
+            slow_start_until: 16,
+        }
     }
 }
 
@@ -109,7 +113,12 @@ pub struct Allocator {
 
 impl Allocator {
     pub fn new(strategy: Strategy) -> Self {
-        Allocator { strategy, stats: BTreeMap::new(), retries: 0, first_attempts: 0 }
+        Allocator {
+            strategy,
+            stats: BTreeMap::new(),
+            retries: 0,
+            first_attempts: 0,
+        }
     }
 
     pub fn strategy(&self) -> &Strategy {
@@ -159,12 +168,7 @@ impl Allocator {
     /// instead the censored axis is inflated (doubled), the exponential
     /// growth step of the retry policy in [21], so labels converge in
     /// O(log) kills rather than O(n).
-    pub fn observe(
-        &mut self,
-        category: &str,
-        report: &ResourceReport,
-        completed: bool,
-    ) {
+    pub fn observe(&mut self, category: &str, report: &ResourceReport, completed: bool) {
         self.observe_outcome(category, report, completed, None)
     }
 
@@ -186,15 +190,11 @@ impl Allocator {
             // A killed run observed only partial usage: the non-violated
             // axes are truncated lower bounds that would drag the labels
             // down, so only the violated (censored, inflated) axis counts.
-            Some(ResourceKind::Cores) => {
-                s.cores.record(report.peak_cores.max(0.01) * 2.0)
-            }
+            Some(ResourceKind::Cores) => s.cores.record(report.peak_cores.max(0.01) * 2.0),
             Some(ResourceKind::Memory) => {
                 s.memory_mb.record(report.peak_rss_mb.max(1) as f64 * 2.0)
             }
-            Some(ResourceKind::Disk) => {
-                s.disk_mb.record(report.peak_disk_mb.max(1) as f64 * 2.0)
-            }
+            Some(ResourceKind::Disk) => s.disk_mb.record(report.peak_disk_mb.max(1) as f64 * 2.0),
             Some(ResourceKind::WallTime) => {}
         }
         if completed {
@@ -210,7 +210,9 @@ impl Allocator {
     /// Slow-start concurrency cap for sized first attempts of `category`,
     /// or `None` once the category has matured (or for non-Auto strategies).
     pub fn concurrency_cap(&self, category: &str) -> Option<u32> {
-        let Strategy::Auto(cfg) = &self.strategy else { return None };
+        let Strategy::Auto(cfg) = &self.strategy else {
+            return None;
+        };
         let samples = self.samples_for(category);
         if samples >= cfg.slow_start_until {
             None
@@ -232,7 +234,11 @@ impl Allocator {
         let mem = choose_label(&mut s.memory_mb, capacity.memory_mb as f64)? * cfg.headroom;
         let disk = choose_label(&mut s.disk_mb, capacity.disk_mb as f64)? * cfg.headroom;
         let cores = s.cores.max()?.ceil().max(1.0);
-        Some(Resources::new(cores as u32, mem.ceil() as u64, disk.ceil() as u64))
+        Some(Resources::new(
+            cores as u32,
+            mem.ceil() as u64,
+            disk.ceil() as u64,
+        ))
     }
 }
 
@@ -300,12 +306,19 @@ mod tests {
             AllocationDecision::Sized(Resources::new(1, 110, 1024))
         );
         // Unknown category degrades to whole worker rather than guessing.
-        assert_eq!(a.decide("unknown", 0, &CAP), AllocationDecision::WholeWorker);
+        assert_eq!(
+            a.decide("unknown", 0, &CAP),
+            AllocationDecision::WholeWorker
+        );
     }
 
     #[test]
     fn auto_first_run_is_whole_worker_then_labeled() {
-        let cfg = AutoConfig { min_samples: 1, headroom: 1.05, slow_start_until: 0 };
+        let cfg = AutoConfig {
+            min_samples: 1,
+            headroom: 1.05,
+            slow_start_until: 0,
+        };
         let mut a = Allocator::new(Strategy::Auto(cfg));
         assert_eq!(a.decide("hep", 0, &CAP), AllocationDecision::WholeWorker);
         a.observe("hep", &report(1.0, 84, 880), true);
@@ -313,7 +326,11 @@ mod tests {
             AllocationDecision::Sized(r) => {
                 assert_eq!(r.cores, 1);
                 // 84 MB × 1.05 headroom, ceiled.
-                assert!(r.memory_mb >= 84 && r.memory_mb <= 95, "mem {}", r.memory_mb);
+                assert!(
+                    r.memory_mb >= 84 && r.memory_mb <= 95,
+                    "mem {}",
+                    r.memory_mb
+                );
                 assert!(r.disk_mb >= 880 && r.disk_mb <= 930, "disk {}", r.disk_mb);
             }
             other => panic!("expected sized allocation, got {other:?}"),
@@ -336,7 +353,11 @@ mod tests {
 
     #[test]
     fn auto_retry_gets_whole_worker_and_counts() {
-        let mut a = Allocator::new(Strategy::Auto(AutoConfig { min_samples: 1, headroom: 1.05, slow_start_until: 0 }));
+        let mut a = Allocator::new(Strategy::Auto(AutoConfig {
+            min_samples: 1,
+            headroom: 1.05,
+            slow_start_until: 0,
+        }));
         a.observe("hep", &report(1.0, 84, 880), true);
         assert_eq!(a.decide("hep", 1, &CAP), AllocationDecision::WholeWorker);
         assert_eq!(a.retries, 1);
@@ -347,7 +368,11 @@ mod tests {
         // 9 tasks peak at 100 MB, 1 at 1000 MB: labeling at 100 costs
         // 0.9·100 + 0.1·1100 = 200; labeling at 1000 costs 1000. The small
         // label wins.
-        let mut a = Allocator::new(Strategy::Auto(AutoConfig { min_samples: 10, headroom: 1.0, slow_start_until: 0 }));
+        let mut a = Allocator::new(Strategy::Auto(AutoConfig {
+            min_samples: 10,
+            headroom: 1.0,
+            slow_start_until: 0,
+        }));
         for _ in 0..9 {
             a.observe("g", &report(1.0, 100, 10), true);
         }
@@ -366,7 +391,11 @@ mod tests {
         // the tail dominates. With 90% at 1000: 0.1·100+0.9·1100 = 1000 vs
         // 1000 at the big label — tie broken toward the small-cost candidate;
         // make the tail strictly dominant.
-        let mut a = Allocator::new(Strategy::Auto(AutoConfig { min_samples: 10, headroom: 1.0, slow_start_until: 0 }));
+        let mut a = Allocator::new(Strategy::Auto(AutoConfig {
+            min_samples: 10,
+            headroom: 1.0,
+            slow_start_until: 0,
+        }));
         a.observe("g", &report(1.0, 100, 10), true);
         for _ in 0..19 {
             a.observe("g", &report(1.0, 1000, 10), true);
@@ -380,19 +409,33 @@ mod tests {
 
     #[test]
     fn min_samples_gate() {
-        let mut a = Allocator::new(Strategy::Auto(AutoConfig { min_samples: 3, headroom: 1.0, slow_start_until: 0 }));
+        let mut a = Allocator::new(Strategy::Auto(AutoConfig {
+            min_samples: 3,
+            headroom: 1.0,
+            slow_start_until: 0,
+        }));
         a.observe("x", &report(1.0, 50, 50), true);
         a.observe("x", &report(1.0, 60, 50), true);
         assert_eq!(a.decide("x", 0, &CAP), AllocationDecision::WholeWorker);
         a.observe("x", &report(1.0, 55, 50), true);
-        assert!(matches!(a.decide("x", 0, &CAP), AllocationDecision::Sized(_)));
+        assert!(matches!(
+            a.decide("x", 0, &CAP),
+            AllocationDecision::Sized(_)
+        ));
     }
 
     #[test]
     fn categories_are_independent() {
-        let mut a = Allocator::new(Strategy::Auto(AutoConfig { min_samples: 1, headroom: 1.05, slow_start_until: 0 }));
+        let mut a = Allocator::new(Strategy::Auto(AutoConfig {
+            min_samples: 1,
+            headroom: 1.05,
+            slow_start_until: 0,
+        }));
         a.observe("small", &report(1.0, 50, 50), true);
-        assert!(matches!(a.decide("small", 0, &CAP), AllocationDecision::Sized(_)));
+        assert!(matches!(
+            a.decide("small", 0, &CAP),
+            AllocationDecision::Sized(_)
+        ));
         assert_eq!(a.decide("big", 0, &CAP), AllocationDecision::WholeWorker);
     }
 

@@ -15,7 +15,11 @@ pub enum FileKind {
     /// A packed environment: after transfer it must be unpacked
     /// (`unpacked_files` files, `relocation_ops` prefix rewrites) before
     /// first use on a worker.
-    EnvironmentPack { unpacked_files: u64, relocation_ops: u64, unpacked_bytes: u64 },
+    EnvironmentPack {
+        unpacked_files: u64,
+        relocation_ops: u64,
+        unpacked_bytes: u64,
+    },
 }
 
 /// A named file with a size and caching policy.
@@ -33,12 +37,22 @@ pub struct FileRef {
 impl FileRef {
     /// An ordinary per-task data file.
     pub fn data(name: impl Into<String>, size_bytes: u64) -> Self {
-        FileRef { name: name.into(), size_bytes, cacheable: false, kind: FileKind::Data }
+        FileRef {
+            name: name.into(),
+            size_bytes,
+            cacheable: false,
+            kind: FileKind::Data,
+        }
     }
 
     /// A shared, cacheable data file (common calibration data etc.).
     pub fn shared_data(name: impl Into<String>, size_bytes: u64) -> Self {
-        FileRef { name: name.into(), size_bytes, cacheable: true, kind: FileKind::Data }
+        FileRef {
+            name: name.into(),
+            size_bytes,
+            cacheable: true,
+            kind: FileKind::Data,
+        }
     }
 
     /// A packed environment file.
@@ -53,7 +67,11 @@ impl FileRef {
             name: name.into(),
             size_bytes: archive_bytes,
             cacheable: true,
-            kind: FileKind::EnvironmentPack { unpacked_files, relocation_ops, unpacked_bytes },
+            kind: FileKind::EnvironmentPack {
+                unpacked_files,
+                relocation_ops,
+                unpacked_bytes,
+            },
         }
     }
 
@@ -62,9 +80,7 @@ impl FileRef {
     pub fn disk_footprint(&self) -> u64 {
         match &self.kind {
             FileKind::Data => self.size_bytes,
-            FileKind::EnvironmentPack { unpacked_bytes, .. } => {
-                self.size_bytes + unpacked_bytes
-            }
+            FileKind::EnvironmentPack { unpacked_bytes, .. } => self.size_bytes + unpacked_bytes,
         }
     }
 }

@@ -23,7 +23,9 @@ pub mod worker;
 pub mod prelude {
     pub use crate::allocate::{AllocationDecision, Allocator, AutoConfig, Strategy};
     pub use crate::files::{FileKind, FileRef};
-    pub use crate::master::{run_workload, DistMode, FailureModel, MasterConfig, Provisioning, RunReport, SchedulePolicy};
+    pub use crate::master::{
+        run_workload, DistMode, FailureModel, MasterConfig, Provisioning, RunReport, SchedulePolicy,
+    };
     pub use crate::task::{TaskId, TaskResult, TaskSpec};
     pub use crate::worker::Worker;
 }

@@ -15,12 +15,14 @@ use lfm_monitor::limits::ResourceLimits;
 use lfm_monitor::sim::{SimMonitor, SimTaskProfile};
 use lfm_simcluster::batch::{BatchParams, BatchSystem};
 use lfm_simcluster::event::EventQueue;
+use lfm_simcluster::metrics::Histogram;
 use lfm_simcluster::network::{Network, NetworkParams};
 use lfm_simcluster::node::{NodeSpec, Resources};
 use lfm_simcluster::rng::SimRng;
 use lfm_simcluster::sharedfs::{SharedFs, SharedFsParams};
 use lfm_simcluster::storage::LocalDisk;
 use lfm_simcluster::time::SimTime;
+use lfm_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -55,7 +57,11 @@ pub enum Provisioning {
     Static,
     /// Start with `initial` pilots; whenever ready tasks outnumber free
     /// slots, submit another `batch` pilots up to `max_workers` total.
-    Elastic { initial: u32, max_workers: u32, batch: u32 },
+    Elastic {
+        initial: u32,
+        max_workers: u32,
+        batch: u32,
+    },
 }
 
 /// Worker reliability model. Opportunistic pools (HTCondor-style) evict
@@ -70,11 +76,17 @@ pub struct FailureModel {
 
 impl FailureModel {
     pub fn reliable() -> Self {
-        FailureModel { mean_lifetime_secs: None, replace: false }
+        FailureModel {
+            mean_lifetime_secs: None,
+            replace: false,
+        }
     }
 
     pub fn evicting(mean_lifetime_secs: f64) -> Self {
-        FailureModel { mean_lifetime_secs: Some(mean_lifetime_secs), replace: true }
+        FailureModel {
+            mean_lifetime_secs: Some(mean_lifetime_secs),
+            replace: true,
+        }
     }
 }
 
@@ -96,6 +108,12 @@ pub struct MasterConfig {
     pub failures: FailureModel,
     pub policy: SchedulePolicy,
     pub seed: u64,
+    /// Tracing/metrics sink. Defaults to the process-wide recorder (the
+    /// no-op recorder unless a runner installed one via `--trace-out`).
+    /// Recording is strictly observational: the simulation's behaviour and
+    /// its `RunReport` are identical whether this is live or
+    /// [`Recorder::disabled`].
+    pub telemetry: Recorder,
 }
 
 impl MasterConfig {
@@ -114,6 +132,7 @@ impl MasterConfig {
             failures: FailureModel::reliable(),
             policy: SchedulePolicy::Fifo,
             seed: 0x1f2e3d4c,
+            telemetry: lfm_telemetry::global(),
         }
     }
 
@@ -161,10 +180,15 @@ impl MasterConfig {
         self.monitor = monitor;
         self
     }
+
+    pub fn with_telemetry(mut self, telemetry: Recorder) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
 }
 
 /// The outcome of a whole run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     pub strategy: String,
     pub dist_mode: DistMode,
@@ -181,6 +205,11 @@ pub struct RunReport {
     pub allocated_core_secs: f64,
     /// CPU-seconds actually consumed.
     pub used_core_secs: f64,
+    /// CPU-seconds consumed *beyond* the granted allocations
+    /// (`max(0, used - allocated)`). Non-zero means tasks overcommitted
+    /// their grants — an accounting surface the old clamped
+    /// `core_efficiency` silently hid.
+    pub overcommit_core_secs: f64,
     /// Shared-FS metadata operations issued over the run.
     pub fs_md_ops: u64,
     /// Bytes moved over the master's network.
@@ -206,12 +235,15 @@ impl RunReport {
         }
     }
 
-    /// Allocated-core efficiency: used / allocated.
+    /// Allocated-core efficiency: used / allocated. Deliberately *not*
+    /// clamped to 1.0 — a ratio above one means tasks consumed more CPU
+    /// than their grants (see [`RunReport::overcommit_core_secs`]), and
+    /// hiding that behind a clamp masked the accounting bug surface.
     pub fn core_efficiency(&self) -> f64 {
         if self.allocated_core_secs <= 0.0 {
             0.0
         } else {
-            (self.used_core_secs / self.allocated_core_secs).min(1.0)
+            self.used_core_secs / self.allocated_core_secs
         }
     }
 
@@ -233,6 +265,10 @@ impl RunReport {
             .field_u64("abandoned_tasks", self.abandoned_tasks)
             .field_f64("retry_fraction", self.retry_fraction())
             .field_f64("core_efficiency", self.core_efficiency())
+            .field_f64("overcommit_core_secs", self.overcommit_core_secs)
+            .field_f64("mean_turnaround_s", self.mean_turnaround_secs())
+            .field_f64("p95_turnaround_s", self.turnaround_percentile(95.0))
+            .field_f64("p99_turnaround_s", self.turnaround_percentile(99.0))
             .field_u64("cache_hits", self.cache_hits)
             .field_u64("cache_misses", self.cache_misses)
             .field_u64("fs_md_ops", self.fs_md_ops)
@@ -279,6 +315,22 @@ impl RunReport {
             finals.iter().sum::<f64>() / finals.len() as f64
         }
     }
+
+    /// Distribution of task turnaround (submit → completion) over
+    /// successful final attempts — the paper reports tails, not just means.
+    pub fn turnaround_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for r in self.results.iter().filter(|r| r.outcome.is_success()) {
+            h.record(r.finished_at - r.submitted_at);
+        }
+        h
+    }
+
+    /// Turnaround percentile `p` in [0, 100]; 0.0 when nothing succeeded.
+    pub fn turnaround_percentile(&self, p: f64) -> f64 {
+        let mut h = self.turnaround_histogram();
+        h.percentile(p)
+    }
 }
 
 /// Simulation events.
@@ -304,6 +356,8 @@ struct DoneInfo {
 struct Pending {
     task_idx: usize,
     attempt: u32,
+    /// When this attempt became ready (for queue-wait spans).
+    since: SimTime,
 }
 
 /// Run a workload to completion under `config`, on `worker_count` workers of
@@ -417,7 +471,11 @@ impl Master {
         self.submit_pilots(SimTime::ZERO, initial);
         for idx in 0..self.tasks.len() {
             if self.dep_remaining[idx] == 0 {
-                self.pending.push_back(Pending { task_idx: idx, attempt: 0 });
+                self.pending.push_back(Pending {
+                    task_idx: idx,
+                    attempt: 0,
+                    since: SimTime::ZERO,
+                });
             }
         }
 
@@ -431,6 +489,7 @@ impl Master {
             };
             match event {
                 Event::WorkerUp { id } => {
+                    self.config.telemetry.counter_at("event.worker_up", 1, now);
                     self.workers.insert(id, Worker::new(id, self.spec));
                     // Sample an eviction time for unreliable pools.
                     if let Some(mean) = self.config.failures.mean_lifetime_secs {
@@ -441,10 +500,14 @@ impl Master {
                     self.dispatch(now);
                 }
                 Event::WorkerDown { id } => {
+                    self.config
+                        .telemetry
+                        .counter_at("event.worker_down", 1, now);
                     self.evict_worker(now, id);
                     self.dispatch(now);
                 }
                 Event::TaskDone(info) => {
+                    self.config.telemetry.counter_at("event.task_done", 1, now);
                     // A placement lost with its worker already rescheduled;
                     // drop the stale completion.
                     if self.live_placements.remove(&info.placement).is_none() {
@@ -455,15 +518,19 @@ impl Master {
                 }
             }
             self.maybe_scale(self.queue.now());
+            self.config.telemetry.gauge(
+                "master.pending_tasks",
+                self.pending.len() as f64,
+                self.queue.now(),
+            );
         }
 
         let makespan = self.queue.now().as_secs();
         let allocated: f64 = self.results.iter().map(|r| r.allocated_core_secs()).sum();
         let used: f64 = self.results.iter().map(|r| r.used_core_secs()).sum();
-        let (hits, misses) = self
-            .workers
-            .values()
-            .fold((0, 0), |acc, w| (acc.0 + w.cache_hits, acc.1 + w.cache_misses));
+        let (hits, misses) = self.workers.values().fold((0, 0), |acc, w| {
+            (acc.0 + w.cache_hits, acc.1 + w.cache_misses)
+        });
         RunReport {
             strategy: self.config.strategy.name().to_string(),
             dist_mode: self.config.dist_mode,
@@ -475,6 +542,7 @@ impl Master {
             cache_misses: misses,
             allocated_core_secs: allocated,
             used_core_secs: used,
+            overcommit_core_secs: (used - allocated).max(0.0),
             fs_md_ops: self.fs.md_ops_served,
             net_bytes: self.net.bytes_moved,
             workers_provisioned: self.workers_provisioned,
@@ -487,14 +555,18 @@ impl Master {
     fn submit_pilots(&mut self, now: SimTime, count: u32) {
         for pilot in self.batch.submit(now, self.spec, count) {
             self.workers_provisioned += 1;
-            self.queue.schedule_at(pilot.starts_at, Event::WorkerUp { id: pilot.id });
+            self.queue
+                .schedule_at(pilot.starts_at, Event::WorkerUp { id: pilot.id });
         }
     }
 
     /// Elastic scale-up: if ready tasks outnumber free slots and we are
     /// under the cap, submit another batch of pilots.
     fn maybe_scale(&mut self, now: SimTime) {
-        let Provisioning::Elastic { max_workers, batch, .. } = self.config.provisioning else {
+        let Provisioning::Elastic {
+            max_workers, batch, ..
+        } = self.config.provisioning
+        else {
             return;
         };
         if self.pending.is_empty() || self.workers_provisioned >= max_workers {
@@ -517,7 +589,9 @@ impl Master {
     /// resource retries — the task did nothing wrong) and optionally submit
     /// a replacement.
     fn evict_worker(&mut self, now: SimTime, id: u32) {
-        let Some(worker) = self.workers.remove(&id) else { return };
+        let Some(worker) = self.workers.remove(&id) else {
+            return;
+        };
         self.workers_lost += 1;
         let lost: Vec<(u64, (u32, usize, u32, String))> = self
             .live_placements
@@ -532,7 +606,19 @@ impl Master {
             if let Some(n) = self.running_by_category.get_mut(&category) {
                 *n -= 1;
             }
-            self.pending.push_front(Pending { task_idx, attempt });
+            self.config
+                .telemetry
+                .instant("task_lost", "master")
+                .at(now)
+                .track(id as u64)
+                .task(self.tasks[task_idx].id.0)
+                .attempt(attempt)
+                .emit();
+            self.pending.push_front(Pending {
+                task_idx,
+                attempt,
+                since: now,
+            });
         }
         drop(worker);
         if self.config.failures.replace {
@@ -550,9 +636,7 @@ impl Master {
             SchedulePolicy::Fifo => {}
             SchedulePolicy::LargestFirst => {
                 let mut v: Vec<Pending> = self.pending.drain(..).collect();
-                v.sort_by_key(|p| {
-                    std::cmp::Reverse(self.tasks[p.task_idx].profile.peak_memory_mb)
-                });
+                v.sort_by_key(|p| std::cmp::Reverse(self.tasks[p.task_idx].profile.peak_memory_mb));
                 self.pending.extend(v);
             }
             SchedulePolicy::SmallestFirst => {
@@ -563,7 +647,9 @@ impl Master {
         }
         let rounds = self.pending.len();
         for _ in 0..rounds {
-            let Some(item) = self.pending.pop_front() else { break };
+            let Some(item) = self.pending.pop_front() else {
+                break;
+            };
             let category = self.tasks[item.task_idx].category.clone();
             let capacity = self.spec.resources;
             let decision = self.allocator.decide(&category, item.attempt, &capacity);
@@ -571,8 +657,11 @@ impl Master {
             // label cannot kill an entire wave at once.
             if matches!(decision, AllocationDecision::Sized(_)) && item.attempt == 0 {
                 if let Some(cap) = self.allocator.concurrency_cap(&category) {
-                    let running =
-                        self.running_by_category.get(&category).copied().unwrap_or(0);
+                    let running = self
+                        .running_by_category
+                        .get(&category)
+                        .copied()
+                        .unwrap_or(0);
                     if running >= cap {
                         self.pending.push_back(item);
                         continue;
@@ -581,7 +670,9 @@ impl Master {
             }
             let alloc = self.resolve_allocation(decision);
             match self.pick_worker(item.task_idx, &alloc) {
-                Some(wid) => self.place(now, wid, item.task_idx, item.attempt, decision, alloc),
+                Some(wid) => {
+                    self.place(now, wid, &item, decision, alloc);
+                }
                 None => self.pending.push_back(item),
             }
         }
@@ -631,13 +722,35 @@ impl Master {
         &mut self,
         now: SimTime,
         wid: u32,
-        task_idx: usize,
-        attempt: u32,
+        item: &Pending,
         decision: AllocationDecision,
         alloc: Resources,
     ) {
+        let (task_idx, attempt) = (item.task_idx, item.attempt);
         let concurrent = self.in_flight.max(1);
         let task = self.tasks[task_idx].clone();
+        // ---- schedule/dispatch telemetry ----
+        if now > item.since {
+            self.config
+                .telemetry
+                .span("queue_wait", "master")
+                .at(item.since, now)
+                .track(wid as u64)
+                .task(task.id.0)
+                .attempt(attempt)
+                .emit();
+        }
+        self.config
+            .telemetry
+            .instant("dispatch", "master")
+            .at(now)
+            .track(wid as u64)
+            .task(task.id.0)
+            .attempt(attempt)
+            .attr("category", task.category.as_str())
+            .attr("cores", alloc.cores as u64)
+            .attr("memory_mb", alloc.memory_mb)
+            .emit();
         // Take the worker out of the map so staging can borrow the network
         // and filesystem models mutably alongside it.
         let mut worker = self.workers.remove(&wid).expect("picked worker exists");
@@ -645,7 +758,10 @@ impl Master {
         assert!(worker.node.allocate(alloc), "pick_worker guaranteed fit");
         worker.running += 1;
         self.in_flight += 1;
-        *self.running_by_category.entry(task.category.clone()).or_default() += 1;
+        *self
+            .running_by_category
+            .entry(task.category.clone())
+            .or_default() += 1;
         let placement = self.next_placement;
         self.next_placement += 1;
         self.live_placements
@@ -663,23 +779,39 @@ impl Master {
             if is_env && self.config.dist_mode == DistMode::SharedFsDirect {
                 // Conventional deployment: every task imports the whole
                 // environment straight from the shared filesystem.
-                if let FileKind::EnvironmentPack { unpacked_files, unpacked_bytes, .. } = &f.kind
+                if let FileKind::EnvironmentPack {
+                    unpacked_files,
+                    unpacked_bytes,
+                    ..
+                } = &f.kind
                 {
                     direct_import +=
-                        self.fs.import_cost(*unpacked_files, *unpacked_bytes, concurrent);
+                        self.fs
+                            .import_cost(*unpacked_files, *unpacked_bytes, concurrent);
                     worker.cache_misses += 1;
+                    self.config
+                        .telemetry
+                        .counter_at("worker.cache_miss", 1, now);
                 }
                 continue;
             }
             if f.cacheable {
                 if worker.has_cached(&f.name) {
                     worker.cache_hits += 1;
+                    self.config.telemetry.counter_at("worker.cache_hit", 1, now);
                 } else if let Some(ready) = worker.staging_ready(&f.name) {
                     // Share the in-flight transfer.
                     worker.cache_hits += 1;
+                    self.config.telemetry.counter_at("worker.cache_hit", 1, now);
                     cacheable_wait = cacheable_wait.max((ready - now).max(0.0));
                 } else {
                     worker.cache_misses += 1;
+                    self.config
+                        .telemetry
+                        .counter_at("worker.cache_miss", 1, now);
+                    self.config
+                        .telemetry
+                        .counter_at("worker.transfer_bytes", f.size_bytes, now);
                     let cost = match &f.kind {
                         FileKind::EnvironmentPack {
                             unpacked_files,
@@ -705,6 +837,9 @@ impl Master {
         let mut stage_in = cacheable_wait + direct_import;
         if data_bytes > 0 {
             stage_in += self.net.transfer_cost(data_bytes, concurrent);
+            self.config
+                .telemetry
+                .counter_at("worker.transfer_bytes", data_bytes, now);
         }
         self.workers.insert(wid, worker);
 
@@ -773,7 +908,70 @@ impl Master {
             lfm_monitor::report::MonitorOutcome::LimitExceeded { kind, .. } => Some(*kind),
             _ => None,
         };
-        self.allocator.observe_outcome(&task.category, info.outcome.report(), completed, violated);
+        self.allocator
+            .observe_outcome(&task.category, info.outcome.report(), completed, violated);
+
+        // Per-attempt trace spans. Nothing below touches sim state: the
+        // recorder is strictly observational, so a disabled recorder yields
+        // a bit-identical RunReport.
+        {
+            let tel = &self.config.telemetry;
+            let tid = task.id.0;
+            let track = info.worker as u64;
+            let stage_in_end = info.started_at + info.stage_in_secs;
+            let exec_end = stage_in_end + info.exec_secs;
+            if info.stage_in_secs > 0.0 {
+                tel.span("stage_in", "worker")
+                    .at(info.started_at, stage_in_end)
+                    .track(track)
+                    .task(tid)
+                    .attempt(info.attempt)
+                    .emit();
+            }
+            let report = info.outcome.report();
+            let status = match &info.outcome {
+                lfm_monitor::report::MonitorOutcome::Completed(_) => "completed",
+                lfm_monitor::report::MonitorOutcome::LimitExceeded { .. } => "limit_exceeded",
+                lfm_monitor::report::MonitorOutcome::Failed { .. } => "failed",
+            };
+            tel.span("exec", "lfm")
+                .at(stage_in_end, exec_end)
+                .track(track)
+                .task(tid)
+                .attempt(info.attempt)
+                .attr("category", task.category.as_str())
+                .attr("status", status)
+                .attr("polls", report.polls)
+                .attr("peak_rss_mb", report.peak_rss_mb)
+                .attr("peak_disk_mb", report.peak_disk_mb)
+                .attr("cpu_s", report.cpu_secs)
+                .attr("monitor_overhead_s", report.monitor_overhead_secs)
+                .emit();
+            if let Some(kind) = violated {
+                tel.instant("limit_kill", "lfm")
+                    .at(exec_end)
+                    .track(track)
+                    .task(tid)
+                    .attempt(info.attempt)
+                    .attr("limit", kind.to_string())
+                    .emit();
+            }
+            if now > exec_end {
+                tel.span("stage_out", "worker")
+                    .at(exec_end, now)
+                    .track(track)
+                    .task(tid)
+                    .attempt(info.attempt)
+                    .emit();
+            }
+            tel.span("task", "master")
+                .at(info.started_at, now)
+                .track(track)
+                .task(tid)
+                .attempt(info.attempt)
+                .attr("status", status)
+                .emit();
+        }
 
         self.results.push(TaskResult {
             task: task.id,
@@ -792,21 +990,35 @@ impl Master {
         if info.outcome.is_limit_exceeded() {
             self.retried.insert(info.task_idx);
             if info.attempt + 1 < self.config.max_attempts {
+                self.config.telemetry.counter_at("master.retry", 1, now);
+                self.config
+                    .telemetry
+                    .instant("retry", "master")
+                    .at(now)
+                    .track(info.worker as u64)
+                    .task(task.id.0)
+                    .attempt(info.attempt + 1)
+                    .emit();
                 // Retry at the front, at full size (the allocator returns
                 // WholeWorker for attempt > 0).
                 self.pending.push_front(Pending {
                     task_idx: info.task_idx,
                     attempt: info.attempt + 1,
+                    since: now,
                 });
             } else {
                 self.abandoned += 1;
                 self.completed += 1;
+                self.config.telemetry.counter_at("master.abandoned", 1, now);
                 self.cancel_dependents(info.task_idx);
             }
         } else {
             self.completed += 1;
+            self.config.telemetry.counter_at("master.task_done", 1, now);
             if info.outcome.is_success() {
-                self.release_dependents(info.task_idx);
+                // All tasks submit at t=0, so turnaround is just `now`.
+                self.config.telemetry.observe("turnaround_s", now.as_secs());
+                self.release_dependents(now, info.task_idx);
             } else {
                 // The function itself failed: its dependents can never run.
                 self.cancel_dependents(info.task_idx);
@@ -816,12 +1028,16 @@ impl Master {
 
     /// A task succeeded: dependents with no remaining dependencies become
     /// ready.
-    fn release_dependents(&mut self, task_idx: usize) {
+    fn release_dependents(&mut self, now: SimTime, task_idx: usize) {
         let id = self.tasks[task_idx].id;
         for &dep_idx in self.dependents.get(&id).map(Vec::as_slice).unwrap_or(&[]) {
             self.dep_remaining[dep_idx] -= 1;
             if self.dep_remaining[dep_idx] == 0 {
-                self.pending.push_back(Pending { task_idx: dep_idx, attempt: 0 });
+                self.pending.push_back(Pending {
+                    task_idx: dep_idx,
+                    attempt: 0,
+                    since: now,
+                });
             }
         }
     }
@@ -831,7 +1047,9 @@ impl Master {
     fn cancel_dependents(&mut self, task_idx: usize) {
         let mut stack = vec![self.tasks[task_idx].id];
         while let Some(id) = stack.pop() {
-            let Some(deps) = self.dependents.remove(&id) else { continue };
+            let Some(deps) = self.dependents.remove(&id) else {
+                continue;
+            };
             for dep_idx in deps {
                 if self.dep_remaining[dep_idx] == usize::MAX {
                     continue; // already cancelled
@@ -865,7 +1083,11 @@ mod tests {
                 TaskSpec::new(
                     TaskId(i),
                     "hep",
-                    vec![env.clone(), common.clone(), FileRef::data(format!("in-{i}"), 512 << 10)],
+                    vec![
+                        env.clone(),
+                        common.clone(),
+                        FileRef::data(format!("in-{i}"), 512 << 10),
+                    ],
                     50 << 20,
                     SimTaskProfile::new(55.0, 1.0, 110, 1024),
                 )
@@ -887,7 +1109,11 @@ mod tests {
     fn all_tasks_complete() {
         let report = run_workload(&MasterConfig::new(oracle()), hep_tasks(40), 4, node());
         assert_eq!(report.task_count, 40);
-        let successes = report.results.iter().filter(|r| r.outcome.is_success()).count();
+        let successes = report
+            .results
+            .iter()
+            .filter(|r| r.outcome.is_success())
+            .count();
         assert_eq!(successes, 40);
         assert_eq!(report.abandoned_tasks, 0);
         assert!(report.makespan_secs > 0.0);
@@ -899,8 +1125,12 @@ mod tests {
         // tasks on 4 workers ≈ 2 waves of execution (~110 s + staging), far
         // below the 40-wave unmanaged serial bound.
         let oracle_rep = run_workload(&MasterConfig::new(oracle()), hep_tasks(40), 4, node());
-        let unmanaged_rep =
-            run_workload(&MasterConfig::new(Strategy::Unmanaged), hep_tasks(40), 4, node());
+        let unmanaged_rep = run_workload(
+            &MasterConfig::new(Strategy::Unmanaged),
+            hep_tasks(40),
+            4,
+            node(),
+        );
         assert!(
             unmanaged_rep.makespan_secs > 3.0 * oracle_rep.makespan_secs,
             "unmanaged {} vs oracle {}",
@@ -925,7 +1155,11 @@ mod tests {
             oracle_rep.makespan_secs
         );
         // Uniform workload: almost nothing should be retried.
-        assert!(auto_rep.retry_fraction() <= 0.05, "retries {}", auto_rep.retry_fraction());
+        assert!(
+            auto_rep.retry_fraction() <= 0.05,
+            "retries {}",
+            auto_rep.retry_fraction()
+        );
     }
 
     #[test]
@@ -936,7 +1170,11 @@ mod tests {
         let report = run_workload(&MasterConfig::new(guess), hep_tasks(10), 2, node());
         assert_eq!(report.retried_tasks, 10);
         assert_eq!(report.abandoned_tasks, 0);
-        let successes = report.results.iter().filter(|r| r.outcome.is_success()).count();
+        let successes = report
+            .results
+            .iter()
+            .filter(|r| r.outcome.is_success())
+            .count();
         assert_eq!(successes, 10);
         // Each task has a failed attempt and a successful one.
         assert_eq!(report.results.len(), 20);
@@ -948,7 +1186,10 @@ mod tests {
         // The env + calib are cacheable: each transfers exactly once per
         // worker (3 workers × 2 files = 6 misses); every other access —
         // whether the file is already local or still in flight — is a hit.
-        assert_eq!(report.cache_misses, 6, "cacheable files must stage once per worker");
+        assert_eq!(
+            report.cache_misses, 6,
+            "cacheable files must stage once per worker"
+        );
         assert_eq!(report.cache_hits, 30 * 2 - 6);
         // The environment archive (240 MB) moved only 3 times.
         let env_bytes = 3 * (240u64 << 20);
@@ -1000,7 +1241,12 @@ mod tests {
         // Oracle allocates exactly what's used; Unmanaged wastes 7 of 8
         // cores per task.
         let o = run_workload(&MasterConfig::new(oracle()), hep_tasks(24), 2, node());
-        let u = run_workload(&MasterConfig::new(Strategy::Unmanaged), hep_tasks(24), 2, node());
+        let u = run_workload(
+            &MasterConfig::new(Strategy::Unmanaged),
+            hep_tasks(24),
+            2,
+            node(),
+        );
         assert!(
             o.core_efficiency() > 2.0 * u.core_efficiency(),
             "oracle {} vs unmanaged {}",
@@ -1106,7 +1352,11 @@ mod tests {
             report.workers_provisioned
         );
         assert!(report.workers_provisioned <= 6);
-        let ok = report.results.iter().filter(|r| r.outcome.is_success()).count();
+        let ok = report
+            .results
+            .iter()
+            .filter(|r| r.outcome.is_success())
+            .count();
         assert_eq!(ok, 64);
     }
 
@@ -1118,7 +1368,11 @@ mod tests {
             batch: 4, // batch larger than remaining headroom
         });
         let report = run_workload(&cfg, hep_tasks(40), 3, node());
-        assert!(report.workers_provisioned <= 3, "{}", report.workers_provisioned);
+        assert!(
+            report.workers_provisioned <= 3,
+            "{}",
+            report.workers_provisioned
+        );
         assert_eq!(report.abandoned_tasks, 0);
     }
 
@@ -1134,7 +1388,11 @@ mod tests {
         assert!(report.workers_lost > 0, "expected evictions");
         assert!(report.tasks_lost > 0, "expected in-flight losses");
         assert_eq!(report.abandoned_tasks, 0);
-        let ok: Vec<_> = report.results.iter().filter(|r| r.outcome.is_success()).collect();
+        let ok: Vec<_> = report
+            .results
+            .iter()
+            .filter(|r| r.outcome.is_success())
+            .collect();
         assert_eq!(ok.len(), 48, "every task completes despite churn");
         // Lost placements are not resource retries.
         assert_eq!(report.retried_tasks, 0);
@@ -1169,8 +1427,14 @@ mod tests {
         let report = run_workload(&MasterConfig::new(oracle()), hep_tasks(8), 2, node());
         let j = report.summary_json();
         for key in [
-            "strategy", "dist_mode", "makespan_s", "tasks", "retry_fraction",
-            "core_efficiency", "cache_hits", "workers_provisioned",
+            "strategy",
+            "dist_mode",
+            "makespan_s",
+            "tasks",
+            "retry_fraction",
+            "core_efficiency",
+            "cache_hits",
+            "workers_provisioned",
         ] {
             assert!(j.contains(&format!("\"{key}\"")), "missing {key}: {j}");
         }
@@ -1221,7 +1485,11 @@ mod tests {
             let cfg = MasterConfig::new(oracle.clone()).with_policy(policy);
             let rep = run_workload(&cfg, tasks.clone(), 2, node());
             assert_eq!(rep.abandoned_tasks, 0, "{policy:?}");
-            let ok = rep.results.iter().filter(|r| r.outcome.is_success()).count();
+            let ok = rep
+                .results
+                .iter()
+                .filter(|r| r.outcome.is_success())
+                .count();
             assert_eq!(ok, 30, "{policy:?}");
             spans.push(rep.makespan_secs);
         }
@@ -1234,9 +1502,20 @@ mod tests {
 
     #[test]
     fn duplicate_ids_rejected() {
-        let t = TaskSpec::new(TaskId(7), "x", vec![], 0, SimTaskProfile::new(1.0, 1.0, 1, 1));
+        let t = TaskSpec::new(
+            TaskId(7),
+            "x",
+            vec![],
+            0,
+            SimTaskProfile::new(1.0, 1.0, 1, 1),
+        );
         let result = std::panic::catch_unwind(|| {
-            run_workload(&MasterConfig::new(Strategy::Unmanaged), vec![t.clone(), t], 1, node())
+            run_workload(
+                &MasterConfig::new(Strategy::Unmanaged),
+                vec![t.clone(), t],
+                1,
+                node(),
+            )
         });
         assert!(result.is_err());
     }

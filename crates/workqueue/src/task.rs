@@ -44,7 +44,14 @@ impl TaskSpec {
         output_bytes: u64,
         profile: SimTaskProfile,
     ) -> Self {
-        TaskSpec { id, category: category.into(), inputs, output_bytes, profile, deps: Vec::new() }
+        TaskSpec {
+            id,
+            category: category.into(),
+            inputs,
+            output_bytes,
+            profile,
+            deps: Vec::new(),
+        }
     }
 
     /// Add dependencies.

@@ -95,8 +95,11 @@ impl Worker {
     pub fn env_stage_work(&self, to_stage: &[&FileRef]) -> (u64, u64, u64, u64) {
         let mut out = (0u64, 0u64, 0u64, 0u64);
         for f in to_stage {
-            if let FileKind::EnvironmentPack { unpacked_files, relocation_ops, unpacked_bytes } =
-                &f.kind
+            if let FileKind::EnvironmentPack {
+                unpacked_files,
+                relocation_ops,
+                unpacked_bytes,
+            } = &f.kind
             {
                 out.0 += f.size_bytes;
                 out.1 += unpacked_files;

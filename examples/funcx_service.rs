@@ -11,22 +11,39 @@ fn main() {
     // analysis and stores the serialized payload + dependency list.
     let svc = FuncXService::new();
     let mut registry = FunctionRegistry::new();
-    let id = registry.register("classify_image", faas::source()).expect("registers");
+    let id = registry
+        .register("classify_image", faas::source())
+        .expect("registers");
     let f = registry.get(id).unwrap();
     println!("registered {} as {}", f.name, f.id);
     println!("dependency list: {:?}", f.dependencies);
 
     let env = svc.environment_for(&registry, id).expect("env resolves");
-    println!("endpoint environment archive: {}\n", fmt_bytes(env.size_bytes));
+    println!(
+        "endpoint environment archive: {}\n",
+        fmt_bytes(env.size_bytes)
+    );
 
     // One endpoint, three execution modes (Figure 9's comparison).
     let endpoint = Endpoint::new("cluster-ep", faas::worker_spec(), 4);
     let n_tasks = 128;
-    println!("{n_tasks} classification requests on {} x {}:", endpoint.workers, endpoint.node.resources);
+    println!(
+        "{n_tasks} classification requests on {} x {}:",
+        endpoint.workers, endpoint.node.resources
+    );
     for (label, mode) in [
-        ("LFM (Auto)", ExecutionMode::Lfm(Strategy::Auto(AutoConfig::default()))),
-        ("LFM (Guess)", ExecutionMode::Lfm(Strategy::Guess(faas::guess()))),
-        ("Singularity", ExecutionMode::Container(ActivationTech::Singularity)),
+        (
+            "LFM (Auto)",
+            ExecutionMode::Lfm(Strategy::Auto(AutoConfig::default())),
+        ),
+        (
+            "LFM (Guess)",
+            ExecutionMode::Lfm(Strategy::Guess(faas::guess())),
+        ),
+        (
+            "Singularity",
+            ExecutionMode::Container(ActivationTech::Singularity),
+        ),
         ("Docker", ExecutionMode::Container(ActivationTech::Docker)),
     ] {
         let report = svc

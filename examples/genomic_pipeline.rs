@@ -23,7 +23,12 @@ fn main() {
         .map(|t| t.profile.peak_memory_mb)
         .collect();
     vep_mem.sort_unstable();
-    println!("VEP memory spread (MB): min {} / median {} / max {}", vep_mem[0], vep_mem[vep_mem.len() / 2], vep_mem[vep_mem.len() - 1]);
+    println!(
+        "VEP memory spread (MB): min {} / median {} / max {}",
+        vep_mem[0],
+        vep_mem[vep_mem.len() / 2],
+        vep_mem[vep_mem.len() - 1]
+    );
     println!("Oracle's VEP setting:    10240 MB (a 'typical' peak — the tail exceeds it)\n");
 
     println!("12 NSCC Aspire nodes (24c / 96 GB each):");

@@ -30,7 +30,9 @@ fn real_dataflow_run() {
             let mut hist = vec![0i64; 8];
             let mut x = chunk as u64 * 2654435761 + 1;
             for _ in 0..10_000 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let pt = (x >> 33) % 80;
                 hist[(pt / 10) as usize] += 1;
             }
@@ -40,16 +42,16 @@ fn real_dataflow_run() {
     dfk.register(App::native("accumulate", |args| {
         let unwrap_hist = |v: &PyValue| -> Result<Vec<i64>, String> {
             match v {
-                PyValue::List(items) => {
-                    items.iter().map(|i| i.as_int().ok_or_else(|| "int".into())).collect()
-                }
+                PyValue::List(items) => items
+                    .iter()
+                    .map(|i| i.as_int().ok_or_else(|| "int".into()))
+                    .collect(),
                 _ => Err("list expected".into()),
             }
         };
         let a = unwrap_hist(&args[0])?;
         let b = unwrap_hist(&args[1])?;
-        let sum: Vec<PyValue> =
-            a.iter().zip(&b).map(|(x, y)| PyValue::Int(x + y)).collect();
+        let sum: Vec<PyValue> = a.iter().zip(&b).map(|(x, y)| PyValue::Int(x + y)).collect();
         Ok(PyValue::List(sum))
     }));
 
@@ -76,9 +78,16 @@ fn real_dataflow_run() {
         println!("total events:    {}", counts.iter().sum::<i64>());
     }
     let stats = dfk.stats();
-    println!("tasks: {} submitted, {} completed, {} failed", stats.submitted, stats.completed, stats.failed);
+    println!(
+        "tasks: {} submitted, {} completed, {} failed",
+        stats.submitted, stats.completed, stats.failed
+    );
     for (app, wall) in dfk.app_wall_times() {
-        println!("  {app}: {} calls, mean {:.2} ms", wall.count(), wall.mean() * 1e3);
+        println!(
+            "  {app}: {} calls, mean {:.2} ms",
+            wall.count(),
+            wall.mean() * 1e3
+        );
     }
     println!();
 }

@@ -12,7 +12,10 @@ fn main() {
     let workload = hep::build(150, 3);
     let spec = hep::worker_spec(8);
 
-    println!("HEP workload: {} tasks on an opportunistic campus pool\n", workload.tasks.len());
+    println!(
+        "HEP workload: {} tasks on an opportunistic campus pool\n",
+        workload.tasks.len()
+    );
 
     // --- 1. Static pool, reliable nodes (the baseline). ---
     let baseline = run_workload(
@@ -26,7 +29,11 @@ fn main() {
 
     // --- 2. Elastic pool: start with 1 pilot, grow with the queue. ---
     let elastic_cfg = hep::master_config(workload.oracle_strategy(), 3).with_provisioning(
-        Provisioning::Elastic { initial: 1, max_workers: 8, batch: 2 },
+        Provisioning::Elastic {
+            initial: 1,
+            max_workers: 8,
+            batch: 2,
+        },
     );
     let elastic = run_workload(&elastic_cfg, workload.tasks.clone(), 8, spec);
     println!("\nelastic pool (1 -> up to 8 pilots, batches of 2):");

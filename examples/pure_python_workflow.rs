@@ -45,7 +45,9 @@ fn register_numpy(interp: &mut lfm_core::pyenv::interp::Interp) {
     interp.register_module(ModuleBuilder::new("numpy").function("mean", |args| {
         let xs = iterate(&args[0])?;
         let nums: Vec<f64> = xs.iter().filter_map(Value::as_number).collect();
-        Ok(Value::Float(nums.iter().sum::<f64>() / nums.len().max(1) as f64))
+        Ok(Value::Float(
+            nums.iter().sum::<f64>() / nums.len().max(1) as f64,
+        ))
     }));
 }
 
@@ -64,10 +66,18 @@ fn main() {
 
     // 3. Screen a batch of molecules: featurize → score per molecule.
     let molecules = [
-        "CCO", "c1ccccc1", "CC(=O)Oc1ccccc1C(=O)O", "CN1C=NC2=C1C(=O)N(C(=O)N2C)C",
-        "C1CCCCC1", "c1ccncc1", "CC(C)CC1=CC=C(C=C1)C(C)C(=O)O",
+        "CCO",
+        "c1ccccc1",
+        "CC(=O)Oc1ccccc1C(=O)O",
+        "CN1C=NC2=C1C(=O)N(C(=O)N2C)C",
+        "C1CCCCC1",
+        "c1ccncc1",
+        "CC(C)CC1=CC=C(C=C1)C(C)C(=O)O",
     ];
-    println!("\n== screening {} molecules on 4 threads ==", molecules.len());
+    println!(
+        "\n== screening {} molecules on 4 threads ==",
+        molecules.len()
+    );
     let futures: Vec<(String, AppFuture)> = molecules
         .iter()
         .map(|&smiles| {
@@ -81,7 +91,10 @@ fn main() {
         .into_iter()
         .map(|(smiles, f)| {
             let out = f.result().expect("scoring succeeds");
-            let score = out.get("score").and_then(PyValue::as_float).expect("score field");
+            let score = out
+                .get("score")
+                .and_then(PyValue::as_float)
+                .expect("score field");
             (smiles, score)
         })
         .collect();
@@ -96,6 +109,10 @@ fn main() {
         stats.submitted, stats.completed, stats.failed
     );
     for (app, wall) in dfk.app_wall_times() {
-        println!("  {app:<10} {} calls, mean {:.2} ms", wall.count(), wall.mean() * 1e3);
+        println!(
+            "  {app:<10} {} calls, mean {:.2} ms",
+            wall.count(),
+            wall.mean() * 1e3
+        );
     }
 }

@@ -28,7 +28,10 @@ def mean_pt(events):
     // --- 2. Minimal environment -------------------------------------
     let index = PackageIndex::builtin();
     let reqs = RequirementSet::from_analysis(&analysis, &index).expect("deps known");
-    println!("direct requirements: {}", reqs.to_file().trim().replace('\n', ", "));
+    println!(
+        "direct requirements: {}",
+        reqs.to_file().trim().replace('\n', ", ")
+    );
     let resolution = resolve(&index, &reqs).expect("resolvable");
     println!(
         "resolved {} distributions, {} total",
@@ -60,7 +63,10 @@ def mean_pt(events):
             TaskSpec::new(
                 TaskId(i),
                 "mean_pt",
-                vec![env_file.clone(), FileRef::data(format!("events-{i}"), 512 << 10)],
+                vec![
+                    env_file.clone(),
+                    FileRef::data(format!("events-{i}"), 512 << 10),
+                ],
                 1 << 20,
                 SimTaskProfile::new(30.0, 1.0, 150, 512),
             )
@@ -71,7 +77,10 @@ def mean_pt(events):
     println!("makespan:        {}", fmt_secs(report.makespan_secs));
     println!("retries:         {:.1}%", report.retry_fraction() * 100.0);
     println!("core efficiency: {:.1}%", report.core_efficiency() * 100.0);
-    println!("cache hits/miss: {}/{}\n", report.cache_hits, report.cache_misses);
+    println!(
+        "cache hits/miss: {}/{}\n",
+        report.cache_hits, report.cache_misses
+    );
 
     // --- 5. A real monitored process (Linux) ------------------------
     #[cfg(target_os = "linux")]
@@ -83,7 +92,14 @@ def mean_pt(events):
             .with_poll_interval(std::time::Duration::from_millis(100))
             .run(&mut cmd)
             .expect("spawn works");
-        println!("outcome: {}", if outcome.is_success() { "completed" } else { "failed" });
+        println!(
+            "outcome: {}",
+            if outcome.is_success() {
+                "completed"
+            } else {
+                "failed"
+            }
+        );
         println!("report:  {}", outcome.report());
     }
 }

@@ -15,19 +15,28 @@ fn repeated_workload_builds_hit_resolve_and_pack_caches() {
     // First build pays: it populates the caches (user env + HEP app envs).
     let first = hep::build(8, 1);
     let after_first = global_cache().stats();
-    assert!(after_first.misses > 0, "first build must populate the resolve cache");
+    assert!(
+        after_first.misses > 0,
+        "first build must populate the resolve cache"
+    );
     assert!(
         after_first.solver_candidates_tried > 0,
         "first build must run the real solver"
     );
     let packs_after_first = global_pack_cache().len();
-    assert!(packs_after_first > 0, "first build must populate the pack cache");
+    assert!(
+        packs_after_first > 0,
+        "first build must populate the pack cache"
+    );
 
     // Second identical build: pure cache traffic — zero extra solver work,
     // zero new packed archives.
     let second = hep::build(8, 1);
     let after_second = global_cache().stats();
-    assert!(after_second.hits > after_first.hits, "second build must hit the cache");
+    assert!(
+        after_second.hits > after_first.hits,
+        "second build must hit the cache"
+    );
     assert_eq!(
         after_second.solver_candidates_tried, after_first.solver_candidates_tried,
         "second build must not run the solver"

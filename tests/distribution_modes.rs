@@ -1,8 +1,8 @@
 //! Integration: environment distribution — direct shared-FS vs. packed
 //! transfer — and the planner that chooses between them (§V-D, Figure 5).
 
-use lfm_core::prelude::*;
 use lfm_core::planner;
+use lfm_core::prelude::*;
 use lfm_core::workloads::hep;
 
 #[test]
@@ -47,8 +47,14 @@ fn planner_picks_packed_at_scale() {
         20,
     );
     assert_eq!(best, DistMode::PackedTransfer);
-    let direct = estimates.iter().find(|e| e.mode == DistMode::SharedFsDirect).unwrap();
-    let pt = estimates.iter().find(|e| e.mode == DistMode::PackedTransfer).unwrap();
+    let direct = estimates
+        .iter()
+        .find(|e| e.mode == DistMode::SharedFsDirect)
+        .unwrap();
+    let pt = estimates
+        .iter()
+        .find(|e| e.mode == DistMode::PackedTransfer)
+        .unwrap();
     assert!(direct.total_secs > pt.total_secs);
 }
 

@@ -19,8 +19,8 @@ fn build_env_file() -> (FileRef, Resolution) {
     let index = PackageIndex::builtin();
     let reqs = RequirementSet::from_analysis(&analysis, &index).expect("all deps known");
     let resolution = resolve(&index, &reqs).expect("resolvable");
-    let env =
-        Environment::from_resolution("screen", "/envs/screen", &index, &resolution).expect("builds");
+    let env = Environment::from_resolution("screen", "/envs/screen", &index, &resolution)
+        .expect("builds");
     let packed = PackedEnv::pack(&env);
     // Round-trip the archive through bytes, as the wire transfer would.
     let packed = PackedEnv::from_bytes(&packed.to_bytes()).expect("archive intact");
@@ -41,14 +41,20 @@ fn source_to_schedule_to_reports() {
     assert!(resolution.version_of("numpy").is_some());
     assert!(resolution.version_of("rdkit").is_some());
     assert!(resolution.version_of("tensorflow").is_some());
-    assert!(resolution.version_of("pandas").is_none(), "unneeded package escaped minimality");
+    assert!(
+        resolution.version_of("pandas").is_none(),
+        "unneeded package escaped minimality"
+    );
 
     let tasks: Vec<TaskSpec> = (0..50)
         .map(|i| {
             TaskSpec::new(
                 TaskId(i),
                 "screen",
-                vec![env_file.clone(), FileRef::data(format!("smiles-{i}"), 64 << 10)],
+                vec![
+                    env_file.clone(),
+                    FileRef::data(format!("smiles-{i}"), 64 << 10),
+                ],
                 4 << 10,
                 SimTaskProfile::new(20.0, 1.0, 900, 512),
             )
@@ -62,7 +68,11 @@ fn source_to_schedule_to_reports() {
     );
     assert_eq!(report.task_count, 50);
     assert_eq!(report.abandoned_tasks, 0);
-    let successes = report.results.iter().filter(|r| r.outcome.is_success()).count();
+    let successes = report
+        .results
+        .iter()
+        .filter(|r| r.outcome.is_success())
+        .count();
     assert_eq!(successes, 50);
     // Every successful attempt carries a usable resource report.
     for r in &report.results {
@@ -70,7 +80,10 @@ fn source_to_schedule_to_reports() {
             let rep = r.outcome.report();
             assert!(rep.wall_secs > 0.0);
             assert!(rep.peak_rss_mb > 0);
-            assert!(rep.monitor_overhead_secs < rep.wall_secs / 100.0, "monitor not lightweight");
+            assert!(
+                rep.monitor_overhead_secs < rep.wall_secs / 100.0,
+                "monitor not lightweight"
+            );
         }
     }
     // The environment transferred once per worker (4 workers).
@@ -104,10 +117,22 @@ fn workflow_builder_lowers_whole_pipeline() {
     let mut builder = WqWorkflowBuilder::new(index, user_env);
     let app = App::python("screen", SOURCE, |_| Ok(PyValue::None));
     let first = builder
-        .add_invocation(&app, SimTaskProfile::new(20.0, 1.0, 900, 512), vec![], 0, vec![])
+        .add_invocation(
+            &app,
+            SimTaskProfile::new(20.0, 1.0, 900, 512),
+            vec![],
+            0,
+            vec![],
+        )
         .unwrap();
     let second = builder
-        .add_invocation(&app, SimTaskProfile::new(20.0, 1.0, 900, 512), vec![], 0, vec![first])
+        .add_invocation(
+            &app,
+            SimTaskProfile::new(20.0, 1.0, 900, 512),
+            vec![],
+            0,
+            vec![first],
+        )
         .unwrap();
     assert_ne!(first, second);
     let plan = builder.plans()[0].clone();

@@ -22,7 +22,9 @@ fn numpy(interp: &mut lfm_core::pyenv::interp::Interp) {
     interp.register_module(ModuleBuilder::new("numpy").function("mean", |args| {
         let xs = iterate(&args[0])?;
         let nums: Vec<f64> = xs.iter().filter_map(Value::as_number).collect();
-        Ok(Value::Float(nums.iter().sum::<f64>() / nums.len().max(1) as f64))
+        Ok(Value::Float(
+            nums.iter().sum::<f64>() / nums.len().max(1) as f64,
+        ))
     }));
 }
 
@@ -87,7 +89,10 @@ fn interpreted_exceptions_cascade_through_dag() {
         Err(TaskError::Exception(m)) => assert!(m.contains("ValueError"), "{m}"),
         other => panic!("{other:?}"),
     }
-    assert!(matches!(downstream.result(), Err(TaskError::DependencyFailed(_))));
+    assert!(matches!(
+        downstream.result(),
+        Err(TaskError::DependencyFailed(_))
+    ));
 }
 
 #[test]
@@ -127,7 +132,13 @@ fn interpreted_source_lowers_to_cluster_tasks() {
         let deps = prev.map(|p| vec![p]).unwrap_or_default();
         prev = Some(
             builder
-                .add_invocation(&app, SimTaskProfile::new(15.0, 1.0, 300, 256), vec![], 0, deps)
+                .add_invocation(
+                    &app,
+                    SimTaskProfile::new(15.0, 1.0, 300, 256),
+                    vec![],
+                    0,
+                    deps,
+                )
                 .unwrap(),
         );
     }

@@ -14,7 +14,10 @@ fn monitors_real_memory_consumer() {
     // Allocate ~60 MB in a python-free way: `head -c` into shell memory via
     // a here-string is awkward portably; use `sh` + dd into a variable.
     let mut cmd = Command::new("sh");
-    cmd.args(["-c", "x=$(dd if=/dev/zero bs=1M count=60 2>/dev/null | tr '\\0' 'a'); sleep 0.6; echo ${#x}"]);
+    cmd.args([
+        "-c",
+        "x=$(dd if=/dev/zero bs=1M count=60 2>/dev/null | tr '\\0' 'a'); sleep 0.6; echo ${#x}",
+    ]);
     cmd.stdout(std::process::Stdio::null());
     let outcome = Lfm::new()
         .with_poll_interval(Duration::from_millis(50))
@@ -32,7 +35,10 @@ fn monitors_real_memory_consumer() {
 #[test]
 fn memory_limit_kills_real_process() {
     let mut cmd = Command::new("sh");
-    cmd.args(["-c", "x=$(dd if=/dev/zero bs=1M count=120 2>/dev/null | tr '\\0' 'a'); sleep 10"]);
+    cmd.args([
+        "-c",
+        "x=$(dd if=/dev/zero bs=1M count=120 2>/dev/null | tr '\\0' 'a'); sleep 10",
+    ]);
     cmd.stdout(std::process::Stdio::null());
     let started = Instant::now();
     let outcome = Lfm::new()
@@ -40,7 +46,10 @@ fn memory_limit_kills_real_process() {
         .with_poll_interval(Duration::from_millis(50))
         .run(&mut cmd)
         .expect("spawn");
-    assert!(started.elapsed() < Duration::from_secs(8), "kill was not prompt");
+    assert!(
+        started.elapsed() < Duration::from_secs(8),
+        "kill was not prompt"
+    );
     match outcome {
         MonitorOutcome::LimitExceeded { kind, .. } => assert_eq!(kind, ResourceKind::Memory),
         other => panic!("expected memory kill, got {other:?}"),
@@ -63,7 +72,11 @@ fn process_tree_events_observed() {
             .run(&mut cmd)
             .expect("spawn");
         assert!(outcome.is_success());
-        assert!(outcome.report().peak_processes >= 3, "tree: {}", outcome.report().peak_processes);
+        assert!(
+            outcome.report().peak_processes >= 3,
+            "tree: {}",
+            outcome.report().peak_processes
+        );
         // The tracker API itself:
         tracker.observe(&[1, 2]);
         tracker.observe(&[2, 3]);
@@ -83,7 +96,11 @@ fn cpu_time_measured_for_busy_process() {
         .expect("spawn");
     assert!(outcome.is_success());
     let r = outcome.report();
-    assert!(r.cpu_secs > 0.1, "busy loop should burn CPU, saw {}", r.cpu_secs);
+    assert!(
+        r.cpu_secs > 0.1,
+        "busy loop should burn CPU, saw {}",
+        r.cpu_secs
+    );
     assert!(r.peak_cores > 0.3, "cores estimate {}", r.peak_cores);
 }
 

@@ -79,7 +79,9 @@ fn flatten_order_is_job_order_under_skew() {
 /// degrades to the serial path.
 #[test]
 fn parallel_speedup_on_multicore() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if cores < 4 {
         eprintln!("skipping speedup assertion: only {cores} core(s) available");
         return;

@@ -26,7 +26,11 @@ fn every_workload_completes_under_every_strategy() {
             let cfg = MasterConfig::new(strategy);
             let report = run_workload(&cfg, w.tasks.clone(), workers, spec);
             assert_eq!(report.abandoned_tasks, 0, "{name}");
-            let ok = report.results.iter().filter(|r| r.outcome.is_success()).count();
+            let ok = report
+                .results
+                .iter()
+                .filter(|r| r.outcome.is_success())
+                .count();
             assert_eq!(ok, w.tasks.len(), "{name}");
             // Makespan is at least the critical path of one chain.
             assert!(report.makespan_secs > 0.0, "{name}");
@@ -44,8 +48,18 @@ fn oracle_is_never_worse_than_unmanaged_at_scale() {
         (genomic::build(24, 6), 6, genomic::worker_spec()),
     ];
     for (w, workers, spec) in cases {
-        let o = run_workload(&MasterConfig::new(w.oracle_strategy()), w.tasks.clone(), workers, spec);
-        let u = run_workload(&MasterConfig::new(Strategy::Unmanaged), w.tasks.clone(), workers, spec);
+        let o = run_workload(
+            &MasterConfig::new(w.oracle_strategy()),
+            w.tasks.clone(),
+            workers,
+            spec,
+        );
+        let u = run_workload(
+            &MasterConfig::new(Strategy::Unmanaged),
+            w.tasks.clone(),
+            workers,
+            spec,
+        );
         assert!(
             o.makespan_secs < u.makespan_secs,
             "{}: oracle {} vs unmanaged {}",
@@ -59,11 +73,19 @@ fn oracle_is_never_worse_than_unmanaged_at_scale() {
 #[test]
 fn unmanaged_never_retries_and_wastes_cores() {
     let w = hep::build(80, 7);
-    let report =
-        run_workload(&MasterConfig::new(Strategy::Unmanaged), w.tasks.clone(), 4, hep::worker_spec(8));
+    let report = run_workload(
+        &MasterConfig::new(Strategy::Unmanaged),
+        w.tasks.clone(),
+        4,
+        hep::worker_spec(8),
+    );
     assert_eq!(report.retried_tasks, 0);
     // 1-core tasks on 8-core exclusive workers: ≤ 1/8 of allocation used.
-    assert!(report.core_efficiency() < 0.2, "efficiency {}", report.core_efficiency());
+    assert!(
+        report.core_efficiency() < 0.2,
+        "efficiency {}",
+        report.core_efficiency()
+    );
 }
 
 #[test]
@@ -88,7 +110,11 @@ fn auto_allocations_converge_to_true_peaks() {
                 late_sized += 1;
                 // The learned label is between the true usage and the node.
                 assert!(r.allocated.memory_mb >= 40, "label {}", r.allocated);
-                assert!(r.allocated.memory_mb <= spec.memory_mb / 4, "label {}", r.allocated);
+                assert!(
+                    r.allocated.memory_mb <= spec.memory_mb / 4,
+                    "label {}",
+                    r.allocated
+                );
             }
         }
     }

@@ -1,0 +1,136 @@
+//! Telemetry integration: the recorder observes a full master/worker/LFM
+//! run without perturbing it, and the Chrome trace export is byte-stable
+//! across identical seeded runs.
+
+use lfm_core::prelude::*;
+use lfm_core::telemetry::export::{chrome_trace, jsonl, validate_json};
+use lfm_core::telemetry::{Record, Recorder};
+
+/// A tiny deterministic workload: 6 tasks sharing one environment pack,
+/// each with its own input file, on 2 workers.
+fn tiny_tasks() -> Vec<TaskSpec> {
+    let env_file = FileRef::environment("trace-env.tar.gz", 64 << 20, 256 << 20, 1800, 230);
+    (0..6)
+        .map(|i| {
+            TaskSpec::new(
+                TaskId(i),
+                "trace",
+                vec![
+                    env_file.clone(),
+                    FileRef::data(format!("input-{i}"), 32 << 10),
+                ],
+                4 << 10,
+                SimTaskProfile::new(12.0, 1.0, 700, 256),
+            )
+        })
+        .collect()
+}
+
+fn run_with(recorder: &Recorder) -> RunReport {
+    let config =
+        MasterConfig::new(Strategy::Auto(AutoConfig::default())).with_telemetry(recorder.clone());
+    run_workload(
+        &config,
+        tiny_tasks(),
+        2,
+        NodeSpec::new(8, 16 * 1024, 32 * 1024),
+    )
+}
+
+#[test]
+fn chrome_trace_is_byte_stable_and_valid() {
+    let first = Recorder::enabled();
+    run_with(&first);
+    let second = Recorder::enabled();
+    run_with(&second);
+
+    let trace_a = chrome_trace(&first.take());
+    let trace_b = chrome_trace(&second.take());
+    assert_eq!(
+        trace_a, trace_b,
+        "identical runs must export identical traces"
+    );
+
+    validate_json(&trace_a).expect("chrome trace is well-formed JSON");
+    assert!(trace_a.starts_with("{\"traceEvents\":["));
+}
+
+#[test]
+fn trace_covers_master_worker_and_lfm_layers() {
+    let recorder = Recorder::enabled();
+    let report = run_with(&recorder);
+    let records = recorder.take();
+
+    let spans: Vec<_> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Span(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    for cat in ["master", "worker", "lfm"] {
+        assert!(
+            spans.iter().any(|s| s.cat == cat),
+            "no spans from layer {cat}"
+        );
+    }
+    // One whole-attempt "task" span per recorded attempt, each tagged with
+    // its task id and attempt number.
+    let task_spans: Vec<_> = spans.iter().filter(|s| s.name == "task").collect();
+    assert_eq!(task_spans.len(), report.results.len());
+    assert!(task_spans
+        .iter()
+        .all(|s| s.task.is_some() && s.attempt.is_some()));
+    // Every exec span sits inside its attempt's task span.
+    for exec in spans.iter().filter(|s| s.name == "exec") {
+        let owner = task_spans
+            .iter()
+            .find(|t| t.task == exec.task && t.attempt == exec.attempt)
+            .expect("exec span has a task span");
+        assert!(owner.contains(exec), "exec escapes its attempt interval");
+    }
+
+    // The environment pack transferred once per worker: 2 misses, and the
+    // remaining 4 placements hit the cache.
+    let metrics = lfm_core::telemetry::MetricsRegistry::from_records(&records);
+    assert_eq!(metrics.counter("worker.cache_miss"), report.cache_misses);
+    assert_eq!(metrics.counter("worker.cache_hit"), report.cache_hits);
+    assert_eq!(
+        metrics.counter("master.task_done") as usize,
+        report.task_count
+    );
+
+    // JSONL export: one valid JSON object per line, one line per record.
+    let lines = jsonl(&records);
+    assert_eq!(lines.lines().count(), records.len());
+    for line in lines.lines() {
+        validate_json(line).expect("jsonl line is well-formed");
+    }
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_run() {
+    let live = run_with(&Recorder::enabled());
+    let dark = run_with(&Recorder::disabled());
+    assert_eq!(live, dark, "recording must not change simulation results");
+    assert!(live.overcommit_core_secs >= 0.0);
+}
+
+#[test]
+fn turnaround_percentiles_in_summary() {
+    let report = run_with(&Recorder::disabled());
+    let json = report.summary_json();
+    validate_json(&json).expect("summary json is well-formed");
+    for field in [
+        "mean_turnaround_s",
+        "p95_turnaround_s",
+        "p99_turnaround_s",
+        "overcommit_core_secs",
+    ] {
+        assert!(json.contains(field), "summary missing {field}");
+    }
+    let p95 = report.turnaround_percentile(95.0);
+    let p50 = report.turnaround_percentile(50.0);
+    assert!(p95 >= p50, "p95 {p95} < p50 {p50}");
+    assert!(p95 <= report.makespan_secs);
+}

@@ -17,7 +17,9 @@ impl Bytes {
     }
 
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: data.to_vec() }
+        Bytes {
+            data: data.to_vec(),
+        }
     }
 }
 
@@ -52,7 +54,9 @@ impl BytesMut {
     }
 
     pub fn with_capacity(capacity: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(capacity) }
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
     }
 
     pub fn freeze(self) -> Bytes {

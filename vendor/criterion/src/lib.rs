@@ -30,11 +30,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -47,7 +51,10 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(samples: usize) -> Self {
-        Bencher { samples, recorded: Vec::new() }
+        Bencher {
+            samples,
+            recorded: Vec::new(),
+        }
     }
 
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
@@ -69,7 +76,10 @@ impl Bencher {
         let best = *self.recorded.iter().min().expect("non-empty");
         let rate = match throughput {
             Some(Throughput::Bytes(b)) if best.as_secs_f64() > 0.0 => {
-                format!("  {:>10.1} MiB/s", b as f64 / best.as_secs_f64() / (1 << 20) as f64)
+                format!(
+                    "  {:>10.1} MiB/s",
+                    b as f64 / best.as_secs_f64() / (1 << 20) as f64
+                )
             }
             Some(Throughput::Elements(n)) if best.as_secs_f64() > 0.0 => {
                 format!("  {:>10.1} elem/s", n as f64 / best.as_secs_f64())
@@ -89,7 +99,10 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         let test_mode = std::env::args().any(|a| a == "--test");
-        Criterion { sample_size: 10, test_mode }
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
     }
 }
 
@@ -118,7 +131,12 @@ impl Criterion {
 
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("-- group: {name}");
-        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size: None, throughput: None }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
     }
 }
 
@@ -141,7 +159,11 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut body: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut body: F,
+    ) -> &mut Self {
         let mut bencher = Bencher::new(self.criterion.effective_samples(self.sample_size));
         body(&mut bencher);
         bencher.report(&format!("{}/{}", self.name, id), self.throughput);

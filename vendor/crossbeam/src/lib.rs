@@ -63,10 +63,19 @@ pub mod channel {
     /// Create an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
-            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
             ready: Condvar::new(),
         });
-        (Sender { shared: shared.clone() }, Receiver { shared })
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
     }
 
     /// Create a bounded channel. This stand-in never blocks senders (the
@@ -94,7 +103,9 @@ pub mod channel {
             let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             state.senders += 1;
             drop(state);
-            Sender { shared: self.shared.clone() }
+            Sender {
+                shared: self.shared.clone(),
+            }
         }
     }
 
@@ -135,7 +146,9 @@ pub mod channel {
             let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             state.receivers += 1;
             drop(state);
-            Receiver { shared: self.shared.clone() }
+            Receiver {
+                shared: self.shared.clone(),
+            }
         }
     }
 
@@ -184,7 +197,9 @@ pub mod deque {
 
     impl<T> Injector<T> {
         pub fn new() -> Self {
-            Injector { queue: Mutex::new(VecDeque::new()) }
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
         }
 
         pub fn push(&self, value: T) {
@@ -208,7 +223,10 @@ pub mod deque {
         }
 
         pub fn is_empty(&self) -> bool {
-            self.queue.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
         }
 
         pub fn len(&self) -> usize {

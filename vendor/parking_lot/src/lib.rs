@@ -15,7 +15,9 @@ pub struct Mutex<T: ?Sized> {
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
@@ -32,9 +34,9 @@ impl<T: ?Sized> Mutex<T> {
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
             Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(e)) => {
-                Some(MutexGuard { inner: Some(e.into_inner()) })
-            }
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: Some(e.into_inner()),
+            }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -98,12 +100,17 @@ pub struct Condvar {
 
 impl Condvar {
     pub const fn new() -> Self {
-        Condvar { inner: std::sync::Condvar::new() }
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
     }
 
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let std_guard = guard.inner.take().expect("guard present");
-        let std_guard = self.inner.wait(std_guard).unwrap_or_else(|e| e.into_inner());
+        let std_guard = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(std_guard);
     }
 
@@ -119,7 +126,9 @@ impl Condvar {
             .wait_timeout(std_guard, timeout)
             .unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(std_guard);
-        WaitTimeoutResult { timed_out: result.timed_out() }
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
     }
 
     pub fn notify_one(&self) {

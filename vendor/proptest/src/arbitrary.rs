@@ -34,7 +34,9 @@ pub struct Any<T> {
 
 impl<T> Clone for Any<T> {
     fn clone(&self) -> Self {
-        Any { _marker: PhantomData }
+        Any {
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -46,7 +48,9 @@ impl<T> std::fmt::Debug for Any<T> {
 
 /// Entry point mirroring `proptest::prelude::any`.
 pub fn any<T: Arbitrary>() -> Any<T> {
-    Any { _marker: PhantomData }
+    Any {
+        _marker: PhantomData,
+    }
 }
 
 impl<T: Arbitrary> Strategy for Any<T> {

@@ -27,7 +27,9 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        BoxedStrategy { inner: Rc::new(self) }
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
     }
 
     /// Build a recursive strategy: `self` is the leaf, and `recurse` wraps an
@@ -65,7 +67,9 @@ pub struct BoxedStrategy<T> {
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
-        BoxedStrategy { inner: self.inner.clone() }
+        BoxedStrategy {
+            inner: self.inner.clone(),
+        }
     }
 }
 
@@ -119,7 +123,9 @@ impl<T> Union<T> {
 
 impl<T> Clone for Union<T> {
     fn clone(&self) -> Self {
-        Union { branches: self.branches.clone() }
+        Union {
+            branches: self.branches.clone(),
+        }
     }
 }
 
@@ -245,9 +251,11 @@ mod tests {
                 Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
             }
         }
-        let strat = (0u32..10).prop_map(Tree::Leaf).prop_recursive(3, 16, 4, |inner| {
-            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
-        });
+        let strat = (0u32..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
         let mut rng = TestRng::from_seed(9);
         for _ in 0..100 {
             assert!(depth(&strat.generate(&mut rng)) <= 3);

@@ -74,10 +74,7 @@ fn parse_quantifier(rest: &[char]) -> (usize, usize) {
         Some('*') => (0, 32),
         Some('+') => (1, 32),
         Some('{') => {
-            let body: String = rest[1..]
-                .iter()
-                .take_while(|&&c| c != '}')
-                .collect();
+            let body: String = rest[1..].iter().take_while(|&&c| c != '}').collect();
             let (lo, hi) = match body.split_once(',') {
                 Some((lo, hi)) => (
                     lo.trim().parse().unwrap_or(0),
@@ -99,7 +96,10 @@ pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
     let chars: Vec<char> = pattern.chars().collect();
     let (set, quantifier) = if chars.first() == Some(&'[') {
         let (class, used) = parse_class(&chars[1..]);
-        (CharSet::Explicit(class), parse_quantifier(&chars[1 + used..]))
+        (
+            CharSet::Explicit(class),
+            parse_quantifier(&chars[1 + used..]),
+        )
     } else if pattern.starts_with("\\PC") {
         (CharSet::Printable, parse_quantifier(&chars[3..]))
     } else {
@@ -160,7 +160,10 @@ mod tests {
         for _ in 0..50 {
             let s = generate_from_pattern("[a-zA-Z0-9 ]{0,24}", &mut rng);
             assert!(s.chars().count() <= 24);
-            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '), "{s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '),
+                "{s:?}"
+            );
         }
     }
 }
