@@ -1,0 +1,63 @@
+//! Master dispatch throughput: indexed scheduler vs the reference greedy
+//! matcher, across queue depth × cluster width × input cacheability.
+//!
+//! The reference matcher rescans every pending task against every worker on
+//! every dispatch, so its cost grows superlinearly with tasks × workers; it
+//! is therefore benchmarked only on the 1k-task configs here. The full
+//! 10k × 256 before/after comparison (where a single reference run takes
+//! minutes) is produced by `scripts/bench_sched.sh` → `BENCH_sched.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lfm_bench::sched_bench::{bench_config, bench_tasks};
+use lfm_core::simcluster::node::NodeSpec;
+use lfm_core::workqueue::master::run_workload;
+use lfm_core::workqueue::sched::SchedImpl;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let spec = NodeSpec::new(16, 64 * 1024, 128 * 1024);
+    let mut g = c.benchmark_group("master_dispatch");
+    for &(n_tasks, workers) in &[(1_000u64, 32u32), (1_000, 256), (10_000, 32), (10_000, 256)] {
+        for cacheable in [false, true] {
+            let tasks = bench_tasks(n_tasks, cacheable);
+            let cache_tag = if cacheable { "cached" } else { "nocache" };
+            g.sample_size(if n_tasks >= 10_000 { 2 } else { 10 });
+            g.throughput(Throughput::Elements(n_tasks));
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!("indexed/{n_tasks}x{workers}/{cache_tag}")),
+                &tasks,
+                |b, tasks| {
+                    b.iter(|| {
+                        run_workload(
+                            &bench_config(SchedImpl::Indexed),
+                            tasks.clone(),
+                            workers,
+                            spec,
+                        )
+                    })
+                },
+            );
+            if n_tasks <= 1_000 {
+                g.bench_with_input(
+                    BenchmarkId::from_parameter(format!(
+                        "reference/{n_tasks}x{workers}/{cache_tag}"
+                    )),
+                    &tasks,
+                    |b, tasks| {
+                        b.iter(|| {
+                            run_workload(
+                                &bench_config(SchedImpl::Reference),
+                                tasks.clone(),
+                                workers,
+                                spec,
+                            )
+                        })
+                    },
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -10,6 +10,8 @@ use lfm_core::telemetry::{export, Recorder};
 use std::io::Write as _;
 use std::path::PathBuf;
 
+pub mod sched_bench;
+
 /// Tracing options shared by every regenerator binary.
 ///
 /// Parse with [`TraceOpts::from_args`] at the top of `main`; when the user

@@ -1,0 +1,46 @@
+//! Shared workload builder for the scheduler dispatch benchmarks
+//! (`benches/master_bench.rs` and `src/bin/bench_sched.rs`).
+//!
+//! The shape is chosen to stress the dispatch path specifically: many more
+//! 1-core tasks than cluster slots (deep pending queue), several categories
+//! (slow-start and label churn under Auto), and optionally cacheable shared
+//! inputs (exercises the file-affinity scan, which in the reference matcher
+//! multiplies every worker probe by the input list length).
+
+use lfm_core::monitor::sim::SimTaskProfile;
+use lfm_core::workqueue::allocate::{AutoConfig, Strategy};
+use lfm_core::workqueue::files::FileRef;
+use lfm_core::workqueue::master::MasterConfig;
+use lfm_core::workqueue::sched::SchedImpl;
+use lfm_core::workqueue::task::{TaskId, TaskSpec};
+
+/// `n` 1-core tasks in four categories; with `cacheable` the tasks share an
+/// environment pack and a calibration file (cache-affinity matters), without
+/// it every input is per-task throwaway data.
+pub fn bench_tasks(n: u64, cacheable: bool) -> Vec<TaskSpec> {
+    let env = FileRef::environment("bench-env", 100 << 20, 300 << 20, 2000, 400);
+    let calib = FileRef::shared_data("bench-calib", 4 << 20);
+    (0..n)
+        .map(|i| {
+            let mut inputs = vec![FileRef::data(format!("in-{i}"), 64 << 10)];
+            if cacheable {
+                inputs.push(env.clone());
+                inputs.push(calib.clone());
+            }
+            TaskSpec::new(
+                TaskId(i),
+                format!("cat{}", i % 4),
+                inputs,
+                1 << 20,
+                SimTaskProfile::new(30.0 + (i % 11) as f64, 1.0, 300 + 50 * (i % 4), 200),
+            )
+        })
+        .collect()
+}
+
+/// Auto strategy (the label-learning hot path), fixed seed, chosen impl.
+pub fn bench_config(sched: SchedImpl) -> MasterConfig {
+    MasterConfig::new(Strategy::Auto(AutoConfig::default()))
+        .with_seed(7)
+        .with_sched(sched)
+}

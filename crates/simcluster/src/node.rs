@@ -10,7 +10,13 @@ use std::fmt;
 use std::ops::{Add, AddAssign};
 
 /// A resource vector: cores, memory (MB), disk (MB).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+///
+/// `Ord`/`Hash` are lexicographic over (cores, memory, disk) — meaningless as
+/// a "bigger vector" relation (use [`Resources::fits_in`] for that) but
+/// required so resolved allocations can key scheduler park-group maps.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Resources {
     pub cores: u32,
     pub memory_mb: u64,
@@ -39,8 +45,10 @@ impl Resources {
             && self.disk_mb <= available.disk_mb
     }
 
-    /// Component-wise max (used to fold observed peaks).
-    pub fn max(&self, other: &Resources) -> Resources {
+    /// Component-wise max (used to fold observed peaks). Named to stay
+    /// clear of `Ord::max`, which is lexicographic and would otherwise
+    /// shadow this for by-value receivers.
+    pub fn component_max(&self, other: &Resources) -> Resources {
         Resources {
             cores: self.cores.max(other.cores),
             memory_mb: self.memory_mb.max(other.memory_mb),
@@ -253,6 +261,6 @@ mod tests {
     fn component_max_folds_peaks() {
         let a = Resources::new(1, 500, 100);
         let b = Resources::new(2, 100, 300);
-        assert_eq!(a.max(&b), Resources::new(2, 500, 300));
+        assert_eq!(a.component_max(&b), Resources::new(2, 500, 300));
     }
 }

@@ -91,6 +91,19 @@ pub enum AllocationDecision {
     WholeWorker,
 }
 
+/// What one observation changed, from the scheduler's point of view. The
+/// master's indexed dispatcher parks tasks it cannot place and re-examines
+/// them only when an event could change the outcome; this is the allocator's
+/// side of that protocol (see `sched.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObservationEffects {
+    /// The category's first-attempt decision changed (an Auto label was
+    /// learned or revised) — parked tasks of the category must be re-sized.
+    pub label_changed: bool,
+    /// The slow-start concurrency cap changed (grew or lifted).
+    pub cap_changed: bool,
+}
+
 /// Per-category observed peak samples.
 #[derive(Debug, Default, Clone)]
 struct CategoryStats {
@@ -98,6 +111,11 @@ struct CategoryStats {
     memory_mb: Samples,
     disk_mb: Samples,
     completed: usize,
+    /// Memoized Auto label for a given worker capacity, invalidated on every
+    /// new observation. The scheduler consults the label once per dispatch
+    /// examination and twice per completion (the change-notification hook);
+    /// without the memo each consultation re-sorts the whole sample set.
+    label_memo: Option<(Resources, Option<Resources>)>,
 }
 
 /// The allocator: owns strategy state and learns from reports.
@@ -142,6 +160,14 @@ impl Allocator {
             self.retries += 1;
             return AllocationDecision::WholeWorker;
         }
+        self.peek_decision(category, capacity)
+    }
+
+    /// The first-attempt decision [`decide`](Self::decide) would return,
+    /// without bumping the attempt counters. The master's indexed scheduler
+    /// snapshots this before and after an observation to detect label
+    /// changes (`&mut` because Auto labeling sorts its sample store).
+    pub fn peek_decision(&mut self, category: &str, capacity: &Resources) -> AllocationDecision {
         match &self.strategy {
             Strategy::Unmanaged => AllocationDecision::WholeWorker,
             Strategy::Guess(r) => AllocationDecision::Sized(*r),
@@ -181,6 +207,7 @@ impl Allocator {
         violated: Option<ResourceKind>,
     ) {
         let s = self.stats.entry(category.to_string()).or_default();
+        s.label_memo = None;
         match violated {
             None => {
                 s.cores.record(report.peak_cores.max(0.01));
@@ -199,6 +226,28 @@ impl Allocator {
         }
         if completed {
             s.completed += 1;
+        }
+    }
+
+    /// [`observe_outcome`](Self::observe_outcome), reporting whether the
+    /// observation changed the category's first-attempt decision or its
+    /// slow-start cap. This is the notification hook the indexed scheduler
+    /// uses to wake parked tasks of `category` exactly when an allocation
+    /// they would be offered has actually changed.
+    pub fn observe_outcome_notify(
+        &mut self,
+        category: &str,
+        report: &ResourceReport,
+        completed: bool,
+        violated: Option<ResourceKind>,
+        capacity: &Resources,
+    ) -> ObservationEffects {
+        let label_before = self.peek_decision(category, capacity);
+        let cap_before = self.concurrency_cap(category);
+        self.observe_outcome(category, report, completed, violated);
+        ObservationEffects {
+            label_changed: self.peek_decision(category, capacity) != label_before,
+            cap_changed: self.concurrency_cap(category) != cap_before,
         }
     }
 
@@ -231,14 +280,23 @@ impl Allocator {
         if s.completed < cfg.min_samples {
             return None;
         }
-        let mem = choose_label(&mut s.memory_mb, capacity.memory_mb as f64)? * cfg.headroom;
-        let disk = choose_label(&mut s.disk_mb, capacity.disk_mb as f64)? * cfg.headroom;
-        let cores = s.cores.max()?.ceil().max(1.0);
-        Some(Resources::new(
-            cores as u32,
-            mem.ceil() as u64,
-            disk.ceil() as u64,
-        ))
+        if let Some((memo_cap, label)) = &s.label_memo {
+            if memo_cap == capacity {
+                return *label;
+            }
+        }
+        let label = (|| {
+            let mem = choose_label(&mut s.memory_mb, capacity.memory_mb as f64)? * cfg.headroom;
+            let disk = choose_label(&mut s.disk_mb, capacity.disk_mb as f64)? * cfg.headroom;
+            let cores = s.cores.max()?.ceil().max(1.0);
+            Some(Resources::new(
+                cores as u32,
+                mem.ceil() as u64,
+                disk.ceil() as u64,
+            ))
+        })();
+        s.label_memo = Some((*capacity, label));
+        label
     }
 }
 

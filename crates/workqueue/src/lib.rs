@@ -10,6 +10,8 @@
 //! * [`files`] — input/output files; environment packs are cacheable inputs.
 //! * [`worker`] — a node plus its file cache.
 //! * [`allocate`] — the four strategies: Oracle / Guess / Unmanaged / Auto.
+//! * [`sched`] — indexed incremental dispatch state (order keys, park
+//!   groups, capacity/file indexes) behind [`sched::SchedImpl`].
 //! * [`master`] — the discrete-event scheduler producing [`master::RunReport`]s.
 
 pub mod allocate;
@@ -17,6 +19,7 @@ pub mod files;
 pub mod master;
 #[cfg(test)]
 mod proptests;
+pub mod sched;
 pub mod task;
 pub mod worker;
 
@@ -26,6 +29,7 @@ pub mod prelude {
     pub use crate::master::{
         run_workload, DistMode, FailureModel, MasterConfig, Provisioning, RunReport, SchedulePolicy,
     };
+    pub use crate::sched::SchedImpl;
     pub use crate::task::{TaskId, TaskResult, TaskSpec};
     pub use crate::worker::Worker;
 }

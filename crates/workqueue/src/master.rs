@@ -9,6 +9,7 @@
 
 use crate::allocate::{AllocationDecision, Allocator, Strategy};
 use crate::files::FileKind;
+use crate::sched::{IndexedSched, ParkReason, Pending, SchedImpl, Src};
 use crate::task::{TaskId, TaskResult, TaskSpec};
 use crate::worker::Worker;
 use lfm_monitor::limits::ResourceLimits;
@@ -24,7 +25,7 @@ use lfm_simcluster::storage::LocalDisk;
 use lfm_simcluster::time::SimTime;
 use lfm_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// How environments reach workers (§V-D).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -107,6 +108,9 @@ pub struct MasterConfig {
     pub provisioning: Provisioning,
     pub failures: FailureModel,
     pub policy: SchedulePolicy,
+    /// Dispatch implementation: the indexed scheduler (default) or the
+    /// reference rescan matcher it is placement-for-placement equal to.
+    pub sched: SchedImpl,
     pub seed: u64,
     /// Tracing/metrics sink. Defaults to the process-wide recorder (the
     /// no-op recorder unless a runner installed one via `--trace-out`).
@@ -131,6 +135,7 @@ impl MasterConfig {
             provisioning: Provisioning::Static,
             failures: FailureModel::reliable(),
             policy: SchedulePolicy::Fifo,
+            sched: SchedImpl::Indexed,
             seed: 0x1f2e3d4c,
             telemetry: lfm_telemetry::global(),
         }
@@ -138,6 +143,11 @@ impl MasterConfig {
 
     pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    pub fn with_sched(mut self, sched: SchedImpl) -> Self {
+        self.sched = sched;
         self
     }
 
@@ -353,11 +363,19 @@ struct DoneInfo {
     outcome: lfm_monitor::report::MonitorOutcome,
 }
 
-struct Pending {
-    task_idx: usize,
-    attempt: u32,
-    /// When this attempt became ready (for queue-wait spans).
-    since: SimTime,
+/// The active dispatch implementation's queue state (see `sched.rs`).
+enum SchedState {
+    /// The original greedy matcher's plain deque.
+    Reference(VecDeque<Pending>),
+    /// The indexed scheduler.
+    Indexed(IndexedSched),
+}
+
+#[cfg(test)]
+thread_local! {
+    /// Placements examined by `evict_worker`, for the linearity regression
+    /// test (eviction must scan only the evicted worker's own placements).
+    static EVICT_SCANNED: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
 /// Run a workload to completion under `config`, on `worker_count` workers of
@@ -376,7 +394,7 @@ struct Master {
     config: MasterConfig,
     tasks: Vec<TaskSpec>,
     workers: BTreeMap<u32, Worker>,
-    pending: VecDeque<Pending>,
+    sched: SchedState,
     queue: EventQueue<Event>,
     allocator: Allocator,
     fs: SharedFs,
@@ -385,12 +403,23 @@ struct Master {
     spec: NodeSpec,
     worker_count: u32,
     in_flight: usize,
-    running_by_category: BTreeMap<String, u32>,
+    /// Interned category table: `cat_of[task_idx]` indexes `cat_names` and
+    /// `running_by_cat`, so the dispatch hot path never clones or hashes a
+    /// category string.
+    cat_of: Vec<u32>,
+    cat_names: Vec<String>,
+    running_by_cat: Vec<u32>,
+    /// Sum of free cores across live workers, maintained on worker
+    /// up/place/finish/evict so elastic scaling never re-sums the pool.
+    free_cores: u64,
     batch: BatchSystem,
     rng: SimRng,
     next_placement: u64,
-    /// placement id → (worker, task_idx, attempt, category) for loss recovery.
-    live_placements: BTreeMap<u64, (u32, usize, u32, String)>,
+    /// placement id → (worker, task_idx, attempt) for loss recovery.
+    live_placements: BTreeMap<u64, (u32, usize, u32)>,
+    /// worker → its live placement ids, so eviction is linear in the
+    /// evicted worker's own placements.
+    placements_by_worker: BTreeMap<u32, BTreeSet<u64>>,
     workers_provisioned: u32,
     workers_lost: u32,
     tasks_lost: u64,
@@ -432,20 +461,41 @@ impl Master {
         // a handful of lifecycle events and each worker a provision/poll
         // stream; pre-size the calendar to skip heap regrowth.
         let event_capacity = tasks.len() * 4 + worker_count as usize * 2;
+        // Intern categories once so the hot path works with small ids.
+        let mut cat_ids: BTreeMap<&str, u32> = BTreeMap::new();
+        let mut cat_names: Vec<String> = Vec::new();
+        let cat_of: Vec<u32> = tasks
+            .iter()
+            .map(|t| {
+                *cat_ids.entry(&t.category).or_insert_with(|| {
+                    cat_names.push(t.category.clone());
+                    (cat_names.len() - 1) as u32
+                })
+            })
+            .collect();
+        let running_by_cat = vec![0u32; cat_names.len()];
+        let sched = match config.sched {
+            SchedImpl::Reference => SchedState::Reference(VecDeque::new()),
+            SchedImpl::Indexed => SchedState::Indexed(IndexedSched::new(config.policy)),
+        };
         Master {
             dep_remaining,
             dependents,
-            running_by_category: BTreeMap::new(),
+            cat_of,
+            cat_names,
+            running_by_cat,
+            free_cores: 0,
             batch,
             rng,
             next_placement: 0,
             live_placements: BTreeMap::new(),
+            placements_by_worker: BTreeMap::new(),
             workers_provisioned: 0,
             workers_lost: 0,
             tasks_lost: 0,
             tasks,
             workers: BTreeMap::new(),
-            pending: VecDeque::new(),
+            sched,
             queue: EventQueue::with_capacity(event_capacity),
             allocator,
             fs,
@@ -471,7 +521,7 @@ impl Master {
         self.submit_pilots(SimTime::ZERO, initial);
         for idx in 0..self.tasks.len() {
             if self.dep_remaining[idx] == 0 {
-                self.pending.push_back(Pending {
+                self.enqueue_back(Pending {
                     task_idx: idx,
                     attempt: 0,
                     since: SimTime::ZERO,
@@ -491,6 +541,13 @@ impl Master {
                 Event::WorkerUp { id } => {
                     self.config.telemetry.counter_at("event.worker_up", 1, now);
                     self.workers.insert(id, Worker::new(id, self.spec));
+                    self.free_cores += self.spec.resources.cores as u64;
+                    if let SchedState::Indexed(ix) = &mut self.sched {
+                        ix.worker_added(id, self.spec.resources.cores);
+                        // An empty worker fits any resolved allocation:
+                        // every NoFit certificate is void.
+                        ix.wake_all_nofit();
+                    }
                     // Sample an eviction time for unreliable pools.
                     if let Some(mean) = self.config.failures.mean_lifetime_secs {
                         let u: f64 = self.rng.uniform(1e-9, 1.0);
@@ -513,6 +570,9 @@ impl Master {
                     if self.live_placements.remove(&info.placement).is_none() {
                         continue;
                     }
+                    if let Some(set) = self.placements_by_worker.get_mut(&info.worker) {
+                        set.remove(&info.placement);
+                    }
                     self.finish_task(now, *info);
                     self.dispatch(now);
                 }
@@ -520,7 +580,7 @@ impl Master {
             self.maybe_scale(self.queue.now());
             self.config.telemetry.gauge(
                 "master.pending_tasks",
-                self.pending.len() as f64,
+                self.pending_len() as f64,
                 self.queue.now(),
             );
         }
@@ -569,15 +629,14 @@ impl Master {
         else {
             return;
         };
-        if self.pending.is_empty() || self.workers_provisioned >= max_workers {
+        let pending = self.pending_len();
+        if pending == 0 || self.workers_provisioned >= max_workers {
             return;
         }
-        let free_slots: u32 = self
-            .workers
-            .values()
-            .map(|w| w.node.available().cores)
-            .sum();
-        if (self.pending.len() as u32) > free_slots {
+        // `free_cores` is maintained incrementally on worker up, place,
+        // finish, and evict — identical to re-summing the pool, without the
+        // per-event O(workers) scan.
+        if (pending as u64) > self.free_cores {
             let want = batch.min(max_workers - self.workers_provisioned);
             if want > 0 {
                 self.submit_pilots(now, want);
@@ -593,18 +652,29 @@ impl Master {
             return;
         };
         self.workers_lost += 1;
-        let lost: Vec<(u64, (u32, usize, u32, String))> = self
-            .live_placements
-            .iter()
-            .filter(|(_, (wid, ..))| *wid == id)
-            .map(|(p, info)| (*p, info.clone()))
-            .collect();
-        for (placement, (_, task_idx, attempt, category)) in lost {
-            self.live_placements.remove(&placement);
+        self.free_cores -= worker.node.available().cores as u64;
+        if let SchedState::Indexed(ix) = &mut self.sched {
+            ix.worker_removed(id, worker.node.available().cores, worker.cached_files());
+        }
+        // Only the evicted worker's own placements are touched — the index
+        // replaces the old filter-scan over every live placement.
+        let lost = self.placements_by_worker.remove(&id).unwrap_or_default();
+        for placement in lost {
+            #[cfg(test)]
+            EVICT_SCANNED.with(|c| c.set(c.get() + 1));
+            let (wid, task_idx, attempt) = self
+                .live_placements
+                .remove(&placement)
+                .expect("indexed placement is live");
+            debug_assert_eq!(wid, id);
             self.tasks_lost += 1;
             self.in_flight -= 1;
-            if let Some(n) = self.running_by_category.get_mut(&category) {
-                *n -= 1;
+            let cat = self.cat_of[task_idx];
+            self.running_by_cat[cat as usize] -= 1;
+            if let SchedState::Indexed(ix) = &mut self.sched {
+                // The category's running count fell: a slow-start verdict
+                // for its parked first attempts is stale.
+                ix.wake_category(cat, false);
             }
             self.config
                 .telemetry
@@ -614,7 +684,7 @@ impl Master {
                 .task(self.tasks[task_idx].id.0)
                 .attempt(attempt)
                 .emit();
-            self.pending.push_front(Pending {
+            self.enqueue_front(Pending {
                 task_idx,
                 attempt,
                 since: now,
@@ -626,54 +696,174 @@ impl Master {
         }
     }
 
-    /// One greedy matching pass over the pending queue.
-    ///
-    /// The allocation decision is recomputed every pass: under Auto, tasks
-    /// waiting while the first (whole-worker, monitored) runs of their
-    /// category complete pick up the learned label the moment it exists.
+    // ---- queue plumbing shared by both dispatch implementations ----
+
+    fn pending_len(&self) -> usize {
+        match &self.sched {
+            SchedState::Reference(q) => q.len(),
+            SchedState::Indexed(ix) => ix.len(),
+        }
+    }
+
+    fn enqueue_back(&mut self, item: Pending) {
+        match &mut self.sched {
+            SchedState::Reference(q) => q.push_back(item),
+            SchedState::Indexed(ix) => ix.push_back(&self.tasks[item.task_idx], item),
+        }
+    }
+
+    fn enqueue_front(&mut self, item: Pending) {
+        match &mut self.sched {
+            SchedState::Reference(q) => q.push_front(item),
+            SchedState::Indexed(ix) => ix.push_front(&self.tasks[item.task_idx], item),
+        }
+    }
+
+    fn ref_queue(&mut self) -> &mut VecDeque<Pending> {
+        match &mut self.sched {
+            SchedState::Reference(q) => q,
+            SchedState::Indexed(_) => unreachable!("reference path on indexed state"),
+        }
+    }
+
+    fn ix(&self) -> &IndexedSched {
+        match &self.sched {
+            SchedState::Indexed(ix) => ix,
+            SchedState::Reference(_) => unreachable!("indexed path on reference state"),
+        }
+    }
+
+    fn ix_mut(&mut self) -> &mut IndexedSched {
+        match &mut self.sched {
+            SchedState::Indexed(ix) => ix,
+            SchedState::Reference(_) => unreachable!("indexed path on reference state"),
+        }
+    }
+
     fn dispatch(&mut self, now: SimTime) {
+        match self.config.sched {
+            SchedImpl::Reference => self.dispatch_reference(now),
+            SchedImpl::Indexed => self.dispatch_indexed(now),
+        }
+    }
+
+    /// Examine one queued attempt: decide its allocation, apply the
+    /// slow-start gate, and pick a worker. `Err` carries why placement is
+    /// impossible right now.
+    ///
+    /// The allocation decision is recomputed at every examination: under
+    /// Auto, tasks waiting while the first (whole-worker, monitored) runs of
+    /// their category complete pick up the learned label the moment it
+    /// exists.
+    fn examine(
+        &mut self,
+        item: &Pending,
+    ) -> Result<(u32, AllocationDecision, Resources), ParkReason> {
+        let cat = self.cat_of[item.task_idx] as usize;
+        let capacity = self.spec.resources;
+        let decision = self
+            .allocator
+            .decide(&self.cat_names[cat], item.attempt, &capacity);
+        // Slow-start: immature Auto labels dispatch gradually so one bad
+        // label cannot kill an entire wave at once.
+        if matches!(decision, AllocationDecision::Sized(_)) && item.attempt == 0 {
+            if let Some(cap) = self.allocator.concurrency_cap(&self.cat_names[cat]) {
+                if self.running_by_cat[cat] >= cap {
+                    return Err(ParkReason::SlowStart);
+                }
+            }
+        }
+        let alloc = self.resolve_allocation(decision);
+        let picked = match &self.sched {
+            SchedState::Reference(_) => self.pick_worker(item.task_idx, &alloc),
+            SchedState::Indexed(ix) => {
+                ix.pick_worker(&self.workers, &self.tasks[item.task_idx], &alloc)
+            }
+        };
+        match picked {
+            Some(wid) => Ok((wid, decision, alloc)),
+            None => Err(ParkReason::NoFit(alloc)),
+        }
+    }
+
+    /// The reference matcher: one greedy pass over the whole pending queue
+    /// (drain-sort-refill under the size policies, then examine every item).
+    /// Kept as the oracle the indexed scheduler is proven equal against, and
+    /// as the benchmark baseline.
+    fn dispatch_reference(&mut self, now: SimTime) {
         match self.config.policy {
             SchedulePolicy::Fifo => {}
             SchedulePolicy::LargestFirst => {
-                let mut v: Vec<Pending> = self.pending.drain(..).collect();
+                let mut v: Vec<Pending> = self.ref_queue().drain(..).collect();
                 v.sort_by_key(|p| std::cmp::Reverse(self.tasks[p.task_idx].profile.peak_memory_mb));
-                self.pending.extend(v);
+                self.ref_queue().extend(v);
             }
             SchedulePolicy::SmallestFirst => {
-                let mut v: Vec<Pending> = self.pending.drain(..).collect();
+                let mut v: Vec<Pending> = self.ref_queue().drain(..).collect();
                 v.sort_by_key(|p| self.tasks[p.task_idx].profile.peak_memory_mb);
-                self.pending.extend(v);
+                self.ref_queue().extend(v);
             }
         }
-        let rounds = self.pending.len();
+        let rounds = self.ref_queue().len();
         for _ in 0..rounds {
-            let Some(item) = self.pending.pop_front() else {
+            let Some(item) = self.ref_queue().pop_front() else {
                 break;
             };
-            let category = self.tasks[item.task_idx].category.clone();
-            let capacity = self.spec.resources;
-            let decision = self.allocator.decide(&category, item.attempt, &capacity);
-            // Slow-start: immature Auto labels dispatch gradually so one bad
-            // label cannot kill an entire wave at once.
-            if matches!(decision, AllocationDecision::Sized(_)) && item.attempt == 0 {
-                if let Some(cap) = self.allocator.concurrency_cap(&category) {
-                    let running = self
-                        .running_by_category
-                        .get(&category)
-                        .copied()
-                        .unwrap_or(0);
-                    if running >= cap {
-                        self.pending.push_back(item);
+            match self.examine(&item) {
+                Ok((wid, decision, alloc)) => self.place(now, wid, &item, decision, alloc),
+                Err(_) => self.ref_queue().push_back(item),
+            }
+        }
+    }
+
+    /// The indexed pass: a k-way merge over the ready queue and the woken
+    /// park groups' heads, in exactly the reference examination order. One
+    /// failed head examination settles its whole group for the pass (within
+    /// a pass capacity only shrinks and per-category running counts only
+    /// grow, so every later member would fail identically); fresh arrivals
+    /// whose group is asleep or already settled are parked directly under
+    /// the group's standing failure certificate.
+    fn dispatch_indexed(&mut self, now: SimTime) {
+        // Groups that failed examination *this pass*, with the reason.
+        let mut settled: BTreeMap<(u32, bool), ParkReason> = BTreeMap::new();
+        while let Some(src) = self.ix().peek_min() {
+            match src {
+                Src::Ready => {
+                    let (key, item) = self.ix_mut().pop_ready();
+                    let gk = (self.cat_of[item.task_idx], item.attempt > 0);
+                    if let Some(reason) = settled.get(&gk) {
+                        let reason = reason.clone();
+                        self.ix_mut().park(gk, Some(reason), key, item);
                         continue;
                     }
+                    if self.ix().is_asleep(gk) {
+                        self.ix_mut().park(gk, None, key, item);
+                        continue;
+                    }
+                    match self.examine(&item) {
+                        Ok((wid, decision, alloc)) => {
+                            self.place(now, wid, &item, decision, alloc);
+                            self.ix_mut().drop_group_if_empty(gk);
+                        }
+                        Err(reason) => {
+                            settled.insert(gk, reason.clone());
+                            self.ix_mut().park(gk, Some(reason), key, item);
+                        }
+                    }
                 }
-            }
-            let alloc = self.resolve_allocation(decision);
-            match self.pick_worker(item.task_idx, &alloc) {
-                Some(wid) => {
-                    self.place(now, wid, &item, decision, alloc);
+                Src::Group(gk) => {
+                    let (key, item) = self.ix_mut().pop_group_head(gk);
+                    match self.examine(&item) {
+                        Ok((wid, decision, alloc)) => {
+                            self.place(now, wid, &item, decision, alloc);
+                            self.ix_mut().drop_group_if_empty(gk);
+                        }
+                        Err(reason) => {
+                            settled.insert(gk, reason.clone());
+                            self.ix_mut().park(gk, Some(reason), key, item);
+                        }
+                    }
                 }
-                None => self.pending.push_back(item),
             }
         }
     }
@@ -728,7 +918,7 @@ impl Master {
     ) {
         let (task_idx, attempt) = (item.task_idx, item.attempt);
         let concurrent = self.in_flight.max(1);
-        let task = self.tasks[task_idx].clone();
+        let tid = self.tasks[task_idx].id.0;
         // ---- schedule/dispatch telemetry ----
         if now > item.since {
             self.config
@@ -736,7 +926,7 @@ impl Master {
                 .span("queue_wait", "master")
                 .at(item.since, now)
                 .track(wid as u64)
-                .task(task.id.0)
+                .task(tid)
                 .attempt(attempt)
                 .emit();
         }
@@ -745,9 +935,9 @@ impl Master {
             .instant("dispatch", "master")
             .at(now)
             .track(wid as u64)
-            .task(task.id.0)
+            .task(tid)
             .attempt(attempt)
-            .attr("category", task.category.as_str())
+            .attr("category", self.tasks[task_idx].category.as_str())
             .attr("cores", alloc.cores as u64)
             .attr("memory_mb", alloc.memory_mb)
             .emit();
@@ -755,17 +945,23 @@ impl Master {
         // and filesystem models mutably alongside it.
         let mut worker = self.workers.remove(&wid).expect("picked worker exists");
         let co_resident = worker.running;
+        let old_free = worker.node.available().cores;
         assert!(worker.node.allocate(alloc), "pick_worker guaranteed fit");
+        if let SchedState::Indexed(ix) = &mut self.sched {
+            ix.update_free(wid, old_free, worker.node.available().cores);
+        }
+        self.free_cores -= alloc.cores as u64;
         worker.running += 1;
         self.in_flight += 1;
-        *self
-            .running_by_category
-            .entry(task.category.clone())
-            .or_default() += 1;
+        self.running_by_cat[self.cat_of[task_idx] as usize] += 1;
         let placement = self.next_placement;
         self.next_placement += 1;
         self.live_placements
-            .insert(placement, (wid, task_idx, attempt, task.category.clone()));
+            .insert(placement, (wid, task_idx, attempt));
+        self.placements_by_worker
+            .entry(wid)
+            .or_default()
+            .insert(placement);
 
         // ---- stage-in ----
         // Cacheable files (environments, shared data) transfer once per
@@ -774,7 +970,7 @@ impl Master {
         let mut cacheable_wait = 0.0f64;
         let mut data_bytes = 0u64;
         let mut direct_import = 0.0f64;
-        for f in &task.inputs {
+        for f in &self.tasks[task_idx].inputs {
             let is_env = matches!(f.kind, FileKind::EnvironmentPack { .. });
             if is_env && self.config.dist_mode == DistMode::SharedFsDirect {
                 // Conventional deployment: every task imports the whole
@@ -853,14 +1049,15 @@ impl Master {
         };
         let slowdown = 1.0 + self.config.io_interference * co_resident as f64;
         let profile = SimTaskProfile {
-            duration_secs: task.profile.duration_secs * slowdown,
-            ..task.profile
+            duration_secs: self.tasks[task_idx].profile.duration_secs * slowdown,
+            ..self.tasks[task_idx].profile
         };
         let sim = self.config.monitor.run(&profile, &limits);
 
         // ---- stage-out ----
-        let stage_out = if task.output_bytes > 0 && sim.outcome.is_success() {
-            self.net.transfer_cost(task.output_bytes, concurrent)
+        let output_bytes = self.tasks[task_idx].output_bytes;
+        let stage_out = if output_bytes > 0 && sim.outcome.is_success() {
+            self.net.transfer_cost(output_bytes, concurrent)
         } else {
             0.0
         };
@@ -883,21 +1080,29 @@ impl Master {
     }
 
     fn finish_task(&mut self, now: SimTime, info: DoneInfo) {
-        let task = &self.tasks[info.task_idx];
+        let cat = self.cat_of[info.task_idx];
         let worker = self.workers.get_mut(&info.worker).expect("worker exists");
+        let old_free = worker.node.available().cores;
         worker.node.free(info.allocated);
+        let avail = worker.node.available();
+        if let SchedState::Indexed(ix) = &mut self.sched {
+            ix.update_free(info.worker, old_free, avail.cores);
+        }
+        self.free_cores += info.allocated.cores as u64;
         worker.running -= 1;
         self.in_flight -= 1;
-        if let Some(n) = self.running_by_category.get_mut(&task.category) {
-            *n -= 1;
-        }
+        self.running_by_cat[cat as usize] -= 1;
         // Cacheable inputs staged during this task are now local. In direct
         // mode environments are never materialized locally, but ordinary
         // shared data still caches.
-        for f in &task.inputs {
+        for f in &self.tasks[info.task_idx].inputs {
             let is_env = matches!(f.kind, FileKind::EnvironmentPack { .. });
-            if !is_env || self.config.dist_mode == DistMode::PackedTransfer {
-                worker.insert_cached(f);
+            if (!is_env || self.config.dist_mode == DistMode::PackedTransfer)
+                && worker.insert_cached(f)
+            {
+                if let SchedState::Indexed(ix) = &mut self.sched {
+                    ix.file_cached(&f.name, info.worker);
+                }
             }
         }
         let completed = info.outcome.is_success();
@@ -908,8 +1113,23 @@ impl Master {
             lfm_monitor::report::MonitorOutcome::LimitExceeded { kind, .. } => Some(*kind),
             _ => None,
         };
-        self.allocator
-            .observe_outcome(&task.category, info.outcome.report(), completed, violated);
+        let effects = self.allocator.observe_outcome_notify(
+            &self.cat_names[cat as usize],
+            info.outcome.report(),
+            completed,
+            violated,
+            &self.spec.resources,
+        );
+        if let SchedState::Indexed(ix) = &mut self.sched {
+            // The category's running count fell and its sample set may have
+            // changed: re-examine its slow-start parks (and, on a label
+            // change, its NoFit parks — their stored vector is stale).
+            ix.wake_category(cat, effects.label_changed);
+            // Freed capacity can unblock any group whose allocation now
+            // fits this worker.
+            ix.wake_fitting(&avail);
+        }
+        let task = &self.tasks[info.task_idx];
 
         // Per-attempt trace spans. Nothing below touches sim state: the
         // recorder is strictly observational, so a disabled recorder yields
@@ -1001,7 +1221,7 @@ impl Master {
                     .emit();
                 // Retry at the front, at full size (the allocator returns
                 // WholeWorker for attempt > 0).
-                self.pending.push_front(Pending {
+                self.enqueue_front(Pending {
                     task_idx: info.task_idx,
                     attempt: info.attempt + 1,
                     since: now,
@@ -1030,15 +1250,19 @@ impl Master {
     /// ready.
     fn release_dependents(&mut self, now: SimTime, task_idx: usize) {
         let id = self.tasks[task_idx].id;
+        let mut ready: Vec<usize> = Vec::new();
         for &dep_idx in self.dependents.get(&id).map(Vec::as_slice).unwrap_or(&[]) {
             self.dep_remaining[dep_idx] -= 1;
             if self.dep_remaining[dep_idx] == 0 {
-                self.pending.push_back(Pending {
-                    task_idx: dep_idx,
-                    attempt: 0,
-                    since: now,
-                });
+                ready.push(dep_idx);
             }
+        }
+        for dep_idx in ready {
+            self.enqueue_back(Pending {
+                task_idx: dep_idx,
+                attempt: 0,
+                since: now,
+            });
         }
     }
 
@@ -1497,6 +1721,48 @@ mod tests {
         assert!(
             spans.iter().any(|&s| (s - spans[0]).abs() > 1e-9),
             "all policies produced identical makespans: {spans:?}"
+        );
+    }
+
+    #[test]
+    fn indexed_matches_reference_exactly() {
+        // Same seed → same placement sequence → identical report, results
+        // order included. The broader matrix lives in the integration suite;
+        // this is the in-crate smoke check.
+        let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default()))
+            .with_failures(FailureModel::evicting(130.0))
+            .with_seed(3);
+        let reference = run_workload(
+            &cfg.clone().with_sched(SchedImpl::Reference),
+            hep_tasks(48),
+            4,
+            node(),
+        );
+        let indexed = run_workload(
+            &cfg.clone().with_sched(SchedImpl::Indexed),
+            hep_tasks(48),
+            4,
+            node(),
+        );
+        assert_eq!(reference, indexed);
+    }
+
+    #[test]
+    fn eviction_scan_is_linear_in_lost_placements() {
+        // Eviction must only touch the evicted worker's own placements (via
+        // the per-worker index), not scan every live placement in the
+        // cluster. The thread-local counter increments once per placement
+        // examined during evictions; linearity means it equals tasks_lost.
+        EVICT_SCANNED.with(|c| c.set(0));
+        let cfg = MasterConfig::new(oracle())
+            .with_failures(FailureModel::evicting(120.0))
+            .with_seed(5);
+        let report = run_workload(&cfg, hep_tasks(48), 4, node());
+        assert!(report.tasks_lost > 0, "expected in-flight losses");
+        let scanned = EVICT_SCANNED.with(|c| c.get());
+        assert_eq!(
+            scanned, report.tasks_lost,
+            "evict_worker examined placements on other workers"
         );
     }
 

@@ -4,7 +4,8 @@
 
 use crate::allocate::{AllocationDecision, Allocator, AutoConfig, Strategy};
 use crate::files::FileRef;
-use crate::master::{run_workload, MasterConfig};
+use crate::master::{run_workload, FailureModel, MasterConfig, SchedulePolicy};
+use crate::sched::SchedImpl;
 use crate::task::{TaskId, TaskSpec};
 use lfm_monitor::report::ResourceReport;
 use lfm_monitor::sim::SimTaskProfile;
@@ -138,6 +139,74 @@ proptest! {
         prop_assert!(report.makespan_secs >= longest);
         // Used CPU never exceeds allocated capacity integral.
         prop_assert!(report.used_core_secs <= report.allocated_core_secs + 1e-6);
+    }
+
+    /// The indexed scheduler is placement-for-placement equivalent to the
+    /// reference matcher on arbitrary DAG workloads: random task shapes,
+    /// random (acyclic, backward-pointing) dependency edges, random shared
+    /// cacheable inputs, any policy, with or without worker churn.
+    #[test]
+    fn indexed_sched_equals_reference_on_random_dags(
+        shapes in prop::collection::vec(
+            // (duration, cores, mem, disk, dep offset, shared-input id)
+            (5.0f64..60.0, 1u32..4, 64u64..6000, 64u64..4096, 0usize..8, 0u8..4),
+            1..40
+        ),
+        workers in 1u32..6,
+        policy_idx in 0u8..3,
+        evict in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let tasks: Vec<TaskSpec> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(dur, cores, mem, disk, dep_off, shared))| {
+                let mut t = TaskSpec::new(
+                    TaskId(i as u64),
+                    format!("cat{}", i % 3),
+                    vec![
+                        FileRef::shared_data(format!("shared-{shared}"), 4 << 20),
+                        FileRef::data(format!("in-{i}"), 1024),
+                    ],
+                    1024,
+                    SimTaskProfile::new(dur, cores as f64, mem, disk),
+                );
+                // Edges only point backwards: the DAG is acyclic by
+                // construction.
+                if dep_off > 0 && dep_off <= i {
+                    t = t.after(vec![TaskId((i - dep_off) as u64)]);
+                }
+                t
+            })
+            .collect();
+        let policy = [
+            SchedulePolicy::Fifo,
+            SchedulePolicy::LargestFirst,
+            SchedulePolicy::SmallestFirst,
+        ][policy_idx as usize];
+        let failures = if evict {
+            FailureModel::evicting(200.0)
+        } else {
+            FailureModel::reliable()
+        };
+        let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default()))
+            .with_policy(policy)
+            .with_failures(failures)
+            .with_seed(seed);
+        let spec = NodeSpec::new(8, 8192, 16384);
+        let reference = run_workload(
+            &cfg.clone().with_sched(SchedImpl::Reference),
+            tasks.clone(),
+            workers,
+            spec,
+        );
+        let indexed = run_workload(
+            &cfg.clone().with_sched(SchedImpl::Indexed),
+            tasks,
+            workers,
+            spec,
+        );
+        prop_assert_eq!(reference, indexed);
     }
 
     /// Determinism: identical config + workload ⇒ identical report.

@@ -1,0 +1,541 @@
+//! Indexed incremental scheduling state for the Work Queue master.
+//!
+//! The reference matcher re-runs a full greedy pass over the entire pending
+//! queue on every event, and every placement attempt scans every worker and
+//! re-probes every input file for cache affinity — O(events × pending ×
+//! workers × inputs). This module replaces that with event-driven state:
+//!
+//! * **Order keys** — the reference examination order (stable policy sort
+//!   over a deque fed by `push_back`/`push_front`) is a total order
+//!   `(policy_rank, seq)`: ranks are `0` (Fifo), `!peak_mem` (LargestFirst)
+//!   or `peak_mem` (SmallestFirst), and seqs grow at the back / shrink at
+//!   the front. Ready tasks live in a `BTreeMap` keyed by it, so a dispatch
+//!   pass is a k-way merge instead of a drain-sort-refill.
+//! * **Park groups** — a task that fails examination is parked under its
+//!   `(category, is_retry)` group together with *why* it failed (slow-start
+//!   cap, or no worker fits its allocation). All members of a group resolve
+//!   to the same decision at any instant, so one head examination decides
+//!   the whole group; groups are re-examined ("woken") only when an event
+//!   could change the verdict — see the wake methods.
+//! * **Capacity index** — workers ordered by free cores, so the
+//!   most-free-cores preference is a reverse scan with early exit instead
+//!   of a full-pool sweep.
+//! * **File index** — inverted cache map (file name → workers holding it),
+//!   so the cached-inputs preference intersects candidate sets instead of
+//!   probing every worker's cache for every input.
+//!
+//! Exactness: see `DESIGN.md` §Scheduler for the argument that every skipped
+//! examination would have failed in the reference matcher, and that failed
+//! reference examinations have no observable side effects — which together
+//! make the indexed scheduler placement-for-placement identical.
+
+use crate::master::SchedulePolicy;
+use crate::task::TaskSpec;
+use crate::worker::Worker;
+use lfm_simcluster::node::Resources;
+use lfm_simcluster::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which dispatch implementation a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedImpl {
+    /// The original rescan-everything greedy matcher, kept as the test
+    /// oracle for seed-equivalence suites (and as the benchmark baseline).
+    Reference,
+    /// The indexed, event-driven scheduler (behavior-identical, default).
+    #[default]
+    Indexed,
+}
+
+/// A queued task attempt.
+#[derive(Debug, Clone)]
+pub(crate) struct Pending {
+    pub task_idx: usize,
+    pub attempt: u32,
+    /// When this attempt became ready (for queue-wait spans).
+    pub since: SimTime,
+}
+
+/// Total examination order: `(policy_rank, seq)`. Smaller examines first.
+pub(crate) type OrderKey = (u64, i64);
+
+/// Park-group identity: `(category id, attempt > 0)`. Every member of a
+/// group receives the same allocation decision at any instant, because the
+/// allocator decides per category and treats all retries alike.
+pub(crate) type GroupKey = (u32, bool);
+
+/// The policy component of an [`OrderKey`]. Bitwise NOT turns "largest
+/// first" into an ascending sort key.
+pub(crate) fn policy_rank(policy: SchedulePolicy, peak_memory_mb: u64) -> u64 {
+    match policy {
+        SchedulePolicy::Fifo => 0,
+        SchedulePolicy::LargestFirst => !peak_memory_mb,
+        SchedulePolicy::SmallestFirst => peak_memory_mb,
+    }
+}
+
+/// Why a group failed its last examination. The stored reason is a
+/// *certificate* that re-examining the group is pointless until a wake
+/// condition specific to the reason occurs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ParkReason {
+    /// Sized first attempts hit the slow-start concurrency cap. Invalidated
+    /// by any completion/eviction of the category (running count fell, or
+    /// the cap itself moved with the new sample).
+    SlowStart,
+    /// No worker could fit this resolved allocation. Invalidated by a
+    /// worker arrival, by freed capacity that fits the stored vector, or by
+    /// the category's label changing (the vector itself is stale then).
+    NoFit(Resources),
+}
+
+#[derive(Debug)]
+struct ParkGroup {
+    reason: ParkReason,
+    members: BTreeMap<OrderKey, Pending>,
+}
+
+/// Where the next-in-order candidate lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Src {
+    Ready,
+    Group(GroupKey),
+}
+
+/// The indexed scheduler state. Owned by the master when
+/// [`SchedImpl::Indexed`] is active.
+#[derive(Debug)]
+pub(crate) struct IndexedSched {
+    policy: SchedulePolicy,
+    /// Tasks awaiting their first examination since (re-)enqueue.
+    ready: BTreeMap<OrderKey, Pending>,
+    /// Tasks whose last examination failed, grouped by (category, retry).
+    groups: BTreeMap<GroupKey, ParkGroup>,
+    /// Groups with a pending wake: their heads compete with `ready` in the
+    /// next dispatch pass. Waking is lazy — members never move.
+    runnable: BTreeSet<GroupKey>,
+    /// Total members across all groups (so `len` is O(1)).
+    parked: usize,
+    /// `push_front` seqs: start at -1 and decrease.
+    front_seq: i64,
+    /// `push_back` seqs: start at 0 and increase.
+    back_seq: i64,
+    /// (free cores, Reverse(worker id)) for every live worker. Reverse
+    /// iteration yields most-free-first with lowest-id tie-break — the
+    /// reference `pick_worker` preference.
+    cap_index: BTreeSet<(u32, Reverse<u32>)>,
+    /// file name → workers with it cached (mirrors `Worker::insert_cached`).
+    file_index: BTreeMap<String, BTreeSet<u32>>,
+}
+
+impl IndexedSched {
+    pub fn new(policy: SchedulePolicy) -> Self {
+        IndexedSched {
+            policy,
+            ready: BTreeMap::new(),
+            groups: BTreeMap::new(),
+            runnable: BTreeSet::new(),
+            parked: 0,
+            front_seq: -1,
+            back_seq: 0,
+            cap_index: BTreeSet::new(),
+            file_index: BTreeMap::new(),
+        }
+    }
+
+    /// Ready + parked tasks (the reference queue length).
+    pub fn len(&self) -> usize {
+        self.ready.len() + self.parked
+    }
+
+    fn rank(&self, task: &TaskSpec) -> u64 {
+        policy_rank(self.policy, task.profile.peak_memory_mb)
+    }
+
+    /// Enqueue at the back of the examination order (new arrivals).
+    pub fn push_back(&mut self, task: &TaskSpec, item: Pending) {
+        let key = (self.rank(task), self.back_seq);
+        self.back_seq += 1;
+        self.ready.insert(key, item);
+    }
+
+    /// Enqueue at the front of the examination order (retries, evictions).
+    pub fn push_front(&mut self, task: &TaskSpec, item: Pending) {
+        let key = (self.rank(task), self.front_seq);
+        self.front_seq -= 1;
+        self.ready.insert(key, item);
+    }
+
+    // ---- dispatch-pass primitives ----
+
+    /// The source holding the smallest order key among `ready` and all
+    /// runnable group heads, or None when nothing is examinable.
+    pub fn peek_min(&self) -> Option<Src> {
+        let mut best: Option<(OrderKey, Src)> = self.ready.keys().next().map(|&k| (k, Src::Ready));
+        for &gk in &self.runnable {
+            let head = *self.groups[&gk]
+                .members
+                .keys()
+                .next()
+                .expect("runnable group is non-empty");
+            if best.is_none_or(|(bk, _)| head < bk) {
+                best = Some((head, Src::Group(gk)));
+            }
+        }
+        best.map(|(_, src)| src)
+    }
+
+    pub fn pop_ready(&mut self) -> (OrderKey, Pending) {
+        self.ready.pop_first().expect("peek_min said ready")
+    }
+
+    pub fn pop_group_head(&mut self, gk: GroupKey) -> (OrderKey, Pending) {
+        let g = self.groups.get_mut(&gk).expect("runnable group exists");
+        let (key, item) = g.members.pop_first().expect("runnable group non-empty");
+        self.parked -= 1;
+        (key, item)
+    }
+
+    /// Remove a group emptied by successful placements.
+    pub fn drop_group_if_empty(&mut self, gk: GroupKey) {
+        if self.groups.get(&gk).is_some_and(|g| g.members.is_empty()) {
+            self.groups.remove(&gk);
+            self.runnable.remove(&gk);
+        }
+    }
+
+    /// Is this group parked and *not* scheduled for re-examination? Fresh
+    /// arrivals for such groups are parked directly: no wake event has
+    /// occurred since the group's last failed examination, so the same
+    /// failure certificate covers them.
+    pub fn is_asleep(&self, gk: GroupKey) -> bool {
+        self.groups.contains_key(&gk) && !self.runnable.contains(&gk)
+    }
+
+    /// Park `item` under `gk`. `reason: Some` records a fresh failure
+    /// verdict (overwriting any stale one) and puts the group to sleep;
+    /// `None` joins an existing group without touching its certificate.
+    pub fn park(&mut self, gk: GroupKey, reason: Option<ParkReason>, key: OrderKey, item: Pending) {
+        match reason {
+            Some(r) => {
+                let g = self.groups.entry(gk).or_insert_with(|| ParkGroup {
+                    reason: r.clone(),
+                    members: BTreeMap::new(),
+                });
+                g.reason = r;
+                self.runnable.remove(&gk);
+                g.members.insert(key, item);
+            }
+            None => {
+                let g = self.groups.get_mut(&gk).expect("joining an existing group");
+                g.members.insert(key, item);
+            }
+        }
+        self.parked += 1;
+    }
+
+    // ---- wake protocol ----
+
+    /// A task of `cat` finished (or was evicted): its running count fell and
+    /// — on finishes — its sample set grew, so a slow-start verdict for the
+    /// category's first attempts is stale. `label_changed` additionally
+    /// invalidates a NoFit verdict: the parked allocation vector itself is
+    /// no longer what the group would be offered.
+    pub fn wake_category(&mut self, cat: u32, label_changed: bool) {
+        let gk = (cat, false);
+        if let Some(g) = self.groups.get(&gk) {
+            if label_changed || g.reason == ParkReason::SlowStart {
+                self.runnable.insert(gk);
+            }
+        }
+    }
+
+    /// Capacity was freed on a worker now offering `avail`: wake every
+    /// NoFit group whose stored allocation fits it. Groups whose vector
+    /// still doesn't fit keep their certificate — no other worker's
+    /// capacity grew since they parked.
+    pub fn wake_fitting(&mut self, avail: &Resources) {
+        for (gk, g) in &self.groups {
+            if let ParkReason::NoFit(r) = &g.reason {
+                if r.fits_in(avail) {
+                    self.runnable.insert(*gk);
+                }
+            }
+        }
+    }
+
+    /// A fresh worker arrived: every resolved allocation fits an empty
+    /// worker (resolution clamps to the node spec), so every NoFit
+    /// certificate is void.
+    pub fn wake_all_nofit(&mut self) {
+        for (gk, g) in &self.groups {
+            if matches!(g.reason, ParkReason::NoFit(_)) {
+                self.runnable.insert(*gk);
+            }
+        }
+    }
+
+    // ---- worker capacity / file-cache indexes ----
+
+    pub fn worker_added(&mut self, id: u32, free_cores: u32) {
+        self.cap_index.insert((free_cores, Reverse(id)));
+    }
+
+    pub fn worker_removed<'a>(
+        &mut self,
+        id: u32,
+        free_cores: u32,
+        cached_files: impl Iterator<Item = &'a str>,
+    ) {
+        self.cap_index.remove(&(free_cores, Reverse(id)));
+        for f in cached_files {
+            if let Some(set) = self.file_index.get_mut(f) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.file_index.remove(f);
+                }
+            }
+        }
+    }
+
+    pub fn update_free(&mut self, id: u32, old_free: u32, new_free: u32) {
+        if old_free != new_free {
+            self.cap_index.remove(&(old_free, Reverse(id)));
+            self.cap_index.insert((new_free, Reverse(id)));
+        }
+    }
+
+    /// `file` newly entered `id`'s cache.
+    pub fn file_cached(&mut self, file: &str, id: u32) {
+        self.file_index
+            .entry(file.to_string())
+            .or_default()
+            .insert(id);
+    }
+
+    /// Choose a worker for `task` under `alloc`: prefer one with all the
+    /// task's cacheable inputs already local, then the one with most free
+    /// cores, lowest id breaking ties — exactly the reference preference,
+    /// computed from the indexes instead of a full scan.
+    pub fn pick_worker(
+        &self,
+        workers: &BTreeMap<u32, Worker>,
+        task: &TaskSpec,
+        alloc: &Resources,
+    ) -> Option<u32> {
+        // Cached-preference path: intersect the holders of every cacheable
+        // input (iterate the smallest set, probe the rest), then take the
+        // most-free fitting worker among them.
+        let mut holder_sets: Vec<&BTreeSet<u32>> = Vec::new();
+        let mut cacheable = false;
+        for f in task.inputs.iter().filter(|f| f.cacheable) {
+            cacheable = true;
+            match self.file_index.get(&f.name) {
+                Some(set) => holder_sets.push(set),
+                // Nobody holds this file: the intersection is empty.
+                None => {
+                    holder_sets.clear();
+                    break;
+                }
+            }
+        }
+        if cacheable && !holder_sets.is_empty() {
+            holder_sets.sort_by_key(|s| s.len());
+            let (smallest, rest) = holder_sets.split_first().expect("non-empty");
+            let mut best: Option<(u32, u32)> = None; // (free, id)
+            for &id in smallest.iter() {
+                if !rest.iter().all(|s| s.contains(&id)) {
+                    continue;
+                }
+                let w = &workers[&id];
+                if !w.node.can_fit(alloc) {
+                    continue;
+                }
+                let free = w.node.available().cores;
+                // Ascending-id iteration: replace only on strictly more
+                // free cores, keeping the lowest id among ties.
+                if best.is_none_or(|(bf, _)| free > bf) {
+                    best = Some((free, id));
+                }
+            }
+            if let Some((_, id)) = best {
+                return Some(id);
+            }
+        }
+        // No cacheable inputs (every worker counts as "cached") or no cached
+        // worker fits: most free cores wins. The index iterates free-cores
+        // descending with ascending-id tie-break; the first full fit wins,
+        // and once free cores drop below the request nothing later can fit.
+        for &(free, Reverse(id)) in self.cap_index.iter().rev() {
+            if free < alloc.cores {
+                break;
+            }
+            if workers[&id].node.can_fit(alloc) {
+                return Some(id);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::files::FileRef;
+    use crate::task::TaskId;
+    use lfm_monitor::sim::SimTaskProfile;
+    use lfm_simcluster::node::NodeSpec;
+
+    fn task(id: u64, mem: u64, inputs: Vec<FileRef>) -> TaskSpec {
+        TaskSpec::new(
+            TaskId(id),
+            "cat",
+            inputs,
+            0,
+            SimTaskProfile::new(10.0, 1.0, mem, 100),
+        )
+    }
+
+    fn pending(idx: usize) -> Pending {
+        Pending {
+            task_idx: idx,
+            attempt: 0,
+            since: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn order_keys_reproduce_policy_order() {
+        // LargestFirst: bigger memory → smaller rank → examined first, with
+        // insertion order breaking ties.
+        let mut ix = IndexedSched::new(SchedulePolicy::LargestFirst);
+        ix.push_back(&task(0, 100, vec![]), pending(0));
+        ix.push_back(&task(1, 500, vec![]), pending(1));
+        ix.push_back(&task(2, 500, vec![]), pending(2));
+        let mut order = Vec::new();
+        while ix.peek_min() == Some(Src::Ready) {
+            order.push(ix.pop_ready().1.task_idx);
+        }
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn push_front_examines_before_everything() {
+        let mut ix = IndexedSched::new(SchedulePolicy::Fifo);
+        ix.push_back(&task(0, 1, vec![]), pending(0));
+        ix.push_front(&task(1, 1, vec![]), pending(1));
+        ix.push_front(&task(2, 1, vec![]), pending(2));
+        // Later front pushes land in front of earlier ones (deque order).
+        let mut order = Vec::new();
+        while ix.peek_min().is_some() {
+            order.push(ix.pop_ready().1.task_idx);
+        }
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn parked_groups_hidden_until_woken() {
+        let mut ix = IndexedSched::new(SchedulePolicy::Fifo);
+        ix.push_back(&task(0, 1, vec![]), pending(0));
+        let (key, item) = ix.pop_ready();
+        ix.park((0, false), Some(ParkReason::SlowStart), key, item);
+        assert_eq!(ix.len(), 1);
+        assert!(ix.is_asleep((0, false)));
+        assert_eq!(ix.peek_min(), None);
+        ix.wake_category(0, false);
+        assert_eq!(ix.peek_min(), Some(Src::Group((0, false))));
+        let (_, item) = ix.pop_group_head((0, false));
+        assert_eq!(item.task_idx, 0);
+        assert_eq!(ix.len(), 0);
+    }
+
+    #[test]
+    fn nofit_wakes_only_on_fitting_capacity() {
+        let mut ix = IndexedSched::new(SchedulePolicy::Fifo);
+        ix.push_back(&task(0, 1, vec![]), pending(0));
+        let (key, item) = ix.pop_ready();
+        let want = Resources::new(4, 1000, 1000);
+        ix.park((0, false), Some(ParkReason::NoFit(want)), key, item);
+        ix.wake_category(0, false); // not a SlowStart park, no label change
+        assert!(ix.is_asleep((0, false)));
+        ix.wake_fitting(&Resources::new(2, 8000, 8000)); // too few cores
+        assert!(ix.is_asleep((0, false)));
+        ix.wake_fitting(&Resources::new(4, 1000, 1000));
+        assert!(!ix.is_asleep((0, false)));
+    }
+
+    #[test]
+    fn label_change_wakes_nofit_group() {
+        let mut ix = IndexedSched::new(SchedulePolicy::Fifo);
+        ix.push_back(&task(0, 1, vec![]), pending(0));
+        let (key, item) = ix.pop_ready();
+        ix.park(
+            (0, false),
+            Some(ParkReason::NoFit(Resources::new(8, 1, 1))),
+            key,
+            item,
+        );
+        ix.wake_category(0, true);
+        assert!(!ix.is_asleep((0, false)));
+    }
+
+    #[test]
+    fn pick_worker_prefers_cached_then_free_cores() {
+        let spec = NodeSpec::new(8, 8192, 16384);
+        let mut workers = BTreeMap::new();
+        for id in 0..3u32 {
+            workers.insert(id, Worker::new(id, spec));
+        }
+        let mut ix = IndexedSched::new(SchedulePolicy::Fifo);
+        for id in 0..3u32 {
+            ix.worker_added(id, 8);
+        }
+        let env = FileRef::environment("env", 100, 600, 10, 1);
+        // Worker 2 holds the env; worker 0 has more free cores.
+        assert!(workers.get_mut(&2).unwrap().insert_cached(&env));
+        ix.file_cached("env", 2);
+        assert!(workers
+            .get_mut(&2)
+            .unwrap()
+            .node
+            .allocate(Resources::new(4, 1, 1)));
+        ix.update_free(2, 8, 4);
+        let t = task(0, 1, vec![env.clone()]);
+        let alloc = Resources::new(1, 100, 100);
+        // Cached worker wins despite fewer free cores.
+        assert_eq!(ix.pick_worker(&workers, &t, &alloc), Some(2));
+        // Without cacheable inputs, most free cores + lowest id wins.
+        let t2 = task(1, 1, vec![]);
+        assert_eq!(ix.pick_worker(&workers, &t2, &alloc), Some(0));
+        // Cached worker full: fall back to the most-free fitting worker.
+        assert!(workers
+            .get_mut(&2)
+            .unwrap()
+            .node
+            .allocate(Resources::new(4, 1, 1)));
+        ix.update_free(2, 4, 0);
+        assert_eq!(ix.pick_worker(&workers, &t, &alloc), Some(0));
+    }
+
+    #[test]
+    fn worker_removal_tears_down_indexes() {
+        let spec = NodeSpec::new(8, 8192, 16384);
+        let mut workers = BTreeMap::new();
+        workers.insert(1u32, Worker::new(1, spec));
+        let mut ix = IndexedSched::new(SchedulePolicy::Fifo);
+        ix.worker_added(1, 8);
+        ix.worker_added(2, 8);
+        let env = FileRef::environment("env", 100, 600, 10, 1);
+        workers.get_mut(&1).unwrap().insert_cached(&env);
+        ix.file_cached("env", 2);
+        ix.worker_removed(2, 8, std::iter::once("env"));
+        let t = task(0, 1, vec![env]);
+        // Worker 2 gone from both indexes: the env holder set is empty, and
+        // capacity falls back to worker 1.
+        assert_eq!(
+            ix.pick_worker(&workers, &t, &Resources::new(1, 1, 1)),
+            Some(1)
+        );
+    }
+}

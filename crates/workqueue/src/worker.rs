@@ -47,12 +47,22 @@ impl Worker {
         self.cache.contains(name)
     }
 
-    /// Record a cacheable file as present locally.
-    pub fn insert_cached(&mut self, file: &FileRef) {
-        if file.cacheable && self.cache.insert(file.name.clone()) {
+    /// Record a cacheable file as present locally. Returns true when the
+    /// file newly entered the cache (callers maintaining a file → workers
+    /// inverted index mirror exactly these insertions).
+    pub fn insert_cached(&mut self, file: &FileRef) -> bool {
+        let newly_cached = file.cacheable && self.cache.insert(file.name.clone());
+        if newly_cached {
             self.cache_bytes += file.disk_footprint();
         }
         self.staging.remove(&file.name);
+        newly_cached
+    }
+
+    /// Names of every cached file (for index teardown when the worker is
+    /// evicted).
+    pub fn cached_files(&self) -> impl Iterator<Item = &str> {
+        self.cache.iter().map(String::as_str)
     }
 
     /// If `name` is already being transferred here, when does it land?
@@ -126,14 +136,15 @@ mod tests {
         let env = FileRef::environment("hep-env", 240 << 20, 600 << 20, 5000, 800);
         let data = FileRef::data("chunk-1", 500_000);
         assert!(!w.has_cached("hep-env"));
-        w.insert_cached(&env);
-        w.insert_cached(&data); // not cacheable — ignored
+        assert!(w.insert_cached(&env));
+        assert!(!w.insert_cached(&data)); // not cacheable — ignored
         assert!(w.has_cached("hep-env"));
         assert!(!w.has_cached("chunk-1"));
         assert_eq!(w.cache_bytes(), env.disk_footprint());
-        // Re-inserting doesn't double count.
-        w.insert_cached(&env);
+        // Re-inserting doesn't double count (and is not "newly cached").
+        assert!(!w.insert_cached(&env));
         assert_eq!(w.cache_bytes(), env.disk_footprint());
+        assert_eq!(w.cached_files().collect::<Vec<_>>(), vec!["hep-env"]);
     }
 
     #[test]

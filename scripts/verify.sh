@@ -14,6 +14,12 @@ cargo build --release --offline
 echo "==> cargo test -q"
 cargo test -q --offline
 
+echo "==> scheduler seed-equivalence suite"
+cargo test -q --offline -p lfm-integration-tests --test sched_equivalence
+
+echo "==> cargo bench --no-run"
+cargo bench --no-run --offline
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

@@ -1,0 +1,195 @@
+//! Seed-equivalence: the indexed scheduler (`SchedImpl::Indexed`) must
+//! reproduce the reference greedy matcher's `RunReport` exactly — same
+//! placement sequence, same `results` order, bit-identical floats — for the
+//! same seed, on every policy × provisioning × failure combination. The
+//! reference matcher is the oracle; any divergence is a scheduler bug.
+
+use lfm_core::prelude::*;
+use lfm_core::workloads::{drug, hep};
+use std::collections::BTreeMap;
+
+fn assert_equivalent(
+    label: &str,
+    cfg: &MasterConfig,
+    tasks: &[TaskSpec],
+    workers: u32,
+    spec: NodeSpec,
+) {
+    let reference = run_workload(
+        &cfg.clone().with_sched(SchedImpl::Reference),
+        tasks.to_vec(),
+        workers,
+        spec,
+    );
+    let indexed = run_workload(
+        &cfg.clone().with_sched(SchedImpl::Indexed),
+        tasks.to_vec(),
+        workers,
+        spec,
+    );
+    // Compare the headline numbers first for a readable failure, then the
+    // whole report (including the results vector and its order).
+    assert_eq!(
+        reference.makespan_secs, indexed.makespan_secs,
+        "{label}: makespan diverged"
+    );
+    assert_eq!(
+        reference.results.len(),
+        indexed.results.len(),
+        "{label}: attempt count diverged"
+    );
+    for (i, (r, x)) in reference.results.iter().zip(&indexed.results).enumerate() {
+        assert_eq!(r, x, "{label}: result #{i} diverged");
+    }
+    assert_eq!(reference, indexed, "{label}: full report diverged");
+}
+
+/// Mixed-memory categories with dependencies, cacheable shared inputs, and
+/// per-task data: exercises policy ordering, slow-start parking, NoFit
+/// parking, the file-affinity index, and dependency release.
+fn mixed_tasks(n: u64) -> Vec<TaskSpec> {
+    let env = FileRef::environment("mix-env", 200 << 20, 500 << 20, 4000, 700);
+    let calib = FileRef::shared_data("mix-calib", 2 << 20);
+    (0..n)
+        .map(|i| {
+            let (cat, mem) = match i % 4 {
+                0 => ("big", 5200),
+                1 | 2 => ("small", 900),
+                _ => ("mid", 2100),
+            };
+            let mut t = TaskSpec::new(
+                TaskId(i),
+                cat,
+                vec![
+                    env.clone(),
+                    calib.clone(),
+                    FileRef::data(format!("mix-in-{i}"), 256 << 10),
+                ],
+                20 << 20,
+                SimTaskProfile::new(35.0 + (i % 7) as f64, 1.0, mem, 400),
+            );
+            if i % 5 == 4 {
+                t = t.after(vec![TaskId(i - 2)]);
+            }
+            t
+        })
+        .collect()
+}
+
+fn mixed_oracle() -> Strategy {
+    let mut map = BTreeMap::new();
+    map.insert("big".to_string(), Resources::new(1, 5200, 400));
+    map.insert("small".to_string(), Resources::new(1, 900, 400));
+    map.insert("mid".to_string(), Resources::new(1, 2100, 400));
+    Strategy::Oracle(map)
+}
+
+const POLICIES: [SchedulePolicy; 3] = [
+    SchedulePolicy::Fifo,
+    SchedulePolicy::LargestFirst,
+    SchedulePolicy::SmallestFirst,
+];
+
+#[test]
+fn auto_strategy_full_matrix() {
+    let spec = NodeSpec::new(8, 8192, 16384);
+    for policy in POLICIES {
+        for failures in [FailureModel::reliable(), FailureModel::evicting(150.0)] {
+            for provisioning in [
+                Provisioning::Static,
+                Provisioning::Elastic {
+                    initial: 1,
+                    max_workers: 4,
+                    batch: 1,
+                },
+            ] {
+                let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default()))
+                    .with_policy(policy)
+                    .with_failures(failures)
+                    .with_provisioning(provisioning)
+                    .with_seed(11);
+                let label = format!("Auto/{policy:?}/{failures:?}/{provisioning:?}");
+                assert_equivalent(&label, &cfg, &mixed_tasks(60), 4, spec);
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_strategy_full_matrix() {
+    let spec = NodeSpec::new(8, 8192, 16384);
+    for policy in POLICIES {
+        for failures in [FailureModel::reliable(), FailureModel::evicting(130.0)] {
+            for provisioning in [
+                Provisioning::Static,
+                Provisioning::Elastic {
+                    initial: 2,
+                    max_workers: 5,
+                    batch: 2,
+                },
+            ] {
+                let cfg = MasterConfig::new(mixed_oracle())
+                    .with_policy(policy)
+                    .with_failures(failures)
+                    .with_provisioning(provisioning)
+                    .with_seed(23);
+                let label = format!("Oracle/{policy:?}/{failures:?}/{provisioning:?}");
+                assert_equivalent(&label, &cfg, &mixed_tasks(60), 5, spec);
+            }
+        }
+    }
+}
+
+#[test]
+fn guess_with_retries_matches() {
+    // A too-small guess kills every first attempt: retries re-enter at the
+    // queue front at whole-worker size, the hardest ordering to preserve.
+    let spec = NodeSpec::new(8, 8192, 16384);
+    for policy in POLICIES {
+        let cfg = MasterConfig::new(Strategy::Guess(Resources::new(1, 700, 2048)))
+            .with_policy(policy)
+            .with_seed(31);
+        let label = format!("Guess-retry/{policy:?}");
+        assert_equivalent(&label, &cfg, &mixed_tasks(40), 3, spec);
+    }
+}
+
+#[test]
+fn hep_workload_matches_under_churn() {
+    let w = hep::build(64, 7);
+    let spec = hep::worker_spec(8);
+    let cfg = MasterConfig::new(w.oracle_strategy())
+        .with_failures(FailureModel::evicting(100.0))
+        .with_seed(5);
+    assert_equivalent("hep/evicting", &cfg, &w.tasks, 4, spec);
+    let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default()))
+        .with_failures(FailureModel::evicting(140.0))
+        .with_provisioning(Provisioning::Elastic {
+            initial: 1,
+            max_workers: 6,
+            batch: 2,
+        })
+        .with_seed(8);
+    assert_equivalent("hep/auto-elastic-evicting", &cfg, &w.tasks, 6, spec);
+}
+
+#[test]
+fn drug_workload_with_shared_fs_direct_matches() {
+    let w = drug::build(16, 3);
+    let spec = drug::worker_spec();
+    for dist in [DistMode::PackedTransfer, DistMode::SharedFsDirect] {
+        let cfg = MasterConfig::new(w.oracle_strategy())
+            .with_dist_mode(dist)
+            .with_seed(17);
+        assert_equivalent(&format!("drug/{dist:?}"), &cfg, &w.tasks, 4, spec);
+    }
+}
+
+#[test]
+fn unmanaged_whole_worker_matches() {
+    // Whole-worker allocations park as NoFit until a worker fully drains —
+    // the wake-on-fitting-capacity path under maximum contention.
+    let spec = NodeSpec::new(8, 8192, 16384);
+    let cfg = MasterConfig::new(Strategy::Unmanaged).with_seed(41);
+    assert_equivalent("unmanaged", &cfg, &mixed_tasks(30), 2, spec);
+}
