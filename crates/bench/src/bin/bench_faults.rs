@@ -1,0 +1,155 @@
+//! Chaos sweep: goodput and accounting of the resilient master under
+//! increasing fault intensity, against a naive-retry baseline (no backoff,
+//! no quarantine, no degradation). Writes `BENCH_faults.json`.
+//!
+//! At each intensity `x` the fault plan layers stragglers (probability `x`,
+//! 3-6x slowdown), stage-in failures (`x/2`), result-message loss
+//! (`0.3 * x`) and spurious monitor kills (`0.3 * x`) onto a HEP-style
+//! workload. Both modes run the identical plan and seed; only the
+//! `ResilienceConfig` differs.
+//!
+//! Invoked by `scripts/bench_faults.sh`. Flags:
+//!
+//! * `--out <path>`   output JSON path (default `BENCH_faults.json`)
+//! * `--quick`        smaller workload (smoke mode for CI)
+
+use lfm_core::prelude::*;
+use lfm_core::workloads::hep;
+use std::io::Write as _;
+
+struct Row {
+    intensity: f64,
+    resilient: Outcome,
+    naive: Outcome,
+}
+
+struct Outcome {
+    makespan_secs: f64,
+    goodput_per_hour: f64,
+    core_efficiency: f64,
+    successes: u64,
+    abandoned: u64,
+    infra_retries: u64,
+    lease_reclaims: u64,
+    quarantines: u32,
+    spurious_kills: u64,
+    stage_in_failures: u64,
+}
+
+fn chaos_plan(x: f64) -> FaultPlan {
+    if x == 0.0 {
+        return FaultPlan::reliable();
+    }
+    // Stragglers dominate the mix: they are worker-correlated (a slow node
+    // stays slow), which is the failure mode quarantine is built to bench.
+    // The stream faults (stage-in, loss, spurious kills) are uncorrelated
+    // background noise that stresses the retry budget instead.
+    FaultPlan::reliable()
+        .with(FaultSpec::straggler((1.5 * x).min(0.5), 5.0, 10.0))
+        .with(FaultSpec::stage_in_failure(x / 4.0))
+        .with(FaultSpec::message_loss(0.15 * x))
+        .with(FaultSpec::spurious_kill(0.15 * x))
+}
+
+fn run(tasks: &[TaskSpec], spec: NodeSpec, x: f64, resilience: ResilienceConfig) -> Outcome {
+    let cfg = hep::master_config(Strategy::Auto(AutoConfig::default()), 3)
+        .with_faults(chaos_plan(x))
+        .with_resilience(resilience)
+        .with_seed(97);
+    let report = run_workload(&cfg, tasks.to_vec(), 8, spec);
+    let successes = report
+        .results
+        .iter()
+        .filter(|r| r.outcome.is_success())
+        .count() as u64;
+    Outcome {
+        makespan_secs: report.makespan_secs,
+        goodput_per_hour: successes as f64 / (report.makespan_secs / 3600.0),
+        core_efficiency: report.core_efficiency(),
+        successes,
+        abandoned: report.abandoned_tasks,
+        infra_retries: report.infra_retried_tasks,
+        lease_reclaims: report.lease_reclaims,
+        quarantines: report.quarantines,
+        spurious_kills: report.spurious_kills,
+        stage_in_failures: report.stage_in_failures,
+    }
+}
+
+fn outcome_json(o: &Outcome) -> String {
+    format!(
+        "{{\"makespan_secs\": {:.3}, \"goodput_tasks_per_hour\": {:.2}, \
+         \"core_efficiency\": {:.4}, \"successes\": {}, \"abandoned\": {}, \
+         \"infra_retries\": {}, \"lease_reclaims\": {}, \"quarantines\": {}, \
+         \"spurious_kills\": {}, \"stage_in_failures\": {}}}",
+        o.makespan_secs,
+        o.goodput_per_hour,
+        o.core_efficiency,
+        o.successes,
+        o.abandoned,
+        o.infra_retries,
+        o.lease_reclaims,
+        o.quarantines,
+        o.spurious_kills,
+        o.stage_in_failures,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_faults.json");
+    let mut quick = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            "--quick" => quick = true,
+            other => panic!("unknown flag {other:?} (expected --out <path> | --quick)"),
+        }
+    }
+
+    let n = if quick { 60 } else { 240 };
+    let workload = hep::build(n, 3);
+    let spec = hep::worker_spec(8);
+    eprintln!(
+        "chaos sweep: {} HEP tasks x 8 workers, resilient vs naive-retry",
+        workload.tasks.len()
+    );
+
+    let mut rows = Vec::new();
+    for x in [0.0, 0.05, 0.1, 0.2, 0.3] {
+        let resilient = run(&workload.tasks, spec, x, ResilienceConfig::default());
+        let naive = run(&workload.tasks, spec, x, ResilienceConfig::naive_retry());
+        eprintln!(
+            "  x={x:<4}  resilient: {:>7.1} tasks/h ({} ok, {} quar)   \
+             naive: {:>7.1} tasks/h ({} ok)",
+            resilient.goodput_per_hour,
+            resilient.successes,
+            resilient.quarantines,
+            naive.goodput_per_hour,
+            naive.successes,
+        );
+        rows.push(Row {
+            intensity: x,
+            resilient,
+            naive,
+        });
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"fault_sweep\",\n  \"points\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"intensity\": {}, \"resilient\": {}, \"naive\": {}}}{}\n",
+            r.intensity,
+            outcome_json(&r.resilient),
+            outcome_json(&r.naive),
+            sep,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let mut f = std::fs::File::create(&out_path).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output");
+    println!("wrote {out_path}");
+}

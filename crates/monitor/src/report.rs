@@ -125,6 +125,12 @@ pub enum MonitorOutcome {
         kind: ResourceKind,
         report: ResourceReport,
     },
+    /// Killed by an *injected* monitor fault, not a real limit violation.
+    /// Fault-injection harnesses must be able to tell the two apart:
+    /// spurious kills carry no [`ResourceKind`], are never fed back into
+    /// allocation learning, and are retried as infrastructure failures
+    /// rather than resource retries.
+    SpuriousKill { report: ResourceReport },
     /// The function itself failed (non-zero exit / raised exception).
     Failed {
         exit_code: i32,
@@ -137,6 +143,7 @@ impl MonitorOutcome {
         match self {
             MonitorOutcome::Completed(r) => r,
             MonitorOutcome::LimitExceeded { report, .. } => report,
+            MonitorOutcome::SpuriousKill { report } => report,
             MonitorOutcome::Failed { report, .. } => report,
         }
     }
@@ -145,8 +152,13 @@ impl MonitorOutcome {
         matches!(self, MonitorOutcome::Completed(_))
     }
 
+    /// A *real* limit kill; spurious (injected) kills return false here.
     pub fn is_limit_exceeded(&self) -> bool {
         matches!(self, MonitorOutcome::LimitExceeded { .. })
+    }
+
+    pub fn is_spurious_kill(&self) -> bool {
+        matches!(self, MonitorOutcome::SpuriousKill { .. })
     }
 }
 
@@ -209,9 +221,17 @@ mod tests {
         assert!(!ok.is_limit_exceeded());
         let killed = MonitorOutcome::LimitExceeded {
             kind: ResourceKind::Memory,
-            report: r,
+            report: r.clone(),
         };
         assert!(killed.is_limit_exceeded());
         assert_eq!(killed.report().wall_secs, 5.0);
+        let spurious = MonitorOutcome::SpuriousKill { report: r };
+        assert!(spurious.is_spurious_kill());
+        assert!(!spurious.is_success());
+        assert!(
+            !spurious.is_limit_exceeded(),
+            "injected kills must not read as real limit kills"
+        );
+        assert_eq!(spurious.report().wall_secs, 5.0);
     }
 }

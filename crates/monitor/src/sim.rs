@@ -175,6 +175,32 @@ impl SimMonitor {
             occupied_secs: end,
         }
     }
+
+    /// Simulate an invocation of `profile` truncated by an *injected*
+    /// (spurious) monitor kill at `t_kill`. The partial report reflects the
+    /// profile's true trajectory up to the kill; the outcome is
+    /// [`MonitorOutcome::SpuriousKill`], distinguishable from a real limit
+    /// kill.
+    pub fn killed_at(&self, profile: &SimTaskProfile, t_kill: f64) -> SimMonitorResult {
+        let end = t_kill.clamp(0.0, profile.duration_secs);
+        let polls = (end / self.poll_interval).floor().max(1.0) as u64;
+        let report = ResourceReport {
+            wall_secs: end,
+            cpu_secs: profile.cores_used * end,
+            peak_cores: profile.cores_used,
+            peak_rss_mb: profile.memory_at(end),
+            peak_processes: 1,
+            peak_disk_mb: profile.disk_at(end),
+            read_bytes: 0,
+            write_bytes: profile.disk_at(end) * 1024 * 1024,
+            polls,
+            monitor_overhead_secs: polls as f64 * self.per_poll_cost,
+        };
+        SimMonitorResult {
+            outcome: MonitorOutcome::SpuriousKill { report },
+            occupied_secs: end,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +249,24 @@ mod tests {
         }
         assert!(r.occupied_secs < 13.0, "killed at {}", r.occupied_secs);
         assert!(r.occupied_secs >= 1.0, "cannot die before the first poll");
+    }
+
+    #[test]
+    fn spurious_kill_truncates_and_is_distinguishable() {
+        let m = SimMonitor::default();
+        let r = m.killed_at(&profile(), 30.0);
+        assert!(r.outcome.is_spurious_kill());
+        assert!(!r.outcome.is_limit_exceeded());
+        assert_eq!(r.occupied_secs, 30.0);
+        let rep = r.outcome.report();
+        assert_eq!(rep.wall_secs, 30.0);
+        // Full memory peak already reached (ramp ends at 20% of 60 s), but
+        // disk only half-grown at the kill.
+        assert_eq!(rep.peak_rss_mb, 110);
+        assert_eq!(rep.peak_disk_mb, 512);
+        // Kill time beyond the duration clamps to a full (but still
+        // spurious) run.
+        assert_eq!(m.killed_at(&profile(), 500.0).occupied_secs, 60.0);
     }
 
     #[test]

@@ -123,6 +123,10 @@ impl MonitorOutcome {
                     .field_str("limit_exceeded", &kind.to_string())
                     .field_raw("resources", &report.to_json());
             }
+            MonitorOutcome::SpuriousKill { report } => {
+                o.field_str("status", "spurious_kill")
+                    .field_raw("resources", &report.to_json());
+            }
             MonitorOutcome::Failed { exit_code, report } => {
                 o.field_str("status", "failed")
                     .field_i64("exit_code", *exit_code as i64)

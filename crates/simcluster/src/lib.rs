@@ -32,7 +32,7 @@ pub mod prelude {
     pub use crate::batch::{BatchParams, BatchSystem, Pilot};
     pub use crate::event::EventQueue;
     pub use crate::metrics::{Samples, Summary};
-    pub use crate::network::{Network, NetworkParams};
+    pub use crate::network::{Disturbance, Network, NetworkParams, TransferOutcome};
     pub use crate::node::{Node, NodeSpec, Resources};
     pub use crate::rng::SimRng;
     pub use crate::sharedfs::{SharedFs, SharedFsParams};

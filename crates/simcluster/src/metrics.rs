@@ -113,7 +113,7 @@ impl Samples {
         }
     }
 
-    /// Quantile `q` in [0,1] by nearest-rank (q=1.0 → max).
+    /// Quantile `q` in \[0,1\] by nearest-rank (q=1.0 → max).
     pub fn quantile(&mut self, q: f64) -> Option<f64> {
         if self.values.is_empty() {
             return None;

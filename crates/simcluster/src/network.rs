@@ -2,8 +2,11 @@
 //!
 //! Work Queue streams task inputs/outputs over TCP between the master and
 //! each worker. The master's NIC is the shared bottleneck; per-connection
-//! throughput also has a ceiling.
+//! throughput also has a ceiling. A [`Disturbance`] optionally injects
+//! random extra latency and transfer loss (fault-injection harnesses feed
+//! the draws from their own seeded stream via [`Network::transfer`]).
 
+use crate::rng::SimRng;
 use serde::{Deserialize, Serialize};
 
 /// Network parameters.
@@ -37,12 +40,45 @@ impl NetworkParams {
     }
 }
 
+/// Injected network misbehaviour: extra latency and transfer loss.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Disturbance {
+    /// Probability a transfer is delayed.
+    pub delay_prob: f64,
+    /// Mean of the exponential extra delay, seconds.
+    pub mean_delay_secs: f64,
+    /// Probability a transfer is lost (time is still spent).
+    pub loss_prob: f64,
+}
+
+impl Disturbance {
+    /// No disturbance at all.
+    pub fn none() -> Self {
+        Disturbance {
+            delay_prob: 0.0,
+            mean_delay_secs: 0.0,
+            loss_prob: 0.0,
+        }
+    }
+}
+
+/// What one disturbed transfer did: how long it took, and whether the
+/// payload actually arrived.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferOutcome {
+    pub secs: f64,
+    pub lost: bool,
+}
+
 /// A shared network instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Network {
     pub params: NetworkParams,
     pub bytes_moved: u64,
     pub messages: u64,
+    /// Active fault injection, if any. Draws are supplied by the caller so
+    /// the network model itself stays deterministic state.
+    pub disturbance: Option<Disturbance>,
 }
 
 impl Network {
@@ -51,7 +87,12 @@ impl Network {
             params,
             bytes_moved: 0,
             messages: 0,
+            disturbance: None,
         }
+    }
+
+    pub fn set_disturbance(&mut self, d: Disturbance) {
+        self.disturbance = Some(d);
     }
 
     /// Effective per-transfer bandwidth with `n` concurrent transfers.
@@ -71,6 +112,23 @@ impl Network {
     pub fn message_cost(&mut self) -> f64 {
         self.messages += 1;
         self.params.latency
+    }
+
+    /// Move `bytes` under the active [`Disturbance`], drawing delay/loss
+    /// from `rng`. Without a disturbance no draws are consumed and this is
+    /// exactly [`Network::transfer_cost`].
+    pub fn transfer(&mut self, bytes: u64, concurrent: usize, rng: &mut SimRng) -> TransferOutcome {
+        let mut secs = self.transfer_cost(bytes, concurrent);
+        let mut lost = false;
+        if let Some(d) = self.disturbance {
+            if d.delay_prob > 0.0 && rng.chance(d.delay_prob) {
+                secs += -d.mean_delay_secs * rng.uniform(1e-9, 1.0).ln();
+            }
+            if d.loss_prob > 0.0 && rng.chance(d.loss_prob) {
+                lost = true;
+            }
+        }
+        TransferOutcome { secs, lost }
     }
 }
 
@@ -100,5 +158,60 @@ mod tests {
         let mut net = Network::new(NetworkParams::campus_10g());
         assert!(net.transfer_cost(0, 1) >= net.params.latency);
         assert_eq!(net.message_cost(), net.params.latency);
+    }
+
+    #[test]
+    fn undisturbed_transfer_matches_transfer_cost_and_draws_nothing() {
+        let mut a = Network::new(NetworkParams::campus_10g());
+        let mut b = Network::new(NetworkParams::campus_10g());
+        let mut rng = SimRng::seeded(1);
+        let before = rng.clone().next_u64();
+        let t = a.transfer(1 << 20, 2, &mut rng);
+        assert!(!t.lost);
+        assert_eq!(t.secs, b.transfer_cost(1 << 20, 2));
+        assert_eq!(rng.next_u64(), before, "no draws without a disturbance");
+    }
+
+    #[test]
+    fn disturbance_injects_delay_and_loss() {
+        let mut net = Network::new(NetworkParams::campus_10g());
+        net.set_disturbance(Disturbance {
+            delay_prob: 1.0,
+            mean_delay_secs: 2.0,
+            loss_prob: 0.5,
+        });
+        let base = net.params.latency + (1 << 20) as f64 / net.effective_bw(1);
+        let mut rng = SimRng::seeded(7);
+        let (mut losses, mut delayed) = (0u32, 0u32);
+        for _ in 0..200 {
+            let t = net.transfer(1 << 20, 1, &mut rng);
+            if t.lost {
+                losses += 1;
+            }
+            if t.secs > base {
+                delayed += 1;
+            }
+        }
+        assert_eq!(delayed, 200, "delay_prob=1.0 delays every transfer");
+        assert!((60..140).contains(&losses), "losses {losses}");
+    }
+
+    #[test]
+    fn disturbed_transfers_are_seed_deterministic() {
+        let mk = || {
+            let mut n = Network::new(NetworkParams::campus_10g());
+            n.set_disturbance(Disturbance {
+                delay_prob: 0.3,
+                mean_delay_secs: 1.0,
+                loss_prob: 0.2,
+            });
+            n
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let mut ra = SimRng::seeded(11);
+        let mut rb = SimRng::seeded(11);
+        for _ in 0..50 {
+            assert_eq!(a.transfer(4096, 3, &mut ra), b.transfer(4096, 3, &mut rb));
+        }
     }
 }

@@ -1,4 +1,4 @@
-//! Automatic resource labeling (§VI-B2, after Tovar et al. [21]).
+//! Automatic resource labeling (§VI-B2, after Tovar et al. \[21\]).
 //!
 //! Four strategies, matching the paper's evaluation matrix:
 //!
@@ -22,7 +22,7 @@
 //! i.e. successes occupy `a`, failures occupy `a` then retry at the
 //! *retry allocation* `A_retry` — a whole worker, whose per-axis capacity
 //! the scheduler supplies. Minimizing this trades retry waste against
-//! packing density exactly as [21] describes.
+//! packing density exactly as \[21\] describes.
 
 use lfm_monitor::report::{ResourceKind, ResourceReport};
 use lfm_simcluster::metrics::Samples;
@@ -192,7 +192,7 @@ impl Allocator {
     /// monitor stopped it, so its peak on that axis is only a lower bound.
     /// Recording it verbatim makes the label creep up one kill at a time;
     /// instead the censored axis is inflated (doubled), the exponential
-    /// growth step of the retry policy in [21], so labels converge in
+    /// growth step of the retry policy in \[21\], so labels converge in
     /// O(log) kills rather than O(n).
     pub fn observe(&mut self, category: &str, report: &ResourceReport, completed: bool) {
         self.observe_outcome(category, report, completed, None)

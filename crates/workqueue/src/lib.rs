@@ -4,17 +4,20 @@
 //! workers by resource vector, stages explicit input/output files with
 //! worker-side caching, executes every task inside a (simulated) lightweight
 //! function monitor, and learns per-category resource labels with the
-//! automatic allocation algorithm of Tovar et al. [21].
+//! automatic allocation algorithm of Tovar et al. \[21\].
 //!
 //! * [`task`] — task specs (category, files, true usage profile) + results.
 //! * [`files`] — input/output files; environment packs are cacheable inputs.
 //! * [`worker`] — a node plus its file cache.
 //! * [`allocate`] — the four strategies: Oracle / Guess / Unmanaged / Auto.
+//! * [`faults`] — composable, seedable fault injection ([`faults::FaultPlan`])
+//!   and the master's resilience knobs ([`faults::ResilienceConfig`]).
 //! * [`sched`] — indexed incremental dispatch state (order keys, park
 //!   groups, capacity/file indexes) behind [`sched::SchedImpl`].
 //! * [`master`] — the discrete-event scheduler producing [`master::RunReport`]s.
 
 pub mod allocate;
+pub mod faults;
 pub mod files;
 pub mod master;
 #[cfg(test)]
@@ -25,9 +28,11 @@ pub mod worker;
 
 pub mod prelude {
     pub use crate::allocate::{AllocationDecision, Allocator, AutoConfig, Strategy};
+    pub use crate::faults::{FaultKind, FaultPlan, FaultSpec, ResilienceConfig};
     pub use crate::files::{FileKind, FileRef};
     pub use crate::master::{
-        run_workload, DistMode, FailureModel, MasterConfig, Provisioning, RunReport, SchedulePolicy,
+        run_workload, DistMode, FailureModel, MasterConfig, Provisioning, RunReport,
+        SchedulePolicy, StagingConfig,
     };
     pub use crate::sched::SchedImpl;
     pub use crate::task::{TaskId, TaskResult, TaskSpec};

@@ -7,12 +7,14 @@
 //! killed for resource exhaustion at full-worker size, and produces a
 //! [`RunReport`] with the makespan/utilization numbers Figures 6–9 plot.
 
-use crate::allocate::{AllocationDecision, Allocator, Strategy};
+use crate::allocate::{AllocationDecision, Allocator, ObservationEffects, Strategy};
+use crate::faults::{backoff_delay, FaultPlan, FaultState, InfraFault, ResilienceConfig};
 use crate::files::FileKind;
 use crate::sched::{IndexedSched, ParkReason, Pending, SchedImpl, Src};
 use crate::task::{TaskId, TaskResult, TaskSpec};
 use crate::worker::Worker;
 use lfm_monitor::limits::ResourceLimits;
+use lfm_monitor::report::MonitorOutcome;
 use lfm_monitor::sim::{SimMonitor, SimTaskProfile};
 use lfm_simcluster::batch::{BatchParams, BatchSystem};
 use lfm_simcluster::event::EventQueue;
@@ -65,8 +67,12 @@ pub enum Provisioning {
     },
 }
 
-/// Worker reliability model. Opportunistic pools (HTCondor-style) evict
-/// pilots; the master reschedules lost tasks and submits replacements.
+/// Legacy worker reliability model. Deprecated shim: kept so existing
+/// `with_failures(FailureModel::…)` call sites compile unchanged, but new
+/// code should compose a [`FaultPlan`] — `FailureModel::reliable()` is
+/// `FaultPlan::reliable()` and `FailureModel::evicting(m)` is
+/// `FaultPlan::evicting(m)`, which also composes with every other fault
+/// source.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FailureModel {
     /// Mean pilot lifetime in seconds (exponential); `None` = reliable.
@@ -91,22 +97,66 @@ impl FailureModel {
     }
 }
 
-/// Master configuration.
-#[derive(Debug, Clone)]
-pub struct MasterConfig {
-    pub strategy: Strategy,
+impl From<FailureModel> for FaultPlan {
+    fn from(f: FailureModel) -> FaultPlan {
+        match f.mean_lifetime_secs {
+            None => FaultPlan::reliable(),
+            Some(mean) => {
+                let spec = crate::faults::FaultSpec::worker_churn(mean);
+                let spec = if f.replace {
+                    spec
+                } else {
+                    spec.without_replacement()
+                };
+                FaultPlan::reliable().with(spec)
+            }
+        }
+    }
+}
+
+/// How files, environments, and bytes reach workers: distribution mode,
+/// batch system, shared filesystem, network fabric, and worker-local I/O
+/// interference, grouped under one `Default`-able knob.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StagingConfig {
     pub dist_mode: DistMode,
-    pub monitor: SimMonitor,
-    /// Fractional slowdown per co-resident task (I/O interference on a
-    /// worker; HEP's IO-heavy tasks use a non-zero value).
-    pub io_interference: f64,
-    /// Kill-and-retry ceiling; a task failing this many times is abandoned.
-    pub max_attempts: u32,
     pub batch: BatchParams,
     pub fs: SharedFsParams,
     pub net: NetworkParams,
+    /// Fractional slowdown per co-resident task (I/O interference on a
+    /// worker; HEP's IO-heavy tasks use a non-zero value).
+    pub io_interference: f64,
+}
+
+impl Default for StagingConfig {
+    /// Packed distribution on a responsive campus cluster.
+    fn default() -> Self {
+        StagingConfig {
+            dist_mode: DistMode::PackedTransfer,
+            batch: BatchParams::instant(),
+            fs: SharedFsParams::campus_nfs(),
+            net: NetworkParams::campus_10g(),
+            io_interference: 0.0,
+        }
+    }
+}
+
+/// Master configuration. Grouped into three sub-configs — [`StagingConfig`]
+/// (how bytes move), [`FaultPlan`] (what breaks), [`ResilienceConfig`] (how
+/// the master recovers) — plus the allocation strategy, scheduler, and
+/// seed. The flat `with_*` setters forward into the groups, so existing
+/// call sites keep compiling.
+#[derive(Debug, Clone)]
+pub struct MasterConfig {
+    pub strategy: Strategy,
+    pub monitor: SimMonitor,
+    /// Distribution mode, batch system, shared FS, network, I/O model.
+    pub staging: StagingConfig,
+    /// Injected fault sources (empty = reliable cluster).
+    pub faults: FaultPlan,
+    /// Leases, backoff, quarantine, degradation, and retry ceilings.
+    pub resilience: ResilienceConfig,
     pub provisioning: Provisioning,
-    pub failures: FailureModel,
     pub policy: SchedulePolicy,
     /// Dispatch implementation: the indexed scheduler (default) or the
     /// reference rescan matcher it is placement-for-placement equal to.
@@ -121,19 +171,16 @@ pub struct MasterConfig {
 }
 
 impl MasterConfig {
-    /// A reasonable default: packed distribution on a responsive cluster.
+    /// A reasonable default: packed distribution on a responsive, reliable
+    /// cluster with the default resilience knobs.
     pub fn new(strategy: Strategy) -> Self {
         MasterConfig {
             strategy,
-            dist_mode: DistMode::PackedTransfer,
             monitor: SimMonitor::default(),
-            io_interference: 0.0,
-            max_attempts: 3,
-            batch: BatchParams::instant(),
-            fs: SharedFsParams::campus_nfs(),
-            net: NetworkParams::campus_10g(),
+            staging: StagingConfig::default(),
+            faults: FaultPlan::reliable(),
+            resilience: ResilienceConfig::default(),
             provisioning: Provisioning::Static,
-            failures: FailureModel::reliable(),
             policy: SchedulePolicy::Fifo,
             sched: SchedImpl::Indexed,
             seed: 0x1f2e3d4c,
@@ -156,28 +203,48 @@ impl MasterConfig {
         self
     }
 
+    /// Replace the whole staging group.
+    pub fn with_staging(mut self, staging: StagingConfig) -> Self {
+        self.staging = staging;
+        self
+    }
+
+    /// Install a fault plan (the composable successor of `with_failures`).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replace the resilience knobs.
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Deprecated shim: converts the legacy [`FailureModel`] into a
+    /// [`FaultPlan`]. Prefer [`MasterConfig::with_faults`].
     pub fn with_failures(mut self, f: FailureModel) -> Self {
-        self.failures = f;
+        self.faults = f.into();
         self
     }
 
     pub fn with_dist_mode(mut self, mode: DistMode) -> Self {
-        self.dist_mode = mode;
+        self.staging.dist_mode = mode;
         self
     }
 
     pub fn with_batch(mut self, batch: BatchParams) -> Self {
-        self.batch = batch;
+        self.staging.batch = batch;
         self
     }
 
     pub fn with_fs(mut self, fs: SharedFsParams) -> Self {
-        self.fs = fs;
+        self.staging.fs = fs;
         self
     }
 
     pub fn with_io_interference(mut self, f: f64) -> Self {
-        self.io_interference = f;
+        self.staging.io_interference = f;
         self
     }
 
@@ -231,12 +298,41 @@ pub struct RunReport {
     pub workers_lost: u32,
     /// In-flight task placements lost with their workers (rescheduled).
     pub tasks_lost: u64,
+    /// Tasks that consumed at least one infrastructure retry (staging
+    /// failure, lost result, lease reclaim, or spurious kill).
+    pub infra_retried_tasks: u64,
+    /// Placements reclaimed by lease expiry (zombies whose result message
+    /// was lost, and stragglers running past their lease).
+    pub lease_reclaims: u64,
+    /// Stage-in attempts that failed (lost transfers, injected staging
+    /// failures, disk-full unpacks).
+    pub stage_in_failures: u64,
+    /// Executions falsely killed by an injected monitor fault.
+    pub spurious_kills: u64,
+    /// Completed executions whose result message was lost in transit.
+    pub result_messages_lost: u64,
+    /// Quarantine entries over the run (a worker re-quarantined counts
+    /// again).
+    pub quarantines: u32,
+    /// Core-seconds held by attempts that produced no result: evictions,
+    /// lease reclaims, staging failures, and lost results. The complement
+    /// of `allocated_core_secs`, which integrates only attempts that
+    /// reported back.
+    pub lost_core_secs: f64,
+    /// Did packed-environment distribution degrade to the shared
+    /// filesystem mid-run?
+    pub degraded_to_shared_fs: bool,
     /// Every attempt's record.
     pub results: Vec<TaskResult>,
 }
 
 impl RunReport {
-    /// Fraction of tasks retried (the paper's "<1% of tasks were retried").
+    /// Fraction of tasks retried *for resource-limit kills* (the paper's
+    /// "<1% of tasks were retried"). Infrastructure retries — staging
+    /// failures, lost results, lease reclaims, spurious kills — are
+    /// deliberately excluded: the task did nothing wrong, so they count in
+    /// [`RunReport::infra_retry_fraction`] instead. The two sets are
+    /// tracked independently and one task can appear in both.
     pub fn retry_fraction(&self) -> f64 {
         if self.task_count == 0 {
             0.0
@@ -245,15 +341,34 @@ impl RunReport {
         }
     }
 
-    /// Allocated-core efficiency: used / allocated. Deliberately *not*
-    /// clamped to 1.0 — a ratio above one means tasks consumed more CPU
-    /// than their grants (see [`RunReport::overcommit_core_secs`]), and
-    /// hiding that behind a clamp masked the accounting bug surface.
-    pub fn core_efficiency(&self) -> f64 {
-        if self.allocated_core_secs <= 0.0 {
+    /// Fraction of tasks that consumed at least one infrastructure retry.
+    /// See [`RunReport::retry_fraction`] for the resource-kill counterpart
+    /// and the boundary between the two.
+    pub fn infra_retry_fraction(&self) -> f64 {
+        if self.task_count == 0 {
             0.0
         } else {
-            self.used_core_secs / self.allocated_core_secs
+            self.infra_retried_tasks as f64 / self.task_count as f64
+        }
+    }
+
+    /// Allocated-core efficiency. The single definition every report and
+    /// bench uses: `used / (allocated + lost)`, where *allocated*
+    /// integrates grants of attempts that reported back and *lost*
+    /// ([`RunReport::lost_core_secs`]) integrates grants held by attempts
+    /// that produced no result (evictions, lease reclaims, staging
+    /// failures, lost results) — wasted cores are efficiency losses, not
+    /// invisible. Fault-free runs have `lost = 0` and reduce to the
+    /// classic `used / allocated`. Deliberately *not* clamped to 1.0 — a
+    /// ratio above one means tasks consumed more CPU than their grants
+    /// (see [`RunReport::overcommit_core_secs`]), and hiding that behind a
+    /// clamp masked the accounting bug surface.
+    pub fn core_efficiency(&self) -> f64 {
+        let denom = self.allocated_core_secs + self.lost_core_secs;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.used_core_secs / denom
         }
     }
 
@@ -285,7 +400,16 @@ impl RunReport {
             .field_u64("net_bytes", self.net_bytes)
             .field_u64("workers_provisioned", self.workers_provisioned as u64)
             .field_u64("workers_lost", self.workers_lost as u64)
-            .field_u64("tasks_lost", self.tasks_lost);
+            .field_u64("tasks_lost", self.tasks_lost)
+            .field_u64("infra_retried_tasks", self.infra_retried_tasks)
+            .field_f64("infra_retry_fraction", self.infra_retry_fraction())
+            .field_u64("lease_reclaims", self.lease_reclaims)
+            .field_u64("stage_in_failures", self.stage_in_failures)
+            .field_u64("spurious_kills", self.spurious_kills)
+            .field_u64("result_messages_lost", self.result_messages_lost)
+            .field_u64("quarantines", self.quarantines as u64)
+            .field_f64("lost_core_secs", self.lost_core_secs)
+            .field_u64("degraded_to_shared_fs", self.degraded_to_shared_fs as u64);
         o.finish()
     }
 
@@ -345,9 +469,26 @@ impl RunReport {
 
 /// Simulation events.
 enum Event {
-    WorkerUp { id: u32 },
-    WorkerDown { id: u32 },
+    WorkerUp {
+        id: u32,
+    },
+    WorkerDown {
+        id: u32,
+    },
     TaskDone(Box<DoneInfo>),
+    /// A placement's lease ran out: reclaim it if still live.
+    LeaseExpired {
+        placement: u64,
+    },
+    /// A backed-off infrastructure requeue lands in the pending queue.
+    Requeue {
+        task_idx: usize,
+        attempt: u32,
+    },
+    /// A quarantined worker rejoins the pool.
+    QuarantineRelease {
+        id: u32,
+    },
 }
 
 struct DoneInfo {
@@ -360,7 +501,28 @@ struct DoneInfo {
     started_at: SimTime,
     stage_in_secs: f64,
     exec_secs: f64,
-    outcome: lfm_monitor::report::MonitorOutcome,
+    outcome: MonitorOutcome,
+    /// The attempt failed for infrastructure reasons before/around the
+    /// execution; `outcome` is a placeholder when this is a stage-in
+    /// fault.
+    infra: Option<InfraFault>,
+    /// An environment pack was transferred (cache-missed) during this
+    /// stage-in — feeds the packed-env degradation counter on failure.
+    env_transfer: bool,
+}
+
+/// A live placement, for loss recovery and lease reclamation.
+#[derive(Debug, Clone, Copy)]
+struct PlacementInfo {
+    worker: u32,
+    task_idx: usize,
+    attempt: u32,
+    allocated: Resources,
+    started_at: SimTime,
+    /// The task ran but its result message was lost: worker resources are
+    /// already freed, and the placement stays live (so a duplicate
+    /// completion can never slip in) until its lease reclaims it.
+    zombie: bool,
 }
 
 /// The active dispatch implementation's queue state (see `sched.rs`).
@@ -413,16 +575,36 @@ struct Master {
     /// up/place/finish/evict so elastic scaling never re-sums the pool.
     free_cores: u64,
     batch: BatchSystem,
-    rng: SimRng,
+    /// Compiled fault-injection state (streams + keyed draws).
+    faults: FaultState,
+    /// The network disturbance draw stream.
+    net_rng: SimRng,
     next_placement: u64,
-    /// placement id → (worker, task_idx, attempt) for loss recovery.
-    live_placements: BTreeMap<u64, (u32, usize, u32)>,
+    /// placement id → its live info, for loss recovery and leases.
+    live_placements: BTreeMap<u64, PlacementInfo>,
     /// worker → its live placement ids, so eviction is linear in the
     /// evicted worker's own placements.
     placements_by_worker: BTreeMap<u32, BTreeSet<u64>>,
     workers_provisioned: u32,
     workers_lost: u32,
     tasks_lost: u64,
+    /// Per-task infrastructure-failure counts, against the infra budget.
+    infra_fail_count: Vec<u32>,
+    /// Consecutive infra failures per category — the backoff streak,
+    /// reset on any success in the category.
+    cat_streak: Vec<u32>,
+    /// Packed-env distribution degraded to the shared FS for the rest of
+    /// the run.
+    degraded: bool,
+    /// Packed-env staging failures so far (degradation trigger).
+    env_failures: u32,
+    lease_reclaims: u64,
+    stage_in_failures: u64,
+    spurious_kills: u64,
+    result_msgs_lost: u64,
+    quarantines: u32,
+    lost_core_secs: f64,
+    infra_retried: std::collections::BTreeSet<usize>,
     results: Vec<TaskResult>,
     retried: std::collections::BTreeSet<usize>,
     abandoned: u64,
@@ -438,8 +620,13 @@ impl Master {
         assert!(worker_count > 0, "need at least one worker");
         assert!(!tasks.is_empty(), "empty workload");
         let allocator = Allocator::new(config.strategy.clone());
-        let fs = SharedFs::new(config.fs);
-        let net = Network::new(config.net);
+        let fs = SharedFs::new(config.staging.fs);
+        let faults = FaultState::new(&config.faults, config.seed);
+        let net_rng = SimRng::seeded(faults.net_seed);
+        let mut net = Network::new(config.staging.net);
+        if let Some(d) = faults.disturbance {
+            net.set_disturbance(d);
+        }
         // Build the dependency graph. Dependencies on ids not in this batch
         // are a workload bug.
         let ids: BTreeMap<TaskId, usize> =
@@ -455,8 +642,7 @@ impl Master {
             }
         }
         let mut seed_rng = SimRng::seeded(config.seed);
-        let batch = BatchSystem::new(config.batch, seed_rng.fork(1));
-        let rng = seed_rng.fork(2);
+        let batch = BatchSystem::new(config.staging.batch, seed_rng.fork(1));
         // Event volume is predictable from the workload: each task produces
         // a handful of lifecycle events and each worker a provision/poll
         // stream; pre-size the calendar to skip heap regrowth.
@@ -474,6 +660,7 @@ impl Master {
             })
             .collect();
         let running_by_cat = vec![0u32; cat_names.len()];
+        let cat_streak = vec![0u32; cat_names.len()];
         let sched = match config.sched {
             SchedImpl::Reference => SchedState::Reference(VecDeque::new()),
             SchedImpl::Indexed => SchedState::Indexed(IndexedSched::new(config.policy)),
@@ -486,13 +673,25 @@ impl Master {
             running_by_cat,
             free_cores: 0,
             batch,
-            rng,
+            faults,
+            net_rng,
             next_placement: 0,
             live_placements: BTreeMap::new(),
             placements_by_worker: BTreeMap::new(),
             workers_provisioned: 0,
             workers_lost: 0,
             tasks_lost: 0,
+            infra_fail_count: vec![0; tasks.len()],
+            cat_streak,
+            degraded: false,
+            env_failures: 0,
+            lease_reclaims: 0,
+            stage_in_failures: 0,
+            spurious_kills: 0,
+            result_msgs_lost: 0,
+            quarantines: 0,
+            lost_core_secs: 0.0,
+            infra_retried: std::collections::BTreeSet::new(),
             tasks,
             workers: BTreeMap::new(),
             sched,
@@ -540,7 +739,12 @@ impl Master {
             match event {
                 Event::WorkerUp { id } => {
                     self.config.telemetry.counter_at("event.worker_up", 1, now);
-                    self.workers.insert(id, Worker::new(id, self.spec));
+                    let mut worker = Worker::new(id, self.spec);
+                    // Per-worker fault properties are keyed by worker id,
+                    // not drawn from a shared stream, so they are identical
+                    // across scheduler implementations.
+                    worker.slowdown = self.faults.worker_slowdown(id);
+                    self.workers.insert(id, worker);
                     self.free_cores += self.spec.resources.cores as u64;
                     if let SchedState::Indexed(ix) = &mut self.sched {
                         ix.worker_added(id, self.spec.resources.cores);
@@ -549,9 +753,7 @@ impl Master {
                         ix.wake_all_nofit();
                     }
                     // Sample an eviction time for unreliable pools.
-                    if let Some(mean) = self.config.failures.mean_lifetime_secs {
-                        let u: f64 = self.rng.uniform(1e-9, 1.0);
-                        let lifetime = -mean * u.ln();
+                    if let Some(lifetime) = self.faults.worker_lifetime(id) {
                         self.queue.schedule_in(lifetime, Event::WorkerDown { id });
                     }
                     self.dispatch(now);
@@ -565,15 +767,40 @@ impl Master {
                 }
                 Event::TaskDone(info) => {
                     self.config.telemetry.counter_at("event.task_done", 1, now);
-                    // A placement lost with its worker already rescheduled;
-                    // drop the stale completion.
-                    if self.live_placements.remove(&info.placement).is_none() {
+                    // A placement lost with its worker (or reclaimed by its
+                    // lease) was already rescheduled; drop the stale
+                    // completion.
+                    if !self.live_placements.contains_key(&info.placement) {
                         continue;
                     }
-                    if let Some(set) = self.placements_by_worker.get_mut(&info.worker) {
-                        set.remove(&info.placement);
+                    if info.infra == Some(InfraFault::ResultLost) {
+                        // The task ran, but its completion message vanished:
+                        // free the worker and leave a zombie placement for
+                        // the lease to reclaim.
+                        self.result_lost(now, &info);
+                    } else {
+                        self.live_placements.remove(&info.placement);
+                        if let Some(set) = self.placements_by_worker.get_mut(&info.worker) {
+                            set.remove(&info.placement);
+                        }
+                        self.finish_task(now, *info);
                     }
-                    self.finish_task(now, *info);
+                    self.dispatch(now);
+                }
+                Event::LeaseExpired { placement } => {
+                    self.reclaim_lease(now, placement);
+                    self.dispatch(now);
+                }
+                Event::Requeue { task_idx, attempt } => {
+                    self.enqueue_front(Pending {
+                        task_idx,
+                        attempt,
+                        since: now,
+                    });
+                    self.dispatch(now);
+                }
+                Event::QuarantineRelease { id } => {
+                    self.release_quarantine(now, id);
                     self.dispatch(now);
                 }
             }
@@ -593,7 +820,7 @@ impl Master {
         });
         RunReport {
             strategy: self.config.strategy.name().to_string(),
-            dist_mode: self.config.dist_mode,
+            dist_mode: self.config.staging.dist_mode,
             makespan_secs: makespan,
             task_count: self.tasks.len(),
             retried_tasks: self.retried.len() as u64,
@@ -608,6 +835,14 @@ impl Master {
             workers_provisioned: self.workers_provisioned,
             workers_lost: self.workers_lost,
             tasks_lost: self.tasks_lost,
+            infra_retried_tasks: self.infra_retried.len() as u64,
+            lease_reclaims: self.lease_reclaims,
+            stage_in_failures: self.stage_in_failures,
+            spurious_kills: self.spurious_kills,
+            result_messages_lost: self.result_msgs_lost,
+            quarantines: self.quarantines,
+            lost_core_secs: self.lost_core_secs,
+            degraded_to_shared_fs: self.degraded,
             results: self.results,
         }
     }
@@ -652,8 +887,14 @@ impl Master {
             return;
         };
         self.workers_lost += 1;
-        self.free_cores -= worker.node.available().cores as u64;
+        // A quarantined worker's free cores were already withdrawn from the
+        // pool (and from the capacity index) when it was quarantined.
+        if !worker.quarantined {
+            self.free_cores -= worker.node.available().cores as u64;
+        }
         if let SchedState::Indexed(ix) = &mut self.sched {
+            // For quarantined workers the capacity entry is already gone;
+            // removal is a no-op there but still tears down the file index.
             ix.worker_removed(id, worker.node.available().cores, worker.cached_files());
         }
         // Only the evicted worker's own placements are touched — the index
@@ -662,14 +903,15 @@ impl Master {
         for placement in lost {
             #[cfg(test)]
             EVICT_SCANNED.with(|c| c.set(c.get() + 1));
-            let (wid, task_idx, attempt) = self
+            let p = self
                 .live_placements
                 .remove(&placement)
                 .expect("indexed placement is live");
-            debug_assert_eq!(wid, id);
+            debug_assert_eq!(p.worker, id);
             self.tasks_lost += 1;
             self.in_flight -= 1;
-            let cat = self.cat_of[task_idx];
+            self.lost_core_secs += p.allocated.cores as f64 * (now - p.started_at);
+            let cat = self.cat_of[p.task_idx];
             self.running_by_cat[cat as usize] -= 1;
             if let SchedState::Indexed(ix) = &mut self.sched {
                 // The category's running count fell: a slow-start verdict
@@ -681,17 +923,17 @@ impl Master {
                 .instant("task_lost", "master")
                 .at(now)
                 .track(id as u64)
-                .task(self.tasks[task_idx].id.0)
-                .attempt(attempt)
+                .task(self.tasks[p.task_idx].id.0)
+                .attempt(p.attempt)
                 .emit();
             self.enqueue_front(Pending {
-                task_idx,
-                attempt,
+                task_idx: p.task_idx,
+                attempt: p.attempt,
                 since: now,
             });
         }
         drop(worker);
-        if self.config.failures.replace {
+        if self.faults.replace_evicted() {
             self.submit_pilots(now, 1);
         }
     }
@@ -890,7 +1132,7 @@ impl Master {
         let task = &self.tasks[task_idx];
         let mut best: Option<(bool, u32, u32)> = None; // (cached, free_cores, id)
         for w in self.workers.values() {
-            if !w.node.can_fit(alloc) {
+            if w.quarantined || !w.node.can_fit(alloc) {
                 continue;
             }
             let cached = task
@@ -956,8 +1198,17 @@ impl Master {
         self.running_by_cat[self.cat_of[task_idx] as usize] += 1;
         let placement = self.next_placement;
         self.next_placement += 1;
-        self.live_placements
-            .insert(placement, (wid, task_idx, attempt));
+        self.live_placements.insert(
+            placement,
+            PlacementInfo {
+                worker: wid,
+                task_idx,
+                attempt,
+                allocated: alloc,
+                started_at: now,
+                zombie: false,
+            },
+        );
         self.placements_by_worker
             .entry(wid)
             .or_default()
@@ -966,13 +1217,19 @@ impl Master {
         // ---- stage-in ----
         // Cacheable files (environments, shared data) transfer once per
         // worker; tasks arriving while the transfer is in flight wait for it.
-        // Per-task data files always transfer.
+        // Per-task data files always transfer. All fault-stream draws below
+        // happen at placement-identical points, so both scheduler
+        // implementations consume identical fault sequences.
+        let direct_env = self.effective_dist_mode() == DistMode::SharedFsDirect;
         let mut cacheable_wait = 0.0f64;
         let mut data_bytes = 0u64;
         let mut direct_import = 0.0f64;
+        let mut infra: Option<InfraFault> = None;
+        let mut transferred = false;
+        let mut env_transfer = false;
         for f in &self.tasks[task_idx].inputs {
             let is_env = matches!(f.kind, FileKind::EnvironmentPack { .. });
-            if is_env && self.config.dist_mode == DistMode::SharedFsDirect {
+            if is_env && direct_env {
                 // Conventional deployment: every task imports the whole
                 // environment straight from the shared filesystem.
                 if let FileKind::EnvironmentPack {
@@ -1008,21 +1265,38 @@ impl Master {
                     self.config
                         .telemetry
                         .counter_at("worker.transfer_bytes", f.size_bytes, now);
-                    let cost = match &f.kind {
-                        FileKind::EnvironmentPack {
-                            unpacked_files,
-                            relocation_ops,
-                            unpacked_bytes,
-                        } => {
-                            self.net.transfer_cost(f.size_bytes, concurrent)
-                                + self.disk_model.unpack_cost(
-                                    *unpacked_bytes,
-                                    *unpacked_files,
-                                    *relocation_ops,
-                                )
+                    transferred = true;
+                    if is_env {
+                        env_transfer = true;
+                    }
+                    let tr = self
+                        .net
+                        .transfer(f.size_bytes, concurrent, &mut self.net_rng);
+                    if tr.lost {
+                        // The bytes never landed: the time is spent, the
+                        // attempt fails, nothing is marked staging.
+                        infra.get_or_insert(InfraFault::StageInFailed);
+                        cacheable_wait = cacheable_wait.max(tr.secs);
+                        continue;
+                    }
+                    let mut cost = tr.secs;
+                    if let FileKind::EnvironmentPack {
+                        unpacked_files,
+                        relocation_ops,
+                        unpacked_bytes,
+                    } = &f.kind
+                    {
+                        if self.faults.unpack_disk_full() {
+                            infra.get_or_insert(InfraFault::DiskFull);
+                            cacheable_wait = cacheable_wait.max(cost);
+                            continue;
                         }
-                        FileKind::Data => self.net.transfer_cost(f.size_bytes, concurrent),
-                    };
+                        cost += self.disk_model.unpack_cost(
+                            *unpacked_bytes,
+                            *unpacked_files,
+                            *relocation_ops,
+                        );
+                    }
                     worker.mark_staging(&f.name, now + cost);
                     cacheable_wait = cacheable_wait.max(cost);
                 }
@@ -1032,12 +1306,50 @@ impl Master {
         }
         let mut stage_in = cacheable_wait + direct_import;
         if data_bytes > 0 {
-            stage_in += self.net.transfer_cost(data_bytes, concurrent);
             self.config
                 .telemetry
                 .counter_at("worker.transfer_bytes", data_bytes, now);
+            transferred = true;
+            let tr = self.net.transfer(data_bytes, concurrent, &mut self.net_rng);
+            stage_in += tr.secs;
+            if tr.lost {
+                infra.get_or_insert(InfraFault::StageInFailed);
+            }
         }
+        // The injected staging-failure stream draws once per attempt that
+        // actually moved data.
+        if infra.is_none() && transferred && self.faults.stage_in_fails() {
+            infra = Some(InfraFault::StageInFailed);
+        }
+        let straggler = worker.slowdown;
         self.workers.insert(wid, worker);
+
+        if let Some(fault) = infra {
+            // Stage-in failed: the attempt ends when the wasted transfer
+            // time elapses, without ever executing. The `outcome` is a
+            // placeholder — infra completions never reach the allocator or
+            // the results log.
+            self.queue.schedule_in(
+                stage_in,
+                Event::TaskDone(Box::new(DoneInfo {
+                    worker: wid,
+                    placement,
+                    task_idx,
+                    attempt,
+                    allocated: alloc,
+                    started_at: now,
+                    stage_in_secs: stage_in,
+                    exec_secs: 0.0,
+                    outcome: MonitorOutcome::Failed {
+                        exit_code: -86,
+                        report: Default::default(),
+                    },
+                    infra: Some(fault),
+                    env_transfer,
+                })),
+            );
+            return;
+        }
 
         // ---- execution under the simulated LFM ----
         let limits = match decision {
@@ -1047,17 +1359,33 @@ impl Master {
                 .with_memory_mb(r.memory_mb)
                 .with_disk_mb(r.disk_mb),
         };
-        let slowdown = 1.0 + self.config.io_interference * co_resident as f64;
+        let io_slow = 1.0 + self.config.staging.io_interference * co_resident as f64;
+        let slowdown = io_slow * straggler;
         let profile = SimTaskProfile {
             duration_secs: self.tasks[task_idx].profile.duration_secs * slowdown,
             ..self.tasks[task_idx].profile
         };
-        let sim = self.config.monitor.run(&profile, &limits);
+        let mut sim = self.config.monitor.run(&profile, &limits);
+        if sim.outcome.is_success() {
+            if let Some(frac) = self.faults.spurious_kill() {
+                sim = self
+                    .config
+                    .monitor
+                    .killed_at(&profile, frac * sim.occupied_secs);
+            }
+        }
 
         // ---- stage-out ----
         let output_bytes = self.tasks[task_idx].output_bytes;
+        let mut infra_out: Option<InfraFault> = None;
         let stage_out = if output_bytes > 0 && sim.outcome.is_success() {
-            self.net.transfer_cost(output_bytes, concurrent)
+            let tr = self
+                .net
+                .transfer(output_bytes, concurrent, &mut self.net_rng);
+            if tr.lost {
+                infra_out = Some(InfraFault::ResultLost);
+            }
+            tr.secs
         } else {
             0.0
         };
@@ -1075,59 +1403,315 @@ impl Master {
                 stage_in_secs: stage_in,
                 exec_secs: sim.occupied_secs,
                 outcome: sim.outcome,
+                infra: infra_out,
+                env_transfer,
             })),
         );
+
+        // ---- lease ----
+        // Only armed under an active fault plan, so fault-free runs
+        // schedule no extra events. The lease is a multiple of the
+        // attempt's *nominal* time (actual stage-in + unslowed execution +
+        // nominal output transfer): stragglers running far past nominal
+        // and zombies whose completion never arrives both get reclaimed.
+        if self.faults.active() {
+            let nominal = stage_in
+                + self.tasks[task_idx].profile.duration_secs * io_slow
+                + output_bytes as f64 / self.net.params.per_link_bw;
+            let r = &self.config.resilience;
+            let lease = (r.lease_factor * nominal).max(r.min_lease_secs);
+            self.queue
+                .schedule_in(lease, Event::LeaseExpired { placement });
+        }
+    }
+
+    /// What distribution mode is in force right now — the configured one,
+    /// unless repeated packed-env staging failures degraded the run to the
+    /// shared filesystem.
+    fn effective_dist_mode(&self) -> DistMode {
+        if self.degraded {
+            DistMode::SharedFsDirect
+        } else {
+            self.config.staging.dist_mode
+        }
+    }
+
+    /// Release a finished/reclaimed placement's resources and wake parked
+    /// work. Mirrors the allocation bookkeeping in `place()`; quarantined
+    /// workers keep their capacity withdrawn from the pool and the index.
+    fn free_placement(&mut self, wid: u32, task_idx: usize, allocated: Resources) {
+        let cat = self.cat_of[task_idx];
+        let worker = self.workers.get_mut(&wid).expect("worker exists");
+        let old_free = worker.node.available().cores;
+        worker.node.free(allocated);
+        let avail = worker.node.available();
+        let quarantined = worker.quarantined;
+        worker.running -= 1;
+        if !quarantined {
+            self.free_cores += allocated.cores as u64;
+        }
+        self.in_flight -= 1;
+        self.running_by_cat[cat as usize] -= 1;
+        if let SchedState::Indexed(ix) = &mut self.sched {
+            if !quarantined {
+                ix.update_free(wid, old_free, avail.cores);
+            }
+            // The category's running count fell: a slow-start verdict for
+            // its parked first attempts is stale.
+            ix.wake_category(cat, false);
+            if !quarantined {
+                // Freed capacity can unblock any group whose allocation now
+                // fits this worker.
+                ix.wake_fitting(&avail);
+            }
+        }
+    }
+
+    /// Cacheable inputs staged during a completed execution are now local.
+    /// In (effective) direct mode environments are never materialized
+    /// locally, but ordinary shared data still caches.
+    fn cache_staged_inputs(&mut self, wid: u32, task_idx: usize) {
+        let packed = self.effective_dist_mode() == DistMode::PackedTransfer;
+        let worker = self.workers.get_mut(&wid).expect("worker exists");
+        for f in &self.tasks[task_idx].inputs {
+            let is_env = matches!(f.kind, FileKind::EnvironmentPack { .. });
+            if (!is_env || packed) && worker.insert_cached(f) {
+                if let SchedState::Indexed(ix) = &mut self.sched {
+                    ix.file_cached(&f.name, wid);
+                }
+            }
+        }
+    }
+
+    /// The task ran to completion on its worker, but the result message was
+    /// lost. Free the worker (the work is done there, and its staged inputs
+    /// are cached), but keep the placement live as a zombie: its lease will
+    /// reclaim and requeue it, and no duplicate completion can slip in.
+    fn result_lost(&mut self, now: SimTime, info: &DoneInfo) {
+        if let Some(set) = self.placements_by_worker.get_mut(&info.worker) {
+            set.remove(&info.placement);
+        }
+        if let Some(p) = self.live_placements.get_mut(&info.placement) {
+            p.zombie = true;
+        }
+        self.free_placement(info.worker, info.task_idx, info.allocated);
+        self.cache_staged_inputs(info.worker, info.task_idx);
+        self.result_msgs_lost += 1;
+        self.lost_core_secs += info.allocated.cores as f64 * (now - info.started_at);
+        self.config
+            .telemetry
+            .instant("result_lost", "faults")
+            .at(now)
+            .track(info.worker as u64)
+            .task(self.tasks[info.task_idx].id.0)
+            .attempt(info.attempt)
+            .emit();
+        self.note_worker_fault(now, info.worker);
+    }
+
+    /// A placement's lease expired. If it is still live, the attempt is
+    /// written off: a zombie (result lost — resources already freed) or a
+    /// straggler still running (whose eventual completion will be dropped
+    /// as stale). Either way the task is requeued with backoff.
+    fn reclaim_lease(&mut self, now: SimTime, placement: u64) {
+        let Some(p) = self.live_placements.get(&placement).copied() else {
+            return; // completed (or was lost with its worker) long ago
+        };
+        self.live_placements.remove(&placement);
+        self.lease_reclaims += 1;
+        if !p.zombie {
+            if let Some(set) = self.placements_by_worker.get_mut(&p.worker) {
+                set.remove(&placement);
+            }
+            self.free_placement(p.worker, p.task_idx, p.allocated);
+            self.lost_core_secs += p.allocated.cores as f64 * (now - p.started_at);
+        }
+        self.config
+            .telemetry
+            .instant("lease_reclaim", "faults")
+            .at(now)
+            .track(p.worker as u64)
+            .task(self.tasks[p.task_idx].id.0)
+            .attempt(p.attempt)
+            .attr("zombie", if p.zombie { 1u64 } else { 0u64 })
+            .emit();
+        self.note_worker_fault(now, p.worker);
+        self.requeue_with_backoff(now, p.task_idx, p.attempt);
+    }
+
+    /// Attribute an infrastructure failure to a worker; past the threshold
+    /// the worker is quarantined — withdrawn from scheduling (its running
+    /// tasks drain normally) until its release event.
+    fn note_worker_fault(&mut self, now: SimTime, wid: u32) {
+        let Some(threshold) = self.config.resilience.quarantine_threshold else {
+            return;
+        };
+        let Some(worker) = self.workers.get_mut(&wid) else {
+            return; // already evicted
+        };
+        worker.infra_failures += 1;
+        if worker.infra_failures >= threshold && !worker.quarantined {
+            worker.quarantined = true;
+            let avail = worker.node.available();
+            self.quarantines += 1;
+            self.free_cores -= avail.cores as u64;
+            if let SchedState::Indexed(ix) = &mut self.sched {
+                ix.worker_offline(wid, avail.cores);
+            }
+            self.config
+                .telemetry
+                .instant("quarantine", "faults")
+                .at(now)
+                .track(wid as u64)
+                .emit();
+            self.queue.schedule_in(
+                self.config.resilience.quarantine_secs,
+                Event::QuarantineRelease { id: wid },
+            );
+        }
+    }
+
+    /// A quarantined worker sits out its penalty and rejoins the pool with
+    /// a clean flakiness score (and its file cache intact).
+    fn release_quarantine(&mut self, now: SimTime, id: u32) {
+        let Some(worker) = self.workers.get_mut(&id) else {
+            return; // evicted while quarantined
+        };
+        if !worker.quarantined {
+            return;
+        }
+        worker.quarantined = false;
+        worker.infra_failures = 0;
+        let avail = worker.node.available();
+        self.free_cores += avail.cores as u64;
+        if let SchedState::Indexed(ix) = &mut self.sched {
+            ix.worker_online(id, avail.cores);
+            ix.wake_fitting(&avail);
+        }
+        self.config
+            .telemetry
+            .instant("quarantine_release", "faults")
+            .at(now)
+            .track(id as u64)
+            .emit();
+    }
+
+    /// Requeue a task after an infrastructure failure: same attempt number
+    /// (the task did nothing wrong), bounded by the infra retry budget,
+    /// delayed by the category's exponential-backoff streak.
+    fn requeue_with_backoff(&mut self, now: SimTime, task_idx: usize, attempt: u32) {
+        self.infra_retried.insert(task_idx);
+        self.infra_fail_count[task_idx] += 1;
+        if self.infra_fail_count[task_idx] > self.config.resilience.infra_retry_budget {
+            self.abandoned += 1;
+            self.completed += 1;
+            self.config.telemetry.counter_at("master.abandoned", 1, now);
+            self.cancel_dependents(task_idx);
+            return;
+        }
+        let cat = self.cat_of[task_idx] as usize;
+        self.cat_streak[cat] += 1;
+        let delay = backoff_delay(self.cat_streak[cat], &self.config.resilience);
+        self.config
+            .telemetry
+            .instant("infra_requeue", "faults")
+            .at(now)
+            .task(self.tasks[task_idx].id.0)
+            .attempt(attempt)
+            .attr("backoff_s", delay)
+            .emit();
+        if delay <= 0.0 {
+            self.enqueue_front(Pending {
+                task_idx,
+                attempt,
+                since: now,
+            });
+        } else {
+            self.queue
+                .schedule_in(delay, Event::Requeue { task_idx, attempt });
+        }
+    }
+
+    /// A stage-in attempt failed (lost transfer, injected failure, or
+    /// disk-full unpack): nothing landed, nothing executed. Forget the
+    /// in-flight staging marks, account the wasted core-time, advance the
+    /// degradation counter, and requeue.
+    fn infra_finish(&mut self, now: SimTime, info: DoneInfo) {
+        let fault = info.infra.expect("infra completion");
+        let worker = self.workers.get_mut(&info.worker).expect("worker exists");
+        for f in &self.tasks[info.task_idx].inputs {
+            if f.cacheable {
+                worker.abort_staging(&f.name);
+            }
+        }
+        self.stage_in_failures += 1;
+        self.lost_core_secs += info.allocated.cores as f64 * info.stage_in_secs;
+        if info.env_transfer
+            && self.config.staging.dist_mode == DistMode::PackedTransfer
+            && !self.degraded
+        {
+            self.env_failures += 1;
+            if let Some(th) = self.config.resilience.degrade_env_failures {
+                if self.env_failures >= th {
+                    self.degraded = true;
+                    self.config
+                        .telemetry
+                        .instant("degrade_to_shared_fs", "faults")
+                        .at(now)
+                        .emit();
+                }
+            }
+        }
+        self.config
+            .telemetry
+            .instant(fault.label(), "faults")
+            .at(now)
+            .track(info.worker as u64)
+            .task(self.tasks[info.task_idx].id.0)
+            .attempt(info.attempt)
+            .emit();
+        self.note_worker_fault(now, info.worker);
+        self.requeue_with_backoff(now, info.task_idx, info.attempt);
     }
 
     fn finish_task(&mut self, now: SimTime, info: DoneInfo) {
         let cat = self.cat_of[info.task_idx];
+        self.free_placement(info.worker, info.task_idx, info.allocated);
+        if info.infra.is_some() {
+            self.infra_finish(now, info);
+            return;
+        }
+        self.cache_staged_inputs(info.worker, info.task_idx);
         let worker = self.workers.get_mut(&info.worker).expect("worker exists");
-        let old_free = worker.node.available().cores;
-        worker.node.free(info.allocated);
-        let avail = worker.node.available();
-        if let SchedState::Indexed(ix) = &mut self.sched {
-            ix.update_free(info.worker, old_free, avail.cores);
-        }
-        self.free_cores += info.allocated.cores as u64;
-        worker.running -= 1;
-        self.in_flight -= 1;
-        self.running_by_cat[cat as usize] -= 1;
-        // Cacheable inputs staged during this task are now local. In direct
-        // mode environments are never materialized locally, but ordinary
-        // shared data still caches.
-        for f in &self.tasks[info.task_idx].inputs {
-            let is_env = matches!(f.kind, FileKind::EnvironmentPack { .. });
-            if (!is_env || self.config.dist_mode == DistMode::PackedTransfer)
-                && worker.insert_cached(f)
-            {
-                if let SchedState::Indexed(ix) = &mut self.sched {
-                    ix.file_cached(&f.name, info.worker);
-                }
-            }
-        }
         let completed = info.outcome.is_success();
         if completed {
             worker.tasks_completed += 1;
         }
+        let spurious = info.outcome.is_spurious_kill();
         let violated = match &info.outcome {
-            lfm_monitor::report::MonitorOutcome::LimitExceeded { kind, .. } => Some(*kind),
+            MonitorOutcome::LimitExceeded { kind, .. } => Some(*kind),
             _ => None,
         };
-        let effects = self.allocator.observe_outcome_notify(
-            &self.cat_names[cat as usize],
-            info.outcome.report(),
-            completed,
-            violated,
-            &self.spec.resources,
-        );
-        if let SchedState::Indexed(ix) = &mut self.sched {
-            // The category's running count fell and its sample set may have
-            // changed: re-examine its slow-start parks (and, on a label
-            // change, its NoFit parks — their stored vector is stale).
-            ix.wake_category(cat, effects.label_changed);
-            // Freed capacity can unblock any group whose allocation now
-            // fits this worker.
-            ix.wake_fitting(&avail);
+        // Spurious kills are infrastructure noise: the allocator never
+        // sees them, so injected monitor faults cannot corrupt learned
+        // labels.
+        let effects = if spurious {
+            ObservationEffects::default()
+        } else {
+            self.allocator.observe_outcome_notify(
+                &self.cat_names[cat as usize],
+                info.outcome.report(),
+                completed,
+                violated,
+                &self.spec.resources,
+            )
+        };
+        if effects.label_changed {
+            if let SchedState::Indexed(ix) = &mut self.sched {
+                // On a label change the category's NoFit parks hold a stale
+                // allocation vector: wake them for re-examination.
+                ix.wake_category(cat, true);
+            }
         }
         let task = &self.tasks[info.task_idx];
 
@@ -1150,9 +1734,10 @@ impl Master {
             }
             let report = info.outcome.report();
             let status = match &info.outcome {
-                lfm_monitor::report::MonitorOutcome::Completed(_) => "completed",
-                lfm_monitor::report::MonitorOutcome::LimitExceeded { .. } => "limit_exceeded",
-                lfm_monitor::report::MonitorOutcome::Failed { .. } => "failed",
+                MonitorOutcome::Completed(_) => "completed",
+                MonitorOutcome::LimitExceeded { .. } => "limit_exceeded",
+                MonitorOutcome::SpuriousKill { .. } => "spurious_kill",
+                MonitorOutcome::Failed { .. } => "failed",
             };
             tel.span("exec", "lfm")
                 .at(stage_in_end, exec_end)
@@ -1207,9 +1792,24 @@ impl Master {
             attempt: info.attempt,
         });
 
-        if info.outcome.is_limit_exceeded() {
+        if spurious {
+            // An injected monitor fault killed a healthy execution: retry
+            // the *same* attempt against the infra budget, never the
+            // resource-retry ceiling.
+            self.spurious_kills += 1;
+            self.config
+                .telemetry
+                .instant("spurious_kill", "faults")
+                .at(now)
+                .track(info.worker as u64)
+                .task(task.id.0)
+                .attempt(info.attempt)
+                .emit();
+            self.note_worker_fault(now, info.worker);
+            self.requeue_with_backoff(now, info.task_idx, info.attempt);
+        } else if info.outcome.is_limit_exceeded() {
             self.retried.insert(info.task_idx);
-            if info.attempt + 1 < self.config.max_attempts {
+            if info.attempt + 1 < self.config.resilience.max_attempts {
                 self.config.telemetry.counter_at("master.retry", 1, now);
                 self.config
                     .telemetry
@@ -1236,6 +1836,8 @@ impl Master {
             self.completed += 1;
             self.config.telemetry.counter_at("master.task_done", 1, now);
             if info.outcome.is_success() {
+                // A success ends the category's infra-failure streak.
+                self.cat_streak[cat as usize] = 0;
                 // All tasks submit at t=0, so turnaround is just `now`.
                 self.config.telemetry.observe("turnaround_s", now.as_secs());
                 self.release_dependents(now, info.task_idx);
@@ -1630,7 +2232,7 @@ mod tests {
     #[test]
     fn failures_cost_makespan() {
         let reliable = run_workload(
-            &MasterConfig::new(oracle()).with_seed(9),
+            &MasterConfig::new(oracle()).with_seed(5),
             hep_tasks(48),
             4,
             node(),
@@ -1638,12 +2240,15 @@ mod tests {
         let flaky = run_workload(
             &MasterConfig::new(oracle())
                 .with_failures(FailureModel::evicting(100.0))
-                .with_seed(9),
+                .with_seed(5),
             hep_tasks(48),
             4,
             node(),
         );
         assert!(flaky.makespan_secs > reliable.makespan_secs);
+        // Lost placements surface in the efficiency denominator now.
+        assert!(flaky.lost_core_secs > 0.0);
+        assert!(flaky.core_efficiency() < reliable.core_efficiency());
     }
 
     #[test]
@@ -1764,6 +2369,141 @@ mod tests {
             scanned, report.tasks_lost,
             "evict_worker examined placements on other workers"
         );
+    }
+
+    /// Distinct successful task ids; asserts no task completed twice.
+    fn distinct_successes(report: &RunReport) -> usize {
+        let mut ids: Vec<_> = report
+            .results
+            .iter()
+            .filter(|r| r.outcome.is_success())
+            .map(|r| r.task)
+            .collect();
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "a task completed more than once");
+        ids.len()
+    }
+
+    #[test]
+    fn lost_results_are_reclaimed_by_leases() {
+        use crate::faults::FaultSpec;
+        let cfg = MasterConfig::new(oracle())
+            .with_faults(FaultPlan::reliable().with(FaultSpec::message_loss(0.15)))
+            .with_seed(11);
+        let report = run_workload(&cfg, hep_tasks(30), 3, node());
+        assert!(
+            report.result_messages_lost > 0 || report.stage_in_failures > 0,
+            "loss at p=0.15 must hit something"
+        );
+        assert_eq!(report.abandoned_tasks, 0);
+        assert_eq!(distinct_successes(&report), 30);
+        if report.result_messages_lost > 0 {
+            // Every zombie placement must have been reclaimed by its lease.
+            assert!(report.lease_reclaims > 0, "zombies never reclaimed");
+            assert!(report.lost_core_secs > 0.0);
+        }
+        // Infra recovery is not a resource retry.
+        assert_eq!(report.retried_tasks, 0);
+        assert!(report.infra_retried_tasks > 0);
+    }
+
+    #[test]
+    fn spurious_kills_retry_on_the_infra_path() {
+        use crate::faults::FaultSpec;
+        let cfg = MasterConfig::new(oracle())
+            .with_faults(FaultPlan::reliable().with(FaultSpec::spurious_kill(0.3)))
+            .with_seed(2);
+        let report = run_workload(&cfg, hep_tasks(40), 4, node());
+        assert!(report.spurious_kills > 0, "p=0.3 over 40 tasks must fire");
+        // Spurious kills are infrastructure noise: no resource retries, no
+        // abandoned tasks, and every task still succeeds exactly once.
+        assert_eq!(report.retried_tasks, 0);
+        assert_eq!(report.abandoned_tasks, 0);
+        assert_eq!(distinct_successes(&report), 40);
+        // The killed attempts are in the log, distinguishable from real
+        // limit kills.
+        let spurious_logged = report
+            .results
+            .iter()
+            .filter(|r| r.outcome.is_spurious_kill())
+            .count() as u64;
+        assert_eq!(spurious_logged, report.spurious_kills);
+        assert!(!report.results.iter().any(|r| r.outcome.is_limit_exceeded()));
+    }
+
+    #[test]
+    fn repeated_env_failures_degrade_to_shared_fs() {
+        use crate::faults::FaultSpec;
+        let cfg = MasterConfig::new(oracle())
+            .with_faults(FaultPlan::reliable().with(FaultSpec::unpack_disk_full(1.0)))
+            .with_seed(7);
+        let report = run_workload(&cfg, hep_tasks(20), 2, node());
+        // Packed-env staging can never succeed; the master must fall back
+        // to shared-FS imports and still finish everything.
+        assert!(report.degraded_to_shared_fs, "never degraded");
+        assert_eq!(report.abandoned_tasks, 0);
+        assert_eq!(distinct_successes(&report), 20);
+        assert!(
+            report.stage_in_failures >= 6,
+            "{}",
+            report.stage_in_failures
+        );
+        // The configured mode is still reported; degradation is its own
+        // flag.
+        assert_eq!(report.dist_mode, DistMode::PackedTransfer);
+    }
+
+    #[test]
+    fn flaky_staging_triggers_quarantine_and_backoff() {
+        use crate::faults::FaultSpec;
+        let cfg = MasterConfig::new(oracle())
+            .with_faults(FaultPlan::reliable().with(FaultSpec::stage_in_failure(0.4)))
+            .with_seed(3);
+        let report = run_workload(&cfg, hep_tasks(40), 4, node());
+        assert!(report.stage_in_failures > 0);
+        assert!(report.quarantines > 0, "threshold 3 at p=0.4 must trip");
+        assert_eq!(report.abandoned_tasks, 0);
+        assert_eq!(distinct_successes(&report), 40);
+        assert!(report.lost_core_secs > 0.0);
+    }
+
+    #[test]
+    fn straggler_placements_are_reclaimed_and_rerun() {
+        use crate::faults::FaultSpec;
+        // Half the workers run 6-10x slow; the lease (4x nominal) reclaims
+        // their placements and the retries land on healthy workers.
+        let cfg = MasterConfig::new(oracle())
+            .with_faults(FaultPlan::reliable().with(FaultSpec::straggler(0.5, 6.0, 10.0)))
+            .with_seed(4);
+        let report = run_workload(&cfg, hep_tasks(24), 4, node());
+        assert!(report.lease_reclaims > 0, "stragglers never reclaimed");
+        assert_eq!(report.abandoned_tasks, 0);
+        assert_eq!(distinct_successes(&report), 24);
+    }
+
+    #[test]
+    fn grouped_config_and_failure_model_shims() {
+        // The legacy FailureModel converts into the equivalent FaultPlan.
+        assert!(!FaultPlan::from(FailureModel::reliable()).is_active());
+        let plan = FaultPlan::from(FailureModel::evicting(250.0));
+        assert!(plan.is_active());
+        assert_eq!(plan.specs().len(), 1);
+        // Grouped setters write through to the nested configs.
+        let cfg = MasterConfig::new(oracle())
+            .with_dist_mode(DistMode::SharedFsDirect)
+            .with_io_interference(0.2)
+            .with_resilience(ResilienceConfig::naive_retry())
+            .with_staging(StagingConfig {
+                io_interference: 0.1,
+                ..StagingConfig::default()
+            });
+        // with_staging replaced the whole group, including the earlier
+        // io_interference and dist_mode writes.
+        assert_eq!(cfg.staging.dist_mode, DistMode::PackedTransfer);
+        assert_eq!(cfg.staging.io_interference, 0.1);
+        assert!(cfg.resilience.quarantine_threshold.is_none());
     }
 
     #[test]

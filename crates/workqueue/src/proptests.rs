@@ -3,6 +3,7 @@
 #![cfg(test)]
 
 use crate::allocate::{AllocationDecision, Allocator, AutoConfig, Strategy};
+use crate::faults::{FaultPlan, FaultSpec};
 use crate::files::FileRef;
 use crate::master::{run_workload, FailureModel, MasterConfig, SchedulePolicy};
 use crate::sched::SchedImpl;
@@ -207,6 +208,135 @@ proptest! {
             spec,
         );
         prop_assert_eq!(reference, indexed);
+    }
+
+    /// Chaos: under arbitrary fault plans (churn + stragglers + network
+    /// delay/loss + staging failures + disk-full + spurious kills), on both
+    /// scheduler implementations:
+    ///   1. the Reference and Indexed schedulers stay bitwise equivalent;
+    ///   2. no task is lost and none completes twice — every task either
+    ///      succeeds exactly once or is counted abandoned;
+    ///   3. the RunReport's totals are conserved and fault counters match
+    ///      the per-attempt log.
+    #[test]
+    fn chaos_plans_conserve_tasks_and_keep_scheds_equivalent(
+        shapes in prop::collection::vec(
+            (5.0f64..45.0, 1u32..3, 64u64..4096, 64u64..2048),
+            1..22
+        ),
+        workers in 1u32..5,
+        // Bit i of `mask` enables fault spec i (the vendored proptest
+        // subset has no `prop::option`, so optionality is a bitmask).
+        mask in 0u8..128,
+        churn_mean in 100.0f64..400.0,
+        straggle in (0.05f64..0.5, 1.5f64..4.0),
+        delay in (0.05f64..0.3, 0.2f64..5.0),
+        probs in (0.02f64..0.25, 0.02f64..0.3, 0.05f64..0.5, 0.05f64..0.3),
+        seed in 0u64..1000,
+    ) {
+        let (loss, stage_fail, disk_full, spurious) = probs;
+        let churn = (mask & 1 != 0).then_some(churn_mean);
+        let straggle = (mask & 2 != 0).then_some(straggle);
+        let delay = (mask & 4 != 0).then_some(delay);
+        let loss = (mask & 8 != 0).then_some(loss);
+        let stage_fail = (mask & 16 != 0).then_some(stage_fail);
+        let disk_full = (mask & 32 != 0).then_some(disk_full);
+        let spurious = (mask & 64 != 0).then_some(spurious);
+        let env = FileRef::environment("env", 16 << 20, 64 << 20, 500, 50);
+        let tasks: Vec<TaskSpec> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(dur, cores, mem, disk))| {
+                TaskSpec::new(
+                    TaskId(i as u64),
+                    format!("cat{}", i % 2),
+                    vec![env.clone(), FileRef::data(format!("in-{i}"), 256 << 10)],
+                    1024,
+                    SimTaskProfile::new(dur, cores as f64, mem, disk),
+                )
+            })
+            .collect();
+        let mut plan = FaultPlan::reliable();
+        if let Some(mean) = churn {
+            plan = plan.with(FaultSpec::worker_churn(mean));
+        }
+        if let Some((p, f)) = straggle {
+            plan = plan.with(FaultSpec::straggler(p, f, f + 1.0));
+        }
+        if let Some((p, d)) = delay {
+            plan = plan.with(FaultSpec::message_delay(p, d));
+        }
+        if let Some(p) = loss {
+            plan = plan.with(FaultSpec::message_loss(p));
+        }
+        if let Some(p) = stage_fail {
+            plan = plan.with(FaultSpec::stage_in_failure(p));
+        }
+        if let Some(p) = disk_full {
+            plan = plan.with(FaultSpec::unpack_disk_full(p));
+        }
+        if let Some(p) = spurious {
+            plan = plan.with(FaultSpec::spurious_kill(p));
+        }
+        let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default()))
+            .with_faults(plan)
+            .with_seed(seed);
+        let spec = NodeSpec::new(8, 8192, 16384);
+        let reference = run_workload(
+            &cfg.clone().with_sched(SchedImpl::Reference),
+            tasks.clone(),
+            workers,
+            spec,
+        );
+        let indexed = run_workload(
+            &cfg.clone().with_sched(SchedImpl::Indexed),
+            tasks.clone(),
+            workers,
+            spec,
+        );
+        // (1) bitwise-equivalent schedulers, fault counters included.
+        prop_assert_eq!(&reference, &indexed);
+        let report = reference;
+        // (2) conservation: every task succeeds exactly once or is
+        // abandoned; nothing is lost, nothing double-completes.
+        let mut ok_ids: Vec<TaskId> = report
+            .results
+            .iter()
+            .filter(|r| r.outcome.is_success())
+            .map(|r| r.task)
+            .collect();
+        let successes = ok_ids.len();
+        ok_ids.sort();
+        ok_ids.dedup();
+        prop_assert_eq!(ok_ids.len(), successes, "a task completed twice");
+        prop_assert_eq!(
+            successes as u64 + report.abandoned_tasks,
+            tasks.len() as u64,
+            "tasks lost: {} ok + {} abandoned != {}",
+            successes,
+            report.abandoned_tasks,
+            tasks.len()
+        );
+        // (3) totals conserved: fault counters match the attempt log, and
+        // the accounting integrals are sane.
+        let spurious_logged = report
+            .results
+            .iter()
+            .filter(|r| r.outcome.is_spurious_kill())
+            .count() as u64;
+        prop_assert_eq!(spurious_logged, report.spurious_kills);
+        prop_assert!(report.lost_core_secs >= 0.0);
+        prop_assert!(report.allocated_core_secs >= 0.0);
+        prop_assert!(report.core_efficiency().is_finite());
+        if !cfg.faults.is_active() {
+            prop_assert_eq!(report.lease_reclaims, 0);
+            prop_assert_eq!(report.stage_in_failures, 0);
+        }
+        // Spurious kills and infra failures never corrupt the resource
+        // retry ledger: a resource retry needs a real limit kill.
+        if report.retried_tasks > 0 {
+            prop_assert!(report.results.iter().any(|r| r.outcome.is_limit_exceeded()));
+        }
     }
 
     /// Determinism: identical config + workload ⇒ identical report.

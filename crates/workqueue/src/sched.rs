@@ -299,6 +299,18 @@ impl IndexedSched {
         }
     }
 
+    /// Take a worker out of the capacity index without tearing down its
+    /// file index (quarantine: the worker is alive, its cache intact, but
+    /// it must not receive placements).
+    pub fn worker_offline(&mut self, id: u32, free_cores: u32) {
+        self.cap_index.remove(&(free_cores, Reverse(id)));
+    }
+
+    /// Put a quarantined worker back into the capacity index on release.
+    pub fn worker_online(&mut self, id: u32, free_cores: u32) {
+        self.cap_index.insert((free_cores, Reverse(id)));
+    }
+
     pub fn update_free(&mut self, id: u32, old_free: u32, new_free: u32) {
         if old_free != new_free {
             self.cap_index.remove(&(old_free, Reverse(id)));
@@ -349,7 +361,7 @@ impl IndexedSched {
                     continue;
                 }
                 let w = &workers[&id];
-                if !w.node.can_fit(alloc) {
+                if w.quarantined || !w.node.can_fit(alloc) {
                     continue;
                 }
                 let free = w.node.available().cores;

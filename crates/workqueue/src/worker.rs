@@ -18,6 +18,16 @@ pub struct Worker {
     staging: BTreeMap<String, SimTime>,
     /// Tasks currently executing here.
     pub running: u32,
+    /// Injected execution slowdown factor (1.0 = healthy; a fault plan's
+    /// straggler spec can set it above 1).
+    pub slowdown: f64,
+    /// Quarantined workers are excluded from scheduling until released;
+    /// their in-flight tasks drain normally.
+    pub quarantined: bool,
+    /// Infrastructure failures attributed to this worker (staging failures,
+    /// lost results, lease reclaims, spurious kills) — the flakiness score
+    /// the quarantine threshold compares against. Reset on release.
+    pub infra_failures: u32,
     /// Lifetime counters.
     pub tasks_completed: u64,
     pub cache_hits: u64,
@@ -32,6 +42,9 @@ impl Worker {
             cache_bytes: 0,
             staging: BTreeMap::new(),
             running: 0,
+            slowdown: 1.0,
+            quarantined: false,
+            infra_failures: 0,
             tasks_completed: 0,
             cache_hits: 0,
             cache_misses: 0,
@@ -73,6 +86,14 @@ impl Worker {
     /// Record an in-flight transfer of `name`, landing at `ready`.
     pub fn mark_staging(&mut self, name: &str, ready: SimTime) {
         self.staging.insert(name.to_string(), ready);
+    }
+
+    /// A staging attempt failed: forget the in-flight transfer of `name`
+    /// (the bytes never landed) unless the file is already cached.
+    pub fn abort_staging(&mut self, name: &str) {
+        if !self.cache.contains(name) {
+            self.staging.remove(name);
+        }
     }
 
     /// Bytes of cached content.
@@ -170,6 +191,22 @@ mod tests {
         let binding = [&env, &data];
         let (bytes, files, reloc, unpacked) = w.env_stage_work(&binding);
         assert_eq!((bytes, files, reloc, unpacked), (100, 10, 3, 600));
+    }
+
+    #[test]
+    fn abort_staging_forgets_in_flight_transfers() {
+        use lfm_simcluster::time::SimTime;
+        let mut w = worker();
+        let env = FileRef::environment("env", 100, 600, 10, 1);
+        w.mark_staging("env", SimTime::ZERO + 5.0);
+        assert!(w.staging_ready("env").is_some());
+        w.abort_staging("env");
+        assert!(w.staging_ready("env").is_none());
+        // Cached files are immune to aborts.
+        w.insert_cached(&env);
+        w.mark_staging("env", SimTime::ZERO + 5.0);
+        w.abort_staging("env");
+        assert!(w.staging_ready("env").is_some());
     }
 
     #[test]

@@ -40,13 +40,36 @@ fn main() {
     print_run(&elastic);
 
     // --- 3. Evicting pool: mean pilot lifetime 5 minutes. ---
-    let flaky_cfg = hep::master_config(workload.oracle_strategy(), 3)
-        .with_failures(FailureModel::evicting(300.0));
+    let flaky_cfg =
+        hep::master_config(workload.oracle_strategy(), 3).with_faults(FaultPlan::evicting(300.0));
     let flaky = run_workload(&flaky_cfg, workload.tasks.clone(), 8, spec);
     println!("\nevicting pool (mean pilot lifetime 5 min, auto-replacement):");
     print_run(&flaky);
 
-    // --- 4. Utilization timeline of the elastic run. ---
+    // --- 4. Full chaos: layer stragglers, a lossy network, flaky staging
+    //        and spurious monitor kills on top of the churn, and let the
+    //        resilience machinery (leases, backoff, quarantine) absorb it.
+    let chaos_plan = FaultPlan::evicting(300.0)
+        .with(FaultSpec::straggler(0.2, 2.0, 6.0))
+        .with(FaultSpec::message_delay(0.1, 2.0))
+        .with(FaultSpec::message_loss(0.05))
+        .with(FaultSpec::stage_in_failure(0.1))
+        .with(FaultSpec::spurious_kill(0.05));
+    let chaos_cfg = hep::master_config(workload.oracle_strategy(), 3).with_faults(chaos_plan);
+    let chaos = run_workload(&chaos_cfg, workload.tasks.clone(), 8, spec);
+    println!("\nchaos pool (churn + stragglers + lossy net + flaky staging):");
+    print_run(&chaos);
+    println!(
+        "  infra retries {:>3}   lease reclaims {:>3}   quarantines {:>2}   \
+         spurious kills {:>2}   core efficiency {:>5.1}%",
+        chaos.infra_retried_tasks,
+        chaos.lease_reclaims,
+        chaos.quarantines,
+        chaos.spurious_kills,
+        chaos.core_efficiency() * 100.0
+    );
+
+    // --- 5. Utilization timeline of the elastic run. ---
     println!("\nelastic run, allocated cores over time (one row per minute):");
     for (t, running, cores) in elastic.utilization_timeline(60.0) {
         let bar = "#".repeat(cores as usize / 2);
@@ -54,10 +77,11 @@ fn main() {
     }
 
     println!(
-        "\nAll three runs completed every task: {} / {} / {} successes.",
+        "\nAll four runs completed every task: {} / {} / {} / {} successes.",
         successes(&baseline),
         successes(&elastic),
-        successes(&flaky)
+        successes(&flaky),
+        successes(&chaos)
     );
 }
 

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Chaos sweep: runs the HEP workload under increasing fault intensity with
+# the resilient master (leases + backoff + quarantine) and a naive-retry
+# baseline, and writes BENCH_faults.json at the repo root. Pass --quick for
+# a smaller smoke-mode workload.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p lfm-bench --bin bench_faults
+exec target/release/bench_faults --out BENCH_faults.json "$@"

@@ -17,8 +17,15 @@ cargo test -q --offline
 echo "==> scheduler seed-equivalence suite"
 cargo test -q --offline -p lfm-integration-tests --test sched_equivalence
 
+echo "==> chaos suite (fault injection + resilience invariants)"
+cargo test -q --offline -p lfm-workqueue chaos
+cargo test -q --offline -p lfm-integration-tests --test sched_equivalence fault_plan
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run --offline
+
+echo "==> cargo doc --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace --quiet
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings

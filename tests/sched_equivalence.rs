@@ -186,6 +186,60 @@ fn drug_workload_with_shared_fs_direct_matches() {
 }
 
 #[test]
+fn fault_plan_full_matrix() {
+    // Every fault kind, alone and layered, on both strategies: fault draws
+    // must happen at placement-identical points (or be keyed by entity id),
+    // so the indexed scheduler stays bit-identical under chaos.
+    let spec = NodeSpec::new(8, 8192, 16384);
+    let plans: [(&str, FaultPlan); 6] = [
+        (
+            "churn",
+            FaultPlan::reliable().with(FaultSpec::worker_churn(140.0)),
+        ),
+        (
+            "straggler",
+            FaultPlan::reliable().with(FaultSpec::straggler(0.3, 2.0, 5.0)),
+        ),
+        (
+            "lossy-net",
+            FaultPlan::reliable()
+                .with(FaultSpec::message_delay(0.2, 2.0))
+                .with(FaultSpec::message_loss(0.1)),
+        ),
+        (
+            "flaky-staging",
+            FaultPlan::reliable()
+                .with(FaultSpec::stage_in_failure(0.2))
+                .with(FaultSpec::unpack_disk_full(0.2)),
+        ),
+        (
+            "spurious-kill",
+            FaultPlan::reliable().with(FaultSpec::spurious_kill(0.2)),
+        ),
+        (
+            "everything",
+            FaultPlan::reliable()
+                .with(FaultSpec::worker_churn(200.0))
+                .with(FaultSpec::straggler(0.2, 1.5, 3.0))
+                .with(FaultSpec::message_delay(0.1, 1.0))
+                .with(FaultSpec::message_loss(0.05))
+                .with(FaultSpec::stage_in_failure(0.1))
+                .with(FaultSpec::unpack_disk_full(0.1))
+                .with(FaultSpec::spurious_kill(0.1)),
+        ),
+    ];
+    for (name, plan) in plans {
+        for strategy in [Strategy::Auto(AutoConfig::default()), mixed_oracle()] {
+            let cfg = MasterConfig::new(strategy)
+                .with_faults(plan.clone())
+                .with_seed(19);
+            let label = format!("faults/{name}");
+            assert_equivalent(&label, &cfg, &mixed_tasks(48), 4, spec);
+        }
+    }
+}
+
+#[test]
 fn unmanaged_whole_worker_matches() {
     // Whole-worker allocations park as NoFit until a worker fully drains —
     // the wake-on-fitting-capacity path under maximum contention.
