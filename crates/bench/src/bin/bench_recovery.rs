@@ -1,0 +1,203 @@
+//! Recovery sweep: goodput of a crashing master under three durability
+//! modes — no journal (every crash is a full restart), write-ahead journal
+//! only (recovery replays the whole record history), and journal with
+//! compacting snapshots (recovery replays only the tail since the last
+//! snapshot). Writes `BENCH_recovery.json`.
+//!
+//! At each crash intensity `k` the fault plan injects `k` master crashes at
+//! exponentially spaced event indices scaled to land inside the run. All
+//! modes run the identical plan and seed; only `DurabilityConfig` differs,
+//! so the deltas are purely the cost of lost state (full restart) vs replay
+//! length (journal-only) vs snapshot cadence.
+//!
+//! Invoked by `scripts/bench_recovery.sh`. Flags:
+//!
+//! * `--out <path>`   output JSON path (default `BENCH_recovery.json`)
+//! * `--quick`        smaller workload (smoke mode for CI)
+
+use lfm_core::prelude::*;
+use lfm_core::workloads::hep;
+use std::io::Write as _;
+
+struct Row {
+    crashes: u32,
+    full_restart: Outcome,
+    journal_only: Outcome,
+    snap_64: Outcome,
+    snap_256: Outcome,
+}
+
+struct Outcome {
+    makespan_secs: f64,
+    goodput_per_hour: f64,
+    successes: u64,
+    abandoned: u64,
+    master_crashes: u32,
+    recoveries: u32,
+    replayed_events: u64,
+    journal_bytes: u64,
+}
+
+fn crash_plan(crashes: u32, est_events: f64) -> FaultPlan {
+    if crashes == 0 {
+        return FaultPlan::reliable();
+    }
+    // Spread the crash points across the run: mean gap = span / (k + 1)
+    // keeps the k-th point inside the base run's event horizon with room
+    // to spare.
+    let mean = (est_events / (crashes as f64 + 1.0)).max(1.0);
+    FaultPlan::reliable().with(FaultSpec::master_crash(mean, crashes))
+}
+
+fn run(
+    tasks: &[TaskSpec],
+    spec: NodeSpec,
+    crashes: u32,
+    est_events: f64,
+    durability: DurabilityConfig,
+) -> Outcome {
+    let cfg = hep::master_config(Strategy::Auto(AutoConfig::default()), 3)
+        .with_faults(crash_plan(crashes, est_events))
+        .with_durability(durability)
+        .with_seed(97);
+    let report = run_workload(&cfg, tasks.to_vec(), 8, spec);
+    let successes = report
+        .results
+        .iter()
+        .filter(|r| r.outcome.is_success())
+        .count() as u64;
+    Outcome {
+        makespan_secs: report.makespan_secs,
+        goodput_per_hour: successes as f64 / (report.makespan_secs / 3600.0),
+        successes,
+        abandoned: report.abandoned_tasks,
+        master_crashes: report.master_crashes,
+        recoveries: report.recoveries,
+        replayed_events: report.replayed_events,
+        journal_bytes: report.journal_bytes,
+    }
+}
+
+fn outcome_json(o: &Outcome) -> String {
+    format!(
+        "{{\"makespan_secs\": {:.3}, \"goodput_tasks_per_hour\": {:.2}, \
+         \"successes\": {}, \"abandoned\": {}, \"master_crashes\": {}, \
+         \"recoveries\": {}, \"replayed_events\": {}, \"journal_bytes\": {}}}",
+        o.makespan_secs,
+        o.goodput_per_hour,
+        o.successes,
+        o.abandoned,
+        o.master_crashes,
+        o.recoveries,
+        o.replayed_events,
+        o.journal_bytes,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_recovery.json");
+    let mut quick = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            "--quick" => quick = true,
+            other => panic!("unknown flag {other:?} (expected --out <path> | --quick)"),
+        }
+    }
+
+    let n = if quick { 60 } else { 240 };
+    let workload = hep::build(n, 3);
+    let spec = hep::worker_spec(8);
+    // Events in an uninterrupted run: one TaskDone per attempt plus the
+    // worker pool's arrivals — the crash-point horizon.
+    let est_events = n as f64 * 1.1 + 8.0;
+    eprintln!(
+        "recovery sweep: {} HEP tasks x 8 workers, full-restart vs journal vs journal+snapshot",
+        workload.tasks.len()
+    );
+
+    let mut rows = Vec::new();
+    for crashes in [0u32, 1, 2, 4, 8] {
+        let full_restart = run(
+            &workload.tasks,
+            spec,
+            crashes,
+            est_events,
+            DurabilityConfig::none(),
+        );
+        let journal_only = run(
+            &workload.tasks,
+            spec,
+            crashes,
+            est_events,
+            DurabilityConfig::journal_only(),
+        );
+        let snap_64 = run(
+            &workload.tasks,
+            spec,
+            crashes,
+            est_events,
+            DurabilityConfig::journal_with_snapshots(64),
+        );
+        let snap_256 = run(
+            &workload.tasks,
+            spec,
+            crashes,
+            est_events,
+            DurabilityConfig::journal_with_snapshots(256),
+        );
+        eprintln!(
+            "  k={crashes}  restart: {:>7.1} tasks/h   journal: {:>7.1}   \
+             snap64: {:>7.1} ({} replayed)   snap256: {:>7.1} ({} replayed)",
+            full_restart.goodput_per_hour,
+            journal_only.goodput_per_hour,
+            snap_64.goodput_per_hour,
+            snap_64.replayed_events,
+            snap_256.goodput_per_hour,
+            snap_256.replayed_events,
+        );
+        rows.push(Row {
+            crashes,
+            full_restart,
+            journal_only,
+            snap_64,
+            snap_256,
+        });
+    }
+
+    // The headline invariant the PR promises: at every nonzero crash rate,
+    // journaled recovery (with snapshots) strictly beats the full restart.
+    for r in &rows {
+        if r.crashes > 0 && r.full_restart.master_crashes > 0 {
+            assert!(
+                r.snap_64.goodput_per_hour > r.full_restart.goodput_per_hour,
+                "k={}: snapshot recovery ({:.1}) not ahead of full restart ({:.1})",
+                r.crashes,
+                r.snap_64.goodput_per_hour,
+                r.full_restart.goodput_per_hour
+            );
+        }
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"recovery_sweep\",\n  \"points\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"crashes\": {}, \"full_restart\": {}, \"journal_only\": {}, \
+             \"journal_snap64\": {}, \"journal_snap256\": {}}}{}\n",
+            r.crashes,
+            outcome_json(&r.full_restart),
+            outcome_json(&r.journal_only),
+            outcome_json(&r.snap_64),
+            outcome_json(&r.snap_256),
+            sep,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let mut f = std::fs::File::create(&out_path).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output");
+    println!("wrote {out_path}");
+}

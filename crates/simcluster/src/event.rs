@@ -124,6 +124,23 @@ impl<E> EventQueue<E> {
     pub fn stats(&self) -> (u64, u64) {
         (self.pushed, self.popped)
     }
+
+    /// Drop every scheduled event for which `keep` returns false, preserving
+    /// the time order and FIFO tie-break of the survivors (their insertion
+    /// sequence numbers are kept). Used by restart plumbing: a crashed
+    /// coordinator cancels its own timers but must leave world events —
+    /// in-flight completions, worker arrivals — untouched. Returns how many
+    /// events were dropped.
+    pub fn retain(&mut self, mut keep: impl FnMut(&E) -> bool) -> usize {
+        let before = self.heap.len();
+        let survivors: Vec<Reverse<Entry<E>>> = self
+            .heap
+            .drain()
+            .filter(|Reverse(e)| keep(&e.event))
+            .collect();
+        self.heap = BinaryHeap::from(survivors);
+        before - self.heap.len()
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +207,21 @@ mod tests {
         q.schedule_at(SimTime::from_secs(5.0), ());
         q.pop();
         q.schedule_at(SimTime::from_secs(1.0), ());
+    }
+
+    #[test]
+    fn retain_preserves_order_and_ties_of_survivors() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5.0);
+        for i in 0..10 {
+            q.schedule_at(t, i);
+        }
+        q.schedule_at(SimTime::from_secs(1.0), 100);
+        q.schedule_at(SimTime::from_secs(9.0), 200);
+        let dropped = q.retain(|e| e % 2 == 0);
+        assert_eq!(dropped, 5); // odd 0..10 survivors removed; 100/200 even
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![100, 0, 2, 4, 6, 8, 200]);
     }
 
     #[test]

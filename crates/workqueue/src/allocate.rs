@@ -119,6 +119,10 @@ struct CategoryStats {
 }
 
 /// The allocator: owns strategy state and learns from reports.
+/// One category's exported sample stores, in canonical (sorted) order:
+/// `(cores, memory_mb, disk_mb, completed)`.
+pub(crate) type CategorySnapshot = (Vec<f64>, Vec<f64>, Vec<f64>, usize);
+
 #[derive(Debug)]
 pub struct Allocator {
     strategy: Strategy,
@@ -249,6 +253,57 @@ impl Allocator {
             label_changed: self.peek_decision(category, capacity) != label_before,
             cap_changed: self.concurrency_cap(category) != cap_before,
         }
+    }
+
+    /// Snapshot one category's sample stores for the durability journal.
+    /// Values are exported in
+    /// canonical (sorted) order — the label is a pure function of the
+    /// sample *multiset*, and the store's physical order depends on when
+    /// lazy label sorts happened, which differs between scheduler
+    /// implementations. Canonical order keeps snapshot bytes identical
+    /// wherever the multiset is.
+    pub(crate) fn snapshot_category(&self, category: &str) -> Option<CategorySnapshot> {
+        let s = self.stats.get(category)?;
+        let canonical = |samples: &Samples| {
+            let mut v: Vec<f64> = samples.iter().collect();
+            v.sort_by(|a, b| a.total_cmp(b));
+            v
+        };
+        Some((
+            canonical(&s.cores),
+            canonical(&s.memory_mb),
+            canonical(&s.disk_mb),
+            s.completed,
+        ))
+    }
+
+    /// Rebuild one category's stats from a snapshot — the inverse of
+    /// [`snapshot_category`](Self::snapshot_category). Only valid on a
+    /// category this allocator has never observed (recovery starts from a
+    /// fresh allocator).
+    pub(crate) fn restore_category(
+        &mut self,
+        category: &str,
+        cores: &[f64],
+        memory_mb: &[f64],
+        disk_mb: &[f64],
+        completed: usize,
+    ) {
+        let s = self.stats.entry(category.to_string()).or_default();
+        assert!(
+            s.cores.is_empty() && s.memory_mb.is_empty() && s.disk_mb.is_empty(),
+            "restore_category over live stats for {category}"
+        );
+        for &v in cores {
+            s.cores.record(v);
+        }
+        for &v in memory_mb {
+            s.memory_mb.record(v);
+        }
+        for &v in disk_mb {
+            s.disk_mb.record(v);
+        }
+        s.completed = completed;
     }
 
     /// Completed-sample count for a category (None until first observation).

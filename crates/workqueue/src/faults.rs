@@ -69,6 +69,19 @@ pub enum FaultKind {
     /// — distinguishable from a real limit kill, never fed to the
     /// allocator, and not counted as a resource retry.
     SpuriousKill { prob: f64 },
+    /// The master process itself crashes. Crash points are precomputed at
+    /// run start as cumulative exponential gaps with this mean (in
+    /// *processed events*, minimum gap 1), up to `max_crashes` per run —
+    /// counting events rather than drawing per-event keeps the schedule
+    /// identical across scheduler implementations. What a crash costs
+    /// depends on the master's
+    /// [`DurabilityConfig`](crate::journal::DurabilityConfig): with a
+    /// journal the master recovers its logical state (snapshot ⊕ replay);
+    /// without one the run starts over from scratch.
+    MasterCrash {
+        mean_interval_events: f64,
+        max_crashes: u32,
+    },
 }
 
 impl FaultSpec {
@@ -122,6 +135,20 @@ impl FaultSpec {
         Self::new(FaultKind::SpuriousKill { prob })
     }
 
+    /// Master crashes at exponentially spaced event indices (mean gap
+    /// `mean_interval_events` processed events), at most `max_crashes`
+    /// times per run.
+    pub fn master_crash(mean_interval_events: f64, max_crashes: u32) -> Self {
+        assert!(
+            mean_interval_events >= 1.0,
+            "mean crash interval must be at least one event"
+        );
+        Self::new(FaultKind::MasterCrash {
+            mean_interval_events,
+            max_crashes,
+        })
+    }
+
     /// Override this spec's stream seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -152,7 +179,7 @@ impl FaultPlan {
     }
 
     /// The classic one-spec plan: exponential pilot eviction with
-    /// auto-replacement — what `FailureModel::evicting` used to configure.
+    /// auto-replacement.
     pub fn evicting(mean_lifetime_secs: f64) -> Self {
         FaultPlan::default().with(FaultSpec::worker_churn(mean_lifetime_secs))
     }
@@ -301,6 +328,10 @@ pub(crate) struct FaultState {
     pub disturbance: Option<Disturbance>,
     /// Seed of the network draw stream (master-owned, passed per transfer).
     pub net_seed: u64,
+    /// Sorted absolute event indices at which the master crashes. Counting
+    /// *processed* events (not wall time) keeps the schedule identical for
+    /// the Reference and Indexed schedulers.
+    crash_points: Vec<u64>,
     active: bool,
 }
 
@@ -314,6 +345,7 @@ impl FaultState {
             spurious: None,
             disturbance: None,
             net_seed: stream_seed(master_seed, 0, 7),
+            crash_points: Vec::new(),
             active: plan.is_active(),
         };
         for spec in plan.specs() {
@@ -366,9 +398,29 @@ impl FaultState {
                     s.spurious =
                         Some((prob, SimRng::seeded(stream_seed(master_seed, spec.seed, 8))));
                 }
+                FaultKind::MasterCrash {
+                    mean_interval_events,
+                    max_crashes,
+                } => {
+                    let mut rng = SimRng::seeded(stream_seed(master_seed, spec.seed, 9));
+                    let mut at = 0u64;
+                    let mut pts = Vec::with_capacity(max_crashes as usize);
+                    for _ in 0..max_crashes {
+                        let u = rng.uniform(1e-9, 1.0);
+                        let gap = (-mean_interval_events * u.ln()).ceil().max(1.0) as u64;
+                        at = at.saturating_add(gap);
+                        pts.push(at);
+                    }
+                    s.crash_points = pts;
+                }
             }
         }
         s
+    }
+
+    /// Sorted absolute processed-event indices at which the master crashes.
+    pub fn crash_points(&self) -> &[u64] {
+        &self.crash_points
     }
 
     /// Is any fault source configured? Leases are only armed when true, so
@@ -508,6 +560,48 @@ mod tests {
         let naive = ResilienceConfig::naive_retry();
         assert_eq!(backoff_delay(5, &naive), 0.0);
         assert!(naive.quarantine_threshold.is_none());
+    }
+
+    #[test]
+    fn backoff_exponent_is_capped_at_the_integer_boundary() {
+        // The exponent cap (32) must hold even for pathological streak
+        // counters: 2^(u32::MAX-1) would overflow any shift/multiply, but
+        // the delay stays finite, monotone, and pinned at the cap.
+        let cfg = ResilienceConfig {
+            backoff_base_secs: 2.0,
+            backoff_cap_secs: f64::MAX,
+            ..ResilienceConfig::default()
+        };
+        let at_cap = backoff_delay(33, &cfg); // exp = 32 exactly
+        assert_eq!(at_cap, 2.0 * f64::powi(2.0, 32));
+        for streak in [34, 1 << 20, u32::MAX - 1, u32::MAX] {
+            let d = backoff_delay(streak, &cfg);
+            assert!(d.is_finite());
+            assert_eq!(d, at_cap, "streak {streak} escaped the exponent cap");
+        }
+        // With a realistic cap the boundary value saturates there instead.
+        let real = ResilienceConfig::default();
+        assert_eq!(backoff_delay(u32::MAX, &real), real.backoff_cap_secs);
+    }
+
+    #[test]
+    fn crash_points_are_deterministic_sorted_and_bounded() {
+        let plan = FaultPlan::reliable().with(FaultSpec::master_crash(50.0, 8).with_seed(3));
+        let a = FaultState::new(&plan, 42);
+        let b = FaultState::new(&plan, 42);
+        assert_eq!(a.crash_points(), b.crash_points());
+        assert_eq!(a.crash_points().len(), 8);
+        assert!(a.crash_points().windows(2).all(|w| w[0] < w[1]));
+        assert!(a.crash_points()[0] >= 1);
+        // Different master seed → different schedule.
+        let c = FaultState::new(&plan, 43);
+        assert_ne!(a.crash_points(), c.crash_points());
+        // No crash spec → no crash points, and the plan counts as active
+        // when a crash spec is the only one (leases must arm).
+        assert!(FaultState::new(&FaultPlan::reliable(), 42)
+            .crash_points()
+            .is_empty());
+        assert!(plan.is_active());
     }
 
     #[test]

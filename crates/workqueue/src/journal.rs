@@ -1,0 +1,1319 @@
+//! Write-ahead journal and compacting snapshots for the durable master.
+//!
+//! The master is a single point of failure: worker churn, lost messages,
+//! and staging faults are all survivable (PR 4), but losing the master
+//! loses the run — including the converged allocator labels the paper's
+//! automatic allocation spent a whole exploration phase learning. This
+//! module makes the master's *logical* state durable:
+//!
+//! * **Records** — every state-changing transition appends one `Record`
+//!   to the journal: task (re-)enqueues, placements, attempt outcomes,
+//!   allocator observations, quarantine entries/releases, degradation, and
+//!   plain counter bumps. Records are written at placement-identical points,
+//!   so the Reference and Indexed schedulers produce byte-identical
+//!   journals — the equivalence suites pin recovery for free.
+//! * **Snapshots** — a `MasterImage` is a complete serialized image of
+//!   the master-logical state (pending queue in examination order, live
+//!   placements with lease deadlines, allocator sample stores, dependency
+//!   countdowns, quarantine ledger, report counters). Installing one
+//!   compacts the journal: recovery replays only the record tail written
+//!   since.
+//! * **Recovery** — `image = snapshot ⊕ replay(tail)`, then the master
+//!   rebuilds either scheduler implementation from the image. World state
+//!   (workers, caches, the shared filesystem, the network, in-flight
+//!   completions) survives a master crash by definition — only the
+//!   coordinator's memory is lost.
+//!
+//! Everything is encoded with a small hand-rolled little-endian binary
+//! format (the vendored serde is a stub): `u8` tags, fixed-width LE
+//! integers, `f64` as raw bits (exact round-trip), and length-prefixed
+//! strings. See DESIGN.md §5e for the format and the recovery invariants.
+
+use crate::task::{TaskId, TaskResult};
+use lfm_monitor::report::{MonitorOutcome, ResourceKind, ResourceReport};
+use lfm_simcluster::node::Resources;
+use lfm_simcluster::time::SimTime;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Durability knobs for the master. Defaults to journaling off — a
+/// fault-free run writes no journal and behaves bit-identically to the
+/// pre-durability master.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DurabilityConfig {
+    /// Append a write-ahead record per state-changing event. Without a
+    /// journal a master crash is a full restart: the run starts over and
+    /// every pre-crash completion is lost (the bench baseline).
+    pub journal: bool,
+    /// Install a compacting snapshot every this many journal records.
+    /// `None` never snapshots: recovery replays the whole journal.
+    pub snapshot_every: Option<u64>,
+    /// Fixed downtime per master crash (process restart, reconnects).
+    pub restart_secs: f64,
+    /// Additional downtime per replayed journal record — what snapshot
+    /// compaction buys down.
+    pub replay_secs_per_event: f64,
+    /// Test hook: at the first quiescent point (no live placements) at or
+    /// after this many processed events, snapshot → wipe → restore the
+    /// master through the full encode/decode path and keep running. Used by
+    /// the recovery-equivalence suites to pin that a restored master is
+    /// bitwise-indistinguishable from an uninterrupted one.
+    pub probe_restore_at: Option<u64>,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            journal: false,
+            snapshot_every: None,
+            restart_secs: 5.0,
+            replay_secs_per_event: 1e-3,
+            probe_restore_at: None,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// No durability at all: a crash is a full restart (the default).
+    pub fn none() -> Self {
+        DurabilityConfig::default()
+    }
+
+    /// Write-ahead journal without snapshots: recovery replays every record
+    /// since run start.
+    pub fn journal_only() -> Self {
+        DurabilityConfig {
+            journal: true,
+            ..DurabilityConfig::default()
+        }
+    }
+
+    /// Journal plus a compacting snapshot every `every` records.
+    pub fn journal_with_snapshots(every: u64) -> Self {
+        assert!(every > 0, "snapshot interval must be positive");
+        DurabilityConfig {
+            journal: true,
+            snapshot_every: Some(every),
+            ..DurabilityConfig::default()
+        }
+    }
+}
+
+/// Report counters that journal as plain deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CounterKey {
+    WorkersProvisioned,
+    WorkersLost,
+    TasksLost,
+    LeaseReclaims,
+    StageInFailures,
+    SpuriousKills,
+    ResultMsgsLost,
+    LostCoreSecs,
+}
+
+impl CounterKey {
+    fn tag(self) -> u8 {
+        match self {
+            CounterKey::WorkersProvisioned => 0,
+            CounterKey::WorkersLost => 1,
+            CounterKey::TasksLost => 2,
+            CounterKey::LeaseReclaims => 3,
+            CounterKey::StageInFailures => 4,
+            CounterKey::SpuriousKills => 5,
+            CounterKey::ResultMsgsLost => 6,
+            CounterKey::LostCoreSecs => 7,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Self, JournalError> {
+        Ok(match t {
+            0 => CounterKey::WorkersProvisioned,
+            1 => CounterKey::WorkersLost,
+            2 => CounterKey::TasksLost,
+            3 => CounterKey::LeaseReclaims,
+            4 => CounterKey::StageInFailures,
+            5 => CounterKey::SpuriousKills,
+            6 => CounterKey::ResultMsgsLost,
+            7 => CounterKey::LostCoreSecs,
+            _ => return Err(JournalError::BadTag("counter", t)),
+        })
+    }
+}
+
+/// One write-ahead record. Each variant mirrors exactly one state-changing
+/// transition in the master; replay applies the same mutation to a
+/// [`MasterImage`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Record {
+    /// Journal header: sanity-checks that a journal is replayed against the
+    /// run that wrote it.
+    RunStart {
+        seed: u64,
+        task_count: u64,
+        worker_count: u32,
+    },
+    /// A task attempt entered the pending queue (front or back). Replaying
+    /// an enqueue also retires any armed backoff timer for the same
+    /// attempt: the timer fired.
+    Enqueue {
+        task_idx: u64,
+        attempt: u32,
+        front: bool,
+        since: SimTime,
+    },
+    /// A backed-off infra requeue was armed to fire at `at`.
+    BackoffArm {
+        task_idx: u64,
+        attempt: u32,
+        at: SimTime,
+    },
+    /// An attempt was placed on a worker; `lease_at` is the absolute lease
+    /// deadline (None when leases are unarmed).
+    Placed {
+        placement: u64,
+        worker: u32,
+        task_idx: u64,
+        attempt: u32,
+        alloc: Resources,
+        started_at: SimTime,
+        lease_at: Option<SimTime>,
+    },
+    /// A live placement turned zombie (its result message was lost).
+    Zombie { placement: u64 },
+    /// A placement left the live set (completion, lease reclaim, eviction).
+    Freed { placement: u64 },
+    /// An attempt produced a result row.
+    Result(Box<TaskResult>),
+    /// A task finished for good: success releases dependents, failure
+    /// leaves them to the `Cancelled` records that follow.
+    Finished { task_idx: u64, success: bool },
+    /// A task was abandoned (retry or infra budget exhausted).
+    Abandoned { task_idx: u64 },
+    /// A downstream task was transitively cancelled.
+    Cancelled { task_idx: u64 },
+    /// The allocator observed an attempt's measured usage — the raw inputs
+    /// of `Allocator::observe_outcome`, so replay reproduces the sample
+    /// stores (and therefore the learned labels) exactly.
+    Observe {
+        cat: u32,
+        peak_cores: f64,
+        peak_rss_mb: u64,
+        peak_disk_mb: u64,
+        completed: bool,
+        violated: Option<ResourceKind>,
+    },
+    /// A task consumed a resource-limit retry.
+    Retried { task_idx: u64 },
+    /// A task consumed an infrastructure retry; `count` is its new total.
+    InfraRetried { task_idx: u64, count: u32 },
+    /// A category's backoff streak moved.
+    Streak { cat: u32, value: u32 },
+    /// A worker's infra-failure attribution count moved.
+    WorkerFault { worker: u32, count: u32 },
+    /// A worker entered quarantine until `release_at`.
+    Quarantined { worker: u32, release_at: SimTime },
+    /// A worker left quarantine (timed release).
+    QuarantineLifted { worker: u32 },
+    /// The packed-env failure counter moved.
+    EnvFailure { count: u32 },
+    /// Packed-env distribution degraded to the shared FS for good.
+    Degraded,
+    /// A plain report-counter delta.
+    Counter { key: CounterKey, amount: f64 },
+}
+
+/// Why a journal or snapshot failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// Ran out of bytes mid-record.
+    Truncated,
+    /// An unknown tag byte for the named field.
+    BadTag(&'static str, u8),
+    /// A length-prefixed string was not UTF-8.
+    BadString,
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Truncated => write!(f, "journal truncated mid-record"),
+            JournalError::BadTag(what, t) => write!(f, "bad {what} tag byte {t:#x}"),
+            JournalError::BadString => write!(f, "journal string is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+// ---- encoding primitives ----
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i32(out: &mut Vec<u8>, v: i32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+fn put_time(out: &mut Vec<u8>, t: SimTime) {
+    put_f64(out, t.as_secs());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_resources(out: &mut Vec<u8>, r: &Resources) {
+    put_u32(out, r.cores);
+    put_u64(out, r.memory_mb);
+    put_u64(out, r.disk_mb);
+}
+
+/// A little-endian byte reader over an encoded journal/snapshot.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], JournalError> {
+        let end = self.pos.checked_add(n).ok_or(JournalError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(JournalError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, JournalError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, JournalError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, JournalError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32, JournalError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, JournalError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, JournalError> {
+        Ok(self.u8()? != 0)
+    }
+
+    fn time(&mut self) -> Result<SimTime, JournalError> {
+        let secs = self.f64()?;
+        if !(secs.is_finite() && secs >= 0.0) {
+            return Err(JournalError::BadTag("sim-time", 0));
+        }
+        Ok(SimTime::from_secs(secs))
+    }
+
+    fn string(&mut self) -> Result<String, JournalError> {
+        let len = self.u64()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| JournalError::BadString)
+    }
+
+    fn resources(&mut self) -> Result<Resources, JournalError> {
+        let cores = self.u32()?;
+        let memory_mb = self.u64()?;
+        let disk_mb = self.u64()?;
+        Ok(Resources::new(cores, memory_mb, disk_mb))
+    }
+}
+
+fn put_resource_kind(out: &mut Vec<u8>, k: Option<ResourceKind>) {
+    put_u8(
+        out,
+        match k {
+            None => 0,
+            Some(ResourceKind::Cores) => 1,
+            Some(ResourceKind::Memory) => 2,
+            Some(ResourceKind::Disk) => 3,
+            Some(ResourceKind::WallTime) => 4,
+        },
+    );
+}
+
+fn read_resource_kind(r: &mut Reader<'_>) -> Result<Option<ResourceKind>, JournalError> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => Some(ResourceKind::Cores),
+        2 => Some(ResourceKind::Memory),
+        3 => Some(ResourceKind::Disk),
+        4 => Some(ResourceKind::WallTime),
+        t => return Err(JournalError::BadTag("resource-kind", t)),
+    })
+}
+
+fn put_report(out: &mut Vec<u8>, r: &ResourceReport) {
+    put_f64(out, r.wall_secs);
+    put_f64(out, r.cpu_secs);
+    put_f64(out, r.peak_cores);
+    put_u64(out, r.peak_rss_mb);
+    put_u32(out, r.peak_processes);
+    put_u64(out, r.peak_disk_mb);
+    put_u64(out, r.read_bytes);
+    put_u64(out, r.write_bytes);
+    put_u64(out, r.polls);
+    put_f64(out, r.monitor_overhead_secs);
+}
+
+fn read_report(r: &mut Reader<'_>) -> Result<ResourceReport, JournalError> {
+    Ok(ResourceReport {
+        wall_secs: r.f64()?,
+        cpu_secs: r.f64()?,
+        peak_cores: r.f64()?,
+        peak_rss_mb: r.u64()?,
+        peak_processes: r.u32()?,
+        peak_disk_mb: r.u64()?,
+        read_bytes: r.u64()?,
+        write_bytes: r.u64()?,
+        polls: r.u64()?,
+        monitor_overhead_secs: r.f64()?,
+    })
+}
+
+fn put_outcome(out: &mut Vec<u8>, o: &MonitorOutcome) {
+    match o {
+        MonitorOutcome::Completed(rep) => {
+            put_u8(out, 0);
+            put_report(out, rep);
+        }
+        MonitorOutcome::LimitExceeded { kind, report } => {
+            put_u8(out, 1);
+            put_resource_kind(out, Some(*kind));
+            put_report(out, report);
+        }
+        MonitorOutcome::SpuriousKill { report } => {
+            put_u8(out, 2);
+            put_report(out, report);
+        }
+        MonitorOutcome::Failed { exit_code, report } => {
+            put_u8(out, 3);
+            put_i32(out, *exit_code);
+            put_report(out, report);
+        }
+    }
+}
+
+fn read_outcome(r: &mut Reader<'_>) -> Result<MonitorOutcome, JournalError> {
+    Ok(match r.u8()? {
+        0 => MonitorOutcome::Completed(read_report(r)?),
+        1 => {
+            let kind =
+                read_resource_kind(r)?.ok_or(JournalError::BadTag("limit-exceeded-kind", 0))?;
+            MonitorOutcome::LimitExceeded {
+                kind,
+                report: read_report(r)?,
+            }
+        }
+        2 => MonitorOutcome::SpuriousKill {
+            report: read_report(r)?,
+        },
+        3 => MonitorOutcome::Failed {
+            exit_code: r.i32()?,
+            report: read_report(r)?,
+        },
+        t => return Err(JournalError::BadTag("monitor-outcome", t)),
+    })
+}
+
+fn put_result(out: &mut Vec<u8>, tr: &TaskResult) {
+    put_u64(out, tr.task.0);
+    put_str(out, &tr.category);
+    put_u32(out, tr.worker);
+    put_resources(out, &tr.allocated);
+    put_time(out, tr.submitted_at);
+    put_time(out, tr.started_at);
+    put_time(out, tr.finished_at);
+    put_f64(out, tr.stage_in_secs);
+    put_f64(out, tr.exec_secs);
+    put_outcome(out, &tr.outcome);
+    put_u32(out, tr.attempt);
+}
+
+fn read_result(r: &mut Reader<'_>) -> Result<TaskResult, JournalError> {
+    Ok(TaskResult {
+        task: TaskId(r.u64()?),
+        category: r.string()?,
+        worker: r.u32()?,
+        allocated: r.resources()?,
+        submitted_at: r.time()?,
+        started_at: r.time()?,
+        finished_at: r.time()?,
+        stage_in_secs: r.f64()?,
+        exec_secs: r.f64()?,
+        outcome: read_outcome(r)?,
+        attempt: r.u32()?,
+    })
+}
+
+impl Record {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Record::RunStart {
+                seed,
+                task_count,
+                worker_count,
+            } => {
+                put_u8(out, 0);
+                put_u64(out, *seed);
+                put_u64(out, *task_count);
+                put_u32(out, *worker_count);
+            }
+            Record::Enqueue {
+                task_idx,
+                attempt,
+                front,
+                since,
+            } => {
+                put_u8(out, 1);
+                put_u64(out, *task_idx);
+                put_u32(out, *attempt);
+                put_bool(out, *front);
+                put_time(out, *since);
+            }
+            Record::BackoffArm {
+                task_idx,
+                attempt,
+                at,
+            } => {
+                put_u8(out, 2);
+                put_u64(out, *task_idx);
+                put_u32(out, *attempt);
+                put_time(out, *at);
+            }
+            Record::Placed {
+                placement,
+                worker,
+                task_idx,
+                attempt,
+                alloc,
+                started_at,
+                lease_at,
+            } => {
+                put_u8(out, 3);
+                put_u64(out, *placement);
+                put_u32(out, *worker);
+                put_u64(out, *task_idx);
+                put_u32(out, *attempt);
+                put_resources(out, alloc);
+                put_time(out, *started_at);
+                match lease_at {
+                    None => put_u8(out, 0),
+                    Some(t) => {
+                        put_u8(out, 1);
+                        put_time(out, *t);
+                    }
+                }
+            }
+            Record::Zombie { placement } => {
+                put_u8(out, 4);
+                put_u64(out, *placement);
+            }
+            Record::Freed { placement } => {
+                put_u8(out, 5);
+                put_u64(out, *placement);
+            }
+            Record::Result(tr) => {
+                put_u8(out, 6);
+                put_result(out, tr);
+            }
+            Record::Finished { task_idx, success } => {
+                put_u8(out, 7);
+                put_u64(out, *task_idx);
+                put_bool(out, *success);
+            }
+            Record::Abandoned { task_idx } => {
+                put_u8(out, 8);
+                put_u64(out, *task_idx);
+            }
+            Record::Cancelled { task_idx } => {
+                put_u8(out, 9);
+                put_u64(out, *task_idx);
+            }
+            Record::Observe {
+                cat,
+                peak_cores,
+                peak_rss_mb,
+                peak_disk_mb,
+                completed,
+                violated,
+            } => {
+                put_u8(out, 10);
+                put_u32(out, *cat);
+                put_f64(out, *peak_cores);
+                put_u64(out, *peak_rss_mb);
+                put_u64(out, *peak_disk_mb);
+                put_bool(out, *completed);
+                put_resource_kind(out, *violated);
+            }
+            Record::Retried { task_idx } => {
+                put_u8(out, 11);
+                put_u64(out, *task_idx);
+            }
+            Record::InfraRetried { task_idx, count } => {
+                put_u8(out, 12);
+                put_u64(out, *task_idx);
+                put_u32(out, *count);
+            }
+            Record::Streak { cat, value } => {
+                put_u8(out, 13);
+                put_u32(out, *cat);
+                put_u32(out, *value);
+            }
+            Record::WorkerFault { worker, count } => {
+                put_u8(out, 14);
+                put_u32(out, *worker);
+                put_u32(out, *count);
+            }
+            Record::Quarantined { worker, release_at } => {
+                put_u8(out, 15);
+                put_u32(out, *worker);
+                put_time(out, *release_at);
+            }
+            Record::QuarantineLifted { worker } => {
+                put_u8(out, 16);
+                put_u32(out, *worker);
+            }
+            Record::EnvFailure { count } => {
+                put_u8(out, 17);
+                put_u32(out, *count);
+            }
+            Record::Degraded => put_u8(out, 18),
+            Record::Counter { key, amount } => {
+                put_u8(out, 19);
+                put_u8(out, key.tag());
+                put_f64(out, *amount);
+            }
+        }
+    }
+
+    pub fn decode(r: &mut Reader<'_>) -> Result<Record, JournalError> {
+        Ok(match r.u8()? {
+            0 => Record::RunStart {
+                seed: r.u64()?,
+                task_count: r.u64()?,
+                worker_count: r.u32()?,
+            },
+            1 => Record::Enqueue {
+                task_idx: r.u64()?,
+                attempt: r.u32()?,
+                front: r.bool()?,
+                since: r.time()?,
+            },
+            2 => Record::BackoffArm {
+                task_idx: r.u64()?,
+                attempt: r.u32()?,
+                at: r.time()?,
+            },
+            3 => {
+                let placement = r.u64()?;
+                let worker = r.u32()?;
+                let task_idx = r.u64()?;
+                let attempt = r.u32()?;
+                let alloc = r.resources()?;
+                let started_at = r.time()?;
+                let lease_at = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.time()?),
+                    t => return Err(JournalError::BadTag("lease-at", t)),
+                };
+                Record::Placed {
+                    placement,
+                    worker,
+                    task_idx,
+                    attempt,
+                    alloc,
+                    started_at,
+                    lease_at,
+                }
+            }
+            4 => Record::Zombie {
+                placement: r.u64()?,
+            },
+            5 => Record::Freed {
+                placement: r.u64()?,
+            },
+            6 => Record::Result(Box::new(read_result(r)?)),
+            7 => Record::Finished {
+                task_idx: r.u64()?,
+                success: r.bool()?,
+            },
+            8 => Record::Abandoned { task_idx: r.u64()? },
+            9 => Record::Cancelled { task_idx: r.u64()? },
+            10 => Record::Observe {
+                cat: r.u32()?,
+                peak_cores: r.f64()?,
+                peak_rss_mb: r.u64()?,
+                peak_disk_mb: r.u64()?,
+                completed: r.bool()?,
+                violated: read_resource_kind(r)?,
+            },
+            11 => Record::Retried { task_idx: r.u64()? },
+            12 => Record::InfraRetried {
+                task_idx: r.u64()?,
+                count: r.u32()?,
+            },
+            13 => Record::Streak {
+                cat: r.u32()?,
+                value: r.u32()?,
+            },
+            14 => Record::WorkerFault {
+                worker: r.u32()?,
+                count: r.u32()?,
+            },
+            15 => Record::Quarantined {
+                worker: r.u32()?,
+                release_at: r.time()?,
+            },
+            16 => Record::QuarantineLifted { worker: r.u32()? },
+            17 => Record::EnvFailure { count: r.u32()? },
+            18 => Record::Degraded,
+            19 => Record::Counter {
+                key: CounterKey::from_tag(r.u8()?)?,
+                amount: r.f64()?,
+            },
+            t => return Err(JournalError::BadTag("record", t)),
+        })
+    }
+}
+
+// ---- the serialized master image (snapshot payload / replay target) ----
+
+/// A live placement as the journal sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct PlacementSnap {
+    pub worker: u32,
+    pub task_idx: u64,
+    pub attempt: u32,
+    pub alloc: Resources,
+    pub started_at: SimTime,
+    pub zombie: bool,
+    /// Absolute lease deadline; recovery re-arms the lease at
+    /// `max(lease_at, now)`.
+    pub lease_at: Option<SimTime>,
+}
+
+/// One category's allocator state: the raw sample stores (already including
+/// the censored-axis inflation applied at observation time) plus the
+/// completed count. Restoring replays the values through `record()`, which
+/// reproduces labels exactly — the Auto label is a pure function of the
+/// sample multiset.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct CategorySnap {
+    pub cores: Vec<f64>,
+    pub memory_mb: Vec<f64>,
+    pub disk_mb: Vec<f64>,
+    pub completed: u64,
+}
+
+/// The complete serializable image of the master's logical state. A
+/// snapshot encodes one; journal replay folds records into one; recovery
+/// rebuilds either scheduler implementation from one.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct MasterImage {
+    /// Pending queue in examination order: `(task_idx, attempt, since)`.
+    /// Snapshots enumerate the policy-sorted order (identical for both
+    /// scheduler implementations); replay maintains deque order. Either
+    /// preserves the within-rank relative order that determines dispatch.
+    pub pending: VecDeque<(u64, u32, SimTime)>,
+    /// Armed backoff timers: `(task_idx, attempt, fire_at)`.
+    pub backoffs: Vec<(u64, u32, SimTime)>,
+    pub placements: BTreeMap<u64, PlacementSnap>,
+    pub next_placement: u64,
+    /// Allocator sample stores, dense by interned category id.
+    pub alloc_stats: Vec<CategorySnap>,
+    /// `u64::MAX` = cancelled.
+    pub dep_remaining: Vec<u64>,
+    pub completed: u64,
+    pub abandoned: u64,
+    pub results: Vec<TaskResult>,
+    pub retried: Vec<u64>,
+    pub infra_retried: Vec<u64>,
+    pub infra_fail_count: Vec<u32>,
+    pub cat_streak: Vec<u32>,
+    /// Per-worker infra-failure attribution.
+    pub worker_faults: BTreeMap<u32, u32>,
+    /// Quarantined workers and their release deadlines, in quarantine-entry
+    /// order — recovery re-arms release timers in that order so equal-time
+    /// releases keep their original FIFO tie-break.
+    pub quarantined_until: Vec<(u32, SimTime)>,
+    pub quarantines: u32,
+    pub degraded: bool,
+    pub env_failures: u32,
+    pub workers_provisioned: u32,
+    pub workers_lost: u32,
+    pub tasks_lost: u64,
+    pub lease_reclaims: u64,
+    pub stage_in_failures: u64,
+    pub spurious_kills: u64,
+    pub result_msgs_lost: u64,
+    pub lost_core_secs: f64,
+}
+
+impl MasterImage {
+    /// The image of a freshly constructed master (nothing enqueued yet —
+    /// the root enqueues are the first journal records).
+    pub fn fresh(dep_remaining: &[usize], task_count: usize, cat_count: usize) -> Self {
+        MasterImage {
+            dep_remaining: dep_remaining
+                .iter()
+                .map(|&d| if d == usize::MAX { u64::MAX } else { d as u64 })
+                .collect(),
+            infra_fail_count: vec![0; task_count],
+            cat_streak: vec![0; cat_count],
+            alloc_stats: vec![CategorySnap::default(); cat_count],
+            ..MasterImage::default()
+        }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u64(&mut out, self.pending.len() as u64);
+        for &(t, a, since) in &self.pending {
+            put_u64(&mut out, t);
+            put_u32(&mut out, a);
+            put_time(&mut out, since);
+        }
+        put_u64(&mut out, self.backoffs.len() as u64);
+        for &(t, a, at) in &self.backoffs {
+            put_u64(&mut out, t);
+            put_u32(&mut out, a);
+            put_time(&mut out, at);
+        }
+        put_u64(&mut out, self.placements.len() as u64);
+        for (&id, p) in &self.placements {
+            put_u64(&mut out, id);
+            put_u32(&mut out, p.worker);
+            put_u64(&mut out, p.task_idx);
+            put_u32(&mut out, p.attempt);
+            put_resources(&mut out, &p.alloc);
+            put_time(&mut out, p.started_at);
+            put_bool(&mut out, p.zombie);
+            match p.lease_at {
+                None => put_u8(&mut out, 0),
+                Some(t) => {
+                    put_u8(&mut out, 1);
+                    put_time(&mut out, t);
+                }
+            }
+        }
+        put_u64(&mut out, self.next_placement);
+        put_u64(&mut out, self.alloc_stats.len() as u64);
+        for s in &self.alloc_stats {
+            for axis in [&s.cores, &s.memory_mb, &s.disk_mb] {
+                put_u64(&mut out, axis.len() as u64);
+                for &v in axis {
+                    put_f64(&mut out, v);
+                }
+            }
+            put_u64(&mut out, s.completed);
+        }
+        put_u64(&mut out, self.dep_remaining.len() as u64);
+        for &d in &self.dep_remaining {
+            put_u64(&mut out, d);
+        }
+        put_u64(&mut out, self.completed);
+        put_u64(&mut out, self.abandoned);
+        put_u64(&mut out, self.results.len() as u64);
+        for tr in &self.results {
+            put_result(&mut out, tr);
+        }
+        for set in [&self.retried, &self.infra_retried] {
+            put_u64(&mut out, set.len() as u64);
+            for &t in set {
+                put_u64(&mut out, t);
+            }
+        }
+        put_u64(&mut out, self.infra_fail_count.len() as u64);
+        for &c in &self.infra_fail_count {
+            put_u32(&mut out, c);
+        }
+        put_u64(&mut out, self.cat_streak.len() as u64);
+        for &c in &self.cat_streak {
+            put_u32(&mut out, c);
+        }
+        put_u64(&mut out, self.worker_faults.len() as u64);
+        for (&w, &c) in &self.worker_faults {
+            put_u32(&mut out, w);
+            put_u32(&mut out, c);
+        }
+        put_u64(&mut out, self.quarantined_until.len() as u64);
+        for &(w, t) in &self.quarantined_until {
+            put_u32(&mut out, w);
+            put_time(&mut out, t);
+        }
+        put_u32(&mut out, self.quarantines);
+        put_bool(&mut out, self.degraded);
+        put_u32(&mut out, self.env_failures);
+        put_u32(&mut out, self.workers_provisioned);
+        put_u32(&mut out, self.workers_lost);
+        put_u64(&mut out, self.tasks_lost);
+        put_u64(&mut out, self.lease_reclaims);
+        put_u64(&mut out, self.stage_in_failures);
+        put_u64(&mut out, self.spurious_kills);
+        put_u64(&mut out, self.result_msgs_lost);
+        put_f64(&mut out, self.lost_core_secs);
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self, JournalError> {
+        let mut r = Reader::new(buf);
+        let mut img = MasterImage::default();
+        for _ in 0..r.u64()? {
+            let t = r.u64()?;
+            let a = r.u32()?;
+            let since = r.time()?;
+            img.pending.push_back((t, a, since));
+        }
+        for _ in 0..r.u64()? {
+            let t = r.u64()?;
+            let a = r.u32()?;
+            let at = r.time()?;
+            img.backoffs.push((t, a, at));
+        }
+        for _ in 0..r.u64()? {
+            let id = r.u64()?;
+            let worker = r.u32()?;
+            let task_idx = r.u64()?;
+            let attempt = r.u32()?;
+            let alloc = r.resources()?;
+            let started_at = r.time()?;
+            let zombie = r.bool()?;
+            let lease_at = match r.u8()? {
+                0 => None,
+                1 => Some(r.time()?),
+                t => return Err(JournalError::BadTag("lease-at", t)),
+            };
+            img.placements.insert(
+                id,
+                PlacementSnap {
+                    worker,
+                    task_idx,
+                    attempt,
+                    alloc,
+                    started_at,
+                    zombie,
+                    lease_at,
+                },
+            );
+        }
+        img.next_placement = r.u64()?;
+        for _ in 0..r.u64()? {
+            let mut s = CategorySnap::default();
+            for axis in [&mut s.cores, &mut s.memory_mb, &mut s.disk_mb] {
+                for _ in 0..r.u64()? {
+                    axis.push(r.f64()?);
+                }
+            }
+            s.completed = r.u64()?;
+            img.alloc_stats.push(s);
+        }
+        for _ in 0..r.u64()? {
+            img.dep_remaining.push(r.u64()?);
+        }
+        img.completed = r.u64()?;
+        img.abandoned = r.u64()?;
+        for _ in 0..r.u64()? {
+            img.results.push(read_result(&mut r)?);
+        }
+        for _ in 0..r.u64()? {
+            img.retried.push(r.u64()?);
+        }
+        for _ in 0..r.u64()? {
+            img.infra_retried.push(r.u64()?);
+        }
+        for _ in 0..r.u64()? {
+            img.infra_fail_count.push(r.u32()?);
+        }
+        for _ in 0..r.u64()? {
+            img.cat_streak.push(r.u32()?);
+        }
+        for _ in 0..r.u64()? {
+            let w = r.u32()?;
+            let c = r.u32()?;
+            img.worker_faults.insert(w, c);
+        }
+        for _ in 0..r.u64()? {
+            let w = r.u32()?;
+            let t = r.time()?;
+            img.quarantined_until.push((w, t));
+        }
+        img.quarantines = r.u32()?;
+        img.degraded = r.bool()?;
+        img.env_failures = r.u32()?;
+        img.workers_provisioned = r.u32()?;
+        img.workers_lost = r.u32()?;
+        img.tasks_lost = r.u64()?;
+        img.lease_reclaims = r.u64()?;
+        img.stage_in_failures = r.u64()?;
+        img.spurious_kills = r.u64()?;
+        img.result_msgs_lost = r.u64()?;
+        img.lost_core_secs = r.f64()?;
+        Ok(img)
+    }
+}
+
+// ---- the journal store ----
+
+/// The master's in-memory model of its on-disk write-ahead journal: the
+/// latest compacting snapshot (if any) plus every record appended since.
+/// `bytes_written` integrates everything ever flushed — records *and*
+/// snapshots — which is the `journal_bytes` the report and the recovery
+/// bench account.
+#[derive(Debug, Default)]
+pub(crate) struct Journal {
+    snapshot: Option<Vec<u8>>,
+    tail: Vec<Record>,
+    bytes_written: u64,
+    records_since_snapshot: u64,
+    scratch: Vec<u8>,
+}
+
+impl Journal {
+    pub fn new() -> Self {
+        Journal::default()
+    }
+
+    /// Append one record.
+    pub fn append(&mut self, rec: Record) {
+        self.scratch.clear();
+        rec.encode(&mut self.scratch);
+        if cfg!(debug_assertions) {
+            // Every record written must read back exactly — catching an
+            // encoding drift at append time, not at the next recovery.
+            let mut r = Reader::new(&self.scratch);
+            let back = Record::decode(&mut r).expect("appended record decodes");
+            assert!(r.is_empty(), "record encoding has trailing bytes");
+            assert_eq!(back, rec, "record encoding must round-trip");
+        }
+        self.bytes_written += self.scratch.len() as u64;
+        self.records_since_snapshot += 1;
+        self.tail.push(rec);
+    }
+
+    /// Records appended since the last snapshot (what a recovery replays).
+    pub fn tail_len(&self) -> u64 {
+        self.tail.len() as u64
+    }
+
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Should the master install a compacting snapshot now?
+    pub fn wants_snapshot(&self, every: Option<u64>) -> bool {
+        match every {
+            Some(k) => self.records_since_snapshot >= k,
+            None => false,
+        }
+    }
+
+    /// Install a compacting snapshot: the encoded image replaces the whole
+    /// record tail.
+    pub fn install_snapshot(&mut self, image: &MasterImage) {
+        let bytes = image.encode();
+        self.bytes_written += bytes.len() as u64;
+        self.snapshot = Some(bytes);
+        self.tail.clear();
+        self.records_since_snapshot = 0;
+    }
+
+    /// The snapshot to start recovery from, decoded — or `None` when
+    /// recovery must replay from the fresh image.
+    pub fn base_image(&self) -> Result<Option<MasterImage>, JournalError> {
+        match &self.snapshot {
+            Some(bytes) => Ok(Some(MasterImage::decode(bytes)?)),
+            None => Ok(None),
+        }
+    }
+
+    pub fn tail(&self) -> &[Record] {
+        &self.tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> TaskResult {
+        TaskResult {
+            task: TaskId(7),
+            category: "hep".to_string(),
+            worker: 3,
+            allocated: Resources::new(2, 512, 1024),
+            submitted_at: SimTime::ZERO,
+            started_at: SimTime::from_secs(10.5),
+            finished_at: SimTime::from_secs(99.25),
+            stage_in_secs: 4.5,
+            exec_secs: 80.0,
+            outcome: MonitorOutcome::LimitExceeded {
+                kind: ResourceKind::Memory,
+                report: ResourceReport {
+                    wall_secs: 80.0,
+                    cpu_secs: 79.5,
+                    peak_cores: 1.01,
+                    peak_rss_mb: 620,
+                    peak_processes: 3,
+                    peak_disk_mb: 900,
+                    read_bytes: 1 << 30,
+                    write_bytes: 1 << 20,
+                    polls: 80,
+                    monitor_overhead_secs: 0.008,
+                },
+            },
+            attempt: 1,
+        }
+    }
+
+    fn all_records() -> Vec<Record> {
+        vec![
+            Record::RunStart {
+                seed: 0xdead_beef,
+                task_count: 100,
+                worker_count: 8,
+            },
+            Record::Enqueue {
+                task_idx: 3,
+                attempt: 1,
+                front: true,
+                since: SimTime::from_secs(2.5),
+            },
+            Record::BackoffArm {
+                task_idx: 4,
+                attempt: 0,
+                at: SimTime::from_secs(60.0),
+            },
+            Record::Placed {
+                placement: 42,
+                worker: 2,
+                task_idx: 3,
+                attempt: 1,
+                alloc: Resources::new(1, 110, 1024),
+                started_at: SimTime::from_secs(5.0),
+                lease_at: Some(SimTime::from_secs(305.0)),
+            },
+            Record::Placed {
+                placement: 43,
+                worker: 2,
+                task_idx: 5,
+                attempt: 0,
+                alloc: Resources::new(8, 8192, 16384),
+                started_at: SimTime::from_secs(5.0),
+                lease_at: None,
+            },
+            Record::Zombie { placement: 42 },
+            Record::Freed { placement: 42 },
+            Record::Result(Box::new(sample_result())),
+            Record::Finished {
+                task_idx: 3,
+                success: true,
+            },
+            Record::Abandoned { task_idx: 9 },
+            Record::Cancelled { task_idx: 10 },
+            Record::Observe {
+                cat: 1,
+                peak_cores: 1.5,
+                peak_rss_mb: 110,
+                peak_disk_mb: 900,
+                completed: true,
+                violated: Some(ResourceKind::Disk),
+            },
+            Record::Retried { task_idx: 3 },
+            Record::InfraRetried {
+                task_idx: 4,
+                count: 2,
+            },
+            Record::Streak { cat: 0, value: 3 },
+            Record::WorkerFault {
+                worker: 2,
+                count: 4,
+            },
+            Record::Quarantined {
+                worker: 2,
+                release_at: SimTime::from_secs(400.0),
+            },
+            Record::QuarantineLifted { worker: 2 },
+            Record::EnvFailure { count: 5 },
+            Record::Degraded,
+            Record::Counter {
+                key: CounterKey::LostCoreSecs,
+                amount: 123.75,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_record_roundtrips() {
+        for rec in all_records() {
+            let mut buf = Vec::new();
+            rec.encode(&mut buf);
+            let mut r = Reader::new(&buf);
+            let back = Record::decode(&mut r).expect("decodes");
+            assert!(r.is_empty(), "trailing bytes after {rec:?}");
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn record_stream_roundtrips() {
+        let recs = all_records();
+        let mut buf = Vec::new();
+        for rec in &recs {
+            rec.encode(&mut buf);
+        }
+        let mut r = Reader::new(&buf);
+        let mut back = Vec::new();
+        while !r.is_empty() {
+            back.push(Record::decode(&mut r).expect("decodes"));
+        }
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn truncated_record_reports_error() {
+        let mut buf = Vec::new();
+        Record::Result(Box::new(sample_result())).encode(&mut buf);
+        for cut in [1, buf.len() / 2, buf.len() - 1] {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(Record::decode(&mut r).is_err(), "cut at {cut}");
+        }
+        let mut r = Reader::new(&[0xff]);
+        assert_eq!(
+            Record::decode(&mut r),
+            Err(JournalError::BadTag("record", 0xff))
+        );
+    }
+
+    #[test]
+    fn image_roundtrips_bitwise() {
+        let mut img = MasterImage::fresh(&[0, 2, usize::MAX], 3, 2);
+        img.pending.push_back((0, 0, SimTime::ZERO));
+        img.pending.push_front((2, 1, SimTime::from_secs(3.0)));
+        img.backoffs.push((1, 0, SimTime::from_secs(90.0)));
+        img.placements.insert(
+            5,
+            PlacementSnap {
+                worker: 1,
+                task_idx: 2,
+                attempt: 0,
+                alloc: Resources::new(1, 110, 1024),
+                started_at: SimTime::from_secs(4.0),
+                zombie: true,
+                lease_at: Some(SimTime::from_secs(304.0)),
+            },
+        );
+        img.next_placement = 6;
+        img.alloc_stats[0].cores.push(1.25);
+        img.alloc_stats[0].memory_mb.push(110.0);
+        img.alloc_stats[0].disk_mb.push(900.0);
+        img.alloc_stats[0].completed = 1;
+        img.completed = 1;
+        img.abandoned = 1;
+        img.results.push(sample_result());
+        img.retried.push(2);
+        img.infra_retried.push(1);
+        img.infra_fail_count[1] = 3;
+        img.cat_streak[1] = 2;
+        img.worker_faults.insert(1, 4);
+        img.quarantined_until.push((3, SimTime::from_secs(500.0)));
+        img.quarantines = 1;
+        img.degraded = true;
+        img.env_failures = 6;
+        img.workers_provisioned = 9;
+        img.workers_lost = 2;
+        img.tasks_lost = 3;
+        img.lease_reclaims = 1;
+        img.stage_in_failures = 2;
+        img.spurious_kills = 1;
+        img.result_msgs_lost = 1;
+        img.lost_core_secs = 55.5;
+        let bytes = img.encode();
+        let back = MasterImage::decode(&bytes).expect("decodes");
+        assert_eq!(back, img);
+        // Same image → same bytes (snapshots are deterministic, so the
+        // scheduler-equivalence suites pin journal byte-identity too).
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn journal_compaction_drops_tail_and_counts_bytes() {
+        let mut j = Journal::new();
+        assert!(!j.wants_snapshot(Some(2)));
+        j.append(Record::Degraded);
+        j.append(Record::Freed { placement: 1 });
+        assert!(j.wants_snapshot(Some(2)));
+        assert!(!j.wants_snapshot(None));
+        assert_eq!(j.tail_len(), 2);
+        let bytes_before = j.bytes_written();
+        assert!(bytes_before > 0);
+        let img = MasterImage::fresh(&[0, 0], 2, 1);
+        j.install_snapshot(&img);
+        assert_eq!(j.tail_len(), 0);
+        assert!(!j.wants_snapshot(Some(2)));
+        assert!(j.bytes_written() > bytes_before, "snapshot bytes count");
+        let base = j.base_image().expect("decodes").expect("present");
+        assert_eq!(base, img);
+        // A fresh journal has no base image.
+        assert!(Journal::new().base_image().unwrap().is_none());
+    }
+
+    #[test]
+    fn fresh_image_mirrors_dep_state() {
+        let img = MasterImage::fresh(&[0, 1, usize::MAX], 3, 2);
+        assert_eq!(img.dep_remaining, vec![0, 1, u64::MAX]);
+        assert_eq!(img.infra_fail_count, vec![0, 0, 0]);
+        assert_eq!(img.cat_streak, vec![0, 0]);
+        assert_eq!(img.alloc_stats.len(), 2);
+        assert_eq!(img.completed, 0);
+    }
+
+    #[test]
+    fn durability_presets() {
+        let none = DurabilityConfig::none();
+        assert!(!none.journal);
+        let j = DurabilityConfig::journal_only();
+        assert!(j.journal && j.snapshot_every.is_none());
+        let s = DurabilityConfig::journal_with_snapshots(256);
+        assert_eq!(s.snapshot_every, Some(256));
+        assert!(s.restart_secs > 0.0);
+    }
+}

@@ -14,11 +14,14 @@
 //!   and the master's resilience knobs ([`faults::ResilienceConfig`]).
 //! * [`sched`] — indexed incremental dispatch state (order keys, park
 //!   groups, capacity/file indexes) behind [`sched::SchedImpl`].
+//! * [`journal`] — write-ahead journal + compacting snapshots making the
+//!   master crash-recoverable ([`journal::DurabilityConfig`]).
 //! * [`master`] — the discrete-event scheduler producing [`master::RunReport`]s.
 
 pub mod allocate;
 pub mod faults;
 pub mod files;
+pub mod journal;
 pub mod master;
 #[cfg(test)]
 mod proptests;
@@ -30,9 +33,10 @@ pub mod prelude {
     pub use crate::allocate::{AllocationDecision, Allocator, AutoConfig, Strategy};
     pub use crate::faults::{FaultKind, FaultPlan, FaultSpec, ResilienceConfig};
     pub use crate::files::{FileKind, FileRef};
+    pub use crate::journal::DurabilityConfig;
     pub use crate::master::{
-        run_workload, DistMode, FailureModel, MasterConfig, Provisioning, RunReport,
-        SchedulePolicy, StagingConfig,
+        run_workload, DistMode, MasterConfig, Provisioning, RunReport, SchedulePolicy,
+        StagingConfig,
     };
     pub use crate::sched::SchedImpl;
     pub use crate::task::{TaskId, TaskResult, TaskSpec};

@@ -10,11 +10,14 @@
 use crate::allocate::{AllocationDecision, Allocator, ObservationEffects, Strategy};
 use crate::faults::{backoff_delay, FaultPlan, FaultState, InfraFault, ResilienceConfig};
 use crate::files::FileKind;
-use crate::sched::{IndexedSched, ParkReason, Pending, SchedImpl, Src};
+use crate::journal::{
+    CategorySnap, CounterKey, DurabilityConfig, Journal, MasterImage, PlacementSnap, Record,
+};
+use crate::sched::{policy_rank, IndexedSched, ParkReason, Pending, SchedImpl, Src};
 use crate::task::{TaskId, TaskResult, TaskSpec};
 use crate::worker::Worker;
 use lfm_monitor::limits::ResourceLimits;
-use lfm_monitor::report::MonitorOutcome;
+use lfm_monitor::report::{MonitorOutcome, ResourceKind};
 use lfm_monitor::sim::{SimMonitor, SimTaskProfile};
 use lfm_simcluster::batch::{BatchParams, BatchSystem};
 use lfm_simcluster::event::EventQueue;
@@ -67,53 +70,6 @@ pub enum Provisioning {
     },
 }
 
-/// Legacy worker reliability model. Deprecated shim: kept so existing
-/// `with_failures(FailureModel::…)` call sites compile unchanged, but new
-/// code should compose a [`FaultPlan`] — `FailureModel::reliable()` is
-/// `FaultPlan::reliable()` and `FailureModel::evicting(m)` is
-/// `FaultPlan::evicting(m)`, which also composes with every other fault
-/// source.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct FailureModel {
-    /// Mean pilot lifetime in seconds (exponential); `None` = reliable.
-    pub mean_lifetime_secs: Option<f64>,
-    /// Submit a replacement pilot when a worker dies.
-    pub replace: bool,
-}
-
-impl FailureModel {
-    pub fn reliable() -> Self {
-        FailureModel {
-            mean_lifetime_secs: None,
-            replace: false,
-        }
-    }
-
-    pub fn evicting(mean_lifetime_secs: f64) -> Self {
-        FailureModel {
-            mean_lifetime_secs: Some(mean_lifetime_secs),
-            replace: true,
-        }
-    }
-}
-
-impl From<FailureModel> for FaultPlan {
-    fn from(f: FailureModel) -> FaultPlan {
-        match f.mean_lifetime_secs {
-            None => FaultPlan::reliable(),
-            Some(mean) => {
-                let spec = crate::faults::FaultSpec::worker_churn(mean);
-                let spec = if f.replace {
-                    spec
-                } else {
-                    spec.without_replacement()
-                };
-                FaultPlan::reliable().with(spec)
-            }
-        }
-    }
-}
-
 /// How files, environments, and bytes reach workers: distribution mode,
 /// batch system, shared filesystem, network fabric, and worker-local I/O
 /// interference, grouped under one `Default`-able knob.
@@ -156,6 +112,8 @@ pub struct MasterConfig {
     pub faults: FaultPlan,
     /// Leases, backoff, quarantine, degradation, and retry ceilings.
     pub resilience: ResilienceConfig,
+    /// Write-ahead journal, snapshot cadence, and crash/recovery costs.
+    pub durability: DurabilityConfig,
     pub provisioning: Provisioning,
     pub policy: SchedulePolicy,
     /// Dispatch implementation: the indexed scheduler (default) or the
@@ -180,6 +138,7 @@ impl MasterConfig {
             staging: StagingConfig::default(),
             faults: FaultPlan::reliable(),
             resilience: ResilienceConfig::default(),
+            durability: DurabilityConfig::none(),
             provisioning: Provisioning::Static,
             policy: SchedulePolicy::Fifo,
             sched: SchedImpl::Indexed,
@@ -209,7 +168,7 @@ impl MasterConfig {
         self
     }
 
-    /// Install a fault plan (the composable successor of `with_failures`).
+    /// Install a fault plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
         self
@@ -221,10 +180,9 @@ impl MasterConfig {
         self
     }
 
-    /// Deprecated shim: converts the legacy [`FailureModel`] into a
-    /// [`FaultPlan`]. Prefer [`MasterConfig::with_faults`].
-    pub fn with_failures(mut self, f: FailureModel) -> Self {
-        self.faults = f.into();
+    /// Configure the durability layer (journal, snapshots, restart costs).
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = durability;
         self
     }
 
@@ -322,6 +280,16 @@ pub struct RunReport {
     /// Did packed-environment distribution degrade to the shared
     /// filesystem mid-run?
     pub degraded_to_shared_fs: bool,
+    /// Master crashes injected over the run.
+    pub master_crashes: u32,
+    /// Crashes recovered from the journal (the rest were full restarts).
+    pub recoveries: u32,
+    /// Total bytes flushed to the write-ahead journal (records plus
+    /// compacting snapshots). Zero when journaling is off.
+    pub journal_bytes: u64,
+    /// Journal records replayed across all recoveries — what snapshot
+    /// compaction buys down.
+    pub replayed_events: u64,
     /// Every attempt's record.
     pub results: Vec<TaskResult>,
 }
@@ -409,7 +377,11 @@ impl RunReport {
             .field_u64("result_messages_lost", self.result_messages_lost)
             .field_u64("quarantines", self.quarantines as u64)
             .field_f64("lost_core_secs", self.lost_core_secs)
-            .field_u64("degraded_to_shared_fs", self.degraded_to_shared_fs as u64);
+            .field_u64("degraded_to_shared_fs", self.degraded_to_shared_fs as u64)
+            .field_u64("master_crashes", self.master_crashes as u64)
+            .field_u64("recoveries", self.recoveries as u64)
+            .field_u64("journal_bytes", self.journal_bytes)
+            .field_u64("replayed_events", self.replayed_events);
         o.finish()
     }
 
@@ -489,6 +461,22 @@ enum Event {
     QuarantineRelease {
         id: u32,
     },
+    /// The master comes back up after a crash: process the world events
+    /// that arrived while it was down, then resume dispatching.
+    Recovered,
+}
+
+impl Event {
+    /// Events the *world* produces (pilots starting/dying, completions in
+    /// flight). These survive a master crash in the calendar; everything
+    /// else is a master-owned timer that dies with the master's memory and
+    /// is re-armed from the recovered image.
+    fn is_world(&self) -> bool {
+        matches!(
+            self,
+            Event::WorkerUp { .. } | Event::WorkerDown { .. } | Event::TaskDone(_)
+        )
+    }
 }
 
 struct DoneInfo {
@@ -523,6 +511,9 @@ struct PlacementInfo {
     /// already freed, and the placement stays live (so a duplicate
     /// completion can never slip in) until its lease reclaims it.
     zombie: bool,
+    /// Absolute lease deadline (seconds), when leases are armed — journaled
+    /// so recovery can re-arm the reclamation timer.
+    lease_at: Option<f64>,
 }
 
 /// The active dispatch implementation's queue state (see `sched.rs`).
@@ -613,6 +604,31 @@ struct Master {
     /// zero. Dependents listed per task id for O(1) release on completion.
     dep_remaining: Vec<usize>,
     dependents: BTreeMap<TaskId, Vec<usize>>,
+    /// The write-ahead journal (`None` when durability is off).
+    journal: Option<Journal>,
+    /// Suppresses journaling while recovery re-enqueues restored state —
+    /// reconstruction is not new history.
+    restoring: bool,
+    /// Armed backoff timers `((task_idx, attempt), fire_at)` in arm order,
+    /// mirrored into snapshots so recovery can re-arm them. Arm order (not
+    /// task order) so equal-time timers keep their FIFO tie-break.
+    backoffs: Vec<((usize, u32), f64)>,
+    /// Quarantined workers and their absolute release times, in entry order.
+    quarantine_until: Vec<(u32, f64)>,
+    /// Events handled so far — the crash clock `FaultKind::MasterCrash`
+    /// points index into. Identical for both scheduler implementations.
+    processed_events: u64,
+    /// Next unconsumed index into `faults.crash_points()`.
+    next_crash: usize,
+    /// The master is down: world events buffer in `deferred` until the
+    /// `Recovered` event drains them.
+    down: bool,
+    deferred: Vec<Event>,
+    master_crashes: u32,
+    recoveries: u32,
+    replayed_events: u64,
+    /// The `probe_restore_at` test hook already fired.
+    probe_done: bool,
 }
 
 impl Master {
@@ -707,6 +723,18 @@ impl Master {
             retried: std::collections::BTreeSet::new(),
             abandoned: 0,
             completed: 0,
+            journal: config.durability.journal.then(Journal::new),
+            restoring: false,
+            backoffs: Vec::new(),
+            quarantine_until: Vec::new(),
+            processed_events: 0,
+            next_crash: 0,
+            down: false,
+            deferred: Vec::new(),
+            master_crashes: 0,
+            recoveries: 0,
+            replayed_events: 0,
+            probe_done: false,
             config,
         }
     }
@@ -717,6 +745,11 @@ impl Master {
             Provisioning::Static => self.worker_count,
             Provisioning::Elastic { initial, .. } => initial.min(self.worker_count).max(1),
         };
+        self.jrec(Record::RunStart {
+            seed: self.config.seed,
+            task_count: self.tasks.len() as u64,
+            worker_count: self.worker_count,
+        });
         self.submit_pilots(SimTime::ZERO, initial);
         for idx in 0..self.tasks.len() {
             if self.dep_remaining[idx] == 0 {
@@ -736,80 +769,19 @@ impl Master {
                     self.tasks.len()
                 );
             };
-            match event {
-                Event::WorkerUp { id } => {
-                    self.config.telemetry.counter_at("event.worker_up", 1, now);
-                    let mut worker = Worker::new(id, self.spec);
-                    // Per-worker fault properties are keyed by worker id,
-                    // not drawn from a shared stream, so they are identical
-                    // across scheduler implementations.
-                    worker.slowdown = self.faults.worker_slowdown(id);
-                    self.workers.insert(id, worker);
-                    self.free_cores += self.spec.resources.cores as u64;
-                    if let SchedState::Indexed(ix) = &mut self.sched {
-                        ix.worker_added(id, self.spec.resources.cores);
-                        // An empty worker fits any resolved allocation:
-                        // every NoFit certificate is void.
-                        ix.wake_all_nofit();
-                    }
-                    // Sample an eviction time for unreliable pools.
-                    if let Some(lifetime) = self.faults.worker_lifetime(id) {
-                        self.queue.schedule_in(lifetime, Event::WorkerDown { id });
-                    }
-                    self.dispatch(now);
+            if self.down {
+                match event {
+                    Event::Recovered => self.come_back_up(now),
+                    // The physical cluster keeps moving while the master is
+                    // down: buffer its events for the recovery drain.
+                    ev if ev.is_world() => self.deferred.push(ev),
+                    // Any other timer belonged to the dead process.
+                    _ => {}
                 }
-                Event::WorkerDown { id } => {
-                    self.config
-                        .telemetry
-                        .counter_at("event.worker_down", 1, now);
-                    self.evict_worker(now, id);
-                    self.dispatch(now);
-                }
-                Event::TaskDone(info) => {
-                    self.config.telemetry.counter_at("event.task_done", 1, now);
-                    // A placement lost with its worker (or reclaimed by its
-                    // lease) was already rescheduled; drop the stale
-                    // completion.
-                    if !self.live_placements.contains_key(&info.placement) {
-                        continue;
-                    }
-                    if info.infra == Some(InfraFault::ResultLost) {
-                        // The task ran, but its completion message vanished:
-                        // free the worker and leave a zombie placement for
-                        // the lease to reclaim.
-                        self.result_lost(now, &info);
-                    } else {
-                        self.live_placements.remove(&info.placement);
-                        if let Some(set) = self.placements_by_worker.get_mut(&info.worker) {
-                            set.remove(&info.placement);
-                        }
-                        self.finish_task(now, *info);
-                    }
-                    self.dispatch(now);
-                }
-                Event::LeaseExpired { placement } => {
-                    self.reclaim_lease(now, placement);
-                    self.dispatch(now);
-                }
-                Event::Requeue { task_idx, attempt } => {
-                    self.enqueue_front(Pending {
-                        task_idx,
-                        attempt,
-                        since: now,
-                    });
-                    self.dispatch(now);
-                }
-                Event::QuarantineRelease { id } => {
-                    self.release_quarantine(now, id);
-                    self.dispatch(now);
-                }
+                continue;
             }
-            self.maybe_scale(self.queue.now());
-            self.config.telemetry.gauge(
-                "master.pending_tasks",
-                self.pending_len() as f64,
-                self.queue.now(),
-            );
+            self.handle_event(now, event);
+            self.after_event();
         }
 
         let makespan = self.queue.now().as_secs();
@@ -843,13 +815,794 @@ impl Master {
             quarantines: self.quarantines,
             lost_core_secs: self.lost_core_secs,
             degraded_to_shared_fs: self.degraded,
+            master_crashes: self.master_crashes,
+            recoveries: self.recoveries,
+            journal_bytes: self.journal.as_ref().map_or(0, |j| j.bytes_written()),
+            replayed_events: self.replayed_events,
             results: self.results,
         }
+    }
+
+    /// Process one simulation event while the master is up. Every arm ends
+    /// with a dispatch so freed or added capacity is reused immediately.
+    fn handle_event(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::WorkerUp { id } => {
+                self.config.telemetry.counter_at("event.worker_up", 1, now);
+                let mut worker = Worker::new(id, self.spec);
+                // Per-worker fault properties are keyed by worker id,
+                // not drawn from a shared stream, so they are identical
+                // across scheduler implementations.
+                worker.slowdown = self.faults.worker_slowdown(id);
+                self.workers.insert(id, worker);
+                self.free_cores += self.spec.resources.cores as u64;
+                if let SchedState::Indexed(ix) = &mut self.sched {
+                    ix.worker_added(id, self.spec.resources.cores);
+                    // An empty worker fits any resolved allocation:
+                    // every NoFit certificate is void.
+                    ix.wake_all_nofit();
+                }
+                // Sample an eviction time for unreliable pools.
+                if let Some(lifetime) = self.faults.worker_lifetime(id) {
+                    self.queue.schedule_in(lifetime, Event::WorkerDown { id });
+                }
+                self.dispatch(now);
+            }
+            Event::WorkerDown { id } => {
+                self.config
+                    .telemetry
+                    .counter_at("event.worker_down", 1, now);
+                self.evict_worker(now, id);
+                self.dispatch(now);
+            }
+            Event::TaskDone(info) => {
+                self.config.telemetry.counter_at("event.task_done", 1, now);
+                // A placement lost with its worker (or reclaimed by its
+                // lease) was already rescheduled; drop the stale
+                // completion.
+                if !self.live_placements.contains_key(&info.placement) {
+                    return;
+                }
+                if info.infra == Some(InfraFault::ResultLost) {
+                    // The task ran, but its completion message vanished:
+                    // free the worker and leave a zombie placement for
+                    // the lease to reclaim.
+                    self.result_lost(now, &info);
+                } else {
+                    self.live_placements.remove(&info.placement);
+                    if let Some(set) = self.placements_by_worker.get_mut(&info.worker) {
+                        set.remove(&info.placement);
+                    }
+                    self.jrec(Record::Freed {
+                        placement: info.placement,
+                    });
+                    self.finish_task(now, *info);
+                }
+                self.dispatch(now);
+            }
+            Event::LeaseExpired { placement } => {
+                self.reclaim_lease(now, placement);
+                self.dispatch(now);
+            }
+            Event::Requeue { task_idx, attempt } => {
+                // The armed backoff fires: retire its ledger entry, then
+                // enqueue (which journals the matching front-enqueue).
+                self.backoffs
+                    .retain(|&((t, a), _)| !(t == task_idx && a == attempt));
+                self.enqueue_front(Pending {
+                    task_idx,
+                    attempt,
+                    since: now,
+                });
+                self.dispatch(now);
+            }
+            Event::QuarantineRelease { id } => {
+                self.release_quarantine(now, id);
+                self.dispatch(now);
+            }
+            Event::Recovered => unreachable!("Recovered is only delivered while down"),
+        }
+    }
+
+    /// Bookkeeping after every event processed while up: the crash-point
+    /// check, the restore-equivalence probe, snapshot compaction, elastic
+    /// scaling, and the queue-depth gauge.
+    fn after_event(&mut self) {
+        self.processed_events += 1;
+        if let Some(&point) = self.faults.crash_points().get(self.next_crash) {
+            if self.processed_events >= point {
+                self.crash(self.queue.now());
+                return;
+            }
+        }
+        if let Some(at) = self.config.durability.probe_restore_at {
+            if !self.probe_done && self.processed_events >= at && self.is_quiescent() {
+                self.probe_restore(self.queue.now());
+                self.probe_done = true;
+            }
+        }
+        if let Some(j) = self.journal.as_ref() {
+            if j.wants_snapshot(self.config.durability.snapshot_every) {
+                let img = self.snapshot_image();
+                self.journal
+                    .as_mut()
+                    .expect("journal present")
+                    .install_snapshot(&img);
+                self.config
+                    .telemetry
+                    .counter_at("journal.snapshot", 1, self.queue.now());
+            }
+        }
+        self.maybe_scale(self.queue.now());
+        self.config.telemetry.gauge(
+            "master.pending_tasks",
+            self.pending_len() as f64,
+            self.queue.now(),
+        );
+    }
+
+    /// No armed master-side timers (leases, backoffs, quarantine releases):
+    /// restoring here re-arms nothing, so the event queue is untouched and a
+    /// probe restore must be bit-exact. In-flight placements are fine — they
+    /// live in the image, not the queue — as long as their leases are
+    /// unarmed (always true on a fault-free cluster).
+    fn is_quiescent(&self) -> bool {
+        self.backoffs.is_empty()
+            && self.quarantine_until.is_empty()
+            && self.live_placements.values().all(|p| p.lease_at.is_none())
+    }
+
+    // ---- durability: journaling, crash, and recovery ----
+
+    /// Append a write-ahead record — unless recovery is reconstructing
+    /// state (reconstruction is not new history) or durability is off.
+    fn jrec(&mut self, rec: Record) {
+        if self.restoring {
+            return;
+        }
+        if let Some(j) = self.journal.as_mut() {
+            j.append(rec);
+        }
+    }
+
+    /// Journal a plain report-counter delta.
+    fn jcount(&mut self, key: CounterKey, amount: f64) {
+        self.jrec(Record::Counter { key, amount });
+    }
+
+    /// The master process dies. Its logical state is wiped; the physical
+    /// cluster (workers, caches, running executions, in-flight transfers)
+    /// keeps moving. With a journal the master recovers `snapshot ⊕ tail`;
+    /// without one it restarts the run from scratch (the bench baseline).
+    /// Either way the master stays down for the restart latency plus the
+    /// per-record replay cost, buffering world events until `Recovered`.
+    fn crash(&mut self, now: SimTime) {
+        self.master_crashes += 1;
+        self.next_crash += 1;
+        self.config.telemetry.counter_at("master.crash", 1, now);
+        // Master-side timers (leases, backoffs, quarantine releases) died
+        // with the process; only the physical world's events survive.
+        self.queue.retain(Event::is_world);
+        let tail = self.journal.as_ref().map(|j| j.tail_len());
+        let downtime = self.config.durability.restart_secs
+            + self.config.durability.replay_secs_per_event * tail.unwrap_or(0) as f64;
+        let resume_at = now + downtime;
+        match tail {
+            Some(replayed) => {
+                let img = self.recover_image();
+                self.replayed_events += replayed;
+                self.config
+                    .telemetry
+                    .counter_at("journal.replayed_events", replayed, now);
+                self.restore_from_image(&img, resume_at);
+                self.recoveries += 1;
+            }
+            None => self.full_restart(resume_at),
+        }
+        self.down = true;
+        self.deferred.clear();
+        self.queue.schedule_at(resume_at, Event::Recovered);
+    }
+
+    /// The master process is back up: drain the world events that arrived
+    /// while it was down (in their original order), then resume dispatching.
+    fn come_back_up(&mut self, now: SimTime) {
+        self.down = false;
+        self.config.telemetry.counter_at("master.recovered", 1, now);
+        let deferred = std::mem::take(&mut self.deferred);
+        for ev in deferred {
+            self.handle_event(now, ev);
+            self.processed_events += 1;
+        }
+        self.dispatch(now);
+        self.maybe_scale(now);
+        self.config
+            .telemetry
+            .gauge("master.pending_tasks", self.pending_len() as f64, now);
+    }
+
+    /// Fold the journal (base snapshot plus record tail) into the image the
+    /// crashed master must resume from.
+    fn recover_image(&mut self) -> MasterImage {
+        let journal = self.journal.take().expect("journaled recovery");
+        let mut img = journal
+            .base_image()
+            .expect("snapshot decodes")
+            .unwrap_or_else(|| {
+                let fresh_deps: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
+                MasterImage::fresh(&fresh_deps, self.tasks.len(), self.cat_names.len())
+            });
+        let full_deps = Self::dependency_graph(&self.tasks);
+        for rec in journal.tail() {
+            self.apply_record(&mut img, rec, &full_deps);
+        }
+        self.journal = Some(journal);
+        img
+    }
+
+    /// Replay one record into an image — the exact mutation the live master
+    /// performed when it appended the record.
+    fn apply_record(
+        &self,
+        img: &mut MasterImage,
+        rec: &Record,
+        full_deps: &BTreeMap<TaskId, Vec<usize>>,
+    ) {
+        match rec {
+            Record::RunStart {
+                seed,
+                task_count,
+                worker_count,
+            } => {
+                debug_assert_eq!(*seed, self.config.seed, "journal from another run");
+                debug_assert_eq!(*task_count, self.tasks.len() as u64);
+                debug_assert_eq!(*worker_count, self.worker_count);
+            }
+            Record::Enqueue {
+                task_idx,
+                attempt,
+                front,
+                since,
+            } => {
+                // An enqueue of an attempt retires any armed backoff for it:
+                // the timer fired (or the attempt re-entered another way).
+                img.backoffs
+                    .retain(|&(t, a, _)| !(t == *task_idx && a == *attempt));
+                if *front {
+                    img.pending.push_front((*task_idx, *attempt, *since));
+                } else {
+                    img.pending.push_back((*task_idx, *attempt, *since));
+                }
+            }
+            Record::BackoffArm {
+                task_idx,
+                attempt,
+                at,
+            } => img.backoffs.push((*task_idx, *attempt, *at)),
+            Record::Placed {
+                placement,
+                worker,
+                task_idx,
+                attempt,
+                alloc,
+                started_at,
+                lease_at,
+            } => {
+                // An attempt is pending at most once, so the match is unique.
+                if let Some(pos) = img
+                    .pending
+                    .iter()
+                    .position(|&(t, a, _)| t == *task_idx && a == *attempt)
+                {
+                    img.pending.remove(pos);
+                }
+                img.placements.insert(
+                    *placement,
+                    PlacementSnap {
+                        worker: *worker,
+                        task_idx: *task_idx,
+                        attempt: *attempt,
+                        alloc: *alloc,
+                        started_at: *started_at,
+                        zombie: false,
+                        lease_at: *lease_at,
+                    },
+                );
+                img.next_placement = placement + 1;
+            }
+            Record::Zombie { placement } => {
+                if let Some(p) = img.placements.get_mut(placement) {
+                    p.zombie = true;
+                }
+            }
+            Record::Freed { placement } => {
+                img.placements.remove(placement);
+            }
+            Record::Result(tr) => img.results.push((**tr).clone()),
+            Record::Finished { task_idx, success } => {
+                img.completed += 1;
+                if *success {
+                    let id = self.tasks[*task_idx as usize].id;
+                    for &dep_idx in full_deps.get(&id).map(Vec::as_slice).unwrap_or(&[]) {
+                        // Mirrors the live decrement, including the
+                        // cancelled-marker wrap (u64::MAX → u64::MAX - 1).
+                        img.dep_remaining[dep_idx] = img.dep_remaining[dep_idx].wrapping_sub(1);
+                    }
+                }
+            }
+            Record::Abandoned { .. } => {
+                img.abandoned += 1;
+                img.completed += 1;
+            }
+            Record::Cancelled { task_idx } => {
+                img.dep_remaining[*task_idx as usize] = u64::MAX;
+                img.abandoned += 1;
+                img.completed += 1;
+            }
+            Record::Observe {
+                cat,
+                peak_cores,
+                peak_rss_mb,
+                peak_disk_mb,
+                completed,
+                violated,
+            } => {
+                // Exactly `Allocator::observe_outcome`, against the sample
+                // vectors instead of the live stores.
+                let s = &mut img.alloc_stats[*cat as usize];
+                match violated {
+                    None => {
+                        s.cores.push(peak_cores.max(0.01));
+                        s.memory_mb.push((*peak_rss_mb).max(1) as f64);
+                        s.disk_mb.push((*peak_disk_mb).max(1) as f64);
+                    }
+                    Some(ResourceKind::Cores) => s.cores.push(peak_cores.max(0.01) * 2.0),
+                    Some(ResourceKind::Memory) => {
+                        s.memory_mb.push((*peak_rss_mb).max(1) as f64 * 2.0)
+                    }
+                    Some(ResourceKind::Disk) => s.disk_mb.push((*peak_disk_mb).max(1) as f64 * 2.0),
+                    Some(ResourceKind::WallTime) => {}
+                }
+                if *completed {
+                    s.completed += 1;
+                }
+            }
+            Record::Retried { task_idx } => {
+                if let Err(pos) = img.retried.binary_search(task_idx) {
+                    img.retried.insert(pos, *task_idx);
+                }
+            }
+            Record::InfraRetried { task_idx, count } => {
+                if let Err(pos) = img.infra_retried.binary_search(task_idx) {
+                    img.infra_retried.insert(pos, *task_idx);
+                }
+                img.infra_fail_count[*task_idx as usize] = *count;
+            }
+            Record::Streak { cat, value } => img.cat_streak[*cat as usize] = *value,
+            Record::WorkerFault { worker, count } => {
+                img.worker_faults.insert(*worker, *count);
+            }
+            Record::Quarantined { worker, release_at } => {
+                img.quarantined_until.push((*worker, *release_at));
+                img.quarantines += 1;
+            }
+            Record::QuarantineLifted { worker } => {
+                img.quarantined_until.retain(|&(w, _)| w != *worker);
+                img.worker_faults.remove(worker);
+            }
+            Record::EnvFailure { count } => img.env_failures = *count,
+            Record::Degraded => img.degraded = true,
+            Record::Counter { key, amount } => match key {
+                CounterKey::WorkersProvisioned => img.workers_provisioned += *amount as u32,
+                CounterKey::WorkersLost => img.workers_lost += *amount as u32,
+                CounterKey::TasksLost => img.tasks_lost += *amount as u64,
+                CounterKey::LeaseReclaims => img.lease_reclaims += *amount as u64,
+                CounterKey::StageInFailures => img.stage_in_failures += *amount as u64,
+                CounterKey::SpuriousKills => img.spurious_kills += *amount as u64,
+                CounterKey::ResultMsgsLost => img.result_msgs_lost += *amount as u64,
+                CounterKey::LostCoreSecs => img.lost_core_secs += *amount,
+            },
+        }
+    }
+
+    /// Serialize the master's complete logical state. The pending queue is
+    /// enumerated canonically (policy-sorted, stable) so both scheduler
+    /// implementations emit byte-identical snapshots; allocator sample
+    /// stores export canonically for the same reason.
+    fn snapshot_image(&self) -> MasterImage {
+        let pending: Vec<Pending> = match &self.sched {
+            SchedState::Reference(q) => {
+                let mut v: Vec<Pending> = q.iter().cloned().collect();
+                v.sort_by_key(|p| {
+                    policy_rank(
+                        self.config.policy,
+                        self.tasks[p.task_idx].profile.peak_memory_mb,
+                    )
+                });
+                v
+            }
+            SchedState::Indexed(ix) => ix.snapshot_pending(),
+        };
+        MasterImage {
+            pending: pending
+                .into_iter()
+                .map(|p| (p.task_idx as u64, p.attempt, p.since))
+                .collect(),
+            backoffs: self
+                .backoffs
+                .iter()
+                .map(|&((t, a), at)| (t as u64, a, SimTime::from_secs(at)))
+                .collect(),
+            placements: self
+                .live_placements
+                .iter()
+                .map(|(&id, p)| {
+                    (
+                        id,
+                        PlacementSnap {
+                            worker: p.worker,
+                            task_idx: p.task_idx as u64,
+                            attempt: p.attempt,
+                            alloc: p.allocated,
+                            started_at: p.started_at,
+                            zombie: p.zombie,
+                            lease_at: p.lease_at.map(SimTime::from_secs),
+                        },
+                    )
+                })
+                .collect(),
+            next_placement: self.next_placement,
+            alloc_stats: self
+                .cat_names
+                .iter()
+                .map(|cat| {
+                    self.allocator
+                        .snapshot_category(cat)
+                        .map(|(cores, memory_mb, disk_mb, completed)| CategorySnap {
+                            cores,
+                            memory_mb,
+                            disk_mb,
+                            completed: completed as u64,
+                        })
+                        .unwrap_or_default()
+                })
+                .collect(),
+            dep_remaining: self
+                .dep_remaining
+                .iter()
+                .map(|&d| if d == usize::MAX { u64::MAX } else { d as u64 })
+                .collect(),
+            completed: self.completed as u64,
+            abandoned: self.abandoned,
+            results: self.results.clone(),
+            retried: self.retried.iter().map(|&t| t as u64).collect(),
+            infra_retried: self.infra_retried.iter().map(|&t| t as u64).collect(),
+            infra_fail_count: self.infra_fail_count.clone(),
+            cat_streak: self.cat_streak.clone(),
+            worker_faults: self
+                .workers
+                .values()
+                .filter(|w| w.infra_failures > 0)
+                .map(|w| (w.id(), w.infra_failures))
+                .collect(),
+            quarantined_until: self
+                .quarantine_until
+                .iter()
+                .map(|&(w, t)| (w, SimTime::from_secs(t)))
+                .collect(),
+            quarantines: self.quarantines,
+            degraded: self.degraded,
+            env_failures: self.env_failures,
+            workers_provisioned: self.workers_provisioned,
+            workers_lost: self.workers_lost,
+            tasks_lost: self.tasks_lost,
+            lease_reclaims: self.lease_reclaims,
+            stage_in_failures: self.stage_in_failures,
+            spurious_kills: self.spurious_kills,
+            result_msgs_lost: self.result_msgs_lost,
+            lost_core_secs: self.lost_core_secs,
+        }
+    }
+
+    /// Overwrite the master's logical state from an image, rebuild the
+    /// active scheduler implementation, and re-arm master-side timers
+    /// clamped to the recovery instant. World state (workers, caches,
+    /// running executions) is untouched — it survived the crash.
+    fn restore_from_image(&mut self, img: &MasterImage, resume_at: SimTime) {
+        self.restoring = true;
+        self.dep_remaining = img
+            .dep_remaining
+            .iter()
+            .map(|&d| {
+                if d == u64::MAX {
+                    usize::MAX
+                } else {
+                    d as usize
+                }
+            })
+            .collect();
+        // The rebuilt graph is unpruned, but pruning is an optimization:
+        // every re-walk of an already-cancelled branch is stopped by the
+        // `usize::MAX` markers restored above.
+        self.dependents = Self::dependency_graph(&self.tasks);
+        self.completed = img.completed as usize;
+        self.abandoned = img.abandoned;
+        self.results = img.results.clone();
+        self.retried = img.retried.iter().map(|&t| t as usize).collect();
+        self.infra_retried = img.infra_retried.iter().map(|&t| t as usize).collect();
+        self.infra_fail_count = img.infra_fail_count.clone();
+        self.cat_streak = img.cat_streak.clone();
+        self.quarantines = img.quarantines;
+        self.degraded = img.degraded;
+        self.env_failures = img.env_failures;
+        self.workers_provisioned = img.workers_provisioned;
+        self.workers_lost = img.workers_lost;
+        self.tasks_lost = img.tasks_lost;
+        self.lease_reclaims = img.lease_reclaims;
+        self.stage_in_failures = img.stage_in_failures;
+        self.spurious_kills = img.spurious_kills;
+        self.result_msgs_lost = img.result_msgs_lost;
+        self.lost_core_secs = img.lost_core_secs;
+        self.next_placement = img.next_placement;
+
+        // The allocator's labels are a pure function of the sample multiset,
+        // so replaying the exported samples reproduces every decision.
+        self.allocator = Allocator::new(self.config.strategy.clone());
+        for (cat, s) in self.cat_names.iter().zip(&img.alloc_stats) {
+            if s.cores.is_empty()
+                && s.memory_mb.is_empty()
+                && s.disk_mb.is_empty()
+                && s.completed == 0
+            {
+                continue;
+            }
+            self.allocator.restore_category(
+                cat,
+                &s.cores,
+                &s.memory_mb,
+                &s.disk_mb,
+                s.completed as usize,
+            );
+        }
+
+        self.live_placements.clear();
+        self.placements_by_worker.clear();
+        for c in &mut self.running_by_cat {
+            *c = 0;
+        }
+        self.in_flight = 0;
+        for (&id, p) in &img.placements {
+            self.live_placements.insert(
+                id,
+                PlacementInfo {
+                    worker: p.worker,
+                    task_idx: p.task_idx as usize,
+                    attempt: p.attempt,
+                    allocated: p.alloc,
+                    started_at: p.started_at,
+                    zombie: p.zombie,
+                    lease_at: p.lease_at.map(|t| t.as_secs()),
+                },
+            );
+            if !p.zombie {
+                // Zombies already freed their resources; they stay live only
+                // to block duplicate completions until the lease reclaims.
+                self.placements_by_worker
+                    .entry(p.worker)
+                    .or_default()
+                    .insert(id);
+                self.in_flight += 1;
+                self.running_by_cat[self.cat_of[p.task_idx as usize] as usize] += 1;
+            }
+        }
+
+        for w in self.workers.values_mut() {
+            w.quarantined = false;
+            w.infra_failures = 0;
+        }
+        for (&wid, &count) in &img.worker_faults {
+            if let Some(w) = self.workers.get_mut(&wid) {
+                w.infra_failures = count;
+            }
+        }
+        for &(wid, _) in &img.quarantined_until {
+            if let Some(w) = self.workers.get_mut(&wid) {
+                w.quarantined = true;
+            }
+        }
+        self.free_cores = self
+            .workers
+            .values()
+            .filter(|w| !w.quarantined)
+            .map(|w| w.node.available().cores as u64)
+            .sum();
+
+        self.backoffs = img
+            .backoffs
+            .iter()
+            .map(|&(t, a, at)| ((t as usize, a), at.as_secs()))
+            .collect();
+        self.quarantine_until = img
+            .quarantined_until
+            .iter()
+            .map(|&(w, t)| (w, t.as_secs()))
+            .collect();
+
+        let pending: Vec<Pending> = img
+            .pending
+            .iter()
+            .map(|&(t, a, since)| Pending {
+                task_idx: t as usize,
+                attempt: a,
+                since,
+            })
+            .collect();
+        self.rebuild_sched(pending);
+
+        // Re-arm master-side timers, clamping deadlines that passed while
+        // the master was down to the recovery instant. Each class re-arms
+        // in its original arm order, so equal-time timers keep their FIFO
+        // tie-break.
+        let clamp = |t: f64| SimTime::from_secs(t.max(resume_at.as_secs()));
+        let leases: Vec<(u64, f64)> = self
+            .live_placements
+            .iter()
+            .filter_map(|(&id, p)| p.lease_at.map(|t| (id, t)))
+            .collect();
+        for (placement, t) in leases {
+            self.queue
+                .schedule_at(clamp(t), Event::LeaseExpired { placement });
+        }
+        for ((task_idx, attempt), at) in self.backoffs.clone() {
+            self.queue
+                .schedule_at(clamp(at), Event::Requeue { task_idx, attempt });
+        }
+        for (id, t) in self.quarantine_until.clone() {
+            self.queue
+                .schedule_at(clamp(t), Event::QuarantineRelease { id });
+        }
+        self.restoring = false;
+    }
+
+    /// Crash recovery without a journal: the restarted master knows nothing.
+    /// Orphaned placements are torn down (their completions will be dropped
+    /// as stale), every learned label and result row is lost, and the whole
+    /// workload re-enqueues from its roots — only worker caches survive to
+    /// soften the re-run. This deliberately breaks run conservation; it is
+    /// the baseline the recovery bench measures the journal against.
+    fn full_restart(&mut self, resume_at: SimTime) {
+        let placements: Vec<PlacementInfo> = self.live_placements.values().copied().collect();
+        for p in &placements {
+            if p.zombie {
+                continue;
+            }
+            if let Some(w) = self.workers.get_mut(&p.worker) {
+                w.node.free(p.allocated);
+                w.running -= 1;
+            }
+        }
+        // Forget in-flight staging marks for torn-down placements so the
+        // re-run re-stages cleanly.
+        for p in &placements {
+            if p.zombie {
+                continue;
+            }
+            for i in 0..self.tasks[p.task_idx].inputs.len() {
+                let name = self.tasks[p.task_idx].inputs[i].name.clone();
+                let cacheable = self.tasks[p.task_idx].inputs[i].cacheable;
+                if cacheable {
+                    if let Some(w) = self.workers.get_mut(&p.worker) {
+                        w.abort_staging(&name);
+                    }
+                }
+            }
+        }
+        self.live_placements.clear();
+        self.placements_by_worker.clear();
+        self.in_flight = 0;
+        for c in &mut self.running_by_cat {
+            *c = 0;
+        }
+        self.backoffs.clear();
+        self.quarantine_until.clear();
+        for w in self.workers.values_mut() {
+            w.quarantined = false;
+            w.infra_failures = 0;
+        }
+        self.free_cores = self
+            .workers
+            .values()
+            .map(|w| w.node.available().cores as u64)
+            .sum();
+        self.allocator = Allocator::new(self.config.strategy.clone());
+        self.dep_remaining = self.tasks.iter().map(|t| t.deps.len()).collect();
+        self.dependents = Self::dependency_graph(&self.tasks);
+        self.infra_fail_count = vec![0; self.tasks.len()];
+        for s in &mut self.cat_streak {
+            *s = 0;
+        }
+        self.degraded = false;
+        self.env_failures = 0;
+        self.results.clear();
+        self.retried.clear();
+        self.infra_retried.clear();
+        self.completed = 0;
+        self.abandoned = 0;
+        self.rebuild_sched(Vec::new());
+        for idx in 0..self.tasks.len() {
+            if self.dep_remaining[idx] == 0 {
+                self.enqueue_back(Pending {
+                    task_idx: idx,
+                    attempt: 0,
+                    since: resume_at,
+                });
+            }
+        }
+    }
+
+    /// Point the active scheduler implementation at a restored pending
+    /// sequence (already in examination order) and the surviving worker
+    /// pool.
+    fn rebuild_sched(&mut self, pending: Vec<Pending>) {
+        match self.config.sched {
+            SchedImpl::Reference => {
+                self.sched = SchedState::Reference(pending.into_iter().collect());
+            }
+            SchedImpl::Indexed => {
+                let mut ix = IndexedSched::new(self.config.policy);
+                for w in self.workers.values() {
+                    if !w.quarantined {
+                        ix.worker_added(w.id(), w.node.available().cores);
+                    }
+                    // The file index keeps quarantined workers' caches (they
+                    // rejoin with caches intact), matching live maintenance.
+                    for f in w.cached_files() {
+                        ix.file_cached(f, w.id());
+                    }
+                }
+                self.sched = SchedState::Indexed(ix);
+                if let SchedState::Indexed(ix) = &mut self.sched {
+                    for item in pending {
+                        ix.push_back(&self.tasks[item.task_idx], item);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The full dependents graph, as built at construction (recovery cannot
+    /// use the live map — cancellation prunes it as it walks).
+    fn dependency_graph(tasks: &[TaskSpec]) -> BTreeMap<TaskId, Vec<usize>> {
+        let mut dependents: BTreeMap<TaskId, Vec<usize>> = BTreeMap::new();
+        for (i, t) in tasks.iter().enumerate() {
+            for d in &t.deps {
+                dependents.entry(*d).or_default().push(i);
+            }
+        }
+        dependents
+    }
+
+    /// Test hook (`DurabilityConfig::probe_restore_at`): serialize the
+    /// full master image through the encode/decode path, wipe, and restore
+    /// in place. A restored master must be bitwise-indistinguishable from
+    /// an uninterrupted one — the recovery-equivalence suites compare the
+    /// final `RunReport`s.
+    fn probe_restore(&mut self, now: SimTime) {
+        let img = self.snapshot_image();
+        let bytes = img.encode();
+        let decoded = MasterImage::decode(&bytes).expect("image round-trips");
+        debug_assert_eq!(img, decoded, "image encode/decode must round-trip");
+        // Mirror a real crash's timer purge. At a quiescent point there are
+        // no master-side timers, so this keeps the code path honest at zero
+        // observable cost.
+        self.queue.retain(Event::is_world);
+        self.restore_from_image(&decoded, now);
     }
 
     fn submit_pilots(&mut self, now: SimTime, count: u32) {
         for pilot in self.batch.submit(now, self.spec, count) {
             self.workers_provisioned += 1;
+            self.jcount(CounterKey::WorkersProvisioned, 1.0);
             self.queue
                 .schedule_at(pilot.starts_at, Event::WorkerUp { id: pilot.id });
         }
@@ -887,6 +1640,7 @@ impl Master {
             return;
         };
         self.workers_lost += 1;
+        self.jcount(CounterKey::WorkersLost, 1.0);
         // A quarantined worker's free cores were already withdrawn from the
         // pool (and from the capacity index) when it was quarantined.
         if !worker.quarantined {
@@ -908,9 +1662,13 @@ impl Master {
                 .remove(&placement)
                 .expect("indexed placement is live");
             debug_assert_eq!(p.worker, id);
+            self.jrec(Record::Freed { placement });
             self.tasks_lost += 1;
+            self.jcount(CounterKey::TasksLost, 1.0);
             self.in_flight -= 1;
-            self.lost_core_secs += p.allocated.cores as f64 * (now - p.started_at);
+            let lost_secs = p.allocated.cores as f64 * (now - p.started_at);
+            self.lost_core_secs += lost_secs;
+            self.jcount(CounterKey::LostCoreSecs, lost_secs);
             let cat = self.cat_of[p.task_idx];
             self.running_by_cat[cat as usize] -= 1;
             if let SchedState::Indexed(ix) = &mut self.sched {
@@ -948,6 +1706,12 @@ impl Master {
     }
 
     fn enqueue_back(&mut self, item: Pending) {
+        self.jrec(Record::Enqueue {
+            task_idx: item.task_idx as u64,
+            attempt: item.attempt,
+            front: false,
+            since: item.since,
+        });
         match &mut self.sched {
             SchedState::Reference(q) => q.push_back(item),
             SchedState::Indexed(ix) => ix.push_back(&self.tasks[item.task_idx], item),
@@ -955,6 +1719,12 @@ impl Master {
     }
 
     fn enqueue_front(&mut self, item: Pending) {
+        self.jrec(Record::Enqueue {
+            task_idx: item.task_idx as u64,
+            attempt: item.attempt,
+            front: true,
+            since: item.since,
+        });
         match &mut self.sched {
             SchedState::Reference(q) => q.push_front(item),
             SchedState::Indexed(ix) => ix.push_front(&self.tasks[item.task_idx], item),
@@ -1207,6 +1977,7 @@ impl Master {
                 allocated: alloc,
                 started_at: now,
                 zombie: false,
+                lease_at: None,
             },
         );
         self.placements_by_worker
@@ -1348,6 +2119,17 @@ impl Master {
                     env_transfer,
                 })),
             );
+            // No execution, no lease: the stage-in failure event itself
+            // bounds the attempt.
+            self.jrec(Record::Placed {
+                placement,
+                worker: wid,
+                task_idx: task_idx as u64,
+                attempt,
+                alloc,
+                started_at: now,
+                lease_at: None,
+            });
             return;
         }
 
@@ -1414,15 +2196,32 @@ impl Master {
         // attempt's *nominal* time (actual stage-in + unslowed execution +
         // nominal output transfer): stragglers running far past nominal
         // and zombies whose completion never arrives both get reclaimed.
-        if self.faults.active() {
+        let lease_at = if self.faults.active() {
             let nominal = stage_in
                 + self.tasks[task_idx].profile.duration_secs * io_slow
                 + output_bytes as f64 / self.net.params.per_link_bw;
             let r = &self.config.resilience;
             let lease = (r.lease_factor * nominal).max(r.min_lease_secs);
+            let deadline = now + lease;
             self.queue
-                .schedule_in(lease, Event::LeaseExpired { placement });
-        }
+                .schedule_at(deadline, Event::LeaseExpired { placement });
+            self.live_placements
+                .get_mut(&placement)
+                .expect("just inserted")
+                .lease_at = Some(deadline.as_secs());
+            Some(deadline)
+        } else {
+            None
+        };
+        self.jrec(Record::Placed {
+            placement,
+            worker: wid,
+            task_idx: task_idx as u64,
+            attempt,
+            alloc,
+            started_at: now,
+            lease_at,
+        });
     }
 
     /// What distribution mode is in force right now — the configured one,
@@ -1494,10 +2293,16 @@ impl Master {
         if let Some(p) = self.live_placements.get_mut(&info.placement) {
             p.zombie = true;
         }
+        self.jrec(Record::Zombie {
+            placement: info.placement,
+        });
         self.free_placement(info.worker, info.task_idx, info.allocated);
         self.cache_staged_inputs(info.worker, info.task_idx);
         self.result_msgs_lost += 1;
-        self.lost_core_secs += info.allocated.cores as f64 * (now - info.started_at);
+        self.jcount(CounterKey::ResultMsgsLost, 1.0);
+        let lost_secs = info.allocated.cores as f64 * (now - info.started_at);
+        self.lost_core_secs += lost_secs;
+        self.jcount(CounterKey::LostCoreSecs, lost_secs);
         self.config
             .telemetry
             .instant("result_lost", "faults")
@@ -1518,13 +2323,17 @@ impl Master {
             return; // completed (or was lost with its worker) long ago
         };
         self.live_placements.remove(&placement);
+        self.jrec(Record::Freed { placement });
         self.lease_reclaims += 1;
+        self.jcount(CounterKey::LeaseReclaims, 1.0);
         if !p.zombie {
             if let Some(set) = self.placements_by_worker.get_mut(&p.worker) {
                 set.remove(&placement);
             }
             self.free_placement(p.worker, p.task_idx, p.allocated);
-            self.lost_core_secs += p.allocated.cores as f64 * (now - p.started_at);
+            let lost_secs = p.allocated.cores as f64 * (now - p.started_at);
+            self.lost_core_secs += lost_secs;
+            self.jcount(CounterKey::LostCoreSecs, lost_secs);
         }
         self.config
             .telemetry
@@ -1550,8 +2359,14 @@ impl Master {
             return; // already evicted
         };
         worker.infra_failures += 1;
-        if worker.infra_failures >= threshold && !worker.quarantined {
+        let count = worker.infra_failures;
+        let quarantine = count >= threshold && !worker.quarantined;
+        if quarantine {
             worker.quarantined = true;
+        }
+        self.jrec(Record::WorkerFault { worker: wid, count });
+        if quarantine {
+            let worker = self.workers.get_mut(&wid).expect("worker exists");
             let avail = worker.node.available();
             self.quarantines += 1;
             self.free_cores -= avail.cores as u64;
@@ -1564,10 +2379,14 @@ impl Master {
                 .at(now)
                 .track(wid as u64)
                 .emit();
-            self.queue.schedule_in(
-                self.config.resilience.quarantine_secs,
-                Event::QuarantineRelease { id: wid },
-            );
+            let release_at = now + self.config.resilience.quarantine_secs;
+            self.quarantine_until.push((wid, release_at.as_secs()));
+            self.jrec(Record::Quarantined {
+                worker: wid,
+                release_at,
+            });
+            self.queue
+                .schedule_at(release_at, Event::QuarantineRelease { id: wid });
         }
     }
 
@@ -1583,6 +2402,8 @@ impl Master {
         worker.quarantined = false;
         worker.infra_failures = 0;
         let avail = worker.node.available();
+        self.quarantine_until.retain(|&(w, _)| w != id);
+        self.jrec(Record::QuarantineLifted { worker: id });
         self.free_cores += avail.cores as u64;
         if let SchedState::Indexed(ix) = &mut self.sched {
             ix.worker_online(id, avail.cores);
@@ -1602,15 +2423,28 @@ impl Master {
     fn requeue_with_backoff(&mut self, now: SimTime, task_idx: usize, attempt: u32) {
         self.infra_retried.insert(task_idx);
         self.infra_fail_count[task_idx] += 1;
+        self.jrec(Record::InfraRetried {
+            task_idx: task_idx as u64,
+            count: self.infra_fail_count[task_idx],
+        });
         if self.infra_fail_count[task_idx] > self.config.resilience.infra_retry_budget {
             self.abandoned += 1;
             self.completed += 1;
+            self.jrec(Record::Abandoned {
+                task_idx: task_idx as u64,
+            });
             self.config.telemetry.counter_at("master.abandoned", 1, now);
             self.cancel_dependents(task_idx);
             return;
         }
         let cat = self.cat_of[task_idx] as usize;
-        self.cat_streak[cat] += 1;
+        // Saturate rather than wrap: a pathological streak past u32::MAX
+        // attempts must pin at the backoff ceiling, not reset to zero.
+        self.cat_streak[cat] = self.cat_streak[cat].saturating_add(1);
+        self.jrec(Record::Streak {
+            cat: cat as u32,
+            value: self.cat_streak[cat],
+        });
         let delay = backoff_delay(self.cat_streak[cat], &self.config.resilience);
         self.config
             .telemetry
@@ -1627,8 +2461,15 @@ impl Master {
                 since: now,
             });
         } else {
+            let at = now + delay;
+            self.backoffs.push(((task_idx, attempt), at.as_secs()));
+            self.jrec(Record::BackoffArm {
+                task_idx: task_idx as u64,
+                attempt,
+                at,
+            });
             self.queue
-                .schedule_in(delay, Event::Requeue { task_idx, attempt });
+                .schedule_at(at, Event::Requeue { task_idx, attempt });
         }
     }
 
@@ -1645,15 +2486,22 @@ impl Master {
             }
         }
         self.stage_in_failures += 1;
-        self.lost_core_secs += info.allocated.cores as f64 * info.stage_in_secs;
+        self.jcount(CounterKey::StageInFailures, 1.0);
+        let lost_secs = info.allocated.cores as f64 * info.stage_in_secs;
+        self.lost_core_secs += lost_secs;
+        self.jcount(CounterKey::LostCoreSecs, lost_secs);
         if info.env_transfer
             && self.config.staging.dist_mode == DistMode::PackedTransfer
             && !self.degraded
         {
             self.env_failures += 1;
+            self.jrec(Record::EnvFailure {
+                count: self.env_failures,
+            });
             if let Some(th) = self.config.resilience.degrade_env_failures {
                 if self.env_failures >= th {
                     self.degraded = true;
+                    self.jrec(Record::Degraded);
                     self.config
                         .telemetry
                         .instant("degrade_to_shared_fs", "faults")
@@ -1698,6 +2546,15 @@ impl Master {
         let effects = if spurious {
             ObservationEffects::default()
         } else {
+            let report = info.outcome.report();
+            self.jrec(Record::Observe {
+                cat,
+                peak_cores: report.peak_cores,
+                peak_rss_mb: report.peak_rss_mb,
+                peak_disk_mb: report.peak_disk_mb,
+                completed,
+                violated,
+            });
             self.allocator.observe_outcome_notify(
                 &self.cat_names[cat as usize],
                 info.outcome.report(),
@@ -1714,6 +2571,7 @@ impl Master {
             }
         }
         let task = &self.tasks[info.task_idx];
+        let task_id = task.id;
 
         // Per-attempt trace spans. Nothing below touches sim state: the
         // recorder is strictly observational, so a disabled recorder yields
@@ -1778,7 +2636,7 @@ impl Master {
                 .emit();
         }
 
-        self.results.push(TaskResult {
+        let result = TaskResult {
             task: task.id,
             category: task.category.clone(),
             worker: info.worker,
@@ -1790,25 +2648,31 @@ impl Master {
             exec_secs: info.exec_secs,
             outcome: info.outcome.clone(),
             attempt: info.attempt,
-        });
+        };
+        self.jrec(Record::Result(Box::new(result.clone())));
+        self.results.push(result);
 
         if spurious {
             // An injected monitor fault killed a healthy execution: retry
             // the *same* attempt against the infra budget, never the
             // resource-retry ceiling.
             self.spurious_kills += 1;
+            self.jcount(CounterKey::SpuriousKills, 1.0);
             self.config
                 .telemetry
                 .instant("spurious_kill", "faults")
                 .at(now)
                 .track(info.worker as u64)
-                .task(task.id.0)
+                .task(task_id.0)
                 .attempt(info.attempt)
                 .emit();
             self.note_worker_fault(now, info.worker);
             self.requeue_with_backoff(now, info.task_idx, info.attempt);
         } else if info.outcome.is_limit_exceeded() {
             self.retried.insert(info.task_idx);
+            self.jrec(Record::Retried {
+                task_idx: info.task_idx as u64,
+            });
             if info.attempt + 1 < self.config.resilience.max_attempts {
                 self.config.telemetry.counter_at("master.retry", 1, now);
                 self.config
@@ -1816,7 +2680,7 @@ impl Master {
                     .instant("retry", "master")
                     .at(now)
                     .track(info.worker as u64)
-                    .task(task.id.0)
+                    .task(task_id.0)
                     .attempt(info.attempt + 1)
                     .emit();
                 // Retry at the front, at full size (the allocator returns
@@ -1829,15 +2693,23 @@ impl Master {
             } else {
                 self.abandoned += 1;
                 self.completed += 1;
+                self.jrec(Record::Abandoned {
+                    task_idx: info.task_idx as u64,
+                });
                 self.config.telemetry.counter_at("master.abandoned", 1, now);
                 self.cancel_dependents(info.task_idx);
             }
         } else {
             self.completed += 1;
+            self.jrec(Record::Finished {
+                task_idx: info.task_idx as u64,
+                success: info.outcome.is_success(),
+            });
             self.config.telemetry.counter_at("master.task_done", 1, now);
             if info.outcome.is_success() {
                 // A success ends the category's infra-failure streak.
                 self.cat_streak[cat as usize] = 0;
+                self.jrec(Record::Streak { cat, value: 0 });
                 // All tasks submit at t=0, so turnaround is just `now`.
                 self.config.telemetry.observe("turnaround_s", now.as_secs());
                 self.release_dependents(now, info.task_idx);
@@ -1883,6 +2755,9 @@ impl Master {
                 self.dep_remaining[dep_idx] = usize::MAX;
                 self.abandoned += 1;
                 self.completed += 1;
+                self.jrec(Record::Cancelled {
+                    task_idx: dep_idx as u64,
+                });
                 stack.push(self.tasks[dep_idx].id);
             }
         }
@@ -2208,7 +3083,7 @@ mod tests {
         // guaranteed; replacements keep the run alive and every task still
         // completes exactly once.
         let cfg = MasterConfig::new(oracle())
-            .with_failures(FailureModel::evicting(120.0))
+            .with_faults(FaultPlan::evicting(120.0))
             .with_seed(5);
         let report = run_workload(&cfg, hep_tasks(48), 4, node());
         assert!(report.workers_lost > 0, "expected evictions");
@@ -2239,7 +3114,7 @@ mod tests {
         );
         let flaky = run_workload(
             &MasterConfig::new(oracle())
-                .with_failures(FailureModel::evicting(100.0))
+                .with_faults(FaultPlan::evicting(100.0))
                 .with_seed(5),
             hep_tasks(48),
             4,
@@ -2335,7 +3210,7 @@ mod tests {
         // order included. The broader matrix lives in the integration suite;
         // this is the in-crate smoke check.
         let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default()))
-            .with_failures(FailureModel::evicting(130.0))
+            .with_faults(FaultPlan::evicting(130.0))
             .with_seed(3);
         let reference = run_workload(
             &cfg.clone().with_sched(SchedImpl::Reference),
@@ -2360,7 +3235,7 @@ mod tests {
         // examined during evictions; linearity means it equals tasks_lost.
         EVICT_SCANNED.with(|c| c.set(0));
         let cfg = MasterConfig::new(oracle())
-            .with_failures(FailureModel::evicting(120.0))
+            .with_faults(FaultPlan::evicting(120.0))
             .with_seed(5);
         let report = run_workload(&cfg, hep_tasks(48), 4, node());
         assert!(report.tasks_lost > 0, "expected in-flight losses");
@@ -2484,10 +3359,9 @@ mod tests {
     }
 
     #[test]
-    fn grouped_config_and_failure_model_shims() {
-        // The legacy FailureModel converts into the equivalent FaultPlan.
-        assert!(!FaultPlan::from(FailureModel::reliable()).is_active());
-        let plan = FaultPlan::from(FailureModel::evicting(250.0));
+    fn grouped_config_setters() {
+        assert!(!FaultPlan::reliable().is_active());
+        let plan = FaultPlan::evicting(250.0);
         assert!(plan.is_active());
         assert_eq!(plan.specs().len(), 1);
         // Grouped setters write through to the nested configs.
@@ -2504,6 +3378,182 @@ mod tests {
         assert_eq!(cfg.staging.dist_mode, DistMode::PackedTransfer);
         assert_eq!(cfg.staging.io_interference, 0.1);
         assert!(cfg.resilience.quarantine_threshold.is_none());
+    }
+
+    #[test]
+    fn quarantine_release_rejoins_pool_exactly_once() {
+        // Regression: a timed release must restore the worker's capacity to
+        // the pool and the capacity index exactly once — a duplicate release
+        // event (e.g. re-armed after a recovery) must be a no-op.
+        let cfg = MasterConfig::new(oracle()).with_resilience(ResilienceConfig {
+            quarantine_threshold: Some(1),
+            ..ResilienceConfig::default()
+        });
+        let mut m = Master::new(cfg, hep_tasks(1), 1, node());
+        m.handle_event(SimTime::ZERO, Event::WorkerUp { id: 0 });
+        let full = m.free_cores;
+        assert_eq!(full, 8);
+        m.note_worker_fault(SimTime::from_secs(1.0), 0);
+        assert!(m.workers[&0].quarantined, "threshold 1 must quarantine");
+        assert_eq!(m.free_cores, 0, "capacity withdrawn from the pool");
+        assert_eq!(m.quarantine_until.len(), 1);
+        m.release_quarantine(SimTime::from_secs(2.0), 0);
+        assert!(!m.workers[&0].quarantined);
+        assert_eq!(m.workers[&0].infra_failures, 0, "flakiness score reset");
+        assert_eq!(m.free_cores, full, "capacity restored");
+        assert!(m.quarantine_until.is_empty());
+        // The duplicate release: nothing may be added twice.
+        m.release_quarantine(SimTime::from_secs(3.0), 0);
+        assert_eq!(m.free_cores, full, "double release re-added capacity");
+        // Placements resume on the released worker.
+        m.enqueue_back(Pending {
+            task_idx: 0,
+            attempt: 0,
+            since: SimTime::from_secs(3.0),
+        });
+        m.dispatch(SimTime::from_secs(3.0));
+        assert_eq!(m.live_placements.len(), 1, "released worker unused");
+        assert_eq!(m.live_placements.values().next().unwrap().worker, 0);
+    }
+
+    #[test]
+    fn allocator_labels_survive_snapshot_restore() {
+        // AC3: the learned first-allocation labels are the paper's core
+        // asset — a snapshot→restore cycle must reproduce the sample stores
+        // (and therefore the labels) exactly, not re-pay exploration.
+        let mut m = Master::new(
+            MasterConfig::new(Strategy::Auto(AutoConfig::default())),
+            hep_tasks(4),
+            1,
+            node(),
+        );
+        for mem in [100u64, 104, 108, 112, 120] {
+            let rep = lfm_monitor::report::ResourceReport {
+                peak_cores: 1.0,
+                peak_rss_mb: mem,
+                peak_disk_mb: 900,
+                cpu_secs: 50.0,
+                wall_secs: 55.0,
+                ..Default::default()
+            };
+            m.allocator.observe("hep", &rep, true);
+        }
+        let cap = node().resources;
+        let label = m.allocator.peek_decision("hep", &cap);
+        assert!(
+            matches!(label, AllocationDecision::Sized(_)),
+            "5 samples must label"
+        );
+        let stats = m.allocator.snapshot_category("hep").expect("stats");
+        let img = m.snapshot_image();
+        m.restore_from_image(&img, SimTime::ZERO);
+        assert_eq!(
+            m.allocator.snapshot_category("hep").expect("stats"),
+            stats,
+            "sample stores diverged across restore"
+        );
+        assert_eq!(
+            m.allocator.peek_decision("hep", &cap),
+            label,
+            "label diverged across restore"
+        );
+    }
+
+    #[test]
+    fn probe_restore_is_bitwise_invisible() {
+        // AC1: snapshot → encode → decode → restore at a quiescent point
+        // must leave the run bitwise-identical to one that never restored,
+        // for both scheduler implementations, with and without faults.
+        for sched in [SchedImpl::Reference, SchedImpl::Indexed] {
+            for plan in [FaultPlan::reliable(), FaultPlan::evicting(150.0)] {
+                let plain_cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default()))
+                    .with_faults(plan.clone())
+                    .with_sched(sched)
+                    .with_seed(13)
+                    .with_durability(DurabilityConfig::journal_only());
+                let probed_cfg = plain_cfg.clone().with_durability(DurabilityConfig {
+                    probe_restore_at: Some(40),
+                    ..DurabilityConfig::journal_only()
+                });
+                let plain = run_workload(&plain_cfg, hep_tasks(48), 4, node());
+                let probed = run_workload(&probed_cfg, hep_tasks(48), 4, node());
+                assert_eq!(plain, probed, "{sched:?} under {plan:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn journaled_recovery_conserves_tasks_and_matches_across_scheds() {
+        use crate::faults::FaultSpec;
+        let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default()))
+            .with_faults(FaultPlan::reliable().with(FaultSpec::master_crash(12.0, 3)))
+            .with_durability(DurabilityConfig::journal_with_snapshots(64))
+            .with_seed(21);
+        let reference = run_workload(
+            &cfg.clone().with_sched(SchedImpl::Reference),
+            hep_tasks(48),
+            4,
+            node(),
+        );
+        let indexed = run_workload(
+            &cfg.clone().with_sched(SchedImpl::Indexed),
+            hep_tasks(48),
+            4,
+            node(),
+        );
+        // Journals are written at placement-identical points, so recovery
+        // lands both implementations in the same state.
+        assert_eq!(reference, indexed);
+        assert!(reference.master_crashes > 0, "crash points never fired");
+        assert_eq!(reference.recoveries, reference.master_crashes);
+        assert!(reference.journal_bytes > 0);
+        // Conservation: every task succeeds exactly once.
+        assert_eq!(reference.abandoned_tasks, 0);
+        assert_eq!(distinct_successes(&reference), 48);
+    }
+
+    #[test]
+    fn crash_without_journal_is_a_full_restart() {
+        use crate::faults::FaultSpec;
+        let crash_plan = FaultPlan::reliable().with(FaultSpec::master_crash(12.0, 1));
+        let base = MasterConfig::new(oracle()).with_seed(9);
+        let no_crash = run_workload(&base, hep_tasks(40), 4, node());
+        let restarted = run_workload(
+            &base.clone().with_faults(crash_plan.clone()),
+            hep_tasks(40),
+            4,
+            node(),
+        );
+        assert!(restarted.master_crashes > 0, "crash point never fired");
+        assert_eq!(restarted.recoveries, 0, "no journal, no recovery");
+        assert_eq!(restarted.journal_bytes, 0);
+        // The restarted run still finishes everything exactly once (the
+        // pre-crash results were wiped with the rest of the master state),
+        // but re-pays the lost work.
+        assert_eq!(distinct_successes(&restarted), 40);
+        assert!(
+            restarted.makespan_secs > no_crash.makespan_secs,
+            "restart {} must cost more than uninterrupted {}",
+            restarted.makespan_secs,
+            no_crash.makespan_secs
+        );
+        // A journaled master recovers in place: strictly less rework.
+        let journaled = run_workload(
+            &base
+                .clone()
+                .with_faults(crash_plan)
+                .with_durability(DurabilityConfig::journal_with_snapshots(64)),
+            hep_tasks(40),
+            4,
+            node(),
+        );
+        assert_eq!(journaled.recoveries, 1);
+        assert!(
+            journaled.makespan_secs < restarted.makespan_secs,
+            "journaled {} must beat full restart {}",
+            journaled.makespan_secs,
+            restarted.makespan_secs
+        );
     }
 
     #[test]

@@ -5,7 +5,8 @@
 use crate::allocate::{AllocationDecision, Allocator, AutoConfig, Strategy};
 use crate::faults::{FaultPlan, FaultSpec};
 use crate::files::FileRef;
-use crate::master::{run_workload, FailureModel, MasterConfig, SchedulePolicy};
+use crate::journal::DurabilityConfig;
+use crate::master::{run_workload, MasterConfig, SchedulePolicy};
 use crate::sched::SchedImpl;
 use crate::task::{TaskId, TaskSpec};
 use lfm_monitor::report::ResourceReport;
@@ -186,13 +187,13 @@ proptest! {
             SchedulePolicy::SmallestFirst,
         ][policy_idx as usize];
         let failures = if evict {
-            FailureModel::evicting(200.0)
+            FaultPlan::evicting(200.0)
         } else {
-            FailureModel::reliable()
+            FaultPlan::reliable()
         };
         let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default()))
             .with_policy(policy)
-            .with_failures(failures)
+            .with_faults(failures)
             .with_seed(seed);
         let spec = NodeSpec::new(8, 8192, 16384);
         let reference = run_workload(
@@ -336,6 +337,96 @@ proptest! {
         // retry ledger: a resource retry needs a real limit kill.
         if report.retried_tasks > 0 {
             prop_assert!(report.results.iter().any(|r| r.outcome.is_limit_exceeded()));
+        }
+    }
+
+    /// Crash-point recovery: crash the master at random event indices (an
+    /// arbitrary draw of exponential crash points), optionally under worker
+    /// churn, recover from the journal (with or without compacting
+    /// snapshots), and the run must still conserve tasks — every task
+    /// succeeds exactly once or is abandoned — with the Reference and
+    /// Indexed schedulers bitwise-identical through every crash.
+    #[test]
+    fn crashed_and_recovered_runs_conserve_tasks(
+        shapes in prop::collection::vec(
+            (5.0f64..45.0, 1u32..3, 64u64..4096, 64u64..2048),
+            1..22
+        ),
+        workers in 1u32..5,
+        crash_mean in 4.0f64..40.0,
+        max_crashes in 1u32..4,
+        snapshot in any::<bool>(),
+        churn in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let env = FileRef::environment("env", 16 << 20, 64 << 20, 500, 50);
+        let tasks: Vec<TaskSpec> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(dur, cores, mem, disk))| {
+                TaskSpec::new(
+                    TaskId(i as u64),
+                    format!("cat{}", i % 2),
+                    vec![env.clone(), FileRef::data(format!("in-{i}"), 256 << 10)],
+                    1024,
+                    SimTaskProfile::new(dur, cores as f64, mem, disk),
+                )
+            })
+            .collect();
+        let mut plan = FaultPlan::reliable()
+            .with(FaultSpec::master_crash(crash_mean, max_crashes));
+        if churn {
+            plan = plan.with(FaultSpec::worker_churn(250.0));
+        }
+        let durability = if snapshot {
+            DurabilityConfig::journal_with_snapshots(32)
+        } else {
+            DurabilityConfig::journal_only()
+        };
+        let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default()))
+            .with_faults(plan)
+            .with_durability(durability)
+            .with_seed(seed);
+        let spec = NodeSpec::new(8, 8192, 16384);
+        let reference = run_workload(
+            &cfg.clone().with_sched(SchedImpl::Reference),
+            tasks.clone(),
+            workers,
+            spec,
+        );
+        let indexed = run_workload(
+            &cfg.clone().with_sched(SchedImpl::Indexed),
+            tasks.clone(),
+            workers,
+            spec,
+        );
+        prop_assert_eq!(&reference, &indexed);
+        let report = reference;
+        // Every crash recovered from the journal (never a full restart).
+        prop_assert_eq!(report.recoveries, report.master_crashes);
+        // Conservation across crashes: no task lost, none done twice.
+        let mut ok_ids: Vec<TaskId> = report
+            .results
+            .iter()
+            .filter(|r| r.outcome.is_success())
+            .map(|r| r.task)
+            .collect();
+        let successes = ok_ids.len();
+        ok_ids.sort();
+        ok_ids.dedup();
+        prop_assert_eq!(ok_ids.len(), successes, "a task completed twice");
+        prop_assert_eq!(
+            successes as u64 + report.abandoned_tasks,
+            tasks.len() as u64,
+            "tasks lost across recovery: {} ok + {} abandoned != {}",
+            successes,
+            report.abandoned_tasks,
+            tasks.len()
+        );
+        prop_assert!(report.journal_bytes > 0);
+        if report.master_crashes > 0 && !snapshot {
+            // Journal-only recovery replays the whole history.
+            prop_assert!(report.replayed_events > 0);
         }
     }
 

@@ -149,6 +149,23 @@ impl IndexedSched {
         self.ready.len() + self.parked
     }
 
+    /// Every pending task — ready and parked alike — in global examination
+    /// order (merged by [`OrderKey`]). This is the durability snapshot's
+    /// canonical pending enumeration: the reference scheduler produces the
+    /// identical sequence by stable-sorting its deque by
+    /// [`policy_rank`], because within a rank, deque order always equals
+    /// seq order.
+    pub fn snapshot_pending(&self) -> Vec<Pending> {
+        let mut all: Vec<(OrderKey, Pending)> = self
+            .ready
+            .iter()
+            .chain(self.groups.values().flat_map(|g| g.members.iter()))
+            .map(|(&k, p)| (k, p.clone()))
+            .collect();
+        all.sort_by_key(|&(k, _)| k);
+        all.into_iter().map(|(_, p)| p).collect()
+    }
+
     fn rank(&self, task: &TaskSpec) -> u64 {
         policy_rank(self.policy, task.profile.peak_memory_mb)
     }

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Recovery sweep: runs the HEP workload with master crashes injected at
+# increasing intensity under three durability modes — no journal (full
+# restart), journal-only, and journal + compacting snapshots — and writes
+# BENCH_recovery.json at the repo root. Pass --quick for a smaller
+# smoke-mode workload.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p lfm-bench --bin bench_recovery
+exec target/release/bench_recovery --out BENCH_recovery.json "$@"

@@ -21,6 +21,11 @@ echo "==> chaos suite (fault injection + resilience invariants)"
 cargo test -q --offline -p lfm-workqueue chaos
 cargo test -q --offline -p lfm-integration-tests --test sched_equivalence fault_plan
 
+echo "==> crash-recovery suite (journal, snapshots, restore equivalence)"
+cargo test -q --offline -p lfm-workqueue --lib -- journal recover probe_restore \
+    crash quarantine_release
+cargo test -q --offline -p lfm-integration-tests --test sched_equivalence master_crash
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run --offline
 

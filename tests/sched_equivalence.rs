@@ -94,7 +94,7 @@ const POLICIES: [SchedulePolicy; 3] = [
 fn auto_strategy_full_matrix() {
     let spec = NodeSpec::new(8, 8192, 16384);
     for policy in POLICIES {
-        for failures in [FailureModel::reliable(), FailureModel::evicting(150.0)] {
+        for failures in [FaultPlan::reliable(), FaultPlan::evicting(150.0)] {
             for provisioning in [
                 Provisioning::Static,
                 Provisioning::Elastic {
@@ -105,7 +105,7 @@ fn auto_strategy_full_matrix() {
             ] {
                 let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default()))
                     .with_policy(policy)
-                    .with_failures(failures)
+                    .with_faults(failures.clone())
                     .with_provisioning(provisioning)
                     .with_seed(11);
                 let label = format!("Auto/{policy:?}/{failures:?}/{provisioning:?}");
@@ -119,7 +119,7 @@ fn auto_strategy_full_matrix() {
 fn oracle_strategy_full_matrix() {
     let spec = NodeSpec::new(8, 8192, 16384);
     for policy in POLICIES {
-        for failures in [FailureModel::reliable(), FailureModel::evicting(130.0)] {
+        for failures in [FaultPlan::reliable(), FaultPlan::evicting(130.0)] {
             for provisioning in [
                 Provisioning::Static,
                 Provisioning::Elastic {
@@ -130,7 +130,7 @@ fn oracle_strategy_full_matrix() {
             ] {
                 let cfg = MasterConfig::new(mixed_oracle())
                     .with_policy(policy)
-                    .with_failures(failures)
+                    .with_faults(failures.clone())
                     .with_provisioning(provisioning)
                     .with_seed(23);
                 let label = format!("Oracle/{policy:?}/{failures:?}/{provisioning:?}");
@@ -159,11 +159,11 @@ fn hep_workload_matches_under_churn() {
     let w = hep::build(64, 7);
     let spec = hep::worker_spec(8);
     let cfg = MasterConfig::new(w.oracle_strategy())
-        .with_failures(FailureModel::evicting(100.0))
+        .with_faults(FaultPlan::evicting(100.0))
         .with_seed(5);
     assert_equivalent("hep/evicting", &cfg, &w.tasks, 4, spec);
     let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default()))
-        .with_failures(FailureModel::evicting(140.0))
+        .with_faults(FaultPlan::evicting(140.0))
         .with_provisioning(Provisioning::Elastic {
             initial: 1,
             max_workers: 6,
@@ -235,6 +235,58 @@ fn fault_plan_full_matrix() {
                 .with_seed(19);
             let label = format!("faults/{name}");
             assert_equivalent(&label, &cfg, &mixed_tasks(48), 4, spec);
+        }
+    }
+}
+
+#[test]
+fn master_crash_recovery_matrix() {
+    // Crash/recovery must be placement-invisible: journal records are
+    // written at placement-identical points, so the Reference and Indexed
+    // schedulers write byte-identical journals, recover to the same state,
+    // and the whole crashed-and-recovered run stays bitwise-equivalent —
+    // with or without compacting snapshots, alone or layered under chaos.
+    let spec = NodeSpec::new(8, 8192, 16384);
+    let plans: [(&str, FaultPlan); 3] = [
+        (
+            "crash-only",
+            FaultPlan::reliable().with(FaultSpec::master_crash(20.0, 2)),
+        ),
+        (
+            "crash+churn",
+            FaultPlan::reliable()
+                .with(FaultSpec::master_crash(25.0, 2))
+                .with(FaultSpec::worker_churn(160.0)),
+        ),
+        (
+            "crash+chaos",
+            FaultPlan::reliable()
+                .with(FaultSpec::master_crash(22.0, 3))
+                .with(FaultSpec::straggler(0.2, 1.5, 3.0))
+                .with(FaultSpec::message_loss(0.05))
+                .with(FaultSpec::stage_in_failure(0.1)),
+        ),
+    ];
+    for (name, plan) in plans {
+        for durability in [
+            DurabilityConfig::journal_only(),
+            DurabilityConfig::journal_with_snapshots(48),
+        ] {
+            let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default()))
+                .with_faults(plan.clone())
+                .with_durability(durability)
+                .with_seed(29);
+            let label = format!("recovery/{name}/snap={:?}", durability.snapshot_every);
+            assert_equivalent(&label, &cfg, &mixed_tasks(48), 4, spec);
+            // The matrix is only meaningful if the crashes actually fire.
+            let report = run_workload(
+                &cfg.clone().with_sched(SchedImpl::Indexed),
+                mixed_tasks(48),
+                4,
+                spec,
+            );
+            assert!(report.master_crashes > 0, "{label}: no crash fired");
+            assert_eq!(report.recoveries, report.master_crashes, "{label}");
         }
     }
 }
