@@ -90,6 +90,39 @@ impl TraceOpts {
     }
 }
 
+/// Parse `--shards <n>` out of an argument list without installing it
+/// (testable core of [`shards_from_args`]).
+pub fn parse_shards(args: &[String]) -> Option<u32> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--shards" {
+            let n: u32 = it
+                .next()
+                .expect("--shards requires a count")
+                .parse()
+                .expect("--shards must be an integer");
+            return Some(n.max(1));
+        }
+    }
+    None
+}
+
+/// Parse `--shards <n>` from the process argv and install it as the
+/// process-wide default shard count, so every `MasterConfig::new()` the
+/// figure builds routes through the federated master
+/// (see `lfm_workqueue::federation`). Returns the shard count (1 when the
+/// flag is absent). Call once at the top of `main`, alongside
+/// [`TraceOpts::from_args`].
+pub fn shards_from_args() -> u32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n = parse_shards(&args).unwrap_or(1);
+    lfm_core::workqueue::federation::set_default_shards(n);
+    if n > 1 {
+        println!("[federation: {n} foreman shards]");
+    }
+    n
+}
+
 /// Where regenerators drop machine-readable outputs.
 pub fn experiments_dir() -> PathBuf {
     let dir = PathBuf::from("target/experiments");
@@ -253,6 +286,18 @@ mod tests {
         assert!(body.contains("x,strategy,makespan_s"));
         assert!(body.contains("10,Oracle,100.000"));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn parse_shards_reads_flag_and_clamps() {
+        assert_eq!(parse_shards(&[]), None);
+        let args: Vec<String> = ["--seed", "7", "--shards", "4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_shards(&args), Some(4));
+        let args: Vec<String> = ["--shards", "0"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_shards(&args), Some(1), "clamped to at least 1");
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //!   mutex-guarded shards chosen by thread, so parallel sweep jobs sharing
 //!   a recorder do not serialize on one lock. A global sequence number
 //!   gives the merged stream a total order.
+//! * **Bounded memory.** Each shard holds at most a fixed number of
+//!   records ([`Recorder::enabled_with_capacity`]); overflowing records
+//!   are dropped and counted, and the count surfaces as a synthetic
+//!   untimed `telemetry.dropped_events` counter in [`Recorder::take`] /
+//!   [`Recorder::snapshot`] output (and thence the Chrome trace's
+//!   `otherData`), so a million-task federation run cannot OOM the host
+//!   silently.
 //!
 //! Exporters (see [`export`]) turn the merged stream into Chrome
 //! trace-event JSON (`chrome://tracing` / Perfetto loadable) or flat JSONL;
@@ -44,9 +51,18 @@ use std::time::Instant;
 /// never runs more than a few dozen recording threads at once.
 const SHARD_COUNT: usize = 16;
 
+/// Default per-shard record cap (~4M records across 16 shards): generous
+/// for every paper figure, small enough that a runaway emitter cannot eat
+/// the host.
+const DEFAULT_SHARD_CAPACITY: usize = 1 << 18;
+
 struct Inner {
     seq: AtomicU64,
     shards: Vec<Mutex<Vec<Record>>>,
+    /// Per-shard record cap; pushes beyond it are dropped and counted.
+    shard_capacity: usize,
+    /// Records dropped at full shards since the last [`Recorder::take`].
+    dropped: AtomicU64,
     /// Wall-clock origin for host-side spans ([`Recorder::wall_span`]).
     origin: Instant,
 }
@@ -89,15 +105,34 @@ fn thread_shard() -> usize {
 }
 
 impl Recorder {
-    /// A live recording session with empty buffers.
+    /// A live recording session with empty buffers and the default
+    /// per-shard capacity.
     pub fn enabled() -> Self {
+        Self::enabled_with_capacity(DEFAULT_SHARD_CAPACITY)
+    }
+
+    /// A live recording session whose shards each hold at most
+    /// `shard_capacity` records (clamped to ≥ 1). Overflowing records are
+    /// dropped and counted — see [`Recorder::dropped`].
+    pub fn enabled_with_capacity(shard_capacity: usize) -> Self {
         Recorder {
             inner: Some(Arc::new(Inner {
                 seq: AtomicU64::new(0),
                 shards: (0..SHARD_COUNT).map(|_| Mutex::new(Vec::new())).collect(),
+                shard_capacity: shard_capacity.max(1),
+                dropped: AtomicU64::new(0),
                 origin: Instant::now(),
             })),
         }
+    }
+
+    /// Records dropped at full shards since the last [`Recorder::take`]
+    /// (0 for a disabled recorder).
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.dropped.load(Ordering::Relaxed))
+            .unwrap_or(0)
     }
 
     /// The no-op recorder: every emission is a single branch, no
@@ -121,9 +156,28 @@ impl Recorder {
 
     fn push(&self, make: impl FnOnce(u64) -> Record) {
         let Some(inner) = &self.inner else { return };
+        let mut shard = inner.shards[thread_shard()].lock();
+        if shard.len() >= inner.shard_capacity {
+            // Drop-and-count: no seq is consumed, so the surviving stream
+            // stays dense and totally ordered.
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
-        let record = make(seq);
-        inner.shards[thread_shard()].lock().push(record);
+        shard.push(make(seq));
+    }
+
+    /// The synthetic record surfacing the overflow count: an untimed
+    /// monotonic counter, which the Chrome exporter aggregates into
+    /// `otherData` like any other untimed metric.
+    fn dropped_record(seq: u64, dropped: u64) -> Record {
+        Record::Metric(MetricRecord {
+            seq,
+            name: "telemetry.dropped_events".to_string(),
+            kind: MetricKind::Counter,
+            value: dropped as f64,
+            at_secs: None,
+        })
     }
 
     /// Begin a span description; finish with [`SpanBuilder::emit`]. When
@@ -253,7 +307,10 @@ impl Recorder {
         }
     }
 
-    /// Drain every shard and return the merged stream in `seq` order.
+    /// Drain every shard and return the merged stream in `seq` order. If
+    /// any records were dropped at full shards, a synthetic untimed
+    /// `telemetry.dropped_events` counter carrying the count is appended
+    /// and the drop counter resets.
     pub fn take(&self) -> Vec<Record> {
         let Some(inner) = &self.inner else {
             return Vec::new();
@@ -263,10 +320,17 @@ impl Recorder {
             out.append(&mut shard.lock());
         }
         out.sort_by_key(Record::seq);
+        let dropped = inner.dropped.swap(0, Ordering::Relaxed);
+        if dropped > 0 {
+            let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+            out.push(Self::dropped_record(seq, dropped));
+        }
         out
     }
 
-    /// Clone the merged stream in `seq` order without draining.
+    /// Clone the merged stream in `seq` order without draining. A nonzero
+    /// drop count is surfaced as a trailing synthetic
+    /// `telemetry.dropped_events` counter (without resetting it).
     pub fn snapshot(&self) -> Vec<Record> {
         let Some(inner) = &self.inner else {
             return Vec::new();
@@ -276,6 +340,13 @@ impl Recorder {
             out.extend(shard.lock().iter().cloned());
         }
         out.sort_by_key(Record::seq);
+        let dropped = inner.dropped.load(Ordering::Relaxed);
+        if dropped > 0 {
+            out.push(Self::dropped_record(
+                inner.seq.load(Ordering::Relaxed),
+                dropped,
+            ));
+        }
         out
     }
 
@@ -603,6 +674,52 @@ mod tests {
             assert!(w[0] < w[1], "merge must be strictly seq-ordered");
         }
         assert_eq!(*seqs.last().unwrap(), 799, "seq is dense across shards");
+    }
+
+    #[test]
+    fn full_shard_drops_and_counts() {
+        let r = Recorder::enabled_with_capacity(2);
+        // One thread lands every record on one shard: 2 fit, 3 drop.
+        for i in 0..5u64 {
+            r.counter("c", i);
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 3);
+
+        // snapshot surfaces the count without resetting it.
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 3);
+        let Record::Metric(m) = snap.last().unwrap() else {
+            panic!("expected metric")
+        };
+        assert_eq!(m.name, "telemetry.dropped_events");
+        assert_eq!(m.value, 3.0);
+        assert_eq!(m.at_secs, None, "must be untimed → otherData");
+        assert_eq!(r.dropped(), 3);
+
+        // take drains, appends the synthetic counter, and resets.
+        let records = r.take();
+        assert_eq!(records.len(), 3);
+        let Record::Metric(m) = records.last().unwrap() else {
+            panic!("expected metric")
+        };
+        assert_eq!(m.name, "telemetry.dropped_events");
+        assert_eq!(m.value, 3.0);
+        assert_eq!(r.dropped(), 0);
+        assert!(r.take().is_empty(), "no stale synthetic record");
+        let seqs: Vec<u64> = records.iter().map(Record::seq).collect();
+        for w in seqs.windows(2) {
+            assert!(w[0] < w[1], "survivors + synthetic stay seq-ordered");
+        }
+    }
+
+    #[test]
+    fn dropped_overflow_reaches_other_data() {
+        let r = Recorder::enabled_with_capacity(1);
+        r.counter("c", 1);
+        r.counter("c", 2);
+        let trace = crate::export::chrome_trace(&r.take());
+        assert!(trace.contains("\"telemetry.dropped_events\":1"), "{trace}");
     }
 
     #[test]

@@ -301,8 +301,9 @@ impl InfraFault {
 }
 
 /// splitmix64 — mixes a spec seed, the master seed, and an entity id into
-/// an independent stream seed.
-fn mix(mut z: u64) -> u64 {
+/// an independent stream seed (also used by the federation to derive
+/// per-shard seeds).
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

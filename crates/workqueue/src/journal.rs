@@ -220,6 +220,14 @@ pub(crate) enum Record {
     Degraded,
     /// A plain report-counter delta.
     Counter { key: CounterKey, amount: f64 },
+    /// A queued first attempt migrated to another shard (federation work
+    /// stealing): replay removes it from the pending queue so recovery
+    /// cannot resurrect it here.
+    Stolen { task_idx: u64, attempt: u32 },
+    /// A dependency of `task_idx` completed on another shard: replay
+    /// decrements its remaining-dependency count (the matching `Enqueue`
+    /// follows when the count reaches zero).
+    RemoteDep { task_idx: u64 },
 }
 
 /// Why a journal or snapshot failed to decode.
@@ -622,6 +630,15 @@ impl Record {
                 put_u8(out, key.tag());
                 put_f64(out, *amount);
             }
+            Record::Stolen { task_idx, attempt } => {
+                put_u8(out, 20);
+                put_u64(out, *task_idx);
+                put_u32(out, *attempt);
+            }
+            Record::RemoteDep { task_idx } => {
+                put_u8(out, 21);
+                put_u64(out, *task_idx);
+            }
         }
     }
 
@@ -710,6 +727,11 @@ impl Record {
                 key: CounterKey::from_tag(r.u8()?)?,
                 amount: r.f64()?,
             },
+            20 => Record::Stolen {
+                task_idx: r.u64()?,
+                attempt: r.u32()?,
+            },
+            21 => Record::RemoteDep { task_idx: r.u64()? },
             t => return Err(JournalError::BadTag("record", t)),
         })
     }
@@ -1070,6 +1092,138 @@ impl Journal {
     }
 }
 
+/// Opaque entry points for the journal micro-benchmarks. The journal's
+/// types are crate-private (they are an implementation detail of the
+/// durable master), so the bench crate drives representative encode/decode
+/// and snapshot round-trip work through these functions instead.
+pub mod bench_api {
+    use super::*;
+
+    fn sample_record(i: u64) -> Record {
+        // A rotating mix weighted toward the hot-path records a real run
+        // writes most: enqueues, placements, results, finishes.
+        match i % 6 {
+            0 => Record::Enqueue {
+                task_idx: i,
+                attempt: (i % 3) as u32,
+                front: i.is_multiple_of(2),
+                since: SimTime::from_secs(i as f64 * 0.25),
+            },
+            1 => Record::Placed {
+                placement: i,
+                worker: (i % 64) as u32,
+                task_idx: i,
+                attempt: 0,
+                alloc: Resources::new(1, 110 + i % 512, 1024),
+                started_at: SimTime::from_secs(i as f64 * 0.5),
+                lease_at: i
+                    .is_multiple_of(2)
+                    .then(|| SimTime::from_secs(i as f64 * 0.5 + 300.0)),
+            },
+            2 => Record::Result(Box::new(TaskResult {
+                task: TaskId(i),
+                category: "hep".to_string(),
+                worker: (i % 64) as u32,
+                allocated: Resources::new(1, 110, 1024),
+                submitted_at: SimTime::ZERO,
+                started_at: SimTime::from_secs(5.0),
+                finished_at: SimTime::from_secs(60.0),
+                stage_in_secs: 4.0,
+                exec_secs: 51.0,
+                outcome: MonitorOutcome::Completed(ResourceReport {
+                    wall_secs: 51.0,
+                    cpu_secs: 50.0,
+                    peak_cores: 1.01,
+                    peak_rss_mb: 108,
+                    peak_processes: 2,
+                    peak_disk_mb: 850,
+                    read_bytes: 1 << 28,
+                    write_bytes: 1 << 22,
+                    polls: 51,
+                    monitor_overhead_secs: 0.005,
+                }),
+                attempt: 0,
+            })),
+            3 => Record::Finished {
+                task_idx: i,
+                success: true,
+            },
+            4 => Record::Freed { placement: i },
+            _ => Record::Observe {
+                cat: (i % 4) as u32,
+                peak_cores: 1.01,
+                peak_rss_mb: 108 + i % 64,
+                peak_disk_mb: 850,
+                completed: true,
+                violated: None,
+            },
+        }
+    }
+
+    /// Encode `n` representative records, returning the byte stream.
+    pub fn encode_records(n: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            sample_record(i).encode(&mut out);
+        }
+        out
+    }
+
+    /// Decode a stream produced by [`encode_records`], returning the record
+    /// count. Panics on malformed input.
+    pub fn decode_records(buf: &[u8]) -> usize {
+        let mut r = Reader::new(buf);
+        let mut n = 0;
+        while !r.is_empty() {
+            Record::decode(&mut r).expect("bench stream decodes");
+            n += 1;
+        }
+        n
+    }
+
+    /// Encode a populated `MasterImage` snapshot for a `tasks`-task run.
+    pub fn encode_image(tasks: usize) -> Vec<u8> {
+        let deps: Vec<usize> = (0..tasks).map(|i| i % 3).collect();
+        let mut img = MasterImage::fresh(&deps, tasks, 4);
+        for i in 0..tasks as u64 {
+            match i % 3 {
+                0 => img.pending.push_back((i, 0, SimTime::from_secs(i as f64))),
+                1 => {
+                    img.placements.insert(
+                        i,
+                        PlacementSnap {
+                            worker: (i % 64) as u32,
+                            task_idx: i,
+                            attempt: 0,
+                            alloc: Resources::new(1, 110, 1024),
+                            started_at: SimTime::from_secs(i as f64),
+                            zombie: false,
+                            lease_at: Some(SimTime::from_secs(i as f64 + 300.0)),
+                        },
+                    );
+                }
+                _ => img.completed += 1,
+            }
+        }
+        for s in &mut img.alloc_stats {
+            for v in 0..64 {
+                s.cores.push(1.0 + v as f64 * 0.01);
+                s.memory_mb.push(100.0 + v as f64);
+                s.disk_mb.push(800.0 + v as f64);
+            }
+            s.completed = 64;
+        }
+        img.encode()
+    }
+
+    /// Decode + re-encode a snapshot, returning whether it round-trips
+    /// bitwise (always true; the comparison keeps the work honest).
+    pub fn image_roundtrips(bytes: &[u8]) -> bool {
+        let img = MasterImage::decode(bytes).expect("bench image decodes");
+        img.encode() == bytes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1178,6 +1332,11 @@ mod tests {
                 key: CounterKey::LostCoreSecs,
                 amount: 123.75,
             },
+            Record::Stolen {
+                task_idx: 11,
+                attempt: 0,
+            },
+            Record::RemoteDep { task_idx: 12 },
         ]
     }
 

@@ -17,9 +17,12 @@
 //! * [`journal`] — write-ahead journal + compacting snapshots making the
 //!   master crash-recoverable ([`journal::DurabilityConfig`]).
 //! * [`master`] — the discrete-event scheduler producing [`master::RunReport`]s.
+//! * [`federation`] — the hierarchical foreman layer: N sub-masters over a
+//!   partitioned DAG with cross-shard handoff and work stealing.
 
 pub mod allocate;
 pub mod faults;
+pub mod federation;
 pub mod files;
 pub mod journal;
 pub mod master;
@@ -32,6 +35,10 @@ pub mod worker;
 pub mod prelude {
     pub use crate::allocate::{AllocationDecision, Allocator, AutoConfig, Strategy};
     pub use crate::faults::{FaultKind, FaultPlan, FaultSpec, ResilienceConfig};
+    pub use crate::federation::{
+        run_federated, set_default_shards, FederationConfig, FederationReport, HandoffConfig,
+        PartitionPolicy, StealingConfig,
+    };
     pub use crate::files::{FileKind, FileRef};
     pub use crate::journal::DurabilityConfig;
     pub use crate::master::{

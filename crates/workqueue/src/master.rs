@@ -119,6 +119,13 @@ pub struct MasterConfig {
     /// Dispatch implementation: the indexed scheduler (default) or the
     /// reference rescan matcher it is placement-for-placement equal to.
     pub sched: SchedImpl,
+    /// Shard count for the foreman federation (`federation.rs`). `1` (the
+    /// default) runs the classic single master; `> 1` makes
+    /// [`run_workload`] route through
+    /// [`run_federated`](crate::federation::run_federated) with this many
+    /// sub-masters. Initialized from the process-global default installed
+    /// by [`set_default_shards`](crate::federation::set_default_shards).
+    pub shards: u32,
     pub seed: u64,
     /// Tracing/metrics sink. Defaults to the process-wide recorder (the
     /// no-op recorder unless a runner installed one via `--trace-out`).
@@ -142,6 +149,7 @@ impl MasterConfig {
             provisioning: Provisioning::Static,
             policy: SchedulePolicy::Fifo,
             sched: SchedImpl::Indexed,
+            shards: crate::federation::default_shards(),
             seed: 0x1f2e3d4c,
             telemetry: lfm_telemetry::global(),
         }
@@ -154,6 +162,13 @@ impl MasterConfig {
 
     pub fn with_sched(mut self, sched: SchedImpl) -> Self {
         self.sched = sched;
+        self
+    }
+
+    /// Run this workload across `shards` federated sub-masters (1 = the
+    /// classic single master).
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -440,7 +455,7 @@ impl RunReport {
 }
 
 /// Simulation events.
-enum Event {
+pub(crate) enum Event {
     WorkerUp {
         id: u32,
     },
@@ -461,6 +476,19 @@ enum Event {
     QuarantineRelease {
         id: u32,
     },
+    /// A dependency of `task_idx` reached a terminal state on another
+    /// shard: `success` decrements the remaining-dependency count,
+    /// failure cancels `task_idx` and its downstream (federation handoff).
+    RemoteRelease {
+        task_idx: usize,
+        success: bool,
+    },
+    /// A ready task migrated from a hot shard lands in this shard's
+    /// pending queue (federation work stealing).
+    StolenArrive {
+        task_idx: usize,
+        attempt: u32,
+    },
     /// The master comes back up after a crash: process the world events
     /// that arrived while it was down, then resume dispatching.
     Recovered,
@@ -468,18 +496,52 @@ enum Event {
 
 impl Event {
     /// Events the *world* produces (pilots starting/dying, completions in
-    /// flight). These survive a master crash in the calendar; everything
-    /// else is a master-owned timer that dies with the master's memory and
-    /// is re-armed from the recovered image.
+    /// flight, cross-shard handoffs and stolen-task arrivals). These
+    /// survive a master crash in the calendar; everything else is a
+    /// master-owned timer that dies with the master's memory and is
+    /// re-armed from the recovered image.
     fn is_world(&self) -> bool {
         matches!(
             self,
-            Event::WorkerUp { .. } | Event::WorkerDown { .. } | Event::TaskDone(_)
+            Event::WorkerUp { .. }
+                | Event::WorkerDown { .. }
+                | Event::TaskDone(_)
+                | Event::RemoteRelease { .. }
+                | Event::StolenArrive { .. }
         )
     }
 }
 
-struct DoneInfo {
+/// A cross-shard effect produced by one shard's event handling, drained by
+/// the federation driver after every step and delivered to the owning
+/// shard's event queue (see `federation.rs`).
+#[derive(Debug)]
+pub(crate) enum OutMsg {
+    /// A remote dependency of `task_idx` completed successfully at `at`;
+    /// `bytes` is the producer's output size riding the handoff path.
+    Release {
+        task_idx: usize,
+        at: SimTime,
+        bytes: u64,
+    },
+    /// A remote dependency of `task_idx` permanently failed at `at`.
+    Cancel { task_idx: usize, at: SimTime },
+}
+
+/// Federation role state: which shard this master is, the static ownership
+/// map over the full task vector, and the outbox of cross-shard effects
+/// produced since the federation driver last drained it.
+pub(crate) struct FedState {
+    pub shard: u32,
+    pub owner: std::sync::Arc<Vec<u32>>,
+    pub outbox: Vec<OutMsg>,
+    /// Stolen-task arrivals injected but not yet handled — the stealing
+    /// balancer must not treat a shard as hungry while work is in flight
+    /// toward it.
+    pub inbound_pending: u32,
+}
+
+pub(crate) struct DoneInfo {
     worker: u32,
     /// Unique placement id; stale events for lost placements are dropped.
     placement: u64,
@@ -533,17 +595,22 @@ thread_local! {
 
 /// Run a workload to completion under `config`, on `worker_count` workers of
 /// `spec`. Panics on deadlock (tasks pending with no worker able to ever fit
-/// them would indicate a workload/config bug).
+/// them would indicate a workload/config bug). When `config.shards > 1` the
+/// run routes through the foreman federation and returns the merged report.
 pub fn run_workload(
     config: &MasterConfig,
     tasks: Vec<TaskSpec>,
     worker_count: u32,
     spec: NodeSpec,
 ) -> RunReport {
+    if config.shards > 1 {
+        let fed = crate::federation::FederationConfig::new(config.shards);
+        return crate::federation::run_federated(config, &fed, tasks, worker_count, spec).merged;
+    }
     Master::new(config.clone(), tasks, worker_count, spec).run()
 }
 
-struct Master {
+pub(crate) struct Master {
     config: MasterConfig,
     tasks: Vec<TaskSpec>,
     workers: BTreeMap<u32, Worker>,
@@ -629,6 +696,9 @@ struct Master {
     replayed_events: u64,
     /// The `probe_restore_at` test hook already fired.
     probe_done: bool,
+    /// Federation role (`None` for the classic standalone master). See
+    /// `FedState` and `federation.rs`.
+    fed: Option<FedState>,
 }
 
 impl Master {
@@ -735,11 +805,44 @@ impl Master {
             recoveries: 0,
             replayed_events: 0,
             probe_done: false,
+            fed: None,
             config,
         }
     }
 
-    fn run(mut self) -> RunReport {
+    /// Construct a federated sub-master: shard `shard` of the ownership map
+    /// `owner` (one entry per task in `tasks`, value = owning shard).
+    pub(crate) fn new_shard(
+        config: MasterConfig,
+        tasks: Vec<TaskSpec>,
+        worker_count: u32,
+        spec: NodeSpec,
+        shard: u32,
+        owner: std::sync::Arc<Vec<u32>>,
+    ) -> Self {
+        debug_assert_eq!(owner.len(), tasks.len());
+        let mut m = Master::new(config, tasks, worker_count, spec);
+        m.fed = Some(FedState {
+            shard,
+            owner,
+            outbox: Vec::new(),
+            inbound_pending: 0,
+        });
+        m
+    }
+
+    /// Is `task_idx` owned by this master? Always true for the standalone
+    /// master; federated sub-masters own the tasks the partition assigned
+    /// them (stolen tasks run here but stay owned by their home shard).
+    fn owned(&self, task_idx: usize) -> bool {
+        self.fed
+            .as_ref()
+            .is_none_or(|f| f.owner[task_idx] == f.shard)
+    }
+
+    /// Start the run: journal the header, provision the initial pool, and
+    /// enqueue the owned zero-dependency roots.
+    pub(crate) fn start(&mut self) {
         // Provision the initial pool.
         let initial = match self.config.provisioning {
             Provisioning::Static => self.worker_count,
@@ -752,7 +855,7 @@ impl Master {
         });
         self.submit_pilots(SimTime::ZERO, initial);
         for idx in 0..self.tasks.len() {
-            if self.dep_remaining[idx] == 0 {
+            if self.dep_remaining[idx] == 0 && self.owned(idx) {
                 self.enqueue_back(Pending {
                     task_idx: idx,
                     attempt: 0,
@@ -760,30 +863,45 @@ impl Master {
                 });
             }
         }
+    }
 
-        while self.completed < self.tasks.len() {
-            let Some((now, event)) = self.queue.pop() else {
-                panic!(
-                    "deadlock: {} of {} tasks unfinished with no events pending",
-                    self.tasks.len() - self.completed,
-                    self.tasks.len()
-                );
-            };
-            if self.down {
-                match event {
-                    Event::Recovered => self.come_back_up(now),
-                    // The physical cluster keeps moving while the master is
-                    // down: buffer its events for the recovery drain.
-                    ev if ev.is_world() => self.deferred.push(ev),
-                    // Any other timer belonged to the dead process.
-                    _ => {}
-                }
-                continue;
+    /// Process exactly one calendar event (the standalone run loop body).
+    /// Panics on deadlock if the calendar is empty with work unfinished —
+    /// the federation driver checks `next_time()` first and supplies its
+    /// own cross-shard deadlock diagnosis.
+    pub(crate) fn step(&mut self) {
+        let Some((now, event)) = self.queue.pop() else {
+            panic!(
+                "deadlock: {} of {} tasks unfinished with no events pending",
+                self.tasks.len() - self.completed,
+                self.tasks.len()
+            );
+        };
+        if self.down {
+            match event {
+                Event::Recovered => self.come_back_up(now),
+                // The physical cluster keeps moving while the master is
+                // down: buffer its events for the recovery drain.
+                ev if ev.is_world() => self.deferred.push(ev),
+                // Any other timer belonged to the dead process.
+                _ => {}
             }
-            self.handle_event(now, event);
-            self.after_event();
+            return;
         }
+        self.handle_event(now, event);
+        self.after_event();
+    }
 
+    fn run(mut self) -> RunReport {
+        self.start();
+        while self.completed < self.tasks.len() {
+            self.step();
+        }
+        self.finish()
+    }
+
+    /// Assemble the final report (the standalone run's epilogue).
+    pub(crate) fn finish(self) -> RunReport {
         let makespan = self.queue.now().as_secs();
         let allocated: f64 = self.results.iter().map(|r| r.allocated_core_secs()).sum();
         let used: f64 = self.results.iter().map(|r| r.used_core_secs()).sum();
@@ -900,7 +1018,54 @@ impl Master {
                 self.release_quarantine(now, id);
                 self.dispatch(now);
             }
+            Event::RemoteRelease { task_idx, success } => {
+                self.handle_remote_release(now, task_idx, success);
+                self.dispatch(now);
+            }
+            Event::StolenArrive { task_idx, attempt } => {
+                if let Some(f) = self.fed.as_mut() {
+                    f.inbound_pending = f.inbound_pending.saturating_sub(1);
+                }
+                self.config.telemetry.counter_at("fed.stolen_in", 1, now);
+                self.enqueue_back(Pending {
+                    task_idx,
+                    attempt,
+                    since: now,
+                });
+                self.dispatch(now);
+            }
             Event::Recovered => unreachable!("Recovered is only delivered while down"),
+        }
+    }
+
+    /// A dependency of `task_idx` reached a terminal state on another shard.
+    /// Mirrors the local `release_dependents` / `cancel_dependents` paths,
+    /// deduplicating against already-cancelled dependents.
+    fn handle_remote_release(&mut self, now: SimTime, task_idx: usize, success: bool) {
+        if self.dep_remaining[task_idx] == usize::MAX {
+            // Already cancelled by another failed upstream.
+            return;
+        }
+        if success {
+            self.jrec(Record::RemoteDep {
+                task_idx: task_idx as u64,
+            });
+            self.dep_remaining[task_idx] -= 1;
+            if self.dep_remaining[task_idx] == 0 {
+                self.enqueue_back(Pending {
+                    task_idx,
+                    attempt: 0,
+                    since: now,
+                });
+            }
+        } else {
+            self.dep_remaining[task_idx] = usize::MAX;
+            self.abandoned += 1;
+            self.completed += 1;
+            self.jrec(Record::Cancelled {
+                task_idx: task_idx as u64,
+            });
+            self.cancel_dependents(task_idx);
         }
     }
 
@@ -987,6 +1152,12 @@ impl Master {
         let downtime = self.config.durability.restart_secs
             + self.config.durability.replay_secs_per_event * tail.unwrap_or(0) as f64;
         let resume_at = now + downtime;
+        // Recovery re-arms master timers whose deadlines passed while down
+        // by clamping them to the recovery instant. Ties break FIFO, so
+        // `Recovered` must be inserted first: otherwise a clamped timer
+        // pops while the master is still down and is discarded as a
+        // dead-process timer, leaving its ledger entry armed forever.
+        self.queue.schedule_at(resume_at, Event::Recovered);
         match tail {
             Some(replayed) => {
                 let img = self.recover_image();
@@ -1001,7 +1172,6 @@ impl Master {
         }
         self.down = true;
         self.deferred.clear();
-        self.queue.schedule_at(resume_at, Event::Recovered);
     }
 
     /// The master process is back up: drain the world events that arrived
@@ -1124,11 +1294,32 @@ impl Master {
                 if *success {
                     let id = self.tasks[*task_idx as usize].id;
                     for &dep_idx in full_deps.get(&id).map(Vec::as_slice).unwrap_or(&[]) {
+                        // Only locally-owned dependents were decremented by
+                        // the live path — remote ones were released via the
+                        // federation outbox and the owner's own journal.
+                        if !self.owned(dep_idx) {
+                            continue;
+                        }
                         // Mirrors the live decrement, including the
                         // cancelled-marker wrap (u64::MAX → u64::MAX - 1).
                         img.dep_remaining[dep_idx] = img.dep_remaining[dep_idx].wrapping_sub(1);
                     }
                 }
+            }
+            Record::Stolen { task_idx, attempt } => {
+                // The live path removed the attempt from the pending queue
+                // and shipped it to the thief shard.
+                if let Some(pos) = img
+                    .pending
+                    .iter()
+                    .position(|&(t, a, _)| t == *task_idx && a == *attempt)
+                {
+                    img.pending.remove(pos);
+                }
+            }
+            Record::RemoteDep { task_idx } => {
+                img.dep_remaining[*task_idx as usize] =
+                    img.dep_remaining[*task_idx as usize].wrapping_sub(1);
             }
             Record::Abandoned { .. } => {
                 img.abandoned += 1;
@@ -1530,7 +1721,7 @@ impl Master {
         self.abandoned = 0;
         self.rebuild_sched(Vec::new());
         for idx in 0..self.tasks.len() {
-            if self.dep_remaining[idx] == 0 {
+            if self.dep_remaining[idx] == 0 && self.owned(idx) {
                 self.enqueue_back(Pending {
                     task_idx: idx,
                     attempt: 0,
@@ -2720,12 +2911,20 @@ impl Master {
         }
     }
 
-    /// A task succeeded: dependents with no remaining dependencies become
-    /// ready.
+    /// A task succeeded: locally-owned dependents with no remaining
+    /// dependencies become ready; remotely-owned dependents get a `Release`
+    /// handoff message carrying the producer's output size (the owner
+    /// decrements its own count when the message lands).
     fn release_dependents(&mut self, now: SimTime, task_idx: usize) {
         let id = self.tasks[task_idx].id;
+        let bytes = self.tasks[task_idx].output_bytes;
         let mut ready: Vec<usize> = Vec::new();
+        let mut remote: Vec<usize> = Vec::new();
         for &dep_idx in self.dependents.get(&id).map(Vec::as_slice).unwrap_or(&[]) {
+            if !self.owned(dep_idx) {
+                remote.push(dep_idx);
+                continue;
+            }
             self.dep_remaining[dep_idx] -= 1;
             if self.dep_remaining[dep_idx] == 0 {
                 ready.push(dep_idx);
@@ -2738,17 +2937,38 @@ impl Master {
                 since: now,
             });
         }
+        if let Some(f) = self.fed.as_mut() {
+            for dep_idx in remote {
+                f.outbox.push(OutMsg::Release {
+                    task_idx: dep_idx,
+                    at: now,
+                    bytes,
+                });
+            }
+        }
     }
 
     /// A task permanently failed: transitively cancel everything downstream
     /// so the run still terminates, counting the casualties as abandoned.
+    /// Remotely-owned dependents get a `Cancel` handoff message instead —
+    /// the owning shard accounts for them and continues the cascade there.
     fn cancel_dependents(&mut self, task_idx: usize) {
+        let now = self.queue.now();
         let mut stack = vec![self.tasks[task_idx].id];
         while let Some(id) = stack.pop() {
             let Some(deps) = self.dependents.remove(&id) else {
                 continue;
             };
             for dep_idx in deps {
+                if !self.owned(dep_idx) {
+                    if let Some(f) = self.fed.as_mut() {
+                        f.outbox.push(OutMsg::Cancel {
+                            task_idx: dep_idx,
+                            at: now,
+                        });
+                    }
+                    continue;
+                }
                 if self.dep_remaining[dep_idx] == usize::MAX {
                     continue; // already cancelled
                 }
@@ -2761,6 +2981,129 @@ impl Master {
                 stack.push(self.tasks[dep_idx].id);
             }
         }
+    }
+
+    // ---- federation driver surface (see `federation.rs`) ----
+
+    /// The timestamp of the next calendar event, if any.
+    pub(crate) fn next_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Current simulation time on this shard's clock.
+    pub(crate) fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Tasks that reached a terminal state on this shard (successes plus
+    /// abandoned), the federation's termination currency.
+    pub(crate) fn completed_count(&self) -> usize {
+        self.completed
+    }
+
+    /// The master process is currently crashed (buffering world events).
+    pub(crate) fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Ready tasks queued on this shard (the stealing balancer's heat
+    /// measure).
+    pub(crate) fn queued_len(&self) -> usize {
+        self.pending_len()
+    }
+
+    /// Stolen-task arrivals injected but not yet handled.
+    pub(crate) fn inbound_pending(&self) -> u32 {
+        self.fed.as_ref().map_or(0, |f| f.inbound_pending)
+    }
+
+    /// Record an in-flight stolen-task arrival (the balancer injected a
+    /// `StolenArrive` toward this shard).
+    pub(crate) fn note_inbound(&mut self) {
+        if let Some(f) = self.fed.as_mut() {
+            f.inbound_pending += 1;
+        }
+    }
+
+    /// Drain the cross-shard effects produced since the last drain.
+    pub(crate) fn drain_outbox(&mut self) -> Vec<OutMsg> {
+        self.fed
+            .as_mut()
+            .map(|f| std::mem::take(&mut f.outbox))
+            .unwrap_or_default()
+    }
+
+    /// Schedule `event` on this shard's calendar at absolute time `at`.
+    pub(crate) fn inject_at(&mut self, at: SimTime, event: Event) {
+        self.queue.schedule_at(at, event);
+    }
+
+    /// Events handled so far (federation telemetry).
+    pub(crate) fn events_processed(&self) -> u64 {
+        self.processed_events
+    }
+
+    /// Give up to `max` queued first-attempt tasks from the back of the
+    /// pending queue (the coldest work under every policy ordering) to a
+    /// work-stealing balancer. Retries and backoff re-entries stay put —
+    /// their accounting is anchored to this shard. Each migration journals
+    /// a `Stolen` record so crash recovery does not resurrect the task
+    /// here.
+    pub(crate) fn steal_back(&mut self, max: usize) -> Vec<(usize, u32)> {
+        if max == 0 || self.down {
+            return Vec::new();
+        }
+        let stolen: Vec<Pending> = match &mut self.sched {
+            SchedState::Indexed(ix) => ix.steal_last(max),
+            SchedState::Reference(q) => {
+                Self::steal_back_reference(q, &self.tasks, self.config.policy, max)
+            }
+        };
+        stolen
+            .into_iter()
+            .map(|p| {
+                self.jrec(Record::Stolen {
+                    task_idx: p.task_idx as u64,
+                    attempt: p.attempt,
+                });
+                (p.task_idx, p.attempt)
+            })
+            .collect()
+    }
+
+    /// Reference-scheduler stealing: mirror the canonical policy-sorted
+    /// enumeration (`snapshot_pending`) and take the last `max`
+    /// first-attempt items of that view.
+    fn steal_back_reference(
+        q: &mut VecDeque<Pending>,
+        tasks: &[TaskSpec],
+        policy: SchedulePolicy,
+        max: usize,
+    ) -> Vec<Pending> {
+        // Stable-sort the queue positions by policy rank, exactly like the
+        // snapshot enumeration, then walk that view from the back.
+        let mut order: Vec<usize> = (0..q.len()).collect();
+        order.sort_by_key(|&i| policy_rank(policy, tasks[q[i].task_idx].profile.peak_memory_mb));
+        // Picked in descending policy-view order; keep that order for the
+        // output so both scheduler implementations hand over the same
+        // sequence.
+        let picked: Vec<usize> = order
+            .into_iter()
+            .rev()
+            .filter(|&i| q[i].attempt == 0)
+            .take(max)
+            .collect();
+        let mut out: Vec<Pending> = picked.iter().map(|&i| q[i].clone()).collect();
+        // Remove back-to-front so earlier indices stay valid.
+        let mut doomed = picked;
+        doomed.sort_unstable();
+        for i in doomed.into_iter().rev() {
+            q.remove(i);
+        }
+        // Coldest (policy-last) task last: the thief enqueues in warm-first
+        // order.
+        out.reverse();
+        out
     }
 }
 

@@ -343,6 +343,50 @@ impl IndexedSched {
             .insert(id);
     }
 
+    /// Give up to `max` first-attempt pending items from the *back* of the
+    /// global examination order — the coldest work under every policy — to
+    /// a federation work-stealing balancer. Retries (attempt > 0) are never
+    /// taken: their accounting is anchored to the home shard. Returns the
+    /// stolen items warm-first (ascending order key), matching the
+    /// reference scheduler's policy-view enumeration.
+    pub fn steal_last(&mut self, max: usize) -> Vec<Pending> {
+        let mut out: Vec<Pending> = Vec::new();
+        while out.len() < max {
+            // The largest order key among stealable (attempt == 0) items in
+            // `ready` and in every park group. Groups are searched whether
+            // runnable or asleep — parked work is exactly what a hot shard
+            // cannot start soon.
+            let mut best: Option<(OrderKey, Option<GroupKey>)> = None;
+            if let Some((&k, _)) = self.ready.iter().rev().find(|(_, p)| p.attempt == 0) {
+                best = Some((k, None));
+            }
+            for (&gk, g) in &self.groups {
+                if let Some((&k, _)) = g.members.iter().rev().find(|(_, p)| p.attempt == 0) {
+                    if best.is_none_or(|(bk, _)| k > bk) {
+                        best = Some((k, Some(gk)));
+                    }
+                }
+            }
+            let Some((key, src)) = best else { break };
+            let item = match src {
+                None => self.ready.remove(&key).expect("found in ready"),
+                Some(gk) => {
+                    let g = self.groups.get_mut(&gk).expect("found in group");
+                    let item = g.members.remove(&key).expect("found member");
+                    self.parked -= 1;
+                    if g.members.is_empty() {
+                        self.groups.remove(&gk);
+                        self.runnable.remove(&gk);
+                    }
+                    item
+                }
+            };
+            out.push(item);
+        }
+        out.reverse();
+        out
+    }
+
     /// Choose a worker for `task` under `alloc`: prefer one with all the
     /// task's cacheable inputs already local, then the one with most free
     /// cores, lowest id breaking ties — exactly the reference preference,
@@ -545,6 +589,33 @@ mod tests {
             .allocate(Resources::new(4, 1, 1)));
         ix.update_free(2, 4, 0);
         assert_eq!(ix.pick_worker(&workers, &t, &alloc), Some(0));
+    }
+
+    #[test]
+    fn steal_last_takes_coldest_first_attempts_only() {
+        let mut ix = IndexedSched::new(SchedulePolicy::SmallestFirst);
+        // Examination order by memory: 1 (100) < 0 (300) < 2 (900).
+        ix.push_back(&task(0, 300, vec![]), pending(0));
+        ix.push_back(&task(1, 100, vec![]), pending(1));
+        ix.push_back(&task(2, 900, vec![]), pending(2));
+        // A retry at the very back of the order must not be stealable.
+        let retry = Pending {
+            task_idx: 3,
+            attempt: 2,
+            since: SimTime::ZERO,
+        };
+        ix.push_back(&task(3, 5000, vec![]), retry);
+        // Park one candidate: parked work is stealable too.
+        let (key, item) = ix.pop_ready(); // task 1, warmest
+        ix.park((0, false), Some(ParkReason::SlowStart), key, item);
+        let stolen = ix.steal_last(2);
+        let idxs: Vec<usize> = stolen.iter().map(|p| p.task_idx).collect();
+        // Coldest two first attempts (0 then 2), warm-first order.
+        assert_eq!(idxs, vec![0, 2]);
+        // The retry and the parked task remain.
+        assert_eq!(ix.len(), 2);
+        let rest: Vec<usize> = ix.snapshot_pending().iter().map(|p| p.task_idx).collect();
+        assert_eq!(rest, vec![1, 3]);
     }
 
     #[test]

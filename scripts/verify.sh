@@ -21,6 +21,10 @@ echo "==> chaos suite (fault injection + resilience invariants)"
 cargo test -q --offline -p lfm-workqueue chaos
 cargo test -q --offline -p lfm-integration-tests --test sched_equivalence fault_plan
 
+echo "==> federation suite (1-shard bitwise equivalence + N-shard conservation)"
+cargo test -q --offline -p lfm-workqueue federation
+cargo test -q --offline -p lfm-integration-tests --test federation_equivalence
+
 echo "==> crash-recovery suite (journal, snapshots, restore equivalence)"
 cargo test -q --offline -p lfm-workqueue --lib -- journal recover probe_restore \
     crash quarantine_release
