@@ -12,6 +12,7 @@
 //! | master/worker scheduling + auto labeling | `lfm-workqueue` |
 //! | Parsl-style dataflow + executor lowering | `lfm-dataflow` |
 //! | FaaS layer + container cost models | `lfm-funcx` |
+//! | multi-tenant serving gateway | `lfm-serving` |
 //! | the four evaluation applications | `lfm-workloads` |
 //!
 //! This crate adds:
@@ -44,6 +45,7 @@ pub use lfm_dataflow as dataflow;
 pub use lfm_funcx as funcx;
 pub use lfm_monitor as monitor;
 pub use lfm_pyenv as pyenv;
+pub use lfm_serving as serving;
 pub use lfm_simcluster as simcluster;
 pub use lfm_telemetry as telemetry;
 pub use lfm_workloads as workloads;
@@ -57,6 +59,7 @@ pub mod prelude {
     pub use lfm_funcx::prelude::*;
     pub use lfm_monitor::prelude::*;
     pub use lfm_pyenv::prelude::*;
+    pub use lfm_serving::prelude::*;
     pub use lfm_simcluster::prelude::*;
     pub use lfm_workloads::prelude::*;
     pub use lfm_workqueue::prelude::*;

@@ -209,4 +209,70 @@ mod tests {
             assert!(model.sample(&mut rng) >= model.mean() * 0.1);
         }
     }
+
+    #[test]
+    fn warm_and_cold_samples_are_deterministic_per_seed() {
+        let model = ActivationModel::for_tech(ActivationTech::Docker);
+        let draw = |seed: u64| {
+            let mut rng = SimRng::seeded(seed);
+            let cold: Vec<f64> = (0..20).map(|_| model.sample(&mut rng)).collect();
+            let warm: Vec<f64> = (0..20).map(|_| model.sample_warm(&mut rng)).collect();
+            (cold, warm)
+        };
+        assert_eq!(draw(11), draw(11));
+        assert_ne!(draw(11), draw(12));
+    }
+
+    #[test]
+    fn warm_samples_center_on_env_setup_only() {
+        // A warm container re-enters an existing namespace: the sampled
+        // overhead must track env_setup, never the full cold path.
+        for tech in [
+            ActivationTech::Singularity,
+            ActivationTech::Shifter,
+            ActivationTech::Docker,
+        ] {
+            let model = ActivationModel::for_tech(tech);
+            let mut rng = SimRng::seeded(3);
+            let mean: f64 = (0..2000).map(|_| model.sample_warm(&mut rng)).sum::<f64>() / 2000.0;
+            assert!(
+                (mean - model.warm_overhead()).abs() < model.warm_overhead() * 0.1,
+                "{}: warm sample mean {mean} vs model {}",
+                tech.name(),
+                model.warm_overhead()
+            );
+            assert!(
+                mean < model.mean() / 3.0,
+                "{}: warm mean {mean} not well below cold {}",
+                tech.name(),
+                model.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn warm_samples_respect_truncation_floor() {
+        let model = ActivationModel::for_tech(ActivationTech::Conda);
+        let mut rng = SimRng::seeded(9);
+        for _ in 0..500 {
+            assert!(model.sample_warm(&mut rng) >= model.warm_overhead() * 0.1);
+        }
+    }
+
+    #[test]
+    fn measurement_varies_with_seed_but_tracks_model() {
+        let a = measure_activation(ActivationTech::Docker, "EC2", 200, 1);
+        let b = measure_activation(ActivationTech::Docker, "EC2", 200, 2);
+        assert_ne!(a.mean_secs, b.mean_secs, "distinct seeds must differ");
+        let model_mean = ActivationModel::for_tech(ActivationTech::Docker).mean();
+        for m in [&a, &b] {
+            assert!(
+                (m.mean_secs - model_mean).abs() < model_mean * 0.1,
+                "measured {} far from model {model_mean}",
+                m.mean_secs
+            );
+            assert_eq!(m.trials, 200);
+            assert_eq!(m.site, "EC2");
+        }
+    }
 }

@@ -142,4 +142,65 @@ mod tests {
         let v = PyValue::loads(&f.payload).unwrap();
         assert_eq!(v.get("name").unwrap().as_str(), Some("g"));
     }
+
+    #[test]
+    fn same_source_different_name_different_id() {
+        // The id is content-addressed over (name, source): registering the
+        // same body under two names must yield two distinct functions.
+        let mut reg = FunctionRegistry::new();
+        let src = "def f():\n    return 1\n";
+        let a = reg.register("alpha", src).unwrap();
+        let b = reg.register("beta", src).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get(a).unwrap().name, "alpha");
+        assert_eq!(reg.get(b).unwrap().name, "beta");
+    }
+
+    #[test]
+    fn reregistration_is_idempotent_not_duplicating() {
+        let mut reg = FunctionRegistry::new();
+        let src = funcx_classify_source();
+        let first = reg.register("classify_image", src).unwrap();
+        let before = reg.get(first).unwrap().clone();
+        let second = reg.register("classify_image", src).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get(second).unwrap(), &before, "entry must be stable");
+    }
+
+    #[test]
+    fn dependencies_reflect_only_imported_modules() {
+        let mut reg = FunctionRegistry::new();
+        let id = reg
+            .register(
+                "h",
+                "def h(x):\n    import numpy\n    return numpy.sqrt(x)\n",
+            )
+            .unwrap();
+        let deps = &reg.get(id).unwrap().dependencies;
+        assert!(deps.contains(&"numpy".to_string()), "{deps:?}");
+        assert!(
+            !deps.contains(&"tensorflow".to_string()),
+            "unimported module leaked into deps: {deps:?}"
+        );
+    }
+
+    #[test]
+    fn iter_yields_registered_functions_in_stable_order() {
+        let mut reg = FunctionRegistry::new();
+        let a = reg.register("a", "def a():\n    return 1\n").unwrap();
+        let b = reg.register("b", "def b():\n    return 2\n").unwrap();
+        let ids: Vec<FunctionId> = reg.iter().map(|f| f.id).collect();
+        let mut expect = vec![a, b];
+        expect.sort();
+        assert_eq!(ids, expect, "iteration must follow id order");
+        assert_eq!(reg.iter().count(), 2);
+    }
+
+    #[test]
+    fn unknown_id_lookup_is_none() {
+        let reg = FunctionRegistry::new();
+        assert!(reg.get(FunctionId(0xdeadbeef)).is_none());
+    }
 }

@@ -1,0 +1,264 @@
+//! Open-loop arrival generation: seeded, deterministic Poisson processes
+//! with diurnal modulation and burst episodes.
+//!
+//! Serving-tier load is *open loop* — users submit at their own pace, not
+//! in response to completions — so the generator produces absolute arrival
+//! times independent of system state. The process is a non-homogeneous
+//! Poisson process sampled by thinning: candidate events are drawn from a
+//! homogeneous process at the peak rate `λ_max`, and each candidate at
+//! time `t` is kept with probability `λ(t)/λ_max`. The instantaneous rate
+//! composes three factors:
+//!
+//! ```text
+//! λ(t) = base_rate × diurnal(t) × burst(t)
+//! diurnal(t) = 1 + amplitude · sin(2πt / period)
+//! burst(t)   = burst_multiplier inside a burst episode, 1 otherwise
+//! ```
+//!
+//! Burst episodes themselves arrive as a (seeded) Poisson process with
+//! fixed duration — flash crowds over a daily cycle. Every draw comes
+//! from one forked [`SimRng`] stream per tenant, so arrival times are a
+//! pure function of (config, seed) and never perturb any other stream.
+
+use lfm_simcluster::rng::SimRng;
+use lfm_simcluster::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Shape of one tenant's arrival process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalConfig {
+    /// Mean arrival rate (invocations/sec) before modulation.
+    pub base_rate: f64,
+    /// Diurnal swing as a fraction of `base_rate` (0 = flat). Must be in
+    /// `[0, 1)` so the rate stays positive.
+    pub diurnal_amplitude: f64,
+    /// Diurnal period, seconds ("a day" at whatever scale the experiment
+    /// runs).
+    pub diurnal_period_secs: f64,
+    /// Mean rate of burst episodes (episodes/sec; 0 disables bursts).
+    pub burst_rate_per_sec: f64,
+    /// Length of one burst episode, seconds.
+    pub burst_duration_secs: f64,
+    /// Rate multiplier inside a burst episode (≥ 1).
+    pub burst_multiplier: f64,
+}
+
+impl ArrivalConfig {
+    /// A flat (homogeneous) Poisson process.
+    pub fn poisson(rate_per_sec: f64) -> Self {
+        assert!(rate_per_sec > 0.0, "non-positive arrival rate");
+        ArrivalConfig {
+            base_rate: rate_per_sec,
+            diurnal_amplitude: 0.0,
+            diurnal_period_secs: 86_400.0,
+            burst_rate_per_sec: 0.0,
+            burst_duration_secs: 0.0,
+            burst_multiplier: 1.0,
+        }
+    }
+
+    pub fn with_diurnal(mut self, amplitude: f64, period_secs: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "diurnal amplitude out of [0,1): {amplitude}"
+        );
+        assert!(period_secs > 0.0, "non-positive diurnal period");
+        self.diurnal_amplitude = amplitude;
+        self.diurnal_period_secs = period_secs;
+        self
+    }
+
+    pub fn with_bursts(mut self, rate_per_sec: f64, duration_secs: f64, multiplier: f64) -> Self {
+        assert!(rate_per_sec >= 0.0, "negative burst rate");
+        assert!(duration_secs > 0.0, "non-positive burst duration");
+        assert!(multiplier >= 1.0, "burst multiplier below 1: {multiplier}");
+        self.burst_rate_per_sec = rate_per_sec;
+        self.burst_duration_secs = duration_secs;
+        self.burst_multiplier = multiplier;
+        self
+    }
+
+    /// Peak instantaneous rate — the thinning envelope.
+    fn lambda_max(&self) -> f64 {
+        self.base_rate * (1.0 + self.diurnal_amplitude) * self.burst_multiplier
+    }
+
+    /// Long-run mean rate (diurnal averages out; bursts add their duty
+    /// cycle). Used to size offered-load sweeps.
+    pub fn mean_rate(&self) -> f64 {
+        let duty = (self.burst_rate_per_sec * self.burst_duration_secs).min(1.0);
+        self.base_rate * (1.0 - duty + duty * self.burst_multiplier)
+    }
+}
+
+/// A lazily-sampled arrival stream for one tenant.
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    config: ArrivalConfig,
+    rng: SimRng,
+    /// Candidate clock for the thinning envelope.
+    clock: f64,
+    /// Seeded burst-episode schedule, sampled on demand: the next episode
+    /// starts at `burst_next` and runs for `burst_duration_secs`.
+    burst_rng: SimRng,
+    burst_next: f64,
+}
+
+impl ArrivalProcess {
+    pub fn new(config: ArrivalConfig, seed: u64) -> Self {
+        let mut rng = SimRng::seeded(seed);
+        let burst_rng = rng.fork(0x6275_7273);
+        let mut p = ArrivalProcess {
+            config,
+            rng,
+            clock: 0.0,
+            burst_rng,
+            burst_next: f64::INFINITY,
+        };
+        if p.config.burst_rate_per_sec > 0.0 {
+            p.burst_next = p.sample_exp_burst();
+        }
+        p
+    }
+
+    fn sample_exp_burst(&mut self) -> f64 {
+        let u = self.burst_rng.uniform(f64::MIN_POSITIVE, 1.0);
+        -u.ln() / self.config.burst_rate_per_sec
+    }
+
+    /// Instantaneous rate at `t`, advancing the burst schedule as needed.
+    fn rate_at(&mut self, t: f64) -> f64 {
+        let diurnal = 1.0
+            + self.config.diurnal_amplitude
+                * (2.0 * std::f64::consts::PI * t / self.config.diurnal_period_secs).sin();
+        let mut burst = 1.0;
+        if self.config.burst_rate_per_sec > 0.0 {
+            // Roll the episode schedule forward past t.
+            while t >= self.burst_next + self.config.burst_duration_secs {
+                let gap = self.sample_exp_burst();
+                self.burst_next += self.config.burst_duration_secs + gap;
+            }
+            if t >= self.burst_next {
+                burst = self.config.burst_multiplier;
+            }
+        }
+        self.config.base_rate * diurnal * burst
+    }
+
+    /// The next arrival time (strictly increasing across calls).
+    pub fn next_arrival(&mut self) -> SimTime {
+        let lambda_max = self.config.lambda_max();
+        loop {
+            let u = self.rng.uniform(f64::MIN_POSITIVE, 1.0);
+            self.clock += -u.ln() / lambda_max;
+            let accept = self.rate_at(self.clock) / lambda_max;
+            if self.rng.chance(accept) {
+                return SimTime::from_secs(self.clock);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_until(p: &mut ArrivalProcess, horizon: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        loop {
+            let t = p.next_arrival().as_secs();
+            if t >= horizon {
+                return out;
+            }
+            out.push(t);
+        }
+    }
+
+    #[test]
+    fn poisson_rate_matches_config() {
+        let mut p = ArrivalProcess::new(ArrivalConfig::poisson(20.0), 1);
+        let arrivals = drain_until(&mut p, 500.0);
+        let rate = arrivals.len() as f64 / 500.0;
+        assert!(
+            (rate - 20.0).abs() < 1.0,
+            "empirical rate {rate} far from 20"
+        );
+    }
+
+    #[test]
+    fn arrivals_strictly_increase_and_are_deterministic() {
+        let a = drain_until(
+            &mut ArrivalProcess::new(
+                ArrivalConfig::poisson(50.0)
+                    .with_diurnal(0.5, 60.0)
+                    .with_bursts(0.02, 5.0, 3.0),
+                7,
+            ),
+            100.0,
+        );
+        let b = drain_until(
+            &mut ArrivalProcess::new(
+                ArrivalConfig::poisson(50.0)
+                    .with_diurnal(0.5, 60.0)
+                    .with_bursts(0.02, 5.0, 3.0),
+                7,
+            ),
+            100.0,
+        );
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "not strictly increasing");
+    }
+
+    #[test]
+    fn diurnal_modulation_shifts_mass() {
+        // Period 100s, amplitude 0.9: the first half-period (sin > 0) must
+        // carry substantially more arrivals than the second.
+        let mut p = ArrivalProcess::new(ArrivalConfig::poisson(40.0).with_diurnal(0.9, 100.0), 3);
+        let arrivals = drain_until(&mut p, 100.0);
+        let first_half = arrivals.iter().filter(|&&t| t < 50.0).count();
+        let second_half = arrivals.len() - first_half;
+        assert!(
+            first_half as f64 > 1.5 * second_half as f64,
+            "diurnal peak not visible: {first_half} vs {second_half}"
+        );
+    }
+
+    #[test]
+    fn bursts_raise_total_volume() {
+        let flat = drain_until(
+            &mut ArrivalProcess::new(ArrivalConfig::poisson(10.0), 5),
+            1000.0,
+        );
+        let bursty = drain_until(
+            &mut ArrivalProcess::new(ArrivalConfig::poisson(10.0).with_bursts(0.01, 20.0, 5.0), 5),
+            1000.0,
+        );
+        assert!(
+            bursty.len() as f64 > 1.2 * flat.len() as f64,
+            "bursts invisible: {} vs {}",
+            bursty.len(),
+            flat.len()
+        );
+    }
+
+    #[test]
+    fn mean_rate_accounts_for_burst_duty_cycle() {
+        let c = ArrivalConfig::poisson(10.0).with_bursts(0.01, 20.0, 5.0);
+        // Duty cycle 0.2 at 5x: 10 * (0.8 + 0.2*5) = 18.
+        assert!((c.mean_rate() - 18.0).abs() < 1e-9);
+        assert_eq!(ArrivalConfig::poisson(7.0).mean_rate(), 7.0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = drain_until(
+            &mut ArrivalProcess::new(ArrivalConfig::poisson(30.0), 1),
+            50.0,
+        );
+        let b = drain_until(
+            &mut ArrivalProcess::new(ArrivalConfig::poisson(30.0), 2),
+            50.0,
+        );
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,843 @@
+//! The serving gateway: a long-running multi-tenant front end over a
+//! streaming Work Queue master.
+//!
+//! The gateway owns the *policy* layers of the serving tier; the master
+//! stays the mechanism. Each simulated tick (default 100 ms) it:
+//!
+//! 1. **Accepts arrivals** — merges every tenant's open-loop arrival
+//!    stream in global time order and classifies each arrival through
+//!    [`admission`](crate::admission) (quota → depth bound → global
+//!    shed). Admitted invocations join their tenant's bounded queue.
+//! 2. **Advances the backend** — runs the [`StreamingMaster`] up to the
+//!    tick boundary and matches completions back to invocations,
+//!    recording invocation latency (arrival→completion) and queue wait
+//!    (arrival→dispatch) into bounded [`SparseHistogram`]s.
+//! 3. **Dispatches fairly** — while the master's outstanding window has
+//!    room, picks tenants via stride fair-share with strict priority
+//!    classes ([`FairScheduler`]), charges each dispatch a warm or cold
+//!    environment-activation cost from the [`WarmPool`], and submits the
+//!    whole tick's picks as **one** master task group (one `Submit`
+//!    calendar event — request batching).
+//!
+//! After the arrival horizon the gateway stops accepting and drains: every
+//! admitted invocation completes, so overload shows up as latency, not as
+//! silently vanished work. The run is a pure function of
+//! (config, functions, tenants, seed): every RNG stream is forked from the
+//! config seed, every map is ordered, and ties break on ids — identical
+//! seeds give byte-identical [`ServingReport`]s and telemetry traces.
+
+use crate::admission::{admit, AdmissionConfig, AdmissionOutcome, TokenBucket};
+use crate::arrivals::ArrivalProcess;
+use crate::fair::FairScheduler;
+use crate::report::{LatencyStats, ServingReport, TenantReport};
+use crate::tenant::{TenantConfig, TenantId};
+use crate::warmpool::{WarmPool, WarmPoolConfig};
+use lfm_funcx::container::{ActivationModel, ActivationTech};
+use lfm_funcx::registry::{FunctionId, FunctionRegistry};
+use lfm_funcx::service::FuncXService;
+use lfm_monitor::sim::SimTaskProfile;
+use lfm_simcluster::metrics::SparseHistogram;
+use lfm_simcluster::node::NodeSpec;
+use lfm_simcluster::rng::SimRng;
+use lfm_simcluster::time::SimTime;
+use lfm_telemetry::Recorder;
+use lfm_workqueue::allocate::{AutoConfig, Strategy};
+use lfm_workqueue::files::FileRef;
+use lfm_workqueue::master::MasterConfig;
+use lfm_workqueue::streaming::StreamingMaster;
+use lfm_workqueue::task::{TaskId, TaskSpec};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A function the gateway can serve: registry identity, packed
+/// environment, per-invocation behaviour, and activation cost model.
+#[derive(Debug, Clone)]
+pub struct ServingFunction {
+    pub name: String,
+    pub id: FunctionId,
+    /// Packed-environment input staged (and cached) on workers.
+    pub env: FileRef,
+    /// True per-invocation behaviour (the LFM-observed profile).
+    pub profile: SimTaskProfile,
+    /// Request payload size staged per invocation.
+    pub input_bytes: u64,
+    /// Cold/warm activation cost model charged at dispatch.
+    pub activation: ActivationModel,
+}
+
+impl ServingFunction {
+    /// Register `source` with the funcX registry and build its packed
+    /// environment from the statically-analyzed dependency list — the
+    /// production path.
+    pub fn from_source(
+        service: &FuncXService,
+        registry: &mut FunctionRegistry,
+        name: &str,
+        source: &str,
+        tech: ActivationTech,
+        profile: SimTaskProfile,
+        input_bytes: u64,
+    ) -> Result<Self, String> {
+        let id = registry.register(name, source).map_err(|e| e.to_string())?;
+        let env = service.environment_for(registry, id)?;
+        Ok(ServingFunction {
+            name: name.to_string(),
+            id,
+            env,
+            profile,
+            input_bytes,
+            activation: ActivationModel::for_tech(tech),
+        })
+    }
+
+    /// A hand-built function with a synthetic environment file — unit
+    /// tests and benchmarks that don't need real dependency resolution.
+    pub fn synthetic(
+        name: &str,
+        env_archive_bytes: u64,
+        tech: ActivationTech,
+        profile: SimTaskProfile,
+        input_bytes: u64,
+    ) -> Self {
+        ServingFunction {
+            name: name.to_string(),
+            id: FunctionId(lfm_pyenv::pack::fnv1a(name.as_bytes())),
+            env: FileRef::environment(
+                format!("{name}-env.tar.gz"),
+                env_archive_bytes,
+                env_archive_bytes * 3,
+                2000,
+                400,
+            ),
+            profile,
+            input_bytes,
+            activation: ActivationModel::for_tech(tech),
+        }
+    }
+}
+
+/// Gateway-level configuration (tenants and functions are passed
+/// separately).
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    pub seed: u64,
+    /// Arrival horizon: arrivals stop here; the gateway then drains.
+    pub horizon_secs: f64,
+    /// Gateway control-loop period.
+    pub tick_secs: f64,
+    /// Max invocations outstanding in the master (submitted, not yet
+    /// terminal). The gateway holds the rest so dispatch order — and
+    /// therefore fairness — is decided by its scheduler, not the
+    /// master's FIFO.
+    pub dispatch_window: usize,
+    /// Max invocations per master task group (one `Submit` per tick).
+    pub batch_max: usize,
+    pub admission: AdmissionConfig,
+    pub warm_pool: WarmPoolConfig,
+    /// Master allocation strategy for invocation placement.
+    pub strategy: Strategy,
+    pub workers: u32,
+    pub node: NodeSpec,
+    pub telemetry: Recorder,
+}
+
+impl ServingConfig {
+    pub fn new(workers: u32, node: NodeSpec) -> Self {
+        ServingConfig {
+            seed: 0,
+            horizon_secs: 60.0,
+            tick_secs: 0.1,
+            dispatch_window: 256,
+            batch_max: 64,
+            admission: AdmissionConfig::default(),
+            warm_pool: WarmPoolConfig::new((workers as usize) * 8, 30.0),
+            // LFM-managed invocations: per-function labels learned from
+            // monitor reports, so invocations pack instead of taking
+            // whole workers (the paper's core claim, applied to serving).
+            strategy: Strategy::Auto(AutoConfig::default()),
+            workers,
+            node,
+            telemetry: Recorder::disabled(),
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_horizon(mut self, horizon_secs: f64) -> Self {
+        assert!(horizon_secs > 0.0, "non-positive horizon");
+        self.horizon_secs = horizon_secs;
+        self
+    }
+
+    pub fn with_tick(mut self, tick_secs: f64) -> Self {
+        assert!(tick_secs > 0.0, "non-positive tick");
+        self.tick_secs = tick_secs;
+        self
+    }
+
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    pub fn with_warm_pool(mut self, warm_pool: WarmPoolConfig) -> Self {
+        self.warm_pool = warm_pool;
+        self
+    }
+
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    pub fn with_dispatch_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "zero dispatch window");
+        self.dispatch_window = window;
+        self
+    }
+
+    pub fn with_batch_max(mut self, batch_max: usize) -> Self {
+        assert!(batch_max > 0, "zero batch size");
+        self.batch_max = batch_max;
+        self
+    }
+
+    pub fn with_telemetry(mut self, telemetry: Recorder) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+}
+
+/// An admitted invocation waiting in its tenant queue.
+#[derive(Debug, Clone)]
+struct Queued {
+    invocation: u64,
+    function: usize,
+    arrival_secs: f64,
+}
+
+/// Everything known about a dispatched invocation until it completes.
+#[derive(Debug, Clone)]
+struct InFlight {
+    tenant: u32,
+    arrival_secs: f64,
+    dispatch_secs: f64,
+    warm: bool,
+}
+
+/// Per-tenant accounting counters.
+#[derive(Debug, Clone, Default)]
+struct TenantCounters {
+    offered: u64,
+    admitted: u64,
+    rejected_rate: u64,
+    rejected_queue_full: u64,
+    shed: u64,
+    /// Dispatches during the arrival phase — the steady-state window the
+    /// fairness acceptance check measures.
+    dispatched_steady: u64,
+    completed: u64,
+    failed: u64,
+}
+
+/// The gateway. Construct, then [`ServingGateway::run`] to completion.
+pub struct ServingGateway {
+    config: ServingConfig,
+    functions: Vec<ServingFunction>,
+    tenants: Vec<TenantConfig>,
+    master: StreamingMaster,
+    sched: FairScheduler,
+    pool: WarmPool,
+    arrivals: Vec<ArrivalProcess>,
+    /// Peeked next arrival per tenant (for the global merge).
+    next_arrival: Vec<f64>,
+    buckets: Vec<Option<TokenBucket>>,
+    queues: Vec<VecDeque<Queued>>,
+    overhead_rng: SimRng,
+    in_flight: BTreeMap<u64, InFlight>,
+    next_invocation: u64,
+    counters: Vec<TenantCounters>,
+    latency: SparseHistogram,
+    queue_wait: SparseHistogram,
+    tenant_latency: Vec<SparseHistogram>,
+    batches_submitted: u64,
+    in_steady_phase: bool,
+}
+
+impl ServingGateway {
+    pub fn new(
+        config: ServingConfig,
+        functions: Vec<ServingFunction>,
+        tenants: Vec<TenantConfig>,
+    ) -> Self {
+        assert!(!functions.is_empty(), "no serving functions");
+        assert!(!tenants.is_empty(), "no tenants");
+        for t in &tenants {
+            assert!(
+                t.function < functions.len(),
+                "tenant {} references unknown function {}",
+                t.name,
+                t.function
+            );
+        }
+        let master_cfg = MasterConfig::new(config.strategy.clone())
+            .with_seed(config.seed)
+            .with_telemetry(config.telemetry.clone());
+        let master = StreamingMaster::new(&master_cfg, config.workers, config.node);
+        let sched = FairScheduler::new(
+            &tenants
+                .iter()
+                .map(|t| (t.class, t.weight))
+                .collect::<Vec<_>>(),
+        );
+        let mut arrivals = Vec::with_capacity(tenants.len());
+        let mut next_arrival = Vec::with_capacity(tenants.len());
+        for (i, t) in tenants.iter().enumerate() {
+            let seed = config
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(0x5eed + i as u64);
+            let mut p = ArrivalProcess::new(t.arrivals.clone(), seed);
+            next_arrival.push(p.next_arrival().as_secs());
+            arrivals.push(p);
+        }
+        let buckets = tenants
+            .iter()
+            .map(|t| t.quota.map(TokenBucket::new))
+            .collect();
+        let pool = WarmPool::new(config.warm_pool);
+        let overhead_rng = SimRng::seeded(config.seed).fork(0xac71_7a7e);
+        let n = tenants.len();
+        ServingGateway {
+            config,
+            functions,
+            tenants,
+            master,
+            sched,
+            pool,
+            arrivals,
+            next_arrival,
+            buckets,
+            queues: vec![VecDeque::new(); n],
+            overhead_rng,
+            in_flight: BTreeMap::new(),
+            next_invocation: 0,
+            counters: vec![TenantCounters::default(); n],
+            latency: SparseHistogram::new(),
+            queue_wait: SparseHistogram::new(),
+            tenant_latency: vec![SparseHistogram::new(); n],
+            batches_submitted: 0,
+            in_steady_phase: true,
+        }
+    }
+
+    fn total_queued(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Accept every arrival strictly before `until_secs`, merging tenant
+    /// streams in global time order (ties: lowest tenant id first).
+    fn accept_arrivals(&mut self, until_secs: f64) {
+        loop {
+            let mut best: Option<(f64, usize)> = None;
+            for (i, &t) in self.next_arrival.iter().enumerate() {
+                if t < until_secs && best.is_none_or(|(bt, bi)| (t, i) < (bt, bi)) {
+                    best = Some((t, i));
+                }
+            }
+            let Some((at, tenant)) = best else { return };
+            self.next_arrival[tenant] = self.arrivals[tenant].next_arrival().as_secs();
+            self.on_arrival(tenant, at);
+        }
+    }
+
+    fn on_arrival(&mut self, tenant: usize, at_secs: f64) {
+        self.counters[tenant].offered += 1;
+        let total_depth = self.total_queued();
+        let outcome = admit(
+            &self.config.admission,
+            at_secs,
+            self.queues[tenant].len(),
+            self.tenants[tenant].max_queue_depth,
+            total_depth,
+            self.buckets[tenant].as_mut(),
+        );
+        let tname = &self.tenants[tenant].name;
+        let at = SimTime::from_secs(at_secs);
+        match outcome {
+            AdmissionOutcome::Admitted => {
+                self.counters[tenant].admitted += 1;
+                self.config
+                    .telemetry
+                    .counter_at(&format!("serving.admitted.{tname}"), 1, at);
+                let was_empty = self.queues[tenant].is_empty();
+                self.queues[tenant].push_back(Queued {
+                    invocation: self.next_invocation,
+                    function: self.tenants[tenant].function,
+                    arrival_secs: at_secs,
+                });
+                self.next_invocation += 1;
+                if was_empty {
+                    self.sched.on_tenant_active(TenantId(tenant as u32));
+                }
+            }
+            AdmissionOutcome::RejectedRate => {
+                self.counters[tenant].rejected_rate += 1;
+                self.config
+                    .telemetry
+                    .counter_at(&format!("serving.rejected.{tname}"), 1, at);
+            }
+            AdmissionOutcome::RejectedQueueFull => {
+                self.counters[tenant].rejected_queue_full += 1;
+                self.config
+                    .telemetry
+                    .counter_at(&format!("serving.rejected.{tname}"), 1, at);
+            }
+            AdmissionOutcome::ShedOverload => {
+                self.counters[tenant].shed += 1;
+                self.config
+                    .telemetry
+                    .counter_at(&format!("serving.shed.{tname}"), 1, at);
+            }
+        }
+    }
+
+    /// Fill the master's outstanding window in fair-share order and
+    /// submit the picks as one task group.
+    fn dispatch(&mut self, now_secs: f64) {
+        let outstanding = self.master.submitted() - self.master.completed();
+        let mut budget = self
+            .config
+            .dispatch_window
+            .saturating_sub(outstanding)
+            .min(self.config.batch_max);
+        let mut batch = Vec::new();
+        while budget > 0 {
+            let queues = &self.queues;
+            let Some(tid) = self.sched.pick(|id| !queues[id.0 as usize].is_empty()) else {
+                break;
+            };
+            let tenant = tid.0 as usize;
+            let q = self.queues[tenant].pop_front().expect("picked empty queue");
+            let f = &self.functions[q.function];
+            let warm = self.pool.acquire(q.function, now_secs);
+            let overhead = if warm {
+                f.activation.sample_warm(&mut self.overhead_rng)
+            } else {
+                f.activation.sample(&mut self.overhead_rng)
+            };
+            let mut profile = f.profile;
+            profile.duration_secs += overhead;
+            batch.push(TaskSpec::new(
+                TaskId(q.invocation),
+                f.name.clone(),
+                vec![
+                    f.env.clone(),
+                    FileRef::data(format!("req-{}", q.invocation), f.input_bytes),
+                ],
+                4 << 10,
+                profile,
+            ));
+            self.in_flight.insert(
+                q.invocation,
+                InFlight {
+                    tenant: tid.0,
+                    arrival_secs: q.arrival_secs,
+                    dispatch_secs: now_secs,
+                    warm,
+                },
+            );
+            if self.in_steady_phase {
+                self.counters[tenant].dispatched_steady += 1;
+            }
+            budget -= 1;
+        }
+        if !batch.is_empty() {
+            self.master.submit(SimTime::from_secs(now_secs), batch);
+            self.batches_submitted += 1;
+        }
+    }
+
+    /// Match newly-terminal master results back to invocations.
+    fn collect(&mut self) {
+        for result in self.master.take_new_results() {
+            let Some(inv) = self.in_flight.remove(&result.task.0) else {
+                // Retried attempt already accounted on its terminal record.
+                continue;
+            };
+            let tenant = inv.tenant as usize;
+            let finish = result.finished_at.as_secs();
+            if result.outcome.is_success() {
+                self.counters[tenant].completed += 1;
+                let latency = finish - inv.arrival_secs;
+                let wait = inv.dispatch_secs - inv.arrival_secs;
+                self.latency.record(latency);
+                self.tenant_latency[tenant].record(latency);
+                self.queue_wait.record(wait);
+                let tname = &self.tenants[tenant].name;
+                let rec = &self.config.telemetry;
+                rec.span("serving.queue", "serving")
+                    .at(
+                        SimTime::from_secs(inv.arrival_secs),
+                        SimTime::from_secs(inv.dispatch_secs),
+                    )
+                    .task(result.task.0)
+                    .attr("tenant", tname.as_str())
+                    .emit();
+                rec.span("serving.invoke", "serving")
+                    .at(SimTime::from_secs(inv.arrival_secs), result.finished_at)
+                    .task(result.task.0)
+                    .attr("tenant", tname.as_str())
+                    .attr("function", result.category.as_str())
+                    .attr("warm", u64::from(inv.warm))
+                    .emit();
+            } else {
+                self.counters[tenant].failed += 1;
+            }
+        }
+    }
+
+    fn emit_queue_gauges(&self, now_secs: f64) {
+        if !self.config.telemetry.is_enabled() {
+            return;
+        }
+        for (i, q) in self.queues.iter().enumerate() {
+            self.config.telemetry.gauge(
+                &format!("serving.queue_depth.{}", self.tenants[i].name),
+                q.len() as f64,
+                SimTime::from_secs(now_secs),
+            );
+        }
+    }
+
+    fn tick(&mut self, t_end: f64, accept: bool) {
+        if accept {
+            self.accept_arrivals(t_end);
+        }
+        self.master.run_until(SimTime::from_secs(t_end));
+        self.collect();
+        self.pool.expire(t_end);
+        self.dispatch(t_end);
+        self.emit_queue_gauges(t_end);
+    }
+
+    /// Drive the gateway: accept arrivals until the horizon, then drain
+    /// every admitted invocation and assemble the report.
+    pub fn run(mut self) -> ServingReport {
+        let tick = self.config.tick_secs;
+        let horizon = self.config.horizon_secs;
+        let mut t = 0.0;
+        while t < horizon {
+            let t_end = (t + tick).min(horizon);
+            self.tick(t_end, true);
+            t = t_end;
+        }
+        self.in_steady_phase = false;
+        let admitted: u64 = self.counters.iter().map(|c| c.admitted).sum();
+        let mut guard: u64 = 0;
+        while self
+            .counters
+            .iter()
+            .map(|c| c.completed + c.failed)
+            .sum::<u64>()
+            < admitted
+        {
+            t += tick;
+            self.tick(t, false);
+            guard += 1;
+            assert!(
+                guard < 100_000_000,
+                "drain diverged: {} of {admitted} done at t={t}",
+                self.counters
+                    .iter()
+                    .map(|c| c.completed + c.failed)
+                    .sum::<u64>()
+            );
+        }
+        self.finish(t)
+    }
+
+    fn finish(self, end_secs: f64) -> ServingReport {
+        let tenants: Vec<TenantReport> = self
+            .tenants
+            .iter()
+            .zip(&self.counters)
+            .zip(&self.tenant_latency)
+            .map(|((cfg, c), hist)| TenantReport {
+                name: cfg.name.clone(),
+                weight: cfg.weight,
+                class: cfg.class.name().to_string(),
+                offered: c.offered,
+                admitted: c.admitted,
+                rejected_rate: c.rejected_rate,
+                rejected_queue_full: c.rejected_queue_full,
+                shed: c.shed,
+                dispatched_steady: c.dispatched_steady,
+                completed: c.completed,
+                failed: c.failed,
+                latency: LatencyStats::from_histogram(hist),
+            })
+            .collect();
+        let totals = |f: fn(&TenantCounters) -> u64| self.counters.iter().map(f).sum::<u64>();
+        let report = self.master.finish();
+        ServingReport {
+            seed: self.config.seed,
+            horizon_secs: self.config.horizon_secs,
+            end_secs,
+            offered: totals(|c| c.offered),
+            admitted: totals(|c| c.admitted),
+            rejected_rate: totals(|c| c.rejected_rate),
+            rejected_queue_full: totals(|c| c.rejected_queue_full),
+            shed: totals(|c| c.shed),
+            completed: totals(|c| c.completed),
+            failed: totals(|c| c.failed),
+            latency: LatencyStats::from_histogram(&self.latency),
+            queue_wait: LatencyStats::from_histogram(&self.queue_wait),
+            warm_hits: self.pool.hits(),
+            warm_misses: self.pool.misses(),
+            warm_hit_rate: self.pool.hit_rate(),
+            warm_expirations: self.pool.expirations(),
+            batches_submitted: self.batches_submitted,
+            master_makespan_secs: report.makespan_secs,
+            master_cache_hits: report.cache_hits,
+            master_cache_misses: report.cache_misses,
+            master_net_bytes: report.net_bytes,
+            tenants,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::ArrivalConfig;
+    use crate::tenant::{PriorityClass, RateQuota};
+
+    fn node() -> NodeSpec {
+        NodeSpec::new(16, 64 * 1024, 100 * 1024)
+    }
+
+    fn fast_fn() -> ServingFunction {
+        // 0.5s, 1 core: 4 workers x 16 cores => ~128 inv/s capacity.
+        ServingFunction::synthetic(
+            "classify",
+            50 << 20,
+            ActivationTech::Docker,
+            SimTaskProfile::new(0.5, 1.0, 1024, 256),
+            64 << 10,
+        )
+    }
+
+    fn base_config() -> ServingConfig {
+        ServingConfig::new(4, node())
+            .with_seed(11)
+            .with_horizon(30.0)
+            .with_tick(0.25)
+    }
+
+    fn one_tenant(rate: f64) -> Vec<TenantConfig> {
+        vec![TenantConfig::new("acme", 1, ArrivalConfig::poisson(rate))]
+    }
+
+    #[test]
+    fn underloaded_run_completes_everything_quickly() {
+        let report = ServingGateway::new(base_config(), vec![fast_fn()], one_tenant(20.0)).run();
+        assert!(report.offered > 400, "offered {}", report.offered);
+        assert_eq!(report.admitted, report.offered);
+        assert_eq!(report.completed, report.admitted);
+        assert_eq!(report.failed, 0);
+        assert!(report.success_rate() > 0.999);
+        // Latency = queue wait (< 2 ticks) + activation + 0.5s exec.
+        assert!(
+            report.latency.p50 < 3.0,
+            "p50 {} too high for underload",
+            report.latency.p50
+        );
+        assert!(report.warm_hit_rate > 0.5, "warm {}", report.warm_hit_rate);
+    }
+
+    #[test]
+    fn identical_seeds_identical_reports() {
+        let run = || {
+            let cfg = base_config().with_horizon(10.0);
+            let tenants = vec![
+                TenantConfig::new(
+                    "web",
+                    2,
+                    ArrivalConfig::poisson(30.0).with_diurnal(0.4, 20.0),
+                )
+                .with_class(PriorityClass::Critical),
+                TenantConfig::new(
+                    "batch",
+                    1,
+                    ArrivalConfig::poisson(40.0).with_bursts(0.05, 2.0, 3.0),
+                )
+                .with_class(PriorityClass::Batch)
+                .with_quota(RateQuota::new(35.0, 50.0)),
+            ];
+            ServingGateway::new(cfg, vec![fast_fn()], tenants).run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.summary_json(), b.summary_json());
+    }
+
+    #[test]
+    fn overload_with_admission_bounds_latency() {
+        // ~3x capacity with small queues: waits stay bounded by depth.
+        let cfg = base_config()
+            .with_admission(AdmissionConfig::new(512))
+            .with_horizon(20.0);
+        let tenants =
+            vec![TenantConfig::new("flood", 1, ArrivalConfig::poisson(400.0))
+                .with_max_queue_depth(128)];
+        let report = ServingGateway::new(cfg, vec![fast_fn()], tenants).run();
+        assert!(
+            report.rejected_queue_full > 0,
+            "expected queue-full rejections"
+        );
+        assert!(report.success_rate() < 0.9, "overload must shed load");
+        assert!(report.success_rate() > 0.1, "but not collapse");
+        // Wait is bounded by (queue depth + dispatch window) / service
+        // rate — a few seconds — while the no-admission baseline's p99
+        // grows with the horizon (pinned comparatively in bench_serving).
+        assert!(
+            report.latency.p99 < 15.0,
+            "admission failed to bound p99: {}",
+            report.latency.p99
+        );
+    }
+
+    #[test]
+    fn rate_quota_is_enforced() {
+        let cfg = base_config().with_horizon(20.0);
+        let tenants = vec![one_tenant(50.0)
+            .pop()
+            .unwrap()
+            .with_quota(RateQuota::new(10.0, 5.0))];
+        let report = ServingGateway::new(cfg, vec![fast_fn()], tenants).run();
+        assert!(report.rejected_rate > 0);
+        // Admitted rate ~ quota rate (plus initial burst).
+        let admitted_rate = report.admitted as f64 / 20.0;
+        assert!(
+            admitted_rate < 12.0,
+            "quota leak: admitted {admitted_rate}/s against 10/s quota"
+        );
+    }
+
+    #[test]
+    fn fair_share_tracks_weights_under_saturation() {
+        let cfg = base_config()
+            .with_horizon(40.0)
+            .with_admission(AdmissionConfig::new(100_000));
+        // Three equal floods, weights 1/2/4, all Standard.
+        let tenants: Vec<TenantConfig> = [("w1", 1u32), ("w2", 2), ("w4", 4)]
+            .iter()
+            .map(|&(name, w)| {
+                TenantConfig::new(name, w, ArrivalConfig::poisson(200.0))
+                    .with_max_queue_depth(100_000)
+            })
+            .collect();
+        let report = ServingGateway::new(cfg, vec![fast_fn()], tenants).run();
+        let total: u64 = report.tenants.iter().map(|t| t.dispatched_steady).sum();
+        for (t, expect) in report.tenants.iter().zip([1.0 / 7.0, 2.0 / 7.0, 4.0 / 7.0]) {
+            let share = t.dispatched_steady as f64 / total as f64;
+            assert!(
+                (share - expect).abs() / expect < 0.05,
+                "{}: share {share:.4} vs weight share {expect:.4}",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn critical_class_preempts_batch() {
+        let cfg = base_config().with_horizon(20.0);
+        let tenants = vec![
+            TenantConfig::new("interactive", 1, ArrivalConfig::poisson(60.0))
+                .with_class(PriorityClass::Critical)
+                .with_max_queue_depth(10_000),
+            TenantConfig::new("analytics", 1, ArrivalConfig::poisson(200.0))
+                .with_class(PriorityClass::Batch)
+                .with_max_queue_depth(10_000),
+        ];
+        let report = ServingGateway::new(cfg, vec![fast_fn()], tenants).run();
+        let crit = &report.tenants[0];
+        let batch = &report.tenants[1];
+        // Critical under capacity: near-zero queueing. Batch absorbs all delay.
+        assert!(
+            crit.latency.p99 < batch.latency.p99 / 2.0,
+            "critical p99 {} vs batch p99 {}",
+            crit.latency.p99,
+            batch.latency.p99
+        );
+    }
+
+    #[test]
+    fn funcx_registered_function_serves() {
+        let svc = FuncXService::new();
+        let mut reg = FunctionRegistry::new();
+        let f = ServingFunction::from_source(
+            &svc,
+            &mut reg,
+            "classify_image",
+            lfm_pyenv::source::funcx_classify_source(),
+            ActivationTech::Singularity,
+            SimTaskProfile::new(1.0, 1.0, 2048, 512),
+            150 << 10,
+        )
+        .unwrap();
+        assert!(f.env.size_bytes > 100 << 20, "real packed env expected");
+        let cfg = base_config().with_horizon(10.0);
+        let report = ServingGateway::new(cfg, vec![f], one_tenant(10.0)).run();
+        assert_eq!(report.completed, report.admitted);
+        assert!(report.completed > 50);
+        assert!(report.warm_hit_rate > 0.0);
+    }
+
+    #[test]
+    fn telemetry_counters_and_spans_emitted() {
+        let rec = Recorder::enabled();
+        let cfg = base_config().with_horizon(5.0).with_telemetry(rec.clone());
+        let report = ServingGateway::new(cfg, vec![fast_fn()], one_tenant(20.0)).run();
+        let records = rec.take();
+        let names: std::collections::BTreeSet<String> = records
+            .iter()
+            .filter_map(|r| match r {
+                lfm_telemetry::Record::Metric(m) => Some(m.name.clone()),
+                lfm_telemetry::Record::Span(s) => Some(s.name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(names.contains("serving.admitted.acme"), "{names:?}");
+        assert!(names.contains("serving.queue_depth.acme"), "{names:?}");
+        assert!(names.contains("serving.queue"), "{names:?}");
+        assert!(names.contains("serving.invoke"), "{names:?}");
+        let invokes = records
+            .iter()
+            .filter(|r| matches!(r, lfm_telemetry::Record::Span(s) if s.name == "serving.invoke"))
+            .count() as u64;
+        assert_eq!(invokes, report.completed);
+    }
+
+    #[test]
+    fn telemetry_trace_is_byte_stable_across_runs() {
+        let run = || {
+            let rec = Recorder::enabled();
+            let cfg = base_config().with_horizon(5.0).with_telemetry(rec.clone());
+            ServingGateway::new(cfg, vec![fast_fn()], one_tenant(30.0)).run();
+            lfm_telemetry::export::chrome_trace(&rec.take())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "references unknown function")]
+    fn unknown_function_index_rejected() {
+        let tenants = vec![one_tenant(1.0).pop().unwrap().with_function(3)];
+        ServingGateway::new(base_config(), vec![fast_fn()], tenants);
+    }
+}

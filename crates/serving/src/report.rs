@@ -1,0 +1,241 @@
+//! Serving run reports: per-tenant and aggregate accounting with bounded
+//! latency sketches, serialized as deterministic JSON.
+//!
+//! `summary_json` hand-rolls its output with a fixed field order and
+//! Rust's shortest-roundtrip float formatting, so two runs with identical
+//! seeds produce byte-identical strings — the determinism acceptance
+//! check compares these directly.
+
+use lfm_simcluster::metrics::SparseHistogram;
+use serde::{Deserialize, Serialize};
+
+/// Percentile summary extracted from a [`SparseHistogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    pub count: u64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub p999: f64,
+    pub max: f64,
+}
+
+impl LatencyStats {
+    pub fn from_histogram(h: &SparseHistogram) -> Self {
+        LatencyStats {
+            count: h.count(),
+            mean: h.mean(),
+            p50: h.p50(),
+            p95: h.p95(),
+            p99: h.p99(),
+            p999: h.p999(),
+            max: h.max(),
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{},\"max\":{}}}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.p999, self.max
+        )
+    }
+}
+
+/// One tenant's slice of the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantReport {
+    pub name: String,
+    pub weight: u32,
+    pub class: String,
+    pub offered: u64,
+    pub admitted: u64,
+    pub rejected_rate: u64,
+    pub rejected_queue_full: u64,
+    pub shed: u64,
+    /// Dispatches during the arrival (steady-state) phase — the fairness
+    /// check's measurement window.
+    pub dispatched_steady: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub latency: LatencyStats,
+}
+
+/// The whole run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    pub seed: u64,
+    pub horizon_secs: f64,
+    /// Simulated time when the drain finished (≥ horizon).
+    pub end_secs: f64,
+    pub offered: u64,
+    pub admitted: u64,
+    pub rejected_rate: u64,
+    pub rejected_queue_full: u64,
+    pub shed: u64,
+    pub completed: u64,
+    pub failed: u64,
+    /// Invocation latency (arrival → completion), successes only.
+    pub latency: LatencyStats,
+    /// Gateway queue wait (arrival → dispatch).
+    pub queue_wait: LatencyStats,
+    pub warm_hits: u64,
+    pub warm_misses: u64,
+    pub warm_hit_rate: f64,
+    pub warm_expirations: u64,
+    /// Master task groups submitted (one `Submit` event each).
+    pub batches_submitted: u64,
+    pub master_makespan_secs: f64,
+    pub master_cache_hits: u64,
+    pub master_cache_misses: u64,
+    pub master_net_bytes: u64,
+    pub tenants: Vec<TenantReport>,
+}
+
+impl ServingReport {
+    /// Completed / offered — the goodput fraction clients experienced.
+    pub fn success_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.offered as f64
+        }
+    }
+
+    /// Fraction of offered load turned away (rejections + shed).
+    pub fn rejection_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            (self.rejected_rate + self.rejected_queue_full + self.shed) as f64 / self.offered as f64
+        }
+    }
+
+    /// Deterministic single-line JSON summary (fixed field order).
+    pub fn summary_json(&self) -> String {
+        let tenants: Vec<String> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"name\":\"{}\",\"weight\":{},\"class\":\"{}\",\"offered\":{},\
+                     \"admitted\":{},\"rejected_rate\":{},\"rejected_queue_full\":{},\
+                     \"shed\":{},\"dispatched_steady\":{},\"completed\":{},\"failed\":{},\
+                     \"latency\":{}}}",
+                    t.name,
+                    t.weight,
+                    t.class,
+                    t.offered,
+                    t.admitted,
+                    t.rejected_rate,
+                    t.rejected_queue_full,
+                    t.shed,
+                    t.dispatched_steady,
+                    t.completed,
+                    t.failed,
+                    t.latency.json()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"seed\":{},\"horizon_secs\":{},\"end_secs\":{},\"offered\":{},\"admitted\":{},\
+             \"rejected_rate\":{},\"rejected_queue_full\":{},\"shed\":{},\"completed\":{},\
+             \"failed\":{},\"success_rate\":{},\"latency\":{},\"queue_wait\":{},\
+             \"warm_hits\":{},\"warm_misses\":{},\"warm_hit_rate\":{},\"warm_expirations\":{},\
+             \"batches_submitted\":{},\"master_makespan_secs\":{},\"master_cache_hits\":{},\
+             \"master_cache_misses\":{},\"master_net_bytes\":{},\"tenants\":[{}]}}",
+            self.seed,
+            self.horizon_secs,
+            self.end_secs,
+            self.offered,
+            self.admitted,
+            self.rejected_rate,
+            self.rejected_queue_full,
+            self.shed,
+            self.completed,
+            self.failed,
+            self.success_rate(),
+            self.latency.json(),
+            self.queue_wait.json(),
+            self.warm_hits,
+            self.warm_misses,
+            self.warm_hit_rate,
+            self.warm_expirations,
+            self.batches_submitted,
+            self.master_makespan_secs,
+            self.master_cache_hits,
+            self.master_cache_misses,
+            self.master_net_bytes,
+            tenants.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> LatencyStats {
+        let mut h = SparseHistogram::new();
+        for i in 1..=100 {
+            h.record(i as f64 / 10.0);
+        }
+        LatencyStats::from_histogram(&h)
+    }
+
+    #[test]
+    fn latency_stats_capture_percentiles() {
+        let s = stats();
+        assert_eq!(s.count, 100);
+        assert!((s.p50 - 5.0).abs() < 0.06);
+        assert!((s.p99 - 9.9).abs() < 0.11);
+        assert_eq!(s.max, 10.0);
+    }
+
+    #[test]
+    fn summary_json_is_valid_and_deterministic() {
+        let report = ServingReport {
+            seed: 7,
+            horizon_secs: 60.0,
+            end_secs: 61.5,
+            offered: 100,
+            admitted: 90,
+            rejected_rate: 4,
+            rejected_queue_full: 3,
+            shed: 3,
+            completed: 90,
+            failed: 0,
+            latency: stats(),
+            queue_wait: stats(),
+            warm_hits: 60,
+            warm_misses: 30,
+            warm_hit_rate: 60.0 / 90.0,
+            warm_expirations: 2,
+            batches_submitted: 12,
+            master_makespan_secs: 61.0,
+            master_cache_hits: 80,
+            master_cache_misses: 10,
+            master_net_bytes: 1 << 30,
+            tenants: vec![TenantReport {
+                name: "acme".into(),
+                weight: 2,
+                class: "standard".into(),
+                offered: 100,
+                admitted: 90,
+                rejected_rate: 4,
+                rejected_queue_full: 3,
+                shed: 3,
+                dispatched_steady: 88,
+                completed: 90,
+                failed: 0,
+                latency: stats(),
+            }],
+        };
+        let a = report.summary_json();
+        let b = report.clone().summary_json();
+        assert_eq!(a, b);
+        lfm_telemetry::export::validate_json(&a).expect("summary must be valid JSON");
+        assert!((report.success_rate() - 0.9).abs() < 1e-12);
+        assert!((report.rejection_rate() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,155 @@
+//! Tenant identity, priority classes, and per-tenant policy knobs.
+//!
+//! A tenant is one user (or project) of the serving gateway: it owns an
+//! arrival stream, a bounded submission queue, a fair-share weight, a
+//! priority class, and an optional rate quota. Everything here is pure
+//! configuration — runtime state (queues, token buckets, stride passes)
+//! lives in the gateway.
+
+use crate::arrivals::ArrivalConfig;
+use serde::{Deserialize, Serialize};
+
+/// Index of a tenant in the gateway's configuration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Strict priority tiers: the dispatcher never serves a lower class while
+/// a higher one has queued work (fair-share weights apply *within* a
+/// class). Order is scheduling order.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub enum PriorityClass {
+    /// Latency-sensitive interactive traffic.
+    Critical,
+    /// The default tier.
+    #[default]
+    Standard,
+    /// Throughput-oriented background work; first to wait.
+    Batch,
+}
+
+impl PriorityClass {
+    pub fn name(&self) -> &'static str {
+        match self {
+            PriorityClass::Critical => "critical",
+            PriorityClass::Standard => "standard",
+            PriorityClass::Batch => "batch",
+        }
+    }
+}
+
+/// A tenant's rate quota: a token bucket refilled continuously at
+/// `rate_per_sec`, holding at most `burst` tokens. One arrival consumes
+/// one token; an empty bucket rejects the arrival (`RejectedRate`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateQuota {
+    pub rate_per_sec: f64,
+    pub burst: f64,
+}
+
+impl RateQuota {
+    pub fn new(rate_per_sec: f64, burst: f64) -> Self {
+        assert!(rate_per_sec > 0.0, "non-positive quota rate");
+        assert!(burst >= 1.0, "burst must allow at least one token");
+        RateQuota {
+            rate_per_sec,
+            burst,
+        }
+    }
+}
+
+/// Per-tenant configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantConfig {
+    pub name: String,
+    /// Fair-share weight within the tenant's priority class (stride
+    /// scheduling: a weight-2 tenant is served twice as often as a
+    /// weight-1 tenant when both are backlogged).
+    pub weight: u32,
+    pub class: PriorityClass,
+    /// Admission bound on this tenant's gateway queue; arrivals beyond it
+    /// are rejected (`RejectedQueueFull`). Explicit backpressure rather
+    /// than unbounded buffering.
+    pub max_queue_depth: usize,
+    /// Optional rate quota; `None` means unmetered.
+    pub quota: Option<RateQuota>,
+    /// The tenant's open-loop arrival process.
+    pub arrivals: ArrivalConfig,
+    /// Which registered serving function this tenant invokes (index into
+    /// the gateway's function table).
+    pub function: usize,
+}
+
+impl TenantConfig {
+    pub fn new(name: impl Into<String>, weight: u32, arrivals: ArrivalConfig) -> Self {
+        assert!(weight > 0, "zero fair-share weight");
+        TenantConfig {
+            name: name.into(),
+            weight,
+            class: PriorityClass::Standard,
+            max_queue_depth: 512,
+            quota: None,
+            arrivals,
+            function: 0,
+        }
+    }
+
+    pub fn with_class(mut self, class: PriorityClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    pub fn with_max_queue_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "zero queue depth");
+        self.max_queue_depth = depth;
+        self
+    }
+
+    pub fn with_quota(mut self, quota: RateQuota) -> Self {
+        self.quota = Some(quota);
+        self
+    }
+
+    pub fn with_function(mut self, function: usize) -> Self {
+        self.function = function;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_classes_order_strictly() {
+        assert!(PriorityClass::Critical < PriorityClass::Standard);
+        assert!(PriorityClass::Standard < PriorityClass::Batch);
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let t = TenantConfig::new("acme", 4, ArrivalConfig::poisson(10.0))
+            .with_class(PriorityClass::Critical)
+            .with_max_queue_depth(32)
+            .with_quota(RateQuota::new(5.0, 10.0))
+            .with_function(2);
+        assert_eq!(t.weight, 4);
+        assert_eq!(t.class, PriorityClass::Critical);
+        assert_eq!(t.max_queue_depth, 32);
+        assert_eq!(t.quota.unwrap().rate_per_sec, 5.0);
+        assert_eq!(t.function, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero fair-share weight")]
+    fn zero_weight_rejected() {
+        TenantConfig::new("z", 0, ArrivalConfig::poisson(1.0));
+    }
+}

@@ -19,6 +19,8 @@
 //! * [`master`] — the discrete-event scheduler producing [`master::RunReport`]s.
 //! * [`federation`] — the hierarchical foreman layer: N sub-masters over a
 //!   partitioned DAG with cross-shard handoff and work stealing.
+//! * [`streaming`] — streaming submission into a long-running master
+//!   ([`streaming::StreamingMaster`]), the substrate for the serving tier.
 
 pub mod allocate;
 pub mod faults;
@@ -29,6 +31,7 @@ pub mod master;
 #[cfg(test)]
 mod proptests;
 pub mod sched;
+pub mod streaming;
 pub mod task;
 pub mod worker;
 
@@ -46,6 +49,7 @@ pub mod prelude {
         StagingConfig,
     };
     pub use crate::sched::SchedImpl;
+    pub use crate::streaming::StreamingMaster;
     pub use crate::task::{TaskId, TaskResult, TaskSpec};
     pub use crate::worker::Worker;
 }

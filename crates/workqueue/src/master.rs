@@ -492,6 +492,10 @@ pub(crate) enum Event {
     /// The master comes back up after a crash: process the world events
     /// that arrived while it was down, then resume dispatching.
     Recovered,
+    /// A batch of new dependency-free tasks arrives at a *running* master
+    /// (streaming submission — see `streaming.rs`). The batch is appended
+    /// to the task vector and enqueued like any other ready work.
+    Submit(Vec<TaskSpec>),
 }
 
 impl Event {
@@ -508,6 +512,7 @@ impl Event {
                 | Event::TaskDone(_)
                 | Event::RemoteRelease { .. }
                 | Event::StolenArrive { .. }
+                | Event::Submit(_)
         )
     }
 }
@@ -603,6 +608,7 @@ pub fn run_workload(
     worker_count: u32,
     spec: NodeSpec,
 ) -> RunReport {
+    assert!(!tasks.is_empty(), "empty workload");
     if config.shards > 1 {
         let fed = crate::federation::FederationConfig::new(config.shards);
         return crate::federation::run_federated(config, &fed, tasks, worker_count, spec).merged;
@@ -702,9 +708,16 @@ pub(crate) struct Master {
 }
 
 impl Master {
-    fn new(config: MasterConfig, tasks: Vec<TaskSpec>, worker_count: u32, spec: NodeSpec) -> Self {
+    /// Construct a master. An empty task vector is allowed only for
+    /// streaming mode (`streaming.rs`), where tasks arrive via
+    /// [`Event::Submit`]; batch entry points assert non-emptiness.
+    pub(crate) fn new(
+        config: MasterConfig,
+        tasks: Vec<TaskSpec>,
+        worker_count: u32,
+        spec: NodeSpec,
+    ) -> Self {
         assert!(worker_count > 0, "need at least one worker");
-        assert!(!tasks.is_empty(), "empty workload");
         let allocator = Allocator::new(config.strategy.clone());
         let fs = SharedFs::new(config.staging.fs);
         let faults = FaultState::new(&config.faults, config.seed);
@@ -1035,7 +1048,49 @@ impl Master {
                 self.dispatch(now);
             }
             Event::Recovered => unreachable!("Recovered is only delivered while down"),
+            Event::Submit(specs) => {
+                self.config
+                    .telemetry
+                    .counter_at("event.submit", specs.len() as u64, now);
+                for spec in specs {
+                    self.admit_streamed(now, spec);
+                }
+                self.dispatch(now);
+            }
         }
+    }
+
+    /// Append one streamed task to a running master and enqueue it. The
+    /// per-task parallel vectors (dependency counts, infra budgets) grow
+    /// with it, and a first-seen category is interned on the fly — the
+    /// allocator then learns its label from scratch exactly as it would
+    /// have for an up-front batch.
+    fn admit_streamed(&mut self, now: SimTime, spec: TaskSpec) {
+        assert!(
+            spec.deps.is_empty(),
+            "streamed task {} has dependencies; streaming submission is for \
+             independent invocations",
+            spec.id
+        );
+        let task_idx = self.tasks.len();
+        let cat = match self.cat_names.iter().position(|c| c == &spec.category) {
+            Some(i) => i as u32,
+            None => {
+                self.cat_names.push(spec.category.clone());
+                self.running_by_cat.push(0);
+                self.cat_streak.push(0);
+                (self.cat_names.len() - 1) as u32
+            }
+        };
+        self.cat_of.push(cat);
+        self.dep_remaining.push(0);
+        self.infra_fail_count.push(0);
+        self.tasks.push(spec);
+        self.enqueue_back(Pending {
+            task_idx,
+            attempt: 0,
+            since: now,
+        });
     }
 
     /// A dependency of `task_idx` reached a terminal state on another shard.
@@ -3041,6 +3096,19 @@ impl Master {
     /// Events handled so far (federation telemetry).
     pub(crate) fn events_processed(&self) -> u64 {
         self.processed_events
+    }
+
+    // ---- streaming driver surface (see `streaming.rs`) ----
+
+    /// Every attempt record produced so far, in completion order. Streaming
+    /// drivers read incrementally from a cursor; the slice only ever grows.
+    pub(crate) fn results_so_far(&self) -> &[TaskResult] {
+        &self.results
+    }
+
+    /// Attempts currently placed on workers.
+    pub(crate) fn in_flight_count(&self) -> usize {
+        self.in_flight
     }
 
     /// Give up to `max` queued first-attempt tasks from the back of the

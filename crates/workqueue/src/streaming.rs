@@ -1,0 +1,340 @@
+//! Streaming submission into a *running* master.
+//!
+//! Every batch entry point in this crate ([`run_workload`],
+//! [`run_federated`](crate::federation::run_federated)) takes the whole
+//! task DAG up front and runs it to completion — the Work Queue deployment
+//! model. A FaaS serving tier (see the `lfm-serving` crate) needs the
+//! opposite shape: a long-running master that accepts a continuous stream
+//! of independent invocations while earlier ones execute.
+//!
+//! [`StreamingMaster`] wraps the standalone master for that use. Task
+//! batches are injected as `Event::Submit` calendar events, so arrivals
+//! ride the same discrete-event loop as completions and worker churn, and
+//! a streamed run remains a pure function of its inputs: identical
+//! submissions at identical times under one seed reproduce the run
+//! byte-for-byte. A driver advances the clock with [`run_until`]
+//! (bounded by a horizon so the master can idle between arrivals without
+//! deadlock panics) and reads completions incrementally with
+//! [`take_new_results`].
+//!
+//! Equivalence discipline: submitting an entire workload at time zero
+//! before the first clock advance produces a [`RunReport`] identical to
+//! [`run_workload`]'s — the `Submit` event lands ahead of the pilot
+//! start-ups in the FIFO calendar, so the pending queue is seeded in the
+//! same order the batch path seeds it (pinned by a test below).
+//!
+//! Scope: streamed tasks must be dependency-free, and streaming excludes
+//! the durability layer (`Event::Submit` grows the task vector, which the
+//! journal's fixed-size snapshot images do not model) and injected master
+//! crashes. Both are asserted at construction.
+//!
+//! [`run_until`]: StreamingMaster::run_until
+//! [`take_new_results`]: StreamingMaster::take_new_results
+//! [`run_workload`]: crate::master::run_workload
+
+use crate::faults::FaultKind;
+use crate::master::{Event, Master, MasterConfig, RunReport};
+use crate::task::{TaskResult, TaskSpec};
+use lfm_simcluster::node::NodeSpec;
+use lfm_simcluster::time::SimTime;
+
+/// A long-running master accepting streamed task batches.
+pub struct StreamingMaster {
+    master: Master,
+    started: bool,
+    results_cursor: usize,
+    submitted: usize,
+}
+
+impl StreamingMaster {
+    /// Start a master with an (initially) empty workload on `worker_count`
+    /// workers of `spec`. Pilots are provisioned on the first clock
+    /// advance; submissions may be scheduled before that.
+    pub fn new(config: &MasterConfig, worker_count: u32, spec: NodeSpec) -> Self {
+        assert!(
+            !config.durability.journal,
+            "streaming masters do not support the durability layer: the \
+             journal's snapshot images assume a fixed task vector"
+        );
+        assert!(
+            !config
+                .faults
+                .specs()
+                .iter()
+                .any(|s| matches!(s.kind, FaultKind::MasterCrash { .. })),
+            "streaming masters do not support injected master crashes \
+             (recovery assumes a fixed task vector)"
+        );
+        let mut cfg = config.clone();
+        cfg.shards = 1;
+        StreamingMaster {
+            master: Master::new(cfg, Vec::new(), worker_count, spec),
+            started: false,
+            results_cursor: 0,
+            submitted: 0,
+        }
+    }
+
+    /// Schedule a batch of dependency-free tasks to arrive at absolute
+    /// time `at` (not before the master's current clock). The batch lands
+    /// as one `Event::Submit` — one calendar event per submission group,
+    /// however many invocations it carries.
+    pub fn submit(&mut self, at: SimTime, specs: Vec<TaskSpec>) {
+        assert!(!specs.is_empty(), "empty submission batch");
+        assert!(
+            at >= self.master.now(),
+            "submission at {:?} is in the master's past (now {:?})",
+            at,
+            self.master.now()
+        );
+        self.submitted += specs.len();
+        self.master.inject_at(at, Event::Submit(specs));
+    }
+
+    fn ensure_started(&mut self) {
+        if !self.started {
+            self.master.start();
+            self.started = true;
+        }
+    }
+
+    /// Process every calendar event with timestamp ≤ `horizon`, then stop.
+    /// Safe to call with nothing scheduled: the master simply idles.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        self.ensure_started();
+        while let Some(t) = self.master.next_time() {
+            if t > horizon {
+                break;
+            }
+            self.master.step();
+        }
+    }
+
+    /// Run until every submitted task reached a terminal state. The count
+    /// of submissions is tracked in the wrapper — the master's own task
+    /// vector only grows when a `Submit` event is *processed*, so it
+    /// cannot be used as the drain target.
+    pub fn drain(&mut self) {
+        self.ensure_started();
+        while self.master.completed_count() < self.submitted {
+            self.master.step();
+        }
+    }
+
+    /// The master's current clock.
+    pub fn now(&self) -> SimTime {
+        self.master.now()
+    }
+
+    /// Timestamp of the next scheduled event, if any.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.master.next_time()
+    }
+
+    /// Total invocations submitted so far.
+    pub fn submitted(&self) -> usize {
+        self.submitted
+    }
+
+    /// Tasks that reached a terminal state so far.
+    pub fn completed(&self) -> usize {
+        self.master.completed_count()
+    }
+
+    /// Ready tasks waiting in the master's pending queue.
+    pub fn queued(&self) -> usize {
+        self.master.queued_len()
+    }
+
+    /// Attempts currently placed on workers.
+    pub fn in_flight(&self) -> usize {
+        self.master.in_flight_count()
+    }
+
+    /// Attempt records appended since the last call (completion order).
+    pub fn take_new_results(&mut self) -> Vec<TaskResult> {
+        let all = self.master.results_so_far();
+        let new = all[self.results_cursor..].to_vec();
+        self.results_cursor = all.len();
+        new
+    }
+
+    /// Close the stream and assemble the final [`RunReport`]. Panics if
+    /// submitted work remains unfinished — call [`StreamingMaster::drain`]
+    /// first.
+    pub fn finish(mut self) -> RunReport {
+        self.ensure_started();
+        assert_eq!(
+            self.master.completed_count(),
+            self.submitted,
+            "finish() with unfinished streamed tasks; drain() first"
+        );
+        self.master.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocate::{AutoConfig, Strategy};
+    use crate::files::FileRef;
+    use crate::master::run_workload;
+    use crate::sched::SchedImpl;
+    use crate::task::TaskId;
+    use lfm_monitor::sim::SimTaskProfile;
+    use std::collections::BTreeMap;
+
+    fn node() -> NodeSpec {
+        NodeSpec::new(8, 8192, 16384)
+    }
+
+    fn invocations(n: u64, start_id: u64) -> Vec<TaskSpec> {
+        let env = FileRef::environment("stream-env", 150 << 20, 400 << 20, 3000, 500);
+        (0..n)
+            .map(|i| {
+                let id = start_id + i;
+                TaskSpec::new(
+                    TaskId(id),
+                    if id.is_multiple_of(2) {
+                        "classify"
+                    } else {
+                        "embed"
+                    },
+                    vec![env.clone(), FileRef::data(format!("in-{id}"), 128 << 10)],
+                    4 << 10,
+                    SimTaskProfile::new(4.0 + (id % 3) as f64, 1.0, 1024, 256),
+                )
+            })
+            .collect()
+    }
+
+    fn oracle() -> Strategy {
+        let mut map = BTreeMap::new();
+        map.insert(
+            "classify".to_string(),
+            lfm_simcluster::node::Resources::new(1, 1024, 256),
+        );
+        map.insert(
+            "embed".to_string(),
+            lfm_simcluster::node::Resources::new(1, 1024, 256),
+        );
+        Strategy::Oracle(map)
+    }
+
+    #[test]
+    fn submit_all_at_zero_matches_batch_run() {
+        for sched in [SchedImpl::Indexed, SchedImpl::Reference] {
+            let cfg = MasterConfig::new(oracle()).with_sched(sched).with_seed(11);
+            let tasks = invocations(40, 0);
+            let batch = run_workload(&cfg, tasks.clone(), 4, node());
+            let mut sm = StreamingMaster::new(&cfg, 4, node());
+            sm.submit(SimTime::ZERO, tasks);
+            sm.drain();
+            let streamed = sm.finish();
+            assert_eq!(streamed, batch, "{sched:?} streaming != batch");
+        }
+    }
+
+    #[test]
+    fn auto_strategy_submit_all_matches_batch_run() {
+        let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default())).with_seed(23);
+        let tasks = invocations(30, 0);
+        let batch = run_workload(&cfg, tasks.clone(), 4, node());
+        let mut sm = StreamingMaster::new(&cfg, 4, node());
+        sm.submit(SimTime::ZERO, tasks);
+        sm.drain();
+        assert_eq!(sm.finish(), batch);
+    }
+
+    #[test]
+    fn staggered_submissions_all_complete() {
+        let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default())).with_seed(7);
+        let mut sm = StreamingMaster::new(&cfg, 4, node());
+        let mut id = 0;
+        for wave in 0..10u64 {
+            let at = SimTime::from_secs(wave as f64 * 3.0);
+            sm.submit(at, invocations(6, id));
+            id += 6;
+            sm.run_until(at);
+        }
+        sm.drain();
+        assert_eq!(sm.completed(), 60);
+        assert_eq!(sm.submitted(), 60);
+        let report = sm.finish();
+        assert_eq!(report.task_count, 60);
+        assert_eq!(report.abandoned_tasks, 0);
+        let ok = report
+            .results
+            .iter()
+            .filter(|r| r.outcome.is_success())
+            .count();
+        assert_eq!(ok, 60);
+    }
+
+    #[test]
+    fn incremental_results_cursor_sees_everything_once() {
+        let cfg = MasterConfig::new(oracle()).with_seed(3);
+        let mut sm = StreamingMaster::new(&cfg, 2, node());
+        sm.submit(SimTime::ZERO, invocations(10, 0));
+        sm.submit(SimTime::from_secs(5.0), invocations(10, 10));
+        let mut seen = 0;
+        let mut t = 1.0;
+        while sm.completed() < 20 {
+            sm.run_until(SimTime::from_secs(t));
+            seen += sm.take_new_results().len();
+            t += 1.0;
+            assert!(t < 1e4, "runaway clock");
+        }
+        seen += sm.take_new_results().len();
+        assert_eq!(seen, 20, "every attempt surfaced exactly once");
+        assert!(sm.take_new_results().is_empty());
+    }
+
+    #[test]
+    fn streamed_runs_are_deterministic() {
+        let run = || {
+            let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default())).with_seed(99);
+            let mut sm = StreamingMaster::new(&cfg, 3, node());
+            for wave in 0..5u64 {
+                sm.submit(
+                    SimTime::from_secs(wave as f64 * 2.5),
+                    invocations(8, wave * 8),
+                );
+                sm.run_until(SimTime::from_secs(wave as f64 * 2.5));
+            }
+            sm.drain();
+            sm.finish()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn idle_master_advances_without_panicking() {
+        let cfg = MasterConfig::new(oracle()).with_seed(1);
+        let mut sm = StreamingMaster::new(&cfg, 2, node());
+        sm.run_until(SimTime::from_secs(100.0));
+        assert_eq!(sm.completed(), 0);
+        sm.submit(SimTime::from_secs(200.0), invocations(4, 0));
+        sm.run_until(SimTime::from_secs(1000.0));
+        assert_eq!(sm.completed(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "has dependencies")]
+    fn dependent_tasks_are_rejected() {
+        let cfg = MasterConfig::new(oracle()).with_seed(1);
+        let mut sm = StreamingMaster::new(&cfg, 2, node());
+        let mut tasks = invocations(2, 0);
+        tasks[1] = tasks[1].clone().after(vec![TaskId(0)]);
+        sm.submit(SimTime::ZERO, tasks);
+        sm.drain();
+    }
+
+    #[test]
+    #[should_panic(expected = "durability layer")]
+    fn journaled_streaming_is_rejected() {
+        let cfg = MasterConfig::new(oracle())
+            .with_durability(crate::journal::DurabilityConfig::journal_only());
+        StreamingMaster::new(&cfg, 2, node());
+    }
+}

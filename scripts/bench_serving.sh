@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Serving-gateway latency vs offered load: calibrates effective capacity
+# with a flood run, then sweeps 0.25x-2x offered load with and without
+# admission control and writes BENCH_serving.json at the repo root
+# (p50/p95/p99/p99.9 latency, success rate, warm-pool stats per point).
+# The binary asserts the headline claims: admission keeps p99 bounded and
+# success degrades gracefully, while the no-admission baseline's p99
+# diverges with the overload duration. Pass --quick for a 20s smoke run
+# over 0.5x/1x/2x, or --horizon 300 for a long sweep.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p lfm-bench --bin bench_serving
+exec target/release/bench_serving --out BENCH_serving.json "$@"

@@ -30,6 +30,12 @@ cargo test -q --offline -p lfm-workqueue --lib -- journal recover probe_restore 
     crash quarantine_release
 cargo test -q --offline -p lfm-integration-tests --test sched_equivalence master_crash
 
+echo "==> serving suite (streaming equivalence, gateway, sketch accuracy)"
+cargo test -q --offline -p lfm-workqueue streaming
+cargo test -q --offline -p lfm-simcluster sparse_histogram
+cargo test -q --offline -p lfm-serving
+cargo test -q --offline -p lfm-integration-tests --test serving_gateway
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run --offline
 
