@@ -53,6 +53,9 @@ fn telemetry_overhead_bench(c: &mut Criterion) {
     for (label, recorder) in [
         ("disabled", Recorder::disabled()),
         ("enabled", Recorder::enabled()),
+        // Tiny shards exercise the binary path's overflow check + drop
+        // counting on most emissions: the cap must not add measurable cost.
+        ("enabled_bounded", Recorder::enabled_with_capacity(64)),
     ] {
         let config = job.config.clone().with_telemetry(recorder.clone());
         group.bench_function(label, |b| {

@@ -1,0 +1,76 @@
+//! Telemetry record-encode throughput: the binary wire path against the
+//! heap reference it replaced, at two batch sizes, plus the streaming
+//! decode cost of draining the binary buffers back into `Record`s.
+//!
+//! The acceptance bar (pinned numerically by `bench_telemetry`, see
+//! `BENCH_telemetry.json`) is ≥5× encode throughput over the heap path:
+//! an emission is a shard-mutex lock, a seq `fetch_add`, and a few dozen
+//! varint bytes — no `String`s, no per-record `Vec`s.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lfm_core::telemetry::bench_api::{emit_mixed, emit_mixed_heap, HeapRecorder};
+use lfm_core::telemetry::Recorder;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_encode");
+    for &n in &[10_000u64, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("binary", n), &n, |b, &n| {
+            let recorder = Recorder::enabled();
+            b.iter(|| {
+                emit_mixed(&recorder, n);
+                // Reset buffers without leaving the measurement loop
+                // unbounded; decode cost is measured separately below.
+                recorder.take().len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("heap", n), &n, |b, &n| {
+            let recorder = HeapRecorder::new();
+            b.iter(|| {
+                emit_mixed_heap(&recorder, n);
+                recorder.take().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_encode_only(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_encode_only");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("binary", |b| {
+        b.iter(|| {
+            let recorder = Recorder::enabled();
+            emit_mixed(&recorder, n);
+            recorder
+        })
+    });
+    g.bench_function("heap", |b| {
+        b.iter(|| {
+            let recorder = HeapRecorder::new();
+            emit_mixed_heap(&recorder, n);
+            recorder
+        })
+    });
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_decode");
+    let n = 100_000u64;
+    let recorder = Recorder::enabled();
+    emit_mixed(&recorder, n);
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("merge_decode", |b| {
+        b.iter(|| {
+            let records = recorder.snapshot();
+            assert_eq!(records.len() as u64, n);
+            records.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_encode_only, bench_decode);
+criterion_main!(benches);

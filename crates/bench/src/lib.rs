@@ -15,14 +15,16 @@ pub mod sched_bench;
 /// Tracing options shared by every regenerator binary.
 ///
 /// Parse with [`TraceOpts::from_args`] at the top of `main`; when the user
-/// passed `--trace-out <path>` (Chrome trace-event JSON) or
-/// `--trace-jsonl <path>` (flat JSONL) this installs the process-wide
+/// passed `--trace-out <path>` (Chrome trace-event JSON), `--trace-jsonl
+/// <path>` (flat JSONL), or `--trace-perfetto <path>` (binary Perfetto
+/// protobuf, loadable at ui.perfetto.dev) this installs the process-wide
 /// recorder — which every `MasterConfig::new()`, cache, and the parallel
 /// engine then report into — and [`TraceOpts::finish`] writes the files and
 /// prints a metrics summary once the figures are done.
 pub struct TraceOpts {
     chrome_out: Option<PathBuf>,
     jsonl_out: Option<PathBuf>,
+    perfetto_out: Option<PathBuf>,
     recorder: Recorder,
 }
 
@@ -39,6 +41,7 @@ impl TraceOpts {
     pub fn from_arg_slice(args: &[String]) -> Self {
         let mut chrome_out = None;
         let mut jsonl_out = None;
+        let mut perfetto_out = None;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -50,10 +53,14 @@ impl TraceOpts {
                     let path = it.next().expect("--trace-jsonl requires a path");
                     jsonl_out = Some(PathBuf::from(path));
                 }
+                "--trace-perfetto" => {
+                    let path = it.next().expect("--trace-perfetto requires a path");
+                    perfetto_out = Some(PathBuf::from(path));
+                }
                 _ => {}
             }
         }
-        let recorder = if chrome_out.is_some() || jsonl_out.is_some() {
+        let recorder = if chrome_out.is_some() || jsonl_out.is_some() || perfetto_out.is_some() {
             lfm_core::telemetry::install_global()
         } else {
             Recorder::disabled()
@@ -61,6 +68,7 @@ impl TraceOpts {
         TraceOpts {
             chrome_out,
             jsonl_out,
+            perfetto_out,
             recorder,
         }
     }
@@ -84,6 +92,10 @@ impl TraceOpts {
         if let Some(path) = &self.jsonl_out {
             export::write_jsonl(path, &records).expect("write jsonl trace");
             println!("[trace-jsonl: {}]", path.display());
+        }
+        if let Some(path) = &self.perfetto_out {
+            export::write_perfetto_trace(path, &records).expect("write perfetto trace");
+            println!("[trace-perfetto: {}]", path.display());
         }
         let mut metrics = lfm_core::telemetry::MetricsRegistry::from_records(&records);
         println!("[metrics] {}", metrics.to_json());
@@ -310,7 +322,13 @@ mod tests {
     #[test]
     fn trace_opts_install_write_and_validate() {
         let path = std::env::temp_dir().join("lfm_bench_trace_opts_test.json");
-        let args = vec!["--trace-out".to_string(), path.display().to_string()];
+        let pftrace = std::env::temp_dir().join("lfm_bench_trace_opts_test.pftrace");
+        let args = vec![
+            "--trace-out".to_string(),
+            path.display().to_string(),
+            "--trace-perfetto".to_string(),
+            pftrace.display().to_string(),
+        ];
         let opts = TraceOpts::from_arg_slice(&args);
         assert!(opts.enabled());
         lfm_core::telemetry::global().counter("bench.test_counter", 3);
@@ -319,7 +337,10 @@ mod tests {
         lfm_core::telemetry::export::validate_json(&body).unwrap();
         assert!(body.contains("traceEvents"));
         assert!(body.contains("bench.test_counter"));
+        let trace = std::fs::read(&pftrace).unwrap();
+        lfm_core::telemetry::export::validate_trace(&trace).unwrap();
         std::fs::remove_file(path).ok();
+        std::fs::remove_file(pftrace).ok();
     }
 
     #[test]

@@ -71,12 +71,31 @@ pub fn point_jobs(
         .collect()
 }
 
+/// Pre-interned names for the per-job sweep span (one emission per grid
+/// point, across every fig6-fig9 runner).
+struct SweepKeys {
+    run_job: lfm_telemetry::Name,
+    cat_sweep: lfm_telemetry::Name,
+    a_strategy: lfm_telemetry::Name,
+    a_x: lfm_telemetry::Name,
+}
+
+fn sk() -> &'static SweepKeys {
+    static KEYS: std::sync::OnceLock<SweepKeys> = std::sync::OnceLock::new();
+    KEYS.get_or_init(|| SweepKeys {
+        run_job: lfm_telemetry::Name::intern("run_job"),
+        cat_sweep: lfm_telemetry::Name::intern("sweep"),
+        a_strategy: lfm_telemetry::Name::intern("strategy"),
+        a_x: lfm_telemetry::Name::intern("x"),
+    })
+}
+
 /// Execute one job. Panics if the simulated workload fails to complete,
 /// exactly as the serial runners always have.
 pub fn run_job(job: SweepJob) -> SweepPoint {
-    let mut span = lfm_telemetry::global().wall_span("run_job", "sweep");
-    span.attr("strategy", job.strategy.name());
-    span.attr("x", job.x);
+    let mut span = lfm_telemetry::global().wall_span_key(sk().run_job, sk().cat_sweep);
+    span.attr_key(sk().a_strategy, job.strategy.name());
+    span.attr_key(sk().a_x, job.x);
     let report = run_workload(
         &job.config,
         job.tasks.as_ref().clone(),

@@ -51,6 +51,34 @@ where
     par_map_with_threads(items, threads, f)
 }
 
+/// Pre-interned telemetry names for the parallel engine. `job` spans are
+/// emitted once per work item, so the names are interned once per process
+/// instead of hashed per emission.
+struct ParKeys {
+    jobs: lfm_telemetry::Name,
+    steal_retry: lfm_telemetry::Name,
+    job: lfm_telemetry::Name,
+    run_sweep: lfm_telemetry::Name,
+    cat_parallel: lfm_telemetry::Name,
+    cat_sweep: lfm_telemetry::Name,
+    a_index: lfm_telemetry::Name,
+    a_jobs: lfm_telemetry::Name,
+}
+
+fn pk() -> &'static ParKeys {
+    static KEYS: std::sync::OnceLock<ParKeys> = std::sync::OnceLock::new();
+    KEYS.get_or_init(|| ParKeys {
+        jobs: lfm_telemetry::Name::intern("parallel.jobs"),
+        steal_retry: lfm_telemetry::Name::intern("parallel.steal_retry"),
+        job: lfm_telemetry::Name::intern("job"),
+        run_sweep: lfm_telemetry::Name::intern("run_sweep"),
+        cat_parallel: lfm_telemetry::Name::intern("parallel"),
+        cat_sweep: lfm_telemetry::Name::intern("sweep"),
+        a_index: lfm_telemetry::Name::intern("index"),
+        a_jobs: lfm_telemetry::Name::intern("jobs"),
+    })
+}
+
 /// [`par_map`] with an explicit thread count. Exists so the threaded path
 /// (injector queue, scoped workers, slot writes) can be exercised and
 /// equivalence-tested even on machines where `available_parallelism` is 1
@@ -64,15 +92,15 @@ where
     let n = items.len();
     let tel = lfm_telemetry::global();
     if n > 0 {
-        tel.counter("parallel.jobs", n as u64);
+        tel.counter_key(pk().jobs, n as u64);
     }
     if threads <= 1 || n <= 1 {
         return items
             .into_iter()
             .enumerate()
             .map(|(i, item)| {
-                let mut span = tel.wall_span("job", "parallel");
-                span.attr("index", i as u64);
+                let mut span = tel.wall_span_key(pk().job, pk().cat_parallel);
+                span.attr_key(pk().a_index, i as u64);
                 f(item)
             })
             .collect();
@@ -97,13 +125,13 @@ where
                     Steal::Success(pair) => pair,
                     Steal::Empty => break,
                     Steal::Retry => {
-                        tel.counter("parallel.steal_retry", 1);
+                        tel.counter_key(pk().steal_retry, 1);
                         continue;
                     }
                 };
                 let result = {
-                    let mut span = tel.wall_span("job", "parallel");
-                    span.attr("index", i as u64);
+                    let mut span = tel.wall_span_key(pk().job, pk().cat_parallel);
+                    span.attr_key(pk().a_index, i as u64);
                     f(item)
                 };
                 slots.lock()[i] = Some(result);
@@ -131,8 +159,8 @@ where
     J: Send,
     F: Fn(J) -> Vec<SweepPoint> + Sync,
 {
-    let mut span = lfm_telemetry::global().wall_span("run_sweep", "sweep");
-    span.attr("jobs", jobs.len() as u64);
+    let mut span = lfm_telemetry::global().wall_span_key(pk().run_sweep, pk().cat_sweep);
+    span.attr_key(pk().a_jobs, jobs.len() as u64);
     par_map(jobs, run).into_iter().flatten().collect()
 }
 

@@ -44,6 +44,19 @@ pub struct PackEntry {
     pub modules: Vec<String>,
 }
 
+/// Pre-interned `(hit, miss)` counter names — this sits on the per-task
+/// environment staging path.
+fn pack_cache_keys() -> (lfm_telemetry::Name, lfm_telemetry::Name) {
+    static KEYS: std::sync::OnceLock<(lfm_telemetry::Name, lfm_telemetry::Name)> =
+        std::sync::OnceLock::new();
+    *KEYS.get_or_init(|| {
+        (
+            lfm_telemetry::Name::intern("pack_cache.hit"),
+            lfm_telemetry::Name::intern("pack_cache.miss"),
+        )
+    })
+}
+
 /// Shared, process-wide cache of packed environments.
 ///
 /// Packing walks every release of an environment and re-encodes the
@@ -77,10 +90,10 @@ impl PackCache {
         let key = Self::key(env);
         if let Some(packed) = self.entries.lock().get(&key) {
             *self.hits.lock() += 1;
-            lfm_telemetry::global().counter("pack_cache.hit", 1);
+            lfm_telemetry::global().counter_key(pack_cache_keys().0, 1);
             return Arc::clone(packed);
         }
-        lfm_telemetry::global().counter("pack_cache.miss", 1);
+        lfm_telemetry::global().counter_key(pack_cache_keys().1, 1);
         let packed = Arc::new(PackedEnv::pack(env));
         self.entries
             .lock()

@@ -71,6 +71,19 @@ pub struct SolveStats {
     pub backtracks: u64,
 }
 
+/// Pre-interned `(hit, miss)` counter names — this sits on the per-task
+/// environment-resolution path.
+fn resolve_cache_keys() -> (lfm_telemetry::Name, lfm_telemetry::Name) {
+    static KEYS: std::sync::OnceLock<(lfm_telemetry::Name, lfm_telemetry::Name)> =
+        std::sync::OnceLock::new();
+    *KEYS.get_or_init(|| {
+        (
+            lfm_telemetry::Name::intern("resolve_cache.hit"),
+            lfm_telemetry::Name::intern("resolve_cache.miss"),
+        )
+    })
+}
+
 /// Memoizes successful resolutions keyed by the canonical requirement set
 /// and a content fingerprint of the index, so repeated environment setup —
 /// every sweep point rebuilds the same kitchen-sink user environment and the
@@ -118,7 +131,7 @@ impl ResolveCache {
         let key = Self::key(index, reqs);
         if let Some(entry) = self.entries.lock().get(&key) {
             self.counters.lock().hits += 1;
-            lfm_telemetry::global().counter("resolve_cache.hit", 1);
+            lfm_telemetry::global().counter_key(resolve_cache_keys().0, 1);
             return Ok(entry.clone());
         }
         let solved = resolve_with_stats(index, reqs)?;
@@ -127,7 +140,7 @@ impl ResolveCache {
             c.misses += 1;
             c.solver_candidates_tried += solved.1.candidates_tried;
         }
-        lfm_telemetry::global().counter("resolve_cache.miss", 1);
+        lfm_telemetry::global().counter_key(resolve_cache_keys().1, 1);
         self.entries.lock().insert(key, solved.clone());
         Ok(solved)
     }

@@ -40,7 +40,7 @@ use lfm_simcluster::metrics::SparseHistogram;
 use lfm_simcluster::node::NodeSpec;
 use lfm_simcluster::rng::SimRng;
 use lfm_simcluster::time::SimTime;
-use lfm_telemetry::Recorder;
+use lfm_telemetry::{Name, Recorder};
 use lfm_workqueue::allocate::{AutoConfig, Strategy};
 use lfm_workqueue::files::FileRef;
 use lfm_workqueue::master::MasterConfig;
@@ -242,6 +242,51 @@ struct TenantCounters {
     failed: u64,
 }
 
+/// Per-tenant pre-interned telemetry names. The admission path runs once
+/// per arrival and the queue-depth gauge once per tenant per tick; the
+/// old `format!("serving.admitted.{tenant}")` strings allocated and
+/// hashed on every emission, so the names are interned once at gateway
+/// construction instead.
+struct TenantTelKeys {
+    admitted: Name,
+    rejected: Name,
+    shed: Name,
+    queue_depth: Name,
+}
+
+impl TenantTelKeys {
+    fn new(tenant: &str) -> Self {
+        TenantTelKeys {
+            admitted: Name::intern(&format!("serving.admitted.{tenant}")),
+            rejected: Name::intern(&format!("serving.rejected.{tenant}")),
+            shed: Name::intern(&format!("serving.shed.{tenant}")),
+            queue_depth: Name::intern(&format!("serving.queue_depth.{tenant}")),
+        }
+    }
+}
+
+/// Tenant-independent serving telemetry names, interned once per process.
+struct ServingTelKeys {
+    queue: Name,
+    invoke: Name,
+    cat_serving: Name,
+    a_tenant: Name,
+    a_function: Name,
+    a_warm: Name,
+}
+
+fn stk() -> &'static ServingTelKeys {
+    static KEYS: std::sync::OnceLock<ServingTelKeys> = std::sync::OnceLock::new();
+    KEYS.get_or_init(|| ServingTelKeys {
+        queue: Name::intern("serving.queue"),
+        invoke: Name::intern("serving.invoke"),
+        cat_serving: Name::intern("serving"),
+        a_tenant: Name::intern("tenant"),
+        a_function: Name::intern("function"),
+        a_warm: Name::intern("warm"),
+    })
+}
+
 /// The gateway. Construct, then [`ServingGateway::run`] to completion.
 pub struct ServingGateway {
     config: ServingConfig,
@@ -259,6 +304,7 @@ pub struct ServingGateway {
     in_flight: BTreeMap<u64, InFlight>,
     next_invocation: u64,
     counters: Vec<TenantCounters>,
+    tel_keys: Vec<TenantTelKeys>,
     latency: SparseHistogram,
     queue_wait: SparseHistogram,
     tenant_latency: Vec<SparseHistogram>,
@@ -308,6 +354,10 @@ impl ServingGateway {
             .map(|t| t.quota.map(TokenBucket::new))
             .collect();
         let pool = WarmPool::new(config.warm_pool);
+        let tel_keys = tenants
+            .iter()
+            .map(|t| TenantTelKeys::new(&t.name))
+            .collect();
         let overhead_rng = SimRng::seeded(config.seed).fork(0xac71_7a7e);
         let n = tenants.len();
         ServingGateway {
@@ -325,6 +375,7 @@ impl ServingGateway {
             in_flight: BTreeMap::new(),
             next_invocation: 0,
             counters: vec![TenantCounters::default(); n],
+            tel_keys,
             latency: SparseHistogram::new(),
             queue_wait: SparseHistogram::new(),
             tenant_latency: vec![SparseHistogram::new(); n],
@@ -364,14 +415,13 @@ impl ServingGateway {
             total_depth,
             self.buckets[tenant].as_mut(),
         );
-        let tname = &self.tenants[tenant].name;
         let at = SimTime::from_secs(at_secs);
         match outcome {
             AdmissionOutcome::Admitted => {
                 self.counters[tenant].admitted += 1;
                 self.config
                     .telemetry
-                    .counter_at(&format!("serving.admitted.{tname}"), 1, at);
+                    .counter_at_key(self.tel_keys[tenant].admitted, 1, at);
                 let was_empty = self.queues[tenant].is_empty();
                 self.queues[tenant].push_back(Queued {
                     invocation: self.next_invocation,
@@ -387,19 +437,19 @@ impl ServingGateway {
                 self.counters[tenant].rejected_rate += 1;
                 self.config
                     .telemetry
-                    .counter_at(&format!("serving.rejected.{tname}"), 1, at);
+                    .counter_at_key(self.tel_keys[tenant].rejected, 1, at);
             }
             AdmissionOutcome::RejectedQueueFull => {
                 self.counters[tenant].rejected_queue_full += 1;
                 self.config
                     .telemetry
-                    .counter_at(&format!("serving.rejected.{tname}"), 1, at);
+                    .counter_at_key(self.tel_keys[tenant].rejected, 1, at);
             }
             AdmissionOutcome::ShedOverload => {
                 self.counters[tenant].shed += 1;
                 self.config
                     .telemetry
-                    .counter_at(&format!("serving.shed.{tname}"), 1, at);
+                    .counter_at_key(self.tel_keys[tenant].shed, 1, at);
             }
         }
     }
@@ -478,20 +528,20 @@ impl ServingGateway {
                 self.queue_wait.record(wait);
                 let tname = &self.tenants[tenant].name;
                 let rec = &self.config.telemetry;
-                rec.span("serving.queue", "serving")
+                rec.span_key(stk().queue, stk().cat_serving)
                     .at(
                         SimTime::from_secs(inv.arrival_secs),
                         SimTime::from_secs(inv.dispatch_secs),
                     )
                     .task(result.task.0)
-                    .attr("tenant", tname.as_str())
+                    .attr_key(stk().a_tenant, tname.as_str())
                     .emit();
-                rec.span("serving.invoke", "serving")
+                rec.span_key(stk().invoke, stk().cat_serving)
                     .at(SimTime::from_secs(inv.arrival_secs), result.finished_at)
                     .task(result.task.0)
-                    .attr("tenant", tname.as_str())
-                    .attr("function", result.category.as_str())
-                    .attr("warm", u64::from(inv.warm))
+                    .attr_key(stk().a_tenant, tname.as_str())
+                    .attr_key(stk().a_function, result.category.as_str())
+                    .attr_key(stk().a_warm, u64::from(inv.warm))
                     .emit();
             } else {
                 self.counters[tenant].failed += 1;
@@ -504,8 +554,8 @@ impl ServingGateway {
             return;
         }
         for (i, q) in self.queues.iter().enumerate() {
-            self.config.telemetry.gauge(
-                &format!("serving.queue_depth.{}", self.tenants[i].name),
+            self.config.telemetry.gauge_key(
+                self.tel_keys[i].queue_depth,
                 q.len() as f64,
                 SimTime::from_secs(now_secs),
             );

@@ -1,0 +1,210 @@
+//! Benchmark support: the pre-binary heap recorder kept as a reference
+//! implementation, plus shared event generators, so the criterion bench
+//! and the `bench_telemetry` binary measure the binary wire path against
+//! the exact allocation profile it replaced.
+//!
+//! [`HeapRecorder`] is what [`crate::Recorder`] used to be: every emission
+//! builds a full [`Record`] — `String` name and category, `Vec` attrs —
+//! and pushes it onto a per-shard `Vec<Record>`. The binary path encodes
+//! the same information as interned ids and varints into a flat byte
+//! buffer; records are only materialised at drain time.
+
+use crate::record::{AttrValue, InstantRecord, MetricKind, MetricRecord, Record, SpanRecord};
+use crate::{Name, Recorder};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shard count mirrors [`crate::Recorder`] so contention is comparable.
+const SHARDS: usize = 16;
+
+/// The old heap-allocating recorder, preserved verbatim in shape: one
+/// `Vec<Record>` per shard, a global `seq`, sort-merge on drain.
+pub struct HeapRecorder {
+    seq: AtomicU64,
+    shards: Vec<Mutex<Vec<Record>>>,
+}
+
+impl Default for HeapRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HeapRecorder {
+    pub fn new() -> Self {
+        HeapRecorder {
+            seq: AtomicU64::new(0),
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    fn shard(&self) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::thread::current().id().hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+
+    fn push(&self, record: Record) {
+        self.shards[self.shard()].lock().push(record);
+    }
+
+    pub fn span(&self, name: &str, cat: &str, start_secs: f64, end_secs: f64, task: u64) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.push(Record::Span(SpanRecord {
+            seq,
+            name: name.to_string(),
+            cat: cat.to_string(),
+            start_secs,
+            end_secs,
+            track: task % 14,
+            depth: 0,
+            task: Some(task),
+            attempt: None,
+            attrs: vec![
+                ("status".to_string(), AttrValue::Str("done".to_string())),
+                ("cpu_s".to_string(), AttrValue::F64(0.5)),
+            ],
+        }));
+    }
+
+    pub fn instant(&self, name: &str, cat: &str, at_secs: f64, task: u64) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.push(Record::Instant(InstantRecord {
+            seq,
+            name: name.to_string(),
+            cat: cat.to_string(),
+            at_secs,
+            track: task % 14,
+            task: Some(task),
+            attempt: None,
+            attrs: Vec::new(),
+        }));
+    }
+
+    pub fn counter_at(&self, name: &str, delta: u64, at_secs: f64) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.push(Record::Metric(MetricRecord {
+            seq,
+            name: name.to_string(),
+            kind: MetricKind::Counter,
+            value: delta as f64,
+            at_secs: Some(at_secs),
+        }));
+    }
+
+    pub fn take(&self) -> Vec<Record> {
+        let mut out: Vec<Record> = self
+            .shards
+            .iter()
+            .flat_map(|s| std::mem::take(&mut *s.lock()))
+            .collect();
+        out.sort_by_key(Record::seq);
+        out
+    }
+}
+
+/// Pre-interned names for [`emit_mixed`], interned once per process the
+/// way real instrumentation sites hold their keys.
+pub struct MixKeys {
+    pub exec: Name,
+    pub dispatch: Name,
+    pub task_done: Name,
+    pub cat_lfm: Name,
+    pub cat_master: Name,
+    pub a_status: Name,
+    pub a_cpu_s: Name,
+    pub v_done: Name,
+}
+
+pub fn mix_keys() -> &'static MixKeys {
+    static KEYS: std::sync::OnceLock<MixKeys> = std::sync::OnceLock::new();
+    KEYS.get_or_init(|| MixKeys {
+        exec: Name::intern("exec"),
+        dispatch: Name::intern("dispatch"),
+        task_done: Name::intern("master.task_done"),
+        cat_lfm: Name::intern("lfm"),
+        cat_master: Name::intern("master"),
+        a_status: Name::intern("status"),
+        a_cpu_s: Name::intern("cpu_s"),
+        v_done: Name::intern("done"),
+    })
+}
+
+/// Emit `n` events through the binary recorder: a rotating span / instant /
+/// counter mix shaped like one simulated task's telemetry (the span carries
+/// the status + cpu attrs the master's `exec` span does).
+pub fn emit_mixed(recorder: &Recorder, n: u64) {
+    let k = mix_keys();
+    for i in 0..n {
+        let t = i as f64 * 0.001;
+        match i % 3 {
+            0 => recorder
+                .span_key(k.exec, k.cat_lfm)
+                .between_secs(t, t + 0.5)
+                .track(i % 14)
+                .task(i)
+                .attr_key(k.a_status, k.v_done)
+                .attr_key(k.a_cpu_s, 0.5f64)
+                .emit(),
+            1 => recorder
+                .instant_key(k.dispatch, k.cat_master)
+                .at(lfm_simcluster::time::SimTime::from_secs(t))
+                .track(i % 14)
+                .task(i)
+                .emit(),
+            _ => {
+                recorder.counter_at_key(k.task_done, 1, lfm_simcluster::time::SimTime::from_secs(t))
+            }
+        }
+    }
+}
+
+/// The same rotating mix through the heap reference path.
+pub fn emit_mixed_heap(recorder: &HeapRecorder, n: u64) {
+    for i in 0..n {
+        let t = i as f64 * 0.001;
+        match i % 3 {
+            0 => recorder.span("exec", "lfm", t, t + 0.5, i),
+            1 => recorder.instant("dispatch", "master", t, i),
+            _ => recorder.counter_at("master.task_done", 1, t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The two paths must agree on the drained stream, so the bench
+    /// compares equal work.
+    #[test]
+    fn binary_and_heap_paths_drain_equivalent_streams() {
+        let binary = Recorder::enabled();
+        emit_mixed(&binary, 99);
+        let heap = HeapRecorder::new();
+        emit_mixed_heap(&heap, 99);
+        let a = binary.take();
+        let b = heap.take();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (Record::Span(s), Record::Span(h)) => {
+                    assert_eq!(s.name, h.name);
+                    assert_eq!(s.attrs, h.attrs);
+                    assert_eq!((s.start_secs, s.end_secs), (h.start_secs, h.end_secs));
+                }
+                (Record::Instant(s), Record::Instant(h)) => {
+                    assert_eq!(s.name, h.name);
+                    assert_eq!(s.at_secs, h.at_secs);
+                }
+                (Record::Metric(s), Record::Metric(h)) => {
+                    assert_eq!(s.name, h.name);
+                    assert_eq!(s.value, h.value);
+                    assert_eq!(s.at_secs, h.at_secs);
+                }
+                _ => panic!("record kind mismatch"),
+            }
+        }
+    }
+}

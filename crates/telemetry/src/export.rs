@@ -14,6 +14,8 @@
 //! byte-deterministic for a deterministic record stream (pinned by a
 //! golden integration test).
 
+pub use crate::perfetto::{perfetto_trace, validate_trace, write_perfetto_trace, TraceStats};
+
 use crate::metrics::MetricsRegistry;
 use crate::record::{AttrValue, Record};
 use lfm_monitor::summary::JsonObject;

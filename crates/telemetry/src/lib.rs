@@ -14,7 +14,19 @@
 //!   recorder produces a byte-identical `RunReport` to one with
 //!   [`Recorder::disabled`] (pinned by an integration test).
 //! * **~Free when off.** [`Recorder::disabled`] is a `None` behind the
-//!   handle; every emission path checks it first and allocates nothing.
+//!   handle; every emission path checks it first and allocates nothing —
+//!   including string interning, which only happens once a live shard is
+//!   in hand.
+//! * **Binary hot path.** Live recording encodes each record straight into
+//!   a per-shard byte buffer using the compact wire format in [`wire`]:
+//!   interned-name ids ([`Name`]) instead of heap `String`s, varint fields,
+//!   delta-coded timestamps. A span that used to cost two `String`
+//!   allocations plus a ~150-byte enum now costs ~10–30 buffer bytes and
+//!   zero allocations (amortised). [`Recorder::take`] / [`Recorder::snapshot`]
+//!   stream-decode the shards back into [`Record`]s through a k-way merge
+//!   on the global sequence number, so exporters and tests see exactly the
+//!   stream the heap-record implementation produced — byte-identical traces
+//!   for identical seeded runs.
 //! * **Sharded buffers.** Live recording appends to one of a fixed set of
 //!   mutex-guarded shards chosen by thread, so parallel sweep jobs sharing
 //!   a recorder do not serialize on one lock. A global sequence number
@@ -27,17 +39,54 @@
 //!   `otherData`), so a million-task federation run cannot OOM the host
 //!   silently.
 //!
+//! ### Atomic ordering contract
+//!
+//! Both atomics in the recorder use `Relaxed` everywhere, deliberately:
+//!
+//! * `seq` is bumped with `fetch_add` *while holding the emitting shard's
+//!   mutex*. The total order of the merged stream comes from the **values**
+//!   the counter hands out, not from memory ordering; and the
+//!   happens-before edges that make each encoded record visible to
+//!   `take`/`snapshot` come from the shard mutexes (readers lock every
+//!   shard). Holding the lock across the `fetch_add` also makes sequence
+//!   numbers strictly increasing *within* a shard, which is what lets the
+//!   wire format delta-code them as non-negative varints.
+//! * `dropped` is a pure statistics counter guarding no data; `swap(0,
+//!   Relaxed)` in `take` is a single atomic read-and-reset, which is all
+//!   the reset needs. Its value is only *reported* (never used to index or
+//!   gate memory), so weaker-than-`AcqRel` is sound.
+//!
+//! A multi-thread stress test (`tests/telemetry_binary.rs`) hammers eight
+//! emitters against concurrent snapshots to pin merge total-order
+//! stability under this contract.
+//!
 //! Exporters (see [`export`]) turn the merged stream into Chrome
-//! trace-event JSON (`chrome://tracing` / Perfetto loadable) or flat JSONL;
+//! trace-event JSON (`chrome://tracing` loadable), flat JSONL, or a binary
+//! Perfetto protobuf trace ([`export::perfetto_trace`]);
 //! [`MetricsRegistry`] aggregates the metric samples into the existing
 //! `lfm_simcluster::metrics` types.
+//!
+//! ### Hot call sites: pre-interned keys
+//!
+//! `span("exec", "lfm")` interns both strings on every call — a hash
+//! lookup under a read lock. Hot sites skip even that by interning once
+//! into a [`Name`] (typically in a `OnceLock`-initialised key struct) and
+//! emitting through the `*_key` variants ([`Recorder::span_key`],
+//! [`Recorder::counter_key`], ...), which take pre-interned ids and touch
+//! no string machinery at all.
 
+pub mod bench_api;
 pub mod export;
+pub mod intern;
 pub mod metrics;
+pub mod perfetto;
 pub mod record;
+pub mod wire;
 
+pub use intern::Name;
 pub use metrics::MetricsRegistry;
 pub use record::{AttrValue, InstantRecord, MetricKind, MetricRecord, Record, SpanRecord};
+pub use wire::{AttrVal, DecodeError, MergeDecoder, ShardDecoder};
 
 use lfm_simcluster::time::SimTime;
 use parking_lot::Mutex;
@@ -46,6 +95,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+use wire::{CodecState, PendingInstant, PendingSpan};
 
 /// Number of per-thread buffer shards. A small power of two: the stack
 /// never runs more than a few dozen recording threads at once.
@@ -56,12 +106,26 @@ const SHARD_COUNT: usize = 16;
 /// the host.
 const DEFAULT_SHARD_CAPACITY: usize = 1 << 18;
 
+/// One shard: an append-only byte buffer of wire-encoded records plus the
+/// codec state both ends of the wire mirror (seq/time deltas).
+#[derive(Default)]
+struct Shard {
+    buf: Vec<u8>,
+    /// Records currently encoded in `buf` (the capacity unit — capping on
+    /// records, not bytes, preserves the PR-2 overflow semantics exactly).
+    records: usize,
+    st: CodecState,
+}
+
 struct Inner {
+    /// Global sequence counter; `Relaxed` per the module-level ordering
+    /// contract (bumped under a shard mutex, ordered by value).
     seq: AtomicU64,
-    shards: Vec<Mutex<Vec<Record>>>,
+    shards: Vec<Mutex<Shard>>,
     /// Per-shard record cap; pushes beyond it are dropped and counted.
     shard_capacity: usize,
     /// Records dropped at full shards since the last [`Recorder::take`].
+    /// `Relaxed`: a pure statistics counter, see the ordering contract.
     dropped: AtomicU64,
     /// Wall-clock origin for host-side spans ([`Recorder::wall_span`]).
     origin: Instant,
@@ -70,6 +134,10 @@ struct Inner {
 thread_local! {
     /// Wall-span nesting depth for the current thread.
     static WALL_DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Cached shard index (usize::MAX = not yet computed). Hashing the
+    /// thread id costs more than the rest of a binary emission combined,
+    /// so it happens once per thread, not once per record.
+    static SHARD_IDX: Cell<usize> = const { Cell::new(usize::MAX) };
 }
 
 /// Cheap, cloneable handle to a recording session (or to nothing at all).
@@ -92,16 +160,24 @@ impl std::fmt::Debug for Recorder {
 
 impl Inner {
     fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().records).sum()
     }
 }
 
 /// Shard index for the current thread: stable within a thread, spread
 /// across threads.
 fn thread_shard() -> usize {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    std::thread::current().id().hash(&mut h);
-    (h.finish() as usize) % SHARD_COUNT
+    SHARD_IDX.with(|c| {
+        let cached = c.get();
+        if cached != usize::MAX {
+            return cached;
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::thread::current().id().hash(&mut h);
+        let idx = (h.finish() as usize) % SHARD_COUNT;
+        c.set(idx);
+        idx
+    })
 }
 
 impl Recorder {
@@ -118,7 +194,9 @@ impl Recorder {
         Recorder {
             inner: Some(Arc::new(Inner {
                 seq: AtomicU64::new(0),
-                shards: (0..SHARD_COUNT).map(|_| Mutex::new(Vec::new())).collect(),
+                shards: (0..SHARD_COUNT)
+                    .map(|_| Mutex::new(Shard::default()))
+                    .collect(),
                 shard_capacity: shard_capacity.max(1),
                 dropped: AtomicU64::new(0),
                 origin: Instant::now(),
@@ -154,17 +232,33 @@ impl Recorder {
         self.len() == 0
     }
 
-    fn push(&self, make: impl FnOnce(u64) -> Record) {
+    /// Bytes currently buffered across all shards (diagnostics/benches).
+    pub fn buffered_bytes(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map(|i| i.shards.iter().map(|s| s.lock().buf.len()).sum())
+            .unwrap_or(0)
+    }
+
+    /// The emission hot path: claim the thread's shard, enforce the record
+    /// cap, hand out a sequence number, and encode in place. The closure
+    /// runs under the shard lock — it must only append to the buffer.
+    #[inline]
+    fn emit(&self, encode: impl FnOnce(u64, &mut Vec<u8>, &mut CodecState)) {
         let Some(inner) = &self.inner else { return };
         let mut shard = inner.shards[thread_shard()].lock();
-        if shard.len() >= inner.shard_capacity {
+        if shard.records >= inner.shard_capacity {
             // Drop-and-count: no seq is consumed, so the surviving stream
             // stays dense and totally ordered.
             inner.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
+        // Relaxed is sound here: the shard mutex orders the buffer bytes,
+        // and the seq *value* orders the merged stream (see module docs).
         let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
-        shard.push(make(seq));
+        let Shard { buf, records, st } = &mut *shard;
+        encode(seq, buf, st);
+        *records += 1;
     }
 
     /// The synthetic record surfacing the overflow count: an untimed
@@ -181,27 +275,27 @@ impl Recorder {
     }
 
     /// Begin a span description; finish with [`SpanBuilder::emit`]. When
-    /// the recorder is disabled the builder is inert and allocates nothing.
+    /// the recorder is disabled the builder is inert and nothing is
+    /// allocated or interned.
     pub fn span(&self, name: &str, cat: &str) -> SpanBuilder<'_> {
         if self.inner.is_none() {
             return SpanBuilder {
                 recorder: self,
-                record: None,
+                pending: None,
             };
         }
+        self.span_key(Name::intern(name), Name::intern(cat))
+    }
+
+    /// [`Recorder::span`] with pre-interned names: the hot-site variant,
+    /// no string hashing at all.
+    pub fn span_key(&self, name: Name, cat: Name) -> SpanBuilder<'_> {
         SpanBuilder {
             recorder: self,
-            record: Some(SpanRecord {
-                seq: 0,
-                name: name.to_string(),
-                cat: cat.to_string(),
-                start_secs: 0.0,
-                end_secs: 0.0,
-                track: 0,
-                depth: 0,
-                task: None,
-                attempt: None,
-                attrs: Vec::new(),
+            pending: self.inner.as_ref().map(|_| PendingSpan {
+                name,
+                cat,
+                ..Default::default()
             }),
         }
     }
@@ -212,74 +306,94 @@ impl Recorder {
         if self.inner.is_none() {
             return InstantBuilder {
                 recorder: self,
-                record: None,
+                pending: None,
             };
         }
+        self.instant_key(Name::intern(name), Name::intern(cat))
+    }
+
+    /// [`Recorder::instant`] with pre-interned names.
+    pub fn instant_key(&self, name: Name, cat: Name) -> InstantBuilder<'_> {
         InstantBuilder {
             recorder: self,
-            record: Some(InstantRecord {
-                seq: 0,
-                name: name.to_string(),
-                cat: cat.to_string(),
-                at_secs: 0.0,
-                track: 0,
-                task: None,
-                attempt: None,
-                attrs: Vec::new(),
+            pending: self.inner.as_ref().map(|_| PendingInstant {
+                name,
+                cat,
+                ..Default::default()
             }),
         }
     }
 
     /// Add `delta` to an untimed monotonic counter.
     pub fn counter(&self, name: &str, delta: u64) {
-        self.push(|seq| {
-            Record::Metric(MetricRecord {
-                seq,
-                name: name.to_string(),
-                kind: MetricKind::Counter,
-                value: delta as f64,
-                at_secs: None,
-            })
+        if self.inner.is_some() {
+            self.counter_key(Name::intern(name), delta);
+        }
+    }
+
+    /// [`Recorder::counter`] with a pre-interned name.
+    pub fn counter_key(&self, name: Name, delta: u64) {
+        self.emit(|seq, buf, st| {
+            wire::encode_metric(buf, st, seq, name, MetricKind::Counter, delta as f64, None);
         });
     }
 
     /// Add `delta` to a counter at a simulated timestamp (plotted as a
     /// running total in the Chrome trace).
     pub fn counter_at(&self, name: &str, delta: u64, at: SimTime) {
-        self.push(|seq| {
-            Record::Metric(MetricRecord {
+        if self.inner.is_some() {
+            self.counter_at_key(Name::intern(name), delta, at);
+        }
+    }
+
+    /// [`Recorder::counter_at`] with a pre-interned name.
+    pub fn counter_at_key(&self, name: Name, delta: u64, at: SimTime) {
+        self.emit(|seq, buf, st| {
+            wire::encode_metric(
+                buf,
+                st,
                 seq,
-                name: name.to_string(),
-                kind: MetricKind::Counter,
-                value: delta as f64,
-                at_secs: Some(at.as_secs()),
-            })
+                name,
+                MetricKind::Counter,
+                delta as f64,
+                Some(at.as_secs()),
+            );
         });
     }
 
     /// Record a level (queue depth, pool size) at a simulated timestamp.
     pub fn gauge(&self, name: &str, value: f64, at: SimTime) {
-        self.push(|seq| {
-            Record::Metric(MetricRecord {
+        if self.inner.is_some() {
+            self.gauge_key(Name::intern(name), value, at);
+        }
+    }
+
+    /// [`Recorder::gauge`] with a pre-interned name.
+    pub fn gauge_key(&self, name: Name, value: f64, at: SimTime) {
+        self.emit(|seq, buf, st| {
+            wire::encode_metric(
+                buf,
+                st,
                 seq,
-                name: name.to_string(),
-                kind: MetricKind::Gauge,
+                name,
+                MetricKind::Gauge,
                 value,
-                at_secs: Some(at.as_secs()),
-            })
+                Some(at.as_secs()),
+            );
         });
     }
 
     /// Record one sample of a distribution.
     pub fn observe(&self, name: &str, value: f64) {
-        self.push(|seq| {
-            Record::Metric(MetricRecord {
-                seq,
-                name: name.to_string(),
-                kind: MetricKind::Histogram,
-                value,
-                at_secs: None,
-            })
+        if self.inner.is_some() {
+            self.observe_key(Name::intern(name), value);
+        }
+    }
+
+    /// [`Recorder::observe`] with a pre-interned name.
+    pub fn observe_key(&self, name: Name, value: f64) {
+        self.emit(|seq, buf, st| {
+            wire::encode_metric(buf, st, seq, name, MetricKind::Histogram, value, None);
         });
     }
 
@@ -287,6 +401,14 @@ impl Recorder {
     /// host-side layers (parallel sweep engine) whose time axis is real.
     /// Nested guards on one thread track their depth.
     pub fn wall_span(&self, name: &str, cat: &str) -> WallSpan {
+        if self.inner.is_none() {
+            return WallSpan { state: None };
+        }
+        self.wall_span_key(Name::intern(name), Name::intern(cat))
+    }
+
+    /// [`Recorder::wall_span`] with pre-interned names.
+    pub fn wall_span_key(&self, name: Name, cat: Name) -> WallSpan {
         let Some(inner) = &self.inner else {
             return WallSpan { state: None };
         };
@@ -298,13 +420,26 @@ impl Recorder {
         WallSpan {
             state: Some(WallSpanState {
                 recorder: self.clone(),
-                name: name.to_string(),
-                cat: cat.to_string(),
+                name,
+                cat,
                 start_secs: inner.origin.elapsed().as_secs_f64(),
                 depth,
-                attrs: Vec::new(),
+                attrs: wire::AttrList::default(),
             }),
         }
+    }
+
+    /// Decode + k-way merge every shard buffer into `seq` order.
+    fn decode_merged(bufs: &[Vec<u8>], capacity: usize) -> Vec<Record> {
+        let mut out = Vec::with_capacity(capacity + 1);
+        let mut merge = MergeDecoder::new(bufs.iter().map(|b| b.as_slice()));
+        out.extend(merge.by_ref());
+        debug_assert!(
+            merge.errors().is_empty(),
+            "self-encoded stream must decode cleanly: {:?}",
+            merge.errors()
+        );
+        out
     }
 
     /// Drain every shard and return the merged stream in `seq` order. If
@@ -315,11 +450,19 @@ impl Recorder {
         let Some(inner) = &self.inner else {
             return Vec::new();
         };
-        let mut out = Vec::with_capacity(inner.len());
-        for shard in &inner.shards {
-            out.append(&mut shard.lock());
-        }
-        out.sort_by_key(Record::seq);
+        let mut total = 0;
+        let bufs: Vec<Vec<u8>> = inner
+            .shards
+            .iter()
+            .map(|s| {
+                let mut shard = s.lock();
+                total += shard.records;
+                shard.records = 0;
+                shard.st = CodecState::default();
+                std::mem::take(&mut shard.buf)
+            })
+            .collect();
+        let mut out = Self::decode_merged(&bufs, total);
         let dropped = inner.dropped.swap(0, Ordering::Relaxed);
         if dropped > 0 {
             let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
@@ -335,11 +478,17 @@ impl Recorder {
         let Some(inner) = &self.inner else {
             return Vec::new();
         };
-        let mut out = Vec::with_capacity(inner.len());
-        for shard in &inner.shards {
-            out.extend(shard.lock().iter().cloned());
-        }
-        out.sort_by_key(Record::seq);
+        let mut total = 0;
+        let bufs: Vec<Vec<u8>> = inner
+            .shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock();
+                total += shard.records;
+                shard.buf.clone()
+            })
+            .collect();
+        let mut out = Self::decode_merged(&bufs, total);
         let dropped = inner.dropped.load(Ordering::Relaxed);
         if dropped > 0 {
             out.push(Self::dropped_record(
@@ -350,17 +499,30 @@ impl Recorder {
         out
     }
 
+    /// Clone the raw binary shard buffers without draining or decoding.
+    /// Each buffer is an independent wire stream for [`ShardDecoder`];
+    /// feed all of them to [`MergeDecoder`] to reconstruct the total
+    /// order. [`Recorder::take`] is the in-process convenience wrapper
+    /// around exactly that; this accessor is for consumers that ship the
+    /// bytes elsewhere (or tests that corrupt them on purpose).
+    pub fn raw_shards(&self) -> Vec<Vec<u8>> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        inner.shards.iter().map(|s| s.lock().buf.clone()).collect()
+    }
+
     /// Aggregate the buffered metric samples into a registry.
     pub fn metrics(&self) -> MetricsRegistry {
         MetricsRegistry::from_records(&self.snapshot())
     }
 }
 
-/// Builder for a [`SpanRecord`]; inert when the recorder is disabled.
+/// Builder for a span; inert when the recorder is disabled.
 #[must_use = "call .emit() to record the span"]
 pub struct SpanBuilder<'r> {
     recorder: &'r Recorder,
-    record: Option<SpanRecord>,
+    pending: Option<PendingSpan>,
 }
 
 impl SpanBuilder<'_> {
@@ -371,116 +533,128 @@ impl SpanBuilder<'_> {
 
     /// Raw-seconds interval (for wall-time callers).
     pub fn between_secs(mut self, start: f64, end: f64) -> Self {
-        if let Some(r) = &mut self.record {
-            r.start_secs = start;
-            r.end_secs = end;
+        if let Some(p) = &mut self.pending {
+            p.start_secs = start;
+            p.end_secs = end;
         }
         self
     }
 
     pub fn track(mut self, track: u64) -> Self {
-        if let Some(r) = &mut self.record {
-            r.track = track;
+        if let Some(p) = &mut self.pending {
+            p.track = track;
         }
         self
     }
 
     pub fn task(mut self, task: u64) -> Self {
-        if let Some(r) = &mut self.record {
-            r.task = Some(task);
+        if let Some(p) = &mut self.pending {
+            p.task = Some(task);
         }
         self
     }
 
     pub fn attempt(mut self, attempt: u32) -> Self {
-        if let Some(r) = &mut self.record {
-            r.attempt = Some(attempt);
+        if let Some(p) = &mut self.pending {
+            p.attempt = Some(attempt);
         }
         self
     }
 
-    pub fn attr(mut self, key: &str, value: impl Into<AttrValue>) -> Self {
-        if let Some(r) = &mut self.record {
-            r.attrs.push((key.to_string(), value.into()));
+    pub fn attr(mut self, key: &str, value: impl Into<AttrVal>) -> Self {
+        if let Some(p) = &mut self.pending {
+            p.attrs.push(Name::intern(key), value.into().0);
+        }
+        self
+    }
+
+    /// [`SpanBuilder::attr`] with a pre-interned key.
+    pub fn attr_key(mut self, key: Name, value: impl Into<AttrVal>) -> Self {
+        if let Some(p) = &mut self.pending {
+            p.attrs.push(key, value.into().0);
         }
         self
     }
 
     pub fn emit(self) {
-        if let Some(mut r) = self.record {
+        if let Some(p) = self.pending {
             debug_assert!(
-                r.end_secs >= r.start_secs,
+                p.end_secs >= p.start_secs,
                 "span '{}' ends before it starts",
-                r.name
+                p.name.as_str()
             );
-            self.recorder.push(|seq| {
-                r.seq = seq;
-                Record::Span(r)
-            });
+            self.recorder
+                .emit(|seq, buf, st| wire::encode_span(buf, st, seq, &p));
         }
     }
 }
 
-/// Builder for an [`InstantRecord`]; inert when the recorder is disabled.
+/// Builder for an instant event; inert when the recorder is disabled.
 #[must_use = "call .emit() to record the event"]
 pub struct InstantBuilder<'r> {
     recorder: &'r Recorder,
-    record: Option<InstantRecord>,
+    pending: Option<PendingInstant>,
 }
 
 impl InstantBuilder<'_> {
     pub fn at(mut self, at: SimTime) -> Self {
-        if let Some(r) = &mut self.record {
-            r.at_secs = at.as_secs();
+        if let Some(p) = &mut self.pending {
+            p.at_secs = at.as_secs();
         }
         self
     }
 
     pub fn track(mut self, track: u64) -> Self {
-        if let Some(r) = &mut self.record {
-            r.track = track;
+        if let Some(p) = &mut self.pending {
+            p.track = track;
         }
         self
     }
 
     pub fn task(mut self, task: u64) -> Self {
-        if let Some(r) = &mut self.record {
-            r.task = Some(task);
+        if let Some(p) = &mut self.pending {
+            p.task = Some(task);
         }
         self
     }
 
     pub fn attempt(mut self, attempt: u32) -> Self {
-        if let Some(r) = &mut self.record {
-            r.attempt = Some(attempt);
+        if let Some(p) = &mut self.pending {
+            p.attempt = Some(attempt);
         }
         self
     }
 
-    pub fn attr(mut self, key: &str, value: impl Into<AttrValue>) -> Self {
-        if let Some(r) = &mut self.record {
-            r.attrs.push((key.to_string(), value.into()));
+    pub fn attr(mut self, key: &str, value: impl Into<AttrVal>) -> Self {
+        if let Some(p) = &mut self.pending {
+            p.attrs.push(Name::intern(key), value.into().0);
+        }
+        self
+    }
+
+    /// [`InstantBuilder::attr`] with a pre-interned key.
+    pub fn attr_key(mut self, key: Name, value: impl Into<AttrVal>) -> Self {
+        if let Some(p) = &mut self.pending {
+            p.attrs.push(key, value.into().0);
         }
         self
     }
 
     pub fn emit(self) {
-        if let Some(mut r) = self.record {
-            self.recorder.push(|seq| {
-                r.seq = seq;
-                Record::Instant(r)
-            });
+        if let Some(p) = self.pending {
+            self.recorder
+                .emit(|seq, buf, st| wire::encode_instant(buf, st, seq, &p));
         }
     }
 }
 
 struct WallSpanState {
     recorder: Recorder,
-    name: String,
-    cat: String,
+    name: Name,
+    cat: Name,
     start_secs: f64,
     depth: u32,
-    attrs: Vec<(String, AttrValue)>,
+    attrs: wire::AttrList,
 }
 
 /// RAII wall-clock span; records on drop. Inert when disabled.
@@ -490,9 +664,16 @@ pub struct WallSpan {
 
 impl WallSpan {
     /// Attach an attribute (no-op when disabled).
-    pub fn attr(&mut self, key: &str, value: impl Into<AttrValue>) {
+    pub fn attr(&mut self, key: &str, value: impl Into<AttrVal>) {
         if let Some(s) = &mut self.state {
-            s.attrs.push((key.to_string(), value.into()));
+            s.attrs.push(Name::intern(key), value.into().0);
+        }
+    }
+
+    /// [`WallSpan::attr`] with a pre-interned key.
+    pub fn attr_key(&mut self, key: Name, value: impl Into<AttrVal>) {
+        if let Some(s) = &mut self.state {
+            s.attrs.push(key, value.into().0);
         }
     }
 
@@ -518,22 +699,18 @@ impl Drop for WallSpan {
             attrs,
         } = state;
         let Some(inner) = &recorder.inner else { return };
-        let end = inner.origin.elapsed().as_secs_f64();
-        let track = thread_shard() as u64;
-        recorder.push(|seq| {
-            Record::Span(SpanRecord {
-                seq,
-                name,
-                cat,
-                start_secs,
-                end_secs: end,
-                track,
-                depth,
-                task: None,
-                attempt: None,
-                attrs,
-            })
-        });
+        let pending = PendingSpan {
+            name,
+            cat,
+            start_secs,
+            end_secs: inner.origin.elapsed().as_secs_f64(),
+            track: thread_shard() as u64,
+            depth,
+            task: None,
+            attempt: None,
+            attrs,
+        };
+        recorder.emit(|seq, buf, st| wire::encode_span(buf, st, seq, &pending));
     }
 }
 
@@ -618,6 +795,30 @@ mod tests {
         assert_eq!(s.task, Some(42));
         assert_eq!(s.attempt, Some(1));
         assert_eq!(s.attrs.len(), 3);
+    }
+
+    #[test]
+    fn keyed_emission_matches_string_emission() {
+        let by_str = Recorder::enabled();
+        by_str.counter("k.counter", 2);
+        by_str
+            .span("k.span", "k.cat")
+            .at(SimTime::from_secs(1.0), SimTime::from_secs(2.0))
+            .attr("w", 9u64)
+            .emit();
+        let by_key = Recorder::enabled();
+        let (name, cat, key) = (
+            Name::intern("k.span"),
+            Name::intern("k.cat"),
+            Name::intern("w"),
+        );
+        by_key.counter_key(Name::intern("k.counter"), 2);
+        by_key
+            .span_key(name, cat)
+            .at(SimTime::from_secs(1.0), SimTime::from_secs(2.0))
+            .attr_key(key, 9u64)
+            .emit();
+        assert_eq!(by_str.take(), by_key.take());
     }
 
     #[test]

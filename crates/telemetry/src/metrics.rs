@@ -3,19 +3,107 @@
 //! The recorder buffers raw samples; this registry folds them into the
 //! existing `lfm_simcluster::metrics` aggregate types — counters sum,
 //! gauges become a [`Summary`] series (plus last value), histogram samples
-//! become an exact-percentile [`Histogram`].
+//! become an exact-percentile [`Histogram`] — until a series passes
+//! [`HISTOGRAM_FOLD_THRESHOLD`] samples, at which point it folds into a
+//! bounded [`SparseHistogram`] sketch (relative-error quantiles, memory
+//! independent of sample count). The fold point is a pure function of the
+//! sample count, so identical record streams always produce identical
+//! aggregates.
 
 use crate::record::{MetricKind, Record};
 use lfm_monitor::summary::JsonObject;
-use lfm_simcluster::metrics::{Histogram, Summary};
+use lfm_simcluster::metrics::{Histogram, SparseHistogram, Summary};
 use std::collections::BTreeMap;
+
+/// Above this many samples a histogram series folds into a bounded
+/// [`SparseHistogram`]; below it, every sample is kept and percentiles are
+/// exact. Batch experiments (hundreds of turnaround samples) stay on the
+/// exact path and keep byte-identical trace summaries; serving-scale
+/// streams (millions of invocation latencies) are bounded at a few
+/// hundred buckets with 1% relative-error quantiles.
+pub const HISTOGRAM_FOLD_THRESHOLD: usize = 16_384;
+
+/// A histogram series that is exact while small and a bounded sketch once
+/// it crosses [`HISTOGRAM_FOLD_THRESHOLD`]. The fold replays the retained
+/// samples into the sketch, so the transition depends only on how many
+/// samples arrived — never on timing — and identical streams fold
+/// identically.
+#[derive(Debug, Clone)]
+pub enum FoldedHistogram {
+    /// Every sample retained; percentiles exact.
+    Exact(Histogram),
+    /// Bounded DDSketch-style buckets; percentiles within 1% relative error.
+    Sketch(SparseHistogram),
+}
+
+impl Default for FoldedHistogram {
+    fn default() -> Self {
+        FoldedHistogram::Exact(Histogram::new())
+    }
+}
+
+impl FoldedHistogram {
+    fn record(&mut self, x: f64) {
+        match self {
+            FoldedHistogram::Exact(h) => {
+                h.record(x);
+                if h.count() > HISTOGRAM_FOLD_THRESHOLD {
+                    let mut sketch = SparseHistogram::new();
+                    for v in h.iter() {
+                        sketch.record(v);
+                    }
+                    *self = FoldedHistogram::Sketch(sketch);
+                }
+            }
+            FoldedHistogram::Sketch(s) => s.record(x),
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        match self {
+            FoldedHistogram::Exact(h) => h.count() as u64,
+            FoldedHistogram::Sketch(s) => s.count(),
+        }
+    }
+
+    /// True once the series has folded into the bounded sketch.
+    pub fn is_sketch(&self) -> bool {
+        matches!(self, FoldedHistogram::Sketch(_))
+    }
+
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        match self {
+            FoldedHistogram::Exact(h) => h.percentile(p),
+            FoldedHistogram::Sketch(s) => s.percentile(p),
+        }
+    }
+
+    pub fn p50(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    pub fn p95(&mut self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    pub fn p99(&mut self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    pub fn max(&mut self) -> f64 {
+        match self {
+            FoldedHistogram::Exact(h) => h.max(),
+            FoldedHistogram::Sketch(s) => s.max(),
+        }
+    }
+}
 
 /// Aggregated view of a record stream's metric samples.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, (Summary, f64)>,
-    histograms: BTreeMap<String, Histogram>,
+    histograms: BTreeMap<String, FoldedHistogram>,
 }
 
 impl MetricsRegistry {
@@ -66,11 +154,11 @@ impl MetricsRegistry {
         self.gauges.get(name).map(|(_, v)| *v)
     }
 
-    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+    pub fn histogram(&self, name: &str) -> Option<&FoldedHistogram> {
         self.histograms.get(name)
     }
 
-    pub fn histogram_mut(&mut self, name: &str) -> Option<&mut Histogram> {
+    pub fn histogram_mut(&mut self, name: &str) -> Option<&mut FoldedHistogram> {
         self.histograms.get_mut(name)
     }
 
@@ -96,7 +184,7 @@ impl MetricsRegistry {
             o.field_f64(&format!("{name}.last"), *last);
         }
         for (name, hist) in &mut self.histograms {
-            o.field_u64(&format!("{name}.count"), hist.count() as u64);
+            o.field_u64(&format!("{name}.count"), hist.count());
             o.field_f64(&format!("{name}.p50"), hist.p50());
             o.field_f64(&format!("{name}.p95"), hist.p95());
             o.field_f64(&format!("{name}.p99"), hist.p99());
@@ -142,6 +230,44 @@ mod tests {
         assert!(j.contains("\"cache.hit\":7"));
         assert!(j.contains("\"pending.last\":3"));
         assert!(j.contains("\"turnaround_s.p95\":12"));
+    }
+
+    #[test]
+    fn histogram_folds_to_bounded_sketch_past_threshold() {
+        let mut h = FoldedHistogram::default();
+        // Deterministic spread over three decades.
+        for i in 0..HISTOGRAM_FOLD_THRESHOLD {
+            h.record(0.001 * (1 + i % 1000) as f64);
+        }
+        assert!(!h.is_sketch(), "at the threshold the series is still exact");
+        let exact_p99 = h.p99();
+        h.record(0.5);
+        assert!(h.is_sketch(), "one sample past the threshold folds it");
+        assert_eq!(h.count(), HISTOGRAM_FOLD_THRESHOLD as u64 + 1);
+        // The replayed sketch agrees with the exact percentile to within
+        // its configured relative error (1%, doubled for rank rounding).
+        let sketch_p99 = h.p99();
+        assert!(
+            (sketch_p99 - exact_p99).abs() / exact_p99 < 0.02,
+            "sketch p99 {sketch_p99} vs exact {exact_p99}"
+        );
+        // Memory is bounded by occupied buckets, not sample count.
+        let FoldedHistogram::Sketch(s) = &h else {
+            unreachable!()
+        };
+        assert!(s.bucket_count() < 1_200, "buckets: {}", s.bucket_count());
+    }
+
+    #[test]
+    fn folded_aggregation_is_deterministic() {
+        let run = || {
+            let r = Recorder::enabled();
+            for i in 0..(HISTOGRAM_FOLD_THRESHOLD + 100) {
+                r.observe("lat", 0.0001 * (1 + i % 3000) as f64);
+            }
+            r.metrics().to_json()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

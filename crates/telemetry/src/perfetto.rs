@@ -1,0 +1,614 @@
+//! Perfetto binary trace exporter (+ structural validator).
+//!
+//! Emits the subset of the Perfetto `Trace` protobuf that the Perfetto UI
+//! and `trace_processor` need to display our streams natively — hand-rolled
+//! field-by-field (the dependency set has no protobuf crate), which is
+//! fine because the schema surface we touch is small and stable:
+//!
+//! ```text
+//! Trace            { repeated TracePacket packet = 1; }
+//! TracePacket      { timestamp = 8 (ns), trusted_packet_sequence_id = 10,
+//!                    track_event = 11, track_descriptor = 60 }
+//! TrackDescriptor  { uuid = 1, name = 2, process = 3, parent_uuid = 5,
+//!                    counter = 8 (marks a counter track) }
+//! ProcessDescriptor{ pid = 1, process_name = 6 }
+//! TrackEvent       { debug_annotations = 4, type = 9, track_uuid = 11,
+//!                    categories = 22, name = 23,
+//!                    counter_value = 30, double_counter_value = 44 }
+//! DebugAnnotation  { uint_value = 3, double_value = 5, string_value = 6,
+//!                    name = 10 }
+//! ```
+//!
+//! Mapping from our [`Record`] stream:
+//!
+//! * Every sim track id becomes a child `TrackDescriptor` under one
+//!   process track ("lfm-sim"); descriptors are emitted before any event
+//!   that references them.
+//! * Spans become `SLICE_BEGIN`/`SLICE_END` pairs (Perfetto's track
+//!   events are stateful, unlike Chrome's complete `"X"` events), with
+//!   task/attempt/attrs as debug annotations on the begin event. Packets
+//!   are ordered so nesting reconstructs correctly: at equal timestamps,
+//!   ends of earlier slices close first (innermost — shortest — first),
+//!   then begins open outermost-first, and zero-duration slices emit
+//!   their end immediately after their begin.
+//! * Timed counters/gauges become counter tracks; counters plot running
+//!   totals exactly like the Chrome exporter. Integral values use the
+//!   varint `counter_value`, everything else `double_counter_value`.
+//! * Untimed metric samples have no Perfetto timeline representation and
+//!   are skipped here — their aggregates already ship in the Chrome
+//!   trace's `otherData` and the JSONL dump.
+//!
+//! [`validate_trace`] is the in-repo structural checker the round-trip
+//! tests use: a generic wiretype walker that verifies the packet framing,
+//! that every `track_uuid` was declared by a descriptor packet first, and
+//! that slice begin/end depth stays balanced per track.
+
+use crate::record::{AttrValue, MetricKind, Record};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+const NANOS: f64 = 1e9;
+
+// TracePacket field numbers.
+const PKT_TIMESTAMP: u64 = 8;
+const PKT_SEQUENCE_ID: u64 = 10;
+const PKT_TRACK_EVENT: u64 = 11;
+const PKT_TRACK_DESCRIPTOR: u64 = 60;
+
+// TrackDescriptor / ProcessDescriptor field numbers.
+const TDESC_UUID: u64 = 1;
+const TDESC_NAME: u64 = 2;
+const TDESC_PROCESS: u64 = 3;
+const TDESC_PARENT_UUID: u64 = 5;
+const TDESC_COUNTER: u64 = 8;
+const PDESC_PID: u64 = 1;
+const PDESC_NAME: u64 = 6;
+
+// TrackEvent field numbers and event types.
+const TEV_DEBUG_ANNOTATION: u64 = 4;
+const TEV_TYPE: u64 = 9;
+const TEV_TRACK_UUID: u64 = 11;
+const TEV_CATEGORY: u64 = 22;
+const TEV_NAME: u64 = 23;
+const TEV_COUNTER_VALUE: u64 = 30;
+const TEV_DOUBLE_COUNTER_VALUE: u64 = 44;
+const TYPE_SLICE_BEGIN: u64 = 1;
+const TYPE_SLICE_END: u64 = 2;
+const TYPE_INSTANT: u64 = 3;
+const TYPE_COUNTER: u64 = 4;
+
+// DebugAnnotation field numbers.
+const ANN_UINT: u64 = 3;
+const ANN_DOUBLE: u64 = 5;
+const ANN_STRING: u64 = 6;
+const ANN_NAME: u64 = 10;
+
+const PROCESS_UUID: u64 = 1;
+const SEQUENCE_ID: u64 = 1;
+
+// -------------------------------------------------------------------
+// protobuf writer primitives
+// -------------------------------------------------------------------
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+fn put_tag(buf: &mut Vec<u8>, field: u64, wire_type: u64) {
+    put_varint(buf, field << 3 | wire_type);
+}
+
+fn put_varint_field(buf: &mut Vec<u8>, field: u64, v: u64) {
+    put_tag(buf, field, 0);
+    put_varint(buf, v);
+}
+
+fn put_double_field(buf: &mut Vec<u8>, field: u64, v: f64) {
+    put_tag(buf, field, 1);
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_len_field(buf: &mut Vec<u8>, field: u64, bytes: &[u8]) {
+    put_tag(buf, field, 2);
+    put_varint(buf, bytes.len() as u64);
+    buf.extend_from_slice(bytes);
+}
+
+fn put_str_field(buf: &mut Vec<u8>, field: u64, s: &str) {
+    put_len_field(buf, field, s.as_bytes());
+}
+
+// -------------------------------------------------------------------
+// export
+// -------------------------------------------------------------------
+
+fn annotation(name: &str, value: &AttrValue) -> Vec<u8> {
+    let mut a = Vec::with_capacity(name.len() + 12);
+    match value {
+        AttrValue::U64(v) => put_varint_field(&mut a, ANN_UINT, *v),
+        AttrValue::F64(v) => put_double_field(&mut a, ANN_DOUBLE, *v),
+        AttrValue::Str(v) => put_str_field(&mut a, ANN_STRING, v),
+    }
+    put_str_field(&mut a, ANN_NAME, name);
+    a
+}
+
+fn ns(secs: f64) -> u64 {
+    (secs * NANOS).round().max(0.0) as u64
+}
+
+/// One fully-encoded TracePacket plus its sort key; packets at equal
+/// timestamps order as: ends of earlier slices (innermost first), then
+/// begins (outermost first, zero-duration ends riding just behind their
+/// begin), then instants, then counter samples. `idx` (emission order)
+/// breaks remaining ties deterministically.
+struct Packet {
+    key: (u64, u8, u64, usize, u8),
+    bytes: Vec<u8>,
+}
+
+fn packet(ts: Option<u64>, event: &[u8]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(event.len() + 12);
+    if let Some(ts) = ts {
+        put_varint_field(&mut p, PKT_TIMESTAMP, ts);
+    }
+    put_varint_field(&mut p, PKT_SEQUENCE_ID, SEQUENCE_ID);
+    put_len_field(&mut p, PKT_TRACK_EVENT, event);
+    p
+}
+
+fn descriptor_packet(desc: &[u8]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(desc.len() + 8);
+    put_varint_field(&mut p, PKT_SEQUENCE_ID, SEQUENCE_ID);
+    put_len_field(&mut p, PKT_TRACK_DESCRIPTOR, desc);
+    p
+}
+
+/// Render a record stream as a binary Perfetto trace.
+pub fn perfetto_trace(records: &[Record]) -> Vec<u8> {
+    // Pass 1: assign track uuids by first appearance so descriptors can
+    // all be emitted ahead of every event that references them.
+    let mut lane_uuid: BTreeMap<u64, u64> = BTreeMap::new(); // sim track id → uuid
+    let mut counter_uuid: BTreeMap<&str, u64> = BTreeMap::new(); // metric name → uuid
+    let mut next_uuid = PROCESS_UUID + 1;
+    for record in records {
+        match record {
+            Record::Span(s) => {
+                lane_uuid.entry(s.track).or_insert_with(|| {
+                    next_uuid += 1;
+                    next_uuid - 1
+                });
+            }
+            Record::Instant(i) => {
+                lane_uuid.entry(i.track).or_insert_with(|| {
+                    next_uuid += 1;
+                    next_uuid - 1
+                });
+            }
+            Record::Metric(m) if m.at_secs.is_some() => {
+                counter_uuid.entry(m.name.as_str()).or_insert_with(|| {
+                    next_uuid += 1;
+                    next_uuid - 1
+                });
+            }
+            Record::Metric(_) => {} // untimed: aggregates only, no timeline
+        }
+    }
+
+    let mut out = Vec::with_capacity(records.len() * 24 + 64);
+
+    // Process track.
+    let mut process = Vec::new();
+    put_varint_field(&mut process, PDESC_PID, 1);
+    put_str_field(&mut process, PDESC_NAME, "lfm-sim");
+    let mut desc = Vec::new();
+    put_varint_field(&mut desc, TDESC_UUID, PROCESS_UUID);
+    put_str_field(&mut desc, TDESC_NAME, "lfm-sim");
+    put_len_field(&mut desc, TDESC_PROCESS, &process);
+    put_len_field(&mut out, 1, &descriptor_packet(&desc));
+
+    // Lane and counter tracks, in uuid (= first appearance) order.
+    let mut tracks: Vec<(u64, String, bool)> = lane_uuid
+        .iter()
+        .map(|(lane, &uuid)| (uuid, format!("track-{lane}"), false))
+        .chain(
+            counter_uuid
+                .iter()
+                .map(|(name, &uuid)| (uuid, (*name).to_string(), true)),
+        )
+        .collect();
+    tracks.sort_by_key(|(uuid, _, _)| *uuid);
+    for (uuid, name, is_counter) in &tracks {
+        let mut desc = Vec::new();
+        put_varint_field(&mut desc, TDESC_UUID, *uuid);
+        put_str_field(&mut desc, TDESC_NAME, name);
+        put_varint_field(&mut desc, TDESC_PARENT_UUID, PROCESS_UUID);
+        if *is_counter {
+            put_len_field(&mut desc, TDESC_COUNTER, &[]); // presence marks the track type
+        }
+        put_len_field(&mut out, 1, &descriptor_packet(&desc));
+    }
+
+    // Pass 2: encode events with nesting-stable sort keys.
+    let mut packets: Vec<Packet> = Vec::with_capacity(records.len() * 2);
+    let mut totals: BTreeMap<&str, f64> = BTreeMap::new();
+    for (idx, record) in records.iter().enumerate() {
+        match record {
+            Record::Span(s) => {
+                let uuid = lane_uuid[&s.track];
+                let (start, end) = (ns(s.start_secs), ns(s.end_secs));
+                let dur = end.saturating_sub(start);
+                let mut begin = Vec::new();
+                for (k, v) in &s.attrs {
+                    put_len_field(&mut begin, TEV_DEBUG_ANNOTATION, &annotation(k, v));
+                }
+                if let Some(t) = s.task {
+                    put_len_field(
+                        &mut begin,
+                        TEV_DEBUG_ANNOTATION,
+                        &annotation("task", &AttrValue::U64(t)),
+                    );
+                }
+                if let Some(a) = s.attempt {
+                    put_len_field(
+                        &mut begin,
+                        TEV_DEBUG_ANNOTATION,
+                        &annotation("attempt", &AttrValue::U64(a as u64)),
+                    );
+                }
+                put_varint_field(&mut begin, TEV_TYPE, TYPE_SLICE_BEGIN);
+                put_varint_field(&mut begin, TEV_TRACK_UUID, uuid);
+                put_str_field(&mut begin, TEV_CATEGORY, &s.cat);
+                put_str_field(&mut begin, TEV_NAME, &s.name);
+                let mut end_ev = Vec::new();
+                put_varint_field(&mut end_ev, TEV_TYPE, TYPE_SLICE_END);
+                put_varint_field(&mut end_ev, TEV_TRACK_UUID, uuid);
+                // Begins open outermost (longest) first; ends close
+                // innermost (shortest) first. A zero-duration slice keeps
+                // its end glued right after its begin (same rank/idx,
+                // sub-order 1) so track depth never dips negative.
+                packets.push(Packet {
+                    key: (start, 1, u64::MAX - dur, idx, 0),
+                    bytes: packet(Some(start), &begin),
+                });
+                packets.push(Packet {
+                    key: if dur == 0 {
+                        (end, 1, u64::MAX, idx, 1)
+                    } else {
+                        (end, 0, dur, idx, 0)
+                    },
+                    bytes: packet(Some(end), &end_ev),
+                });
+            }
+            Record::Instant(i) => {
+                let uuid = lane_uuid[&i.track];
+                let at = ns(i.at_secs);
+                let mut ev = Vec::new();
+                for (k, v) in &i.attrs {
+                    put_len_field(&mut ev, TEV_DEBUG_ANNOTATION, &annotation(k, v));
+                }
+                if let Some(t) = i.task {
+                    put_len_field(
+                        &mut ev,
+                        TEV_DEBUG_ANNOTATION,
+                        &annotation("task", &AttrValue::U64(t)),
+                    );
+                }
+                if let Some(a) = i.attempt {
+                    put_len_field(
+                        &mut ev,
+                        TEV_DEBUG_ANNOTATION,
+                        &annotation("attempt", &AttrValue::U64(a as u64)),
+                    );
+                }
+                put_varint_field(&mut ev, TEV_TYPE, TYPE_INSTANT);
+                put_varint_field(&mut ev, TEV_TRACK_UUID, uuid);
+                put_str_field(&mut ev, TEV_CATEGORY, &i.cat);
+                put_str_field(&mut ev, TEV_NAME, &i.name);
+                packets.push(Packet {
+                    key: (at, 2, 0, idx, 0),
+                    bytes: packet(Some(at), &ev),
+                });
+            }
+            Record::Metric(m) => {
+                let Some(at_secs) = m.at_secs else { continue };
+                let uuid = counter_uuid[m.name.as_str()];
+                let at = ns(at_secs);
+                let value = match m.kind {
+                    MetricKind::Counter => {
+                        let total = totals.entry(m.name.as_str()).or_insert(0.0);
+                        *total += m.value;
+                        *total
+                    }
+                    _ => m.value,
+                };
+                let mut ev = Vec::new();
+                put_varint_field(&mut ev, TEV_TYPE, TYPE_COUNTER);
+                put_varint_field(&mut ev, TEV_TRACK_UUID, uuid);
+                if (0.0..9_007_199_254_740_992.0).contains(&value) && (value as u64) as f64 == value
+                {
+                    put_varint_field(&mut ev, TEV_COUNTER_VALUE, value as u64);
+                } else {
+                    put_double_field(&mut ev, TEV_DOUBLE_COUNTER_VALUE, value);
+                }
+                packets.push(Packet {
+                    key: (at, 3, 0, idx, 0),
+                    bytes: packet(Some(at), &ev),
+                });
+            }
+        }
+    }
+    packets.sort_by_key(|p| p.key);
+    for p in packets {
+        put_len_field(&mut out, 1, &p.bytes);
+    }
+    out
+}
+
+/// Write the Perfetto trace for `records` to `path`.
+pub fn write_perfetto_trace(path: &Path, records: &[Record]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&perfetto_trace(records))
+}
+
+// -------------------------------------------------------------------
+// structural validation
+// -------------------------------------------------------------------
+
+/// What [`validate_trace`] counted while walking a trace.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    pub packets: usize,
+    pub tracks: usize,
+    pub slices: usize,
+    pub instants: usize,
+    pub counter_samples: usize,
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn done(&self) -> bool {
+        self.pos >= self.b.len()
+    }
+
+    fn varint(&mut self) -> Result<u64, String> {
+        let mut out = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = *self
+                .b
+                .get(self.pos)
+                .ok_or_else(|| format!("varint truncated at byte {}", self.pos))?;
+            self.pos += 1;
+            if shift >= 64 {
+                return Err(format!("varint too long at byte {}", self.pos));
+            }
+            out |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+    }
+
+    fn skip(&mut self, n: usize) -> Result<(), String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.b.len())
+            .ok_or_else(|| format!("field truncated at byte {}", self.pos))?;
+        self.pos = end;
+        Ok(())
+    }
+
+    fn len_delimited(&mut self) -> Result<&'a [u8], String> {
+        let n = self.varint()? as usize;
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.b.len())
+            .ok_or_else(|| format!("length-delimited field truncated at byte {}", self.pos))?;
+        let out = &self.b[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Read one field tag and its payload; returns `(field, varint value
+    /// if wiretype 0, bytes if wiretype 2)`.
+    #[allow(clippy::type_complexity)]
+    fn field(&mut self) -> Result<(u64, Option<u64>, Option<&'a [u8]>), String> {
+        let key = self.varint()?;
+        let field = key >> 3;
+        match key & 7 {
+            0 => Ok((field, Some(self.varint()?), None)),
+            1 => {
+                self.skip(8)?;
+                Ok((field, None, None))
+            }
+            2 => {
+                let bytes = self.len_delimited()?;
+                Ok((field, None, Some(bytes)))
+            }
+            5 => {
+                self.skip(4)?;
+                Ok((field, None, None))
+            }
+            wt => Err(format!("unsupported wire type {wt} at byte {}", self.pos)),
+        }
+    }
+}
+
+/// Structurally validate a Perfetto trace produced by [`perfetto_trace`]
+/// (or anything schema-compatible): correct protobuf framing with every
+/// byte consumed, every `track_uuid` declared by a preceding descriptor,
+/// and slice begin/end balanced per track (depth never negative, zero at
+/// the end). Returns counts for round-trip assertions.
+pub fn validate_trace(bytes: &[u8]) -> Result<TraceStats, String> {
+    let mut stats = TraceStats::default();
+    let mut known_tracks: BTreeMap<u64, i64> = BTreeMap::new(); // uuid → open slice depth
+    let mut r = Reader { b: bytes, pos: 0 };
+    while !r.done() {
+        let (field, _, payload) = r.field()?;
+        if field != 1 {
+            return Err(format!("unexpected top-level field {field}"));
+        }
+        let payload = payload.ok_or("packet must be length-delimited")?;
+        stats.packets += 1;
+        let mut pkt = Reader { b: payload, pos: 0 };
+        while !pkt.done() {
+            let (field, value, bytes) = pkt.field()?;
+            match field {
+                PKT_TIMESTAMP | PKT_SEQUENCE_ID => {
+                    value.ok_or("timestamp/sequence id must be varint")?;
+                }
+                PKT_TRACK_DESCRIPTOR => {
+                    let mut desc = Reader {
+                        b: bytes.ok_or("track descriptor must be a message")?,
+                        pos: 0,
+                    };
+                    let mut uuid = None;
+                    while !desc.done() {
+                        let (f, v, _) = desc.field()?;
+                        if f == TDESC_UUID {
+                            uuid = Some(v.ok_or("uuid must be varint")?);
+                        }
+                    }
+                    let uuid = uuid.ok_or("track descriptor without uuid")?;
+                    if known_tracks.insert(uuid, 0).is_some() {
+                        return Err(format!("duplicate descriptor for track {uuid}"));
+                    }
+                    stats.tracks += 1;
+                }
+                PKT_TRACK_EVENT => {
+                    let mut ev = Reader {
+                        b: bytes.ok_or("track event must be a message")?,
+                        pos: 0,
+                    };
+                    let (mut ev_type, mut uuid) = (None, None);
+                    while !ev.done() {
+                        let (f, v, _) = ev.field()?;
+                        match f {
+                            TEV_TYPE => ev_type = Some(v.ok_or("event type must be varint")?),
+                            TEV_TRACK_UUID => uuid = Some(v.ok_or("track uuid must be varint")?),
+                            _ => {}
+                        }
+                    }
+                    let uuid = uuid.ok_or("track event without track_uuid")?;
+                    let depth = known_tracks
+                        .get_mut(&uuid)
+                        .ok_or_else(|| format!("event references undeclared track {uuid}"))?;
+                    match ev_type.ok_or("track event without type")? {
+                        TYPE_SLICE_BEGIN => {
+                            *depth += 1;
+                            stats.slices += 1;
+                        }
+                        TYPE_SLICE_END => {
+                            *depth -= 1;
+                            if *depth < 0 {
+                                return Err(format!("slice end underflow on track {uuid}"));
+                            }
+                        }
+                        TYPE_INSTANT => stats.instants += 1,
+                        TYPE_COUNTER => stats.counter_samples += 1,
+                        t => return Err(format!("unknown track event type {t}")),
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for (uuid, depth) in &known_tracks {
+        if *depth != 0 {
+            return Err(format!("track {uuid} ends with {depth} unclosed slices"));
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+    use lfm_simcluster::time::SimTime;
+
+    #[test]
+    fn exported_trace_validates_with_expected_counts() {
+        let r = Recorder::enabled();
+        r.span("outer", "sim")
+            .at(SimTime::from_secs(1.0), SimTime::from_secs(4.0))
+            .track(2)
+            .attr("k", 7u64)
+            .emit();
+        r.span("inner", "sim")
+            .at(SimTime::from_secs(2.0), SimTime::from_secs(3.0))
+            .track(2)
+            .task(5)
+            .emit();
+        r.instant("kill", "sim")
+            .at(SimTime::from_secs(3.0))
+            .track(2)
+            .emit();
+        r.counter_at("done", 1, SimTime::from_secs(3.0));
+        r.counter_at("done", 1, SimTime::from_secs(4.0));
+        r.gauge("pending", 2.5, SimTime::from_secs(2.0));
+        r.counter("untimed", 9); // aggregates only: skipped on the timeline
+        let trace = perfetto_trace(&r.take());
+        let stats = validate_trace(&trace).expect("trace must validate");
+        assert_eq!(stats.tracks, 4, "process + lane + 2 counter tracks");
+        assert_eq!(stats.slices, 2);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.counter_samples, 3);
+    }
+
+    #[test]
+    fn zero_duration_and_shared_timestamps_keep_depth_balanced() {
+        let r = Recorder::enabled();
+        // Outer span, inner span ending at the same instant, and a
+        // zero-duration span at that same timestamp.
+        r.span("outer", "sim")
+            .at(SimTime::from_secs(1.0), SimTime::from_secs(2.0))
+            .emit();
+        r.span("inner", "sim")
+            .at(SimTime::from_secs(1.5), SimTime::from_secs(2.0))
+            .emit();
+        r.span("blip", "sim")
+            .at(SimTime::from_secs(2.0), SimTime::from_secs(2.0))
+            .emit();
+        let trace = perfetto_trace(&r.take());
+        let stats = validate_trace(&trace).expect("nesting must stay balanced");
+        assert_eq!(stats.slices, 3);
+    }
+
+    #[test]
+    fn truncated_and_corrupt_traces_are_rejected() {
+        let r = Recorder::enabled();
+        r.counter_at("c", 1, SimTime::from_secs(1.0));
+        let trace = perfetto_trace(&r.take());
+        assert!(validate_trace(&trace[..trace.len() - 1]).is_err());
+        // An event referencing a track no descriptor declared.
+        let mut ev = Vec::new();
+        put_varint_field(&mut ev, TEV_TYPE, TYPE_INSTANT);
+        put_varint_field(&mut ev, TEV_TRACK_UUID, 99);
+        let mut bogus = Vec::new();
+        put_len_field(&mut bogus, 1, &packet(Some(5), &ev));
+        assert!(validate_trace(&bogus)
+            .unwrap_err()
+            .contains("undeclared track"));
+    }
+
+    #[test]
+    fn empty_stream_is_a_valid_single_descriptor_trace() {
+        let stats = validate_trace(&perfetto_trace(&[])).unwrap();
+        assert_eq!(stats.tracks, 1, "just the process track");
+        assert_eq!(stats.slices + stats.instants + stats.counter_samples, 0);
+    }
+}

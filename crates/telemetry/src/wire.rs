@@ -1,0 +1,983 @@
+//! The compact binary record protocol and its streaming decoder.
+//!
+//! Every emission encodes into a handful of bytes appended to the emitting
+//! thread's shard ring buffer: a tag byte (record kind + presence flags),
+//! varint-packed u64 fields, interned-string ids ([`Name`]) for every
+//! name/category/attr key, and delta-coded timestamps. The old hot path
+//! heap-allocated two `String`s and a ~150-byte enum per record; this one
+//! writes ~6–30 bytes with zero allocation.
+//!
+//! ## Record layout
+//!
+//! ```text
+//! tag: u8      bits 0..3 = kind   (0 Span, 1 Instant, 2 Counter,
+//!                                  3 CounterAt, 4 Gauge, 5 Observe)
+//!              bit 3 TIME_RAW     timestamps as raw f64 bits, not varint µs
+//!              bit 4 HAS_TASK     span/instant carries a task id; for
+//!                                 metrics the same bit is HAS_AT
+//!                                 (a simulated timestamp follows)
+//!              bit 5 HAS_ATTEMPT  span/instant carries an attempt number
+//!              bit 6 HAS_ATTRS    span/instant carries an attr list
+//!              bit 7 VAL_RAW      metric value as raw f64 bits
+//! seq:   varint  delta vs. the previous record in the same shard
+//!                (strictly increasing: the global counter is read under
+//!                the shard lock, so within a shard deltas never go back)
+//! name:  varint  interned id; spans/instants follow with cat: varint
+//! time:  spans   zigzag(start_µs − shard.last_µs) + varint(duration_µs),
+//!                or 16 raw LE f64 bytes when TIME_RAW
+//!        instants / timed metrics
+//!                zigzag(at_µs − shard.last_µs), or 8 raw f64 bytes
+//! rest:  spans   track varint, depth varint, [task], [attempt], [attrs]
+//!        instants track varint, [task], [attempt], [attrs]
+//!        counters delta varint;  gauges/observations value (varint u64
+//!                fast path for integral values, raw f64 otherwise)
+//! attrs: count varint, then per attr varint(key_id << 2 | vtag) with
+//!        vtag 0 = u64 varint, 1 = f64 raw, 2 = interned str id varint,
+//!        3 = integral f64 as varint
+//! ```
+//!
+//! Timestamps use the µs fast path only when `(µs as f64) / 1e6` exactly
+//! reproduces the original `f64` seconds — the decoder therefore
+//! reconstructs bit-identical floats and the exporters stay byte-identical
+//! with the old heap-record pipeline. Non-µs-representable times (and wall
+//! clock spans) fall back to raw f64 bits, flagged per record.
+//!
+//! [`ShardDecoder`] streams one shard's bytes back into [`Record`]s;
+//! [`MergeDecoder`] k-way-merges the per-shard streams on `seq`,
+//! reconstructing the total order without materialising or sorting the
+//! whole stream first. Decoding is fully bounds-checked: truncated or
+//! corrupt input yields [`DecodeError`], never a panic.
+
+use crate::intern::Name;
+use crate::record::{AttrValue, InstantRecord, MetricKind, MetricRecord, Record, SpanRecord};
+
+pub(crate) const KIND_SPAN: u8 = 0;
+pub(crate) const KIND_INSTANT: u8 = 1;
+pub(crate) const KIND_COUNTER: u8 = 2;
+pub(crate) const KIND_COUNTER_AT: u8 = 3;
+pub(crate) const KIND_GAUGE: u8 = 4;
+pub(crate) const KIND_OBSERVE: u8 = 5;
+const KIND_MASK: u8 = 0b111;
+
+pub(crate) const FLAG_TIME_RAW: u8 = 1 << 3;
+pub(crate) const FLAG_TASK: u8 = 1 << 4;
+/// Shared bit: metric records never carry task ids, so the task bit
+/// doubles as "a timestamp follows".
+pub(crate) const FLAG_AT: u8 = FLAG_TASK;
+pub(crate) const FLAG_ATTEMPT: u8 = 1 << 5;
+pub(crate) const FLAG_ATTRS: u8 = 1 << 6;
+pub(crate) const FLAG_VAL_RAW: u8 = 1 << 7;
+
+/// Attr value as carried on the wire: already interned, `Copy`, no heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireVal {
+    U64(u64),
+    F64(f64),
+    Str(Name),
+}
+
+/// Public wrapper accepted by the builder `attr` methods; mirrors the
+/// `From` conversions [`AttrValue`] offers, but interns strings instead of
+/// boxing them.
+#[derive(Debug, Clone, Copy)]
+pub struct AttrVal(pub(crate) WireVal);
+
+impl From<u64> for AttrVal {
+    fn from(v: u64) -> Self {
+        AttrVal(WireVal::U64(v))
+    }
+}
+
+impl From<f64> for AttrVal {
+    fn from(v: f64) -> Self {
+        AttrVal(WireVal::F64(v))
+    }
+}
+
+impl From<&str> for AttrVal {
+    fn from(v: &str) -> Self {
+        AttrVal(WireVal::Str(Name::intern(v)))
+    }
+}
+
+impl From<String> for AttrVal {
+    fn from(v: String) -> Self {
+        AttrVal(WireVal::Str(Name::intern(&v)))
+    }
+}
+
+impl From<Name> for AttrVal {
+    fn from(v: Name) -> Self {
+        AttrVal(WireVal::Str(v))
+    }
+}
+
+/// Attrs inline up to the workspace maximum (the widest emitter, the
+/// `exec` span, carries 7); the rare overflow spills to the heap rather
+/// than silently dropping.
+const INLINE_ATTRS: usize = 8;
+
+#[derive(Debug)]
+pub(crate) struct AttrList {
+    len: u8,
+    inline: [(Name, WireVal); INLINE_ATTRS],
+    spill: Vec<(Name, WireVal)>,
+}
+
+impl Default for AttrList {
+    fn default() -> Self {
+        AttrList {
+            len: 0,
+            inline: [(Name(0), WireVal::U64(0)); INLINE_ATTRS],
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl AttrList {
+    pub(crate) fn push(&mut self, key: Name, val: WireVal) {
+        if (self.len as usize) < INLINE_ATTRS {
+            self.inline[self.len as usize] = (key, val);
+            self.len += 1;
+        } else {
+            self.spill.push((key, val));
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn count(&self) -> usize {
+        self.len as usize + self.spill.len()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &(Name, WireVal)> {
+        self.inline[..self.len as usize].iter().chain(&self.spill)
+    }
+}
+
+/// A span waiting to be encoded (held by the builder, on the stack).
+#[derive(Debug, Default)]
+pub(crate) struct PendingSpan {
+    pub name: Name,
+    pub cat: Name,
+    pub start_secs: f64,
+    pub end_secs: f64,
+    pub track: u64,
+    pub depth: u32,
+    pub task: Option<u64>,
+    pub attempt: Option<u32>,
+    pub attrs: AttrList,
+}
+
+/// An instant waiting to be encoded.
+#[derive(Debug, Default)]
+pub(crate) struct PendingInstant {
+    pub name: Name,
+    pub cat: Name,
+    pub at_secs: f64,
+    pub track: u64,
+    pub task: Option<u64>,
+    pub attempt: Option<u32>,
+    pub attrs: AttrList,
+}
+
+/// Per-shard codec state: both ends of the wire track it identically, so
+/// it never travels. Reset when a shard buffer is drained.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct CodecState {
+    last_seq: u64,
+    last_us: u64,
+}
+
+// ---------------------------------------------------------------------
+// varint primitives
+// ---------------------------------------------------------------------
+
+#[inline]
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// `Some(µs)` iff dividing back by 1e6 reproduces `secs` bit-exactly —
+/// the condition under which the varint time path is lossless.
+#[inline]
+fn as_exact_micros(secs: f64) -> Option<u64> {
+    if secs < 0.0 || secs.is_nan() {
+        return None;
+    }
+    let us = (secs * 1e6).round();
+    if us >= 9_007_199_254_740_992.0 {
+        return None; // beyond 2^53: u64→f64 no longer exact
+    }
+    let u = us as u64;
+    if (u as f64) / 1e6 == secs {
+        Some(u)
+    } else {
+        None
+    }
+}
+
+/// `Some(n)` iff `n as f64` reproduces `v` bit-exactly (integral fast
+/// path for gauge/observation values).
+#[inline]
+fn as_exact_u64(v: f64) -> Option<u64> {
+    if v.is_nan() || !(0.0..9_007_199_254_740_992.0).contains(&v) {
+        return None;
+    }
+    let u = v as u64;
+    if u as f64 == v {
+        Some(u)
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// encode
+// ---------------------------------------------------------------------
+
+fn put_attrs(buf: &mut Vec<u8>, attrs: &AttrList) {
+    put_varint(buf, attrs.count() as u64);
+    for (key, val) in attrs.iter() {
+        match val {
+            WireVal::U64(v) => {
+                put_varint(buf, (key.0 as u64) << 2);
+                put_varint(buf, *v);
+            }
+            WireVal::F64(v) => {
+                if let Some(u) = as_exact_u64(*v) {
+                    put_varint(buf, (key.0 as u64) << 2 | 3);
+                    put_varint(buf, u);
+                } else {
+                    put_varint(buf, (key.0 as u64) << 2 | 1);
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            WireVal::Str(id) => {
+                put_varint(buf, (key.0 as u64) << 2 | 2);
+                put_varint(buf, id.0 as u64);
+            }
+        }
+    }
+}
+
+fn put_seq(buf: &mut Vec<u8>, st: &mut CodecState, seq: u64) {
+    debug_assert!(seq >= st.last_seq || st.last_seq == 0);
+    put_varint(buf, seq.wrapping_sub(st.last_seq));
+    st.last_seq = seq;
+}
+
+/// Encode one span into a shard buffer.
+pub(crate) fn encode_span(buf: &mut Vec<u8>, st: &mut CodecState, seq: u64, s: &PendingSpan) {
+    let mut tag = KIND_SPAN;
+    let times = match (as_exact_micros(s.start_secs), as_exact_micros(s.end_secs)) {
+        (Some(a), Some(b)) if b >= a => Some((a, b)),
+        _ => None,
+    };
+    if times.is_none() {
+        tag |= FLAG_TIME_RAW;
+    }
+    if s.task.is_some() {
+        tag |= FLAG_TASK;
+    }
+    if s.attempt.is_some() {
+        tag |= FLAG_ATTEMPT;
+    }
+    if !s.attrs.is_empty() {
+        tag |= FLAG_ATTRS;
+    }
+    buf.push(tag);
+    put_seq(buf, st, seq);
+    put_varint(buf, s.name.0 as u64);
+    put_varint(buf, s.cat.0 as u64);
+    match times {
+        Some((start_us, end_us)) => {
+            put_varint(buf, zigzag(start_us as i64 - st.last_us as i64));
+            put_varint(buf, end_us - start_us);
+            st.last_us = start_us;
+        }
+        None => {
+            buf.extend_from_slice(&s.start_secs.to_le_bytes());
+            buf.extend_from_slice(&s.end_secs.to_le_bytes());
+        }
+    }
+    put_varint(buf, s.track);
+    put_varint(buf, s.depth as u64);
+    if let Some(t) = s.task {
+        put_varint(buf, t);
+    }
+    if let Some(a) = s.attempt {
+        put_varint(buf, a as u64);
+    }
+    if !s.attrs.is_empty() {
+        put_attrs(buf, &s.attrs);
+    }
+}
+
+/// Encode one instant into a shard buffer.
+pub(crate) fn encode_instant(buf: &mut Vec<u8>, st: &mut CodecState, seq: u64, i: &PendingInstant) {
+    let mut tag = KIND_INSTANT;
+    let at = as_exact_micros(i.at_secs);
+    if at.is_none() {
+        tag |= FLAG_TIME_RAW;
+    }
+    if i.task.is_some() {
+        tag |= FLAG_TASK;
+    }
+    if i.attempt.is_some() {
+        tag |= FLAG_ATTEMPT;
+    }
+    if !i.attrs.is_empty() {
+        tag |= FLAG_ATTRS;
+    }
+    buf.push(tag);
+    put_seq(buf, st, seq);
+    put_varint(buf, i.name.0 as u64);
+    put_varint(buf, i.cat.0 as u64);
+    match at {
+        Some(us) => {
+            put_varint(buf, zigzag(us as i64 - st.last_us as i64));
+            st.last_us = us;
+        }
+        None => buf.extend_from_slice(&i.at_secs.to_le_bytes()),
+    }
+    put_varint(buf, i.track);
+    if let Some(t) = i.task {
+        put_varint(buf, t);
+    }
+    if let Some(a) = i.attempt {
+        put_varint(buf, a as u64);
+    }
+    if !i.attrs.is_empty() {
+        put_attrs(buf, &i.attrs);
+    }
+}
+
+/// Encode one metric sample (counter / gauge / observation).
+pub(crate) fn encode_metric(
+    buf: &mut Vec<u8>,
+    st: &mut CodecState,
+    seq: u64,
+    name: Name,
+    kind: MetricKind,
+    value: f64,
+    at_secs: Option<f64>,
+) {
+    let mut tag = match (kind, at_secs.is_some()) {
+        (MetricKind::Counter, false) => KIND_COUNTER,
+        (MetricKind::Counter, true) => KIND_COUNTER_AT,
+        (MetricKind::Gauge, _) => KIND_GAUGE,
+        (MetricKind::Histogram, _) => KIND_OBSERVE,
+    };
+    let at = at_secs.and_then(as_exact_micros);
+    if at_secs.is_some() {
+        tag |= FLAG_AT;
+        if at.is_none() {
+            tag |= FLAG_TIME_RAW;
+        }
+    }
+    let value_packed = match as_exact_u64(value) {
+        Some(_) => true,
+        None => {
+            tag |= FLAG_VAL_RAW;
+            false
+        }
+    };
+    buf.push(tag);
+    put_seq(buf, st, seq);
+    put_varint(buf, name.0 as u64);
+    if let Some(secs) = at_secs {
+        match at {
+            Some(us) => {
+                put_varint(buf, zigzag(us as i64 - st.last_us as i64));
+                st.last_us = us;
+            }
+            None => buf.extend_from_slice(&secs.to_le_bytes()),
+        }
+    }
+    if value_packed {
+        put_varint(buf, value as u64);
+    } else {
+        buf.extend_from_slice(&value.to_le_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------
+// decode
+// ---------------------------------------------------------------------
+
+/// Why a shard's byte stream stopped decoding. Never a panic: a truncated
+/// final record (e.g. a crash mid-append, or a fuzzer chop) surfaces here
+/// and the already-decoded prefix stands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended inside a record at this byte offset.
+    Truncated { at: usize },
+    /// An undefined record kind.
+    BadTag { at: usize, tag: u8 },
+    /// A string id that was never interned in this process.
+    BadName { at: usize, id: u64 },
+    /// A field that decodes to an impossible value (negative time delta
+    /// below zero, oversized varint, ...).
+    Corrupt { at: usize, what: &'static str },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { at } => write!(f, "record truncated at byte {at}"),
+            DecodeError::BadTag { at, tag } => write!(f, "bad record tag {tag:#x} at byte {at}"),
+            DecodeError::BadName { at, id } => write!(f, "unknown string id {id} at byte {at}"),
+            DecodeError::Corrupt { at, what } => write!(f, "corrupt field ({what}) at byte {at}"),
+        }
+    }
+}
+
+/// Streaming decoder over one shard's bytes. Yields records in shard
+/// (= seq) order; stops at the first error, which [`Iterator::next`]
+/// reports once and then fuses.
+pub struct ShardDecoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    st: CodecState,
+    failed: bool,
+}
+
+impl<'a> ShardDecoder<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ShardDecoder {
+            bytes,
+            pos: 0,
+            st: CodecState::default(),
+            failed: false,
+        }
+    }
+
+    /// Bytes consumed so far (diagnostics).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or(DecodeError::Truncated { at: self.pos })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn get_varint(&mut self) -> Result<u64, DecodeError> {
+        let start = self.pos;
+        let mut out: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.get_u8()?;
+            if shift == 63 && b > 1 {
+                return Err(DecodeError::Corrupt {
+                    at: start,
+                    what: "varint overflow",
+                });
+            }
+            out |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(DecodeError::Corrupt {
+                    at: start,
+                    what: "varint too long",
+                });
+            }
+        }
+    }
+
+    fn get_f64(&mut self) -> Result<f64, DecodeError> {
+        let end = self
+            .pos
+            .checked_add(8)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(DecodeError::Truncated { at: self.pos })?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.bytes[self.pos..end]);
+        self.pos = end;
+        Ok(f64::from_le_bytes(raw))
+    }
+
+    fn get_name(&mut self) -> Result<&'static str, DecodeError> {
+        let at = self.pos;
+        let id = self.get_varint()?;
+        u32::try_from(id)
+            .ok()
+            .and_then(|id| Name(id).resolve())
+            .ok_or(DecodeError::BadName { at, id })
+    }
+
+    /// A timestamp: varint µs delta against shard state, or raw f64.
+    fn get_time(&mut self, raw: bool) -> Result<f64, DecodeError> {
+        if raw {
+            return self.get_f64();
+        }
+        let at = self.pos;
+        let delta = unzigzag(self.get_varint()?);
+        let us = (self.st.last_us as i64)
+            .checked_add(delta)
+            .ok_or(DecodeError::Corrupt {
+                at,
+                what: "time delta overflow",
+            })?;
+        if us < 0 {
+            return Err(DecodeError::Corrupt {
+                at,
+                what: "negative time",
+            });
+        }
+        self.st.last_us = us as u64;
+        Ok(us as f64 / 1e6)
+    }
+
+    fn get_attrs(&mut self) -> Result<Vec<(String, AttrValue)>, DecodeError> {
+        let at = self.pos;
+        let n = self.get_varint()?;
+        if n > 1 << 20 {
+            return Err(DecodeError::Corrupt {
+                at,
+                what: "absurd attr count",
+            });
+        }
+        let mut attrs = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let at = self.pos;
+            let packed = self.get_varint()?;
+            let key_id = packed >> 2;
+            let key = u32::try_from(key_id)
+                .ok()
+                .and_then(|id| Name(id).resolve())
+                .ok_or(DecodeError::BadName { at, id: key_id })?;
+            let value = match packed & 3 {
+                0 => AttrValue::U64(self.get_varint()?),
+                1 => AttrValue::F64(self.get_f64()?),
+                2 => {
+                    let at = self.pos;
+                    let id = self.get_varint()?;
+                    let s = u32::try_from(id)
+                        .ok()
+                        .and_then(|id| Name(id).resolve())
+                        .ok_or(DecodeError::BadName { at, id })?;
+                    AttrValue::Str(s.to_string())
+                }
+                _ => AttrValue::F64(self.get_varint()? as f64),
+            };
+            attrs.push((key.to_string(), value));
+        }
+        Ok(attrs)
+    }
+
+    fn decode_one(&mut self) -> Result<Record, DecodeError> {
+        let at = self.pos;
+        let tag = self.get_u8()?;
+        let kind = tag & KIND_MASK;
+        let raw_time = tag & FLAG_TIME_RAW != 0;
+        let seq = self.st.last_seq.wrapping_add(self.get_varint()?);
+        self.st.last_seq = seq;
+        match kind {
+            KIND_SPAN => {
+                let name = self.get_name()?.to_string();
+                let cat = self.get_name()?.to_string();
+                let (start_secs, end_secs) = if raw_time {
+                    (self.get_f64()?, self.get_f64()?)
+                } else {
+                    let start = self.get_time(false)?;
+                    let dur_us = self.get_varint()?;
+                    let end_us =
+                        self.st
+                            .last_us
+                            .checked_add(dur_us)
+                            .ok_or(DecodeError::Corrupt {
+                                at,
+                                what: "duration overflow",
+                            })?;
+                    (start, end_us as f64 / 1e6)
+                };
+                let track = self.get_varint()?;
+                let depth = self.get_varint()? as u32;
+                let task = (tag & FLAG_TASK != 0)
+                    .then(|| self.get_varint())
+                    .transpose()?;
+                let attempt = (tag & FLAG_ATTEMPT != 0)
+                    .then(|| self.get_varint().map(|v| v as u32))
+                    .transpose()?;
+                let attrs = if tag & FLAG_ATTRS != 0 {
+                    self.get_attrs()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Record::Span(SpanRecord {
+                    seq,
+                    name,
+                    cat,
+                    start_secs,
+                    end_secs,
+                    track,
+                    depth,
+                    task,
+                    attempt,
+                    attrs,
+                }))
+            }
+            KIND_INSTANT => {
+                let name = self.get_name()?.to_string();
+                let cat = self.get_name()?.to_string();
+                let at_secs = self.get_time(raw_time)?;
+                let track = self.get_varint()?;
+                let task = (tag & FLAG_TASK != 0)
+                    .then(|| self.get_varint())
+                    .transpose()?;
+                let attempt = (tag & FLAG_ATTEMPT != 0)
+                    .then(|| self.get_varint().map(|v| v as u32))
+                    .transpose()?;
+                let attrs = if tag & FLAG_ATTRS != 0 {
+                    self.get_attrs()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Record::Instant(InstantRecord {
+                    seq,
+                    name,
+                    cat,
+                    at_secs,
+                    track,
+                    task,
+                    attempt,
+                    attrs,
+                }))
+            }
+            KIND_COUNTER | KIND_COUNTER_AT | KIND_GAUGE | KIND_OBSERVE => {
+                let name = self.get_name()?.to_string();
+                let metric_kind = match kind {
+                    KIND_COUNTER | KIND_COUNTER_AT => MetricKind::Counter,
+                    KIND_GAUGE => MetricKind::Gauge,
+                    _ => MetricKind::Histogram,
+                };
+                let at_secs = if tag & FLAG_AT != 0 {
+                    Some(self.get_time(raw_time)?)
+                } else {
+                    None
+                };
+                let value = if tag & FLAG_VAL_RAW != 0 {
+                    self.get_f64()?
+                } else {
+                    self.get_varint()? as f64
+                };
+                Ok(Record::Metric(MetricRecord {
+                    seq,
+                    name,
+                    kind: metric_kind,
+                    value,
+                    at_secs,
+                }))
+            }
+            _ => Err(DecodeError::BadTag { at, tag }),
+        }
+    }
+}
+
+impl Iterator for ShardDecoder<'_> {
+    type Item = Result<Record, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.pos >= self.bytes.len() {
+            return None;
+        }
+        match self.decode_one() {
+            Ok(r) => Some(Ok(r)),
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// K-way merge of per-shard streams on `seq`, reconstructing the global
+/// total order as a stream — no whole-buffer sort, O(shards) per record.
+pub struct MergeDecoder<'a> {
+    decoders: Vec<ShardDecoder<'a>>,
+    heads: Vec<Option<Record>>,
+    errors: Vec<DecodeError>,
+}
+
+impl<'a> MergeDecoder<'a> {
+    pub fn new(shards: impl IntoIterator<Item = &'a [u8]>) -> Self {
+        let mut decoders: Vec<ShardDecoder<'a>> =
+            shards.into_iter().map(ShardDecoder::new).collect();
+        let mut errors = Vec::new();
+        let heads = decoders
+            .iter_mut()
+            .map(|d| Self::pull(d, &mut errors))
+            .collect();
+        MergeDecoder {
+            decoders,
+            heads,
+            errors,
+        }
+    }
+
+    fn pull(d: &mut ShardDecoder<'a>, errors: &mut Vec<DecodeError>) -> Option<Record> {
+        match d.next() {
+            Some(Ok(r)) => Some(r),
+            Some(Err(e)) => {
+                errors.push(e);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Decode errors hit so far (a shard that errors stops contributing
+    /// but the merge continues over the healthy shards).
+    pub fn errors(&self) -> &[DecodeError] {
+        &self.errors
+    }
+}
+
+impl Iterator for MergeDecoder<'_> {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, head) in self.heads.iter().enumerate() {
+            if let Some(r) = head {
+                let seq = r.seq();
+                let better = match best {
+                    None => true,
+                    Some((_, s)) => seq < s,
+                };
+                if better {
+                    best = Some((i, seq));
+                }
+            }
+        }
+        let (i, _) = best?;
+        let out = self.heads[i].take();
+        self.heads[i] = Self::pull(&mut self.decoders[i], &mut self.errors);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(seq: u64, start: f64, end: f64) -> (Vec<u8>, Record) {
+        let mut buf = Vec::new();
+        let mut st = CodecState::default();
+        let pending = PendingSpan {
+            name: Name::intern("wire.test.span"),
+            cat: Name::intern("wire.test"),
+            start_secs: start,
+            end_secs: end,
+            track: 3,
+            depth: 1,
+            task: Some(42),
+            attempt: Some(2),
+            attrs: {
+                let mut a = AttrList::default();
+                a.push(Name::intern("polls"), WireVal::U64(7));
+                a.push(Name::intern("peak"), WireVal::F64(1.25));
+                a.push(Name::intern("status"), WireVal::Str(Name::intern("ok")));
+                a
+            },
+        };
+        encode_span(&mut buf, &mut st, seq, &pending);
+        let want = Record::Span(SpanRecord {
+            seq,
+            name: "wire.test.span".into(),
+            cat: "wire.test".into(),
+            start_secs: start,
+            end_secs: end,
+            track: 3,
+            depth: 1,
+            task: Some(42),
+            attempt: Some(2),
+            attrs: vec![
+                ("polls".into(), AttrValue::U64(7)),
+                ("peak".into(), AttrValue::F64(1.25)),
+                ("status".into(), AttrValue::Str("ok".into())),
+            ],
+        });
+        (buf, want)
+    }
+
+    #[test]
+    fn span_round_trips_exactly() {
+        for (start, end) in [
+            (0.0, 0.0),
+            (1.0, 3.5),
+            (0.1, 0.30000000000000004),
+            (12.000000000000002, 17.999999999999996),
+            (1e9, 1e9 + 0.5),
+        ] {
+            let (buf, want) = span(5, start, end);
+            let got: Vec<_> = ShardDecoder::new(&buf).collect::<Result<_, _>>().unwrap();
+            assert_eq!(got, vec![want], "times {start}..{end}");
+        }
+    }
+
+    #[test]
+    fn metrics_round_trip_exactly() {
+        let mut buf = Vec::new();
+        let mut st = CodecState::default();
+        let name = Name::intern("wire.test.metric");
+        encode_metric(&mut buf, &mut st, 0, name, MetricKind::Counter, 3.0, None);
+        encode_metric(
+            &mut buf,
+            &mut st,
+            1,
+            name,
+            MetricKind::Counter,
+            1.0,
+            Some(2.5),
+        );
+        encode_metric(
+            &mut buf,
+            &mut st,
+            2,
+            name,
+            MetricKind::Gauge,
+            17.0,
+            Some(2.75),
+        );
+        encode_metric(
+            &mut buf,
+            &mut st,
+            3,
+            name,
+            MetricKind::Gauge,
+            0.336,
+            Some(3.0000000000000004),
+        );
+        encode_metric(
+            &mut buf,
+            &mut st,
+            9,
+            name,
+            MetricKind::Histogram,
+            123.456,
+            None,
+        );
+        let got: Vec<_> = ShardDecoder::new(&buf).collect::<Result<_, _>>().unwrap();
+        let values: Vec<(u64, f64, Option<f64>)> = got
+            .iter()
+            .map(|r| match r {
+                Record::Metric(m) => (m.seq, m.value, m.at_secs),
+                _ => panic!("expected metric"),
+            })
+            .collect();
+        assert_eq!(
+            values,
+            vec![
+                (0, 3.0, None),
+                (1, 1.0, Some(2.5)),
+                (2, 17.0, Some(2.75)),
+                (3, 0.336, Some(3.0000000000000004)),
+                (9, 123.456, None),
+            ]
+        );
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let (buf, _) = span(0, 1.0, 2.0);
+        for cut in 0..buf.len() {
+            let mut dec = ShardDecoder::new(&buf[..cut]);
+            match dec.next() {
+                None => assert_eq!(cut, 0, "only the empty prefix yields nothing"),
+                Some(Err(_)) => {}
+                Some(Ok(r)) => panic!("decoded {r:?} from a {cut}-byte prefix"),
+            }
+            assert!(dec.next().is_none(), "decoder fuses after an error");
+        }
+    }
+
+    #[test]
+    fn corrupt_tag_and_name_error_cleanly() {
+        // Undefined kind 7.
+        let mut dec = ShardDecoder::new(&[0x07, 0x00]);
+        assert!(matches!(dec.next(), Some(Err(DecodeError::BadTag { .. }))));
+        // Counter with an id far past anything interned.
+        let mut buf = vec![KIND_COUNTER, 0x00];
+        put_varint(&mut buf, u32::MAX as u64 - 1);
+        put_varint(&mut buf, 1);
+        let mut dec = ShardDecoder::new(&buf);
+        assert!(matches!(dec.next(), Some(Err(DecodeError::BadName { .. }))));
+    }
+
+    #[test]
+    fn merge_reconstructs_total_order() {
+        // Interleave seqs 0..30 across 3 "shards".
+        let mut bufs = vec![Vec::new(); 3];
+        let mut states = [CodecState::default(); 3];
+        let name = Name::intern("wire.test.merge");
+        for seq in 0..30u64 {
+            let shard = (seq % 3) as usize;
+            encode_metric(
+                &mut bufs[shard],
+                &mut states[shard],
+                seq,
+                name,
+                MetricKind::Counter,
+                1.0,
+                None,
+            );
+        }
+        let merged: Vec<_> = MergeDecoder::new(bufs.iter().map(|b| b.as_slice())).collect();
+        let seqs: Vec<u64> = merged.iter().map(Record::seq).collect();
+        assert_eq!(seqs, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_survives_one_truncated_shard() {
+        let mut good = Vec::new();
+        let mut st = CodecState::default();
+        let name = Name::intern("wire.test.survive");
+        for seq in [0u64, 2, 4] {
+            encode_metric(
+                &mut good,
+                &mut st,
+                seq,
+                name,
+                MetricKind::Counter,
+                1.0,
+                None,
+            );
+        }
+        let mut bad = Vec::new();
+        let mut st = CodecState::default();
+        for seq in [1u64, 3] {
+            encode_metric(&mut bad, &mut st, seq, name, MetricKind::Counter, 1.0, None);
+        }
+        bad.truncate(bad.len() - 1); // chop the final record mid-field
+        let mut merge = MergeDecoder::new([good.as_slice(), bad.as_slice()]);
+        let seqs: Vec<u64> = merge.by_ref().map(|r| r.seq()).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 4], "healthy records all survive");
+        assert_eq!(merge.errors().len(), 1);
+    }
+}

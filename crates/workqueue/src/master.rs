@@ -28,9 +28,127 @@ use lfm_simcluster::rng::SimRng;
 use lfm_simcluster::sharedfs::{SharedFs, SharedFsParams};
 use lfm_simcluster::storage::LocalDisk;
 use lfm_simcluster::time::SimTime;
-use lfm_telemetry::Recorder;
+use lfm_telemetry::{Name, Recorder};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::OnceLock;
+
+/// Pre-interned telemetry names for the master's emission sites.
+///
+/// Interning happens once per process (first use); every emission after
+/// that carries a `u32` id instead of hashing a string, which is what
+/// keeps full instrumentation within the <5% overhead budget at
+/// federation/serving scale (see `lfm_telemetry::intern`).
+struct TelKeys {
+    // categories
+    cat_master: Name,
+    cat_worker: Name,
+    cat_lfm: Name,
+    cat_faults: Name,
+    // counters / gauges / observations
+    event_worker_up: Name,
+    event_worker_down: Name,
+    event_task_done: Name,
+    event_submit: Name,
+    fed_stolen_in: Name,
+    journal_snapshot: Name,
+    journal_replayed_events: Name,
+    master_crash: Name,
+    master_recovered: Name,
+    master_retry: Name,
+    master_abandoned: Name,
+    master_task_done: Name,
+    master_pending_tasks: Name,
+    worker_cache_hit: Name,
+    worker_cache_miss: Name,
+    worker_transfer_bytes: Name,
+    turnaround_s: Name,
+    // span / instant names
+    queue_wait: Name,
+    dispatch: Name,
+    task_lost: Name,
+    result_lost: Name,
+    lease_reclaim: Name,
+    quarantine: Name,
+    quarantine_release: Name,
+    infra_requeue: Name,
+    degrade_to_shared_fs: Name,
+    spurious_kill: Name,
+    retry: Name,
+    limit_kill: Name,
+    stage_in: Name,
+    exec: Name,
+    stage_out: Name,
+    task: Name,
+    // attr keys
+    a_category: Name,
+    a_cores: Name,
+    a_memory_mb: Name,
+    a_zombie: Name,
+    a_backoff_s: Name,
+    a_status: Name,
+    a_polls: Name,
+    a_peak_rss_mb: Name,
+    a_peak_disk_mb: Name,
+    a_cpu_s: Name,
+    a_monitor_overhead_s: Name,
+    a_limit: Name,
+}
+
+fn tk() -> &'static TelKeys {
+    static KEYS: OnceLock<TelKeys> = OnceLock::new();
+    KEYS.get_or_init(|| TelKeys {
+        cat_master: Name::intern("master"),
+        cat_worker: Name::intern("worker"),
+        cat_lfm: Name::intern("lfm"),
+        cat_faults: Name::intern("faults"),
+        event_worker_up: Name::intern("event.worker_up"),
+        event_worker_down: Name::intern("event.worker_down"),
+        event_task_done: Name::intern("event.task_done"),
+        event_submit: Name::intern("event.submit"),
+        fed_stolen_in: Name::intern("fed.stolen_in"),
+        journal_snapshot: Name::intern("journal.snapshot"),
+        journal_replayed_events: Name::intern("journal.replayed_events"),
+        master_crash: Name::intern("master.crash"),
+        master_recovered: Name::intern("master.recovered"),
+        master_retry: Name::intern("master.retry"),
+        master_abandoned: Name::intern("master.abandoned"),
+        master_task_done: Name::intern("master.task_done"),
+        master_pending_tasks: Name::intern("master.pending_tasks"),
+        worker_cache_hit: Name::intern("worker.cache_hit"),
+        worker_cache_miss: Name::intern("worker.cache_miss"),
+        worker_transfer_bytes: Name::intern("worker.transfer_bytes"),
+        turnaround_s: Name::intern("turnaround_s"),
+        queue_wait: Name::intern("queue_wait"),
+        dispatch: Name::intern("dispatch"),
+        task_lost: Name::intern("task_lost"),
+        result_lost: Name::intern("result_lost"),
+        lease_reclaim: Name::intern("lease_reclaim"),
+        quarantine: Name::intern("quarantine"),
+        quarantine_release: Name::intern("quarantine_release"),
+        infra_requeue: Name::intern("infra_requeue"),
+        degrade_to_shared_fs: Name::intern("degrade_to_shared_fs"),
+        spurious_kill: Name::intern("spurious_kill"),
+        retry: Name::intern("retry"),
+        limit_kill: Name::intern("limit_kill"),
+        stage_in: Name::intern("stage_in"),
+        exec: Name::intern("exec"),
+        stage_out: Name::intern("stage_out"),
+        task: Name::intern("task"),
+        a_category: Name::intern("category"),
+        a_cores: Name::intern("cores"),
+        a_memory_mb: Name::intern("memory_mb"),
+        a_zombie: Name::intern("zombie"),
+        a_backoff_s: Name::intern("backoff_s"),
+        a_status: Name::intern("status"),
+        a_polls: Name::intern("polls"),
+        a_peak_rss_mb: Name::intern("peak_rss_mb"),
+        a_peak_disk_mb: Name::intern("peak_disk_mb"),
+        a_cpu_s: Name::intern("cpu_s"),
+        a_monitor_overhead_s: Name::intern("monitor_overhead_s"),
+        a_limit: Name::intern("limit"),
+    })
+}
 
 /// How environments reach workers (§V-D).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -959,7 +1077,9 @@ impl Master {
     fn handle_event(&mut self, now: SimTime, event: Event) {
         match event {
             Event::WorkerUp { id } => {
-                self.config.telemetry.counter_at("event.worker_up", 1, now);
+                self.config
+                    .telemetry
+                    .counter_at_key(tk().event_worker_up, 1, now);
                 let mut worker = Worker::new(id, self.spec);
                 // Per-worker fault properties are keyed by worker id,
                 // not drawn from a shared stream, so they are identical
@@ -982,12 +1102,14 @@ impl Master {
             Event::WorkerDown { id } => {
                 self.config
                     .telemetry
-                    .counter_at("event.worker_down", 1, now);
+                    .counter_at_key(tk().event_worker_down, 1, now);
                 self.evict_worker(now, id);
                 self.dispatch(now);
             }
             Event::TaskDone(info) => {
-                self.config.telemetry.counter_at("event.task_done", 1, now);
+                self.config
+                    .telemetry
+                    .counter_at_key(tk().event_task_done, 1, now);
                 // A placement lost with its worker (or reclaimed by its
                 // lease) was already rescheduled; drop the stale
                 // completion.
@@ -1039,7 +1161,9 @@ impl Master {
                 if let Some(f) = self.fed.as_mut() {
                     f.inbound_pending = f.inbound_pending.saturating_sub(1);
                 }
-                self.config.telemetry.counter_at("fed.stolen_in", 1, now);
+                self.config
+                    .telemetry
+                    .counter_at_key(tk().fed_stolen_in, 1, now);
                 self.enqueue_back(Pending {
                     task_idx,
                     attempt,
@@ -1051,7 +1175,7 @@ impl Master {
             Event::Submit(specs) => {
                 self.config
                     .telemetry
-                    .counter_at("event.submit", specs.len() as u64, now);
+                    .counter_at_key(tk().event_submit, specs.len() as u64, now);
                 for spec in specs {
                     self.admit_streamed(now, spec);
                 }
@@ -1150,12 +1274,12 @@ impl Master {
                     .install_snapshot(&img);
                 self.config
                     .telemetry
-                    .counter_at("journal.snapshot", 1, self.queue.now());
+                    .counter_at_key(tk().journal_snapshot, 1, self.queue.now());
             }
         }
         self.maybe_scale(self.queue.now());
-        self.config.telemetry.gauge(
-            "master.pending_tasks",
+        self.config.telemetry.gauge_key(
+            tk().master_pending_tasks,
             self.pending_len() as f64,
             self.queue.now(),
         );
@@ -1199,7 +1323,9 @@ impl Master {
     fn crash(&mut self, now: SimTime) {
         self.master_crashes += 1;
         self.next_crash += 1;
-        self.config.telemetry.counter_at("master.crash", 1, now);
+        self.config
+            .telemetry
+            .counter_at_key(tk().master_crash, 1, now);
         // Master-side timers (leases, backoffs, quarantine releases) died
         // with the process; only the physical world's events survive.
         self.queue.retain(Event::is_world);
@@ -1219,7 +1345,7 @@ impl Master {
                 self.replayed_events += replayed;
                 self.config
                     .telemetry
-                    .counter_at("journal.replayed_events", replayed, now);
+                    .counter_at_key(tk().journal_replayed_events, replayed, now);
                 self.restore_from_image(&img, resume_at);
                 self.recoveries += 1;
             }
@@ -1233,7 +1359,9 @@ impl Master {
     /// while it was down (in their original order), then resume dispatching.
     fn come_back_up(&mut self, now: SimTime) {
         self.down = false;
-        self.config.telemetry.counter_at("master.recovered", 1, now);
+        self.config
+            .telemetry
+            .counter_at_key(tk().master_recovered, 1, now);
         let deferred = std::mem::take(&mut self.deferred);
         for ev in deferred {
             self.handle_event(now, ev);
@@ -1243,7 +1371,7 @@ impl Master {
         self.maybe_scale(now);
         self.config
             .telemetry
-            .gauge("master.pending_tasks", self.pending_len() as f64, now);
+            .gauge_key(tk().master_pending_tasks, self.pending_len() as f64, now);
     }
 
     /// Fold the journal (base snapshot plus record tail) into the image the
@@ -1924,7 +2052,7 @@ impl Master {
             }
             self.config
                 .telemetry
-                .instant("task_lost", "master")
+                .instant_key(tk().task_lost, tk().cat_master)
                 .at(now)
                 .track(id as u64)
                 .task(self.tasks[p.task_idx].id.0)
@@ -2181,7 +2309,7 @@ impl Master {
         if now > item.since {
             self.config
                 .telemetry
-                .span("queue_wait", "master")
+                .span_key(tk().queue_wait, tk().cat_master)
                 .at(item.since, now)
                 .track(wid as u64)
                 .task(tid)
@@ -2190,14 +2318,14 @@ impl Master {
         }
         self.config
             .telemetry
-            .instant("dispatch", "master")
+            .instant_key(tk().dispatch, tk().cat_master)
             .at(now)
             .track(wid as u64)
             .task(tid)
             .attempt(attempt)
-            .attr("category", self.tasks[task_idx].category.as_str())
-            .attr("cores", alloc.cores as u64)
-            .attr("memory_mb", alloc.memory_mb)
+            .attr_key(tk().a_category, self.tasks[task_idx].category.as_str())
+            .attr_key(tk().a_cores, alloc.cores as u64)
+            .attr_key(tk().a_memory_mb, alloc.memory_mb)
             .emit();
         // Take the worker out of the map so staging can borrow the network
         // and filesystem models mutably alongside it.
@@ -2261,27 +2389,33 @@ impl Master {
                     worker.cache_misses += 1;
                     self.config
                         .telemetry
-                        .counter_at("worker.cache_miss", 1, now);
+                        .counter_at_key(tk().worker_cache_miss, 1, now);
                 }
                 continue;
             }
             if f.cacheable {
                 if worker.has_cached(&f.name) {
                     worker.cache_hits += 1;
-                    self.config.telemetry.counter_at("worker.cache_hit", 1, now);
+                    self.config
+                        .telemetry
+                        .counter_at_key(tk().worker_cache_hit, 1, now);
                 } else if let Some(ready) = worker.staging_ready(&f.name) {
                     // Share the in-flight transfer.
                     worker.cache_hits += 1;
-                    self.config.telemetry.counter_at("worker.cache_hit", 1, now);
+                    self.config
+                        .telemetry
+                        .counter_at_key(tk().worker_cache_hit, 1, now);
                     cacheable_wait = cacheable_wait.max((ready - now).max(0.0));
                 } else {
                     worker.cache_misses += 1;
                     self.config
                         .telemetry
-                        .counter_at("worker.cache_miss", 1, now);
-                    self.config
-                        .telemetry
-                        .counter_at("worker.transfer_bytes", f.size_bytes, now);
+                        .counter_at_key(tk().worker_cache_miss, 1, now);
+                    self.config.telemetry.counter_at_key(
+                        tk().worker_transfer_bytes,
+                        f.size_bytes,
+                        now,
+                    );
                     transferred = true;
                     if is_env {
                         env_transfer = true;
@@ -2325,7 +2459,7 @@ impl Master {
         if data_bytes > 0 {
             self.config
                 .telemetry
-                .counter_at("worker.transfer_bytes", data_bytes, now);
+                .counter_at_key(tk().worker_transfer_bytes, data_bytes, now);
             transferred = true;
             let tr = self.net.transfer(data_bytes, concurrent, &mut self.net_rng);
             stage_in += tr.secs;
@@ -2551,7 +2685,7 @@ impl Master {
         self.jcount(CounterKey::LostCoreSecs, lost_secs);
         self.config
             .telemetry
-            .instant("result_lost", "faults")
+            .instant_key(tk().result_lost, tk().cat_faults)
             .at(now)
             .track(info.worker as u64)
             .task(self.tasks[info.task_idx].id.0)
@@ -2583,12 +2717,12 @@ impl Master {
         }
         self.config
             .telemetry
-            .instant("lease_reclaim", "faults")
+            .instant_key(tk().lease_reclaim, tk().cat_faults)
             .at(now)
             .track(p.worker as u64)
             .task(self.tasks[p.task_idx].id.0)
             .attempt(p.attempt)
-            .attr("zombie", if p.zombie { 1u64 } else { 0u64 })
+            .attr_key(tk().a_zombie, if p.zombie { 1u64 } else { 0u64 })
             .emit();
         self.note_worker_fault(now, p.worker);
         self.requeue_with_backoff(now, p.task_idx, p.attempt);
@@ -2621,7 +2755,7 @@ impl Master {
             }
             self.config
                 .telemetry
-                .instant("quarantine", "faults")
+                .instant_key(tk().quarantine, tk().cat_faults)
                 .at(now)
                 .track(wid as u64)
                 .emit();
@@ -2657,7 +2791,7 @@ impl Master {
         }
         self.config
             .telemetry
-            .instant("quarantine_release", "faults")
+            .instant_key(tk().quarantine_release, tk().cat_faults)
             .at(now)
             .track(id as u64)
             .emit();
@@ -2679,7 +2813,9 @@ impl Master {
             self.jrec(Record::Abandoned {
                 task_idx: task_idx as u64,
             });
-            self.config.telemetry.counter_at("master.abandoned", 1, now);
+            self.config
+                .telemetry
+                .counter_at_key(tk().master_abandoned, 1, now);
             self.cancel_dependents(task_idx);
             return;
         }
@@ -2694,11 +2830,11 @@ impl Master {
         let delay = backoff_delay(self.cat_streak[cat], &self.config.resilience);
         self.config
             .telemetry
-            .instant("infra_requeue", "faults")
+            .instant_key(tk().infra_requeue, tk().cat_faults)
             .at(now)
             .task(self.tasks[task_idx].id.0)
             .attempt(attempt)
-            .attr("backoff_s", delay)
+            .attr_key(tk().a_backoff_s, delay)
             .emit();
         if delay <= 0.0 {
             self.enqueue_front(Pending {
@@ -2750,7 +2886,7 @@ impl Master {
                     self.jrec(Record::Degraded);
                     self.config
                         .telemetry
-                        .instant("degrade_to_shared_fs", "faults")
+                        .instant_key(tk().degrade_to_shared_fs, tk().cat_faults)
                         .at(now)
                         .emit();
                 }
@@ -2758,7 +2894,7 @@ impl Master {
         }
         self.config
             .telemetry
-            .instant(fault.label(), "faults")
+            .instant_key(Name::intern(fault.label()), tk().cat_faults)
             .at(now)
             .track(info.worker as u64)
             .task(self.tasks[info.task_idx].id.0)
@@ -2829,7 +2965,7 @@ impl Master {
             let stage_in_end = info.started_at + info.stage_in_secs;
             let exec_end = stage_in_end + info.exec_secs;
             if info.stage_in_secs > 0.0 {
-                tel.span("stage_in", "worker")
+                tel.span_key(tk().stage_in, tk().cat_worker)
                     .at(info.started_at, stage_in_end)
                     .track(track)
                     .task(tid)
@@ -2843,42 +2979,42 @@ impl Master {
                 MonitorOutcome::SpuriousKill { .. } => "spurious_kill",
                 MonitorOutcome::Failed { .. } => "failed",
             };
-            tel.span("exec", "lfm")
+            tel.span_key(tk().exec, tk().cat_lfm)
                 .at(stage_in_end, exec_end)
                 .track(track)
                 .task(tid)
                 .attempt(info.attempt)
-                .attr("category", task.category.as_str())
-                .attr("status", status)
-                .attr("polls", report.polls)
-                .attr("peak_rss_mb", report.peak_rss_mb)
-                .attr("peak_disk_mb", report.peak_disk_mb)
-                .attr("cpu_s", report.cpu_secs)
-                .attr("monitor_overhead_s", report.monitor_overhead_secs)
+                .attr_key(tk().a_category, task.category.as_str())
+                .attr_key(tk().a_status, status)
+                .attr_key(tk().a_polls, report.polls)
+                .attr_key(tk().a_peak_rss_mb, report.peak_rss_mb)
+                .attr_key(tk().a_peak_disk_mb, report.peak_disk_mb)
+                .attr_key(tk().a_cpu_s, report.cpu_secs)
+                .attr_key(tk().a_monitor_overhead_s, report.monitor_overhead_secs)
                 .emit();
             if let Some(kind) = violated {
-                tel.instant("limit_kill", "lfm")
+                tel.instant_key(tk().limit_kill, tk().cat_lfm)
                     .at(exec_end)
                     .track(track)
                     .task(tid)
                     .attempt(info.attempt)
-                    .attr("limit", kind.to_string())
+                    .attr_key(tk().a_limit, kind.to_string())
                     .emit();
             }
             if now > exec_end {
-                tel.span("stage_out", "worker")
+                tel.span_key(tk().stage_out, tk().cat_worker)
                     .at(exec_end, now)
                     .track(track)
                     .task(tid)
                     .attempt(info.attempt)
                     .emit();
             }
-            tel.span("task", "master")
+            tel.span_key(tk().task, tk().cat_master)
                 .at(info.started_at, now)
                 .track(track)
                 .task(tid)
                 .attempt(info.attempt)
-                .attr("status", status)
+                .attr_key(tk().a_status, status)
                 .emit();
         }
 
@@ -2906,7 +3042,7 @@ impl Master {
             self.jcount(CounterKey::SpuriousKills, 1.0);
             self.config
                 .telemetry
-                .instant("spurious_kill", "faults")
+                .instant_key(tk().spurious_kill, tk().cat_faults)
                 .at(now)
                 .track(info.worker as u64)
                 .task(task_id.0)
@@ -2920,10 +3056,12 @@ impl Master {
                 task_idx: info.task_idx as u64,
             });
             if info.attempt + 1 < self.config.resilience.max_attempts {
-                self.config.telemetry.counter_at("master.retry", 1, now);
                 self.config
                     .telemetry
-                    .instant("retry", "master")
+                    .counter_at_key(tk().master_retry, 1, now);
+                self.config
+                    .telemetry
+                    .instant_key(tk().retry, tk().cat_master)
                     .at(now)
                     .track(info.worker as u64)
                     .task(task_id.0)
@@ -2942,7 +3080,9 @@ impl Master {
                 self.jrec(Record::Abandoned {
                     task_idx: info.task_idx as u64,
                 });
-                self.config.telemetry.counter_at("master.abandoned", 1, now);
+                self.config
+                    .telemetry
+                    .counter_at_key(tk().master_abandoned, 1, now);
                 self.cancel_dependents(info.task_idx);
             }
         } else {
@@ -2951,13 +3091,17 @@ impl Master {
                 task_idx: info.task_idx as u64,
                 success: info.outcome.is_success(),
             });
-            self.config.telemetry.counter_at("master.task_done", 1, now);
+            self.config
+                .telemetry
+                .counter_at_key(tk().master_task_done, 1, now);
             if info.outcome.is_success() {
                 // A success ends the category's infra-failure streak.
                 self.cat_streak[cat as usize] = 0;
                 self.jrec(Record::Streak { cat, value: 0 });
                 // All tasks submit at t=0, so turnaround is just `now`.
-                self.config.telemetry.observe("turnaround_s", now.as_secs());
+                self.config
+                    .telemetry
+                    .observe_key(tk().turnaround_s, now.as_secs());
                 self.release_dependents(now, info.task_idx);
             } else {
                 // The function itself failed: its dependents can never run.

@@ -36,6 +36,13 @@ cargo test -q --offline -p lfm-simcluster sparse_histogram
 cargo test -q --offline -p lfm-serving
 cargo test -q --offline -p lfm-integration-tests --test serving_gateway
 
+echo "==> telemetry suite (binary protocol, byte-stable traces, perfetto)"
+cargo test -q --offline -p lfm-telemetry
+cargo test -q --offline -p lfm-integration-tests --test telemetry_trace
+cargo test -q --offline -p lfm-integration-tests --test telemetry_binary
+cargo test -q --offline -p lfm-integration-tests --test perfetto_trace
+cargo build --release --offline -p lfm-bench --bin bench_telemetry
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run --offline
 

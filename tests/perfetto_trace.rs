@@ -1,0 +1,74 @@
+//! Perfetto exporter round-trip at fig7 scale: run the drug-screening
+//! workload with full instrumentation, export the binary Perfetto trace,
+//! and structurally validate it with the in-repo protobuf walker —
+//! checking the validator's counts against the decoded record stream, so
+//! the exporter can neither drop nor duplicate timeline events.
+
+use lfm_core::prelude::*;
+use lfm_core::telemetry::export::{perfetto_trace, validate_trace};
+use lfm_core::telemetry::{Record, Recorder};
+use lfm_core::workloads::drug;
+use std::collections::BTreeSet;
+
+fn fig7_scale_records() -> Vec<Record> {
+    let recorder = Recorder::enabled();
+    let workload = drug::build(50, 1234); // 50 batches × 6-task DAG = 300 tasks
+    let config = drug::master_config(Strategy::Auto(AutoConfig::default()), 1234)
+        .with_telemetry(recorder.clone());
+    run_workload(&config, workload.tasks, 14, drug::worker_spec());
+    recorder.take()
+}
+
+#[test]
+fn fig7_scale_perfetto_trace_round_trips() {
+    let records = fig7_scale_records();
+    assert!(records.len() > 2_000, "fig7-scale run must emit at scale");
+
+    // Expected timeline population, straight from the record stream.
+    let mut spans = 0usize;
+    let mut instants = 0usize;
+    let mut counter_samples = 0usize;
+    let mut lanes: BTreeSet<u64> = BTreeSet::new();
+    let mut counter_names: BTreeSet<&str> = BTreeSet::new();
+    for r in &records {
+        match r {
+            Record::Span(s) => {
+                spans += 1;
+                lanes.insert(s.track);
+            }
+            Record::Instant(i) => {
+                instants += 1;
+                lanes.insert(i.track);
+            }
+            Record::Metric(m) if m.at_secs.is_some() => {
+                counter_samples += 1;
+                counter_names.insert(m.name.as_str());
+            }
+            Record::Metric(_) => {} // untimed: aggregates only, not on the timeline
+        }
+    }
+
+    let trace = perfetto_trace(&records);
+    let stats = validate_trace(&trace).expect("exported trace must be structurally valid");
+    assert_eq!(stats.slices, spans, "every span becomes exactly one slice");
+    assert_eq!(stats.instants, instants);
+    assert_eq!(stats.counter_samples, counter_samples);
+    assert_eq!(
+        stats.tracks,
+        1 + lanes.len() + counter_names.len(),
+        "process track + one lane per sim track + one track per timed metric"
+    );
+    // Begin + end per slice, one packet per instant/counter, plus one
+    // descriptor packet per track.
+    assert_eq!(
+        stats.packets,
+        stats.tracks + 2 * spans + instants + counter_samples
+    );
+}
+
+#[test]
+fn perfetto_trace_is_byte_stable_across_identical_runs() {
+    let a = perfetto_trace(&fig7_scale_records());
+    let b = perfetto_trace(&fig7_scale_records());
+    assert_eq!(a, b, "identical seeded runs must produce identical traces");
+}
