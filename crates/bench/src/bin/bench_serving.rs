@@ -20,7 +20,11 @@
 //! * `--loads <list>`   comma-separated fractions of calibrated capacity
 //!   (default `0.25,0.5,0.75,1.0,1.5,2.0`)
 //! * `--quick`          horizon 20s over loads 0.5,1.0,2.0 (CI smoke mode)
+//! * `--trace <chrome|jsonl|perfetto>[:stream]=<path>` trace the sweep's
+//!   gateway runs (repeatable; `:stream` tails the ring buffers live —
+//!   see [`lfm_bench::TraceOpts`])
 
+use lfm_bench::TraceOpts;
 use lfm_core::funcx::container::ActivationTech;
 use lfm_core::monitor::sim::SimTaskProfile;
 use lfm_core::serving::admission::AdmissionConfig;
@@ -29,6 +33,7 @@ use lfm_core::serving::gateway::{ServingConfig, ServingFunction, ServingGateway}
 use lfm_core::serving::report::ServingReport;
 use lfm_core::serving::tenant::TenantConfig;
 use lfm_core::simcluster::node::NodeSpec;
+use lfm_core::telemetry::Recorder;
 use std::io::Write as _;
 
 const CORES_PER_WORKER: u32 = 16;
@@ -77,6 +82,7 @@ fn run_point(
     horizon: f64,
     tenants: Vec<TenantConfig>,
     admission: AdmissionConfig,
+    telemetry: &Recorder,
 ) -> ServingReport {
     let node = NodeSpec::new(CORES_PER_WORKER, 64 * 1024, 100 * 1024);
     let config = ServingConfig::new(workers, node)
@@ -84,7 +90,8 @@ fn run_point(
         .with_horizon(horizon)
         .with_tick(0.25)
         .with_dispatch_window(DISPATCH_WINDOW)
-        .with_admission(admission);
+        .with_admission(admission)
+        .with_telemetry(telemetry.clone());
     ServingGateway::new(config, functions(), tenants).run()
 }
 
@@ -94,17 +101,21 @@ fn run_point(
 fn calibrate(workers: u32, horizon: f64) -> f64 {
     let flood =
         vec![TenantConfig::new("cal", 1, ArrivalConfig::poisson(2000.0)).with_max_queue_depth(512)];
+    // Calibration stays untraced: it is a measuring stick, not part of
+    // the sweep the trace is meant to show.
     let report = run_point(
         workers,
         horizon,
         flood,
         AdmissionConfig::new(SHED_THRESHOLD),
+        &Recorder::disabled(),
     );
     assert!(report.completed > 0, "calibration run completed nothing");
     report.completed as f64 / report.end_secs
 }
 
 fn main() {
+    let trace = TraceOpts::from_args();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = String::from("BENCH_serving.json");
     let mut workers = 4u32;
@@ -140,9 +151,14 @@ fn main() {
                 horizon = 20.0;
                 loads = vec![0.5, 1.0, 2.0];
             }
+            "--trace" | "--trace-stream" | "--trace-out" | "--trace-jsonl" | "--trace-perfetto" => {
+                // Already consumed by TraceOpts::from_args; skip the value.
+                it.next();
+            }
             other => panic!(
                 "unknown flag {other:?} \
-                 (expected --out <path> | --workers <n> | --horizon <s> | --loads <list> | --quick)"
+                 (expected --out <path> | --workers <n> | --horizon <s> | --loads <list> | \
+                 --quick | --trace <fmt>[:stream]=<path>)"
             ),
         }
     }
@@ -166,16 +182,30 @@ fn main() {
         eprintln!(
             "offered {frac:.2}x capacity ({rate:.0} inv/s) x {horizon:.0}s, {workers} workers ..."
         );
-        let with = run_point(workers, horizon, tenants(rate, horizon), admission);
+        let telemetry = trace.recorder();
+        let with = run_point(
+            workers,
+            horizon,
+            tenants(rate, horizon),
+            admission,
+            &telemetry,
+        );
         let without = run_point(
             workers,
             horizon,
             tenants(rate, horizon),
             AdmissionConfig::unlimited(),
+            &telemetry,
         );
         if !checked_determinism {
             // Same seed, same config: the report must be byte-identical.
-            let again = run_point(workers, horizon, tenants(rate, horizon), admission);
+            let again = run_point(
+                workers,
+                horizon,
+                tenants(rate, horizon),
+                admission,
+                &telemetry,
+            );
             assert_eq!(
                 with.summary_json(),
                 again.summary_json(),
@@ -268,4 +298,5 @@ fn main() {
     let mut f = std::fs::File::create(&out_path).expect("create output file");
     f.write_all(json.as_bytes()).expect("write output");
     println!("wrote {out_path}");
+    trace.finish();
 }

@@ -6,31 +6,283 @@
 
 use lfm_core::experiments::sweep::SweepPoint;
 use lfm_core::render::{fmt_secs, render_table};
-use lfm_core::telemetry::{export, Recorder};
-use std::io::Write as _;
+use lfm_core::telemetry::export::{
+    ChromeSink, JsonlSink, PerfettoSink, PerfettoStreamSink, TraceSink,
+};
+use lfm_core::telemetry::{export, MetricsRegistry, Recorder};
+use std::io::{BufWriter, Write as _};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 pub mod sched_bench;
 
+/// Trace output formats accepted by `--trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev).
+    Chrome,
+    /// One JSON object per record, flat.
+    Jsonl,
+    /// Binary Perfetto protobuf (ui.perfetto.dev).
+    Perfetto,
+}
+
+impl TraceFormat {
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceFormat::Chrome => "chrome",
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Perfetto => "perfetto",
+        }
+    }
+}
+
+/// One parsed `--trace <chrome|jsonl|perfetto>[:stream]=<path>` spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpec {
+    pub format: TraceFormat,
+    /// Stream records to the sink while the run is live (bounded buffered
+    /// memory) instead of buffering the full run and writing at the end.
+    pub stream: bool,
+    pub path: PathBuf,
+}
+
+impl TraceSpec {
+    /// Parse `<chrome|jsonl|perfetto>[:stream]=<path>`.
+    pub fn parse(s: &str) -> Result<TraceSpec, String> {
+        let (head, path) = s
+            .split_once('=')
+            .ok_or_else(|| format!("trace spec `{s}` is missing `=<path>`"))?;
+        if path.is_empty() {
+            return Err(format!("trace spec `{s}` has an empty path"));
+        }
+        let (fmt, stream) = match head.split_once(':') {
+            Some((f, "stream")) => (f, true),
+            Some((_, mode)) => {
+                return Err(format!(
+                    "unknown trace mode `{mode}` in `{s}` (only `stream`)"
+                ))
+            }
+            None => (head, false),
+        };
+        let format = match fmt {
+            "chrome" => TraceFormat::Chrome,
+            "jsonl" => TraceFormat::Jsonl,
+            "perfetto" => TraceFormat::Perfetto,
+            other => {
+                return Err(format!(
+                    "unknown trace format `{other}` in `{s}` (chrome|jsonl|perfetto)"
+                ))
+            }
+        };
+        Ok(TraceSpec {
+            format,
+            stream,
+            path: PathBuf::from(path),
+        })
+    }
+
+    /// Open the sink this spec describes. Non-stream Perfetto buffers the
+    /// whole run for a globally time-sorted trace; everything else writes
+    /// incrementally with O(1) buffered records.
+    fn open(&self) -> std::io::Result<Box<dyn TraceSink + Send>> {
+        let w = BufWriter::new(std::fs::File::create(&self.path)?);
+        Ok(match (self.format, self.stream) {
+            (TraceFormat::Chrome, _) => Box::new(ChromeSink::new(w)),
+            (TraceFormat::Jsonl, _) => Box::new(JsonlSink::new(w)),
+            (TraceFormat::Perfetto, false) => Box::new(PerfettoSink::new(w)),
+            (TraceFormat::Perfetto, true) => Box::new(PerfettoStreamSink::new(w)),
+        })
+    }
+
+    fn report_line(&self, records: u64) -> String {
+        match self.format {
+            TraceFormat::Chrome => format!("[trace: {} ({records} records)]", self.path.display()),
+            TraceFormat::Jsonl => format!("[trace-jsonl: {}]", self.path.display()),
+            TraceFormat::Perfetto => format!("[trace-perfetto: {}]", self.path.display()),
+        }
+    }
+}
+
+/// Parse every trace flag out of an argument list (the testable core of
+/// [`TraceOpts::from_arg_slice`]). Accepts the unified
+/// `--trace <spec>` flag plus the deprecated aliases `--trace-out`
+/// (chrome), `--trace-jsonl`, `--trace-perfetto`, and
+/// `--trace-stream <format>=<path>`; aliases emit a deprecation warning
+/// on stderr. Unknown arguments are ignored (left for the binary's own
+/// parser); a malformed spec or a flag missing its value panics with a
+/// usage message.
+pub fn parse_trace_specs(args: &[String]) -> Vec<TraceSpec> {
+    let mut specs = Vec::new();
+    let mut it = args.iter();
+    let legacy = |flag: &str, hint: &str, path: &str| {
+        eprintln!("[trace] warning: `{flag} <path>` is deprecated; use `--trace {hint}=<path>`");
+        PathBuf::from(path)
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => {
+                let val = it
+                    .next()
+                    .expect("--trace requires <chrome|jsonl|perfetto>[:stream]=<path>");
+                specs.push(TraceSpec::parse(val).unwrap_or_else(|e| panic!("{e}")));
+            }
+            "--trace-stream" => {
+                let val = it
+                    .next()
+                    .expect("--trace-stream requires <chrome|jsonl|perfetto>=<path>");
+                let mut spec = TraceSpec::parse(val).unwrap_or_else(|e| panic!("{e}"));
+                spec.stream = true;
+                specs.push(spec);
+            }
+            "--trace-out" => {
+                let path = legacy(
+                    "--trace-out",
+                    "chrome",
+                    it.next().expect("--trace-out requires a path"),
+                );
+                specs.push(TraceSpec {
+                    format: TraceFormat::Chrome,
+                    stream: false,
+                    path,
+                });
+            }
+            "--trace-jsonl" => {
+                let path = legacy(
+                    "--trace-jsonl",
+                    "jsonl",
+                    it.next().expect("--trace-jsonl requires a path"),
+                );
+                specs.push(TraceSpec {
+                    format: TraceFormat::Jsonl,
+                    stream: false,
+                    path,
+                });
+            }
+            "--trace-perfetto" => {
+                let path = legacy(
+                    "--trace-perfetto",
+                    "perfetto",
+                    it.next().expect("--trace-perfetto requires a path"),
+                );
+                specs.push(TraceSpec {
+                    format: TraceFormat::Perfetto,
+                    stream: false,
+                    path,
+                });
+            }
+            _ => {}
+        }
+    }
+    specs
+}
+
+/// What the background streamer hands back at shutdown.
+struct StreamResult {
+    records: u64,
+    dropped: u64,
+    /// High-water mark of undecoded bytes plus reorder-pending records
+    /// held by the tail cursor — bounded by ring capacity, not run
+    /// length (reported so long runs can see the bound holding).
+    peak_buffered_bytes: usize,
+    peak_pending_records: usize,
+    registry: MetricsRegistry,
+}
+
+/// Handle to the live-tailing thread: one draining tail consumer feeding
+/// every requested sink incrementally.
+struct Streamer {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<StreamResult>,
+}
+
+/// The streamer body: poll the recorder's ring buffers, push each merged
+/// record into every sink (and the metrics registry), repeat until told
+/// to stop, then take the final tail — including records stuck behind a
+/// cross-shard gap — and close the sinks. Buffered memory is bounded by
+/// the ring capacity plus each sink's own state, independent of run
+/// length; overflow between polls surfaces as a synthesized
+/// `telemetry.dropped_events` count, never a decode error.
+fn stream_loop(
+    recorder: Recorder,
+    stop: Arc<AtomicBool>,
+    mut sinks: Vec<Box<dyn TraceSink + Send>>,
+) -> StreamResult {
+    let mut cursor = recorder.cursor();
+    let mut registry = MetricsRegistry::new();
+    let mut records = 0u64;
+    let mut dropped = 0u64;
+    let mut peak_buffered_bytes = 0usize;
+    let mut peak_pending_records = 0usize;
+    for sink in &mut sinks {
+        sink.begin().expect("trace sink begin");
+    }
+    loop {
+        let done = stop.load(Ordering::Acquire);
+        let batch = if done {
+            recorder.finish_tail(&mut cursor)
+        } else {
+            recorder.drain_since(&mut cursor)
+        };
+        dropped += batch.dropped_delta;
+        records += batch.records.len() as u64;
+        peak_buffered_bytes = peak_buffered_bytes.max(cursor.buffered_bytes());
+        peak_pending_records = peak_pending_records.max(cursor.pending_len());
+        for record in &batch.records {
+            registry.observe_record(record);
+            for sink in &mut sinks {
+                sink.record(record).expect("trace sink write");
+            }
+        }
+        if done {
+            if let Some(record) = recorder.synthesize_dropped(dropped) {
+                registry.observe_record(&record);
+                records += 1;
+                for sink in &mut sinks {
+                    sink.record(&record).expect("trace sink write");
+                }
+            }
+            for sink in &mut sinks {
+                sink.finish().expect("trace sink finish");
+            }
+            return StreamResult {
+                records,
+                dropped,
+                peak_buffered_bytes,
+                peak_pending_records,
+                registry,
+            };
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+
 /// Tracing options shared by every regenerator binary.
 ///
-/// Parse with [`TraceOpts::from_args`] at the top of `main`; when the user
-/// passed `--trace-out <path>` (Chrome trace-event JSON), `--trace-jsonl
-/// <path>` (flat JSONL), or `--trace-perfetto <path>` (binary Perfetto
-/// protobuf, loadable at ui.perfetto.dev) this installs the process-wide
-/// recorder — which every `MasterConfig::new()`, cache, and the parallel
-/// engine then report into — and [`TraceOpts::finish`] writes the files and
-/// prints a metrics summary once the figures are done.
+/// Parse with [`TraceOpts::from_args`] at the top of `main`; any
+/// `--trace <chrome|jsonl|perfetto>[:stream]=<path>` flag (repeatable;
+/// see [`parse_trace_specs`] for the deprecated per-format aliases)
+/// installs the process-wide recorder — which every
+/// `MasterConfig::new()`, cache, and the parallel engine then report
+/// into — and [`TraceOpts::finish`] closes the trace files and prints a
+/// metrics summary once the figures are done.
+///
+/// Without `:stream`, records accumulate in the recorder's ring buffers
+/// and are written in one pass at [`TraceOpts::finish`]. With at least
+/// one `:stream` spec, a background thread tails the ring buffers while
+/// the run is live and feeds **all** requested sinks incrementally, so
+/// buffered-record memory stays bounded regardless of run length (the
+/// chrome and jsonl formats produce byte-identical files either way).
 pub struct TraceOpts {
-    chrome_out: Option<PathBuf>,
-    jsonl_out: Option<PathBuf>,
-    perfetto_out: Option<PathBuf>,
+    specs: Vec<TraceSpec>,
     recorder: Recorder,
+    streamer: Option<Streamer>,
 }
 
 impl TraceOpts {
     /// Parse trace flags from the process argv. Unknown arguments are left
-    /// for the binary's own parsing; a trace flag missing its path panics
+    /// for the binary's own parsing; a trace flag missing its value panics
     /// with a usage message.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,65 +291,115 @@ impl TraceOpts {
 
     /// [`TraceOpts::from_args`] over an explicit argument list (testable).
     pub fn from_arg_slice(args: &[String]) -> Self {
-        let mut chrome_out = None;
-        let mut jsonl_out = None;
-        let mut perfetto_out = None;
-        let mut it = args.iter();
-        while let Some(arg) = it.next() {
-            match arg.as_str() {
-                "--trace-out" => {
-                    let path = it.next().expect("--trace-out requires a path");
-                    chrome_out = Some(PathBuf::from(path));
-                }
-                "--trace-jsonl" => {
-                    let path = it.next().expect("--trace-jsonl requires a path");
-                    jsonl_out = Some(PathBuf::from(path));
-                }
-                "--trace-perfetto" => {
-                    let path = it.next().expect("--trace-perfetto requires a path");
-                    perfetto_out = Some(PathBuf::from(path));
-                }
-                _ => {}
-            }
-        }
-        let recorder = if chrome_out.is_some() || jsonl_out.is_some() || perfetto_out.is_some() {
-            lfm_core::telemetry::install_global()
-        } else {
+        let specs = parse_trace_specs(args);
+        let recorder = if specs.is_empty() {
             Recorder::disabled()
+        } else {
+            lfm_core::telemetry::install_global()
+        };
+        Self::build(specs, recorder)
+    }
+
+    /// [`TraceOpts::from_arg_slice`] over an explicit recorder instead of
+    /// the process-wide one — for tests and benchmarks that must not
+    /// share (or drain) the global stream.
+    pub fn with_recorder(args: &[String], recorder: Recorder) -> Self {
+        Self::build(parse_trace_specs(args), recorder)
+    }
+
+    fn build(specs: Vec<TraceSpec>, recorder: Recorder) -> Self {
+        let streamer = if recorder.is_enabled() && specs.iter().any(|s| s.stream) {
+            let sinks: Vec<Box<dyn TraceSink + Send>> = specs
+                .iter()
+                .map(|s| {
+                    s.open()
+                        .unwrap_or_else(|e| panic!("open trace sink {}: {e}", s.path.display()))
+                })
+                .collect();
+            let stop = Arc::new(AtomicBool::new(false));
+            let handle = {
+                let recorder = recorder.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name("trace-stream".into())
+                    .spawn(move || stream_loop(recorder, stop, sinks))
+                    .expect("spawn trace streamer")
+            };
+            Some(Streamer { stop, handle })
+        } else {
+            None
         };
         TraceOpts {
-            chrome_out,
-            jsonl_out,
-            perfetto_out,
+            specs,
             recorder,
+            streamer,
         }
     }
 
     /// Whether any trace output was requested.
     pub fn enabled(&self) -> bool {
-        self.recorder.is_enabled()
+        self.recorder.is_enabled() && !self.specs.is_empty()
     }
 
-    /// Drain the recorder, write the requested trace files, and print the
-    /// aggregated metrics as one JSON line. No-op without trace flags.
+    /// The parsed trace specs, in flag order.
+    pub fn specs(&self) -> &[TraceSpec] {
+        &self.specs
+    }
+
+    /// The recorder this trace session drains — hand it to subsystems
+    /// (e.g. [`ServingConfig::with_telemetry`]) that default to a
+    /// disabled recorder rather than the process-wide one. Disabled when
+    /// no trace flag was given, so it is always safe to pass along.
+    ///
+    /// [`ServingConfig::with_telemetry`]: lfm_core::serving::gateway::ServingConfig::with_telemetry
+    pub fn recorder(&self) -> Recorder {
+        self.recorder.clone()
+    }
+
+    /// Close out tracing: stop the live streamer (if any) or drain the
+    /// recorder and write each requested file, then print the aggregated
+    /// metrics as one JSON line. No-op without trace flags.
     pub fn finish(self) {
-        if !self.recorder.is_enabled() {
+        if !self.enabled() {
+            return;
+        }
+        if let Some(streamer) = self.streamer {
+            streamer.stop.store(true, Ordering::Release);
+            let result = streamer.handle.join().expect("trace streamer panicked");
+            for spec in &self.specs {
+                println!("{}", spec.report_line(result.records));
+            }
+            if result.dropped > 0 {
+                println!(
+                    "[trace-stream] {} events dropped on ring overflow",
+                    result.dropped
+                );
+            }
+            println!(
+                "[trace-stream] peak buffer: {} bytes undecoded, {} records pending",
+                result.peak_buffered_bytes, result.peak_pending_records
+            );
+            let mut registry = result.registry;
+            println!("[metrics] {}", registry.to_json());
             return;
         }
         let records = self.recorder.take();
-        if let Some(path) = &self.chrome_out {
-            export::write_chrome_trace(path, &records).expect("write chrome trace");
-            println!("[trace: {} ({} records)]", path.display(), records.len());
+        for spec in &self.specs {
+            match spec.format {
+                TraceFormat::Chrome => {
+                    export::write_chrome_trace(&spec.path, &records).expect("write chrome trace");
+                }
+                TraceFormat::Jsonl => {
+                    export::write_jsonl(&spec.path, &records).expect("write jsonl trace");
+                }
+                TraceFormat::Perfetto => {
+                    export::write_perfetto_trace(&spec.path, &records)
+                        .expect("write perfetto trace");
+                }
+            }
+            println!("{}", spec.report_line(records.len() as u64));
         }
-        if let Some(path) = &self.jsonl_out {
-            export::write_jsonl(path, &records).expect("write jsonl trace");
-            println!("[trace-jsonl: {}]", path.display());
-        }
-        if let Some(path) = &self.perfetto_out {
-            export::write_perfetto_trace(path, &records).expect("write perfetto trace");
-            println!("[trace-perfetto: {}]", path.display());
-        }
-        let mut metrics = lfm_core::telemetry::MetricsRegistry::from_records(&records);
+        let mut metrics = MetricsRegistry::from_records(&records);
         println!("[metrics] {}", metrics.to_json());
     }
 }
@@ -317,6 +619,143 @@ mod tests {
         let opts = TraceOpts::from_arg_slice(&["--seed".to_string(), "7".to_string()]);
         assert!(!opts.enabled());
         opts.finish(); // no-op, must not write anything or panic
+    }
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn trace_spec_parser_matrix() {
+        use TraceFormat::*;
+        let ok = [
+            ("chrome=/tmp/a.json", Chrome, false, "/tmp/a.json"),
+            ("jsonl=/tmp/a.jsonl", Jsonl, false, "/tmp/a.jsonl"),
+            ("perfetto=/tmp/a.pftrace", Perfetto, false, "/tmp/a.pftrace"),
+            ("chrome:stream=/tmp/s.json", Chrome, true, "/tmp/s.json"),
+            ("jsonl:stream=rel/path.jsonl", Jsonl, true, "rel/path.jsonl"),
+            (
+                "perfetto:stream=/tmp/s.pftrace",
+                Perfetto,
+                true,
+                "/tmp/s.pftrace",
+            ),
+            // Only the first `=` splits: paths may contain `=`.
+            ("chrome=/tmp/run=7.json", Chrome, false, "/tmp/run=7.json"),
+        ];
+        for (input, format, stream, path) in ok {
+            let spec = TraceSpec::parse(input).unwrap_or_else(|e| panic!("{input}: {e}"));
+            assert_eq!(spec.format, format, "{input}");
+            assert_eq!(spec.stream, stream, "{input}");
+            assert_eq!(spec.path, PathBuf::from(path), "{input}");
+        }
+        for bad in [
+            "chrome",                  // no path
+            "chrome=",                 // empty path
+            "=/tmp/x.json",            // empty format
+            "svg=/tmp/x.svg",          // unknown format
+            "chrome:live=/tmp/x.json", // unknown mode
+            "chrome:stream",           // stream but no path
+        ] {
+            assert!(TraceSpec::parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn legacy_trace_flags_alias_to_unified_specs() {
+        let specs = parse_trace_specs(&strings(&[
+            "--seed",
+            "7",
+            "--trace-out",
+            "/tmp/a.json",
+            "--trace-jsonl",
+            "/tmp/b.jsonl",
+            "--trace-perfetto",
+            "/tmp/c.pftrace",
+            "--trace-stream",
+            "chrome=/tmp/d.json",
+            "--trace",
+            "perfetto:stream=/tmp/e.pftrace",
+        ]));
+        use TraceFormat::*;
+        let expect = [
+            (Chrome, false, "/tmp/a.json"),
+            (Jsonl, false, "/tmp/b.jsonl"),
+            (Perfetto, false, "/tmp/c.pftrace"),
+            (Chrome, true, "/tmp/d.json"),
+            (Perfetto, true, "/tmp/e.pftrace"),
+        ];
+        assert_eq!(specs.len(), expect.len());
+        for (spec, (format, stream, path)) in specs.iter().zip(expect) {
+            assert_eq!((spec.format, spec.stream), (format, stream));
+            assert_eq!(spec.path, PathBuf::from(path));
+        }
+    }
+
+    #[test]
+    fn streamed_chrome_trace_matches_buffered_output() {
+        use lfm_core::simcluster::time::SimTime;
+        let emit = |rec: &Recorder| {
+            for i in 0..500u64 {
+                rec.counter("bench.stream_counter", 1 + i % 3);
+                let t = i as f64 * 0.01;
+                rec.span("work", "bench")
+                    .at(SimTime::from_secs(t), SimTime::from_secs(t + 0.005))
+                    .task(i)
+                    .emit();
+            }
+        };
+        // Reference: same emission order, post-hoc slice export.
+        let reference = Recorder::enabled();
+        emit(&reference);
+        let expect = export::chrome_trace(&reference.take());
+
+        let path = std::env::temp_dir().join("lfm_bench_stream_chrome.json");
+        let rec = Recorder::enabled();
+        let opts = TraceOpts::with_recorder(
+            &strings(&["--trace", &format!("chrome:stream={}", path.display())]),
+            rec.clone(),
+        );
+        assert!(opts.enabled());
+        emit(&rec);
+        opts.finish();
+        let streamed = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(streamed, expect, "live tail must match post-hoc export");
+        // The streamer drained everything; nothing is left to take.
+        assert!(rec.take().is_empty());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn stream_mode_feeds_buffered_and_streaming_sinks_together() {
+        use lfm_core::simcluster::time::SimTime;
+        let chrome = std::env::temp_dir().join("lfm_bench_mixed_chrome.json");
+        let pftrace = std::env::temp_dir().join("lfm_bench_mixed.pftrace");
+        let rec = Recorder::enabled();
+        let opts = TraceOpts::with_recorder(
+            &strings(&[
+                "--trace",
+                &format!("chrome={}", chrome.display()),
+                "--trace",
+                &format!("perfetto:stream={}", pftrace.display()),
+            ]),
+            rec.clone(),
+        );
+        for i in 0..50u64 {
+            let t = i as f64 * 0.1;
+            rec.span("step", "bench")
+                .at(SimTime::from_secs(t), SimTime::from_secs(t + 0.05))
+                .emit();
+            rec.gauge("bench.depth", (i % 7) as f64, SimTime::from_secs(t));
+        }
+        opts.finish();
+        let body = std::fs::read_to_string(&chrome).unwrap();
+        lfm_core::telemetry::export::validate_json(&body).unwrap();
+        assert!(body.contains("bench.depth"));
+        let trace = std::fs::read(&pftrace).unwrap();
+        lfm_core::telemetry::export::validate_trace(&trace).unwrap();
+        std::fs::remove_file(chrome).ok();
+        std::fs::remove_file(pftrace).ok();
     }
 
     #[test]

@@ -29,7 +29,7 @@
 use crate::admission::{admit, AdmissionConfig, AdmissionOutcome, TokenBucket};
 use crate::arrivals::ArrivalProcess;
 use crate::fair::FairScheduler;
-use crate::report::{LatencyStats, ServingReport, TenantReport};
+use crate::report::{AlertReport, LatencyStats, ServingReport, TenantReport};
 use crate::tenant::{TenantConfig, TenantId};
 use crate::warmpool::{WarmPool, WarmPoolConfig};
 use lfm_funcx::container::{ActivationModel, ActivationTech};
@@ -40,7 +40,8 @@ use lfm_simcluster::metrics::SparseHistogram;
 use lfm_simcluster::node::NodeSpec;
 use lfm_simcluster::rng::SimRng;
 use lfm_simcluster::time::SimTime;
-use lfm_telemetry::{Name, Recorder};
+use lfm_telemetry::slo::{SloConfig, SloMonitor};
+use lfm_telemetry::{Name, Recorder, TailCursor};
 use lfm_workqueue::allocate::{AutoConfig, Strategy};
 use lfm_workqueue::files::FileRef;
 use lfm_workqueue::master::MasterConfig;
@@ -138,6 +139,11 @@ pub struct ServingConfig {
     pub workers: u32,
     pub node: NodeSpec,
     pub telemetry: Recorder,
+    /// When set, the gateway tails its own telemetry stream live and
+    /// evaluates multi-window SLO burn-rate alerts each tick (see
+    /// [`lfm_telemetry::slo`]). Alerts land in
+    /// [`ServingReport::alerts`].
+    pub slo: Option<SloConfig>,
 }
 
 impl ServingConfig {
@@ -157,6 +163,7 @@ impl ServingConfig {
             workers,
             node,
             telemetry: Recorder::disabled(),
+            slo: None,
         }
     }
 
@@ -208,6 +215,26 @@ impl ServingConfig {
         self.telemetry = telemetry;
         self
     }
+
+    /// Enable live SLO burn-rate alerting. The gateway becomes the one
+    /// draining tail consumer of the configured recorder (see
+    /// [`Recorder::cursor`]): `serving.*` records are consumed
+    /// incrementally each tick, so a post-run `take()` on a shared
+    /// recorder only sees records emitted after the final drain. If
+    /// telemetry is disabled the gateway swaps in a private enabled
+    /// recorder so alerting works without an exported trace.
+    pub fn with_slo(mut self, slo: SloConfig) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+}
+
+/// Live SLO evaluation state: the tailed recorder, the incremental
+/// cursor, and the burn-rate monitor fed from each drained batch.
+struct SloRuntime {
+    recorder: Recorder,
+    cursor: TailCursor,
+    monitor: SloMonitor,
 }
 
 /// An admitted invocation waiting in its tenant queue.
@@ -310,6 +337,7 @@ pub struct ServingGateway {
     tenant_latency: Vec<SparseHistogram>,
     batches_submitted: u64,
     in_steady_phase: bool,
+    slo_rt: Option<SloRuntime>,
 }
 
 impl ServingGateway {
@@ -328,6 +356,21 @@ impl ServingGateway {
                 t.function
             );
         }
+        let mut config = config;
+        let slo_rt = config.slo.clone().map(|slo_cfg| {
+            if !config.telemetry.is_enabled() {
+                // Alerting needs a live stream even when the caller did
+                // not ask for a trace.
+                config.telemetry = Recorder::enabled();
+            }
+            let recorder = config.telemetry.clone();
+            let cursor = recorder.cursor();
+            SloRuntime {
+                recorder,
+                cursor,
+                monitor: SloMonitor::new(slo_cfg),
+            }
+        });
         let master_cfg = MasterConfig::new(config.strategy.clone())
             .with_seed(config.seed)
             .with_telemetry(config.telemetry.clone());
@@ -381,6 +424,7 @@ impl ServingGateway {
             tenant_latency: vec![SparseHistogram::new(); n],
             batches_submitted: 0,
             in_steady_phase: true,
+            slo_rt,
         }
     }
 
@@ -562,6 +606,20 @@ impl ServingGateway {
         }
     }
 
+    /// Drain the telemetry tail accumulated since the last tick into the
+    /// burn-rate monitor and re-evaluate every (tenant, window) rule at
+    /// `now_secs`. Alert firing is a pure function of the drained record
+    /// stream, which is itself seed-deterministic — identical runs fire
+    /// byte-identical alerts.
+    fn observe_slo(&mut self, now_secs: f64) {
+        let Some(rt) = &mut self.slo_rt else { return };
+        let batch = rt.recorder.drain_since(&mut rt.cursor);
+        for record in &batch.records {
+            rt.monitor.consume(record);
+        }
+        rt.monitor.evaluate(now_secs);
+    }
+
     fn tick(&mut self, t_end: f64, accept: bool) {
         if accept {
             self.accept_arrivals(t_end);
@@ -571,6 +629,7 @@ impl ServingGateway {
         self.pool.expire(t_end);
         self.dispatch(t_end);
         self.emit_queue_gauges(t_end);
+        self.observe_slo(t_end);
     }
 
     /// Drive the gateway: accept arrivals until the horizon, then drain
@@ -609,7 +668,31 @@ impl ServingGateway {
         self.finish(t)
     }
 
-    fn finish(self, end_secs: f64) -> ServingReport {
+    fn finish(mut self, end_secs: f64) -> ServingReport {
+        let alerts: Vec<AlertReport> = match self.slo_rt.take() {
+            Some(mut rt) => {
+                let batch = rt.recorder.finish_tail(&mut rt.cursor);
+                for record in &batch.records {
+                    rt.monitor.consume(record);
+                }
+                rt.monitor.evaluate(end_secs);
+                rt.monitor
+                    .alerts()
+                    .iter()
+                    .map(|a| AlertReport {
+                        tenant: a.tenant.clone(),
+                        severity: a.severity.as_str().to_string(),
+                        short_secs: a.short_secs,
+                        long_secs: a.long_secs,
+                        threshold: a.threshold,
+                        fired_at_secs: a.fired_at_secs,
+                        resolved_at_secs: a.resolved_at_secs,
+                        peak_burn: a.peak_burn,
+                    })
+                    .collect()
+            }
+            None => Vec::new(),
+        };
         let tenants: Vec<TenantReport> = self
             .tenants
             .iter()
@@ -654,6 +737,7 @@ impl ServingGateway {
             master_cache_hits: report.cache_hits,
             master_cache_misses: report.cache_misses,
             master_net_bytes: report.net_bytes,
+            alerts,
             tenants,
         }
     }
@@ -889,5 +973,73 @@ mod tests {
     fn unknown_function_index_rejected() {
         let tenants = vec![one_tenant(1.0).pop().unwrap().with_function(3)];
         ServingGateway::new(base_config(), vec![fast_fn()], tenants);
+    }
+
+    /// Windows scaled to test horizons: fire when the error ratio burns
+    /// the 5% budget at 2x over both a 5s and a 15s window.
+    fn burn_slo() -> SloConfig {
+        use lfm_telemetry::slo::{BurnWindow, Severity};
+        SloConfig::new(0.95)
+            .with_bucket_secs(1.0)
+            .with_windows(vec![BurnWindow::new(5.0, 15.0, 2.0, Severity::Page)])
+    }
+
+    fn flood_tenants() -> Vec<TenantConfig> {
+        vec![TenantConfig::new("flood", 1, ArrivalConfig::poisson(400.0)).with_max_queue_depth(128)]
+    }
+
+    #[test]
+    fn slo_alerts_fire_deterministically_on_overload() {
+        // ~3x capacity: most arrivals bounce off the depth bound, so the
+        // error ratio burns the budget within a few seconds.
+        let run = || {
+            let cfg = base_config()
+                .with_admission(AdmissionConfig::new(512))
+                .with_horizon(20.0)
+                .with_slo(burn_slo());
+            ServingGateway::new(cfg, vec![fast_fn()], flood_tenants()).run()
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.alerts.is_empty(), "overload must fire a burn alert");
+        let alert = &a.alerts[0];
+        assert_eq!(alert.tenant, "flood");
+        assert_eq!(alert.severity, "page");
+        assert!(
+            alert.fired_at_secs < 20.0,
+            "alert should fire during the arrival phase, not at {}",
+            alert.fired_at_secs
+        );
+        assert!(alert.peak_burn >= 2.0, "peak burn {}", alert.peak_burn);
+        assert_eq!(a, b, "seeded alert firing must be deterministic");
+        assert_eq!(a.summary_json(), b.summary_json());
+        assert!(a
+            .summary_json()
+            .contains("\"alerts\":[{\"tenant\":\"flood\",\"severity\":\"page\""));
+    }
+
+    #[test]
+    fn slo_quiet_on_at_capacity_baseline() {
+        // Same rules, calibrated load: nothing rejected, nothing fires.
+        let cfg = base_config().with_slo(burn_slo());
+        let report = ServingGateway::new(cfg, vec![fast_fn()], one_tenant(20.0)).run();
+        assert_eq!(report.completed, report.admitted);
+        assert!(report.alerts.is_empty(), "{:?}", report.alerts);
+        assert!(report.summary_json().contains("\"alerts\":[]"));
+    }
+
+    #[test]
+    fn slo_tailing_drains_a_shared_recorder() {
+        let rec = Recorder::enabled();
+        let cfg = base_config()
+            .with_admission(AdmissionConfig::new(512))
+            .with_horizon(20.0)
+            .with_telemetry(rec.clone())
+            .with_slo(burn_slo());
+        let report = ServingGateway::new(cfg, vec![fast_fn()], flood_tenants()).run();
+        assert!(!report.alerts.is_empty());
+        // The SLO tail is the one draining consumer: by the time the run
+        // returns, every record has been consumed incrementally.
+        assert!(rec.take().is_empty());
     }
 }

@@ -40,7 +40,7 @@ pub mod prelude {
     pub use crate::arrivals::{ArrivalConfig, ArrivalProcess};
     pub use crate::fair::FairScheduler;
     pub use crate::gateway::{ServingConfig, ServingFunction, ServingGateway};
-    pub use crate::report::{LatencyStats, ServingReport, TenantReport};
+    pub use crate::report::{AlertReport, LatencyStats, ServingReport, TenantReport};
     pub use crate::tenant::{PriorityClass, RateQuota, TenantConfig, TenantId};
     pub use crate::warmpool::{WarmPool, WarmPoolConfig};
 }

@@ -61,6 +61,47 @@ pub struct TenantReport {
     pub latency: LatencyStats,
 }
 
+/// One SLO burn-rate alert fired during the run (see
+/// `lfm_telemetry::slo`): which tenant, which window rule, when it fired
+/// and (if it did) recovered, and how hard the budget burned at peak.
+/// Deterministic for identical seeds — the alert section of
+/// [`ServingReport::summary_json`] is part of the byte-stability
+/// guarantee.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertReport {
+    pub tenant: String,
+    /// "page" or "ticket".
+    pub severity: String,
+    pub short_secs: f64,
+    pub long_secs: f64,
+    pub threshold: f64,
+    pub fired_at_secs: f64,
+    /// `None` = still firing when the run ended.
+    pub resolved_at_secs: Option<f64>,
+    pub peak_burn: f64,
+}
+
+impl AlertReport {
+    fn json(&self) -> String {
+        let resolved = match self.resolved_at_secs {
+            Some(t) => t.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"tenant\":\"{}\",\"severity\":\"{}\",\"short_secs\":{},\"long_secs\":{},\
+             \"threshold\":{},\"fired_at_secs\":{},\"resolved_at_secs\":{},\"peak_burn\":{}}}",
+            self.tenant,
+            self.severity,
+            self.short_secs,
+            self.long_secs,
+            self.threshold,
+            self.fired_at_secs,
+            resolved,
+            self.peak_burn
+        )
+    }
+}
+
 /// The whole run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServingReport {
@@ -89,6 +130,9 @@ pub struct ServingReport {
     pub master_cache_hits: u64,
     pub master_cache_misses: u64,
     pub master_net_bytes: u64,
+    /// SLO burn-rate alerts, in firing order (empty when no SLO was
+    /// configured or nothing fired).
+    pub alerts: Vec<AlertReport>,
     pub tenants: Vec<TenantReport>,
 }
 
@@ -113,6 +157,7 @@ impl ServingReport {
 
     /// Deterministic single-line JSON summary (fixed field order).
     pub fn summary_json(&self) -> String {
+        let alerts: Vec<String> = self.alerts.iter().map(AlertReport::json).collect();
         let tenants: Vec<String> = self
             .tenants
             .iter()
@@ -143,7 +188,8 @@ impl ServingReport {
              \"failed\":{},\"success_rate\":{},\"latency\":{},\"queue_wait\":{},\
              \"warm_hits\":{},\"warm_misses\":{},\"warm_hit_rate\":{},\"warm_expirations\":{},\
              \"batches_submitted\":{},\"master_makespan_secs\":{},\"master_cache_hits\":{},\
-             \"master_cache_misses\":{},\"master_net_bytes\":{},\"tenants\":[{}]}}",
+             \"master_cache_misses\":{},\"master_net_bytes\":{},\"alerts\":[{}],\
+             \"tenants\":[{}]}}",
             self.seed,
             self.horizon_secs,
             self.end_secs,
@@ -166,6 +212,7 @@ impl ServingReport {
             self.master_cache_hits,
             self.master_cache_misses,
             self.master_net_bytes,
+            alerts.join(","),
             tenants.join(",")
         )
     }
@@ -216,6 +263,28 @@ mod tests {
             master_cache_hits: 80,
             master_cache_misses: 10,
             master_net_bytes: 1 << 30,
+            alerts: vec![
+                AlertReport {
+                    tenant: "acme".into(),
+                    severity: "page".into(),
+                    short_secs: 5.0,
+                    long_secs: 30.0,
+                    threshold: 2.0,
+                    fired_at_secs: 12.25,
+                    resolved_at_secs: Some(19.5),
+                    peak_burn: 8.75,
+                },
+                AlertReport {
+                    tenant: "acme".into(),
+                    severity: "ticket".into(),
+                    short_secs: 10.0,
+                    long_secs: 60.0,
+                    threshold: 1.0,
+                    fired_at_secs: 14.0,
+                    resolved_at_secs: None,
+                    peak_burn: 3.5,
+                },
+            ],
             tenants: vec![TenantReport {
                 name: "acme".into(),
                 weight: 2,
@@ -237,5 +306,13 @@ mod tests {
         lfm_telemetry::export::validate_json(&a).expect("summary must be valid JSON");
         assert!((report.success_rate() - 0.9).abs() < 1e-12);
         assert!((report.rejection_rate() - 0.1).abs() < 1e-12);
+        // Alert section: fixed order, null for unresolved, before tenants.
+        assert!(a.contains(
+            "\"alerts\":[{\"tenant\":\"acme\",\"severity\":\"page\",\"short_secs\":5,\
+             \"long_secs\":30,\"threshold\":2,\"fired_at_secs\":12.25,\
+             \"resolved_at_secs\":19.5,\"peak_burn\":8.75}"
+        ));
+        assert!(a.contains("\"resolved_at_secs\":null"));
+        assert!(a.find("\"alerts\":").unwrap() < a.find("\"tenants\":").unwrap());
     }
 }

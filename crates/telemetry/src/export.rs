@@ -1,4 +1,5 @@
-//! Exporters: Chrome trace-event JSON and flat JSONL.
+//! Exporters: Chrome trace-event JSON, flat JSONL, and Perfetto — all
+//! behind one streaming [`TraceSink`] interface.
 //!
 //! The Chrome exporter emits the object form of the trace-event format
 //! (`{"traceEvents":[...]}`) that `chrome://tracing` and Perfetto load
@@ -8,20 +9,204 @@
 //! running total). Untimed metric samples have no place on a timeline;
 //! their aggregate totals ride along in a top-level `otherData` object.
 //!
+//! ### The sink API
+//!
+//! Every exporter implements [`TraceSink`] — `begin` once, `record` per
+//! record, `finish` once — so the same code path serves both post-hoc
+//! export (feed a full `take()`d stream) and live streaming (feed each
+//! [`crate::Recorder::drain_since`] batch as it arrives, which is what
+//! `--trace <fmt>:stream` does in the runner binaries). [`ChromeSink`]
+//! and [`JsonlSink`] write incrementally with O(distinct metric names)
+//! state; the Perfetto sinks are in [`crate::perfetto`] ([`PerfettoSink`]
+//! buffered + byte-identical to [`perfetto_trace`],
+//! [`PerfettoStreamSink`] incremental + bounded). The slice-based
+//! [`chrome_trace`] / [`jsonl`] / [`write_chrome_trace`] /
+//! [`write_jsonl`] functions are legacy shims implemented over the sinks
+//! (kept because their output is pinned byte-for-byte by golden tests —
+//! prefer the sinks in new code).
+//!
 //! Everything is built with the same hand-rolled JSON writer the resource
 //! monitor's summaries use ([`lfm_monitor::summary::JsonObject`]) — the
 //! dependency set has no JSON crate, and the documents are flat. Output is
 //! byte-deterministic for a deterministic record stream (pinned by a
 //! golden integration test).
 
-pub use crate::perfetto::{perfetto_trace, validate_trace, write_perfetto_trace, TraceStats};
+pub use crate::perfetto::{
+    perfetto_trace, validate_trace, write_perfetto_trace, PerfettoSink, PerfettoStreamSink,
+    TraceStats,
+};
 
 use crate::metrics::MetricsRegistry;
 use crate::record::{AttrValue, Record};
 use lfm_monitor::summary::JsonObject;
 use std::collections::BTreeMap;
-use std::io::Write as _;
+use std::io::Write;
 use std::path::Path;
+
+/// A streaming trace exporter: `begin` once, `record` per record in
+/// merged `seq` order, `finish` once to terminate the document. Sinks
+/// write to their inner writer as records arrive; how much state they
+/// buffer between calls is reported by
+/// [`TraceSink::buffered_records`] (the live-streaming memory bound
+/// asserted in `bench_tail`).
+pub trait TraceSink {
+    /// Write the document preamble. Must be called exactly once, first.
+    fn begin(&mut self) -> std::io::Result<()>;
+    /// Feed the next record of the merged stream.
+    fn record(&mut self, record: &Record) -> std::io::Result<()>;
+    /// Terminate the document and flush the inner writer.
+    fn finish(&mut self) -> std::io::Result<()>;
+    /// Records the sink is currently holding back from its writer — 0 for
+    /// the truly incremental sinks, the full stream length for buffered
+    /// ones (like [`PerfettoSink`], which needs a global sort).
+    fn buffered_records(&self) -> usize {
+        0
+    }
+}
+
+/// Drive a sink over a whole record stream: `begin`, every record in
+/// iterator order, `finish`.
+pub fn export_records<I>(sink: &mut dyn TraceSink, records: I) -> std::io::Result<()>
+where
+    I: IntoIterator<Item = Record>,
+{
+    sink.begin()?;
+    for record in records {
+        sink.record(&record)?;
+    }
+    sink.finish()
+}
+
+/// Streaming Chrome trace-event sink. Incremental state is one running
+/// total per counter name plus the [`MetricsRegistry`] that becomes
+/// `otherData` — bounded by distinct metric names, not run length. Output
+/// is byte-identical to [`chrome_trace`] (which is implemented over this
+/// sink).
+pub struct ChromeSink<W: Write> {
+    w: W,
+    totals: BTreeMap<String, f64>,
+    registry: MetricsRegistry,
+}
+
+impl<W: Write> ChromeSink<W> {
+    pub fn new(w: W) -> Self {
+        ChromeSink {
+            w,
+            totals: BTreeMap::new(),
+            registry: MetricsRegistry::new(),
+        }
+    }
+
+    /// Recover the inner writer (call after [`TraceSink::finish`]).
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl<W: Write> TraceSink for ChromeSink<W> {
+    fn begin(&mut self) -> std::io::Result<()> {
+        // Document preamble + the process-name metadata event, so every
+        // later event writes as ",<event>".
+        let mut meta = JsonObject::new();
+        meta.field_str("name", "process_name")
+            .field_str("ph", "M")
+            .field_u64("pid", 1)
+            .field_raw("args", "{\"name\":\"lfm-sim\"}");
+        write!(self.w, "{{\"traceEvents\":[{}", meta.finish())
+    }
+
+    fn record(&mut self, record: &Record) -> std::io::Result<()> {
+        self.registry.observe_record(record);
+        let event = match record {
+            Record::Span(s) => {
+                let mut o = JsonObject::new();
+                o.field_str("name", &s.name)
+                    .field_str("cat", &s.cat)
+                    .field_str("ph", "X")
+                    .field_f64("ts", s.start_secs * MICROS)
+                    .field_f64("dur", s.duration_secs() * MICROS)
+                    .field_u64("pid", 1)
+                    .field_u64("tid", s.track)
+                    .field_raw("args", &args_object(s.task, s.attempt, &s.attrs));
+                o.finish()
+            }
+            Record::Instant(i) => {
+                let mut o = JsonObject::new();
+                o.field_str("name", &i.name)
+                    .field_str("cat", &i.cat)
+                    .field_str("ph", "i")
+                    .field_str("s", "t")
+                    .field_f64("ts", i.at_secs * MICROS)
+                    .field_u64("pid", 1)
+                    .field_u64("tid", i.track)
+                    .field_raw("args", &args_object(i.task, i.attempt, &i.attrs));
+                o.finish()
+            }
+            Record::Metric(m) => {
+                let Some(at) = m.at_secs else { return Ok(()) };
+                let value = match m.kind {
+                    crate::record::MetricKind::Counter => {
+                        let total = self.totals.entry(m.name.clone()).or_insert(0.0);
+                        *total += m.value;
+                        *total
+                    }
+                    _ => m.value,
+                };
+                let mut args = JsonObject::new();
+                args.field_f64("value", value);
+                let mut o = JsonObject::new();
+                o.field_str("name", &m.name)
+                    .field_str("ph", "C")
+                    .field_f64("ts", at * MICROS)
+                    .field_u64("pid", 1)
+                    .field_u64("tid", 0)
+                    .field_raw("args", &args.finish());
+                o.finish()
+            }
+        };
+        write!(self.w, ",{event}")
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        write!(
+            self.w,
+            "],\"displayTimeUnit\":\"ms\",\"otherData\":{}}}",
+            self.registry.to_json()
+        )?;
+        self.w.flush()
+    }
+}
+
+/// Streaming JSONL sink: one self-describing object per record, written
+/// as it arrives. No buffered state at all.
+pub struct JsonlSink<W: Write> {
+    w: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    pub fn new(w: W) -> Self {
+        JsonlSink { w }
+    }
+
+    /// Recover the inner writer (call after [`TraceSink::finish`]).
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn begin(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn record(&mut self, record: &Record) -> std::io::Result<()> {
+        writeln!(self.w, "{}", jsonl_line(record))
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        self.w.flush()
+    }
+}
 
 const MICROS: f64 = 1e6;
 
@@ -47,142 +232,86 @@ fn args_object(task: Option<u64>, attempt: Option<u32>, attrs: &[(String, AttrVa
     o.finish()
 }
 
-/// Render a record stream as a Chrome trace-event JSON document.
-pub fn chrome_trace(records: &[Record]) -> String {
-    let mut events: Vec<String> = Vec::with_capacity(records.len() + 1);
-
-    // Name the process lane once up front.
-    let mut meta = JsonObject::new();
-    meta.field_str("name", "process_name")
-        .field_str("ph", "M")
-        .field_u64("pid", 1)
-        .field_raw("args", "{\"name\":\"lfm-sim\"}");
-    events.push(meta.finish());
-
-    // Counters plot running totals.
-    let mut totals: BTreeMap<&str, f64> = BTreeMap::new();
-
-    for record in records {
-        match record {
-            Record::Span(s) => {
-                let mut o = JsonObject::new();
-                o.field_str("name", &s.name)
-                    .field_str("cat", &s.cat)
-                    .field_str("ph", "X")
-                    .field_f64("ts", s.start_secs * MICROS)
-                    .field_f64("dur", s.duration_secs() * MICROS)
-                    .field_u64("pid", 1)
-                    .field_u64("tid", s.track)
-                    .field_raw("args", &args_object(s.task, s.attempt, &s.attrs));
-                events.push(o.finish());
-            }
-            Record::Instant(i) => {
-                let mut o = JsonObject::new();
-                o.field_str("name", &i.name)
-                    .field_str("cat", &i.cat)
-                    .field_str("ph", "i")
-                    .field_str("s", "t")
-                    .field_f64("ts", i.at_secs * MICROS)
-                    .field_u64("pid", 1)
-                    .field_u64("tid", i.track)
-                    .field_raw("args", &args_object(i.task, i.attempt, &i.attrs));
-                events.push(o.finish());
-            }
-            Record::Metric(m) => {
-                let Some(at) = m.at_secs else { continue };
-                let value = match m.kind {
-                    crate::record::MetricKind::Counter => {
-                        let total = totals.entry(m.name.as_str()).or_insert(0.0);
-                        *total += m.value;
-                        *total
-                    }
-                    _ => m.value,
-                };
-                let mut args = JsonObject::new();
-                args.field_f64("value", value);
-                let mut o = JsonObject::new();
-                o.field_str("name", &m.name)
-                    .field_str("ph", "C")
-                    .field_f64("ts", at * MICROS)
-                    .field_u64("pid", 1)
-                    .field_u64("tid", 0)
-                    .field_raw("args", &args.finish());
-                events.push(o.finish());
+/// One JSONL object for a record (no trailing newline).
+fn jsonl_line(record: &Record) -> String {
+    let mut o = JsonObject::new();
+    match record {
+        Record::Span(s) => {
+            o.field_str("type", "span")
+                .field_u64("seq", s.seq)
+                .field_str("name", &s.name)
+                .field_str("cat", &s.cat)
+                .field_f64("start_s", s.start_secs)
+                .field_f64("end_s", s.end_secs)
+                .field_f64("dur_s", s.duration_secs())
+                .field_u64("track", s.track)
+                .field_u64("depth", s.depth as u64)
+                .field_raw("args", &args_object(s.task, s.attempt, &s.attrs));
+        }
+        Record::Instant(i) => {
+            o.field_str("type", "instant")
+                .field_u64("seq", i.seq)
+                .field_str("name", &i.name)
+                .field_str("cat", &i.cat)
+                .field_f64("at_s", i.at_secs)
+                .field_u64("track", i.track)
+                .field_raw("args", &args_object(i.task, i.attempt, &i.attrs));
+        }
+        Record::Metric(m) => {
+            o.field_str(
+                "type",
+                match m.kind {
+                    crate::record::MetricKind::Counter => "counter",
+                    crate::record::MetricKind::Gauge => "gauge",
+                    crate::record::MetricKind::Histogram => "observe",
+                },
+            )
+            .field_u64("seq", m.seq)
+            .field_str("name", &m.name)
+            .field_f64("value", m.value);
+            if let Some(at) = m.at_secs {
+                o.field_f64("at_s", at);
             }
         }
     }
+    o.finish()
+}
 
-    let mut doc = JsonObject::new();
-    doc.field_raw("traceEvents", &format!("[{}]", events.join(",")))
-        .field_str("displayTimeUnit", "ms")
-        .field_raw(
-            "otherData",
-            &MetricsRegistry::from_records(records).to_json(),
-        );
-    doc.finish()
+/// Render a record stream as a Chrome trace-event JSON document.
+///
+/// Legacy slice shim over [`ChromeSink`] (byte-identical output); prefer
+/// the sink for streaming or large traces.
+pub fn chrome_trace(records: &[Record]) -> String {
+    let mut sink = ChromeSink::new(Vec::new());
+    export_records(&mut sink, records.iter().cloned()).expect("Vec write is infallible");
+    String::from_utf8(sink.into_inner()).expect("JSON writer emits UTF-8")
 }
 
 /// Render a record stream as JSONL: one self-describing object per line,
 /// for scripted analysis (`jq`, pandas).
+///
+/// Legacy slice shim over [`JsonlSink`] (byte-identical output); prefer
+/// the sink for streaming or large traces.
 pub fn jsonl(records: &[Record]) -> String {
-    let mut out = String::new();
-    for record in records {
-        let mut o = JsonObject::new();
-        match record {
-            Record::Span(s) => {
-                o.field_str("type", "span")
-                    .field_u64("seq", s.seq)
-                    .field_str("name", &s.name)
-                    .field_str("cat", &s.cat)
-                    .field_f64("start_s", s.start_secs)
-                    .field_f64("end_s", s.end_secs)
-                    .field_f64("dur_s", s.duration_secs())
-                    .field_u64("track", s.track)
-                    .field_u64("depth", s.depth as u64)
-                    .field_raw("args", &args_object(s.task, s.attempt, &s.attrs));
-            }
-            Record::Instant(i) => {
-                o.field_str("type", "instant")
-                    .field_u64("seq", i.seq)
-                    .field_str("name", &i.name)
-                    .field_str("cat", &i.cat)
-                    .field_f64("at_s", i.at_secs)
-                    .field_u64("track", i.track)
-                    .field_raw("args", &args_object(i.task, i.attempt, &i.attrs));
-            }
-            Record::Metric(m) => {
-                o.field_str(
-                    "type",
-                    match m.kind {
-                        crate::record::MetricKind::Counter => "counter",
-                        crate::record::MetricKind::Gauge => "gauge",
-                        crate::record::MetricKind::Histogram => "observe",
-                    },
-                )
-                .field_u64("seq", m.seq)
-                .field_str("name", &m.name)
-                .field_f64("value", m.value);
-                if let Some(at) = m.at_secs {
-                    o.field_f64("at_s", at);
-                }
-            }
-        }
-        out.push_str(&o.finish());
-        out.push('\n');
-    }
-    out
+    let mut sink = JsonlSink::new(Vec::new());
+    export_records(&mut sink, records.iter().cloned()).expect("Vec write is infallible");
+    String::from_utf8(sink.into_inner()).expect("JSON writer emits UTF-8")
 }
 
-/// Write the Chrome trace for `records` to `path`.
+/// Write the Chrome trace for `records` to `path` (streamed through
+/// [`ChromeSink`]; legacy slice shim).
 pub fn write_chrome_trace(path: &Path, records: &[Record]) -> std::io::Result<()> {
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(chrome_trace(records).as_bytes())
+    let f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let mut sink = ChromeSink::new(f);
+    export_records(&mut sink, records.iter().cloned())
 }
 
-/// Write the JSONL dump for `records` to `path`.
+/// Write the JSONL dump for `records` to `path` (streamed through
+/// [`JsonlSink`]; legacy slice shim).
 pub fn write_jsonl(path: &Path, records: &[Record]) -> std::io::Result<()> {
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(jsonl(records).as_bytes())
+    let f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let mut sink = JsonlSink::new(f);
+    export_records(&mut sink, records.iter().cloned())
 }
 
 /// Strict structural JSON validator (no value model — it only answers "is
@@ -424,6 +553,51 @@ mod tests {
         let trace = chrome_trace(&[]);
         validate_json(&trace).unwrap();
         assert_eq!(jsonl(&[]), "");
+    }
+
+    #[test]
+    fn chrome_sink_fed_in_batches_matches_slice_output() {
+        let records = sample_recorder().take();
+        let slice = chrome_trace(&records);
+        let mut buf = Vec::new();
+        let mut sink = ChromeSink::new(&mut buf);
+        sink.begin().unwrap();
+        // Uneven batches mimic live tail drains; bytes must not care.
+        for chunk in records.chunks(3) {
+            for r in chunk {
+                sink.record(r).unwrap();
+            }
+        }
+        sink.finish().unwrap();
+        assert_eq!(sink.buffered_records(), 0, "chrome sink is incremental");
+        drop(sink);
+        assert_eq!(String::from_utf8(buf).unwrap(), slice);
+    }
+
+    #[test]
+    fn jsonl_sink_fed_in_batches_matches_slice_output() {
+        let records = sample_recorder().take();
+        let slice = jsonl(&records);
+        let mut buf = Vec::new();
+        let mut sink = JsonlSink::new(&mut buf);
+        sink.begin().unwrap();
+        for chunk in records.chunks(2) {
+            for r in chunk {
+                sink.record(r).unwrap();
+            }
+        }
+        sink.finish().unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), slice);
+    }
+
+    #[test]
+    fn export_records_drives_the_full_sink_lifecycle() {
+        let records = sample_recorder().take();
+        let mut buf = Vec::new();
+        let mut sink = ChromeSink::new(&mut buf);
+        export_records(&mut sink, records.iter().cloned()).unwrap();
+        drop(sink);
+        assert_eq!(String::from_utf8(buf).unwrap(), chrome_trace(&records));
     }
 
     #[test]

@@ -81,11 +81,14 @@ pub mod intern;
 pub mod metrics;
 pub mod perfetto;
 pub mod record;
+pub mod slo;
+pub mod tail;
 pub mod wire;
 
 pub use intern::Name;
 pub use metrics::MetricsRegistry;
 pub use record::{AttrValue, InstantRecord, MetricKind, MetricRecord, Record, SpanRecord};
+pub use tail::{TailBatch, TailCursor};
 pub use wire::{AttrVal, DecodeError, MergeDecoder, ShardDecoder};
 
 use lfm_simcluster::time::SimTime;
@@ -114,7 +117,16 @@ struct Shard {
     /// Records currently encoded in `buf` (the capacity unit — capping on
     /// records, not bytes, preserves the PR-2 overflow semantics exactly).
     records: usize,
+    /// Encoder state at the *end* of `buf` (what the next record is
+    /// delta-coded against).
     st: CodecState,
+    /// Decoder state at the *start* of `buf`. Equal to the default until a
+    /// tail consumer drains the shard mid-run: a tail drain takes the
+    /// bytes without resetting `st`, so the remaining stream's first
+    /// record is delta-coded against the drained prefix and any later
+    /// whole-buffer decode ([`Recorder::take`] / [`Recorder::snapshot`])
+    /// must resume from this state.
+    base_st: CodecState,
 }
 
 struct Inner {
@@ -127,6 +139,15 @@ struct Inner {
     /// Records dropped at full shards since the last [`Recorder::take`].
     /// `Relaxed`: a pure statistics counter, see the ordering contract.
     dropped: AtomicU64,
+    /// Records dropped at full shards over the recorder's whole lifetime —
+    /// never reset, so tail cursors can report per-poll deltas no matter
+    /// how `take` interleaves with them.
+    dropped_total: AtomicU64,
+    /// Bumped by every [`Recorder::take`]; tail cursors compare it to
+    /// detect that records were consumed behind their back and resync
+    /// instead of waiting forever for sequence numbers that will never
+    /// arrive.
+    take_epoch: AtomicU64,
     /// Wall-clock origin for host-side spans ([`Recorder::wall_span`]).
     origin: Instant,
 }
@@ -199,6 +220,8 @@ impl Recorder {
                     .collect(),
                 shard_capacity: shard_capacity.max(1),
                 dropped: AtomicU64::new(0),
+                dropped_total: AtomicU64::new(0),
+                take_epoch: AtomicU64::new(0),
                 origin: Instant::now(),
             })),
         }
@@ -251,12 +274,15 @@ impl Recorder {
             // Drop-and-count: no seq is consumed, so the surviving stream
             // stays dense and totally ordered.
             inner.dropped.fetch_add(1, Ordering::Relaxed);
+            inner.dropped_total.fetch_add(1, Ordering::Relaxed);
             return;
         }
         // Relaxed is sound here: the shard mutex orders the buffer bytes,
         // and the seq *value* orders the merged stream (see module docs).
         let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
-        let Shard { buf, records, st } = &mut *shard;
+        let Shard {
+            buf, records, st, ..
+        } = &mut *shard;
         encode(seq, buf, st);
         *records += 1;
     }
@@ -429,10 +455,12 @@ impl Recorder {
         }
     }
 
-    /// Decode + k-way merge every shard buffer into `seq` order.
-    fn decode_merged(bufs: &[Vec<u8>], capacity: usize) -> Vec<Record> {
+    /// Decode + k-way merge shard buffers into `seq` order, resuming each
+    /// shard from its saved base codec state (non-default only after a
+    /// tail consumer drained a prefix of the stream).
+    fn decode_merged(bufs: &[(Vec<u8>, CodecState)], capacity: usize) -> Vec<Record> {
         let mut out = Vec::with_capacity(capacity + 1);
-        let mut merge = MergeDecoder::new(bufs.iter().map(|b| b.as_slice()));
+        let mut merge = MergeDecoder::with_states(bufs.iter().map(|(b, st)| (b.as_slice(), *st)));
         out.extend(merge.by_ref());
         debug_assert!(
             merge.errors().is_empty(),
@@ -451,7 +479,7 @@ impl Recorder {
             return Vec::new();
         };
         let mut total = 0;
-        let bufs: Vec<Vec<u8>> = inner
+        let bufs: Vec<(Vec<u8>, CodecState)> = inner
             .shards
             .iter()
             .map(|s| {
@@ -459,9 +487,12 @@ impl Recorder {
                 total += shard.records;
                 shard.records = 0;
                 shard.st = CodecState::default();
-                std::mem::take(&mut shard.buf)
+                let base = shard.base_st;
+                shard.base_st = CodecState::default();
+                (std::mem::take(&mut shard.buf), base)
             })
             .collect();
+        inner.take_epoch.fetch_add(1, Ordering::Relaxed);
         let mut out = Self::decode_merged(&bufs, total);
         let dropped = inner.dropped.swap(0, Ordering::Relaxed);
         if dropped > 0 {
@@ -471,21 +502,23 @@ impl Recorder {
         out
     }
 
-    /// Clone the merged stream in `seq` order without draining. A nonzero
-    /// drop count is surfaced as a trailing synthetic
+    /// Clone the merged stream in `seq` order **without draining**:
+    /// repeated snapshots (and a later [`Recorder::take`] or tail drain)
+    /// all see the same buffered records — nothing is consumed or reset.
+    /// A nonzero drop count is surfaced as a trailing synthetic
     /// `telemetry.dropped_events` counter (without resetting it).
     pub fn snapshot(&self) -> Vec<Record> {
         let Some(inner) = &self.inner else {
             return Vec::new();
         };
         let mut total = 0;
-        let bufs: Vec<Vec<u8>> = inner
+        let bufs: Vec<(Vec<u8>, CodecState)> = inner
             .shards
             .iter()
             .map(|s| {
                 let shard = s.lock();
                 total += shard.records;
-                shard.buf.clone()
+                (shard.buf.clone(), shard.base_st)
             })
             .collect();
         let mut out = Self::decode_merged(&bufs, total);
@@ -504,12 +537,97 @@ impl Recorder {
     /// feed all of them to [`MergeDecoder`] to reconstruct the total
     /// order. [`Recorder::take`] is the in-process convenience wrapper
     /// around exactly that; this accessor is for consumers that ship the
-    /// bytes elsewhere (or tests that corrupt them on purpose).
+    /// bytes elsewhere (or tests that corrupt them on purpose). Note that
+    /// after a tail drain the buffers no longer start from the default
+    /// codec state, so a fresh [`ShardDecoder`] only decodes them when no
+    /// tail consumer is active.
     pub fn raw_shards(&self) -> Vec<Vec<u8>> {
         let Some(inner) = &self.inner else {
             return Vec::new();
         };
         inner.shards.iter().map(|s| s.lock().buf.clone()).collect()
+    }
+
+    /// Open a tail cursor at the current take-epoch with zero drained
+    /// records. Hand it to [`Recorder::drain_since`] to consume the
+    /// stream incrementally while the run is live.
+    ///
+    /// A recorder supports **one** draining tail consumer at a time:
+    /// drains consume buffered records (like [`Recorder::take`], but
+    /// incremental), so two cursors — or a cursor raced against periodic
+    /// `take` calls — would each see a disjoint subset of the stream.
+    /// [`Recorder::snapshot`] stays safe to mix in: it never consumes, so
+    /// a snapshot-then-drain sequence sees each record exactly once in
+    /// the drain (no double counting, pinned by a unit test).
+    pub fn cursor(&self) -> TailCursor {
+        TailCursor::new(
+            SHARD_COUNT,
+            self.inner
+                .as_ref()
+                .map(|i| i.take_epoch.load(Ordering::Relaxed))
+                .unwrap_or(0),
+        )
+    }
+
+    /// Drain every record buffered since the cursor's last poll and merge
+    /// them into `seq` order, without resetting the per-shard codec state
+    /// — successive drains are one continuous wire stream per shard, so
+    /// concatenating the raw chunks reproduces exactly what an undrained
+    /// buffer would have held. Records dropped at full shards since the
+    /// last poll are reported as [`TailBatch::dropped_delta`] (never as a
+    /// decode error). Records whose sequence numbers have gaps still being
+    /// filled by other shards stay buffered in the cursor until the gap
+    /// closes; [`Recorder::finish_tail`] flushes them at end of run.
+    pub fn drain_since(&self, cursor: &mut TailCursor) -> TailBatch {
+        let Some(inner) = &self.inner else {
+            return TailBatch::default();
+        };
+        let epoch = inner.take_epoch.load(Ordering::Relaxed);
+        cursor.observe_epoch(epoch);
+        for (i, s) in inner.shards.iter().enumerate() {
+            let mut shard = s.lock();
+            if shard.buf.is_empty() {
+                continue;
+            }
+            shard.records = 0;
+            // Keep `st` (encoder keeps delta-coding against the drained
+            // prefix) and advance `base_st` to match: the buffer now
+            // starts where the encoder stands.
+            shard.base_st = shard.st;
+            cursor.feed(i, &shard.buf);
+            // clear() keeps the allocation: stealing the Vec would force
+            // the emit hot path to regrow it from zero after every poll.
+            shard.buf.clear();
+        }
+        let records = cursor.poll();
+        let dropped_delta = cursor.observe_dropped(inner.dropped_total.load(Ordering::Relaxed));
+        TailBatch {
+            records,
+            dropped_delta,
+        }
+    }
+
+    /// Final tail poll: drain whatever is still buffered, then flush any
+    /// records the cursor was holding for sequence-gap contiguity. Call
+    /// once after the producing run has finished.
+    pub fn finish_tail(&self, cursor: &mut TailCursor) -> TailBatch {
+        let mut batch = self.drain_since(cursor);
+        batch.records.extend(cursor.flush());
+        batch
+    }
+
+    /// Build the synthetic `telemetry.dropped_events` record a tail
+    /// consumer appends at end of stream, consuming one fresh sequence
+    /// number exactly like [`Recorder::take`] does for its own synthetic
+    /// record. Pure construction: no counters are read or reset — pass
+    /// the drop total the cursor accumulated.
+    pub fn synthesize_dropped(&self, dropped: u64) -> Option<Record> {
+        let inner = self.inner.as_ref()?;
+        if dropped == 0 {
+            return None;
+        }
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        Some(Self::dropped_record(seq, dropped))
     }
 
     /// Aggregate the buffered metric samples into a registry.

@@ -115,28 +115,36 @@ impl MetricsRegistry {
     pub fn from_records(records: &[Record]) -> Self {
         let mut reg = Self::new();
         for record in records {
-            let Record::Metric(m) = record else { continue };
-            match m.kind {
-                MetricKind::Counter => {
-                    *reg.counters.entry(m.name.clone()).or_insert(0) += m.value as u64;
-                }
-                MetricKind::Gauge => {
-                    let entry = reg
-                        .gauges
-                        .entry(m.name.clone())
-                        .or_insert_with(|| (Summary::new(), 0.0));
-                    entry.0.record(m.value);
-                    entry.1 = m.value;
-                }
-                MetricKind::Histogram => {
-                    reg.histograms
-                        .entry(m.name.clone())
-                        .or_default()
-                        .record(m.value);
-                }
-            }
+            reg.observe_record(record);
         }
         reg
+    }
+
+    /// Fold one record (the streaming counterpart of
+    /// [`MetricsRegistry::from_records`]: feeding records one at a time
+    /// produces the same registry as folding the whole slice). Spans and
+    /// instants are skipped.
+    pub fn observe_record(&mut self, record: &Record) {
+        let Record::Metric(m) = record else { return };
+        match m.kind {
+            MetricKind::Counter => {
+                *self.counters.entry(m.name.clone()).or_insert(0) += m.value as u64;
+            }
+            MetricKind::Gauge => {
+                let entry = self
+                    .gauges
+                    .entry(m.name.clone())
+                    .or_insert_with(|| (Summary::new(), 0.0));
+                entry.0.record(m.value);
+                entry.1 = m.value;
+            }
+            MetricKind::Histogram => {
+                self.histograms
+                    .entry(m.name.clone())
+                    .or_default()
+                    .record(m.value);
+            }
+        }
     }
 
     /// Total of a counter; 0 if never emitted.
@@ -274,5 +282,22 @@ mod tests {
     fn empty_registry() {
         let reg = MetricsRegistry::from_records(&[]);
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn incremental_observe_matches_batch_fold() {
+        let r = Recorder::enabled();
+        for i in 0..200u64 {
+            r.counter("hits", i % 3);
+            r.gauge("depth", (i % 11) as f64, SimTime::from_secs(i as f64));
+            r.observe("lat", 0.01 * (1 + i % 50) as f64);
+        }
+        let records = r.take();
+        let mut batch = MetricsRegistry::from_records(&records);
+        let mut inc = MetricsRegistry::new();
+        for rec in &records {
+            inc.observe_record(rec);
+        }
+        assert_eq!(inc.to_json(), batch.to_json());
     }
 }

@@ -43,9 +43,10 @@
 //! that every `track_uuid` was declared by a descriptor packet first, and
 //! that slice begin/end depth stays balanced per track.
 
+use crate::export::TraceSink;
 use crate::record::{AttrValue, MetricKind, Record};
 use std::collections::BTreeMap;
-use std::io::Write as _;
+use std::io::Write;
 use std::path::Path;
 
 const NANOS: f64 = 1e9;
@@ -350,10 +351,226 @@ pub fn perfetto_trace(records: &[Record]) -> Vec<u8> {
     out
 }
 
-/// Write the Perfetto trace for `records` to `path`.
+/// Write the Perfetto trace for `records` to `path` (legacy slice shim
+/// over [`PerfettoSink`]).
 pub fn write_perfetto_trace(path: &Path, records: &[Record]) -> std::io::Result<()> {
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(&perfetto_trace(records))
+    let f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let mut sink = PerfettoSink::new(f);
+    crate::export::export_records(&mut sink, records.iter().cloned())
+}
+
+/// Buffered Perfetto sink: collects the whole stream and renders it with
+/// [`perfetto_trace`] at `finish` — **byte-identical** to the slice path.
+/// Perfetto's nesting-stable packet order is a global sort over all
+/// events, so exact byte parity requires seeing the full stream; memory
+/// therefore grows with it. For live streaming with bounded memory use
+/// [`PerfettoStreamSink`].
+pub struct PerfettoSink<W: Write> {
+    w: W,
+    records: Vec<Record>,
+}
+
+impl<W: Write> PerfettoSink<W> {
+    pub fn new(w: W) -> Self {
+        PerfettoSink {
+            w,
+            records: Vec::new(),
+        }
+    }
+}
+
+impl<W: Write> TraceSink for PerfettoSink<W> {
+    fn begin(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn record(&mut self, record: &Record) -> std::io::Result<()> {
+        self.records.push(record.clone());
+        Ok(())
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        self.w.write_all(&perfetto_trace(&self.records))?;
+        self.w.flush()
+    }
+
+    fn buffered_records(&self) -> usize {
+        self.records.len()
+    }
+}
+
+/// Incremental Perfetto sink with bounded memory: packets are written as
+/// records arrive, descriptors lazily the moment a track is first
+/// referenced (always before the event that needs them), and each span's
+/// `SLICE_END` rides immediately behind its `SLICE_BEGIN` so per-track
+/// depth stays balanced no matter where the stream stops. State is one
+/// uuid per distinct track/counter name plus one running total per
+/// counter — independent of run length.
+///
+/// The price of streaming is packet order: packets appear in record
+/// order, not the globally time-sorted, nesting-stable order
+/// [`perfetto_trace`] produces, so the bytes differ from the buffered
+/// path (Perfetto's trace_processor sorts on load; [`validate_trace`]
+/// passes either way). Where byte-stable golden output matters, use
+/// [`PerfettoSink`].
+pub struct PerfettoStreamSink<W: Write> {
+    w: W,
+    lane_uuid: BTreeMap<u64, u64>,
+    counter_uuid: BTreeMap<String, u64>,
+    next_uuid: u64,
+    totals: BTreeMap<String, f64>,
+}
+
+impl<W: Write> PerfettoStreamSink<W> {
+    pub fn new(w: W) -> Self {
+        PerfettoStreamSink {
+            w,
+            lane_uuid: BTreeMap::new(),
+            counter_uuid: BTreeMap::new(),
+            next_uuid: PROCESS_UUID + 1,
+            totals: BTreeMap::new(),
+        }
+    }
+
+    /// Tracks declared so far (memory-bound diagnostics).
+    pub fn tracks_declared(&self) -> usize {
+        self.lane_uuid.len() + self.counter_uuid.len()
+    }
+
+    fn write_packet(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let mut framed = Vec::with_capacity(bytes.len() + 4);
+        put_len_field(&mut framed, 1, bytes);
+        self.w.write_all(&framed)
+    }
+
+    fn lane_track(&mut self, lane: u64) -> std::io::Result<u64> {
+        if let Some(&uuid) = self.lane_uuid.get(&lane) {
+            return Ok(uuid);
+        }
+        let uuid = self.next_uuid;
+        self.next_uuid += 1;
+        self.lane_uuid.insert(lane, uuid);
+        let mut desc = Vec::new();
+        put_varint_field(&mut desc, TDESC_UUID, uuid);
+        put_str_field(&mut desc, TDESC_NAME, &format!("track-{lane}"));
+        put_varint_field(&mut desc, TDESC_PARENT_UUID, PROCESS_UUID);
+        self.write_packet(&descriptor_packet(&desc))?;
+        Ok(uuid)
+    }
+
+    fn counter_track(&mut self, name: &str) -> std::io::Result<u64> {
+        if let Some(&uuid) = self.counter_uuid.get(name) {
+            return Ok(uuid);
+        }
+        let uuid = self.next_uuid;
+        self.next_uuid += 1;
+        self.counter_uuid.insert(name.to_string(), uuid);
+        let mut desc = Vec::new();
+        put_varint_field(&mut desc, TDESC_UUID, uuid);
+        put_str_field(&mut desc, TDESC_NAME, name);
+        put_varint_field(&mut desc, TDESC_PARENT_UUID, PROCESS_UUID);
+        put_len_field(&mut desc, TDESC_COUNTER, &[]); // presence marks the track type
+        self.write_packet(&descriptor_packet(&desc))?;
+        Ok(uuid)
+    }
+}
+
+fn annotate_ids(
+    ev: &mut Vec<u8>,
+    attrs: &[(String, AttrValue)],
+    task: Option<u64>,
+    attempt: Option<u32>,
+) {
+    for (k, v) in attrs {
+        put_len_field(ev, TEV_DEBUG_ANNOTATION, &annotation(k, v));
+    }
+    if let Some(t) = task {
+        put_len_field(
+            ev,
+            TEV_DEBUG_ANNOTATION,
+            &annotation("task", &AttrValue::U64(t)),
+        );
+    }
+    if let Some(a) = attempt {
+        put_len_field(
+            ev,
+            TEV_DEBUG_ANNOTATION,
+            &annotation("attempt", &AttrValue::U64(a as u64)),
+        );
+    }
+}
+
+impl<W: Write> TraceSink for PerfettoStreamSink<W> {
+    fn begin(&mut self) -> std::io::Result<()> {
+        let mut process = Vec::new();
+        put_varint_field(&mut process, PDESC_PID, 1);
+        put_str_field(&mut process, PDESC_NAME, "lfm-sim");
+        let mut desc = Vec::new();
+        put_varint_field(&mut desc, TDESC_UUID, PROCESS_UUID);
+        put_str_field(&mut desc, TDESC_NAME, "lfm-sim");
+        put_len_field(&mut desc, TDESC_PROCESS, &process);
+        self.write_packet(&descriptor_packet(&desc))
+    }
+
+    fn record(&mut self, record: &Record) -> std::io::Result<()> {
+        match record {
+            Record::Span(s) => {
+                let uuid = self.lane_track(s.track)?;
+                let (start, end) = (ns(s.start_secs), ns(s.end_secs));
+                let mut begin = Vec::new();
+                annotate_ids(&mut begin, &s.attrs, s.task, s.attempt);
+                put_varint_field(&mut begin, TEV_TYPE, TYPE_SLICE_BEGIN);
+                put_varint_field(&mut begin, TEV_TRACK_UUID, uuid);
+                put_str_field(&mut begin, TEV_CATEGORY, &s.cat);
+                put_str_field(&mut begin, TEV_NAME, &s.name);
+                self.write_packet(&packet(Some(start), &begin))?;
+                let mut end_ev = Vec::new();
+                put_varint_field(&mut end_ev, TEV_TYPE, TYPE_SLICE_END);
+                put_varint_field(&mut end_ev, TEV_TRACK_UUID, uuid);
+                self.write_packet(&packet(Some(end), &end_ev))
+            }
+            Record::Instant(i) => {
+                let uuid = self.lane_track(i.track)?;
+                let at = ns(i.at_secs);
+                let mut ev = Vec::new();
+                annotate_ids(&mut ev, &i.attrs, i.task, i.attempt);
+                put_varint_field(&mut ev, TEV_TYPE, TYPE_INSTANT);
+                put_varint_field(&mut ev, TEV_TRACK_UUID, uuid);
+                put_str_field(&mut ev, TEV_CATEGORY, &i.cat);
+                put_str_field(&mut ev, TEV_NAME, &i.name);
+                self.write_packet(&packet(Some(at), &ev))
+            }
+            Record::Metric(m) => {
+                let Some(at_secs) = m.at_secs else {
+                    return Ok(()); // untimed: aggregates only, no timeline
+                };
+                let uuid = self.counter_track(&m.name)?;
+                let at = ns(at_secs);
+                let value = match m.kind {
+                    MetricKind::Counter => {
+                        let total = self.totals.entry(m.name.clone()).or_insert(0.0);
+                        *total += m.value;
+                        *total
+                    }
+                    _ => m.value,
+                };
+                let mut ev = Vec::new();
+                put_varint_field(&mut ev, TEV_TYPE, TYPE_COUNTER);
+                put_varint_field(&mut ev, TEV_TRACK_UUID, uuid);
+                if (0.0..9_007_199_254_740_992.0).contains(&value) && (value as u64) as f64 == value
+                {
+                    put_varint_field(&mut ev, TEV_COUNTER_VALUE, value as u64);
+                } else {
+                    put_double_field(&mut ev, TEV_DOUBLE_COUNTER_VALUE, value);
+                }
+                self.write_packet(&packet(Some(at), &ev))
+            }
+        }
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        self.w.flush()
+    }
 }
 
 // -------------------------------------------------------------------
@@ -610,5 +827,57 @@ mod tests {
         let stats = validate_trace(&perfetto_trace(&[])).unwrap();
         assert_eq!(stats.tracks, 1, "just the process track");
         assert_eq!(stats.slices + stats.instants + stats.counter_samples, 0);
+    }
+
+    fn busy_recorder() -> Recorder {
+        let r = Recorder::enabled();
+        for i in 0..50u64 {
+            let t = i as f64;
+            r.span("step", "sim")
+                .at(SimTime::from_secs(t), SimTime::from_secs(t + 0.5))
+                .track(i % 3)
+                .task(i)
+                .attr("i", i)
+                .emit();
+            r.counter_at("done", 1, SimTime::from_secs(t + 0.5));
+            r.gauge("depth", (i % 7) as f64, SimTime::from_secs(t));
+        }
+        r.instant("mark", "sim").at(SimTime::from_secs(9.0)).emit();
+        r.counter("untimed", 3);
+        r
+    }
+
+    #[test]
+    fn buffered_sink_is_byte_identical_to_slice_export() {
+        let records = busy_recorder().take();
+        let slice = perfetto_trace(&records);
+        let mut buf = Vec::new();
+        let mut sink = PerfettoSink::new(&mut buf);
+        crate::export::export_records(&mut sink, records.iter().cloned()).unwrap();
+        assert_eq!(sink.buffered_records(), records.len());
+        drop(sink);
+        assert_eq!(buf, slice);
+    }
+
+    #[test]
+    fn stream_sink_validates_with_matching_counts_and_bounded_state() {
+        let records = busy_recorder().take();
+        let slice_stats = validate_trace(&perfetto_trace(&records)).unwrap();
+        let mut buf = Vec::new();
+        let mut sink = PerfettoStreamSink::new(&mut buf);
+        sink.begin().unwrap();
+        for r in &records {
+            sink.record(r).unwrap();
+        }
+        sink.finish().unwrap();
+        assert_eq!(sink.buffered_records(), 0, "stream sink holds no records");
+        // 3 lanes + 2 counter tracks, no matter how many records flowed.
+        assert_eq!(sink.tracks_declared(), 5);
+        drop(sink);
+        let stats = validate_trace(&buf).expect("streamed trace must validate");
+        assert_eq!(stats.tracks, slice_stats.tracks);
+        assert_eq!(stats.slices, slice_stats.slices);
+        assert_eq!(stats.instants, slice_stats.instants);
+        assert_eq!(stats.counter_samples, slice_stats.counter_samples);
     }
 }

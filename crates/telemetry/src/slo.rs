@@ -1,0 +1,511 @@
+//! Multi-window SLO burn-rate alerting over the live telemetry stream.
+//!
+//! The SRE playbook's burn-rate alert, applied to the serving tier: an
+//! availability objective (say 99% of requests admitted and served fast
+//! enough) defines an error *budget* of `1 - objective`. The **burn
+//! rate** over a window is the observed error ratio divided by that
+//! budget — burn 1.0 exhausts the budget exactly at the objective
+//! period's end, burn 14.4 exhausts a 30-day budget in ~2 days. An alert
+//! fires only when a *short* and a *long* window both exceed the
+//! threshold: the long window filters blips, the short window makes the
+//! alert reset quickly once the incident ends.
+//!
+//! [`SloMonitor`] consumes the live record stream (fed from a
+//! [`crate::TailCursor`] drain, see [`crate::Recorder::drain_since`]) and
+//! buckets per-tenant good/bad events by simulated time:
+//!
+//! * `serving.admitted.<tenant>` counters are **good** events,
+//!   `serving.rejected.<tenant>` / `serving.shed.<tenant>` are **bad** —
+//!   the availability half of the objective.
+//! * `serving.invoke` spans (one per completed invocation, tenant in the
+//!   attrs) are latency events when
+//!   [`SloConfig::latency_threshold_secs`] is set: an invocation slower
+//!   than the threshold is a bad event at its completion time.
+//!
+//! [`SloMonitor::evaluate`] runs at tick boundaries with simulated time
+//! as the clock, so alert firing is a pure function of the record stream:
+//! identical seeds give identical alert sections, byte for byte. Old
+//! buckets are pruned past the longest window — memory is bounded by
+//! `tenants x windows`, independent of run length.
+
+use crate::record::{AttrValue, MetricKind, Record};
+use std::collections::BTreeMap;
+
+/// Alert urgency, ordered by how fast the budget is burning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Slow burn: file a ticket, look during business hours.
+    Ticket,
+    /// Fast burn: the budget dies within the response time — page.
+    Page,
+}
+
+impl Severity {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Ticket => "ticket",
+            Severity::Page => "page",
+        }
+    }
+}
+
+/// One multi-window burn-rate rule: fire when both windows burn faster
+/// than `threshold`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnWindow {
+    pub short_secs: f64,
+    pub long_secs: f64,
+    /// Burn-rate threshold (in budgets-per-objective-period).
+    pub threshold: f64,
+    pub severity: Severity,
+}
+
+impl BurnWindow {
+    pub fn new(short_secs: f64, long_secs: f64, threshold: f64, severity: Severity) -> Self {
+        assert!(
+            short_secs > 0.0 && long_secs >= short_secs,
+            "windows must be positive with short <= long"
+        );
+        assert!(threshold > 0.0, "non-positive burn threshold");
+        BurnWindow {
+            short_secs,
+            long_secs,
+            threshold,
+            severity,
+        }
+    }
+}
+
+/// SLO definition plus the alerting rules evaluated against it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloConfig {
+    /// Success-ratio objective in (0, 1), e.g. 0.99 = "99% of requests
+    /// good". The error budget is `1 - objective`.
+    pub objective: f64,
+    /// When set, completed `serving.invoke` spans slower than this count
+    /// as bad events (the latency half of the SLO). When `None` the SLO
+    /// is availability-only.
+    pub latency_threshold_secs: Option<f64>,
+    /// Bucket granularity of the good/bad event rings. Window sums are
+    /// bucket-aligned, so windows should be multiples of this.
+    pub bucket_secs: f64,
+    /// Rules, evaluated in order every [`SloMonitor::evaluate`].
+    pub windows: Vec<BurnWindow>,
+}
+
+impl SloConfig {
+    /// SRE-textbook defaults for the given objective: page on a 5m/1h
+    /// fast burn (14.4x), ticket on a 30m/6h slow burn (6x).
+    pub fn new(objective: f64) -> Self {
+        assert!(
+            objective > 0.0 && objective < 1.0,
+            "objective must be in (0, 1)"
+        );
+        SloConfig {
+            objective,
+            latency_threshold_secs: None,
+            bucket_secs: 5.0,
+            windows: vec![
+                BurnWindow::new(300.0, 3600.0, 14.4, Severity::Page),
+                BurnWindow::new(1800.0, 21600.0, 6.0, Severity::Ticket),
+            ],
+        }
+    }
+
+    /// Replace the window rules (simulation horizons are seconds, not
+    /// days, so tests and benches scale the windows down).
+    pub fn with_windows(mut self, windows: Vec<BurnWindow>) -> Self {
+        assert!(!windows.is_empty(), "no burn windows");
+        self.windows = windows;
+        self
+    }
+
+    pub fn with_bucket_secs(mut self, bucket_secs: f64) -> Self {
+        assert!(bucket_secs > 0.0, "non-positive bucket");
+        self.bucket_secs = bucket_secs;
+        self
+    }
+
+    pub fn with_latency_threshold(mut self, secs: f64) -> Self {
+        assert!(secs > 0.0, "non-positive latency threshold");
+        self.latency_threshold_secs = Some(secs);
+        self
+    }
+
+    fn budget(&self) -> f64 {
+        1.0 - self.objective
+    }
+
+    fn longest_window_secs(&self) -> f64 {
+        self.windows.iter().fold(0.0, |m, w| m.max(w.long_secs))
+    }
+}
+
+/// One fired burn-rate alert (possibly since resolved).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloAlert {
+    pub tenant: String,
+    pub severity: Severity,
+    pub short_secs: f64,
+    pub long_secs: f64,
+    pub threshold: f64,
+    /// Simulated time of the evaluation tick that fired the alert.
+    pub fired_at_secs: f64,
+    /// Set when a later evaluation saw both windows back under the
+    /// threshold; `None` = still firing at end of run.
+    pub resolved_at_secs: Option<f64>,
+    /// Highest short-window burn rate observed while the alert was
+    /// active.
+    pub peak_burn: f64,
+}
+
+/// Good/bad event counts in one time bucket.
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    good: u64,
+    bad: u64,
+}
+
+/// Per-tenant alerting state.
+#[derive(Debug, Default)]
+struct TenantState {
+    /// Time-bucketed ring: bucket index -> counts, pruned past the
+    /// longest window.
+    buckets: BTreeMap<u64, Bucket>,
+    /// Index into [`SloMonitor::alerts`] of the active alert per window
+    /// rule (by position in `config.windows`), `None` when quiet.
+    active: Vec<Option<usize>>,
+}
+
+/// Streaming burn-rate evaluator: feed records with
+/// [`SloMonitor::consume`], evaluate at tick boundaries with
+/// [`SloMonitor::evaluate`], read the deterministic alert log with
+/// [`SloMonitor::alerts`].
+#[derive(Debug)]
+pub struct SloMonitor {
+    config: SloConfig,
+    tenants: BTreeMap<String, TenantState>,
+    alerts: Vec<SloAlert>,
+}
+
+impl SloMonitor {
+    pub fn new(config: SloConfig) -> Self {
+        SloMonitor {
+            config,
+            tenants: BTreeMap::new(),
+            alerts: Vec::new(),
+        }
+    }
+
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    fn bucket_index(&self, at_secs: f64) -> u64 {
+        (at_secs.max(0.0) / self.config.bucket_secs) as u64
+    }
+
+    fn record_event(&mut self, tenant: &str, at_secs: f64, good: bool, count: u64) {
+        let idx = self.bucket_index(at_secs);
+        let windows = self.config.windows.len();
+        let state = self
+            .tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantState {
+                buckets: BTreeMap::new(),
+                active: vec![None; windows],
+            });
+        let b = state.buckets.entry(idx).or_default();
+        if good {
+            b.good += count;
+        } else {
+            b.bad += count;
+        }
+    }
+
+    /// Feed one record from the live stream. Non-serving records are
+    /// ignored, so the monitor can share a recorder with every other
+    /// layer of the stack.
+    pub fn consume(&mut self, record: &Record) {
+        match record {
+            Record::Metric(m) if m.kind == MetricKind::Counter => {
+                let Some(at) = m.at_secs else { return };
+                let (good, prefix) = if let Some(t) = m.name.strip_prefix("serving.admitted.") {
+                    (true, t)
+                } else if let Some(t) = m.name.strip_prefix("serving.rejected.") {
+                    (false, t)
+                } else if let Some(t) = m.name.strip_prefix("serving.shed.") {
+                    (false, t)
+                } else {
+                    return;
+                };
+                // Counters carry a delta (always 1 from the gateway, but
+                // honour larger deltas from other emitters).
+                let count = m.value.max(0.0) as u64;
+                if count > 0 {
+                    let tenant = prefix.to_string();
+                    self.record_event(&tenant, at, good, count);
+                }
+            }
+            Record::Span(s) if s.name == "serving.invoke" => {
+                let Some(threshold) = self.config.latency_threshold_secs else {
+                    return;
+                };
+                let Some(tenant) = s.attrs.iter().find_map(|(k, v)| match (k.as_str(), v) {
+                    ("tenant", AttrValue::Str(t)) => Some(t.clone()),
+                    _ => None,
+                }) else {
+                    return;
+                };
+                let slow = s.duration_secs() > threshold;
+                self.record_event(&tenant, s.end_secs, !slow, 1);
+            }
+            _ => {}
+        }
+    }
+
+    /// Error ratio over `(now - window_secs, now]`, bucket-aligned.
+    fn error_ratio(&self, state: &TenantState, now_secs: f64, window_secs: f64) -> f64 {
+        let now_idx = self.bucket_index(now_secs);
+        let from = now_secs - window_secs;
+        let from_idx = if from <= 0.0 {
+            0
+        } else {
+            self.bucket_index(from)
+        };
+        let (mut good, mut bad) = (0u64, 0u64);
+        for (_, b) in state.buckets.range(from_idx..=now_idx) {
+            good += b.good;
+            bad += b.bad;
+        }
+        let total = good + bad;
+        if total == 0 {
+            0.0
+        } else {
+            bad as f64 / total as f64
+        }
+    }
+
+    /// Evaluate every (tenant, window) rule at simulated time `now_secs`:
+    /// fire rising edges, resolve falling ones, track peak burn, prune
+    /// buckets past the longest window. Call at tick boundaries with
+    /// non-decreasing times.
+    pub fn evaluate(&mut self, now_secs: f64) {
+        let budget = self.config.budget();
+        let windows = self.config.windows.clone();
+        // Split-borrow dance: evaluation appends to `alerts` while
+        // iterating tenants, so take both maps apart explicitly.
+        let mut tenants = std::mem::take(&mut self.tenants);
+        for (tenant, state) in tenants.iter_mut() {
+            for (wi, w) in windows.iter().enumerate() {
+                let burn_short = self.error_ratio(state, now_secs, w.short_secs) / budget;
+                let burn_long = self.error_ratio(state, now_secs, w.long_secs) / budget;
+                let firing = burn_short >= w.threshold && burn_long >= w.threshold;
+                match (state.active[wi], firing) {
+                    (None, true) => {
+                        state.active[wi] = Some(self.alerts.len());
+                        self.alerts.push(SloAlert {
+                            tenant: tenant.clone(),
+                            severity: w.severity,
+                            short_secs: w.short_secs,
+                            long_secs: w.long_secs,
+                            threshold: w.threshold,
+                            fired_at_secs: now_secs,
+                            resolved_at_secs: None,
+                            peak_burn: burn_short,
+                        });
+                    }
+                    (Some(ai), true) => {
+                        let a = &mut self.alerts[ai];
+                        if burn_short > a.peak_burn {
+                            a.peak_burn = burn_short;
+                        }
+                    }
+                    (Some(ai), false) => {
+                        self.alerts[ai].resolved_at_secs = Some(now_secs);
+                        state.active[wi] = None;
+                    }
+                    (None, false) => {}
+                }
+            }
+            // Prune: everything strictly older than the longest window
+            // can never influence another evaluation.
+            let horizon = now_secs - self.config.longest_window_secs();
+            if horizon > 0.0 {
+                let keep_from = self.bucket_index(horizon);
+                state.buckets = state.buckets.split_off(&keep_from);
+            }
+        }
+        self.tenants = tenants;
+    }
+
+    /// The alert log so far, in firing order (deterministic: tenants are
+    /// iterated in name order, windows in config order, at monotone tick
+    /// times).
+    pub fn alerts(&self) -> &[SloAlert] {
+        &self.alerts
+    }
+
+    /// Buckets currently held (memory-bound diagnostics).
+    pub fn buckets_held(&self) -> usize {
+        self.tenants.values().map(|s| s.buckets.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::MetricRecord;
+
+    fn counter(name: &str, value: f64, at: f64) -> Record {
+        Record::Metric(MetricRecord {
+            seq: 0,
+            name: name.to_string(),
+            kind: MetricKind::Counter,
+            value,
+            at_secs: Some(at),
+        })
+    }
+
+    fn test_config() -> SloConfig {
+        // Scaled for second-scale sims: 95% objective, page on 2x burn
+        // over 5s/15s windows, 1s buckets.
+        SloConfig::new(0.95)
+            .with_bucket_secs(1.0)
+            .with_windows(vec![BurnWindow::new(5.0, 15.0, 2.0, Severity::Page)])
+    }
+
+    #[test]
+    fn quiet_stream_never_fires() {
+        let mut mon = SloMonitor::new(test_config());
+        for t in 0..30 {
+            mon.consume(&counter("serving.admitted.acme", 1.0, t as f64));
+            mon.evaluate(t as f64);
+        }
+        assert!(mon.alerts().is_empty());
+    }
+
+    #[test]
+    fn sustained_errors_fire_and_resolve() {
+        let mut mon = SloMonitor::new(test_config());
+        // 50% errors for 20s: burn = 0.5 / 0.05 = 10x >> 2x threshold.
+        for t in 0..20 {
+            mon.consume(&counter("serving.admitted.acme", 1.0, t as f64));
+            mon.consume(&counter("serving.rejected.acme", 1.0, t as f64));
+            mon.evaluate(t as f64);
+        }
+        assert_eq!(mon.alerts().len(), 1, "one alert, not one per tick");
+        let a = &mon.alerts()[0];
+        assert_eq!(a.tenant, "acme");
+        assert_eq!(a.severity, Severity::Page);
+        assert!(a.resolved_at_secs.is_none(), "still firing");
+        assert!(a.peak_burn >= 9.0, "peak burn {}", a.peak_burn);
+        // Recovery: clean traffic until both windows decay under 2x.
+        for t in 20..60 {
+            mon.consume(&counter("serving.admitted.acme", 4.0, t as f64));
+            mon.evaluate(t as f64);
+        }
+        let a = &mon.alerts()[0];
+        assert!(
+            a.resolved_at_secs.is_some(),
+            "alert must resolve after recovery"
+        );
+        assert_eq!(mon.alerts().len(), 1);
+    }
+
+    #[test]
+    fn short_blip_filtered_by_long_window() {
+        let mut mon = SloMonitor::new(test_config());
+        // 14s of clean traffic, then a single 1s error burst: the short
+        // window spikes but the long window stays under threshold.
+        for t in 0..14 {
+            mon.consume(&counter("serving.admitted.blip", 10.0, t as f64));
+            mon.evaluate(t as f64);
+        }
+        mon.consume(&counter("serving.rejected.blip", 3.0, 14.0));
+        mon.consume(&counter("serving.admitted.blip", 7.0, 14.0));
+        mon.evaluate(14.0);
+        assert!(
+            mon.alerts().is_empty(),
+            "long window must veto a 1-bucket blip: {:?}",
+            mon.alerts()
+        );
+    }
+
+    #[test]
+    fn latency_slo_counts_slow_invokes_as_bad() {
+        use crate::record::SpanRecord;
+        let cfg = test_config().with_latency_threshold(1.0);
+        let mut mon = SloMonitor::new(cfg);
+        let invoke = |start: f64, end: f64| {
+            Record::Span(SpanRecord {
+                seq: 0,
+                name: "serving.invoke".to_string(),
+                cat: "serving".to_string(),
+                start_secs: start,
+                end_secs: end,
+                track: 0,
+                depth: 0,
+                task: Some(1),
+                attempt: None,
+                attrs: vec![("tenant".to_string(), AttrValue::Str("lat".to_string()))],
+            })
+        };
+        for t in 0..20 {
+            // Every invocation takes 3s: all bad against a 1s threshold.
+            mon.consume(&invoke(t as f64, t as f64 + 3.0));
+            mon.evaluate(t as f64 + 3.0);
+        }
+        assert_eq!(mon.alerts().len(), 1);
+        assert_eq!(mon.alerts()[0].tenant, "lat");
+    }
+
+    #[test]
+    fn per_tenant_isolation() {
+        let mut mon = SloMonitor::new(test_config());
+        for t in 0..20 {
+            mon.consume(&counter("serving.admitted.good", 5.0, t as f64));
+            mon.consume(&counter("serving.rejected.bad", 5.0, t as f64));
+            mon.evaluate(t as f64);
+        }
+        let tenants: Vec<&str> = mon.alerts().iter().map(|a| a.tenant.as_str()).collect();
+        assert_eq!(tenants, vec!["bad"], "only the failing tenant pages");
+    }
+
+    #[test]
+    fn buckets_prune_to_constant_memory() {
+        let mut mon = SloMonitor::new(test_config());
+        for t in 0..10_000 {
+            mon.consume(&counter("serving.admitted.mem", 1.0, t as f64));
+            mon.evaluate(t as f64);
+        }
+        // Longest window 15s at 1s buckets: ~16 live buckets + slack.
+        assert!(
+            mon.buckets_held() <= 20,
+            "buckets must prune: {}",
+            mon.buckets_held()
+        );
+    }
+
+    #[test]
+    fn untimed_and_foreign_records_ignored() {
+        let mut mon = SloMonitor::new(test_config());
+        mon.consume(&Record::Metric(MetricRecord {
+            seq: 0,
+            name: "serving.admitted.x".to_string(),
+            kind: MetricKind::Counter,
+            value: 1.0,
+            at_secs: None,
+        }));
+        mon.consume(&counter("master.submitted", 1.0, 1.0));
+        mon.consume(&Record::Metric(MetricRecord {
+            seq: 0,
+            name: "serving.queue_depth.x".to_string(),
+            kind: MetricKind::Gauge,
+            value: 9.0,
+            at_secs: Some(1.0),
+        }));
+        mon.evaluate(1.0);
+        assert!(mon.tenants.is_empty());
+    }
+}

@@ -461,10 +461,19 @@ pub struct ShardDecoder<'a> {
 
 impl<'a> ShardDecoder<'a> {
     pub fn new(bytes: &'a [u8]) -> Self {
+        Self::with_state(bytes, CodecState::default())
+    }
+
+    /// A decoder that starts from an explicit codec state instead of the
+    /// default. This is what makes mid-stream resumption possible: a tail
+    /// drain hands out a byte chunk whose first record was delta-coded
+    /// against the *previous* chunk's final state, so the consumer resumes
+    /// with the state it saved rather than re-decoding the prefix.
+    pub(crate) fn with_state(bytes: &'a [u8], st: CodecState) -> Self {
         ShardDecoder {
             bytes,
             pos: 0,
-            st: CodecState::default(),
+            st,
             failed: false,
         }
     }
@@ -472,6 +481,13 @@ impl<'a> ShardDecoder<'a> {
     /// Bytes consumed so far (diagnostics).
     pub fn position(&self) -> usize {
         self.pos
+    }
+
+    /// The codec state after the last successfully decoded record — save
+    /// it and pass to [`ShardDecoder::with_state`] to resume decoding a
+    /// later chunk of the same shard stream.
+    pub(crate) fn state(&self) -> CodecState {
+        self.st
     }
 
     fn get_u8(&mut self) -> Result<u8, DecodeError> {
@@ -726,8 +742,22 @@ pub struct MergeDecoder<'a> {
 
 impl<'a> MergeDecoder<'a> {
     pub fn new(shards: impl IntoIterator<Item = &'a [u8]>) -> Self {
-        let mut decoders: Vec<ShardDecoder<'a>> =
-            shards.into_iter().map(ShardDecoder::new).collect();
+        Self::with_states(
+            shards
+                .into_iter()
+                .map(|bytes| (bytes, CodecState::default())),
+        )
+    }
+
+    /// [`MergeDecoder::new`] with per-shard starting codec states — the
+    /// form [`crate::Recorder::take`] uses after a tail consumer has
+    /// already drained a prefix of each shard's stream (the remaining
+    /// bytes were delta-coded against the drained prefix).
+    pub(crate) fn with_states(shards: impl IntoIterator<Item = (&'a [u8], CodecState)>) -> Self {
+        let mut decoders: Vec<ShardDecoder<'a>> = shards
+            .into_iter()
+            .map(|(bytes, st)| ShardDecoder::with_state(bytes, st))
+            .collect();
         let mut errors = Vec::new();
         let heads = decoders
             .iter_mut()

@@ -43,6 +43,14 @@ cargo test -q --offline -p lfm-integration-tests --test telemetry_binary
 cargo test -q --offline -p lfm-integration-tests --test perfetto_trace
 cargo build --release --offline -p lfm-bench --bin bench_telemetry
 
+echo "==> tail suite (live tailing, SLO burn-rate alerts, stream export)"
+cargo test -q --offline -p lfm-telemetry tail
+cargo test -q --offline -p lfm-telemetry slo
+cargo test -q --offline -p lfm-serving slo
+cargo test -q --offline -p lfm-bench
+cargo test -q --offline -p lfm-integration-tests --test telemetry_tail
+cargo build --release --offline -p lfm-bench --bin bench_tail
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run --offline
 
