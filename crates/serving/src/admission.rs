@@ -107,6 +107,35 @@ impl TokenBucket {
             false
         }
     }
+
+    /// Current fill and refill clock — the bucket's whole mutable state,
+    /// captured into the gateway journal image.
+    pub fn level(&self) -> (f64, f64) {
+        (self.tokens, self.last_refill_secs)
+    }
+
+    /// Restore state captured by [`TokenBucket::level`].
+    pub fn restore(&mut self, tokens: f64, last_refill_secs: f64) {
+        assert!(tokens >= 0.0 && tokens.is_finite(), "bad token level");
+        self.tokens = tokens.min(self.quota.burst);
+        self.last_refill_secs = last_refill_secs;
+    }
+
+    /// Effective refill rate, tokens per second.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.quota.rate_per_sec
+    }
+
+    /// Retarget the refill rate (the control loop's quota-tightening
+    /// lever). Accrued tokens and the refill clock are untouched, so a
+    /// tightened tenant keeps what it already earned but earns slower.
+    pub fn set_rate(&mut self, rate_per_sec: f64) {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "non-positive quota rate"
+        );
+        self.quota.rate_per_sec = rate_per_sec;
+    }
 }
 
 /// Classify one arrival. `tenant_depth` is the tenant's current queue
@@ -180,6 +209,27 @@ mod tests {
             admit(&cfg, 100.0, 0, 8, 10, None),
             AdmissionOutcome::ShedOverload
         );
+    }
+
+    #[test]
+    fn bucket_level_round_trips_and_rate_retargets() {
+        let mut a = TokenBucket::new(RateQuota::new(2.0, 4.0));
+        assert!(a.try_take(0.5));
+        assert!(a.try_take(0.5));
+        let (tokens, at) = a.level();
+        let mut b = TokenBucket::new(RateQuota::new(2.0, 4.0));
+        b.restore(tokens, at);
+        assert_eq!(b.level(), a.level());
+        // Identical draws after restore.
+        for t in [1.0, 1.25, 1.5, 4.0] {
+            assert_eq!(a.try_take(t), b.try_take(t));
+            assert_eq!(a.level(), b.level());
+        }
+        // Halving the rate halves the refill, not the accrued tokens.
+        let (before, _) = a.level();
+        a.set_rate(1.0);
+        assert_eq!(a.rate_per_sec(), 1.0);
+        assert_eq!(a.level().0, before);
     }
 
     #[test]

@@ -25,13 +25,41 @@
 //! (config, functions, tenants, seed): every RNG stream is forked from the
 //! config seed, every map is ordered, and ties break on ids — identical
 //! seeds give byte-identical [`ServingReport`]s and telemetry traces.
+//!
+//! ## Crash safety
+//!
+//! With [`ServingConfig::with_durability`] the streaming master journals
+//! every admission, and the gateway rides the same journal: at each
+//! detected master crash it pushes its own state image — per-tenant
+//! admitted-but-undispatched queues, stride passes, token-bucket levels,
+//! warm-pool entries, and the in-flight match table — through the full
+//! encode → decode → restore path (`GatewayImage` internally), so a
+//! recovered gateway neither double-admits nor forgets an admission:
+//! `admitted == completed + failed + lost` holds with `lost == 0`.
+//! Without a journal a crash is a full restart — the master re-runs
+//! everything it had admitted, while the gateway's queues, bucket levels,
+//! warm instances, and in-flight matches are gone; the forgotten
+//! invocations are counted in [`ServingReport::lost`] (the recovery
+//! bench's baseline) and the conservation invariant still balances.
+//!
+//! ## Alert-driven control
+//!
+//! With [`ServingConfig::with_control`] (requires an SLO), each tick's
+//! burn-rate alert *edges* feed a [`ControlPolicy`]: a rising edge
+//! tightens the offending tenant's admission (queue-depth bound, token
+//! refill) and grows the warm pool; while the alert stays raised the
+//! loop keeps escalating one stage per cooldown (a sustained burn emits
+//! no further edges); a falling edge relaxes one stage. Cooldown
+//! hysteresis plus edge dedup at the monitor make the action log
+//! ([`ServingReport::control_actions`]) deterministic and byte-stable.
 
 use crate::admission::{admit, AdmissionConfig, AdmissionOutcome, TokenBucket};
 use crate::arrivals::ArrivalProcess;
+use crate::control::{ControlConfig, ControlDecision, ControlPolicy};
 use crate::fair::FairScheduler;
-use crate::report::{AlertReport, LatencyStats, ServingReport, TenantReport};
+use crate::report::{AlertReport, ControlActionReport, LatencyStats, ServingReport, TenantReport};
 use crate::tenant::{TenantConfig, TenantId};
-use crate::warmpool::{WarmPool, WarmPoolConfig};
+use crate::warmpool::{WarmPool, WarmPoolConfig, WarmPoolImage};
 use lfm_funcx::container::{ActivationModel, ActivationTech};
 use lfm_funcx::registry::{FunctionId, FunctionRegistry};
 use lfm_funcx::service::FuncXService;
@@ -43,7 +71,9 @@ use lfm_simcluster::time::SimTime;
 use lfm_telemetry::slo::{SloConfig, SloMonitor};
 use lfm_telemetry::{Name, Recorder, TailCursor};
 use lfm_workqueue::allocate::{AutoConfig, Strategy};
+use lfm_workqueue::faults::FaultPlan;
 use lfm_workqueue::files::FileRef;
+use lfm_workqueue::journal::DurabilityConfig;
 use lfm_workqueue::master::MasterConfig;
 use lfm_workqueue::streaming::StreamingMaster;
 use lfm_workqueue::task::{TaskId, TaskSpec};
@@ -144,6 +174,14 @@ pub struct ServingConfig {
     /// [`lfm_telemetry::slo`]). Alerts land in
     /// [`ServingReport::alerts`].
     pub slo: Option<SloConfig>,
+    /// Master + gateway durability: with the journal on, every admission
+    /// is logged and crashes recover; off, a crash is a full restart.
+    pub durability: DurabilityConfig,
+    /// Fault injection for the backing master (crashes, churn, chaos).
+    pub faults: FaultPlan,
+    /// When set (requires [`ServingConfig::with_slo`]), burn-rate alert
+    /// edges drive staged admission tightening and warm-pool sizing.
+    pub control: Option<ControlConfig>,
 }
 
 impl ServingConfig {
@@ -164,6 +202,9 @@ impl ServingConfig {
             node,
             telemetry: Recorder::disabled(),
             slo: None,
+            durability: DurabilityConfig::none(),
+            faults: FaultPlan::reliable(),
+            control: None,
         }
     }
 
@@ -227,6 +268,32 @@ impl ServingConfig {
         self.slo = Some(slo);
         self
     }
+
+    /// Journal the serving run. The master logs every admission and
+    /// recovers from injected crashes; the gateway rides the same crash
+    /// points, probing its own state image through the full encode →
+    /// decode → restore path so recovery loses nothing.
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Inject master faults ([`FaultSpec::master_crash`] is the one the
+    /// recovery bench sweeps; churn and chaos compose with it).
+    ///
+    /// [`FaultSpec::master_crash`]: lfm_workqueue::faults::FaultSpec::master_crash
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Close the loop from SLO alerts to admission. Requires
+    /// [`ServingConfig::with_slo`]; actions land in
+    /// [`ServingReport::control_actions`].
+    pub fn with_control(mut self, control: ControlConfig) -> Self {
+        self.control = Some(control);
+        self
+    }
 }
 
 /// Live SLO evaluation state: the tailed recorder, the incremental
@@ -243,6 +310,188 @@ struct Queued {
     invocation: u64,
     function: usize,
     arrival_secs: f64,
+}
+
+/// Serializable image of the gateway's whole mutable policy state,
+/// journaled alongside the master's own snapshot at each crash. Recovery
+/// probes the full encode → decode → restore path (not a memcpy), so the
+/// codec itself is under test on every crash: per-tenant admission
+/// queues, the in-flight match table, stride passes, token-bucket
+/// levels, effective depth bounds, accounting counters, and the warm
+/// pool all survive bitwise.
+#[derive(Debug, Clone, PartialEq)]
+struct GatewayImage {
+    next_invocation: u64,
+    lost: u64,
+    /// Per tenant: `(invocation, function, arrival_secs)` in queue order.
+    queues: Vec<Vec<(u64, usize, f64)>>,
+    /// `(invocation, tenant, arrival_secs, dispatch_secs, warm)`.
+    in_flight: Vec<(u64, u32, f64, f64, bool)>,
+    passes: Vec<u64>,
+    /// Per tenant: `(tokens, last_refill_secs, rate_per_sec)` if quota'd.
+    buckets: Vec<Option<(f64, f64, f64)>>,
+    depth_limit: Vec<u64>,
+    /// Per tenant, field order of [`TenantCounters`].
+    counters: Vec<[u64; 8]>,
+    pool: WarmPoolImage,
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+struct ImageReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl ImageReader<'_> {
+    fn u64(&mut self) -> Option<u64> {
+        let end = self.at.checked_add(8)?;
+        let v = u64::from_le_bytes(self.bytes.get(self.at..end)?.try_into().ok()?);
+        self.at = end;
+        Some(v)
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    fn len(&mut self) -> Option<usize> {
+        usize::try_from(self.u64()?).ok().filter(|&n| n <= 1 << 32)
+    }
+}
+
+impl GatewayImage {
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, self.next_invocation);
+        put_u64(&mut buf, self.lost);
+        put_u64(&mut buf, self.queues.len() as u64);
+        for q in &self.queues {
+            put_u64(&mut buf, q.len() as u64);
+            for &(inv, function, arrival) in q {
+                put_u64(&mut buf, inv);
+                put_u64(&mut buf, function as u64);
+                put_f64(&mut buf, arrival);
+            }
+        }
+        put_u64(&mut buf, self.in_flight.len() as u64);
+        for &(inv, tenant, arrival, dispatch, warm) in &self.in_flight {
+            put_u64(&mut buf, inv);
+            put_u64(&mut buf, tenant as u64);
+            put_f64(&mut buf, arrival);
+            put_f64(&mut buf, dispatch);
+            put_u64(&mut buf, warm as u64);
+        }
+        put_u64(&mut buf, self.passes.len() as u64);
+        for &p in &self.passes {
+            put_u64(&mut buf, p);
+        }
+        put_u64(&mut buf, self.buckets.len() as u64);
+        for b in &self.buckets {
+            match b {
+                Some((tokens, at, rate)) => {
+                    put_u64(&mut buf, 1);
+                    put_f64(&mut buf, *tokens);
+                    put_f64(&mut buf, *at);
+                    put_f64(&mut buf, *rate);
+                }
+                None => put_u64(&mut buf, 0),
+            }
+        }
+        put_u64(&mut buf, self.depth_limit.len() as u64);
+        for &d in &self.depth_limit {
+            put_u64(&mut buf, d);
+        }
+        put_u64(&mut buf, self.counters.len() as u64);
+        for c in &self.counters {
+            for &v in c {
+                put_u64(&mut buf, v);
+            }
+        }
+        put_u64(&mut buf, self.pool.entries.len() as u64);
+        for &(id, function, last_used) in &self.pool.entries {
+            put_u64(&mut buf, id);
+            put_u64(&mut buf, function as u64);
+            put_f64(&mut buf, last_used);
+        }
+        put_u64(&mut buf, self.pool.next_id);
+        put_u64(&mut buf, self.pool.capacity as u64);
+        put_u64(&mut buf, self.pool.hits);
+        put_u64(&mut buf, self.pool.misses);
+        put_u64(&mut buf, self.pool.expirations);
+        buf
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = ImageReader { bytes, at: 0 };
+        let next_invocation = r.u64()?;
+        let lost = r.u64()?;
+        let tenant_count = r.len()?;
+        let mut queues = Vec::new();
+        for _ in 0..tenant_count {
+            let mut q = Vec::new();
+            for _ in 0..r.len()? {
+                q.push((r.u64()?, r.u64()? as usize, r.f64()?));
+            }
+            queues.push(q);
+        }
+        let mut in_flight = Vec::new();
+        for _ in 0..r.len()? {
+            in_flight.push((r.u64()?, r.u64()? as u32, r.f64()?, r.f64()?, r.u64()? != 0));
+        }
+        let mut passes = Vec::new();
+        for _ in 0..r.len()? {
+            passes.push(r.u64()?);
+        }
+        let mut buckets = Vec::new();
+        for _ in 0..r.len()? {
+            buckets.push(match r.u64()? {
+                0 => None,
+                _ => Some((r.f64()?, r.f64()?, r.f64()?)),
+            });
+        }
+        let mut depth_limit = Vec::new();
+        for _ in 0..r.len()? {
+            depth_limit.push(r.u64()?);
+        }
+        let mut counters = Vec::new();
+        for _ in 0..r.len()? {
+            let mut c = [0u64; 8];
+            for v in &mut c {
+                *v = r.u64()?;
+            }
+            counters.push(c);
+        }
+        let mut entries = Vec::new();
+        for _ in 0..r.len()? {
+            entries.push((r.u64()?, r.u64()? as usize, r.f64()?));
+        }
+        let pool = WarmPoolImage {
+            entries,
+            next_id: r.u64()?,
+            capacity: r.u64()? as usize,
+            hits: r.u64()?,
+            misses: r.u64()?,
+            expirations: r.u64()?,
+        };
+        (r.at == bytes.len()).then_some(GatewayImage {
+            next_invocation,
+            lost,
+            queues,
+            in_flight,
+            passes,
+            buckets,
+            depth_limit,
+            counters,
+            pool,
+        })
+    }
 }
 
 /// Everything known about a dispatched invocation until it completes.
@@ -338,6 +587,22 @@ pub struct ServingGateway {
     batches_submitted: u64,
     in_steady_phase: bool,
     slo_rt: Option<SloRuntime>,
+    /// Effective per-tenant depth bound (config baseline unless the
+    /// control loop tightened it).
+    depth_limit: Vec<usize>,
+    control: Option<ControlPolicy>,
+    control_log: Vec<ControlActionReport>,
+    /// Per-tenant count of alert windows currently raised (rising edges
+    /// minus falling edges). While > 0 the control loop keeps escalating
+    /// one level per cooldown even though no new edges arrive.
+    alert_raised: Vec<u32>,
+    /// Master crashes already handled by the gateway.
+    seen_crashes: u32,
+    gateway_recoveries: u32,
+    gateway_journal_bytes: u64,
+    /// Admitted invocations dropped before completion: forgotten by an
+    /// unjournaled crash restart, or trimmed by a control-loop tighten.
+    lost: u64,
 }
 
 impl ServingGateway {
@@ -371,10 +636,17 @@ impl ServingGateway {
                 monitor: SloMonitor::new(slo_cfg),
             }
         });
+        assert!(
+            config.control.is_none() || config.slo.is_some(),
+            "alert-driven control requires an SLO (ServingConfig::with_slo)"
+        );
         let master_cfg = MasterConfig::new(config.strategy.clone())
             .with_seed(config.seed)
-            .with_telemetry(config.telemetry.clone());
-        let master = StreamingMaster::new(&master_cfg, config.workers, config.node);
+            .with_telemetry(config.telemetry.clone())
+            .with_durability(config.durability)
+            .with_faults(config.faults.clone());
+        let master = StreamingMaster::new(&master_cfg, config.workers, config.node)
+            .expect("single-shard streaming config");
         let sched = FairScheduler::new(
             &tenants
                 .iter()
@@ -403,6 +675,8 @@ impl ServingGateway {
             .collect();
         let overhead_rng = SimRng::seeded(config.seed).fork(0xac71_7a7e);
         let n = tenants.len();
+        let depth_limit = tenants.iter().map(|t| t.max_queue_depth).collect();
+        let control = config.control.map(|c| ControlPolicy::new(c, n));
         ServingGateway {
             config,
             functions,
@@ -425,6 +699,14 @@ impl ServingGateway {
             batches_submitted: 0,
             in_steady_phase: true,
             slo_rt,
+            depth_limit,
+            control,
+            control_log: Vec::new(),
+            alert_raised: vec![0; n],
+            seen_crashes: 0,
+            gateway_recoveries: 0,
+            gateway_journal_bytes: 0,
+            lost: 0,
         }
     }
 
@@ -455,7 +737,7 @@ impl ServingGateway {
             &self.config.admission,
             at_secs,
             self.queues[tenant].len(),
-            self.tenants[tenant].max_queue_depth,
+            self.depth_limit[tenant],
             total_depth,
             self.buckets[tenant].as_mut(),
         );
@@ -620,16 +902,256 @@ impl ServingGateway {
         rt.monitor.evaluate(now_secs);
     }
 
+    /// Capture the gateway's whole mutable policy state.
+    fn snapshot_image(&self) -> GatewayImage {
+        GatewayImage {
+            next_invocation: self.next_invocation,
+            lost: self.lost,
+            queues: self
+                .queues
+                .iter()
+                .map(|q| {
+                    q.iter()
+                        .map(|e| (e.invocation, e.function, e.arrival_secs))
+                        .collect()
+                })
+                .collect(),
+            in_flight: self
+                .in_flight
+                .iter()
+                .map(|(&inv, f)| (inv, f.tenant, f.arrival_secs, f.dispatch_secs, f.warm))
+                .collect(),
+            passes: self.sched.passes(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| {
+                    b.as_ref().map(|b| {
+                        let (tokens, at) = b.level();
+                        (tokens, at, b.rate_per_sec())
+                    })
+                })
+                .collect(),
+            depth_limit: self.depth_limit.iter().map(|&d| d as u64).collect(),
+            counters: self
+                .counters
+                .iter()
+                .map(|c| {
+                    [
+                        c.offered,
+                        c.admitted,
+                        c.rejected_rate,
+                        c.rejected_queue_full,
+                        c.shed,
+                        c.dispatched_steady,
+                        c.completed,
+                        c.failed,
+                    ]
+                })
+                .collect(),
+            pool: self.pool.snapshot(),
+        }
+    }
+
+    /// Rebuild live state from a decoded image.
+    fn restore_image(&mut self, image: &GatewayImage) {
+        self.next_invocation = image.next_invocation;
+        self.lost = image.lost;
+        self.queues = image
+            .queues
+            .iter()
+            .map(|q| {
+                q.iter()
+                    .map(|&(invocation, function, arrival_secs)| Queued {
+                        invocation,
+                        function,
+                        arrival_secs,
+                    })
+                    .collect()
+            })
+            .collect();
+        self.in_flight = image
+            .in_flight
+            .iter()
+            .map(|&(inv, tenant, arrival_secs, dispatch_secs, warm)| {
+                (
+                    inv,
+                    InFlight {
+                        tenant,
+                        arrival_secs,
+                        dispatch_secs,
+                        warm,
+                    },
+                )
+            })
+            .collect();
+        self.sched.restore_passes(&image.passes);
+        for (bucket, level) in self.buckets.iter_mut().zip(&image.buckets) {
+            if let (Some(bucket), Some(&(tokens, at, rate))) = (bucket.as_mut(), level.as_ref()) {
+                bucket.set_rate(rate);
+                bucket.restore(tokens, at);
+            }
+        }
+        self.depth_limit = image.depth_limit.iter().map(|&d| d as usize).collect();
+        for (c, img) in self.counters.iter_mut().zip(&image.counters) {
+            *c = TenantCounters {
+                offered: img[0],
+                admitted: img[1],
+                rejected_rate: img[2],
+                rejected_queue_full: img[3],
+                shed: img[4],
+                dispatched_steady: img[5],
+                completed: img[6],
+                failed: img[7],
+            };
+        }
+        self.pool.restore(&image.pool);
+    }
+
+    /// Durable recovery: push the live state through the full snapshot →
+    /// encode → decode → restore path and require bitwise identity, so
+    /// every injected crash also proves the image codec is lossless.
+    fn recover_from_journal(&mut self) {
+        let image = self.snapshot_image();
+        let bytes = image.encode();
+        let decoded = GatewayImage::decode(&bytes).expect("gateway image decode");
+        assert_eq!(decoded, image, "gateway image must round-trip bitwise");
+        self.restore_image(&decoded);
+        debug_assert_eq!(self.snapshot_image(), image, "restore must be lossless");
+        self.gateway_journal_bytes += bytes.len() as u64;
+        self.gateway_recoveries += 1;
+    }
+
+    /// Unjournaled crash: the process restarts from configuration.
+    /// Admitted-but-incomplete invocations are forgotten (counted in
+    /// `lost`; the master's own full restart re-runs whatever it had
+    /// accepted, but the gateway can no longer match those results), and
+    /// every policy structure cold-starts.
+    fn full_restart(&mut self) {
+        let mut lost = 0u64;
+        for q in &mut self.queues {
+            lost += q.len() as u64;
+            q.clear();
+        }
+        lost += self.in_flight.len() as u64;
+        self.in_flight.clear();
+        self.lost += lost;
+        self.buckets = self
+            .tenants
+            .iter()
+            .map(|t| t.quota.map(TokenBucket::new))
+            .collect();
+        self.sched.restore_passes(&vec![0; self.tenants.len()]);
+        self.pool = WarmPool::new(self.config.warm_pool);
+        self.depth_limit = self.tenants.iter().map(|t| t.max_queue_depth).collect();
+        if let Some(policy) = self.control.as_mut() {
+            let cfg = *policy.config();
+            *policy = ControlPolicy::new(cfg, self.tenants.len());
+        }
+    }
+
+    /// React to master crashes that fired since the last tick.
+    fn handle_crashes(&mut self) {
+        let crashes = self.master.crashes();
+        while self.seen_crashes < crashes {
+            self.seen_crashes += 1;
+            if self.config.durability.journal {
+                self.recover_from_journal();
+            } else {
+                self.full_restart();
+            }
+        }
+    }
+
+    /// Apply queued SLO alert edges to the admission knobs (see the
+    /// module docs and [`ControlPolicy`]), then keep escalating any
+    /// tenant whose alert is still raised: a sustained burn produces no
+    /// further edges, so staged degradation past level 1 is driven by the
+    /// raised state, one level per cooldown, until the falling edge
+    /// arrives and relaxes.
+    fn apply_control(&mut self, now_secs: f64) {
+        if self.control.is_none() {
+            return;
+        }
+        let Some(rt) = self.slo_rt.as_mut() else {
+            return;
+        };
+        for tr in rt.monitor.take_transitions() {
+            let Some(tenant) = self.tenants.iter().position(|t| t.name == tr.tenant) else {
+                continue;
+            };
+            if tr.rising {
+                self.alert_raised[tenant] += 1;
+            } else {
+                self.alert_raised[tenant] = self.alert_raised[tenant].saturating_sub(1);
+            }
+            self.control_step(tenant, tr.rising, now_secs);
+        }
+        for tenant in 0..self.tenants.len() {
+            if self.alert_raised[tenant] > 0 {
+                self.control_step(tenant, true, now_secs);
+            }
+        }
+    }
+
+    /// One step of the control policy for `tenant`: consult the policy
+    /// (which enforces cooldown hysteresis and the level cap), then apply
+    /// the resulting depth / quota / warm-pool settings and log the
+    /// action. A `Hold` decision applies nothing.
+    fn control_step(&mut self, tenant: usize, rising: bool, now_secs: f64) {
+        let Some(policy) = self.control.as_mut() else {
+            return;
+        };
+        let (action, level) = match policy.on_transition(tenant, rising, now_secs) {
+            ControlDecision::Tighten { level } => ("tighten", level),
+            ControlDecision::Relax { level } => ("relax", level),
+            ControlDecision::Hold => return,
+        };
+        let depth = policy.depth_for(tenant, self.tenants[tenant].max_queue_depth);
+        self.depth_limit[tenant] = depth;
+        let quota_rate = self.tenants[tenant].quota.map(|q| {
+            let rate = policy.rate_for(tenant, q.rate_per_sec);
+            if let Some(bucket) = self.buckets[tenant].as_mut() {
+                bucket.set_rate(rate);
+            }
+            rate
+        });
+        let pool_capacity = policy.pool_capacity(self.config.warm_pool.capacity);
+        self.pool.set_capacity(pool_capacity);
+        // Staged degradation: a tighten sheds the over-bound backlog
+        // now instead of serving it at unbounded latency. Oldest first:
+        // those entries carry the largest accrued wait (the SLO is
+        // already burned on them), so the survivors are the freshest.
+        let mut trimmed = 0u64;
+        while self.queues[tenant].len() > depth {
+            self.queues[tenant].pop_front();
+            trimmed += 1;
+        }
+        self.lost += trimmed;
+        self.control_log.push(ControlActionReport {
+            at_secs: now_secs,
+            tenant: self.tenants[tenant].name.clone(),
+            action: action.to_string(),
+            level,
+            queue_depth: depth,
+            quota_rate,
+            pool_capacity,
+            trimmed,
+        });
+    }
+
     fn tick(&mut self, t_end: f64, accept: bool) {
         if accept {
             self.accept_arrivals(t_end);
         }
         self.master.run_until(SimTime::from_secs(t_end));
+        self.handle_crashes();
         self.collect();
         self.pool.expire(t_end);
         self.dispatch(t_end);
         self.emit_queue_gauges(t_end);
         self.observe_slo(t_end);
+        self.apply_control(t_end);
     }
 
     /// Drive the gateway: accept arrivals until the horizon, then drain
@@ -644,25 +1166,28 @@ impl ServingGateway {
             t = t_end;
         }
         self.in_steady_phase = false;
-        let admitted: u64 = self.counters.iter().map(|c| c.admitted).sum();
         let mut guard: u64 = 0;
-        while self
-            .counters
-            .iter()
-            .map(|c| c.completed + c.failed)
-            .sum::<u64>()
-            < admitted
-        {
+        // Drain until every admission is accounted for (completed, failed,
+        // or lost to a crash/trim) *and* the master has no outstanding
+        // work — an unjournaled restart re-runs tasks whose invocations
+        // the gateway already wrote off, and those must still finish.
+        loop {
+            let admitted: u64 = self.counters.iter().map(|c| c.admitted).sum();
+            let done: u64 = self
+                .counters
+                .iter()
+                .map(|c| c.completed + c.failed)
+                .sum::<u64>()
+                + self.lost;
+            if done >= admitted && self.master.completed() >= self.master.submitted() {
+                break;
+            }
             t += tick;
             self.tick(t, false);
             guard += 1;
             assert!(
                 guard < 100_000_000,
-                "drain diverged: {} of {admitted} done at t={t}",
-                self.counters
-                    .iter()
-                    .map(|c| c.completed + c.failed)
-                    .sum::<u64>()
+                "drain diverged: {done} of {admitted} done at t={t}"
             );
         }
         self.finish(t)
@@ -714,6 +1239,9 @@ impl ServingGateway {
             })
             .collect();
         let totals = |f: fn(&TenantCounters) -> u64| self.counters.iter().map(f).sum::<u64>();
+        let master_crashes = self.master.crashes();
+        let master_recoveries = self.master.recoveries();
+        let journal_bytes = self.master.journal_bytes() + self.gateway_journal_bytes;
         let report = self.master.finish();
         ServingReport {
             seed: self.config.seed,
@@ -737,7 +1265,13 @@ impl ServingGateway {
             master_cache_hits: report.cache_hits,
             master_cache_misses: report.cache_misses,
             master_net_bytes: report.net_bytes,
+            master_crashes,
+            master_recoveries,
+            gateway_recoveries: self.gateway_recoveries,
+            journal_bytes,
+            lost: self.lost,
             alerts,
+            control_actions: self.control_log,
             tenants,
         }
     }
@@ -1041,5 +1575,236 @@ mod tests {
         // The SLO tail is the one draining consumer: by the time the run
         // returns, every record has been consumed incrementally.
         assert!(rec.take().is_empty());
+    }
+
+    use lfm_workqueue::faults::{FaultPlan, FaultSpec};
+    use lfm_workqueue::journal::DurabilityConfig;
+
+    /// Crash roughly twice during a ~20s run (thousands of master events).
+    fn crashy(mean_events: f64, max: u32) -> FaultPlan {
+        FaultPlan::reliable().with(FaultSpec::master_crash(mean_events, max))
+    }
+
+    #[test]
+    fn journaled_crashes_recover_the_gateway_and_lose_nothing() {
+        let cfg = base_config()
+            .with_horizon(20.0)
+            .with_durability(DurabilityConfig::journal_with_snapshots(256))
+            .with_faults(crashy(600.0, 3));
+        let tenants = vec![one_tenant(40.0)
+            .pop()
+            .unwrap()
+            .with_quota(RateQuota::new(30.0, 40.0))];
+        let report = ServingGateway::new(cfg, vec![fast_fn()], tenants).run();
+        assert!(report.master_crashes > 0, "crash points never fired");
+        assert_eq!(report.master_recoveries, report.master_crashes);
+        assert_eq!(
+            report.gateway_recoveries, report.master_crashes,
+            "gateway must ride every master recovery"
+        );
+        assert!(report.journal_bytes > 0);
+        assert_eq!(report.lost, 0, "journaled recovery loses nothing");
+        assert!(report.invocations_conserved(), "{report:?}");
+        assert_eq!(report.completed, report.admitted);
+    }
+
+    #[test]
+    fn unjournaled_crash_is_a_full_restart_with_counted_loss() {
+        let cfg = base_config()
+            .with_horizon(20.0)
+            .with_faults(crashy(2000.0, 2));
+        let report = ServingGateway::new(cfg, vec![fast_fn()], one_tenant(60.0)).run();
+        assert!(report.master_crashes > 0, "crash points never fired");
+        assert_eq!(report.master_recoveries, 0, "no journal, no recovery");
+        assert_eq!(report.gateway_recoveries, 0);
+        assert_eq!(report.journal_bytes, 0);
+        assert!(
+            report.lost > 0,
+            "a restart must forget in-flight admissions"
+        );
+        assert!(
+            report.invocations_conserved(),
+            "conservation must hold through loss: {report:?}"
+        );
+        assert!(report.completed < report.admitted);
+    }
+
+    #[test]
+    fn crashed_serving_runs_are_deterministic() {
+        for durable in [false, true] {
+            let run = || {
+                let mut cfg = base_config()
+                    .with_horizon(15.0)
+                    .with_faults(crashy(1500.0, 2));
+                if durable {
+                    cfg = cfg.with_durability(DurabilityConfig::journal_only());
+                }
+                ServingGateway::new(cfg, vec![fast_fn()], one_tenant(50.0)).run()
+            };
+            let a = run();
+            let b = run();
+            assert!(a.master_crashes > 0, "durable={durable}: no crash fired");
+            assert_eq!(a, b, "durable={durable}");
+            assert_eq!(a.summary_json(), b.summary_json(), "durable={durable}");
+        }
+    }
+
+    #[test]
+    fn control_loop_stages_degradation_on_overload() {
+        // ~3x capacity with generous base depth: without control the
+        // backlog rides at the depth bound; with it, the first burn alert
+        // tightens the flood tenant's admission.
+        let run = || {
+            let cfg = base_config()
+                .with_admission(AdmissionConfig::new(100_000))
+                .with_horizon(20.0)
+                .with_slo(burn_slo())
+                .with_control(ControlConfig::new().with_cooldown(4.0));
+            let tenants = vec![TenantConfig::new("flood", 1, ArrivalConfig::poisson(400.0))
+                .with_max_queue_depth(2048)
+                .with_quota(RateQuota::new(300.0, 400.0))];
+            ServingGateway::new(cfg, vec![fast_fn()], tenants).run()
+        };
+        let a = run();
+        assert!(!a.alerts.is_empty(), "overload must fire the burn alert");
+        assert!(
+            !a.control_actions.is_empty(),
+            "alert edges must produce control actions"
+        );
+        let first = &a.control_actions[0];
+        assert_eq!(first.action, "tighten");
+        assert_eq!(first.tenant, "flood");
+        assert_eq!(first.level, 1);
+        assert!(first.queue_depth < 2048, "depth bound must shrink");
+        assert!(
+            first.quota_rate.unwrap() < 300.0,
+            "token refill must shrink"
+        );
+        assert!(
+            first.pool_capacity > 32,
+            "warm pool must grow past base (4 workers x 8)"
+        );
+        assert!(a.invocations_conserved(), "{a:?}");
+        // Tightening must actually bite: rejections beyond what the base
+        // config produced, and actions land in the JSON summary.
+        assert!(a
+            .summary_json()
+            .contains("\"control_actions\":[{\"at_secs\":"));
+        let b = run();
+        assert_eq!(a, b, "control actions must be seed-deterministic");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an SLO")]
+    fn control_requires_slo() {
+        let cfg = base_config().with_control(ControlConfig::new());
+        ServingGateway::new(cfg, vec![fast_fn()], one_tenant(1.0));
+    }
+
+    /// Satellite regression: alert firing must not depend on whether the
+    /// caller exports a telemetry trace — the gateway swaps in a private
+    /// recorder when telemetry is off, and the drained record stream (and
+    /// so every alert and control action) is identical either way.
+    #[test]
+    fn alerts_identical_with_telemetry_on_and_off() {
+        let run = |telemetry: Option<Recorder>| {
+            let mut cfg = base_config()
+                .with_admission(AdmissionConfig::new(512))
+                .with_horizon(20.0)
+                .with_slo(burn_slo())
+                .with_control(ControlConfig::new());
+            if let Some(rec) = telemetry {
+                cfg = cfg.with_telemetry(rec);
+            }
+            ServingGateway::new(cfg, vec![fast_fn()], flood_tenants()).run()
+        };
+        let with_trace = run(Some(Recorder::enabled()));
+        let without = run(None);
+        assert!(!with_trace.alerts.is_empty());
+        assert_eq!(with_trace.alerts, without.alerts);
+        assert_eq!(with_trace.control_actions, without.control_actions);
+        assert_eq!(with_trace, without, "the full report must match");
+        assert_eq!(with_trace.summary_json(), without.summary_json());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::arrivals::ArrivalConfig;
+    use crate::tenant::RateQuota;
+    use lfm_funcx::container::ActivationTech;
+    use lfm_workqueue::faults::{FaultPlan, FaultSpec};
+    use lfm_workqueue::journal::DurabilityConfig;
+    use proptest::prelude::*;
+
+    fn gateway(seed: u64, durable: bool, faults: FaultPlan) -> ServingGateway {
+        let mut cfg = ServingConfig::new(3, NodeSpec::new(8, 32 * 1024, 64 * 1024))
+            .with_seed(seed)
+            .with_horizon(8.0)
+            .with_tick(0.25)
+            .with_faults(faults);
+        if durable {
+            cfg = cfg.with_durability(DurabilityConfig::journal_with_snapshots(128));
+        }
+        let f = ServingFunction::synthetic(
+            "classify",
+            20 << 20,
+            ActivationTech::Docker,
+            SimTaskProfile::new(0.4, 1.0, 512, 128),
+            16 << 10,
+        );
+        let tenants = vec![
+            TenantConfig::new("steady", 2, ArrivalConfig::poisson(25.0)).with_max_queue_depth(64),
+            TenantConfig::new(
+                "bursty",
+                1,
+                ArrivalConfig::poisson(20.0).with_bursts(0.1, 2.0, 3.0),
+            )
+            .with_quota(RateQuota::new(18.0, 25.0)),
+        ];
+        ServingGateway::new(cfg, vec![f], tenants)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The conservation invariant under the crash × churn × chaos
+        /// matrix: every admitted invocation is completed, failed, or
+        /// counted lost — journaled or not, whatever else is failing.
+        #[test]
+        fn admissions_conserved_under_crash_churn_chaos(
+            seed in 0u64..1000,
+            durable in any::<bool>(),
+            crash_mean in 400f64..4000.0,
+            max_crashes in 1u32..4,
+            churn in any::<bool>(),
+            chaos in any::<bool>(),
+        ) {
+            let mut faults = FaultPlan::reliable()
+                .with(FaultSpec::master_crash(crash_mean, max_crashes));
+            if churn {
+                faults = faults.with(FaultSpec::worker_churn(60.0));
+            }
+            if chaos {
+                faults = faults
+                    .with(FaultSpec::message_delay(0.05, 0.2))
+                    .with(FaultSpec::straggler(0.1, 1.5, 3.0));
+            }
+            let report = gateway(seed, durable, faults).run();
+            prop_assert!(
+                report.invocations_conserved(),
+                "admitted {} != completed {} + failed {} + lost {} \
+                 (durable={durable}, crashes={})",
+                report.admitted, report.completed, report.failed,
+                report.lost, report.master_crashes
+            );
+            if durable {
+                prop_assert_eq!(report.lost, 0, "journaled runs lose nothing");
+                prop_assert_eq!(report.gateway_recoveries, report.master_crashes);
+            } else if report.master_crashes > 0 {
+                prop_assert_eq!(report.gateway_recoveries, 0);
+            }
+        }
     }
 }

@@ -18,7 +18,13 @@
 //! * [`warmpool`] — warm environment instances with TTL + LRU eviction;
 //!   cold vs warm activation costs from the funcX container models.
 //! * [`gateway`] — the tick loop tying it together: accept → advance
-//!   master → collect → dispatch batched task groups.
+//!   master → collect → dispatch batched task groups; with a journal it
+//!   recovers its own state image at every injected master crash, and
+//!   without one a crash is the full-restart baseline (lost work counted,
+//!   never hidden).
+//! * [`control`] — the alert-driven admission loop: SLO burn-rate alert
+//!   edges stage per-tenant degradation (depth, quota, warm-pool size)
+//!   with cooldown hysteresis.
 //! * [`report`] — per-tenant + aggregate accounting over bounded
 //!   [`lfm_simcluster::metrics::SparseHistogram`] latency sketches, with
 //!   deterministic JSON export.
@@ -29,6 +35,7 @@
 
 pub mod admission;
 pub mod arrivals;
+pub mod control;
 pub mod fair;
 pub mod gateway;
 pub mod report;
@@ -38,9 +45,12 @@ pub mod warmpool;
 pub mod prelude {
     pub use crate::admission::{AdmissionConfig, AdmissionOutcome};
     pub use crate::arrivals::{ArrivalConfig, ArrivalProcess};
+    pub use crate::control::{ControlConfig, ControlDecision, ControlPolicy};
     pub use crate::fair::FairScheduler;
     pub use crate::gateway::{ServingConfig, ServingFunction, ServingGateway};
-    pub use crate::report::{AlertReport, LatencyStats, ServingReport, TenantReport};
+    pub use crate::report::{
+        AlertReport, ControlActionReport, LatencyStats, ServingReport, TenantReport,
+    };
     pub use crate::tenant::{PriorityClass, RateQuota, TenantConfig, TenantId};
-    pub use crate::warmpool::{WarmPool, WarmPoolConfig};
+    pub use crate::warmpool::{WarmPool, WarmPoolConfig, WarmPoolImage};
 }

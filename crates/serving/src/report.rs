@@ -102,6 +102,48 @@ impl AlertReport {
     }
 }
 
+/// One accepted control-loop action (see [`crate::control`]): which
+/// tenant's degradation level moved, when, and the knob values now in
+/// effect. Ordered by action time; deterministic for identical seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlActionReport {
+    pub at_secs: f64,
+    pub tenant: String,
+    /// "tighten" or "relax".
+    pub action: String,
+    /// The tenant's degradation level after the action.
+    pub level: u32,
+    /// Effective queue-depth bound now enforced for the tenant.
+    pub queue_depth: usize,
+    /// Effective token refill rate, when the tenant carries a quota.
+    pub quota_rate: Option<f64>,
+    /// Warm-pool capacity now in effect (global).
+    pub pool_capacity: usize,
+    /// Queued invocations shed by this action's depth trim.
+    pub trimmed: u64,
+}
+
+impl ControlActionReport {
+    fn json(&self) -> String {
+        let quota = match self.quota_rate {
+            Some(r) => r.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"at_secs\":{},\"tenant\":\"{}\",\"action\":\"{}\",\"level\":{},\
+             \"queue_depth\":{},\"quota_rate\":{},\"pool_capacity\":{},\"trimmed\":{}}}",
+            self.at_secs,
+            self.tenant,
+            self.action,
+            self.level,
+            self.queue_depth,
+            quota,
+            self.pool_capacity,
+            self.trimmed
+        )
+    }
+}
+
 /// The whole run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServingReport {
@@ -130,9 +172,30 @@ pub struct ServingReport {
     pub master_cache_hits: u64,
     pub master_cache_misses: u64,
     pub master_net_bytes: u64,
+    /// Master crashes injected during the run (`FaultSpec::master_crash`).
+    pub master_crashes: u32,
+    /// Journaled master recoveries (equals `master_crashes` when the
+    /// config carries a journal; 0 when crashes fall back to full
+    /// restarts).
+    pub master_recoveries: u32,
+    /// Gateway-state recoveries: crashes survived by restoring the
+    /// gateway image (queues, passes, bucket levels, warm entries)
+    /// through the journal's encode/decode path.
+    pub gateway_recoveries: u32,
+    /// Journal bytes written, master records/snapshots plus gateway
+    /// images; 0 without a journal.
+    pub journal_bytes: u64,
+    /// Admitted invocations lost to unjournaled crashes (queued or
+    /// in-flight state the restarted gateway forgot). Always 0 with a
+    /// journal — the conservation invariant
+    /// `admitted == completed + failed + lost` holds either way.
+    pub lost: u64,
     /// SLO burn-rate alerts, in firing order (empty when no SLO was
     /// configured or nothing fired).
     pub alerts: Vec<AlertReport>,
+    /// Accepted control-loop actions, in action order (empty without an
+    /// alert-driven control policy).
+    pub control_actions: Vec<ControlActionReport>,
     pub tenants: Vec<TenantReport>,
 }
 
@@ -155,9 +218,21 @@ impl ServingReport {
         }
     }
 
+    /// Did the run conserve invocations? Every admitted invocation must
+    /// be accounted for: completed, failed, or (unjournaled crashes only)
+    /// explicitly lost.
+    pub fn invocations_conserved(&self) -> bool {
+        self.admitted == self.completed + self.failed + self.lost
+    }
+
     /// Deterministic single-line JSON summary (fixed field order).
     pub fn summary_json(&self) -> String {
         let alerts: Vec<String> = self.alerts.iter().map(AlertReport::json).collect();
+        let actions: Vec<String> = self
+            .control_actions
+            .iter()
+            .map(ControlActionReport::json)
+            .collect();
         let tenants: Vec<String> = self
             .tenants
             .iter()
@@ -188,7 +263,9 @@ impl ServingReport {
              \"failed\":{},\"success_rate\":{},\"latency\":{},\"queue_wait\":{},\
              \"warm_hits\":{},\"warm_misses\":{},\"warm_hit_rate\":{},\"warm_expirations\":{},\
              \"batches_submitted\":{},\"master_makespan_secs\":{},\"master_cache_hits\":{},\
-             \"master_cache_misses\":{},\"master_net_bytes\":{},\"alerts\":[{}],\
+             \"master_cache_misses\":{},\"master_net_bytes\":{},\"master_crashes\":{},\
+             \"master_recoveries\":{},\"gateway_recoveries\":{},\"journal_bytes\":{},\
+             \"lost\":{},\"alerts\":[{}],\"control_actions\":[{}],\
              \"tenants\":[{}]}}",
             self.seed,
             self.horizon_secs,
@@ -212,7 +289,13 @@ impl ServingReport {
             self.master_cache_hits,
             self.master_cache_misses,
             self.master_net_bytes,
+            self.master_crashes,
+            self.master_recoveries,
+            self.gateway_recoveries,
+            self.journal_bytes,
+            self.lost,
             alerts.join(","),
+            actions.join(","),
             tenants.join(",")
         )
     }
@@ -263,6 +346,11 @@ mod tests {
             master_cache_hits: 80,
             master_cache_misses: 10,
             master_net_bytes: 1 << 30,
+            master_crashes: 2,
+            master_recoveries: 2,
+            gateway_recoveries: 2,
+            journal_bytes: 9000,
+            lost: 0,
             alerts: vec![
                 AlertReport {
                     tenant: "acme".into(),
@@ -285,6 +373,16 @@ mod tests {
                     peak_burn: 3.5,
                 },
             ],
+            control_actions: vec![ControlActionReport {
+                at_secs: 13.0,
+                tenant: "acme".into(),
+                action: "tighten".into(),
+                level: 1,
+                queue_depth: 256,
+                quota_rate: None,
+                pool_capacity: 48,
+                trimmed: 12,
+            }],
             tenants: vec![TenantReport {
                 name: "acme".into(),
                 weight: 2,
@@ -314,5 +412,17 @@ mod tests {
         ));
         assert!(a.contains("\"resolved_at_secs\":null"));
         assert!(a.find("\"alerts\":").unwrap() < a.find("\"tenants\":").unwrap());
+        // Durability and control sections sit between master stats and
+        // alerts, in fixed order.
+        assert!(a.contains(
+            "\"master_crashes\":2,\"master_recoveries\":2,\"gateway_recoveries\":2,\
+             \"journal_bytes\":9000,\"lost\":0"
+        ));
+        assert!(a.contains(
+            "\"control_actions\":[{\"at_secs\":13,\"tenant\":\"acme\",\"action\":\"tighten\",\
+             \"level\":1,\"queue_depth\":256,\"quota_rate\":null,\"pool_capacity\":48,\
+             \"trimmed\":12}]"
+        ));
+        assert!(report.invocations_conserved());
     }
 }

@@ -46,6 +46,20 @@ struct Entry {
     last_used_secs: f64,
 }
 
+/// Serializable snapshot of a pool's entire mutable state, captured into
+/// the gateway journal image so a recovered gateway keeps its resident
+/// warm instances instead of cold-starting every tenant after a crash.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmPoolImage {
+    /// `(id, function, last_used_secs)` in id order.
+    pub entries: Vec<(u64, usize, f64)>,
+    pub next_id: u64,
+    pub capacity: usize,
+    pub hits: u64,
+    pub misses: u64,
+    pub expirations: u64,
+}
+
 /// The pool. `function` keys are gateway function-table indices.
 #[derive(Debug, Clone)]
 pub struct WarmPool {
@@ -157,6 +171,73 @@ impl WarmPool {
     pub fn resident(&self) -> usize {
         self.entries.len()
     }
+
+    /// Current capacity cap (the control loop may have moved it off the
+    /// configured base).
+    pub fn capacity(&self) -> usize {
+        self.config.capacity
+    }
+
+    /// Retarget the capacity cap (the control loop's pool lever). A shrink
+    /// below the resident count reclaims least-recently-used instances
+    /// immediately, counted as expirations — staged degradation frees the
+    /// scratch space now, not on some later miss.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        assert!(capacity > 0, "zero warm-pool capacity");
+        self.config.capacity = capacity;
+        while self.entries.len() > capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by(|(ia, a), (ib, b)| {
+                    a.last_used_secs
+                        .total_cmp(&b.last_used_secs)
+                        .then(ia.cmp(ib))
+                })
+                .map(|(&id, _)| id)
+                .expect("non-empty above capacity");
+            self.entries.remove(&victim);
+            self.expirations += 1;
+        }
+    }
+
+    /// Capture the pool's whole mutable state.
+    pub fn snapshot(&self) -> WarmPoolImage {
+        WarmPoolImage {
+            entries: self
+                .entries
+                .iter()
+                .map(|(&id, e)| (id, e.function, e.last_used_secs))
+                .collect(),
+            next_id: self.next_id,
+            capacity: self.config.capacity,
+            hits: self.hits,
+            misses: self.misses,
+            expirations: self.expirations,
+        }
+    }
+
+    /// Restore state captured by [`WarmPool::snapshot`].
+    pub fn restore(&mut self, image: &WarmPoolImage) {
+        self.entries = image
+            .entries
+            .iter()
+            .map(|&(id, function, last_used_secs)| {
+                (
+                    id,
+                    Entry {
+                        function,
+                        last_used_secs,
+                    },
+                )
+            })
+            .collect();
+        self.next_id = image.next_id;
+        self.config.capacity = image.capacity;
+        self.hits = image.hits;
+        self.misses = image.misses;
+        self.expirations = image.expirations;
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +290,44 @@ mod tests {
         assert_eq!(p.resident(), 0);
         assert_eq!(p.expirations(), 1);
         assert!(!p.acquire(0, 12.0), "expired instance is gone");
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_exactly() {
+        let mut p = WarmPool::new(WarmPoolConfig::new(4, 100.0));
+        for (f, t) in [(0, 1.0), (1, 2.0), (0, 3.0), (2, 4.0)] {
+            p.acquire(f, t);
+        }
+        p.expire(5.0);
+        let img = p.snapshot();
+        let mut q = WarmPool::new(WarmPoolConfig::new(4, 100.0));
+        q.restore(&img);
+        assert_eq!(q.snapshot(), img);
+        // Restored pool behaves identically from here on.
+        for (f, t) in [(0, 6.0), (1, 6.0), (3, 7.0), (2, 8.0)] {
+            assert_eq!(p.acquire(f, t), q.acquire(f, t), "f{f}@t{t}");
+        }
+        assert_eq!(p.snapshot(), q.snapshot());
+    }
+
+    #[test]
+    fn capacity_shrink_reclaims_lru_immediately() {
+        let mut p = WarmPool::new(WarmPoolConfig::new(4, 1000.0));
+        for (f, t) in [(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)] {
+            p.acquire(f, t);
+        }
+        assert_eq!(p.resident(), 4);
+        p.set_capacity(2);
+        assert_eq!(p.capacity(), 2);
+        assert_eq!(p.resident(), 2, "shrink reclaims immediately");
+        assert_eq!(p.expirations(), 2);
+        // The newest instances survived.
+        assert!(p.acquire(3, 5.0));
+        assert!(p.acquire(2, 5.0));
+        assert!(!p.acquire(0, 6.0), "LRU victims are gone");
+        // Growing back just raises the cap.
+        p.set_capacity(8);
+        assert_eq!(p.capacity(), 8);
     }
 
     #[test]

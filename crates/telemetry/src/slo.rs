@@ -159,6 +159,27 @@ pub struct SloAlert {
     pub peak_burn: f64,
 }
 
+/// One edge of an alert's lifecycle, emitted exactly once per transition:
+/// `rising = true` the evaluation tick a (tenant, window) rule started
+/// firing, `rising = false` the tick it resolved. Consumers that *act* on
+/// alerts (the serving control loop) drain these with
+/// [`SloMonitor::take_transitions`] instead of diffing the alert log —
+/// the rising-edge dedup lives here, in one place, so repeated firing
+/// ticks never produce repeated actions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertTransition {
+    pub tenant: String,
+    pub severity: Severity,
+    /// Index into [`SloConfig::windows`] of the rule that transitioned.
+    pub window: usize,
+    /// True when the alert fired, false when it resolved.
+    pub rising: bool,
+    /// Evaluation time of the transition.
+    pub at_secs: f64,
+    /// Short-window burn rate observed at the transition tick.
+    pub burn: f64,
+}
+
 /// Good/bad event counts in one time bucket.
 #[derive(Debug, Clone, Copy, Default)]
 struct Bucket {
@@ -186,6 +207,10 @@ pub struct SloMonitor {
     config: SloConfig,
     tenants: BTreeMap<String, TenantState>,
     alerts: Vec<SloAlert>,
+    /// Un-drained alert edges since the last [`take_transitions`].
+    ///
+    /// [`take_transitions`]: SloMonitor::take_transitions
+    transitions: Vec<AlertTransition>,
 }
 
 impl SloMonitor {
@@ -194,6 +219,7 @@ impl SloMonitor {
             config,
             tenants: BTreeMap::new(),
             alerts: Vec::new(),
+            transitions: Vec::new(),
         }
     }
 
@@ -314,6 +340,14 @@ impl SloMonitor {
                             resolved_at_secs: None,
                             peak_burn: burn_short,
                         });
+                        self.transitions.push(AlertTransition {
+                            tenant: tenant.clone(),
+                            severity: w.severity,
+                            window: wi,
+                            rising: true,
+                            at_secs: now_secs,
+                            burn: burn_short,
+                        });
                     }
                     (Some(ai), true) => {
                         let a = &mut self.alerts[ai];
@@ -324,6 +358,14 @@ impl SloMonitor {
                     (Some(ai), false) => {
                         self.alerts[ai].resolved_at_secs = Some(now_secs);
                         state.active[wi] = None;
+                        self.transitions.push(AlertTransition {
+                            tenant: tenant.clone(),
+                            severity: w.severity,
+                            window: wi,
+                            rising: false,
+                            at_secs: now_secs,
+                            burn: burn_short,
+                        });
                     }
                     (None, false) => {}
                 }
@@ -344,6 +386,15 @@ impl SloMonitor {
     /// times).
     pub fn alerts(&self) -> &[SloAlert] {
         &self.alerts
+    }
+
+    /// Drain the alert edges (rising + falling) recorded since the last
+    /// call, in evaluation order (tenant name, then window index, at
+    /// monotone tick times). Each transition is delivered exactly once —
+    /// an alert that keeps firing across many ticks yields one rising
+    /// edge, which is what makes edge-driven control deterministic.
+    pub fn take_transitions(&mut self) -> Vec<AlertTransition> {
+        std::mem::take(&mut self.transitions)
     }
 
     /// Buckets currently held (memory-bound diagnostics).
@@ -485,6 +536,32 @@ mod tests {
             "buckets must prune: {}",
             mon.buckets_held()
         );
+    }
+
+    #[test]
+    fn transitions_are_edge_deduped_and_drained_once() {
+        let mut mon = SloMonitor::new(test_config());
+        // 20s of 50% errors: fires once, despite firing on many ticks.
+        for t in 0..20 {
+            mon.consume(&counter("serving.admitted.acme", 1.0, t as f64));
+            mon.consume(&counter("serving.rejected.acme", 1.0, t as f64));
+            mon.evaluate(t as f64);
+        }
+        let rising = mon.take_transitions();
+        assert_eq!(rising.len(), 1, "one rising edge: {rising:?}");
+        assert!(rising[0].rising);
+        assert_eq!(rising[0].tenant, "acme");
+        assert_eq!(rising[0].window, 0);
+        assert!(mon.take_transitions().is_empty(), "drained exactly once");
+        // Recovery produces exactly one falling edge.
+        for t in 20..60 {
+            mon.consume(&counter("serving.admitted.acme", 4.0, t as f64));
+            mon.evaluate(t as f64);
+        }
+        let falling = mon.take_transitions();
+        assert_eq!(falling.len(), 1, "{falling:?}");
+        assert!(!falling[0].rising);
+        assert!(falling[0].at_secs > rising[0].at_secs);
     }
 
     #[test]

@@ -29,8 +29,10 @@
 //! integers, `f64` as raw bits (exact round-trip), and length-prefixed
 //! strings. See DESIGN.md §5e for the format and the recovery invariants.
 
-use crate::task::{TaskId, TaskResult};
+use crate::files::{FileKind, FileRef};
+use crate::task::{TaskId, TaskResult, TaskSpec};
 use lfm_monitor::report::{MonitorOutcome, ResourceKind, ResourceReport};
+use lfm_monitor::sim::SimTaskProfile;
 use lfm_simcluster::node::Resources;
 use lfm_simcluster::time::SimTime;
 use std::collections::{BTreeMap, VecDeque};
@@ -228,6 +230,15 @@ pub(crate) enum Record {
     /// decrements its remaining-dependency count (the matching `Enqueue`
     /// follows when the count reaches zero).
     RemoteDep { task_idx: u64 },
+    /// A streamed task was admitted mid-run (`Event::Submit`). The full spec
+    /// travels in the record so replay can re-grow the per-task state vectors
+    /// (and intern a brand-new category at index `cat`) exactly as the live
+    /// master did; the `Enqueue` for the fresh attempt follows immediately.
+    Submitted {
+        task_idx: u64,
+        cat: u32,
+        spec: Box<TaskSpec>,
+    },
 }
 
 /// Why a journal or snapshot failed to decode.
@@ -492,6 +503,96 @@ fn read_result(r: &mut Reader<'_>) -> Result<TaskResult, JournalError> {
     })
 }
 
+fn put_file_ref(out: &mut Vec<u8>, f: &FileRef) {
+    put_str(out, &f.name);
+    put_u64(out, f.size_bytes);
+    put_bool(out, f.cacheable);
+    match &f.kind {
+        FileKind::Data => put_u8(out, 0),
+        FileKind::EnvironmentPack {
+            unpacked_files,
+            relocation_ops,
+            unpacked_bytes,
+        } => {
+            put_u8(out, 1);
+            put_u64(out, *unpacked_files);
+            put_u64(out, *relocation_ops);
+            put_u64(out, *unpacked_bytes);
+        }
+    }
+}
+
+fn read_file_ref(r: &mut Reader<'_>) -> Result<FileRef, JournalError> {
+    let name = r.string()?;
+    let size_bytes = r.u64()?;
+    let cacheable = r.bool()?;
+    let kind = match r.u8()? {
+        0 => FileKind::Data,
+        1 => FileKind::EnvironmentPack {
+            unpacked_files: r.u64()?,
+            relocation_ops: r.u64()?,
+            unpacked_bytes: r.u64()?,
+        },
+        t => return Err(JournalError::BadTag("file-kind", t)),
+    };
+    Ok(FileRef {
+        name,
+        size_bytes,
+        cacheable,
+        kind,
+    })
+}
+
+fn put_spec(out: &mut Vec<u8>, spec: &TaskSpec) {
+    put_u64(out, spec.id.0);
+    put_str(out, &spec.category);
+    put_u64(out, spec.inputs.len() as u64);
+    for f in &spec.inputs {
+        put_file_ref(out, f);
+    }
+    put_u64(out, spec.output_bytes);
+    put_f64(out, spec.profile.duration_secs);
+    put_f64(out, spec.profile.cores_used);
+    put_u64(out, spec.profile.base_memory_mb);
+    put_u64(out, spec.profile.peak_memory_mb);
+    put_f64(out, spec.profile.mem_ramp_fraction);
+    put_u64(out, spec.profile.peak_disk_mb);
+    put_u64(out, spec.deps.len() as u64);
+    for d in &spec.deps {
+        put_u64(out, d.0);
+    }
+}
+
+fn read_spec(r: &mut Reader<'_>) -> Result<TaskSpec, JournalError> {
+    let id = TaskId(r.u64()?);
+    let category = r.string()?;
+    let mut inputs = Vec::new();
+    for _ in 0..r.u64()? {
+        inputs.push(read_file_ref(r)?);
+    }
+    let output_bytes = r.u64()?;
+    let profile = SimTaskProfile {
+        duration_secs: r.f64()?,
+        cores_used: r.f64()?,
+        base_memory_mb: r.u64()?,
+        peak_memory_mb: r.u64()?,
+        mem_ramp_fraction: r.f64()?,
+        peak_disk_mb: r.u64()?,
+    };
+    let mut deps = Vec::new();
+    for _ in 0..r.u64()? {
+        deps.push(TaskId(r.u64()?));
+    }
+    Ok(TaskSpec {
+        id,
+        category,
+        inputs,
+        output_bytes,
+        profile,
+        deps,
+    })
+}
+
 impl Record {
     pub fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -639,6 +740,16 @@ impl Record {
                 put_u8(out, 21);
                 put_u64(out, *task_idx);
             }
+            Record::Submitted {
+                task_idx,
+                cat,
+                spec,
+            } => {
+                put_u8(out, 22);
+                put_u64(out, *task_idx);
+                put_u32(out, *cat);
+                put_spec(out, spec);
+            }
         }
     }
 
@@ -732,6 +843,11 @@ impl Record {
                 attempt: r.u32()?,
             },
             21 => Record::RemoteDep { task_idx: r.u64()? },
+            22 => Record::Submitted {
+                task_idx: r.u64()?,
+                cat: r.u32()?,
+                spec: Box::new(read_spec(r)?),
+            },
             t => return Err(JournalError::BadTag("record", t)),
         })
     }
@@ -1181,6 +1297,20 @@ pub mod bench_api {
         n
     }
 
+    /// Decode an arbitrary byte stream as journal records, returning how
+    /// many decoded cleanly before the stream ended or the first error.
+    /// Unlike [`decode_records`] this never panics — it is the entry point
+    /// the decoder-robustness proptests drive with corrupt/truncated input.
+    pub fn try_decode_records(buf: &[u8]) -> Result<usize, crate::journal::JournalError> {
+        let mut r = Reader::new(buf);
+        let mut n = 0;
+        while !r.is_empty() {
+            Record::decode(&mut r)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
     /// Encode a populated `MasterImage` snapshot for a `tasks`-task run.
     pub fn encode_image(tasks: usize) -> Vec<u8> {
         let deps: Vec<usize> = (0..tasks).map(|i| i % 3).collect();
@@ -1337,6 +1467,30 @@ mod tests {
                 attempt: 0,
             },
             Record::RemoteDep { task_idx: 12 },
+            Record::Submitted {
+                task_idx: 100,
+                cat: 2,
+                spec: Box::new(
+                    TaskSpec::new(
+                        TaskId(100),
+                        "stream",
+                        vec![
+                            FileRef::data("in.pkl", 4096),
+                            FileRef::environment("env.tar.gz", 1 << 20, 4 << 20, 500, 80),
+                        ],
+                        1 << 16,
+                        SimTaskProfile {
+                            duration_secs: 12.5,
+                            cores_used: 1.25,
+                            base_memory_mb: 64,
+                            peak_memory_mb: 256,
+                            mem_ramp_fraction: 0.4,
+                            peak_disk_mb: 512,
+                        },
+                    )
+                    .after(vec![TaskId(3)]),
+                ),
+            },
         ]
     }
 

@@ -818,6 +818,12 @@ pub(crate) struct Master {
     master_crashes: u32,
     recoveries: u32,
     replayed_events: u64,
+    /// Task/category counts at construction. Streamed admissions grow
+    /// `tasks`/`cat_names` past these, so recovery's fresh-image fallback
+    /// must start from the *constructed* sizes and let `Record::Submitted`
+    /// replay re-grow the per-task vectors in admission order.
+    initial_task_count: usize,
+    initial_cat_count: usize,
     /// The `probe_restore_at` test hook already fired.
     probe_done: bool,
     /// Federation role (`None` for the classic standalone master). See
@@ -882,6 +888,8 @@ impl Master {
             SchedImpl::Reference => SchedState::Reference(VecDeque::new()),
             SchedImpl::Indexed => SchedState::Indexed(IndexedSched::new(config.policy)),
         };
+        let initial_task_count = tasks.len();
+        let initial_cat_count = cat_names.len();
         Master {
             dep_remaining,
             dependents,
@@ -935,6 +943,8 @@ impl Master {
             master_crashes: 0,
             recoveries: 0,
             replayed_events: 0,
+            initial_task_count,
+            initial_cat_count,
             probe_done: false,
             fed: None,
             config,
@@ -1209,6 +1219,11 @@ impl Master {
         self.cat_of.push(cat);
         self.dep_remaining.push(0);
         self.infra_fail_count.push(0);
+        self.jrec(Record::Submitted {
+            task_idx: task_idx as u64,
+            cat,
+            spec: Box::new(spec.clone()),
+        });
         self.tasks.push(spec);
         self.enqueue_back(Pending {
             task_idx,
@@ -1382,8 +1397,14 @@ impl Master {
             .base_image()
             .expect("snapshot decodes")
             .unwrap_or_else(|| {
-                let fresh_deps: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
-                MasterImage::fresh(&fresh_deps, self.tasks.len(), self.cat_names.len())
+                // Start from the *constructed* task/category sizes: tasks
+                // streamed in after run start re-grow the image as their
+                // `Submitted` records replay.
+                let fresh_deps: Vec<usize> = self.tasks[..self.initial_task_count]
+                    .iter()
+                    .map(|t| t.deps.len())
+                    .collect();
+                MasterImage::fresh(&fresh_deps, self.initial_task_count, self.initial_cat_count)
             });
         let full_deps = Self::dependency_graph(&self.tasks);
         for rec in journal.tail() {
@@ -1408,7 +1429,9 @@ impl Master {
                 worker_count,
             } => {
                 debug_assert_eq!(*seed, self.config.seed, "journal from another run");
-                debug_assert_eq!(*task_count, self.tasks.len() as u64);
+                // `self.tasks` may have grown past the header count via
+                // streamed admissions; the header pins the constructed size.
+                debug_assert_eq!(*task_count, self.initial_task_count as u64);
                 debug_assert_eq!(*worker_count, self.worker_count);
             }
             Record::Enqueue {
@@ -1566,6 +1589,26 @@ impl Master {
             }
             Record::EnvFailure { count } => img.env_failures = *count,
             Record::Degraded => img.degraded = true,
+            Record::Submitted { task_idx, cat, .. } => {
+                // Mirrors `admit_streamed`: the per-task vectors grow by one
+                // slot (dependency-free) and a first-seen category extends
+                // the per-category vectors. The spec itself survives in
+                // `self.tasks` — the record's copy keeps the on-disk journal
+                // self-contained; replay only needs the index growth.
+                debug_assert_eq!(
+                    *task_idx,
+                    img.dep_remaining.len() as u64,
+                    "streamed admissions replay in admission order"
+                );
+                img.dep_remaining.push(0);
+                img.infra_fail_count.push(0);
+                while img.cat_streak.len() <= *cat as usize {
+                    img.cat_streak.push(0);
+                }
+                while img.alloc_stats.len() <= *cat as usize {
+                    img.alloc_stats.push(CategorySnap::default());
+                }
+            }
             Record::Counter { key, amount } => match key {
                 CounterKey::WorkersProvisioned => img.workers_provisioned += *amount as u32,
                 CounterKey::WorkersLost => img.workers_lost += *amount as u32,
@@ -3253,6 +3296,23 @@ impl Master {
     /// Attempts currently placed on workers.
     pub(crate) fn in_flight_count(&self) -> usize {
         self.in_flight
+    }
+
+    /// Master crashes fired so far (`FaultKind::MasterCrash`).
+    pub(crate) fn crash_count(&self) -> u32 {
+        self.master_crashes
+    }
+
+    /// Journaled recoveries completed so far (≤ `crash_count`; the gap is
+    /// full restarts).
+    pub(crate) fn recovery_count(&self) -> u32 {
+        self.recoveries
+    }
+
+    /// Journal bytes flushed so far (records plus snapshots); 0 without a
+    /// journal.
+    pub(crate) fn journal_bytes(&self) -> u64 {
+        self.journal.as_ref().map_or(0, |j| j.bytes_written())
     }
 
     /// Give up to `max` queued first-attempt tasks from the back of the

@@ -430,6 +430,40 @@ proptest! {
         }
     }
 
+    /// Journal decoding is total: arbitrary bytes either decode or return
+    /// a typed error — never a panic (mirror of the telemetry wire
+    /// proptests from PR 8). Bounded-allocation too: every length prefix
+    /// is validated against the remaining buffer before materializing.
+    #[test]
+    fn journal_decode_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let _ = crate::journal::bench_api::try_decode_records(&bytes);
+    }
+
+    /// Truncating a valid record stream at any point yields a clean prefix
+    /// count or a typed error, never a panic.
+    #[test]
+    fn journal_decode_survives_truncation(n in 1u64..40, cut_frac in 0.0f64..1.0) {
+        let buf = crate::journal::bench_api::encode_records(n);
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        if let Ok(k) = crate::journal::bench_api::try_decode_records(&buf[..cut]) {
+            prop_assert!(k <= n as usize);
+        }
+    }
+
+    /// Flipping any byte of a valid stream decodes or errors, never panics
+    /// — corrupt tags, lengths, and times all surface as `JournalError`.
+    #[test]
+    fn journal_decode_survives_corruption(
+        n in 1u64..30, pos_frac in 0.0f64..1.0, xor in 1u8..=255
+    ) {
+        let mut buf = crate::journal::bench_api::encode_records(n);
+        let pos = (((buf.len() - 1) as f64) * pos_frac) as usize;
+        buf[pos] ^= xor;
+        let _ = crate::journal::bench_api::try_decode_records(&buf);
+    }
+
     /// Determinism: identical config + workload ⇒ identical report.
     #[test]
     fn runs_are_deterministic(seed in 0u64..1000) {

@@ -23,20 +23,55 @@
 //! start-ups in the FIFO calendar, so the pending queue is seeded in the
 //! same order the batch path seeds it (pinned by a test below).
 //!
-//! Scope: streamed tasks must be dependency-free, and streaming excludes
-//! the durability layer (`Event::Submit` grows the task vector, which the
-//! journal's fixed-size snapshot images do not model) and injected master
-//! crashes. Both are asserted at construction.
+//! Scope: streamed tasks must be dependency-free (asserted at admission),
+//! and streaming runs a single master — federation sharding is refused
+//! with a typed [`ConfigError`] at construction instead of silently
+//! downgrading. The durability layer *is* supported: every streamed
+//! admission journals a `Record::Submitted` carrying the full spec, so a
+//! crashed master recovers `snapshot ⊕ tail` exactly as the batch path
+//! does — per-task state vectors re-grow in admission order, unprocessed
+//! `Submit` events survive in the calendar as world events, and leases
+//! reclaim orphaned placements. Without a journal a master crash is a
+//! full restart: the result log is wiped, the wrapper's cursor re-clamps,
+//! and every admitted invocation re-runs (the serving tier's recovery
+//! baseline).
 //!
 //! [`run_until`]: StreamingMaster::run_until
 //! [`take_new_results`]: StreamingMaster::take_new_results
 //! [`run_workload`]: crate::master::run_workload
 
-use crate::faults::FaultKind;
 use crate::master::{Event, Master, MasterConfig, RunReport};
 use crate::task::{TaskResult, TaskSpec};
 use lfm_simcluster::node::NodeSpec;
 use lfm_simcluster::time::SimTime;
+
+/// Why a [`MasterConfig`] cannot drive a streaming master. Unsupported
+/// configurations fail loudly at construction instead of quietly
+/// downgrading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Streaming runs a single master: the foreman federation partitions a
+    /// *fixed* task vector across shards at start-up, which streamed
+    /// admissions would invalidate.
+    ShardedStreaming {
+        /// The shard count the config asked for.
+        shards: u32,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ShardedStreaming { shards } => write!(
+                f,
+                "streaming masters run a single shard, not {shards}: the \
+                 federation partitions a fixed task vector at start-up"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// A long-running master accepting streamed task batches.
 pub struct StreamingMaster {
@@ -49,30 +84,24 @@ pub struct StreamingMaster {
 impl StreamingMaster {
     /// Start a master with an (initially) empty workload on `worker_count`
     /// workers of `spec`. Pilots are provisioned on the first clock
-    /// advance; submissions may be scheduled before that.
-    pub fn new(config: &MasterConfig, worker_count: u32, spec: NodeSpec) -> Self {
-        assert!(
-            !config.durability.journal,
-            "streaming masters do not support the durability layer: the \
-             journal's snapshot images assume a fixed task vector"
-        );
-        assert!(
-            !config
-                .faults
-                .specs()
-                .iter()
-                .any(|s| matches!(s.kind, FaultKind::MasterCrash { .. })),
-            "streaming masters do not support injected master crashes \
-             (recovery assumes a fixed task vector)"
-        );
-        let mut cfg = config.clone();
-        cfg.shards = 1;
-        StreamingMaster {
-            master: Master::new(cfg, Vec::new(), worker_count, spec),
+    /// advance; submissions may be scheduled before that. Returns a
+    /// [`ConfigError`] for configurations streaming cannot honor.
+    pub fn new(
+        config: &MasterConfig,
+        worker_count: u32,
+        spec: NodeSpec,
+    ) -> Result<Self, ConfigError> {
+        if config.shards > 1 {
+            return Err(ConfigError::ShardedStreaming {
+                shards: config.shards,
+            });
+        }
+        Ok(StreamingMaster {
+            master: Master::new(config.clone(), Vec::new(), worker_count, spec),
             started: false,
             results_cursor: 0,
             submitted: 0,
-        }
+        })
     }
 
     /// Schedule a batch of dependency-free tasks to arrive at absolute
@@ -151,9 +180,32 @@ impl StreamingMaster {
         self.master.in_flight_count()
     }
 
+    /// Master crashes fired so far (injected `FaultSpec::master_crash`).
+    pub fn crashes(&self) -> u32 {
+        self.master.crash_count()
+    }
+
+    /// Journaled recoveries completed so far. Equal to [`crashes`] when
+    /// the config carries a journal; 0 when crashes fall back to a full
+    /// restart.
+    ///
+    /// [`crashes`]: StreamingMaster::crashes
+    pub fn recoveries(&self) -> u32 {
+        self.master.recovery_count()
+    }
+
+    /// Journal bytes flushed so far (records plus snapshots); 0 without a
+    /// journal.
+    pub fn journal_bytes(&self) -> u64 {
+        self.master.journal_bytes()
+    }
+
     /// Attempt records appended since the last call (completion order).
     pub fn take_new_results(&mut self) -> Vec<TaskResult> {
         let all = self.master.results_so_far();
+        // A journal-less master crash wipes the result log (full restart);
+        // clamp the cursor so the re-run's rows stream out again.
+        self.results_cursor = self.results_cursor.min(all.len());
         let new = all[self.results_cursor..].to_vec();
         self.results_cursor = all.len();
         new
@@ -164,9 +216,8 @@ impl StreamingMaster {
     /// first.
     pub fn finish(mut self) -> RunReport {
         self.ensure_started();
-        assert_eq!(
-            self.master.completed_count(),
-            self.submitted,
+        assert!(
+            self.master.completed_count() >= self.submitted,
             "finish() with unfinished streamed tasks; drain() first"
         );
         self.master.finish()
@@ -177,7 +228,9 @@ impl StreamingMaster {
 mod tests {
     use super::*;
     use crate::allocate::{AutoConfig, Strategy};
+    use crate::faults::{FaultPlan, FaultSpec};
     use crate::files::FileRef;
+    use crate::journal::DurabilityConfig;
     use crate::master::run_workload;
     use crate::sched::SchedImpl;
     use crate::task::TaskId;
@@ -221,13 +274,17 @@ mod tests {
         Strategy::Oracle(map)
     }
 
+    fn streaming(cfg: &MasterConfig, workers: u32) -> StreamingMaster {
+        StreamingMaster::new(cfg, workers, node()).expect("config supported")
+    }
+
     #[test]
     fn submit_all_at_zero_matches_batch_run() {
         for sched in [SchedImpl::Indexed, SchedImpl::Reference] {
             let cfg = MasterConfig::new(oracle()).with_sched(sched).with_seed(11);
             let tasks = invocations(40, 0);
             let batch = run_workload(&cfg, tasks.clone(), 4, node());
-            let mut sm = StreamingMaster::new(&cfg, 4, node());
+            let mut sm = streaming(&cfg, 4);
             sm.submit(SimTime::ZERO, tasks);
             sm.drain();
             let streamed = sm.finish();
@@ -240,7 +297,7 @@ mod tests {
         let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default())).with_seed(23);
         let tasks = invocations(30, 0);
         let batch = run_workload(&cfg, tasks.clone(), 4, node());
-        let mut sm = StreamingMaster::new(&cfg, 4, node());
+        let mut sm = streaming(&cfg, 4);
         sm.submit(SimTime::ZERO, tasks);
         sm.drain();
         assert_eq!(sm.finish(), batch);
@@ -249,7 +306,7 @@ mod tests {
     #[test]
     fn staggered_submissions_all_complete() {
         let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default())).with_seed(7);
-        let mut sm = StreamingMaster::new(&cfg, 4, node());
+        let mut sm = streaming(&cfg, 4);
         let mut id = 0;
         for wave in 0..10u64 {
             let at = SimTime::from_secs(wave as f64 * 3.0);
@@ -274,7 +331,7 @@ mod tests {
     #[test]
     fn incremental_results_cursor_sees_everything_once() {
         let cfg = MasterConfig::new(oracle()).with_seed(3);
-        let mut sm = StreamingMaster::new(&cfg, 2, node());
+        let mut sm = streaming(&cfg, 2);
         sm.submit(SimTime::ZERO, invocations(10, 0));
         sm.submit(SimTime::from_secs(5.0), invocations(10, 10));
         let mut seen = 0;
@@ -294,7 +351,7 @@ mod tests {
     fn streamed_runs_are_deterministic() {
         let run = || {
             let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default())).with_seed(99);
-            let mut sm = StreamingMaster::new(&cfg, 3, node());
+            let mut sm = streaming(&cfg, 3);
             for wave in 0..5u64 {
                 sm.submit(
                     SimTime::from_secs(wave as f64 * 2.5),
@@ -311,7 +368,7 @@ mod tests {
     #[test]
     fn idle_master_advances_without_panicking() {
         let cfg = MasterConfig::new(oracle()).with_seed(1);
-        let mut sm = StreamingMaster::new(&cfg, 2, node());
+        let mut sm = streaming(&cfg, 2);
         sm.run_until(SimTime::from_secs(100.0));
         assert_eq!(sm.completed(), 0);
         sm.submit(SimTime::from_secs(200.0), invocations(4, 0));
@@ -323,7 +380,7 @@ mod tests {
     #[should_panic(expected = "has dependencies")]
     fn dependent_tasks_are_rejected() {
         let cfg = MasterConfig::new(oracle()).with_seed(1);
-        let mut sm = StreamingMaster::new(&cfg, 2, node());
+        let mut sm = streaming(&cfg, 2);
         let mut tasks = invocations(2, 0);
         tasks[1] = tasks[1].clone().after(vec![TaskId(0)]);
         sm.submit(SimTime::ZERO, tasks);
@@ -331,10 +388,137 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "durability layer")]
-    fn journaled_streaming_is_rejected() {
+    fn sharded_streaming_is_a_typed_error() {
+        let cfg = MasterConfig::new(oracle()).with_shards(4);
+        let err = StreamingMaster::new(&cfg, 2, node())
+            .err()
+            .expect("shards > 1 must be refused");
+        assert_eq!(err, ConfigError::ShardedStreaming { shards: 4 });
+        assert!(err.to_string().contains("single shard"));
+        // One shard is the streaming shape, not an error.
+        assert!(StreamingMaster::new(&MasterConfig::new(oracle()), 2, node()).is_ok());
+    }
+
+    #[test]
+    fn journaled_streaming_matches_unjournaled() {
+        // The journal is write-only until a crash: a fault-free streamed
+        // run behaves identically with and without it.
+        let run = |durability: DurabilityConfig| {
+            let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default()))
+                .with_seed(17)
+                .with_durability(durability);
+            let mut sm = streaming(&cfg, 3);
+            for wave in 0..6u64 {
+                let at = SimTime::from_secs(wave as f64 * 2.0);
+                sm.submit(at, invocations(7, wave * 7));
+                sm.run_until(at);
+            }
+            sm.drain();
+            sm.finish()
+        };
+        let mut journaled = run(DurabilityConfig::journal_with_snapshots(128));
+        let plain = run(DurabilityConfig::none());
+        assert!(journaled.journal_bytes > 0, "journal actually wrote");
+        journaled.journal_bytes = 0;
+        assert_eq!(journaled, plain);
+    }
+
+    #[test]
+    fn probe_restore_mid_stream_is_invisible() {
+        // Snapshot → wipe → restore through the full encode/decode path at
+        // a quiescent point mid-stream: the restored master (including
+        // tasks admitted via `Record::Submitted` replay growth) must be
+        // bitwise-indistinguishable from an uninterrupted one.
+        let run = |probe_at: Option<u64>| {
+            let mut dur = DurabilityConfig::journal_only();
+            dur.probe_restore_at = probe_at;
+            let cfg = MasterConfig::new(oracle())
+                .with_seed(29)
+                .with_durability(dur);
+            let mut sm = streaming(&cfg, 2);
+            for wave in 0..5u64 {
+                let at = SimTime::from_secs(wave as f64 * 8.0);
+                sm.submit(at, invocations(6, wave * 6));
+                sm.run_until(SimTime::from_secs(wave as f64 * 8.0 + 7.5));
+            }
+            sm.drain();
+            sm.finish()
+        };
+        assert_eq!(run(Some(40)), run(None));
+    }
+
+    #[test]
+    fn crashed_journaled_stream_recovers_and_conserves() {
+        for sched in [SchedImpl::Indexed, SchedImpl::Reference] {
+            let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default()))
+                .with_sched(sched)
+                .with_seed(41)
+                .with_durability(DurabilityConfig::journal_with_snapshots(200))
+                .with_faults(FaultPlan::reliable().with(FaultSpec::master_crash(60.0, 3)));
+            let mut sm = streaming(&cfg, 4);
+            for wave in 0..10u64 {
+                let at = SimTime::from_secs(wave as f64 * 3.0);
+                sm.submit(at, invocations(6, wave * 6));
+                sm.run_until(at);
+            }
+            sm.drain();
+            assert!(sm.crashes() > 0, "{sched:?}: crash points never fired");
+            assert_eq!(sm.recoveries(), sm.crashes(), "{sched:?}");
+            let report = sm.finish();
+            assert_eq!(report.task_count, 60, "{sched:?}");
+            assert_eq!(report.abandoned_tasks, 0, "{sched:?}");
+            let ok = report
+                .results
+                .iter()
+                .filter(|r| r.outcome.is_success())
+                .count();
+            assert_eq!(ok, 60, "{sched:?}: every invocation completes once");
+        }
+    }
+
+    #[test]
+    fn crashed_journaled_stream_is_deterministic() {
+        let run = || {
+            let cfg = MasterConfig::new(Strategy::Auto(AutoConfig::default()))
+                .with_seed(53)
+                .with_durability(DurabilityConfig::journal_only())
+                .with_faults(FaultPlan::reliable().with(FaultSpec::master_crash(80.0, 2)));
+            let mut sm = streaming(&cfg, 3);
+            for wave in 0..8u64 {
+                let at = SimTime::from_secs(wave as f64 * 2.5);
+                sm.submit(at, invocations(5, wave * 5));
+                sm.run_until(at);
+            }
+            sm.drain();
+            sm.finish()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crashed_unjournaled_stream_full_restarts_and_still_finishes() {
         let cfg = MasterConfig::new(oracle())
-            .with_durability(crate::journal::DurabilityConfig::journal_only());
-        StreamingMaster::new(&cfg, 2, node());
+            .with_seed(13)
+            .with_faults(FaultPlan::reliable().with(FaultSpec::master_crash(90.0, 1)));
+        let mut sm = streaming(&cfg, 3);
+        let mut collected = 0usize;
+        for wave in 0..8u64 {
+            let at = SimTime::from_secs(wave as f64 * 3.0);
+            sm.submit(at, invocations(5, wave * 5));
+            sm.run_until(at);
+            collected += sm.take_new_results().len();
+        }
+        sm.drain();
+        collected += sm.take_new_results().len();
+        assert!(sm.crashes() > 0, "crash point never fired");
+        assert_eq!(sm.recoveries(), 0, "no journal, no recovery");
+        // The full restart wiped the result log and re-ran everything the
+        // master had admitted; the cursor re-clamps, so the driver sees at
+        // least one terminal row per invocation (pre-crash rows may
+        // surface twice — that is the baseline's documented lossiness).
+        assert!(collected >= 40, "saw {collected} of 40 invocations");
+        let report = sm.finish();
+        assert_eq!(report.task_count, 40);
+        assert!(report.master_crashes >= 1);
     }
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Crash-safe serving benchmark: sweeps 0-8 injected master crashes with
+# and without the journal (goodput, lost admissions, recovery counts) and
+# sweeps offered load past capacity with and without the alert-driven
+# control loop (p99 vs static deep-queue admission). Writes
+# BENCH_serving_recovery.json at the repo root. The binary asserts the
+# headline claims: journaled goodput is strictly ahead of the
+# full-restart baseline at every crash count, recovery loses nothing, and
+# control keeps p99 bounded at >= 2x overload where static admission's
+# p99 grows with the overload duration. Pass --quick for a 15s smoke run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p lfm-bench --bin bench_serving_recovery
+exec target/release/bench_serving_recovery --out BENCH_serving_recovery.json "$@"

@@ -43,6 +43,13 @@ cargo test -q --offline -p lfm-integration-tests --test telemetry_binary
 cargo test -q --offline -p lfm-integration-tests --test perfetto_trace
 cargo build --release --offline -p lfm-bench --bin bench_telemetry
 
+echo "==> serving-recovery suite (journaled gateway, alert-driven control)"
+cargo test -q --offline -p lfm-workqueue --lib -- streaming::tests::crashed \
+    streaming::tests::journaled streaming::tests::probe_restore
+cargo test -q --offline -p lfm-serving --lib -- crash control conserved
+cargo test -q --offline -p lfm-integration-tests --test serving_recovery
+cargo build --release --offline -p lfm-bench --bin bench_serving_recovery
+
 echo "==> tail suite (live tailing, SLO burn-rate alerts, stream export)"
 cargo test -q --offline -p lfm-telemetry tail
 cargo test -q --offline -p lfm-telemetry slo
